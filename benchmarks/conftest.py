@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures; rounds are
+kept at one because each experiment is already an aggregate over many
+co-simulated program runs (pytest-benchmark's statistics would otherwise
+re-run multi-second sweeps dozens of times).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once, returning its result."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,41 @@
+"""Compiler-infrastructure benchmarks: pass throughput and parser speed.
+
+These are engineering benchmarks for the library itself (not paper figures):
+how fast the optimization pipeline and the textual round-trip run on the
+largest evaluation workload.
+"""
+
+from repro.ir import parse_module
+from repro.passes import pipeline_by_name
+from repro.workloads import build_gemmini_matmul, build_opengemm_matmul
+
+
+def test_bench_full_pipeline_on_opengemm(benchmark):
+    def compile_once():
+        workload = build_opengemm_matmul(128)
+        pipeline_by_name("full").run(workload.module)
+        return workload.module
+
+    module = benchmark.pedantic(compile_once, rounds=3, iterations=1)
+    assert module is not None
+
+
+def test_bench_full_pipeline_on_gemmini(benchmark):
+    def compile_once():
+        workload = build_gemmini_matmul(64)
+        pipeline_by_name("full").run(workload.module)
+        return workload.module
+
+    module = benchmark.pedantic(compile_once, rounds=3, iterations=1)
+    assert module is not None
+
+
+def test_bench_print_parse_roundtrip(benchmark):
+    workload = build_opengemm_matmul(64)
+    pipeline_by_name("full").run(workload.module)
+    text = str(workload.module)
+
+    module = benchmark.pedantic(
+        lambda: parse_module(text), rounds=3, iterations=1
+    )
+    assert str(module) == text

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 12 (measurements on the roofline).
+
+Paper claims (Section 6.2.1): deduplication moves points up and to the right
+(size 128 leaves the configuration-bound regime); overlap moves points
+straight up by at most the sequential/concurrent gap; both combined win.
+"""
+
+from repro.core import Boundness
+from repro.experiments import fig12_roofline
+
+SIZES = (32, 128)
+
+
+def test_fig12_roofline_placement(once):
+    result = once(fig12_roofline.run, sizes=SIZES, functional=False)
+    roofline = result.roofline
+
+    for size in SIZES:
+        base = result.point(size, "baseline")
+        dedup = result.point(size, "dedup")
+        overlap = result.point(size, "overlap")
+        full = result.point(size, "full")
+
+        # Arrow 1: dedup up and right.
+        assert dedup.i_oc > base.i_oc
+        assert dedup.performance > base.performance
+        # Arrow 2: overlap straight up, bounded by the concurrent roof.
+        assert overlap.performance > base.performance
+        assert overlap.performance <= roofline.attainable_concurrent(overlap.i_oc) * 1.05
+        # Arrow 3: both yields the best performance.
+        assert full.performance >= max(dedup.performance, overlap.performance) * 0.99
+
+    # The headline region claim at size 128.
+    assert result.boundness(128, "baseline") is Boundness.CONFIG_BOUND
+    assert result.boundness(128, "dedup") is Boundness.COMPUTE_BOUND
+
+    print("\nFigure 12 reproduction:")
+    for point in result.points:
+        region = roofline.boundness(point.i_oc).value
+        print(
+            f"  {point.label:>14}: I_OC {point.i_oc:8.1f} ops/B, "
+            f"{point.performance:7.1f} ops/cycle  [{region}]"
+        )

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the Figure 2/7 timeline characterization."""
+
+from repro.experiments import fig2_timeline
+
+
+def test_fig2_overhead_elimination(once):
+    result = once(fig2_timeline.run, size=16)
+    baseline = result.breakdown("baseline")
+    dedup = result.breakdown("dedup")
+    full = result.breakdown("full")
+
+    # Figure 7's two-step story: dedup makes configuration shorter, overlap
+    # hides what remains behind accelerator execution.
+    assert dedup.config_cycles < baseline.config_cycles
+    assert full.accel_idle_cycles < dedup.accel_idle_cycles
+
+    print("\nFigure 2/7 reproduction (accelerator idle fraction):")
+    for variant in ("baseline", "dedup", "full"):
+        breakdown = result.breakdown(variant)
+        print(
+            f"  {variant:9s}: total {breakdown.total_cycles:5.0f} cycles, "
+            f"overhead {breakdown.overhead_fraction:.0%}"
+        )

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figures 4 and 5 (the model curves)."""
+
+import pytest
+
+from repro.experiments import figure4_rooflines
+
+
+def test_fig4_roofline_curves(once):
+    result = once(figure4_rooflines.run, points=201)
+    # The largest sequential/concurrent gap sits at the knee (Section 4.3).
+    assert result.max_gap_location() == pytest.approx(result.knee, rel=0.05)
+    for _, sequential, concurrent in result.samples:
+        assert sequential < concurrent <= result.roofline.peak_performance
+    print(f"\nFigure 4: knee at I_OC={result.knee:.1f} ops/B")
+
+
+def test_fig5_roofsurface(once):
+    surface = once(figure4_rooflines.run_roofsurface, points=17)
+    flat = [v for row in surface.surface for v in row]
+    assert max(flat) == surface.roofline.peak_performance
+    # Monotone along both axes.
+    for row in surface.surface:
+        assert all(b >= a for a, b in zip(row, row[1:]))
+    columns = zip(*surface.surface)
+    for column in columns:
+        assert all(b >= a for a, b in zip(column, column[1:]))

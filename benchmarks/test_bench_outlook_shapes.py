@@ -1,0 +1,15 @@
+"""Outlook benchmark: matrix shape vs the configuration wall."""
+
+from repro.experiments import outlook_shapes
+
+
+def test_shape_sweep(once):
+    result = once(outlook_shapes.run, functional=False)
+    speedups = [row.speedup for row in result.rows]
+    assert speedups == sorted(speedups, reverse=True)
+    print("\nconstant-volume shape sweep (OpenGeMM, full pipeline):")
+    for row in result.rows:
+        print(
+            f"  {row.label:>10}: I_OC {row.baseline_i_oc:6.1f} ops/B "
+            f"[{result.boundness(row).value}] -> {row.speedup:.2f}x"
+        )

@@ -1,0 +1,21 @@
+"""Outlook benchmark: Figure 1's reconfigurability trade-off, measured.
+
+"Adding configuration options increases usefulness, but every added
+configuration option also directly reduces the achievable performance
+without proper optimizations."  The bench sweeps interface width and shows
+the compiler flattening the wall.
+"""
+
+from repro.experiments import outlook_tradeoff
+
+
+def test_reconfigurability_tradeoff(once):
+    result = once(outlook_tradeoff.run, knob_counts=(0, 4, 16, 32))
+    assert result.optimized_decay > result.baseline_decay
+    print("\nreconfigurability trade-off (utilization vs interface width):")
+    for row in result.rows:
+        print(
+            f"  +{row.knobs:2d} knobs: baseline {row.baseline_utilization:.1%}, "
+            f"optimized {row.optimized_utilization:.1%} "
+            f"({row.recovered:.2f}x recovered)"
+        )

@@ -1,0 +1,29 @@
+"""Benchmarks: regenerate Table 1 and the Section 4.6 worked example."""
+
+import pytest
+
+from repro.experiments import example_4_6, table1_fields
+
+
+def test_table1_fields(once):
+    result = once(table1_fields.run)
+    assert len(result.fields) == 17
+    assert result.total_bits == 616
+    print(
+        f"\nTable 1: {len(result.fields)} loop_ws fields, {result.total_bits} "
+        f"bits -> {result.rocc_writes} RoCC writes ({result.config_bytes} B)"
+    )
+
+
+def test_example_4_6_roofline_numbers(once):
+    result = once(example_4_6.run)
+    assert result.config_bandwidth == pytest.approx(1.778, abs=0.01)
+    assert result.i_oc == pytest.approx(205.19, abs=0.01)
+    assert result.utilization_theoretical == pytest.approx(0.4149, abs=0.005)
+    assert result.effective_bandwidth == pytest.approx(0.913, abs=0.001)
+    assert result.utilization_effective == pytest.approx(0.2678, abs=0.001)
+    print(
+        f"\nSection 4.6: BW={result.config_bandwidth:.3f} B/cyc, "
+        f"I_OC={result.i_oc:.2f}, attainable {result.utilization_theoretical:.2%} "
+        f"(effective: {result.utilization_effective:.2%})"
+    )

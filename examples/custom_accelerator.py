@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Bringing your own accelerator (the paper's generality claim).
+
+The accfg dialect and its optimization passes are target-agnostic: all a new
+target needs is an :class:`AcceleratorSpec` describing its configuration
+interface, timing, and (optionally) functional semantics.  This example
+defines a toy 2-D convolution engine from scratch, registers it, emits an
+accfg program against it, and gets deduplication + overlap without writing
+one line of compiler code.
+
+Run: python examples/custom_accelerator.py
+"""
+
+import numpy as np
+
+from repro.backends import AcceleratorSpec, get_accelerator_or_none, register_accelerator
+from repro.interp import run_module
+from repro.isa import FieldSpec, config_write, launch_instr
+from repro.passes import pipeline_by_name
+from repro.sim import CoSimulator, Memory
+from repro.sim.metrics import collect_metrics
+from repro.workloads import build_function, new_module
+from repro.ir import i64
+
+# -- 1. Describe the target --------------------------------------------------
+
+
+class Conv3x3Spec(AcceleratorSpec):
+    """A 3x3 convolution engine: 9 MACs per output pixel, 4 pixels/cycle."""
+
+    name = "conv3x3"
+    peak_ops_per_cycle = 4 * 9 * 2
+    concurrent_config = True  # shadow registers: overlap applies
+    host_cycles_per_instr = 1.0
+    fields = {
+        spec.name: spec
+        for spec in (
+            FieldSpec("ptr_in", 32, "Input image base address"),
+            FieldSpec("ptr_kernel", 32, "3x3 kernel base address"),
+            FieldSpec("ptr_out", 32, "Output image base address"),
+            FieldSpec("rows", 16, "Input rows"),
+            FieldSpec("cols", 16, "Input columns"),
+        )
+    }
+
+    def setup_instrs(self, field_names):
+        return [config_write("mmio", self.name, 4) for _ in field_names]
+
+    def launch_instrs(self):
+        return [launch_instr("doorbell", self.name)]
+
+    def compute_cycles(self, config):
+        rows = max(1, config.get("rows", 1)) - 2
+        cols = max(1, config.get("cols", 1)) - 2
+        return max(1, rows * cols / 4) + 6
+
+    def launch_ops(self, config):
+        rows = max(1, config.get("rows", 1)) - 2
+        cols = max(1, config.get("cols", 1)) - 2
+        return rows * cols * 9 * 2
+
+    def execute(self, config, memory):
+        rows, cols = config["rows"], config["cols"]
+        image = memory.read_matrix(config["ptr_in"], rows, cols, cols, np.int32)
+        kernel = memory.read_matrix(config["ptr_kernel"], 3, 3, 3, np.int32)
+        out = np.zeros((rows - 2, cols - 2), dtype=np.int32)
+        for dr in range(3):
+            for dc in range(3):
+                out += kernel[dr, dc] * image[dr : dr + rows - 2, dc : dc + cols - 2]
+        memory.write_matrix(config["ptr_out"], out, cols - 2)
+
+
+if get_accelerator_or_none("conv3x3") is None:
+    register_accelerator(Conv3x3Spec())
+
+# -- 2. Emit a program: convolve 6 images with the same kernel -----------------
+
+memory = Memory()
+rng = np.random.default_rng(0)
+images = [
+    memory.place(rng.integers(-4, 4, (18, 18), dtype=np.int32)) for _ in range(6)
+]
+kernel = memory.place(rng.integers(-2, 2, (3, 3), dtype=np.int32))
+outputs = [memory.alloc((16, 16), np.int32) for _ in range(6)]
+
+# The image pointers are laid out contiguously, so the program computes them
+# from the loop counter — everything else is invariant and dedup-able.
+stride = images[1].addr - images[0].addr
+out_stride = outputs[1].addr - outputs[0].addr
+
+module = new_module()
+with build_function(module, "main") as (gen, _):
+    zero = gen.const(0)
+    one = gen.const(1)
+    six = gen.const(6)
+    with gen.loop(zero, six, one) as (_, i):
+        ptr_in = gen.add(gen.const(images[0].addr), gen.mul(i, gen.const(stride)))
+        ptr_out = gen.add(gen.const(outputs[0].addr), gen.mul(i, gen.const(out_stride)))
+        state = gen.setup(
+            "conv3x3",
+            [
+                ("ptr_in", ptr_in),
+                ("ptr_kernel", gen.const(kernel.addr)),
+                ("ptr_out", ptr_out),
+                ("rows", gen.const(18)),
+                ("cols", gen.const(18)),
+            ],
+        )
+        gen.await_(gen.launch(state))
+
+# -- 3. Optimize, run, verify ---------------------------------------------------
+
+
+def run(pipeline):
+    from repro.ir import parse_module
+
+    fresh = parse_module(str(module))
+    pipeline_by_name(pipeline).run(fresh)
+    for out in outputs:
+        out.array[:] = 0
+    sim = CoSimulator(memory=memory, cost_model=Conv3x3Spec().host_cost_model())
+    run_module(fresh, sim)
+    return collect_metrics(sim, "conv3x3")
+
+
+baseline = run("baseline")
+optimized = run("full")
+
+for image, out in zip(images, outputs):
+    kernel_arr = kernel.array
+    expected = np.zeros((16, 16), dtype=np.int32)
+    for dr in range(3):
+        for dc in range(3):
+            expected += kernel_arr[dr, dc] * image.array[dr : dr + 16, dc : dc + 16]
+    assert (out.array == expected).all(), "wrong convolution result"
+
+print("conv3x3: a never-before-seen accelerator, optimized by the stock passes")
+print(f"  baseline : {baseline.total_cycles:6.0f} cycles, {baseline.config_bytes} config bytes")
+print(f"  optimized: {optimized.total_cycles:6.0f} cycles, {optimized.config_bytes} config bytes")
+print(f"  speedup  : {baseline.total_cycles / optimized.total_cycles:.2f}x")
+print("  all six outputs verified against a numpy reference.")

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The complete Figure-8 flow: high-level program → accfg → optimized →
+co-simulated, on two different accelerators from the same source.
+
+A tiny "inference layer" is written once at the linalg level — a matmul
+followed by an elementwise addition — and lowered to OpenGeMM + toyvec by
+the step-1 conversion pass.  The shared middle-end (state tracing, dedup,
+overlap) then optimizes both accelerators' configuration traffic at once.
+
+Run: python examples/linalg_pipeline.py
+"""
+
+import numpy as np
+
+from repro.interp import run_module
+from repro.ir import parse_module, verify_operation
+from repro.isa import HostCostModel
+from repro.passes import ConvertLinalgToAccfgPass, pipeline_by_name
+from repro.sim import CoSimulator, Memory
+
+SIZE = 32
+
+memory = Memory()
+rng = np.random.default_rng(7)
+a = memory.place(rng.integers(-4, 4, (SIZE, SIZE), dtype=np.int8))
+w = memory.place(rng.integers(-4, 4, (SIZE, SIZE), dtype=np.int8))
+acc = memory.alloc((SIZE, SIZE), np.int32)
+bias = memory.place(rng.integers(-100, 100, SIZE * SIZE, dtype=np.int32))
+result = memory.alloc(SIZE * SIZE, np.int32)
+
+SOURCE = f"""
+builtin.module {{
+  func.func @main() -> () {{
+    %a    = arith.constant {a.addr} : index
+    %w    = arith.constant {w.addr} : index
+    %acc  = arith.constant {acc.addr} : index
+    %bias = arith.constant {bias.addr} : index
+    %out  = arith.constant {result.addr} : index
+    linalg.matmul ins(%a, %w) outs(%acc) dims({SIZE} x {SIZE} x {SIZE})
+    linalg.elementwise "add" ins(%acc, %bias) outs(%out) n({SIZE * SIZE})
+    func.return
+  }}
+}}
+"""
+
+print("=== the program, as written (linalg level) ===\n")
+module = parse_module(SOURCE)
+print(module)
+
+print("\n=== step 1: convert-linalg-to-accfg ===\n")
+ConvertLinalgToAccfgPass().apply(module)
+verify_operation(module)
+setups = sum(1 for op in module.walk() if op.name == "accfg.setup")
+print(f"(lowered to {setups} setup sites across two accelerators; IR elided)")
+
+
+def simulate(pipeline: str) -> float:
+    fresh = parse_module(SOURCE)
+    ConvertLinalgToAccfgPass().apply(fresh)
+    pipeline_by_name(pipeline).run(fresh)
+    acc.array[:] = 0
+    result.array[:] = 0
+    sim = CoSimulator(memory=memory, cost_model=HostCostModel(1.0))
+    run_module(fresh, sim)
+    expected = (
+        a.array.astype(np.int32) @ w.array.astype(np.int32)
+    ).reshape(-1) + bias.array
+    assert (result.array == expected).all(), "wrong layer result!"
+    return sim.total_cycles
+
+
+baseline = simulate("baseline")
+optimized = simulate("full")
+print("\n=== steps 2-5: optimize and co-simulate ===\n")
+print(f"baseline : {baseline:7.0f} cycles")
+print(f"optimized: {optimized:7.0f} cycles   ({baseline / optimized:.2f}x)")
+print("layer output verified against numpy on both runs.")

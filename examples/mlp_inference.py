@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Neural-network inference through the configuration wall.
+
+The paper's introduction motivates the wall with NN inference: many small
+offloaded kernels, each paying configuration cost.  This example runs a
+4-layer quantized MLP — matmuls on OpenGeMM, bias/ReLU on the vector engine
+— written once at the linalg level, and shows what each optimization stage
+recovers.
+
+Run: python examples/mlp_inference.py
+"""
+
+from repro.backends import get_accelerator
+from repro.core import format_series
+from repro.interp import run_module
+from repro.passes import ConvertLinalgToAccfgPass, pipeline_by_name
+from repro.sim import CoSimulator, SpanKind
+from repro.workloads.network import build_mlp
+
+LAYERS = [32, 64, 64, 32, 8]
+BATCH = 16
+
+
+def run(pipeline: str):
+    workload = build_mlp(LAYERS, batch=BATCH, seed=11)
+    ConvertLinalgToAccfgPass().apply(workload.module)
+    pipeline_by_name(pipeline).run(workload.module)
+    sim = CoSimulator(
+        memory=workload.memory,
+        cost_model=get_accelerator("opengemm").host_cost_model(),
+    )
+    run_module(workload.module, sim)
+    assert workload.check(), "wrong network output!"
+    config = sim.timeline.busy_time("host", SpanKind.SETUP) + sim.timeline.busy_time(
+        "host", SpanKind.CALC
+    )
+    return sim, config
+
+
+print(f"{len(LAYERS) - 1}-layer MLP {LAYERS}, batch {BATCH}")
+print(f"({build_mlp(LAYERS, batch=BATCH).total_macs} MACs per inference)\n")
+
+rows = []
+baseline_cycles = None
+for pipeline in ("baseline", "dedup", "overlap", "full"):
+    sim, config = run(pipeline)
+    if baseline_cycles is None:
+        baseline_cycles = sim.total_cycles
+    rows.append(
+        (
+            pipeline,
+            sim.total_cycles,
+            config,
+            f"{baseline_cycles / sim.total_cycles:.2f}x",
+        )
+    )
+print(format_series(("pipeline", "cycles", "config cycles", "speedup"), rows))
+print("\nevery variant's output verified against the numpy reference")
+print("(including the int8 requantization between layers).")

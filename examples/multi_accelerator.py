@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Two accelerators, one program (the paper's multi-accelerator outlook).
+
+The conclusion of the paper points at multi-accelerator systems as future
+work; the state-tracing machinery already handles them because each
+accelerator carries its own state chain.  This example drives the vector
+engine and a Gemmini tile side by side: their setups are deduplicated
+independently, and overlap applies only to the concurrent-configuration
+target.
+
+Run: python examples/multi_accelerator.py
+"""
+
+import numpy as np
+
+from repro.backends import get_accelerator
+from repro.interp import run_module
+from repro.isa import HostCostModel
+from repro.passes import pipeline_by_name
+from repro.sim import CoSimulator, Memory
+from repro.workloads import build_function, new_module
+from repro.dialects import accfg
+
+memory = Memory()
+rng = np.random.default_rng(4)
+# Vector engine data.
+x = memory.place(rng.integers(-9, 9, 64, dtype=np.int32))
+y = memory.place(rng.integers(-9, 9, 64, dtype=np.int32))
+vec_out = memory.alloc(64, np.int32)
+# Gemmini fine-grained tile data.
+a = memory.place(rng.integers(-4, 4, (16, 16), dtype=np.int8))
+b = memory.place(rng.integers(-4, 4, (16, 16), dtype=np.int8))
+c = memory.alloc((16, 16), np.int32)
+
+module = new_module()
+with build_function(module, "main") as (gen, _):
+    zero = gen.const(0)
+    one = gen.const(1)
+    four = gen.const(4)
+    with gen.loop(zero, four, one) as (_, i):
+        # Vector engine: invariant configuration, dedup hoists it.
+        vec_state = gen.setup(
+            "toyvec",
+            [
+                ("ptr_x", gen.const(x.addr)),
+                ("ptr_y", gen.const(y.addr)),
+                ("ptr_out", gen.const(vec_out.addr)),
+                ("n", gen.const(64)),
+                ("op", gen.const(0)),
+            ],
+        )
+        vec_token = gen.launch(vec_state)
+        # Gemmini: one 16x16 tile multiply per iteration, accumulating.
+        acc = gen.select(gen.cmp("eq", i, zero), zero, one)
+        gem_state = gen.setup(
+            "gemmini",
+            [
+                ("stride_A", gen.const(16)),
+                ("stride_B", gen.const(16)),
+                ("stride_C", gen.const(16)),
+            ],
+        )
+        gem_token = gen.launch(
+            gem_state,
+            [
+                ("op", gen.const(4)),  # OP_COMPUTE
+                ("ld_addr", gen.const(a.addr)),
+                ("preload_addr", gen.const(b.addr)),
+                ("st_addr", gen.const(c.addr)),
+                ("acc", acc),
+            ],
+        )
+        gen.await_(vec_token)
+        gen.await_(gem_token)
+
+print("=== unoptimized IR ===")
+print(module)
+
+pipeline_by_name("full").run(module)
+print("\n=== after dedup + overlap (per-accelerator state chains) ===")
+print(module)
+
+sim = CoSimulator(memory=memory, cost_model=HostCostModel(1.0))
+run_module(module, sim)
+
+assert (vec_out.array == x.array + y.array).all()
+expected = 4 * (a.array.astype(np.int32) @ b.array.astype(np.int32))
+assert (c.array == expected).all()
+
+setups = [op for op in module.walk() if isinstance(op, accfg.SetupOp)]
+in_loop = [s for s in setups if s.parent_op is not None and s.parent_op.name == "scf.for"]
+print(f"\nsetups remaining inside the loop after optimization: {len([s for s in in_loop if s.fields])}")
+print(f"total cycles: {sim.total_cycles:.0f}")
+print("both accelerators' results verified against numpy.")
+print(
+    f"devices driven: "
+    f"{', '.join(f'{name} ({device.launch_count} launches)' for name, device in sim.devices.items())}"
+)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The paper's headline experiment as a script: tiled matrix multiplication
+on OpenGeMM under all four optimization levels (Section 6.2).
+
+Shows the IR before and after optimization for a small size, runs the
+co-simulation for a sweep, checks numerics against numpy, and prints the
+speedup table of Figure 11.
+
+Run: python examples/opengemm_tiled_matmul.py
+"""
+
+from repro.backends import get_accelerator
+from repro.core import format_series, geomean
+from repro.experiments.common import run_workload
+from repro.passes import pipeline_by_name
+from repro.workloads import build_opengemm_matmul
+
+# -- The IR transformation, visibly ------------------------------------------
+
+print("=== accfg IR for a 16x16 matmul, as the frontend emits it ===\n")
+workload = build_opengemm_matmul(16)
+print(workload.module)
+
+print("\n=== after the full pipeline (dedup + overlap) ===\n")
+pipeline_by_name("full").run(workload.module)
+print(workload.module)
+
+# -- The sweep -----------------------------------------------------------------
+
+print("\n=== Figure 11 sweep ===\n")
+sizes = (16, 32, 64, 128)
+variants = ("baseline", "dedup", "overlap", "full")
+rows = []
+speedups = []
+for size in sizes:
+    cycles = {}
+    for variant in variants:
+        run = run_workload(build_opengemm_matmul(size), variant)
+        assert run.correct, f"wrong matmul result ({size}, {variant})"
+        cycles[variant] = run.cycles
+    base = cycles["baseline"]
+    rows.append(
+        (
+            size,
+            base,
+            base / cycles["dedup"],
+            base / cycles["overlap"],
+            base / cycles["full"],
+        )
+    )
+    speedups.append(base / cycles["full"])
+
+print(
+    format_series(
+        ("size", "base cycles", "dedup x", "overlap x", "both x"), rows
+    )
+)
+print(
+    f"\ngeomean speedup {geomean(speedups):.2f}x — the paper reports 1.99x "
+    "on its size sweep; every optimized binary was checked bit-exact "
+    "against numpy."
+)
+spec = get_accelerator("opengemm")
+print(
+    f"(peak {spec.peak_ops_per_cycle} ops/cycle, concurrent configuration: "
+    f"{spec.concurrent_config})"
+)

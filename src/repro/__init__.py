@@ -1,0 +1,20 @@
+"""repro — a reproduction of *The Configuration Wall: Characterization and
+Elimination of Accelerator Configuration Overhead* (ASPLOS 2026).
+
+The package provides:
+
+* :mod:`repro.core` — the configuration roofline model (the paper's
+  analytical contribution, Section 4),
+* :mod:`repro.ir` / :mod:`repro.dialects` — an MLIR-like SSA compiler
+  substrate with the ``accfg`` dialect (Section 5.1),
+* :mod:`repro.passes` — state tracing, configuration deduplication, and
+  configuration–computation overlap (Sections 5.3–5.5),
+* :mod:`repro.isa`, :mod:`repro.backends`, :mod:`repro.sim` — instruction-
+  level lowering and host/accelerator co-simulation replacing the paper's
+  spike/Verilator substrates,
+* :mod:`repro.workloads`, :mod:`repro.experiments` — tiled matrix
+  multiplication workloads and the harnesses regenerating every table and
+  figure of the evaluation (Section 6).
+"""
+
+__version__ = "1.0.0"

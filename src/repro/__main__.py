@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+An ``mlir-opt``-style driver for the accfg flow plus shortcuts to the
+paper's experiments::
+
+    python -m repro opt --pipeline full program.mlir     # optimize IR
+    python -m repro report program.mlir                  # static config cost
+    python -m repro run program.mlir                     # co-simulate
+    python -m repro experiments [--quick]                # all tables/figures
+    python -m repro fig2|fig4|fig10|fig11|fig12|table1|example46
+    python -m repro outlook-os | outlook-shapes | outlook-tradeoff
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .backends.lowering import static_config_report
+from .interp import run_module
+from .ir import parse_module, verify_operation
+from .passes import PIPELINES, pipeline_by_name
+from .sim import CoSimulator
+
+
+def _read_module(path: str):
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            text = handle.read()
+    module = parse_module(text)
+    verify_operation(module)
+    return module
+
+
+def cmd_opt(args: argparse.Namespace) -> int:
+    module = _read_module(args.input)
+    pipeline_by_name(args.pipeline).run(module)
+    print(module)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    module = _read_module(args.input)
+    if args.pipeline:
+        pipeline_by_name(args.pipeline).run(module)
+    print(static_config_report(module).format())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = _read_module(args.input)
+    if args.pipeline:
+        pipeline_by_name(args.pipeline).run(module)
+    sim = CoSimulator(functional=False)
+    results = run_module(module, sim, args=[int(a) for a in args.args])[0]
+    stats = sim.trace.stats(sim.cost_model)
+    print(f"results      : {results}")
+    print(f"total cycles : {sim.total_cycles:.0f}")
+    print(f"instructions : {stats.total_instrs} "
+          f"(setup {stats.setup_instrs}, calc {stats.calc_instrs})")
+    print(f"config bytes : {stats.config_bytes}")
+    if sim.devices:
+        for name, device in sim.devices.items():
+            print(f"{name:13s}: {device.launch_count} launches, "
+                  f"{device.total_ops} ops, busy {device.busy_cycles:.0f} cycles")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import runner
+
+    runner.main(["--quick"] if args.quick else [])
+    return 0
+
+
+def _experiment_command(module_name: str):
+    def run(args: argparse.Namespace) -> int:
+        from . import experiments
+
+        getattr(experiments, module_name).main()
+        return 0
+
+    return run
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="The Configuration Wall reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    opt = sub.add_parser("opt", help="optimize accfg IR and print it")
+    opt.add_argument("input", help="path to a .mlir file, or - for stdin")
+    opt.add_argument(
+        "--pipeline",
+        default="full",
+        choices=sorted(PIPELINES),
+        help="optimization level (default: full)",
+    )
+    opt.set_defaults(func=cmd_opt)
+
+    report = sub.add_parser(
+        "report", help="static configuration-cost report for a module"
+    )
+    report.add_argument("input")
+    report.add_argument("--pipeline", default="", help="optimize first")
+    report.set_defaults(func=cmd_report)
+
+    run = sub.add_parser("run", help="co-simulate a module (timing only)")
+    run.add_argument("input")
+    run.add_argument("--pipeline", default="", help="optimize first")
+    run.add_argument("--args", nargs="*", default=[], help="main() arguments")
+    run.set_defaults(func=cmd_run)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate every table and figure"
+    )
+    experiments.add_argument("--quick", action="store_true")
+    experiments.set_defaults(func=cmd_experiments)
+
+    for name, module_name in (
+        ("table1", "table1_fields"),
+        ("example46", "example_4_6"),
+        ("fig2", "fig2_timeline"),
+        ("fig4", "figure4_rooflines"),
+        ("fig10", "fig10_gemmini"),
+        ("fig11", "fig11_opengemm"),
+        ("fig12", "fig12_roofline"),
+        ("outlook-os", "outlook_os_gemmini"),
+        ("outlook-shapes", "outlook_shapes"),
+        ("outlook-tradeoff", "outlook_tradeoff"),
+    ):
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd.set_defaults(func=_experiment_command(module_name))
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Accelerator targets: the shared spec abstraction plus the Gemmini,
+OpenGeMM, and toy vector-engine descriptions."""
+
+from .base import (
+    AcceleratorSpec,
+    get_accelerator,
+    get_accelerator_or_none,
+    register_accelerator,
+    registered_accelerators,
+)
+from .gemmini import GEMMINI, LOOP_WS_FIELDS, GemminiSpec
+from .lowering import (
+    ConfigCostReport,
+    LoweredOp,
+    lower_accfg_op,
+    static_config_report,
+)
+from .opengemm import CSR_FIELDS, OPENGEMM, OpenGeMMSpec
+from .toyvec import TOYVEC, TOYVEC_QUEUED, TOYVEC_SEQ, ToyVecSpec
+
+__all__ = [
+    "AcceleratorSpec",
+    "get_accelerator",
+    "get_accelerator_or_none",
+    "register_accelerator",
+    "registered_accelerators",
+    "GEMMINI",
+    "LOOP_WS_FIELDS",
+    "GemminiSpec",
+    "CSR_FIELDS",
+    "OPENGEMM",
+    "OpenGeMMSpec",
+    "TOYVEC",
+    "TOYVEC_QUEUED",
+    "TOYVEC_SEQ",
+    "ToyVecSpec",
+    "ConfigCostReport",
+    "LoweredOp",
+    "lower_accfg_op",
+    "static_config_report",
+]

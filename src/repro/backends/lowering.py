@@ -1,0 +1,136 @@
+"""Static lowering inspection (step 5 of the compilation flow, Figure 8).
+
+The co-simulator lowers accfg ops to host instructions on the fly; this
+module exposes the same mapping *statically*, so users can inspect what a
+given IR module will cost before running it: per-op instruction sequences,
+configuration bytes, and a whole-module report with loop ops annotated as
+per-iteration costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dialects import accfg, scf
+from ..dialects.builtin import ModuleOp
+from ..ir.operation import Operation
+from ..isa.instructions import HostCostModel, Instr
+from .base import get_accelerator
+
+
+def lower_setup(op: accfg.SetupOp) -> list[Instr]:
+    """The host instructions one accfg.setup lowers to on its target."""
+    spec = get_accelerator(op.accelerator)
+    return spec.setup_instrs(list(op.field_names))
+
+
+def lower_launch(op: accfg.LaunchOp) -> list[Instr]:
+    spec = get_accelerator(op.accelerator)
+    instrs = []
+    if op.field_names:
+        instrs.extend(spec.launch_field_instrs(list(op.field_names)))
+    instrs.extend(spec.launch_instrs())
+    return instrs
+
+
+def lower_await(op: accfg.AwaitOp) -> list[Instr]:
+    return get_accelerator(op.accelerator).sync_instrs()
+
+
+def lower_accfg_op(op: Operation) -> list[Instr] | None:
+    """Lower one accfg op; None for non-accfg ops."""
+    if isinstance(op, accfg.SetupOp):
+        return lower_setup(op)
+    if isinstance(op, accfg.LaunchOp):
+        return lower_launch(op)
+    if isinstance(op, accfg.AwaitOp):
+        return lower_await(op)
+    return None
+
+
+@dataclass(frozen=True)
+class LoweredOp:
+    """One accfg op with its lowered instruction sequence and loop context."""
+
+    op: Operation
+    instrs: tuple[Instr, ...]
+    loop_depth: int
+
+    @property
+    def instr_count(self) -> int:
+        return len(self.instrs)
+
+    @property
+    def config_bytes(self) -> int:
+        return sum(i.config_bytes for i in self.instrs)
+
+
+@dataclass
+class ConfigCostReport:
+    """Static configuration cost of a module: what step 5 will emit."""
+
+    entries: list[LoweredOp] = field(default_factory=list)
+
+    @property
+    def static_instr_count(self) -> int:
+        return sum(entry.instr_count for entry in self.entries)
+
+    @property
+    def static_config_bytes(self) -> int:
+        return sum(entry.config_bytes for entry in self.entries)
+
+    def static_cycles(self, cost_model: HostCostModel | None = None) -> float:
+        cost_model = cost_model or HostCostModel()
+        return sum(
+            cost_model.cycles(instr)
+            for entry in self.entries
+            for instr in entry.instrs
+        )
+
+    def by_accelerator(self) -> dict[str, int]:
+        """Static config bytes per accelerator."""
+        totals: dict[str, int] = {}
+        for entry in self.entries:
+            op = entry.op
+            name = getattr(op, "accelerator", None)
+            if name:
+                totals[name] = totals.get(name, 0) + entry.config_bytes
+        return totals
+
+    def format(self) -> str:
+        lines = ["static configuration cost (per loop iteration where nested):"]
+        for entry in self.entries:
+            indent = "  " * (entry.loop_depth + 1)
+            summary = ", ".join(
+                f"{instr.mnemonic}" for instr in entry.instrs[:4]
+            )
+            if len(entry.instrs) > 4:
+                summary += f", ... ({len(entry.instrs)} total)"
+            lines.append(
+                f"{indent}{entry.op.name}: {entry.instr_count} instrs, "
+                f"{entry.config_bytes} B  [{summary}]"
+            )
+        lines.append(
+            f"  total (static): {self.static_instr_count} instrs, "
+            f"{self.static_config_bytes} config bytes"
+        )
+        return "\n".join(lines)
+
+
+def static_config_report(module: ModuleOp) -> ConfigCostReport:
+    """Walk the module and lower every accfg op, recording loop nesting."""
+    report = ConfigCostReport()
+
+    def visit(op: Operation, depth: int) -> None:
+        lowered = lower_accfg_op(op)
+        if lowered is not None:
+            report.entries.append(LoweredOp(op, tuple(lowered), depth))
+        next_depth = depth + 1 if isinstance(op, scf.ForOp) else depth
+        for region in op.regions:
+            for block in region.blocks:
+                for nested in block.ops:
+                    visit(nested, next_depth)
+
+    for op in module.body_block.ops:
+        visit(op, 0)
+    return report

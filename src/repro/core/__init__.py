@@ -1,0 +1,37 @@
+"""The configuration roofline model and its analysis utilities — the
+paper's primary analytical contribution (Section 4)."""
+
+from .analysis import (
+    RunAnalysis,
+    combined_boundness,
+    analyze_run,
+    geomean,
+    point_from_metrics,
+    roofline_for_spec,
+    roofline_from_metrics,
+    theoretical_config_bandwidth,
+)
+from .plotting import ascii_roofline, format_series
+from .roofline import (
+    Boundness,
+    ConfigRoofline,
+    RooflinePoint,
+    effective_config_bandwidth,
+)
+
+__all__ = [
+    "RunAnalysis",
+    "combined_boundness",
+    "analyze_run",
+    "geomean",
+    "point_from_metrics",
+    "roofline_for_spec",
+    "roofline_from_metrics",
+    "theoretical_config_bandwidth",
+    "ascii_roofline",
+    "format_series",
+    "Boundness",
+    "ConfigRoofline",
+    "RooflinePoint",
+    "effective_config_bandwidth",
+]

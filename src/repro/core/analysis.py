@@ -1,0 +1,138 @@
+"""Bridging measurements and the roofline model.
+
+Turns co-simulation measurements (:class:`~repro.sim.metrics.RunMetrics`)
+into roofline points, builds rooflines from accelerator specs and host cost
+models, and classifies where a run sits — the workflow of Sections 4.6 and
+6.2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backends.base import AcceleratorSpec
+from ..isa.instructions import HostCostModel
+from ..sim.metrics import RunMetrics
+from .roofline import Boundness, ConfigRoofline, RooflinePoint
+
+
+def theoretical_config_bandwidth(
+    spec: AcceleratorSpec, cost_model: HostCostModel | None = None
+) -> float:
+    """BW_config of a target: bytes one full configuration conveys divided by
+    the host time its register writes take (no parameter computation).
+
+    For Gemmini this reproduces the paper's ``16 / (3 * 3) ≈ 1.77`` bytes per
+    cycle (Section 4.6): 16 bytes per RoCC write, three instructions per
+    write, three cycles per instruction.
+    """
+    cost_model = cost_model or HostCostModel()
+    field_names = list(spec.fields)
+    instrs = spec.setup_instrs(field_names)
+    cycles = sum(cost_model.cycles(instr) for instr in instrs)
+    config_bytes = spec.config_bytes(field_names)
+    if cycles <= 0:
+        return float("inf")
+    return config_bytes / cycles
+
+
+def roofline_for_spec(
+    spec: AcceleratorSpec,
+    cost_model: HostCostModel | None = None,
+    memory_bandwidth: float | None = None,
+) -> ConfigRoofline:
+    """The theoretical configuration roofline of one accelerator target.
+
+    ``memory_bandwidth`` defaults to the spec's own (for the Eq. 5
+    roofsurface); pass an explicit value to override.
+    """
+    return ConfigRoofline(
+        peak_performance=spec.peak_ops_per_cycle,
+        config_bandwidth=theoretical_config_bandwidth(spec, cost_model),
+        memory_bandwidth=(
+            memory_bandwidth if memory_bandwidth is not None else spec.memory_bandwidth
+        ),
+    )
+
+
+def combined_boundness(metrics: RunMetrics, roofline: ConfigRoofline) -> Boundness:
+    """Three-way classification via Eq. 5: which term of the roofsurface
+    limits this measured run (configuration, memory, or compute)?"""
+    config_term = roofline.config_bandwidth * metrics.operation_to_config_intensity
+    terms = {Boundness.COMPUTE_BOUND: roofline.peak_performance,
+             Boundness.CONFIG_BOUND: config_term}
+    if roofline.memory_bandwidth is not None and metrics.memory_bytes:
+        terms[Boundness.MEMORY_BOUND] = (
+            roofline.memory_bandwidth * metrics.operational_intensity
+        )
+    return min(terms, key=terms.get)
+
+
+def roofline_from_metrics(metrics: RunMetrics) -> ConfigRoofline:
+    """A roofline built from *measured* effective configuration bandwidth
+    (Eq. 4) — what Section 4.6 calls the effective variant of the model."""
+    return ConfigRoofline(
+        peak_performance=metrics.peak_ops_per_cycle,
+        config_bandwidth=metrics.effective_config_bandwidth,
+    )
+
+
+def point_from_metrics(metrics: RunMetrics, label: str = "") -> RooflinePoint:
+    """Place one measured run on the roofline plot."""
+    return RooflinePoint(
+        label=label or metrics.accelerator,
+        i_oc=metrics.operation_to_config_intensity,
+        performance=metrics.performance,
+    )
+
+
+@dataclass(frozen=True)
+class RunAnalysis:
+    """A measured run interpreted through the roofline model."""
+
+    point: RooflinePoint
+    roofline: ConfigRoofline
+    boundness: Boundness
+    attainable_sequential: float
+    attainable_concurrent: float
+    utilization: float
+
+    @property
+    def headroom_to_concurrent_roof(self) -> float:
+        if self.point.performance <= 0:
+            return float("inf")
+        return self.attainable_concurrent / self.point.performance
+
+
+def analyze_run(
+    metrics: RunMetrics,
+    roofline: ConfigRoofline | None = None,
+    label: str = "",
+) -> RunAnalysis:
+    """Full roofline interpretation of one run.
+
+    When no roofline is given, one is built from the run's own effective
+    configuration bandwidth.
+    """
+    roofline = roofline or roofline_from_metrics(metrics)
+    point = point_from_metrics(metrics, label)
+    return RunAnalysis(
+        point=point,
+        roofline=roofline,
+        boundness=roofline.boundness(point.i_oc),
+        attainable_sequential=roofline.attainable_sequential(point.i_oc),
+        attainable_concurrent=roofline.attainable_concurrent(point.i_oc),
+        utilization=point.performance / roofline.peak_performance,
+    )
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean, used for the paper's headline speedup numbers."""
+    if not values:
+        raise ValueError("geomean of an empty list")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geomean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,108 @@
+"""Text rendering of roofline charts.
+
+No plotting libraries are available offline, so figures are emitted as data
+series (for external plotting) plus log-log ASCII charts good enough to see
+the wall, the knee, and where measured points sit relative to the sequential
+and concurrent rooflines (Figures 4 and 12).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .roofline import ConfigRoofline, RooflinePoint
+
+
+def format_series(
+    header: tuple[str, ...], rows: list[tuple], widths: int = 14
+) -> str:
+    """A column-aligned table: used by experiments to print figure data.
+
+    ``widths`` is the minimum column width; columns grow to fit content.
+    """
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            if value == float("inf"):
+                return "inf"
+            if value >= 1000 or (0 < abs(value) < 0.01):
+                return f"{value:.4g}"
+            return f"{value:.3f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    columns = len(header)
+    col_widths = [
+        max(
+            widths,
+            len(header[i]) + 2,
+            max((len(row[i]) + 2 for row in cells if i < len(row)), default=0),
+        )
+        for i in range(columns)
+    ]
+    lines = ["".join(f"{h:>{w}}" for h, w in zip(header, col_widths))]
+    lines.append("".join("-" * w for w in col_widths))
+    for row in cells:
+        lines.append("".join(f"{v:>{w}}" for v, w in zip(row, col_widths)))
+    return "\n".join(lines)
+
+
+def ascii_roofline(
+    roofline: ConfigRoofline,
+    points: list[RooflinePoint] | None = None,
+    width: int = 64,
+    height: int = 18,
+    i_oc_range: tuple[float, float] = (0.25, 4096.0),
+) -> str:
+    """Log-log ASCII roofline: '-' concurrent roof, '~' sequential roof,
+    letters = measured points (labelled beneath the chart)."""
+    points = points or []
+    x_min, x_max = i_oc_range
+    y_max = roofline.peak_performance * 1.5
+    y_min = max(
+        roofline.attainable_sequential(x_min) / 4.0, roofline.peak_performance / 4096.0
+    )
+
+    def x_of(i_oc: float) -> int:
+        frac = (math.log2(i_oc) - math.log2(x_min)) / (
+            math.log2(x_max) - math.log2(x_min)
+        )
+        return int(frac * (width - 1))
+
+    def y_of(perf: float) -> int:
+        perf = max(perf, y_min)
+        frac = (math.log2(perf) - math.log2(y_min)) / (
+            math.log2(y_max) - math.log2(y_min)
+        )
+        return (height - 1) - int(frac * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    for col in range(width):
+        i_oc = 2.0 ** (
+            math.log2(x_min) + (math.log2(x_max) - math.log2(x_min)) * col / (width - 1)
+        )
+        conc_row = y_of(roofline.attainable_concurrent(i_oc))
+        seq_row = y_of(roofline.attainable_sequential(i_oc))
+        if 0 <= conc_row < height:
+            grid[conc_row][col] = "-"
+        if 0 <= seq_row < height and grid[seq_row][col] == " ":
+            grid[seq_row][col] = "~"
+    legend: list[str] = []
+    for index, point in enumerate(points):
+        glyph = chr(ord("A") + (index % 26))
+        col = min(max(x_of(point.i_oc), 0), width - 1)
+        row = min(max(y_of(point.performance), 0), height - 1)
+        grid[row][col] = glyph
+        legend.append(
+            f"  {glyph}: {point.label}  (I_OC={point.i_oc:.1f} ops/B, "
+            f"{point.performance:.1f} ops/cycle)"
+        )
+    knee = roofline.knee_intensity
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(
+        f"x: I_OC {x_min:g}..{x_max:g} ops/byte (log)   knee at {knee:.2f}   "
+        f"P_peak={roofline.peak_performance:g} ops/cycle"
+    )
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,225 @@
+"""The configuration roofline model (paper, Section 4).
+
+Implements every equation of the paper:
+
+* Eq. 1 — the classic processor roofline (compute vs. memory bound),
+* Eq. 2 — the *concurrent* configuration roofline,
+* Eq. 3 — the *sequential* configuration roofline (harmonic composition of
+  configuration time and compute time; asymptotically approaches Eq. 2),
+* Eq. 4 — *effective* configuration bandwidth (bit-packing/parameter
+  computation time included),
+* Eq. 5 — the combined three-term "roofsurface".
+
+Axes: ``I_OC`` is operation-to-configuration intensity in ops per
+configuration byte; ``BW_config`` is configuration bandwidth in bytes per
+cycle (or per second — units only need to be consistent); performance is in
+ops per the same time unit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Boundness(str, Enum):
+    """Which roofline term limits a workload."""
+
+    CONFIG_BOUND = "configuration-bound"
+    COMPUTE_BOUND = "compute-bound"
+    MEMORY_BOUND = "memory-bound"
+    KNEE = "knee"
+
+
+def effective_config_bandwidth(
+    config_bytes: float, calc_time: float, set_time: float
+) -> float:
+    """Eq. 4: ``BW_config,eff = N_bytes / (T_calc + T_set)``."""
+    denominator = calc_time + set_time
+    if denominator <= 0:
+        return float("inf")
+    return config_bytes / denominator
+
+
+@dataclass(frozen=True)
+class ConfigRoofline:
+    """A configuration roofline for one accelerator system."""
+
+    peak_performance: float  # P_peak, ops/cycle
+    config_bandwidth: float  # BW_config (or BW_config,eff), bytes/cycle
+    memory_bandwidth: float | None = None  # BW_memory, bytes/cycle (optional)
+
+    def __post_init__(self) -> None:
+        if self.peak_performance <= 0:
+            raise ValueError("peak performance must be positive")
+        if self.config_bandwidth <= 0:
+            raise ValueError("configuration bandwidth must be positive")
+
+    # -- Eq. 1: processor roofline ----------------------------------------
+
+    def attainable_processor(self, operational_intensity: float) -> float:
+        """Eq. 1: min(P_peak, BW_memory * I_operational)."""
+        if self.memory_bandwidth is None:
+            raise ValueError("no memory bandwidth specified for this roofline")
+        return min(
+            self.peak_performance, self.memory_bandwidth * operational_intensity
+        )
+
+    # -- Eq. 2: concurrent configuration -------------------------------------
+
+    def attainable_concurrent(self, i_oc: float) -> float:
+        """Eq. 2: min(P_peak, BW_config * I_OC)."""
+        return min(self.peak_performance, self.config_bandwidth * i_oc)
+
+    # -- Eq. 3: sequential configuration -------------------------------------
+
+    def attainable_sequential(self, i_oc: float) -> float:
+        """Eq. 3: 1 / (1/P_peak + 1/(BW_config * I_OC)).
+
+        Configuration and computation strictly serialize, so the attainable
+        time is the sum of both terms; the curve approaches Eq. 2
+        asymptotically but never touches it.
+        """
+        if i_oc <= 0:
+            return 0.0
+        config_term = self.config_bandwidth * i_oc
+        attainable = 1.0 / (1.0 / self.peak_performance + 1.0 / config_term)
+        # Mathematically always below peak; clamp float round-off.
+        return min(attainable, self.peak_performance)
+
+    def attainable(self, i_oc: float, concurrent: bool) -> float:
+        if concurrent:
+            return self.attainable_concurrent(i_oc)
+        return self.attainable_sequential(i_oc)
+
+    # -- Eq. 5: combined roofsurface ------------------------------------------
+
+    def attainable_combined(
+        self, operational_intensity: float, i_oc: float
+    ) -> float:
+        """Eq. 5: min(P_peak, BW_memory * I_op, BW_config * I_OC)."""
+        if self.memory_bandwidth is None:
+            raise ValueError("no memory bandwidth specified for this roofline")
+        return min(
+            self.peak_performance,
+            self.memory_bandwidth * operational_intensity,
+            self.config_bandwidth * i_oc,
+        )
+
+    def roofsurface(
+        self, operational_intensities: list[float], i_ocs: list[float]
+    ) -> list[list[float]]:
+        """Sample Eq. 5 on a grid (rows = I_OC, columns = I_operational)."""
+        return [
+            [self.attainable_combined(i_op, i_oc) for i_op in operational_intensities]
+            for i_oc in i_ocs
+        ]
+
+    # -- structure of the roofline ----------------------------------------
+
+    @property
+    def knee_intensity(self) -> float:
+        """The I_OC where the slanted and flat parts meet: P_peak/BW_config.
+
+        At the knee the system spends equal time configuring and computing —
+        the point of maximum discrepancy between sequential and concurrent
+        configuration (Section 4.3)."""
+        return self.peak_performance / self.config_bandwidth
+
+    def boundness(self, i_oc: float, tolerance: float = 1e-9) -> Boundness:
+        """Classify an algorithm by its position on the roofline."""
+        knee = self.knee_intensity
+        if math.isclose(i_oc, knee, rel_tol=1e-6):
+            return Boundness.KNEE
+        if i_oc < knee - tolerance:
+            return Boundness.CONFIG_BOUND
+        return Boundness.COMPUTE_BOUND
+
+    def is_config_bound(self, i_oc: float) -> bool:
+        return self.boundness(i_oc) is Boundness.CONFIG_BOUND
+
+    # -- optimization predictions (Section 4.7) -----------------------------
+
+    def overlap_headroom(self, i_oc: float) -> float:
+        """Predicted speedup of configuration–computation overlap: the ratio
+        between the concurrent and sequential rooflines at this intensity.
+        Maximal (2x) exactly at the knee point."""
+        sequential = self.attainable_sequential(i_oc)
+        if sequential == 0:
+            return 1.0
+        return self.attainable_concurrent(i_oc) / sequential
+
+    def utilization(self, i_oc: float, concurrent: bool) -> float:
+        """Attainable fraction of peak performance (Section 4.6's metric)."""
+        return self.attainable(i_oc, concurrent) / self.peak_performance
+
+    # -- inverse queries (design exploration) ------------------------------
+
+    def required_i_oc(self, utilization: float, concurrent: bool) -> float:
+        """The operation-to-configuration intensity needed to attain the
+        given fraction of peak (inverse of Eq. 2 / Eq. 3).
+
+        Useful for sizing macro-operations: "how much work must one
+        configuration amortize before the wall stops mattering?"
+        """
+        if not 0.0 < utilization < 1.0:
+            raise ValueError("utilization must be in (0, 1) exclusive")
+        target = utilization * self.peak_performance
+        if concurrent:
+            # target = BW * I_OC  (below the roof)
+            return target / self.config_bandwidth
+        # Eq. 3 inverted: 1/target = 1/P + 1/(BW * I_OC)
+        inverse_config = 1.0 / target - 1.0 / self.peak_performance
+        return 1.0 / (inverse_config * self.config_bandwidth)
+
+    def required_config_bandwidth(
+        self, i_oc: float, utilization: float, concurrent: bool
+    ) -> float:
+        """The configuration bandwidth a system needs so an algorithm with
+        intensity ``i_oc`` attains the given fraction of peak — the
+        hardware-design-side question (a faster config interface moves the
+        knee left)."""
+        if not 0.0 < utilization < 1.0:
+            raise ValueError("utilization must be in (0, 1) exclusive")
+        if i_oc <= 0:
+            raise ValueError("i_oc must be positive")
+        target = utilization * self.peak_performance
+        if concurrent:
+            return target / i_oc
+        inverse_config = 1.0 / target - 1.0 / self.peak_performance
+        return 1.0 / (inverse_config * i_oc)
+
+    # -- plot helpers --------------------------------------------------------
+
+    def sweep(
+        self,
+        i_oc_min: float = 0.25,
+        i_oc_max: float = 4096.0,
+        points: int = 64,
+    ) -> list[tuple[float, float, float]]:
+        """Log-spaced samples of (I_OC, sequential, concurrent) for plots."""
+        samples: list[tuple[float, float, float]] = []
+        log_min, log_max = math.log2(i_oc_min), math.log2(i_oc_max)
+        for i in range(points):
+            i_oc = 2.0 ** (log_min + (log_max - log_min) * i / (points - 1))
+            samples.append(
+                (
+                    i_oc,
+                    self.attainable_sequential(i_oc),
+                    self.attainable_concurrent(i_oc),
+                )
+            )
+        return samples
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One measured workload placed on the roofline plot."""
+
+    label: str
+    i_oc: float
+    performance: float  # achieved ops/cycle
+
+    def utilization(self, roofline: ConfigRoofline) -> float:
+        return self.performance / roofline.peak_performance

@@ -1,0 +1,9 @@
+"""Dialect definitions.
+
+Importing this package registers all ops, custom parsers, and dialect types
+with :mod:`repro.ir.registry`.
+"""
+
+from . import accfg, arith, builtin, func, linalg, scf  # noqa: F401
+
+__all__ = ["accfg", "arith", "builtin", "func", "linalg", "scf"]

@@ -1,0 +1,41 @@
+"""The builtin dialect: the top-level module container."""
+
+from __future__ import annotations
+
+from ..ir.block import Block, Region
+from ..ir.operation import Operation, VerifyError
+from ..ir.printer import Printer
+from ..ir.registry import register_custom_parser, register_op
+from ..ir.traits import IsolatedFromAbove
+
+
+@register_op
+class ModuleOp(Operation):
+    """Top-level container holding functions (and any other symbol ops)."""
+
+    name = "builtin.module"
+    traits = frozenset([IsolatedFromAbove()])
+
+    @staticmethod
+    def create(ops: list[Operation] | None = None) -> "ModuleOp":
+        body = Block(ops or [])
+        return ModuleOp(regions=[Region([body])])
+
+    @property
+    def body_block(self) -> Block:
+        return self.regions[0].block
+
+    def verify_(self) -> None:
+        if len(self.regions) != 1 or len(self.regions[0].blocks) != 1:
+            raise VerifyError("builtin.module must have exactly one block")
+
+    def print_custom(self, printer: Printer) -> None:
+        printer.emit("builtin.module ")
+        printer.print_region(self.regions[0])
+
+
+@register_custom_parser("builtin.module")
+def _parse_module(parser) -> ModuleOp:
+    region = parser.parse_region()
+    op = ModuleOp(regions=[region])
+    return op

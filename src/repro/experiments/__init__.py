@@ -1,0 +1,31 @@
+"""Experiment harnesses: one module per table/figure of the paper's
+evaluation (see DESIGN.md's per-experiment index)."""
+
+from . import (
+    example_4_6,
+    fig2_timeline,
+    fig10_gemmini,
+    fig11_opengemm,
+    fig12_roofline,
+    figure4_rooflines,
+    outlook_os_gemmini,
+    outlook_shapes,
+    outlook_tradeoff,
+    table1_fields,
+)
+from .common import ExperimentRun, run_workload
+
+__all__ = [
+    "example_4_6",
+    "fig2_timeline",
+    "fig10_gemmini",
+    "fig11_opengemm",
+    "fig12_roofline",
+    "figure4_rooflines",
+    "outlook_os_gemmini",
+    "outlook_shapes",
+    "outlook_tradeoff",
+    "table1_fields",
+    "ExperimentRun",
+    "run_workload",
+]

@@ -1,0 +1,96 @@
+"""Figure 11: performance of tiled matmul on OpenGeMM under the four
+optimization levels (base / dedup / overlap / both).
+
+Reproduces the paper's Section 6.2 methodology: cycle-level co-simulation of
+the tiling loop with scratchpad-resident data (no memory copies), all
+binaries built through the accfg flow, with the base applying neither
+deduplication nor overlap.
+
+Paper's claims (artifact appendix A.6): geomean speedup 1.99x, up to 2.71x
+for some sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backends.opengemm import OPENGEMM
+from ..core import format_series, geomean
+from ..workloads.matmul import build_opengemm_matmul
+from .common import ExperimentRun, run_workload
+
+DEFAULT_SIZES = (16, 32, 64, 128, 256)
+FULL_SIZES = (16, 32, 64, 128, 256, 512)
+VARIANTS = ("baseline", "dedup", "overlap", "full")
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    """One matrix size: the four optimization levels."""
+
+    size: int
+    runs: dict[str, ExperimentRun]
+
+    def speedup(self, variant: str) -> float:
+        return self.runs["baseline"].cycles / self.runs[variant].cycles
+
+    def performance(self, variant: str) -> float:
+        return self.runs[variant].performance
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    rows: list[Fig11Row]
+
+    def geomean_speedup(self, variant: str = "full") -> float:
+        return geomean([row.speedup(variant) for row in self.rows])
+
+    def max_speedup(self, variant: str = "full") -> float:
+        return max(row.speedup(variant) for row in self.rows)
+
+
+def run(sizes=DEFAULT_SIZES, functional: bool = True) -> Fig11Result:
+    rows = []
+    for size in sizes:
+        runs: dict[str, ExperimentRun] = {}
+        for variant in VARIANTS:
+            result = run_workload(
+                build_opengemm_matmul(size), variant, functional
+            )
+            if functional and not result.correct:
+                raise AssertionError(
+                    f"wrong matmul result: size {size}, variant {variant}"
+                )
+            runs[variant] = result
+        rows.append(Fig11Row(size, runs))
+    return Fig11Result(rows)
+
+
+def main(sizes=FULL_SIZES) -> None:
+    result = run(sizes)
+    print("Figure 11 — OpenGeMM tiled matmul, performance by optimization")
+    print(f"P_peak = {OPENGEMM.peak_ops_per_cycle} ops/cycle\n")
+    print(
+        format_series(
+            ("size", "base o/c", "dedup", "overlap", "both", "both speedup"),
+            [
+                (
+                    row.size,
+                    row.performance("baseline"),
+                    row.performance("dedup"),
+                    row.performance("overlap"),
+                    row.performance("full"),
+                    row.speedup("full"),
+                )
+                for row in result.rows
+            ],
+        )
+    )
+    print(
+        f"\ngeomean speedup (both): {result.geomean_speedup():.3f}x "
+        f"(paper: 1.99x), max: {result.max_speedup():.3f}x (paper: 2.71x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Figures 4 and 5: the configuration roofline curves and the roofsurface.
+
+Generates the model-only figures: the sequential vs. concurrent rooflines
+with their knee point and bound regions (Figure 4), and a sampled version of
+the combined 3-D "roofsurface" of Eq. 5 (Figure 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import ConfigRoofline, format_series
+
+#: A representative accelerator for the illustrative figures.
+DEFAULT_ROOFLINE = ConfigRoofline(
+    peak_performance=512.0, config_bandwidth=2.0, memory_bandwidth=64.0
+)
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    roofline: ConfigRoofline
+    samples: list[tuple[float, float, float]]  # (I_OC, sequential, concurrent)
+
+    @property
+    def knee(self) -> float:
+        return self.roofline.knee_intensity
+
+    def max_gap_location(self) -> float:
+        """The I_OC with the largest concurrent/sequential ratio — the paper
+        proves this is the knee point (Section 4.3)."""
+        best_i_oc, best_ratio = 0.0, 0.0
+        for i_oc, sequential, concurrent in self.samples:
+            if sequential > 0 and concurrent / sequential > best_ratio:
+                best_ratio = concurrent / sequential
+                best_i_oc = i_oc
+        return best_i_oc
+
+
+def run(
+    roofline: ConfigRoofline = DEFAULT_ROOFLINE, points: int = 49
+) -> Fig4Result:
+    samples = roofline.sweep(points=points)
+    return Fig4Result(roofline, samples)
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    roofline: ConfigRoofline
+    operational_intensities: list[float]
+    i_ocs: list[float]
+    surface: list[list[float]]
+
+
+def run_roofsurface(
+    roofline: ConfigRoofline = DEFAULT_ROOFLINE, points: int = 9
+) -> Fig5Result:
+    i_ops = [2.0**i for i in range(points)]
+    i_ocs = [2.0**i for i in range(points)]
+    return Fig5Result(roofline, i_ops, i_ocs, roofline.roofsurface(i_ops, i_ocs))
+
+
+def main() -> None:
+    result = run()
+    roofline = result.roofline
+    print("Figure 4 — sequential vs concurrent configuration rooflines")
+    print(
+        f"P_peak={roofline.peak_performance:g}, "
+        f"BW_config={roofline.config_bandwidth:g} B/cycle, "
+        f"knee at I_OC={result.knee:g} ops/B\n"
+    )
+    rows = []
+    for i_oc, sequential, concurrent in result.samples[::6]:
+        rows.append(
+            (
+                i_oc,
+                sequential,
+                concurrent,
+                roofline.boundness(i_oc).value,
+            )
+        )
+    print(format_series(("I_OC", "sequential", "concurrent", "region"), rows))
+    print(
+        f"\nlargest seq/conc gap at I_OC ≈ {result.max_gap_location():.1f} "
+        f"(knee: {result.knee:.1f}) — overlap pays off most at the knee"
+    )
+
+    surface = run_roofsurface()
+    print("\nFigure 5 — roofsurface (rows: I_OC, cols: I_operational)")
+    header = ("I_OC\\I_op", *(f"{v:g}" for v in surface.operational_intensities))
+    rows = [
+        (f"{i_oc:g}", *(f"{p:.0f}" for p in row))
+        for i_oc, row in zip(surface.i_ocs, surface.surface)
+    ]
+    print(format_series(header, rows, widths=9))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Beyond the paper: Gemmini's output-stationary flow.
+
+Section 6.1 predicts: "In Gemmini's output stationary flow (which we do not
+evaluate here), we would expect to see larger performance improvements"
+because the OS kernel sets up more parameters per invocation.  This
+experiment runs both dataflows through the same harness and checks the
+prediction: the accfg uplift on the output-stationary kernel should exceed
+the weight-stationary one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import format_series, geomean
+from ..workloads import build_gemmini_matmul
+from ..workloads.matmul import build_gemmini_os_matmul
+from .common import run_workload
+from .fig10_gemmini import BASELINE_PIPELINE, OPTIMIZED_PIPELINE, Fig10Row
+
+DEFAULT_SIZES = (32, 64, 128)
+
+
+@dataclass(frozen=True)
+class OutlookRow:
+    size: int
+    ws_uplift: float
+    os_uplift: float
+
+
+@dataclass(frozen=True)
+class OutlookResult:
+    rows: list[OutlookRow]
+
+    @property
+    def ws_geomean(self) -> float:
+        return geomean([row.ws_uplift for row in self.rows])
+
+    @property
+    def os_geomean(self) -> float:
+        return geomean([row.os_uplift for row in self.rows])
+
+    @property
+    def prediction_holds(self) -> bool:
+        return self.os_geomean > self.ws_geomean
+
+
+def _uplift(builder, size: int, functional: bool) -> float:
+    baseline = run_workload(builder(size), BASELINE_PIPELINE, functional)
+    optimized = run_workload(builder(size), OPTIMIZED_PIPELINE, functional)
+    if functional and not (baseline.correct and optimized.correct):
+        raise AssertionError(f"wrong result at size {size}")
+    row = Fig10Row(size, baseline, optimized)
+    return row.uplift
+
+
+def run(sizes=DEFAULT_SIZES, functional: bool = True) -> OutlookResult:
+    rows = []
+    for size in sizes:
+        rows.append(
+            OutlookRow(
+                size,
+                ws_uplift=_uplift(build_gemmini_matmul, size, functional),
+                os_uplift=_uplift(build_gemmini_os_matmul, size, functional),
+            )
+        )
+    return OutlookResult(rows)
+
+
+def main(sizes=DEFAULT_SIZES) -> None:
+    result = run(sizes)
+    print("Outlook — weight- vs output-stationary accfg uplift on Gemmini")
+    print("(paper predicts larger improvements for output-stationary)\n")
+    print(
+        format_series(
+            ("size", "WS uplift", "OS uplift"),
+            [(row.size, row.ws_uplift, row.os_uplift) for row in result.rows],
+        )
+    )
+    print(
+        f"\ngeomean: WS {result.ws_geomean:.3f}x vs OS {result.os_geomean:.3f}x "
+        f"-> prediction {'holds' if result.prediction_holds else 'DOES NOT hold'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Run every experiment in sequence (the repository's `run-all`).
+
+Usage::
+
+    python -m repro.experiments.runner [--quick]
+
+``--quick`` restricts the size sweeps so the whole suite finishes in well
+under a minute; the default sweep matches the paper's figures.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import (
+    example_4_6,
+    fig2_timeline,
+    fig10_gemmini,
+    fig11_opengemm,
+    fig12_roofline,
+    figure4_rooflines,
+    table1_fields,
+)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    separator = "\n" + "=" * 72 + "\n"
+
+    print(separator)
+    table1_fields.main()
+    print(separator)
+    example_4_6.main()
+    print(separator)
+    figure4_rooflines.main()
+    print(separator)
+    fig10_gemmini.main(sizes=(16, 32, 64) if quick else fig10_gemmini.DEFAULT_SIZES)
+    print(separator)
+    fig11_opengemm.main(sizes=(16, 32, 64) if quick else fig11_opengemm.FULL_SIZES)
+    print(separator)
+    fig12_roofline.main(sizes=(32, 64) if quick else fig12_roofline.DEFAULT_SIZES)
+    print(separator)
+    fig2_timeline.main()
+    print(separator)
+
+
+if __name__ == "__main__":
+    main()

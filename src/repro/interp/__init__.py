@@ -1,0 +1,17 @@
+"""Timed functional interpretation of accfg programs."""
+
+from .interpreter import (
+    Interpreter,
+    InterpreterError,
+    StateHandle,
+    config_feeding_ops,
+    run_module,
+)
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "StateHandle",
+    "config_feeding_ops",
+    "run_module",
+]

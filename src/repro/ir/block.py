@@ -1,0 +1,186 @@
+"""Blocks and regions.
+
+A :class:`Block` is an ordered list of operations plus a list of block
+arguments; a :class:`Region` is an ordered list of blocks owned by an
+operation.  The structured-control-flow dialect used in this project keeps
+every region single-block, but the data structures support multiple blocks so
+the design matches MLIR.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from .attributes import TypeAttribute
+from .operation import IRError, Operation
+from .ssa import BlockArgument, SSAValue
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class Block:
+    """A straight-line sequence of operations with entry arguments."""
+
+    __slots__ = ("args", "ops", "parent")
+
+    def __init__(
+        self,
+        ops: Sequence[Operation] = (),
+        arg_types: Sequence[TypeAttribute] = (),
+    ) -> None:
+        self.args: list[BlockArgument] = [
+            BlockArgument(t, self, i) for i, t in enumerate(arg_types)
+        ]
+        self.ops: list[Operation] = []
+        self.parent: Region | None = None
+        for op in ops:
+            self.add_op(op)
+
+    # -- op list management ----------------------------------------------
+
+    def add_op(self, op: Operation) -> None:
+        """Append ``op`` at the end of the block."""
+        self._adopt(op)
+        self.ops.append(op)
+
+    def add_ops(self, ops: Sequence[Operation]) -> None:
+        for op in ops:
+            self.add_op(op)
+
+    def insert_op_at(self, index: int, op: Operation) -> None:
+        self._adopt(op)
+        self.ops.insert(index, op)
+
+    def insert_op_before(self, anchor: Operation, op: Operation) -> None:
+        self.insert_op_at(self.index_of(anchor), op)
+
+    def insert_op_after(self, anchor: Operation, op: Operation) -> None:
+        self.insert_op_at(self.index_of(anchor) + 1, op)
+
+    def detach_op(self, op: Operation) -> Operation:
+        if op.parent is not self:
+            raise IRError("op is not in this block")
+        self.ops.remove(op)
+        op.parent = None
+        return op
+
+    def index_of(self, op: Operation) -> int:
+        for i, candidate in enumerate(self.ops):
+            if candidate is op:
+                return i
+        raise IRError(f"op '{op.name}' not found in block")
+
+    def _adopt(self, op: Operation) -> None:
+        if op.parent is not None:
+            raise IRError(
+                f"op '{op.name}' already belongs to a block; detach it first"
+            )
+        op.parent = self
+
+    # -- arguments ---------------------------------------------------------
+
+    def add_arg(self, type: TypeAttribute, name_hint: str | None = None) -> BlockArgument:
+        arg = BlockArgument(type, self, len(self.args), name_hint)
+        self.args.append(arg)
+        return arg
+
+    def erase_arg(self, arg: BlockArgument) -> None:
+        """Remove a (use-free) block argument and renumber the rest."""
+        if arg.has_uses:
+            raise IRError("cannot erase block argument that still has uses")
+        if arg.block is not self:
+            raise IRError("argument does not belong to this block")
+        self.args.remove(arg)
+        for i, remaining in enumerate(self.args):
+            remaining.index = i
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def first_op(self) -> Operation | None:
+        return self.ops[0] if self.ops else None
+
+    @property
+    def last_op(self) -> Operation | None:
+        return self.ops[-1] if self.ops else None
+
+    @property
+    def terminator(self) -> Operation | None:
+        last = self.last_op
+        return last if last is not None and last.is_terminator else None
+
+    @property
+    def parent_op(self) -> Operation | None:
+        return self.parent.parent if self.parent is not None else None
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return f"<Block with {len(self.ops)} ops>"
+
+
+class Region:
+    """An ordered list of blocks owned by an operation."""
+
+    __slots__ = ("blocks", "parent")
+
+    def __init__(self, blocks: Sequence[Block] = ()) -> None:
+        self.blocks: list[Block] = []
+        self.parent: Operation | None = None
+        for block in blocks:
+            self.add_block(block)
+
+    def add_block(self, block: Block) -> None:
+        if block.parent is not None:
+            raise IRError("block already belongs to a region")
+        block.parent = self
+        self.blocks.append(block)
+
+    @property
+    def block(self) -> Block:
+        """The single block (raises for multi-block regions)."""
+        if len(self.blocks) != 1:
+            raise IRError(f"region has {len(self.blocks)} blocks, expected 1")
+        return self.blocks[0]
+
+    @property
+    def empty(self) -> bool:
+        return not self.blocks or all(not b.ops for b in self.blocks)
+
+    def walk(self) -> Iterator[Operation]:
+        for block in self.blocks:
+            for op in list(block.ops):
+                yield from op.walk()
+
+    def __repr__(self) -> str:
+        return f"<Region with {len(self.blocks)} blocks>"
+
+
+def values_defined_above(region: Region) -> set[SSAValue]:
+    """Collect SSA values used inside ``region`` but defined outside it."""
+    inside_ops: set[int] = set()
+    inside_blocks: set[int] = set()
+    for block in region.blocks:
+        inside_blocks.add(id(block))
+        for op in block.ops:
+            for nested in op.walk():
+                inside_ops.add(id(nested))
+                for r in nested.regions:
+                    for b in r.blocks:
+                        inside_blocks.add(id(b))
+    captured: set[SSAValue] = set()
+    for op in region.walk():
+        for operand in op.operands:
+            owner = operand.owner
+            if isinstance(owner, Operation):
+                if id(owner) not in inside_ops:
+                    captured.add(operand)
+            else:
+                if id(owner) not in inside_blocks:
+                    captured.add(operand)
+    return captured

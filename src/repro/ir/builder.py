@@ -1,0 +1,91 @@
+"""IR construction helper.
+
+The :class:`Builder` maintains an insertion point (a block plus position) and
+inserts operations there, mirroring ``mlir::OpBuilder``.  Workload generators
+and lowering passes use it to emit IR without manual index bookkeeping.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .block import Block
+from .operation import IRError, Operation
+
+
+class InsertPoint:
+    """A position inside a block where new ops are inserted."""
+
+    __slots__ = ("block", "index")
+
+    def __init__(self, block: Block, index: int | None = None) -> None:
+        self.block = block
+        self.index = len(block.ops) if index is None else index
+
+    @staticmethod
+    def at_end(block: Block) -> "InsertPoint":
+        return InsertPoint(block)
+
+    @staticmethod
+    def at_start(block: Block) -> "InsertPoint":
+        return InsertPoint(block, 0)
+
+    @staticmethod
+    def before(op: Operation) -> "InsertPoint":
+        if op.parent is None:
+            raise IRError("op has no parent block")
+        return InsertPoint(op.parent, op.parent.index_of(op))
+
+    @staticmethod
+    def after(op: Operation) -> "InsertPoint":
+        if op.parent is None:
+            raise IRError("op has no parent block")
+        return InsertPoint(op.parent, op.parent.index_of(op) + 1)
+
+
+class Builder:
+    """Inserts operations at a movable insertion point."""
+
+    def __init__(self, insert_point: InsertPoint | None = None) -> None:
+        self._insert_point = insert_point
+
+    @staticmethod
+    def at_end(block: Block) -> "Builder":
+        return Builder(InsertPoint.at_end(block))
+
+    @staticmethod
+    def at_start(block: Block) -> "Builder":
+        return Builder(InsertPoint.at_start(block))
+
+    @property
+    def insert_point(self) -> InsertPoint:
+        if self._insert_point is None:
+            raise IRError("builder has no insertion point set")
+        return self._insert_point
+
+    @insert_point.setter
+    def insert_point(self, point: InsertPoint) -> None:
+        self._insert_point = point
+
+    def insert(self, op: Operation) -> Operation:
+        """Insert ``op`` at the current point and advance past it."""
+        point = self.insert_point
+        point.block.insert_op_at(point.index, op)
+        point.index += 1
+        return op
+
+    def insert_all(self, ops: list[Operation]) -> list[Operation]:
+        for op in ops:
+            self.insert(op)
+        return ops
+
+    @contextmanager
+    def at(self, point: InsertPoint) -> Iterator["Builder"]:
+        """Temporarily move the insertion point."""
+        saved = self._insert_point
+        self._insert_point = point
+        try:
+            yield self
+        finally:
+            self._insert_point = saved

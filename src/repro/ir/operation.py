@@ -1,0 +1,282 @@
+"""The :class:`Operation` base class.
+
+An operation is the unit of computation in the IR: it reads SSA operands,
+produces SSA results, carries a dictionary of attributes, and may contain
+nested regions.  Concrete ops subclass :class:`Operation`, set the class-level
+``name`` (``"dialect.opname"``), and usually add typed accessors.
+
+The operand list is managed exclusively through :meth:`set_operand`,
+:meth:`set_operands` and friends so that def-use chains stay consistent —
+direct mutation of ``_operands`` would corrupt use lists.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from .attributes import Attribute, TypeAttribute
+from .ssa import OpResult, SSAValue, Use
+from .traits import IsTerminator, OpTrait, Pure
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .block import Block, Region
+
+
+class IRError(Exception):
+    """Raised on malformed IR manipulations."""
+
+
+class VerifyError(IRError):
+    """Raised when IR fails verification."""
+
+
+class Operation:
+    """Base class of all operations."""
+
+    name: str = "builtin.unregistered"
+    traits: frozenset[OpTrait] = frozenset()
+    #: attribute names rendered by the op's custom syntax; any *other*
+    #: attribute (e.g. an ``accfg.effects`` annotation) is printed as a
+    #: trailing ``{...}`` dictionary so round-trips stay lossless
+    custom_printed_attrs: frozenset[str] = frozenset()
+
+    __slots__ = ("_operands", "results", "attributes", "regions", "parent")
+
+    def __init__(
+        self,
+        operands: Sequence[SSAValue] = (),
+        result_types: Sequence[TypeAttribute] = (),
+        attributes: dict[str, Attribute] | None = None,
+        regions: Sequence["Region"] = (),
+    ) -> None:
+        self._operands: list[SSAValue] = []
+        self.results: list[OpResult] = [
+            OpResult(t, self, i) for i, t in enumerate(result_types)
+        ]
+        self.attributes: dict[str, Attribute] = dict(attributes or {})
+        self.regions: list[Region] = []
+        self.parent: Block | None = None
+        for i, operand in enumerate(operands):
+            self._operands.append(operand)
+            operand.add_use(Use(self, i))
+        for region in regions:
+            self.add_region(region)
+
+    # -- operands ------------------------------------------------------------
+
+    @property
+    def operands(self) -> tuple[SSAValue, ...]:
+        return tuple(self._operands)
+
+    def set_operand(self, index: int, value: SSAValue) -> None:
+        """Replace operand ``index`` with ``value``, updating use lists."""
+        old = self._operands[index]
+        old.remove_use(Use(self, index))
+        self._operands[index] = value
+        value.add_use(Use(self, index))
+
+    def set_operands(self, values: Sequence[SSAValue]) -> None:
+        """Replace the whole operand list (lengths may differ)."""
+        for i, old in enumerate(self._operands):
+            old.remove_use(Use(self, i))
+        self._operands = list(values)
+        for i, new in enumerate(self._operands):
+            new.add_use(Use(self, i))
+
+    def drop_all_references(self) -> None:
+        """Remove this op's reads of its operands (used before erasing)."""
+        for i, old in enumerate(self._operands):
+            old.remove_use(Use(self, i))
+        self._operands = []
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.ops):
+                    op.drop_all_references()
+
+    # -- regions ---------------------------------------------------------
+
+    def add_region(self, region: "Region") -> None:
+        region.parent = self
+        self.regions.append(region)
+
+    @property
+    def parent_op(self) -> "Operation | None":
+        if self.parent is None:
+            return None
+        region = self.parent.parent
+        return region.parent if region is not None else None
+
+    def is_ancestor_of(self, other: "Operation") -> bool:
+        """True if ``other`` is nested (transitively) inside this op."""
+        current = other.parent_op
+        while current is not None:
+            if current is self:
+                return True
+            current = current.parent_op
+        return False
+
+    # -- structural helpers ----------------------------------------------
+
+    def detach(self) -> "Operation":
+        """Remove from the parent block without touching uses."""
+        if self.parent is not None:
+            self.parent.detach_op(self)
+        return self
+
+    def erase(self, safe: bool = True) -> None:
+        """Detach and delete this operation.
+
+        With ``safe=True`` (default) raises if any result still has uses.
+        """
+        if safe:
+            for result in self.results:
+                if result.has_uses:
+                    raise IRError(
+                        f"cannot erase '{self.name}': result #{result.index} "
+                        f"still has {len(result.uses)} use(s)"
+                    )
+        self.detach()
+        self.drop_all_references()
+
+    def walk(self, reverse: bool = False) -> Iterator["Operation"]:
+        """Yield this op and all nested ops, pre-order."""
+        yield self
+        regions = reversed(self.regions) if reverse else self.regions
+        for region in regions:
+            blocks = reversed(region.blocks) if reverse else region.blocks
+            for block in blocks:
+                ops = reversed(block.ops) if reverse else block.ops
+                for op in list(ops):
+                    yield from op.walk(reverse=reverse)
+
+    def is_before_in_block(self, other: "Operation") -> bool:
+        """True if both ops share a block and ``self`` comes first."""
+        if self.parent is None or self.parent is not other.parent:
+            raise IRError("ops are not in the same block")
+        return self.parent.index_of(self) < self.parent.index_of(other)
+
+    # -- traits ------------------------------------------------------------
+
+    @classmethod
+    def has_trait(cls, trait: OpTrait) -> bool:
+        return trait in cls.traits
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.has_trait(IsTerminator())
+
+    @property
+    def is_pure(self) -> bool:
+        return self.has_trait(Pure())
+
+    # -- cloning -----------------------------------------------------------
+
+    def clone(
+        self, value_map: dict[SSAValue, SSAValue] | None = None
+    ) -> "Operation":
+        """Deep-copy this op (and regions), remapping operands via
+        ``value_map``.  Results of cloned ops are added to the map so nested
+        references resolve to the clones."""
+        from .block import Block, Region
+
+        if value_map is None:
+            value_map = {}
+        new_operands = [value_map.get(o, o) for o in self._operands]
+        new_op = object.__new__(type(self))
+        Operation.__init__(
+            new_op,
+            operands=new_operands,
+            result_types=[r.type for r in self.results],
+            attributes=dict(self.attributes),
+        )
+        for old_res, new_res in zip(self.results, new_op.results):
+            new_res.name_hint = old_res.name_hint
+            value_map[old_res] = new_res
+        for region in self.regions:
+            new_region = Region()
+            for block in region.blocks:
+                new_block = Block(arg_types=[a.type for a in block.args])
+                for old_arg, new_arg in zip(block.args, new_block.args):
+                    new_arg.name_hint = old_arg.name_hint
+                    value_map[old_arg] = new_arg
+                new_region.add_block(new_block)
+            # Two passes so forward block references (rare) resolve; ops are
+            # cloned after all blocks/args exist.
+            for block, new_block in zip(region.blocks, new_region.blocks):
+                for op in block.ops:
+                    new_block.add_op(op.clone(value_map))
+            new_op.add_region(new_region)
+        return new_op
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self) -> None:
+        """Verify this operation and everything nested inside it."""
+        from .verifier import verify_operation
+
+        verify_operation(self)
+
+    def verify_(self) -> None:
+        """Op-specific verification hook; subclasses override."""
+
+    # -- folding / canonicalization hooks ------------------------------------
+
+    def fold(self) -> "list[SSAValue | Attribute] | None":
+        """Try to fold this op.
+
+        Returns ``None`` when no folding applies, otherwise a list with one
+        entry per result: either an existing :class:`SSAValue` to reuse or an
+        :class:`Attribute` to materialize as a constant.
+        """
+        return None
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def result(self) -> OpResult:
+        """The single result (raises if the op does not have exactly one)."""
+        if len(self.results) != 1:
+            raise IRError(f"'{self.name}' has {len(self.results)} results, not 1")
+        return self.results[0]
+
+    def __str__(self) -> str:
+        from .printer import print_operation
+
+        return print_operation(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class UnregisteredOp(Operation):
+    """An operation of a dialect the parser does not know.
+
+    Carries the textual name in ``op_name`` so round-tripping is lossless.
+    Treated pessimistically by every pass (unknown effects).
+    """
+
+    name = "builtin.unregistered"
+
+    __slots__ = ("op_name",)
+
+    def __init__(
+        self,
+        op_name: str,
+        operands: Sequence[SSAValue] = (),
+        result_types: Sequence[TypeAttribute] = (),
+        attributes: dict[str, Attribute] | None = None,
+        regions: Sequence["Region"] = (),
+    ) -> None:
+        super().__init__(operands, result_types, attributes, regions)
+        self.op_name = op_name
+
+    def clone(self, value_map: dict[SSAValue, SSAValue] | None = None) -> "Operation":
+        cloned = super().clone(value_map)
+        cloned.op_name = self.op_name  # type: ignore[attr-defined]
+        return cloned

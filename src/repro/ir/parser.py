@@ -1,0 +1,446 @@
+"""Textual IR parser.
+
+Reads the format produced by :mod:`repro.ir.printer` back into IR objects.
+Custom op syntax is resolved through the :mod:`repro.ir.registry` tables; any
+op printed in the generic ``"dialect.op"(...)`` form parses without dialect
+support (unknown names become :class:`UnregisteredOp`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    FunctionType,
+    IndexType,
+    IntegerAttr,
+    IntegerType,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttribute,
+    UnitAttr,
+)
+from .block import Block, Region
+from .operation import Operation, UnregisteredOp
+from .registry import CUSTOM_PARSERS, OP_REGISTRY, TYPE_PARSERS
+from .ssa import SSAValue
+
+
+class ParseError(Exception):
+    """Raised on malformed IR text, with line/column context."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>[ \t\r]+)
+  | (?P<COMMENT>//[^\n]*)
+  | (?P<NL>\n)
+  | (?P<ARROW>->)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<PERCENT>%[A-Za-z0-9_]+)
+  | (?P<AT>@[A-Za-z0-9_.$-]+)
+  | (?P<CARET>\^[A-Za-z0-9_]*)
+  | (?P<BANGID>![A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)
+  | (?P<HASHID>\#[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)
+  | (?P<INT>-?\d+)
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<PUNCT>[(){}\[\]<>=,:])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    line, line_start = 1, 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"line {line}:{column}: unexpected character {text[pos]!r}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind == "NL":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, value, line, pos - line_start + 1))
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser over the token stream.
+
+    Value names are resolved through a stack of scopes; entering a region
+    pushes a scope so names shadow correctly while enclosing definitions
+    remain visible (matching MLIR's visibility rules for non-isolated ops).
+    """
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+        self._scopes: list[dict[str, SSAValue]] = [{}]
+
+    # -- token access --------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        i = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[i]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        t = self.current
+        return ParseError(f"line {t.line}:{t.column}: {message} (found {t.text!r})")
+
+    def accept(self, text: str) -> bool:
+        if self.current.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if self.current.text != text:
+            raise self.error(f"expected {text!r}")
+        return self.advance()
+
+    def accept_kind(self, kind: str) -> Token | None:
+        if self.current.kind == kind:
+            return self.advance()
+        return None
+
+    def expect_kind(self, kind: str) -> Token:
+        if self.current.kind != kind:
+            raise self.error(f"expected {kind}")
+        return self.advance()
+
+    # -- scopes ------------------------------------------------------------
+
+    def push_scope(self) -> None:
+        self._scopes.append({})
+
+    def pop_scope(self) -> None:
+        self._scopes.pop()
+
+    def define_value(self, name: str, value: SSAValue) -> None:
+        value.name_hint = name
+        self._scopes[-1][name] = value
+
+    def lookup_value(self, name: str) -> SSAValue:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        raise self.error(f"use of undefined value %{name}")
+
+    # -- common fragments --------------------------------------------------
+
+    def parse_string(self) -> str:
+        token = self.expect_kind("STRING")
+        body = token.text[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\").replace("\\n", "\n")
+
+    def parse_int(self) -> int:
+        return int(self.expect_kind("INT").text)
+
+    def parse_value_use(self) -> SSAValue:
+        token = self.expect_kind("PERCENT")
+        return self.lookup_value(token.text[1:])
+
+    def parse_value_use_list(self, terminator: str) -> list[SSAValue]:
+        values: list[SSAValue] = []
+        if self.current.text == terminator:
+            return values
+        values.append(self.parse_value_use())
+        while self.accept(","):
+            values.append(self.parse_value_use())
+        return values
+
+    # -- types -------------------------------------------------------------
+
+    def parse_type(self) -> TypeAttribute:
+        token = self.current
+        if token.kind == "ID":
+            if token.text == "index":
+                self.advance()
+                return IndexType()
+            match = re.fullmatch(r"i(\d+)", token.text)
+            if match:
+                self.advance()
+                return IntegerType(int(match.group(1)))
+            raise self.error(f"unknown type '{token.text}'")
+        if token.kind == "BANGID":
+            dialect = token.text[1:].split(".", 1)[0]
+            parser_fn = TYPE_PARSERS.get(dialect)
+            if parser_fn is None:
+                raise self.error(f"no type parser for dialect '{dialect}'")
+            return parser_fn(self)
+        if token.text == "(":
+            return self.parse_function_type()
+        raise self.error("expected a type")
+
+    def parse_function_type(self) -> FunctionType:
+        self.expect("(")
+        inputs: list[TypeAttribute] = []
+        if not self.accept(")"):
+            inputs.append(self.parse_type())
+            while self.accept(","):
+                inputs.append(self.parse_type())
+            self.expect(")")
+        self.expect("->")
+        results: list[TypeAttribute] = []
+        if self.accept("("):
+            if not self.accept(")"):
+                results.append(self.parse_type())
+                while self.accept(","):
+                    results.append(self.parse_type())
+                self.expect(")")
+        else:
+            results.append(self.parse_type())
+        return FunctionType(tuple(inputs), tuple(results))
+
+    def parse_type_list(self) -> list[TypeAttribute]:
+        """Parse ``t`` or ``(t, t, ...)``."""
+        types: list[TypeAttribute] = []
+        if self.accept("("):
+            if not self.accept(")"):
+                types.append(self.parse_type())
+                while self.accept(","):
+                    types.append(self.parse_type())
+                self.expect(")")
+        else:
+            types.append(self.parse_type())
+        return types
+
+    # -- attributes ------------------------------------------------------
+
+    def parse_attribute(self) -> Attribute:
+        token = self.current
+        if token.kind == "STRING":
+            return StringAttr(self.parse_string())
+        if token.kind == "INT":
+            value = self.parse_int()
+            if self.accept(":"):
+                return IntegerAttr(value, self.parse_type())
+            return IntegerAttr(value)
+        if token.kind == "AT":
+            self.advance()
+            return SymbolRefAttr(token.text[1:])
+        if token.text == "true":
+            self.advance()
+            return BoolAttr(True)
+        if token.text == "false":
+            self.advance()
+            return BoolAttr(False)
+        if token.text == "unit":
+            self.advance()
+            return UnitAttr()
+        if token.text == "[":
+            self.advance()
+            elements: list[Attribute] = []
+            if not self.accept("]"):
+                elements.append(self.parse_attribute())
+                while self.accept(","):
+                    elements.append(self.parse_attribute())
+                self.expect("]")
+            return ArrayAttr(tuple(elements))
+        if token.kind == "HASHID":
+            from .registry import ATTR_PARSERS
+
+            dialect = token.text[1:].split(".", 1)[0]
+            parser_fn = ATTR_PARSERS.get(dialect)
+            if parser_fn is None:
+                raise self.error(f"no attribute parser for dialect '{dialect}'")
+            return parser_fn(self)
+        if token.kind in ("ID", "BANGID") or token.text == "(":
+            return self.parse_type()
+        raise self.error("expected an attribute")
+
+    def parse_attr_dict(self) -> dict[str, Attribute]:
+        attrs: dict[str, Attribute] = {}
+        if not self.accept("{"):
+            return attrs
+        if self.accept("}"):
+            return attrs
+        while True:
+            key_token = self.current
+            if key_token.kind not in ("ID", "STRING"):
+                raise self.error("expected attribute name")
+            key = self.parse_string() if key_token.kind == "STRING" else self.advance().text
+            if self.accept("="):
+                attrs[key] = self.parse_attribute()
+            else:
+                attrs[key] = UnitAttr()
+            if not self.accept(","):
+                break
+        self.expect("}")
+        return attrs
+
+    # -- operations ------------------------------------------------------
+
+    def parse_module(self) -> Operation:
+        """Parse a whole input: a ``builtin.module`` or a bare op list."""
+        from ..dialects.builtin import ModuleOp
+
+        if self.current.text == "builtin.module":
+            op = self.parse_operation()
+            if self.current.kind != "EOF":
+                raise self.error("unexpected trailing input")
+            if not isinstance(op, ModuleOp):
+                raise self.error("expected builtin.module at top level")
+            return op
+        block = Block()
+        while self.current.kind != "EOF":
+            block.add_op(self.parse_operation())
+        module = ModuleOp.create()
+        for op in list(block.ops):
+            block.detach_op(op)
+            module.body_block.add_op(op)
+        return module
+
+    def parse_operation(self) -> Operation:
+        result_names: list[str] = []
+        if self.current.kind == "PERCENT":
+            result_names.append(self.advance().text[1:])
+            while self.accept(","):
+                result_names.append(self.expect_kind("PERCENT").text[1:])
+            self.expect("=")
+        op = self._parse_op_body()
+        if result_names:
+            if len(result_names) != len(op.results):
+                raise self.error(
+                    f"op '{op.name}' produces {len(op.results)} results, "
+                    f"but {len(result_names)} names given"
+                )
+            for name, result in zip(result_names, op.results):
+                self.define_value(name, result)
+        return op
+
+    def _parse_op_body(self) -> Operation:
+        token = self.current
+        if token.kind == "STRING":
+            return self._parse_generic_op()
+        if token.kind == "ID":
+            custom = CUSTOM_PARSERS.get(token.text)
+            if custom is not None:
+                self.advance()
+                op = custom(self)
+                # Optional trailing attribute dictionary for annotations the
+                # custom syntax does not carry (e.g. accfg.effects).  A bare
+                # '{' can never start the next operation, so this is
+                # unambiguous.
+                if self.current.text == "{" and op.name != "builtin.module":
+                    op.attributes.update(self.parse_attr_dict())
+                return op
+            raise self.error(f"unknown operation '{token.text}'")
+        raise self.error("expected an operation")
+
+    def _parse_generic_op(self) -> Operation:
+        name = self.parse_string()
+        self.expect("(")
+        operands = self.parse_value_use_list(")")
+        self.expect(")")
+        attrs = self.parse_attr_dict()
+        self.expect(":")
+        func_type = self.parse_function_type()
+        if len(func_type.inputs) != len(operands):
+            raise self.error(
+                f"op '{name}': {len(operands)} operands but "
+                f"{len(func_type.inputs)} operand types"
+            )
+        regions: list[Region] = []
+        while self.current.text == "{":
+            regions.append(self.parse_region())
+        op_class = OP_REGISTRY.get(name)
+        if op_class is None:
+            return UnregisteredOp(
+                name,
+                operands=operands,
+                result_types=func_type.results,
+                attributes=attrs,
+                regions=regions,
+            )
+        op = object.__new__(op_class)
+        Operation.__init__(
+            op, operands=operands, result_types=func_type.results, attributes=attrs
+        )
+        for region in regions:
+            op.add_region(region)
+        return op
+
+    def parse_region(
+        self, entry_args: list[tuple[str, TypeAttribute]] | None = None
+    ) -> Region:
+        """Parse ``{ ... }``.
+
+        ``entry_args`` pre-declares entry block arguments whose names come
+        from the op's custom syntax (e.g. the induction variable of
+        ``scf.for``); otherwise an optional ``^bb(...):`` header is parsed.
+        """
+        self.expect("{")
+        self.push_scope()
+        block = Block()
+        if entry_args:
+            for arg_name, arg_type in entry_args:
+                arg = block.add_arg(arg_type, arg_name)
+                self.define_value(arg_name, arg)
+        elif self.current.kind == "CARET":
+            self.advance()
+            self.expect("(")
+            if not self.accept(")"):
+                while True:
+                    arg_token = self.expect_kind("PERCENT")
+                    self.expect(":")
+                    arg_type = self.parse_type()
+                    arg = block.add_arg(arg_type, arg_token.text[1:])
+                    self.define_value(arg_token.text[1:], arg)
+                    if not self.accept(","):
+                        break
+                self.expect(")")
+            self.expect(":")
+        while self.current.text != "}":
+            block.add_op(self.parse_operation())
+        self.expect("}")
+        self.pop_scope()
+        return Region([block])
+
+
+def parse_module(text: str) -> Operation:
+    """Parse IR text into a ``builtin.module`` op."""
+    # Importing the dialects registers ops, custom parsers, and type parsers.
+    from .. import dialects  # noqa: F401
+
+    return Parser(text).parse_module()
+
+
+def parse_operation(text: str) -> Operation:
+    """Parse a single operation from text (dialects must self-register)."""
+    from .. import dialects  # noqa: F401
+
+    parser = Parser(text)
+    op = parser.parse_operation()
+    if parser.current.kind != "EOF":
+        raise parser.error("unexpected trailing input")
+    return op

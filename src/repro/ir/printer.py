@@ -1,0 +1,185 @@
+"""Textual IR printer.
+
+Produces an MLIR-flavoured textual form that the companion parser
+(:mod:`repro.ir.parser`) reads back, enabling lossless round-trips for every
+registered operation.  Ops may define ``print_custom(printer)`` for pretty
+syntax; anything else is printed in the generic form::
+
+    %0, %1 = "dialect.op"(%a, %b) {attr = value} : (i64, i64) -> (i64, i64) { ...regions... }
+"""
+
+from __future__ import annotations
+
+import re
+
+from .attributes import (
+    ArrayAttr,
+    Attribute,
+    BoolAttr,
+    DictAttr,
+    FunctionType,
+    IntegerAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttribute,
+    UnitAttr,
+)
+from .block import Block, Region
+from .operation import Operation, UnregisteredOp
+from .ssa import SSAValue
+
+_VALID_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class Printer:
+    """Stateful printer assigning stable ``%`` names to SSA values."""
+
+    def __init__(self, indent_width: int = 2) -> None:
+        self._parts: list[str] = []
+        self._indent = 0
+        self._indent_width = indent_width
+        self._names: dict[SSAValue, str] = {}
+        self._used_names: set[str] = set()
+        self._counter = 0
+
+    # -- low-level emission ----------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self._parts.append(text)
+
+    def newline(self) -> None:
+        self._parts.append("\n" + " " * (self._indent * self._indent_width))
+
+    def result(self) -> str:
+        return "".join(self._parts)
+
+    # -- value naming --------------------------------------------------------
+
+    def assign_name(self, value: SSAValue) -> str:
+        if value in self._names:
+            return self._names[value]
+        hint = value.name_hint
+        if hint and _VALID_NAME.match(hint):
+            name = hint
+            suffix = 0
+            while name in self._used_names:
+                suffix += 1
+                name = f"{hint}_{suffix}"
+        else:
+            name = str(self._counter)
+            self._counter += 1
+        self._names[value] = name
+        self._used_names.add(name)
+        return name
+
+    def print_value(self, value: SSAValue) -> None:
+        self.emit(f"%{self.assign_name(value)}")
+
+    def print_value_list(self, values) -> None:
+        for i, value in enumerate(values):
+            if i:
+                self.emit(", ")
+            self.print_value(value)
+
+    # -- attributes ------------------------------------------------------
+
+    def print_attribute(self, attr: Attribute) -> None:
+        self.emit(format_attribute(attr))
+
+    def print_attr_dict(self, attrs: dict[str, Attribute]) -> None:
+        if not attrs:
+            return
+        entries = []
+        for key, value in attrs.items():
+            if isinstance(value, UnitAttr):
+                entries.append(key)
+            else:
+                entries.append(f"{key} = {format_attribute(value)}")
+        self.emit(" {" + ", ".join(entries) + "}")
+
+    # -- operations ------------------------------------------------------
+
+    def print_op(self, op: Operation) -> None:
+        if op.results:
+            self.print_value_list(op.results)
+            self.emit(" = ")
+        custom = getattr(op, "print_custom", None)
+        if custom is not None:
+            custom(self)
+            extras = {
+                key: value
+                for key, value in op.attributes.items()
+                if key not in op.custom_printed_attrs
+            }
+            self.print_attr_dict(extras)
+        else:
+            self._print_generic(op)
+
+    def _print_generic(self, op: Operation) -> None:
+        name = op.op_name if isinstance(op, UnregisteredOp) else op.name
+        self.emit(f'"{name}"(')
+        self.print_value_list(op.operands)
+        self.emit(")")
+        self.print_attr_dict(op.attributes)
+        self.emit(" : (")
+        self.emit(", ".join(str(o.type) for o in op.operands))
+        self.emit(") -> (")
+        self.emit(", ".join(str(r.type) for r in op.results))
+        self.emit(")")
+        for region in op.regions:
+            self.emit(" ")
+            self.print_region(region)
+
+    def print_region(self, region: Region) -> None:
+        self.emit("{")
+        self._indent += 1
+        for block in region.blocks:
+            self.print_block(block, explicit_header=len(region.blocks) > 1 or bool(block.args))
+        self._indent -= 1
+        self.newline()
+        self.emit("}")
+
+    def print_block(self, block: Block, explicit_header: bool) -> None:
+        if explicit_header:
+            self.newline()
+            self.emit("^bb(")
+            for i, arg in enumerate(block.args):
+                if i:
+                    self.emit(", ")
+                self.print_value(arg)
+                self.emit(f" : {arg.type}")
+            self.emit("):")
+        for op in block.ops:
+            self.newline()
+            self.print_op(op)
+
+
+def format_attribute(attr: Attribute) -> str:
+    """Render an attribute to its textual form."""
+    if isinstance(attr, IntegerAttr):
+        return f"{attr.value} : {attr.type}"
+    if isinstance(attr, BoolAttr):
+        return "true" if attr.value else "false"
+    if isinstance(attr, StringAttr):
+        return f'"{attr.value}"'
+    if isinstance(attr, SymbolRefAttr):
+        return f"@{attr.name}"
+    if isinstance(attr, ArrayAttr):
+        return "[" + ", ".join(format_attribute(e) for e in attr.elements) + "]"
+    if isinstance(attr, DictAttr):
+        inner = ", ".join(f"{k} = {format_attribute(v)}" for k, v in attr.entries)
+        return "{" + inner + "}"
+    if isinstance(attr, UnitAttr):
+        return "unit"
+    if isinstance(attr, FunctionType):
+        return str(attr)
+    if isinstance(attr, TypeAttribute):
+        return str(attr)
+    return str(attr)
+
+
+def print_operation(op: Operation) -> str:
+    """Print a single operation (with nested regions) to a string."""
+    printer = Printer()
+    printer.print_op(op)
+    return printer.result()

@@ -1,0 +1,215 @@
+"""Rewriting infrastructure.
+
+Two layers, mirroring MLIR:
+
+* :class:`Rewriter` — static structural helpers (replace, erase, move,
+  inline) that keep def-use chains consistent.
+* :class:`RewritePattern` + :func:`apply_patterns_greedily` — a worklist
+  driver that applies local patterns to fixpoint, used by canonicalization
+  and by the accfg optimization passes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .block import Block
+from .builder import Builder, InsertPoint
+from .operation import IRError, Operation
+from .ssa import SSAValue
+
+
+class Rewriter:
+    """Structural IR edits that keep the def-use graph consistent."""
+
+    @staticmethod
+    def erase_op(op: Operation) -> None:
+        op.erase()
+
+    @staticmethod
+    def replace_op(
+        op: Operation,
+        new_ops: Operation | Sequence[Operation],
+        new_results: Sequence[SSAValue | None] | None = None,
+    ) -> None:
+        """Insert ``new_ops`` before ``op``, reroute its results, erase it.
+
+        ``new_results`` defaults to the results of the last new op.  ``None``
+        entries assert the corresponding result was unused.
+        """
+        if isinstance(new_ops, Operation):
+            new_ops = [new_ops]
+        block = op.parent
+        if block is None:
+            raise IRError("cannot replace an op without a parent block")
+        index = block.index_of(op)
+        for offset, new_op in enumerate(new_ops):
+            block.insert_op_at(index + offset, new_op)
+        if new_results is None:
+            new_results = list(new_ops[-1].results) if new_ops else []
+        if len(new_results) != len(op.results):
+            raise IRError(
+                f"replacement provides {len(new_results)} results, "
+                f"op '{op.name}' has {len(op.results)}"
+            )
+        for old, new in zip(op.results, new_results):
+            if new is None:
+                if old.has_uses:
+                    raise IRError("result marked dead still has uses")
+                continue
+            old.replace_all_uses_with(new)
+        op.erase()
+
+    @staticmethod
+    def replace_values(op: Operation, new_results: Sequence[SSAValue]) -> None:
+        """Reroute all of ``op``'s results to existing values and erase it."""
+        for old, new in zip(op.results, new_results):
+            old.replace_all_uses_with(new)
+        op.erase()
+
+    @staticmethod
+    def move_op_before(op: Operation, anchor: Operation) -> None:
+        op.detach()
+        if anchor.parent is None:
+            raise IRError("anchor has no parent block")
+        anchor.parent.insert_op_before(anchor, op)
+
+    @staticmethod
+    def move_op_after(op: Operation, anchor: Operation) -> None:
+        op.detach()
+        if anchor.parent is None:
+            raise IRError("anchor has no parent block")
+        anchor.parent.insert_op_after(anchor, op)
+
+    @staticmethod
+    def inline_block_before(
+        block: Block, anchor: Operation, arg_values: Sequence[SSAValue]
+    ) -> None:
+        """Move all ops of ``block`` before ``anchor``, substituting block
+        arguments with ``arg_values``.  The terminator must be removed by the
+        caller beforehand (or be absent)."""
+        if len(arg_values) != len(block.args):
+            raise IRError("argument count mismatch when inlining block")
+        for arg, value in zip(block.args, arg_values):
+            arg.replace_all_uses_with(value)
+        target = anchor.parent
+        if target is None:
+            raise IRError("anchor has no parent block")
+        for op in list(block.ops):
+            block.detach_op(op)
+            target.insert_op_before(anchor, op)
+
+
+class RewritePattern:
+    """A local rewrite; subclasses implement :meth:`match_and_rewrite`."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: "PatternRewriter") -> bool:
+        """Attempt to rewrite ``op``; return True iff IR was changed."""
+        raise NotImplementedError
+
+
+class PatternRewriter(Rewriter):
+    """Rewriter handed to patterns; records whether anything changed and
+    which ops were touched so the driver can re-enqueue neighbours."""
+
+    def __init__(self) -> None:
+        self.changed = False
+        self.touched: list[Operation] = []
+
+    def notify_changed(self, *ops: Operation) -> None:
+        self.changed = True
+        self.touched.extend(ops)
+
+    def erase_op(self, op: Operation) -> None:  # type: ignore[override]
+        for operand in op.operands:
+            owner = operand.owner
+            if isinstance(owner, Operation):
+                self.touched.append(owner)
+        Rewriter.erase_op(op)
+        self.changed = True
+
+    def replace_op(
+        self,
+        op: Operation,
+        new_ops: Operation | Sequence[Operation],
+        new_results: Sequence[SSAValue | None] | None = None,
+    ) -> None:  # type: ignore[override]
+        users = [u for r in op.results for u in r.users()]
+        Rewriter.replace_op(op, new_ops, new_results)
+        self.changed = True
+        self.touched.extend(users)
+        if isinstance(new_ops, Operation):
+            self.touched.append(new_ops)
+        else:
+            self.touched.extend(new_ops)
+
+    def replace_values(
+        self, op: Operation, new_results: Sequence[SSAValue]
+    ) -> None:  # type: ignore[override]
+        users = [u for r in op.results for u in r.users()]
+        Rewriter.replace_values(op, new_results)
+        self.changed = True
+        self.touched.extend(users)
+
+    def insert_op_before(self, anchor: Operation, op: Operation) -> None:
+        if anchor.parent is None:
+            raise IRError("anchor has no parent block")
+        anchor.parent.insert_op_before(anchor, op)
+        self.notify_changed(op)
+
+    def insert_op_after(self, anchor: Operation, op: Operation) -> None:
+        if anchor.parent is None:
+            raise IRError("anchor has no parent block")
+        anchor.parent.insert_op_after(anchor, op)
+        self.notify_changed(op)
+
+
+def apply_patterns_greedily(
+    root: Operation,
+    patterns: Sequence[RewritePattern],
+    max_iterations: int = 50,
+) -> bool:
+    """Apply ``patterns`` over all ops nested in ``root`` until fixpoint.
+
+    Returns True if any pattern fired.  The driver walks the IR fresh on each
+    sweep; a sweep with no changes terminates the loop.  ``max_iterations``
+    guards against non-converging pattern sets.
+    """
+    def still_attached(op: Operation) -> bool:
+        current: Operation | None = op
+        while current is not None:
+            if current is root:
+                return True
+            current = current.parent_op
+        return False
+
+    changed_any = False
+    for _ in range(max_iterations):
+        rewriter = PatternRewriter()
+        sweep_changed = False
+        for op in list(root.walk()):
+            if op is not root and not still_attached(op):
+                continue  # erased by an earlier pattern in this sweep
+            for pattern in patterns:
+                try:
+                    fired = pattern.match_and_rewrite(op, rewriter)
+                except IRError:
+                    raise
+                if fired or rewriter.changed:
+                    sweep_changed = True
+                    rewriter.changed = False
+                    break  # op may be gone; move to next op
+        if not sweep_changed:
+            break
+        changed_any = True
+    return changed_any
+
+
+__all__ = [
+    "Rewriter",
+    "RewritePattern",
+    "PatternRewriter",
+    "apply_patterns_greedily",
+    "Builder",
+    "InsertPoint",
+]

@@ -1,0 +1,109 @@
+"""IR verification.
+
+Checks structural invariants that every pass relies on:
+
+* def-use consistency (operand use lists match actual operand slots),
+* dominance inside blocks (a value is defined before it is used),
+* visibility across regions (an op may use values from enclosing regions
+  unless some ancestor is ``IsolatedFromAbove``),
+* terminator placement, and
+* per-op invariants via each op's ``verify_`` hook.
+"""
+
+from __future__ import annotations
+
+from .block import Block, Region
+from .operation import Operation, VerifyError
+from .ssa import BlockArgument, OpResult, SSAValue, Use
+from .traits import IsolatedFromAbove, IsTerminator
+
+
+def verify_operation(root: Operation) -> None:
+    """Verify ``root`` and all nested operations; raises :class:`VerifyError`."""
+    _verify_structure(root)
+    _verify_dominance(root)
+    for op in root.walk():
+        op.verify_()
+
+
+def _verify_structure(root: Operation) -> None:
+    for op in root.walk():
+        for i, operand in enumerate(op.operands):
+            if Use(op, i) not in operand.uses:
+                raise VerifyError(
+                    f"def-use inconsistency: '{op.name}' operand #{i} is not "
+                    f"recorded as a use of its value"
+                )
+        for region in op.regions:
+            if region.parent is not op:
+                raise VerifyError(f"region of '{op.name}' has wrong parent link")
+            for block in region.blocks:
+                if block.parent is not region:
+                    raise VerifyError(f"block in '{op.name}' has wrong parent link")
+                for nested in block.ops:
+                    if nested.parent is not block:
+                        raise VerifyError(
+                            f"op '{nested.name}' has wrong parent block link"
+                        )
+                _verify_terminator(block)
+
+
+def _verify_terminator(block: Block) -> None:
+    for i, op in enumerate(block.ops):
+        if op.has_trait(IsTerminator()) and i != len(block.ops) - 1:
+            raise VerifyError(
+                f"terminator '{op.name}' is not the last op in its block"
+            )
+
+
+def _verify_dominance(root: Operation) -> None:
+    """Check that every use is dominated by its definition.
+
+    With single-block regions and structured control flow, dominance reduces
+    to: the defining op appears earlier in the same block, or the definition
+    (op result or block argument) lives in a block that is an ancestor of the
+    user — without crossing an ``IsolatedFromAbove`` boundary.
+    """
+    for op in root.walk():
+        for i, operand in enumerate(op.operands):
+            if not _value_visible(operand, op):
+                raise VerifyError(
+                    f"operand #{i} of '{op.name}' violates dominance/visibility"
+                )
+
+
+def _value_visible(value: SSAValue, user: Operation) -> bool:
+    # An op's operands are read in its *parent's* context, so the user's own
+    # IsolatedFromAbove trait is irrelevant; but once we walk up past an
+    # ancestor, finding the definition outside that ancestor while the
+    # ancestor is isolated means the value illegally crosses its boundary.
+    if isinstance(value, OpResult):
+        def_op = value.op
+        def_block = def_op.parent
+        if def_block is None:
+            return False
+        current: Operation | None = user
+        while current is not None:
+            if current is not user and current.has_trait(IsolatedFromAbove()):
+                return False
+            if current.parent is def_block:
+                anchor = current
+                return def_op is not anchor and def_op.is_before_in_block(anchor)
+            current = current.parent_op
+        return False
+    if isinstance(value, BlockArgument):
+        def_block = value.block
+        current = user
+        while current is not None:
+            if current is not user and current.has_trait(IsolatedFromAbove()):
+                return False
+            if current.parent is def_block:
+                return True
+            current = current.parent_op
+        return False
+    return False
+
+
+def verify_region_has_single_block(op: Operation, region: Region) -> None:
+    if len(region.blocks) != 1:
+        raise VerifyError(f"'{op.name}' expects a single-block region")

@@ -1,0 +1,41 @@
+"""Instruction-level host accounting: instruction records, field packing,
+traces, and the host cost model."""
+
+from .encoding import (
+    FieldSpec,
+    PackedWord,
+    pack_fields,
+    packing_instruction_count,
+    total_config_bytes,
+)
+from .instructions import (
+    HostCostModel,
+    Instr,
+    InstrCategory,
+    alu,
+    branch,
+    config_write,
+    launch_instr,
+    load_imm,
+    sync_instr,
+)
+from .trace import Trace, TraceStats
+
+__all__ = [
+    "FieldSpec",
+    "PackedWord",
+    "pack_fields",
+    "packing_instruction_count",
+    "total_config_bytes",
+    "HostCostModel",
+    "Instr",
+    "InstrCategory",
+    "alu",
+    "branch",
+    "config_write",
+    "launch_instr",
+    "load_imm",
+    "sync_instr",
+    "Trace",
+    "TraceStats",
+]

@@ -1,0 +1,91 @@
+"""Configuration field packing.
+
+Models the bit-packing of Listing 1: accelerator configuration fields are
+frequently narrower than a machine word, so the host packs several of them
+into one register before issuing a configuration write.  These helpers
+compute the packed words, the number of machine words a field set occupies,
+and the scalar-instruction cost of packing — the ``T_calc bytes`` component
+of effective configuration bandwidth (Eq. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One configuration field: its name, meaning, and bit width (Table 1)."""
+
+    name: str
+    bits: int
+    meaning: str = ""
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.bits <= 64:
+            raise ValueError(f"field '{self.name}' width {self.bits} out of range")
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+
+@dataclass(frozen=True)
+class PackedWord:
+    """A machine word holding one or more fields at bit offsets."""
+
+    lanes: tuple[tuple[FieldSpec, int], ...]  # (field, bit offset)
+
+    @property
+    def bits_used(self) -> int:
+        return sum(spec.bits for spec, _ in self.lanes)
+
+    def encode(self, values: dict[str, int]) -> int:
+        word = 0
+        for spec, offset in self.lanes:
+            value = values.get(spec.name, 0) & spec.mask
+            word |= value << offset
+        return word
+
+    def decode(self, word: int) -> dict[str, int]:
+        return {
+            spec.name: (word >> offset) & spec.mask for spec, offset in self.lanes
+        }
+
+
+def pack_fields(fields: list[FieldSpec], word_bits: int = 64) -> list[PackedWord]:
+    """Greedy first-fit packing of fields into machine words, in order.
+
+    Mirrors how accelerator C APIs lay out macro-instruction operands: fields
+    are packed densely in declaration order, starting a new word when the
+    next field does not fit.
+    """
+    words: list[PackedWord] = []
+    lanes: list[tuple[FieldSpec, int]] = []
+    offset = 0
+    for spec in fields:
+        if offset + spec.bits > word_bits:
+            words.append(PackedWord(tuple(lanes)))
+            lanes, offset = [], 0
+        lanes.append((spec, offset))
+        offset += spec.bits
+    if lanes:
+        words.append(PackedWord(tuple(lanes)))
+    return words
+
+
+def packing_instruction_count(word: PackedWord) -> int:
+    """Scalar instructions to assemble one packed word at runtime.
+
+    The first lane is a plain register move (or already in place); every
+    further lane needs a shift and an or (Listing 1's ``slli``/``or``
+    ladder).
+    """
+    extra_lanes = max(0, len(word.lanes) - 1)
+    return 1 + 2 * extra_lanes
+
+
+def total_config_bytes(fields: list[FieldSpec]) -> int:
+    """Exact configuration payload in bytes (sum of field widths, rounded
+    up per field to whole bytes the way register interfaces transfer them)."""
+    return sum((spec.bits + 7) // 8 for spec in fields)

@@ -1,0 +1,82 @@
+"""Optimization passes: generic cleanups plus the accfg-specific rewrites
+from the paper (state tracing, configuration deduplication, configuration
+overlap)."""
+
+from .canonicalize import CanonicalizePass
+from .cse import CSEPass
+from .dce import DCEPass
+from .dedup import (
+    DedupPass,
+    KnownFields,
+    KnownFieldsAnalysis,
+    eliminate_redundant_fields,
+    hoist_invariant_setup_fields,
+    hoist_setups_into_branches,
+    merge_consecutive_setups,
+    remove_empty_setups,
+)
+from .inline import InlinePass
+from .licm import LICMPass
+from .lower_linalg import ConvertLinalgToAccfgPass, LoweringError
+from .overlap import OverlapPass, overlap_straight_line, pipeline_loop
+from .pass_manager import (
+    PASS_REGISTRY,
+    ModulePass,
+    PassManager,
+    PassStatistics,
+    register_pass,
+)
+from .pipeline import (
+    PIPELINES,
+    baseline_pipeline,
+    none_pipeline,
+    volatile_baseline_pipeline,
+    dedup_pipeline,
+    full_pipeline,
+    overlap_pipeline,
+    pipeline_by_name,
+)
+from .unroll import UnrollPass
+from .trace_states import (
+    StateTracer,
+    TraceStatesPass,
+    state_linearity_diagnostics,
+)
+
+__all__ = [
+    "CanonicalizePass",
+    "CSEPass",
+    "DCEPass",
+    "DedupPass",
+    "KnownFields",
+    "KnownFieldsAnalysis",
+    "eliminate_redundant_fields",
+    "hoist_invariant_setup_fields",
+    "hoist_setups_into_branches",
+    "merge_consecutive_setups",
+    "remove_empty_setups",
+    "LICMPass",
+    "InlinePass",
+    "ConvertLinalgToAccfgPass",
+    "LoweringError",
+    "OverlapPass",
+    "overlap_straight_line",
+    "pipeline_loop",
+    "PASS_REGISTRY",
+    "ModulePass",
+    "PassManager",
+    "PassStatistics",
+    "register_pass",
+    "PIPELINES",
+    "baseline_pipeline",
+    "none_pipeline",
+    "volatile_baseline_pipeline",
+    "dedup_pipeline",
+    "full_pipeline",
+    "overlap_pipeline",
+    "pipeline_by_name",
+    "StateTracer",
+    "TraceStatesPass",
+    "state_linearity_diagnostics",
+    "UnrollPass",
+]

@@ -1,0 +1,140 @@
+"""Canonicalization: constant folding, algebraic identities, dead-code
+elimination of pure ops, and structural simplification of scf ops.
+
+The paper (Section 5.2) notes that representing configuration explicitly in
+the IR lets ordinary compiler optimizations — constant folding, CSE, LICM —
+attack configuration-parameter computation "for free"; this pass implements
+the folding part.  Bit-packing expressions such as ``(K << 32) | (J << 16) |
+I`` (Listing 1) collapse to constants whenever the operands are static, which
+directly raises the effective configuration bandwidth (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from ..dialects import arith, scf
+from ..ir.attributes import Attribute
+from ..ir.operation import Operation
+from ..ir.rewriter import (
+    PatternRewriter,
+    RewritePattern,
+    apply_patterns_greedily,
+)
+from ..ir.ssa import SSAValue
+from .pass_manager import ModulePass, register_pass
+
+
+class FoldPattern(RewritePattern):
+    """Apply each op's ``fold`` hook, materializing attribute results."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        folded = op.fold()
+        if folded is None:
+            return False
+        replacements: list[SSAValue] = []
+        new_ops: list[Operation] = []
+        for entry in folded:
+            if isinstance(entry, Attribute):
+                constant = arith.materialize_attr(entry)
+                new_ops.append(constant)
+                replacements.append(constant.result)
+            else:
+                replacements.append(entry)
+        block = op.parent
+        if block is None:
+            return False
+        for new_op in new_ops:
+            block.insert_op_before(op, new_op)
+        rewriter.replace_values(op, replacements)
+        return True
+
+
+class DeadPureOpPattern(RewritePattern):
+    """Erase pure ops none of whose results are used."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not op.is_pure or op.is_terminator or op.parent is None:
+            return False
+        if op.regions:
+            return False
+        if any(result.has_uses for result in op.results):
+            return False
+        rewriter.erase_op(op)
+        return True
+
+
+class SimplifyConstantIfPattern(RewritePattern):
+    """Replace ``scf.if`` on a constant condition with the taken branch."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, scf.IfOp) or op.parent is None:
+            return False
+        cond = arith.constant_value(op.condition)
+        if cond is None:
+            return False
+        if cond:
+            block = op.then_block
+        else:
+            if not op.has_else:
+                rewriter.erase_op(op)
+                return True
+            block = op.else_block
+        terminator = block.terminator
+        yielded: list[SSAValue] = []
+        if isinstance(terminator, scf.YieldOp):
+            yielded = list(terminator.operands)
+            terminator.erase()
+        rewriter.inline_block_before(block, op, [])
+        rewriter.replace_values(op, yielded)
+        return True
+
+
+class SimplifyTrivialLoopPattern(RewritePattern):
+    """Drop ``scf.for`` loops that execute zero times (constant bounds)."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, scf.ForOp) or op.parent is None:
+            return False
+        lb = arith.constant_value(op.lb)
+        ub = arith.constant_value(op.ub)
+        if lb is None or ub is None or lb < ub:
+            return False
+        rewriter.replace_values(op, list(op.iter_inits))
+        return True
+
+
+class DedupConstantPattern(RewritePattern):
+    """Merge identical constants within one block (local constant uniquing)."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, arith.ConstantOp) or op.parent is None:
+            return False
+        for earlier in op.parent.ops:
+            if earlier is op:
+                return False
+            if (
+                isinstance(earlier, arith.ConstantOp)
+                and earlier.value == op.value
+                and earlier.result.type == op.result.type
+            ):
+                rewriter.replace_values(op, [earlier.result])
+                return True
+        return False
+
+
+DEFAULT_PATTERNS: tuple[RewritePattern, ...] = (
+    FoldPattern(),
+    DeadPureOpPattern(),
+    SimplifyConstantIfPattern(),
+    SimplifyTrivialLoopPattern(),
+    DedupConstantPattern(),
+)
+
+
+@register_pass
+class CanonicalizePass(ModulePass):
+    """Greedy application of folding + cleanup patterns to fixpoint."""
+
+    name = "canonicalize"
+
+    def apply(self, module: Operation) -> None:
+        apply_patterns_greedily(module, DEFAULT_PATTERNS)

@@ -1,0 +1,59 @@
+"""Common sub-expression elimination.
+
+Scoped by region nesting: an op inside a loop body may be replaced by an
+identical op in an enclosing block (the enclosing value is visible inside the
+region), but not vice versa.  Only pure, region-free ops participate.
+
+The paper leans on CSE as a correctness amplifier for configuration
+deduplication (Section 5.4): dedup compares setup fields by SSA-value
+identity, and CSE is what makes "same computed value" become "same SSA
+value".
+"""
+
+from __future__ import annotations
+
+from collections import ChainMap
+
+from ..ir.attributes import Attribute
+from ..ir.block import Block
+from ..ir.operation import Operation
+from ..ir.rewriter import Rewriter
+from .pass_manager import ModulePass, register_pass
+
+
+def _op_key(op: Operation) -> tuple | None:
+    """A hashable structural key; None when the op cannot be CSE'd."""
+    if not op.is_pure or op.regions or op.is_terminator:
+        return None
+    attrs: list[tuple[str, Attribute]] = sorted(op.attributes.items())
+    return (
+        op.name,
+        tuple(id(operand) for operand in op.operands),
+        tuple(attrs),
+        tuple(result.type for result in op.results),
+    )
+
+
+@register_pass
+class CSEPass(ModulePass):
+    """Eliminate structurally identical pure ops within nested scopes."""
+
+    name = "cse"
+
+    def apply(self, module: Operation) -> None:
+        for region in module.regions:
+            for block in region.blocks:
+                self._process_block(block, ChainMap())
+
+    def _process_block(self, block: Block, known: ChainMap) -> None:
+        for op in list(block.ops):
+            key = _op_key(op)
+            if key is not None:
+                existing = known.get(key)
+                if existing is not None:
+                    Rewriter.replace_values(op, list(existing.results))
+                    continue
+                known[key] = op
+            for region in op.regions:
+                for nested in region.blocks:
+                    self._process_block(nested, known.new_child())

@@ -1,0 +1,32 @@
+"""Dead-code elimination for pure ops.
+
+Removes pure operations whose results are all unused, iterating until
+fixpoint so chains of dead computation disappear.  A reverse walk makes most
+chains die in a single sweep.
+"""
+
+from __future__ import annotations
+
+from ..ir.operation import Operation
+from .pass_manager import ModulePass, register_pass
+
+
+@register_pass
+class DCEPass(ModulePass):
+    """Erase pure operations whose results are never used."""
+
+    name = "dce"
+
+    def apply(self, module: Operation) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for op in list(module.walk(reverse=True)):
+                if op is module or op.parent is None:
+                    continue
+                if not op.is_pure or op.is_terminator or op.regions:
+                    continue
+                if any(result.has_uses for result in op.results):
+                    continue
+                op.erase()
+                changed = True

@@ -1,0 +1,392 @@
+"""Configuration deduplication (paper, Section 5.4).
+
+Removes setup-field writes the compiler can prove redundant: a write of the
+same value to a register that already holds it.  SSA-value identity is the
+proxy for runtime-value equality — an SSA value cannot be reassigned, so two
+reads of the same SSA value always see the same runtime value (and values
+defined inside a loop body can never alias across iterations, because a
+previous iteration's activation is a different SSA scope).
+
+The pass pipeline inside ``accfg-dedup`` follows Section 5.4.1:
+
+1. *hoist into branches* — sink a post-``scf.if`` setup into both branches so
+   each branch regains a linear setup chain;
+2. *loop-invariant setup-field hoisting* — move fields that stay constant for
+   the whole loop into a fresh setup right before the loop (Figure 9, second
+   block);
+3. *redundant-field elimination* — drop fields whose known register value is
+   the same SSA value, using a known-fields dataflow over the state chain;
+4. *cleanups* — erase empty setups and merge launch-free consecutive setups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dialects import accfg, scf
+from ..ir.operation import Operation
+from ..ir.ssa import BlockArgument, OpResult, SSAValue
+from .licm import is_defined_outside
+from .pass_manager import ModulePass, register_pass
+
+
+# ---------------------------------------------------------------------------
+# Known-fields dataflow
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KnownFields:
+    """What the analysis knows about configuration register contents.
+
+    ``is_top`` marks the optimistic lattice top used to break cycles through
+    loop-carried states: "every field holds whatever you need, except the
+    explicit overrides in ``fields``".  Concrete answers always have
+    ``is_top=False``, with ``fields`` mapping field name -> SSA value.
+    """
+
+    is_top: bool = False
+    fields: dict[str, SSAValue] = field(default_factory=dict)
+
+    @staticmethod
+    def top() -> "KnownFields":
+        return KnownFields(is_top=True)
+
+    @staticmethod
+    def bottom() -> "KnownFields":
+        return KnownFields()
+
+    def updated(self, new_fields: dict[str, SSAValue]) -> "KnownFields":
+        merged = dict(self.fields)
+        merged.update(new_fields)
+        return KnownFields(self.is_top, merged)
+
+
+def intersect(a: KnownFields, b: KnownFields) -> KnownFields:
+    if a.is_top and b.is_top:
+        return KnownFields(
+            True, {k: v for k, v in a.fields.items() if b.fields.get(k, v) is v}
+        )
+    if a.is_top:
+        a, b = b, a
+    if b.is_top:
+        # b knows everything except where it overrides with a different value.
+        return KnownFields(
+            False,
+            {k: v for k, v in a.fields.items() if b.fields.get(k, v) is v},
+        )
+    return KnownFields(
+        False, {k: v for k, v in a.fields.items() if b.fields.get(k) is v}
+    )
+
+
+class KnownFieldsAnalysis:
+    """Computes register contents represented by a state SSA value."""
+
+    def __init__(self, accelerator: str) -> None:
+        self.accelerator = accelerator
+        self._cache: dict[SSAValue, KnownFields] = {}
+        self._in_progress: set[SSAValue] = set()
+
+    def known(self, state: SSAValue | None) -> KnownFields:
+        if state is None:
+            return KnownFields.bottom()
+        if state in self._cache:
+            return self._cache[state]
+        if state in self._in_progress:
+            return KnownFields.top()
+        self._in_progress.add(state)
+        try:
+            result = self._compute(state)
+        finally:
+            self._in_progress.discard(state)
+        self._cache[state] = result
+        return result
+
+    def _compute(self, state: SSAValue) -> KnownFields:
+        if isinstance(state, OpResult):
+            op = state.op
+            if isinstance(op, accfg.SetupOp):
+                base = self.known(op.in_state)
+                return base.updated(dict(op.fields))
+            if isinstance(op, scf.IfOp):
+                index = state.index
+                then_yield = op.then_block.terminator
+                else_yield = op.else_block.terminator if op.has_else else None
+                if not isinstance(then_yield, scf.YieldOp) or not isinstance(
+                    else_yield, scf.YieldOp
+                ):
+                    return KnownFields.bottom()
+                return intersect(
+                    self.known(then_yield.operands[index]),
+                    self.known(else_yield.operands[index]),
+                )
+            if isinstance(op, scf.ForOp):
+                index = state.index
+                return intersect(
+                    self.known(op.iter_inits[index]),
+                    self.known(op.yield_op.operands[index]),
+                )
+            return KnownFields.bottom()
+        if isinstance(state, BlockArgument):
+            block = state.block
+            parent = block.parent_op
+            if isinstance(parent, scf.ForOp) and block is parent.body:
+                if state.index == 0:
+                    return KnownFields.bottom()  # induction variable, not state
+                iter_index = state.index - 1
+                return intersect(
+                    self.known(parent.iter_inits[iter_index]),
+                    self.known(parent.yield_op.operands[iter_index]),
+                )
+            return KnownFields.bottom()
+        return KnownFields.bottom()
+
+
+# ---------------------------------------------------------------------------
+# Rewrites
+# ---------------------------------------------------------------------------
+
+
+def _defined_before(value: SSAValue, op: Operation) -> bool:
+    """True when ``value`` is available right before ``op``'s position."""
+    owner = value.owner
+    if isinstance(owner, Operation):
+        current: Operation | None = op
+        while current is not None:
+            if current.parent is owner.parent:
+                return owner.is_before_in_block(current)
+            current = current.parent_op
+        return False
+    # Block argument: visible if op is nested under the defining block.
+    current = op
+    while current is not None:
+        if current.parent is owner:
+            return True
+        current = current.parent_op
+    return False
+
+
+def hoist_setups_into_branches(root: Operation) -> bool:
+    """Sink a setup whose input state is an ``scf.if`` result into both
+    branches, restoring linear setup chains (Section 5.4.1)."""
+    changed = False
+    for op in list(root.walk()):
+        if not isinstance(op, accfg.SetupOp) or op.parent is None:
+            continue
+        in_state = op.in_state
+        if not isinstance(in_state, OpResult) or not isinstance(
+            in_state.op, scf.IfOp
+        ):
+            continue
+        if_op = in_state.op
+        if if_op.parent is not op.parent:
+            continue
+        # The state between the if and the setup must not be observed by
+        # anything else, and all field values must dominate the if.
+        if len(in_state.uses) != 1 or not if_op.has_else:
+            continue
+        if not all(_defined_before(v, if_op) for _, v in op.fields):
+            continue
+        state_index = in_state.index
+        for branch in (if_op.then_block, if_op.else_block):
+            terminator = branch.terminator
+            assert isinstance(terminator, scf.YieldOp)
+            branch_state = terminator.operands[state_index]
+            clone = accfg.SetupOp.create(
+                op.accelerator, list(op.fields), branch_state
+            )
+            branch.insert_op_before(terminator, clone)
+            terminator.set_operand(state_index, clone.out_state)
+        op.out_state.replace_all_uses_with(in_state)
+        op.erase()
+        changed = True
+    return changed
+
+
+def _top_level_setups(loop: scf.ForOp, accelerator: str) -> list[accfg.SetupOp]:
+    return [
+        op
+        for op in loop.body.ops
+        if isinstance(op, accfg.SetupOp) and op.accelerator == accelerator
+    ]
+
+
+def _loop_certainly_runs(loop: scf.ForOp) -> bool:
+    """True when the loop provably executes at least one iteration."""
+    from ..dialects import arith
+
+    lb = arith.constant_value(loop.lb)
+    ub = arith.constant_value(loop.ub)
+    return lb is not None and ub is not None and lb < ub
+
+
+def _insert_guarded_setup(
+    loop: scf.ForOp,
+    accelerator: str,
+    fields: list[tuple[str, SSAValue]],
+    init: SSAValue,
+) -> SSAValue:
+    """Insert a setup before ``loop``, guarded by ``lb < ub`` when the loop
+    might run zero times (writing registers the original program never wrote
+    would be observable by later launches)."""
+    from ..dialects import arith
+
+    assert loop.parent is not None
+    if _loop_certainly_runs(loop):
+        pre = accfg.SetupOp.create(accelerator, fields, init)
+        loop.parent.insert_op_before(loop, pre)
+        return pre.out_state
+    cond = arith.CmpiOp.create("ult", loop.lb, loop.ub)
+    loop.parent.insert_op_before(loop, cond)
+    state_type = accfg.StateType(accelerator)
+    if_op = scf.IfOp.create(cond.result, [state_type])
+    guarded = accfg.SetupOp.create(accelerator, fields, init)
+    if_op.then_block.add_op(guarded)
+    if_op.then_block.add_op(scf.YieldOp.create([guarded.out_state]))
+    if_op.else_block.add_op(scf.YieldOp.create([init]))
+    loop.parent.insert_op_before(loop, if_op)
+    return if_op.results[0]
+
+
+def hoist_invariant_setup_fields(root: Operation) -> bool:
+    """Move loop-invariant setup fields out of ``scf.for`` bodies.
+
+    A field can be hoisted when (a) its value is defined outside the loop,
+    (b) it is written by exactly one top-level setup in the body (two
+    launches with different parameters forbid hoisting, Section 5.4.1), and
+    (c) the loop threads the accelerator state through ``iter_args`` so the
+    pre-loop write is visible to every iteration.
+    """
+    changed = False
+    loops = [op for op in root.walk() if isinstance(op, scf.ForOp)]
+    for loop in reversed(loops):  # innermost first
+        changed |= _hoist_fields_from_loop(loop)
+    return changed
+
+
+def _hoist_fields_from_loop(loop: scf.ForOp) -> bool:
+    changed = False
+    # Find state iter-args of this loop.
+    for arg_index, (arg, init) in enumerate(zip(loop.iter_args, loop.iter_inits)):
+        if not isinstance(arg.type, accfg.StateType):
+            continue
+        accelerator = arg.type.accelerator
+        setups = _top_level_setups(loop, accelerator)
+        if not setups:
+            continue
+        field_writers: dict[str, list[accfg.SetupOp]] = {}
+        for setup in setups:
+            for name, _ in setup.fields:
+                field_writers.setdefault(name, []).append(setup)
+        hoisted: list[tuple[str, SSAValue]] = []
+        for setup in setups:
+            keep: list[tuple[str, SSAValue]] = []
+            for name, value in setup.fields:
+                if len(field_writers[name]) == 1 and is_defined_outside(value, loop):
+                    hoisted.append((name, value))
+                else:
+                    keep.append((name, value))
+            if len(keep) != len(setup.fields):
+                setup.set_fields(keep)
+                changed = True
+        if hoisted:
+            new_init = _insert_guarded_setup(loop, accelerator, hoisted, init)
+            loop.set_operand(3 + arg_index, new_init)
+    return changed
+
+
+def eliminate_redundant_fields(root: Operation) -> bool:
+    """Drop setup fields whose register already holds the same SSA value."""
+    changed = False
+    analyses: dict[str, KnownFieldsAnalysis] = {}
+    for op in list(root.walk()):
+        if not isinstance(op, accfg.SetupOp) or op.parent is None:
+            continue
+        if op.in_state is None:
+            continue
+        analysis = analyses.setdefault(
+            op.accelerator, KnownFieldsAnalysis(op.accelerator)
+        )
+        known = analysis.known(op.in_state)
+        keep = [
+            (name, value)
+            for name, value in op.fields
+            if known.fields.get(name) is not value
+        ]
+        if len(keep) != len(op.fields):
+            op.set_fields(keep)
+            analysis._cache.clear()  # field sets changed; recompute lazily
+            changed = True
+    return changed
+
+
+def remove_empty_setups(root: Operation) -> bool:
+    """Erase setups that write nothing: forward their input state (or drop
+    result-free anchors entirely when unused)."""
+    changed = False
+    for op in list(root.walk()):
+        if not isinstance(op, accfg.SetupOp) or op.parent is None:
+            continue
+        if op.fields:
+            continue
+        in_state = op.in_state
+        if in_state is not None:
+            op.out_state.replace_all_uses_with(in_state)
+            op.erase()
+            changed = True
+        elif not op.out_state.has_uses:
+            op.erase()
+            changed = True
+    return changed
+
+
+def merge_consecutive_setups(root: Operation) -> bool:
+    """Merge a setup chain ``s1 -> s2`` when nothing else observes ``s1``."""
+    changed = False
+    for op in list(root.walk()):
+        if not isinstance(op, accfg.SetupOp) or op.parent is None:
+            continue
+        in_state = op.in_state
+        if not isinstance(in_state, OpResult):
+            continue
+        producer = in_state.op
+        if not isinstance(producer, accfg.SetupOp):
+            continue
+        if producer.parent is not op.parent:
+            continue
+        if len(in_state.uses) != 1:
+            continue  # a launch or another op observes the intermediate state
+        overridden = set(op.field_names)
+        merged_fields = [
+            (name, value)
+            for name, value in producer.fields
+            if name not in overridden
+        ] + list(op.fields)
+        merged = accfg.SetupOp.create(
+            op.accelerator, merged_fields, producer.in_state
+        )
+        assert op.parent is not None
+        op.parent.insert_op_before(op, merged)
+        op.out_state.replace_all_uses_with(merged.out_state)
+        op.erase()
+        producer.erase()
+        changed = True
+    return changed
+
+
+@register_pass
+class DedupPass(ModulePass):
+    """Configuration deduplication (step 3 of the flow, Figure 8)."""
+
+    name = "accfg-dedup"
+
+    def apply(self, module: Operation) -> None:
+        for _ in range(20):
+            changed = hoist_setups_into_branches(module)
+            changed |= hoist_invariant_setup_fields(module)
+            changed |= eliminate_redundant_fields(module)
+            changed |= merge_consecutive_setups(module)
+            changed |= remove_empty_setups(module)
+            if not changed:
+                break

@@ -1,0 +1,102 @@
+"""Function inlining.
+
+Calls are optimization barriers for accelerator state (unless annotated);
+inlining removes the barrier altogether, letting state tracing and
+deduplication see through what used to be a function boundary — the
+practical counterpart to the paper's outlook on cross-function effects
+(Section 8).
+
+Only direct calls to same-module, non-recursive function definitions are
+inlined; declarations and (mutually) recursive calls are left in place.
+"""
+
+from __future__ import annotations
+
+from ..dialects import func
+from ..dialects.builtin import ModuleOp
+from ..ir.operation import Operation
+from ..ir.rewriter import Rewriter
+from ..ir.ssa import SSAValue
+from .pass_manager import ModulePass, register_pass
+
+
+def _function_map(module: ModuleOp) -> dict[str, func.FuncOp]:
+    return {
+        op.sym_name: op
+        for op in module.body_block.ops
+        if isinstance(op, func.FuncOp)
+    }
+
+
+def _calls_in(fn: func.FuncOp) -> set[str]:
+    return {
+        op.callee for op in fn.walk() if isinstance(op, func.CallOp)
+    }
+
+
+def _recursive_functions(functions: dict[str, func.FuncOp]) -> set[str]:
+    """Functions on a call cycle (including self-recursion)."""
+    edges = {
+        name: (_calls_in(fn) if not fn.is_declaration else set())
+        for name, fn in functions.items()
+    }
+    def reaches(start: str, target: str, seen: set[str]) -> bool:
+        if start in seen:
+            return False
+        seen.add(start)
+        for callee in edges.get(start, ()):
+            if callee == target or reaches(callee, target, seen):
+                return True
+        return False
+
+    return {name for name in functions if reaches(name, name, set())}
+
+
+def inline_call(call: func.CallOp, callee: func.FuncOp) -> None:
+    """Replace ``call`` with a clone of ``callee``'s body."""
+    value_map: dict[SSAValue, SSAValue] = dict(
+        zip(callee.args, call.operands)
+    )
+    block = call.parent
+    assert block is not None
+    index = block.index_of(call)
+    returned: list[SSAValue] = []
+    for op in callee.body.ops:
+        if isinstance(op, func.ReturnOp):
+            returned = [value_map.get(v, v) for v in op.operands]
+            break
+        clone = op.clone(value_map)
+        block.insert_op_at(index, clone)
+        index += 1
+    Rewriter.replace_values(call, returned)
+
+
+@register_pass
+class InlinePass(ModulePass):
+    """Inline direct calls to local, non-recursive function definitions."""
+
+    name = "inline"
+
+    def __init__(self, max_rounds: int = 8) -> None:
+        self.max_rounds = max_rounds
+
+    def apply(self, module: Operation) -> None:
+        assert isinstance(module, ModuleOp)
+        for _ in range(self.max_rounds):
+            functions = _function_map(module)
+            recursive = _recursive_functions(functions)
+            changed = False
+            for op in list(module.walk()):
+                if not isinstance(op, func.CallOp) or op.parent is None:
+                    continue
+                callee = functions.get(op.callee)
+                if (
+                    callee is None
+                    or callee.is_declaration
+                    or op.callee in recursive
+                ):
+                    continue
+                inline_call(op, callee)
+                changed = True
+            if not changed:
+                break

@@ -1,0 +1,73 @@
+"""Loop-invariant code motion.
+
+Hoists pure ops out of ``scf.for`` bodies when every operand is defined
+outside the loop.  Runs innermost-first so invariants bubble all the way out
+of loop nests.  This is one of the stock optimizations the paper notes accfg
+code benefits from once configuration computation is visible IR instead of
+volatile inline assembly (Section 5.2); the accfg-specific variant that
+hoists *individual setup fields* lives in :mod:`repro.passes.dedup`.
+"""
+
+from __future__ import annotations
+
+from ..dialects import scf
+from ..ir.block import Block
+from ..ir.operation import Operation
+from ..ir.rewriter import Rewriter
+from ..ir.ssa import SSAValue
+from .pass_manager import ModulePass, register_pass
+
+
+def is_defined_outside(value: SSAValue, loop: scf.ForOp) -> bool:
+    """True when ``value`` does not depend on the loop body (or the loop)."""
+    owner = value.owner
+    if isinstance(owner, Block):
+        # A block argument: outside unless it belongs to a block nested in
+        # (or equal to) the loop body.
+        block: Block | None = owner
+        while block is not None:
+            if block is loop.body:
+                return False
+            parent_op = block.parent_op
+            block = parent_op.parent if parent_op is not None else None
+        return True
+    current: Operation | None = owner
+    while current is not None:
+        if current is loop:
+            return False
+        current = current.parent_op
+    return True
+
+
+def hoistable_ops(loop: scf.ForOp) -> list[Operation]:
+    """Pure region-free body ops whose operands are all loop-invariant."""
+    result = []
+    for op in loop.body.ops:
+        if not op.is_pure or op.regions or op.is_terminator:
+            continue
+        if all(is_defined_outside(operand, loop) for operand in op.operands):
+            result.append(op)
+    return result
+
+
+@register_pass
+class LICMPass(ModulePass):
+    """Hoist loop-invariant pure computation out of scf.for bodies."""
+
+    name = "licm"
+
+    def apply(self, module: Operation) -> None:
+        # Collect loops innermost-first: a post-order over the walk.
+        loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+        for loop in reversed(loops):
+            self._hoist_from(loop)
+
+    def _hoist_from(self, loop: scf.ForOp) -> None:
+        changed = True
+        while changed:
+            changed = False
+            if loop.parent is None:
+                return
+            for op in hoistable_ops(loop):
+                Rewriter.move_op_before(op, loop)
+                changed = True

@@ -1,0 +1,231 @@
+"""convert-linalg-to-accfg: step 1 of the compilation flow (Figure 8).
+
+Lowers named high-level computations into tiled setup/launch/await clusters
+for a chosen accelerator.  This is the *only* accelerator-specific
+transformation on the input side of the pipeline: everything downstream
+(tracing, dedup, overlap) is shared across targets, which is the paper's
+central engineering claim.
+
+The lowering is deliberately naive — every invocation writes every field —
+because that is what a stateless rewrite produces; making it efficient is
+the optimizer's job, not the frontend's.
+"""
+
+from __future__ import annotations
+
+from ..backends import opengemm as opengemm_backend
+from ..backends.gemmini import (
+    ARRAY_DIM,
+    OP_COMPUTE,
+    OP_MVIN,
+    OP_MVOUT,
+    OP_PRELOAD,
+)
+from ..dialects import linalg
+from ..ir.builder import Builder, InsertPoint
+from ..ir.operation import Operation
+from ..workloads.irgen import IRGen
+from .pass_manager import ModulePass, register_pass
+
+#: Which accelerator each linalg op lowers to by default.
+DEFAULT_TARGETS = {
+    "linalg.matmul": "opengemm",
+    "linalg.elementwise": "toyvec",
+}
+
+
+class LoweringError(Exception):
+    """Raised when an op cannot be lowered to the requested target."""
+
+
+def lower_matmul_to_opengemm(op: linalg.MatmulOp) -> None:
+    """Tile a matmul into 8 x K x 8 OpenGeMM invocations (one per output
+    tile), mirroring the paper's OpenGeMM evaluation workload."""
+    mesh = opengemm_backend.MESH
+    m, k, n = op.dim("m"), op.dim("k"), op.dim("n")
+    if m % mesh or n % mesh:
+        raise LoweringError(f"matmul dims must be multiples of {mesh} for opengemm")
+    gen = IRGen(Builder(InsertPoint.before(op)))
+    zero = gen.const(0)
+    one = gen.const(1)
+    m_tiles = gen.const(m // mesh)
+    n_tiles = gen.const(n // mesh)
+    with gen.loop(zero, m_tiles, one) as (_, ti):
+        with gen.loop(zero, n_tiles, one) as (_, tj):
+            c8 = gen.const(mesh)
+            k_c = gen.const(k)
+            n_c = gen.const(n)
+            row = gen.mul(ti, c8)
+            col = gen.mul(tj, c8)
+            ptr_a = gen.add(op.a, gen.mul(row, k_c))
+            ptr_b = gen.add(op.b, col)
+            c_elems = gen.add(gen.mul(row, n_c), col)
+            ptr_c = gen.add(op.c, gen.mul(c_elems, gen.const(4)))
+            state = gen.setup(
+                "opengemm",
+                [
+                    ("M", c8),
+                    ("K", k_c),
+                    ("N", c8),
+                    ("ptr_A", ptr_a),
+                    ("ptr_B", ptr_b),
+                    ("ptr_C", ptr_c),
+                    ("stride_A", k_c),
+                    ("stride_B", n_c),
+                    ("stride_C", n_c),
+                    ("subtractions", gen.const(0)),
+                ],
+            )
+            gen.await_(gen.launch(state))
+    op.erase()
+
+
+def lower_matmul_to_gemmini(op: linalg.MatmulOp) -> None:
+    """Tile a matmul into Gemmini's fine-grained weight-stationary flow."""
+    dim = ARRAY_DIM
+    m, k, n = op.dim("m"), op.dim("k"), op.dim("n")
+    if m % dim or k % dim or n % dim:
+        raise LoweringError(f"matmul dims must be multiples of {dim} for gemmini")
+    gen = IRGen(Builder(InsertPoint.before(op)))
+    zero = gen.const(0)
+    one = gen.const(1)
+    dim_c = gen.const(dim)
+    four = gen.const(4)
+    k_c = gen.const(k)
+    n_c = gen.const(n)
+
+    state = gen.setup(
+        "gemmini",
+        [("stride_A", k_c), ("stride_B", n_c), ("stride_C", n_c)],
+    )
+
+    def tile_addr(base, trow, tcol, row_len, elem_bytes=None):
+        row = gen.mul(trow, dim_c)
+        col = gen.mul(tcol, dim_c)
+        elems = gen.add(gen.mul(row, row_len), col)
+        if elem_bytes is not None:
+            elems = gen.mul(elems, elem_bytes)
+        return gen.add(base, elems)
+
+    op_mvin = gen.const(OP_MVIN)
+    op_preload = gen.const(OP_PRELOAD)
+    op_compute = gen.const(OP_COMPUTE)
+    op_mvout = gen.const(OP_MVOUT)
+    m_tiles = gen.const(m // dim)
+    k_tiles = gen.const(k // dim)
+    n_tiles = gen.const(n // dim)
+    with gen.loop(zero, k_tiles, one) as (_, tk):
+        with gen.loop(zero, n_tiles, one) as (_, tj):
+            gen.launch(
+                state,
+                [("op", op_mvin), ("ld_addr", tile_addr(op.b, tk, tj, n_c))],
+            )
+    with gen.loop(zero, m_tiles, one) as (_, ti):
+        with gen.loop(zero, k_tiles, one) as (_, tk):
+            gen.launch(
+                state,
+                [("op", op_mvin), ("ld_addr", tile_addr(op.a, ti, tk, k_c))],
+            )
+    with gen.loop(zero, m_tiles, one) as (_, ti):
+        with gen.loop(zero, n_tiles, one) as (_, tj):
+            with gen.loop(zero, k_tiles, one) as (_, tk):
+                acc = gen.select(gen.cmp("eq", tk, zero), zero, one)
+                gen.launch(
+                    state,
+                    [
+                        ("op", op_preload),
+                        ("preload_addr", tile_addr(op.b, tk, tj, n_c)),
+                        ("st_addr", tile_addr(op.c, ti, tj, n_c, four)),
+                        ("acc", acc),
+                    ],
+                )
+                token = gen.launch(
+                    state,
+                    [("op", op_compute), ("ld_addr", tile_addr(op.a, ti, tk, k_c))],
+                )
+                gen.await_(token)
+            gen.launch(
+                state,
+                [("op", op_mvout), ("ld_addr", tile_addr(op.c, ti, tj, n_c, four))],
+            )
+    op.erase()
+
+
+_ELEMENTWISE_OPCODES = {"add": 0, "mul": 1, "max": 2}
+
+
+def lower_elementwise_to_toyvec(
+    op: linalg.ElementwiseOp, chunk: int = 64
+) -> None:
+    """Chunk an elementwise op over the 8-lane vector engine."""
+    n = op.n
+    gen = IRGen(Builder(InsertPoint.before(op)))
+    zero = gen.const(0)
+    one = gen.const(1)
+    full_chunks, tail = divmod(n, chunk)
+    opcode = gen.const(_ELEMENTWISE_OPCODES[op.kind])
+    if full_chunks:
+        chunks_c = gen.const(full_chunks)
+        with gen.loop(zero, chunks_c, one) as (_, i):
+            bytes_off = gen.mul(gen.mul(i, gen.const(chunk)), gen.const(4))
+            state = gen.setup(
+                "toyvec",
+                [
+                    ("ptr_x", gen.add(op.x, bytes_off)),
+                    ("ptr_y", gen.add(op.y, bytes_off)),
+                    ("ptr_out", gen.add(op.out, bytes_off)),
+                    ("n", gen.const(chunk)),
+                    ("op", opcode),
+                ],
+            )
+            gen.await_(gen.launch(state))
+    if tail:
+        tail_off = gen.const(full_chunks * chunk * 4)
+        state = gen.setup(
+            "toyvec",
+            [
+                ("ptr_x", gen.add(op.x, tail_off)),
+                ("ptr_y", gen.add(op.y, tail_off)),
+                ("ptr_out", gen.add(op.out, tail_off)),
+                ("n", gen.const(tail)),
+                ("op", opcode),
+            ],
+        )
+        gen.await_(gen.launch(state))
+    op.erase()
+
+
+_MATMUL_LOWERINGS = {
+    "opengemm": lower_matmul_to_opengemm,
+    "gemmini": lower_matmul_to_gemmini,
+}
+
+
+@register_pass
+class ConvertLinalgToAccfgPass(ModulePass):
+    """Lower every linalg op to accfg clusters on its assigned target."""
+
+    name = "convert-linalg-to-accfg"
+
+    def __init__(self, targets: dict[str, str] | None = None) -> None:
+        self.targets = dict(DEFAULT_TARGETS)
+        if targets:
+            self.targets.update(targets)
+
+    def apply(self, module: Operation) -> None:
+        for op in list(module.walk()):
+            if isinstance(op, linalg.MatmulOp):
+                target = self.targets["linalg.matmul"]
+                lowering = _MATMUL_LOWERINGS.get(target)
+                if lowering is None:
+                    raise LoweringError(
+                        f"no matmul lowering for target '{target}'"
+                    )
+                lowering(op)
+            elif isinstance(op, linalg.ElementwiseOp):
+                target = self.targets["linalg.elementwise"]
+                if target != "toyvec":
+                    raise LoweringError(
+                        f"no elementwise lowering for target '{target}'"
+                    )
+                lower_elementwise_to_toyvec(op)

@@ -1,0 +1,106 @@
+"""Preset pass pipelines for the five-step compilation flow (Figure 8).
+
+Step 1 (frontend conversion to accfg clusters) and step 5 (target lowering)
+are accelerator specific and live in :mod:`repro.backends`; the pipelines
+here cover the shared middle: state tracing (2), deduplication (3), and
+overlap (4), bracketed by the standard cleanups accfg unlocks.
+"""
+
+from __future__ import annotations
+
+from .canonicalize import CanonicalizePass
+from .cse import CSEPass
+from .dce import DCEPass
+from .dedup import DedupPass
+from .licm import LICMPass
+from .overlap import OverlapPass
+from .pass_manager import PassManager
+from .trace_states import TraceStatesPass
+
+
+def cleanup_pipeline() -> list:
+    """The stock optimizations accfg code benefits from "for free"."""
+    return [CanonicalizePass(), CSEPass(), LICMPass(), DCEPass()]
+
+
+def baseline_pipeline() -> PassManager:
+    """The paper's OpenGeMM base configuration: compiled through the same
+    MLIR flow (generic cleanups apply) but with no configuration
+    deduplication and no configuration overlap (Section 6.2)."""
+    return PassManager(cleanup_pipeline())
+
+
+def volatile_baseline_pipeline() -> PassManager:
+    """The paper's Gemmini baseline: C code with volatile inline assembly
+    compiled by GCC at ``-O2``.
+
+    Scalar folding and CSE still happen, but the volatile RoCC sequences
+    (emitted with "memory" clobbers) pin the surrounding code in place —
+    Section 3.1: volatile asm "fully prevents the compiler from optimizing
+    any accelerator configuration code" — which we model by withholding
+    loop-invariant code motion from configuration-parameter computation.
+    """
+    return PassManager([CanonicalizePass(), CSEPass(), DCEPass()])
+
+
+def none_pipeline() -> PassManager:
+    """Run nothing at all (the IR exactly as the frontend emitted it)."""
+    return PassManager([])
+
+
+def dedup_pipeline() -> PassManager:
+    """Cleanups + state tracing + configuration deduplication."""
+    return PassManager(
+        [
+            *cleanup_pipeline(),
+            TraceStatesPass(),
+            DedupPass(),
+            *cleanup_pipeline(),
+        ]
+    )
+
+
+def overlap_pipeline(concurrent: set[str] | None = None) -> PassManager:
+    """Cleanups + state tracing + configuration overlap (no dedup)."""
+    return PassManager(
+        [
+            *cleanup_pipeline(),
+            TraceStatesPass(),
+            OverlapPass(concurrent),
+            *cleanup_pipeline(),
+        ]
+    )
+
+
+def full_pipeline(concurrent: set[str] | None = None) -> PassManager:
+    """The complete accfg optimization pipeline: dedup then overlap."""
+    return PassManager(
+        [
+            *cleanup_pipeline(),
+            TraceStatesPass(),
+            DedupPass(),
+            OverlapPass(concurrent),
+            *cleanup_pipeline(),
+        ]
+    )
+
+
+PIPELINES = {
+    "none": none_pipeline,
+    "baseline": baseline_pipeline,
+    "volatile-baseline": volatile_baseline_pipeline,
+    "dedup": dedup_pipeline,
+    "overlap": overlap_pipeline,
+    "full": full_pipeline,
+}
+
+
+def pipeline_by_name(name: str) -> PassManager:
+    """Look up one of the evaluation's four optimization levels."""
+    try:
+        factory = PIPELINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown pipeline '{name}' (expected one of {sorted(PIPELINES)})"
+        ) from None
+    return factory()

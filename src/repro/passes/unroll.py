@@ -1,0 +1,92 @@
+"""Loop unrolling.
+
+Fully unrolls ``scf.for`` loops with small constant trip counts.  The paper
+attributes part of the Gemmini uplift to "better constant folding and loop
+unrolling" (Section 6.1): unrolled iterations become straight-line code
+where per-iteration setup fields turn into constants and cross-iteration
+redundancy becomes visible to configuration deduplication without needing
+the loop-hoisting machinery.
+
+Loop-carried values (including traced accelerator state) are threaded
+through the unrolled copies, so the pass composes with ``accfg-trace-states``
+in either order.
+"""
+
+from __future__ import annotations
+
+from ..dialects import arith, scf
+from ..ir.operation import Operation
+from ..ir.ssa import SSAValue
+from .pass_manager import ModulePass, register_pass
+
+DEFAULT_MAX_TRIPS = 8
+
+
+def constant_trip_count(loop: scf.ForOp) -> int | None:
+    """The loop's trip count when lb/ub/step are all constants."""
+    lb = arith.constant_value(loop.lb)
+    ub = arith.constant_value(loop.ub)
+    step = arith.constant_value(loop.step)
+    if lb is None or ub is None or step is None or step <= 0:
+        return None
+    if ub <= lb:
+        return 0
+    return -(-(ub - lb) // step)
+
+
+def unroll_loop(loop: scf.ForOp, max_trips: int = DEFAULT_MAX_TRIPS) -> bool:
+    """Fully unroll ``loop`` if its trip count is constant and small."""
+    trips = constant_trip_count(loop)
+    if trips is None or trips > max_trips or trips == 0:
+        return False
+    block = loop.parent
+    if block is None:
+        return False
+    lb = arith.constant_value(loop.lb)
+    step = arith.constant_value(loop.step)
+    assert lb is not None and step is not None
+
+    carried: list[SSAValue] = list(loop.iter_inits)
+    insert_index = block.index_of(loop)
+    for trip in range(trips):
+        iv_value = lb + trip * step
+        iv_const = arith.ConstantOp.create(iv_value, loop.induction_var.type)
+        block.insert_op_at(insert_index, iv_const)
+        insert_index += 1
+        value_map: dict[SSAValue, SSAValue] = {
+            loop.induction_var: iv_const.result
+        }
+        for arg, value in zip(loop.iter_args, carried):
+            value_map[arg] = value
+        yielded: list[SSAValue] = []
+        for op in loop.body.ops:
+            if isinstance(op, scf.YieldOp):
+                yielded = [value_map.get(v, v) for v in op.operands]
+                continue
+            clone = op.clone(value_map)
+            block.insert_op_at(insert_index, clone)
+            insert_index += 1
+        carried = yielded
+    for result, value in zip(loop.results, carried):
+        result.replace_all_uses_with(value)
+    loop.erase()
+    return True
+
+
+@register_pass
+class UnrollPass(ModulePass):
+    """Fully unroll small constant-trip-count loops (innermost first)."""
+
+    name = "unroll"
+
+    def __init__(self, max_trips: int = DEFAULT_MAX_TRIPS) -> None:
+        self.max_trips = max_trips
+
+    def apply(self, module: Operation) -> None:
+        changed = True
+        while changed:
+            changed = False
+            loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+            for loop in reversed(loops):  # innermost first
+                if loop.parent is not None and unroll_loop(loop, self.max_trips):
+                    changed = True

@@ -1,0 +1,23 @@
+"""Host/accelerator co-simulation: memory, devices, the discrete-event
+engine, timelines, and run metrics."""
+
+from .cosim import CoSimulator
+from .device import AcceleratorDevice, LaunchToken, SimulationError
+from .memory import Buffer, Memory, MemoryError_
+from .metrics import RunMetrics, collect_metrics
+from .timeline import Span, SpanKind, Timeline
+
+__all__ = [
+    "CoSimulator",
+    "AcceleratorDevice",
+    "LaunchToken",
+    "SimulationError",
+    "Buffer",
+    "Memory",
+    "MemoryError_",
+    "RunMetrics",
+    "collect_metrics",
+    "Span",
+    "SpanKind",
+    "Timeline",
+]

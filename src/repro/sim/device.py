@@ -1,0 +1,142 @@
+"""Accelerator device model.
+
+Wraps an :class:`~repro.backends.base.AcceleratorSpec` with the dynamic
+behaviour the co-simulation needs: a configuration register file, the
+sequential-vs-concurrent write semantics of Section 2.2, launch timing, and
+functional execution of macro-operations against simulated memory.
+
+* **Sequential configuration** (e.g. Gemmini): configuration writes to a busy
+  device stall the host until the device is idle; there is a single register
+  file.
+* **Concurrent configuration** (e.g. OpenGeMM): writes land in *staging*
+  registers at any time; a launch first waits for the device to go idle,
+  then commits the staged values and starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backends.base import AcceleratorSpec
+from .memory import Memory
+
+
+class SimulationError(Exception):
+    """Raised on illegal device interactions (e.g. double-await)."""
+
+
+@dataclass(frozen=True)
+class LaunchToken:
+    """Handle of one in-flight launch."""
+
+    device: "AcceleratorDevice"
+    index: int
+    start: float
+    end: float
+    ops: int
+
+
+class AcceleratorDevice:
+    """Dynamic state of one accelerator instance during co-simulation."""
+
+    def __init__(self, spec: AcceleratorSpec, memory: Memory) -> None:
+        self.spec = spec
+        self.memory = memory
+        self.registers: dict[str, int] = {}
+        self.staged: dict[str, int] = {}
+        self.busy_until: float = 0.0
+        self.launch_count = 0
+        self.total_ops = 0
+        self.total_memory_bytes = 0
+        self.busy_cycles = 0.0
+        self.config_write_count = 0
+        self._launch_ends: list[float] = []
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def is_busy(self, now: float) -> bool:
+        return now < self.busy_until
+
+    # -- configuration -------------------------------------------------------
+
+    def write_fields(self, fields: dict[str, int], now: float) -> float:
+        """Apply configuration writes arriving at time ``now``.
+
+        Returns the time at which the host may *begin* issuing the writes —
+        later than ``now`` when a sequential device is still computing (the
+        host stalls; paper Figure 2's idle region).
+        """
+        start = now
+        if not self.spec.concurrent_config and self.is_busy(now):
+            start = self.busy_until
+        target = self.staged if self.spec.concurrent_config else self.registers
+        for name, value in fields.items():
+            target[name] = int(value)
+        self.config_write_count += len(fields)
+        return start
+
+    def effective_config(self) -> dict[str, int]:
+        """Registers as they would be committed by a launch right now."""
+        merged = dict(self.registers)
+        merged.update(self.staged)
+        return merged
+
+    # -- launch / completion ---------------------------------------------
+
+    def accept_time(self, now: float) -> float:
+        """When the interface can take one more launch.
+
+        With the default single-level staging (queue depth 1) this is the
+        end of the in-flight computation — a launch is a barrier.  Deeper
+        launch queues (FIFO-based schemes, Section 8 outlook) let the host
+        enqueue ``depth`` launches before it must wait for the oldest
+        outstanding one to retire.
+        """
+        depth = (
+            max(1, self.spec.launch_queue_depth)
+            if self.spec.concurrent_config
+            else 1
+        )
+        if len(self._launch_ends) < depth:
+            return now
+        return max(now, self._launch_ends[-depth])
+
+    def launch(
+        self,
+        now: float,
+        launch_fields: dict[str, int] | None = None,
+        functional: bool = True,
+    ) -> LaunchToken:
+        """Start the accelerator; returns the completion token.
+
+        Start time is ``max(now, busy_until)`` — a launch is a barrier even
+        on concurrent-configuration devices (only one computation in flight;
+        Section 2.2 models single-level staging).
+        """
+        start = max(now, self.busy_until)
+        if self.spec.concurrent_config and self.staged:
+            self.registers.update(self.staged)
+            self.staged.clear()
+        if launch_fields:
+            for name, value in launch_fields.items():
+                self.registers[name] = int(value)
+        config = dict(self.registers)
+        cycles = self.spec.compute_cycles(config)
+        ops = self.spec.launch_ops(config)
+        self.total_memory_bytes += self.spec.launch_memory_bytes(config)
+        if functional:
+            self.spec.execute(config, self.memory)
+        end = start + cycles
+        self.busy_until = end
+        self.launch_count += 1
+        self.total_ops += ops
+        self.busy_cycles += cycles
+        self._launch_ends.append(end)
+        return LaunchToken(self, self.launch_count, start, end, ops)
+
+    def completion_time(self, token: LaunchToken) -> float:
+        if token.device is not self:
+            raise SimulationError("token belongs to a different device")
+        return token.end

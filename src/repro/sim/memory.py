@@ -1,0 +1,112 @@
+"""Simulated memory.
+
+A flat byte-addressed space backed by numpy arrays.  Workload generators
+allocate buffers here and embed the returned base addresses into the IR as
+integer constants; accelerator specs read and write matrices through the
+same addresses during functional execution, so end-to-end numerics can be
+checked against numpy references.
+
+Addresses are bytes; row strides are in *elements* (matching how accelerator
+stride registers are usually specified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class MemoryError_(Exception):
+    """Raised on bad simulated-memory accesses."""
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """An allocated region: base address plus its numpy backing store."""
+
+    addr: int
+    array: np.ndarray
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.array.nbytes
+
+
+class Memory:
+    """Byte-addressed memory composed of allocated numpy regions."""
+
+    def __init__(self, base: int = 0x1000, alignment: int = 64) -> None:
+        self._next = base
+        self._alignment = alignment
+        self._buffers: list[Buffer] = []
+
+    def alloc(self, shape: tuple[int, ...] | int, dtype) -> Buffer:
+        """Allocate a zeroed region and return its buffer."""
+        array = np.zeros(shape, dtype=dtype)
+        addr = self._next
+        buffer = Buffer(addr, array)
+        self._buffers.append(buffer)
+        size = max(array.nbytes, 1)
+        self._next = self._align(addr + size)
+        return buffer
+
+    def place(self, array: np.ndarray) -> Buffer:
+        """Allocate a region initialized with (a copy of) ``array``."""
+        buffer = self.alloc(array.shape, array.dtype)
+        buffer.array[...] = array
+        return buffer
+
+    def _align(self, addr: int) -> int:
+        mask = self._alignment - 1
+        return (addr + mask) & ~mask
+
+    def buffer_at(self, addr: int) -> Buffer:
+        """The buffer containing byte address ``addr``."""
+        for buffer in self._buffers:
+            if buffer.addr <= addr < buffer.end:
+                return buffer
+        raise MemoryError_(f"address {addr:#x} is not inside any allocation")
+
+    def _flat_view(self, addr: int, dtype) -> tuple[np.ndarray, int]:
+        buffer = self.buffer_at(addr)
+        if np.dtype(dtype) != buffer.array.dtype:
+            raise MemoryError_(
+                f"access at {addr:#x} with dtype {np.dtype(dtype)} but region "
+                f"holds {buffer.array.dtype}"
+            )
+        offset_bytes = addr - buffer.addr
+        itemsize = buffer.array.dtype.itemsize
+        if offset_bytes % itemsize:
+            raise MemoryError_(f"misaligned access at {addr:#x}")
+        return buffer.array.reshape(-1), offset_bytes // itemsize
+
+    def read_matrix(
+        self, addr: int, rows: int, cols: int, row_stride: int, dtype
+    ) -> np.ndarray:
+        """Read a ``rows x cols`` matrix; ``row_stride`` in elements."""
+        flat, offset = self._flat_view(addr, dtype)
+        out = np.empty((rows, cols), dtype=dtype)
+        for r in range(rows):
+            start = offset + r * row_stride
+            if start + cols > flat.size:
+                raise MemoryError_(
+                    f"matrix read at {addr:#x} overruns its region "
+                    f"(row {r}, stride {row_stride})"
+                )
+            out[r] = flat[start : start + cols]
+        return out
+
+    def write_matrix(
+        self, addr: int, values: np.ndarray, row_stride: int
+    ) -> None:
+        """Write a matrix; ``row_stride`` in elements of the region dtype."""
+        flat, offset = self._flat_view(addr, values.dtype)
+        rows, cols = values.shape
+        for r in range(rows):
+            start = offset + r * row_stride
+            if start + cols > flat.size:
+                raise MemoryError_(
+                    f"matrix write at {addr:#x} overruns its region (row {r})"
+                )
+            flat[start : start + cols] = values[r]

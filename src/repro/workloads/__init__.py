@@ -1,0 +1,32 @@
+"""Workload generators: the tiled matrix multiplications of the paper's
+evaluation plus generic parameter sweeps."""
+
+from .generators import (
+    RectMatmulWorkload,
+    SweepPoint,
+    aspect_ratio_sweep,
+    build_opengemm_rect_matmul,
+    square_sweep,
+)
+from .irgen import IRGen, build_function, new_module
+from .matmul import (
+    MatmulWorkload,
+    build_gemmini_loop_ws_matmul,
+    build_gemmini_matmul,
+    build_opengemm_matmul,
+)
+
+__all__ = [
+    "IRGen",
+    "build_function",
+    "new_module",
+    "MatmulWorkload",
+    "build_gemmini_loop_ws_matmul",
+    "build_gemmini_matmul",
+    "build_opengemm_matmul",
+    "RectMatmulWorkload",
+    "SweepPoint",
+    "aspect_ratio_sweep",
+    "build_opengemm_rect_matmul",
+    "square_sweep",
+]

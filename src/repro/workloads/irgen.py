@@ -1,0 +1,139 @@
+"""Convenience layer for emitting workload IR.
+
+Wraps the low-level :class:`~repro.ir.builder.Builder` with typed helpers for
+arith, structured loops, and accfg clusters, so workload generators read like
+the pseudo-code of the programs they model.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..dialects import accfg, arith, func, scf
+from ..dialects.builtin import ModuleOp
+from ..ir.attributes import FunctionType, TypeAttribute, index
+from ..ir.block import Block
+from ..ir.builder import Builder, InsertPoint
+from ..ir.ssa import SSAValue
+
+
+class IRGen:
+    """Emit ops at a movable insertion point with one-liner helpers."""
+
+    def __init__(self, builder: Builder) -> None:
+        self.builder = builder
+
+    # -- scalars ---------------------------------------------------------
+
+    def const(self, value: int, type: TypeAttribute = index) -> SSAValue:
+        op = self.builder.insert(arith.ConstantOp.create(value, type))
+        return op.result
+
+    def _binary(self, cls, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self.builder.insert(cls.create(lhs, rhs)).result
+
+    def add(self, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self._binary(arith.AddiOp, lhs, rhs)
+
+    def sub(self, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self._binary(arith.SubiOp, lhs, rhs)
+
+    def mul(self, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self._binary(arith.MuliOp, lhs, rhs)
+
+    def div(self, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self._binary(arith.DivuiOp, lhs, rhs)
+
+    def rem(self, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self._binary(arith.RemuiOp, lhs, rhs)
+
+    def shl(self, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self._binary(arith.ShliOp, lhs, rhs)
+
+    def or_(self, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self._binary(arith.OriOp, lhs, rhs)
+
+    def min_(self, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self._binary(arith.MinUIOp, lhs, rhs)
+
+    def cmp(self, predicate: str, lhs: SSAValue, rhs: SSAValue) -> SSAValue:
+        return self.builder.insert(arith.CmpiOp.create(predicate, lhs, rhs)).result
+
+    def select(self, cond: SSAValue, a: SSAValue, b: SSAValue) -> SSAValue:
+        return self.builder.insert(arith.SelectOp.create(cond, a, b)).result
+
+    def pack(self, lanes: list[tuple[SSAValue, int]]) -> SSAValue:
+        """Bit-pack ``(value, bit_offset)`` lanes into one word, emitting the
+        shift/or ladder of Listing 1."""
+        word: SSAValue | None = None
+        for value, offset in lanes:
+            shifted = (
+                value if offset == 0 else self.shl(value, self.const(offset, value.type))
+            )
+            word = shifted if word is None else self.or_(word, shifted)
+        if word is None:
+            raise ValueError("pack needs at least one lane")
+        return word
+
+    # -- accfg clusters ----------------------------------------------------
+
+    def setup(
+        self,
+        accelerator: str,
+        fields: list[tuple[str, SSAValue]],
+        in_state: SSAValue | None = None,
+    ) -> SSAValue:
+        op = self.builder.insert(accfg.SetupOp.create(accelerator, fields, in_state))
+        return op.out_state
+
+    def launch(
+        self, state: SSAValue, fields: list[tuple[str, SSAValue]] | None = None
+    ) -> SSAValue:
+        op = self.builder.insert(accfg.LaunchOp.create(state, fields or []))
+        return op.token
+
+    def await_(self, token: SSAValue) -> None:
+        self.builder.insert(accfg.AwaitOp.create(token))
+
+    # -- control flow --------------------------------------------------------
+
+    @contextmanager
+    def loop(
+        self, lb: SSAValue, ub: SSAValue, step: SSAValue
+    ) -> Iterator[tuple[scf.ForOp, SSAValue]]:
+        """Emit an ``scf.for``; inside the ``with``, ops go into its body.
+        The context manager appends the terminating ``scf.yield``."""
+        for_op = scf.ForOp.create(lb, ub, step)
+        self.builder.insert(for_op)
+        with self.builder.at(InsertPoint.at_end(for_op.body)):
+            yield for_op, for_op.induction_var
+            self.builder.insert(scf.YieldOp.create())
+
+@contextmanager
+def build_function(
+    module: ModuleOp,
+    name: str,
+    input_types: list[TypeAttribute] | None = None,
+    result_types: list[TypeAttribute] | None = None,
+) -> Iterator[tuple[IRGen, tuple[SSAValue, ...]]]:
+    """Create a function in ``module``; inside the ``with``, ops go into its
+    body.  For result-free functions the ``func.return`` is appended on exit;
+    functions with results must emit their own return as the last op."""
+    input_types = input_types or []
+    result_types = result_types or []
+    fn = func.FuncOp.create(
+        name, FunctionType.from_lists(input_types, result_types)
+    )
+    module.body_block.add_op(fn)
+    gen = IRGen(Builder.at_end(fn.body))
+    yield gen, tuple(fn.args)
+    if not result_types:
+        gen.builder.insert(func.ReturnOp.create())
+
+
+def new_module() -> ModuleOp:
+    return ModuleOp.create()
+
+
+__all__ = ["IRGen", "build_function", "new_module", "Block"]

@@ -1,0 +1,123 @@
+"""Tests for the accelerator registry and the toyvec target."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    TOYVEC,
+    TOYVEC_SEQ,
+    AcceleratorSpec,
+    get_accelerator,
+    get_accelerator_or_none,
+    register_accelerator,
+    registered_accelerators,
+)
+from repro.sim import Memory
+
+
+class TestRegistry:
+    def test_builtin_targets_registered(self):
+        names = registered_accelerators()
+        for expected in ("gemmini", "opengemm", "toyvec", "toyvec-seq"):
+            assert expected in names
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown accelerator"):
+            get_accelerator("quantum-annealer")
+
+    def test_get_or_none(self):
+        assert get_accelerator_or_none("gemmini") is not None
+        assert get_accelerator_or_none("nope") is None
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(type(TOYVEC)):
+            name = "toyvec"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_accelerator(Dup())
+
+    def test_replace_allowed_explicitly(self):
+        spec = get_accelerator("toyvec")
+        register_accelerator(spec, replace=True)
+        assert get_accelerator("toyvec") is spec
+
+    def test_unnamed_spec_rejected(self):
+        class NoName(type(TOYVEC)):
+            name = ""
+
+        with pytest.raises(ValueError, match="needs a name"):
+            register_accelerator(NoName())
+
+
+class TestDefaultCosts:
+    def test_config_bytes_from_field_widths(self):
+        assert TOYVEC.config_bytes(["ptr_x"]) == 8
+        assert TOYVEC.config_bytes(["n"]) == 4
+        assert TOYVEC.config_bytes(["op"]) == 1
+
+    def test_unknown_field_defaults_to_word(self):
+        assert TOYVEC.config_bytes(["mystery"]) == 8
+
+    def test_default_sync_is_single_poll(self):
+        assert len(TOYVEC.sync_instrs()) == 1
+
+    def test_launch_field_instrs_default_to_setup(self):
+        assert len(TOYVEC.launch_field_instrs(["n"])) == len(
+            TOYVEC.setup_instrs(["n"])
+        )
+
+    def test_field_spec_lookup(self):
+        assert TOYVEC.field_spec("n").bits == 32
+        with pytest.raises(KeyError):
+            TOYVEC.field_spec("bogus")
+
+    def test_repr_mentions_scheme(self):
+        assert "concurrent" in repr(TOYVEC)
+        assert "sequential" in repr(TOYVEC_SEQ)
+
+
+class TestToyVecSemantics:
+    def run_op(self, op_code):
+        mem = Memory()
+        x = mem.place(np.array([1, 2, 3, 4], dtype=np.int32))
+        y = mem.place(np.array([10, 20, 30, 2], dtype=np.int32))
+        out = mem.alloc(4, np.int32)
+        TOYVEC.execute(
+            {
+                "ptr_x": x.addr,
+                "ptr_y": y.addr,
+                "ptr_out": out.addr,
+                "n": 4,
+                "op": op_code,
+            },
+            mem,
+        )
+        return x.array, y.array, out.array
+
+    def test_add(self):
+        x, y, out = self.run_op(0)
+        assert (out == x + y).all()
+
+    def test_mul(self):
+        x, y, out = self.run_op(1)
+        assert (out == x * y).all()
+
+    def test_max(self):
+        x, y, out = self.run_op(2)
+        assert (out == np.maximum(x, y)).all()
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            self.run_op(3)
+
+    def test_zero_length_noop(self):
+        mem = Memory()
+        TOYVEC.execute({"n": 0}, mem)  # must not raise
+
+    def test_compute_cycles_lanes(self):
+        assert TOYVEC.compute_cycles({"n": 16}) == 16 / 8 + 4
+        assert TOYVEC.compute_cycles({"n": 17}) == 3 + 4
+
+    def test_sequential_variant_shares_semantics(self):
+        assert TOYVEC_SEQ.peak_ops_per_cycle == TOYVEC.peak_ops_per_cycle
+        assert not TOYVEC_SEQ.concurrent_config

@@ -1,0 +1,191 @@
+"""Tests for the Gemmini target description."""
+
+import numpy as np
+import pytest
+
+from repro.backends import GEMMINI, LOOP_WS_FIELDS
+from repro.backends.gemmini import (
+    ARRAY_DIM,
+    OP_COMPUTE,
+    OP_LOOP_WS,
+    OP_MVIN,
+    OP_PRELOAD,
+    ROCC_BYTES,
+    max_invocation_edge,
+)
+from repro.isa import InstrCategory
+from repro.sim import Memory
+
+
+class TestInterface:
+    def test_peak_performance(self):
+        assert GEMMINI.peak_ops_per_cycle == 512  # 16x16 PEs, 2 ops each
+
+    def test_sequential_configuration(self):
+        assert not GEMMINI.concurrent_config
+
+    def test_table1_field_widths(self):
+        widths = {f.name: f.bits for f in LOOP_WS_FIELDS}
+        assert widths["A"] == 64
+        assert widths["I"] == 16
+        assert widths["pad_K"] == 16
+        assert widths["stride_C"] == 64
+        assert widths["act"] == 6
+        assert widths["A_transpose"] == 1
+        assert len(LOOP_WS_FIELDS) == 17
+
+    def test_rocc_write_cost(self):
+        # A single 64-bit field: one word -> one staged reg + one custom.
+        instrs = GEMMINI.setup_instrs(["A"])
+        assert len(instrs) == 2
+        assert instrs[-1].config_bytes == ROCC_BYTES
+
+    def test_two_words_per_rocc(self):
+        instrs = GEMMINI.setup_instrs(["A", "B"])
+        assert len(instrs) == 3  # 2 stages + 1 custom
+        assert sum(1 for i in instrs if i.config_bytes) == 1
+
+    def test_config_bytes_full_payloads(self):
+        assert GEMMINI.config_bytes(["A"]) == 16
+        assert GEMMINI.config_bytes(["A", "B", "D"]) == 32
+        assert GEMMINI.config_bytes([]) == 0
+
+    def test_launch_semantic_no_dedicated_instr(self):
+        assert GEMMINI.launch_instrs() == []
+
+    def test_launch_fields_exclude_op_selector(self):
+        bare = GEMMINI.launch_field_instrs(["op"])
+        assert len(bare) == 1  # just the custom instruction
+        with_addr = GEMMINI.launch_field_instrs(["op", "ld_addr"])
+        assert len(with_addr) == 2
+
+    def test_setup_category(self):
+        for instr in GEMMINI.setup_instrs(["A", "I"]):
+            assert instr.category is InstrCategory.SETUP
+
+
+class TestTiming:
+    def test_loop_ws_cycles_scale_with_tiles(self):
+        small = GEMMINI.compute_cycles({"op": OP_LOOP_WS, "I": 1, "J": 1, "K": 1})
+        big = GEMMINI.compute_cycles({"op": OP_LOOP_WS, "I": 2, "J": 2, "K": 2})
+        assert big > small
+
+    def test_fine_grained_tile_cycles(self):
+        assert GEMMINI.compute_cycles({"op": OP_COMPUTE}) == 2 * ARRAY_DIM
+
+    def test_data_moves_free(self):
+        assert GEMMINI.compute_cycles({"op": OP_MVIN}) == 0
+        assert GEMMINI.launch_ops({"op": OP_MVIN}) == 0
+        assert GEMMINI.launch_ops({"op": OP_PRELOAD}) == 0
+
+    def test_compute_ops(self):
+        assert GEMMINI.launch_ops({"op": OP_COMPUTE}) == 2 * 16**3
+
+    def test_loop_ws_ops(self):
+        config = {"op": OP_LOOP_WS, "I": 2, "J": 2, "K": 2}
+        assert GEMMINI.launch_ops(config) == 2 * 32 * 32 * 32
+
+
+class TestFunctionalSemantics:
+    def test_loop_ws_matmul(self):
+        mem = Memory()
+        rng = np.random.default_rng(0)
+        a = mem.place(rng.integers(-4, 4, (32, 32), dtype=np.int8))
+        b = mem.place(rng.integers(-4, 4, (32, 32), dtype=np.int8))
+        c = mem.alloc((32, 32), np.int32)
+        GEMMINI.execute(
+            {
+                "op": OP_LOOP_WS,
+                "A": a.addr,
+                "B": b.addr,
+                "C": c.addr,
+                "I": 2,
+                "J": 2,
+                "K": 2,
+                "stride_A": 32,
+                "stride_B": 32,
+                "stride_C": 32,
+            },
+            mem,
+        )
+        expected = a.array.astype(np.int32) @ b.array.astype(np.int32)
+        assert (c.array == expected).all()
+
+    def test_loop_ws_with_bias(self):
+        mem = Memory()
+        a = mem.place(np.eye(16, dtype=np.int8))
+        b = mem.place(np.eye(16, dtype=np.int8))
+        d = mem.place(np.full((16, 16), 5, dtype=np.int32))
+        c = mem.alloc((16, 16), np.int32)
+        GEMMINI.execute(
+            {
+                "op": OP_LOOP_WS,
+                "A": a.addr,
+                "B": b.addr,
+                "C": c.addr,
+                "D": d.addr,
+                "I": 1,
+                "J": 1,
+                "K": 1,
+                "stride_A": 16,
+                "stride_B": 16,
+                "stride_C": 16,
+                "stride_D": 16,
+            },
+            mem,
+        )
+        assert (c.array == np.eye(16, dtype=np.int32) + 5).all()
+
+    def test_relu_activation(self):
+        mem = Memory()
+        a = mem.place(np.full((16, 16), -1, dtype=np.int8))
+        b = mem.place(np.eye(16, dtype=np.int8))
+        c = mem.alloc((16, 16), np.int32)
+        config = {
+            "op": OP_LOOP_WS,
+            "A": a.addr,
+            "B": b.addr,
+            "C": c.addr,
+            "I": 1,
+            "J": 1,
+            "K": 1,
+            "stride_A": 16,
+            "stride_B": 16,
+            "stride_C": 16,
+            "act": 1,
+        }
+        GEMMINI.execute(config, mem)
+        assert (c.array == 0).all()
+
+    def test_fine_grained_accumulation(self):
+        mem = Memory()
+        a = mem.place(np.eye(16, dtype=np.int8))
+        b = mem.place(np.full((16, 16), 2, dtype=np.int8))
+        c = mem.alloc((16, 16), np.int32)
+        base = {
+            "stride_A": 16,
+            "stride_B": 16,
+            "stride_C": 16,
+            "ld_addr": a.addr,
+            "preload_addr": b.addr,
+            "st_addr": c.addr,
+        }
+        GEMMINI.execute({**base, "op": OP_COMPUTE, "acc": 0}, mem)
+        first = c.array.copy()
+        assert (first == 2).all()  # identity @ all-twos
+        GEMMINI.execute({**base, "op": OP_COMPUTE, "acc": 1}, mem)
+        assert (c.array == 2 * first).all()
+
+    def test_mvin_functional_noop(self):
+        mem = Memory()
+        GEMMINI.execute({"op": OP_MVIN, "ld_addr": 0}, mem)  # must not raise
+
+
+class TestInvocationSplitting:
+    def test_small_sizes_single_invocation(self):
+        assert max_invocation_edge(16) == 16
+        assert max_invocation_edge(64) == 64
+
+    def test_large_sizes_capped(self):
+        assert max_invocation_edge(128) == 64
+        assert max_invocation_edge(512) == 64

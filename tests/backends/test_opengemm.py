@@ -1,0 +1,109 @@
+"""Tests for the OpenGeMM target description."""
+
+import numpy as np
+import pytest
+
+from repro.backends import CSR_FIELDS, OPENGEMM
+from repro.backends.opengemm import MESH, PIPELINE_LATENCY
+from repro.isa import InstrCategory
+from repro.sim import Memory
+
+
+class TestInterface:
+    def test_peak_performance(self):
+        assert OPENGEMM.peak_ops_per_cycle == 1024
+
+    def test_concurrent_configuration(self):
+        assert OPENGEMM.concurrent_config
+
+    def test_snitch_host_ipc(self):
+        assert OPENGEMM.host_cycles_per_instr == 1.0
+        assert OPENGEMM.host_cost_model().cycles_per_instr == 1.0
+
+    def test_one_csrw_per_field(self):
+        instrs = OPENGEMM.setup_instrs(["M", "K", "ptr_A"])
+        assert len(instrs) == 3
+        assert all(i.category is InstrCategory.SETUP for i in instrs)
+        assert all(i.config_bytes == 4 for i in instrs)
+
+    def test_streamer_fields_present(self):
+        names = {f.name for f in CSR_FIELDS}
+        for operand in "ABC":
+            assert f"tbound0_{operand}" in names
+            assert f"sstride_{operand}" in names
+
+    def test_launch_and_sync_costs(self):
+        assert len(OPENGEMM.launch_instrs()) == 2
+        assert len(OPENGEMM.sync_instrs()) == 6
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            OPENGEMM.setup_instrs(["no_such_csr"])
+
+
+class TestTiming:
+    def test_tile_cycles(self):
+        cycles = OPENGEMM.compute_cycles({"M": 8, "K": 64, "N": 8})
+        assert cycles == 64 / MESH + PIPELINE_LATENCY
+
+    def test_larger_tiles_scale(self):
+        one = OPENGEMM.compute_cycles({"M": 8, "K": 64, "N": 8})
+        four = OPENGEMM.compute_cycles({"M": 16, "K": 64, "N": 16})
+        assert four - PIPELINE_LATENCY == pytest.approx(
+            4 * (one - PIPELINE_LATENCY)
+        )
+
+    def test_ops(self):
+        assert OPENGEMM.launch_ops({"M": 8, "K": 32, "N": 8}) == 2 * 8 * 32 * 8
+
+    def test_peak_achievable_asymptotically(self):
+        config = {"M": 8, "K": 2**16, "N": 8}
+        ratio = OPENGEMM.launch_ops(config) / OPENGEMM.compute_cycles(config)
+        assert ratio == pytest.approx(1024, rel=0.01)
+
+
+class TestFunctionalSemantics:
+    def test_basic_tile(self):
+        mem = Memory()
+        rng = np.random.default_rng(1)
+        a = mem.place(rng.integers(-4, 4, (8, 16), dtype=np.int8))
+        b = mem.place(rng.integers(-4, 4, (16, 8), dtype=np.int8))
+        c = mem.alloc((8, 8), np.int32)
+        OPENGEMM.execute(
+            {
+                "M": 8,
+                "K": 16,
+                "N": 8,
+                "ptr_A": a.addr,
+                "ptr_B": b.addr,
+                "ptr_C": c.addr,
+                "stride_A": 16,
+                "stride_B": 8,
+                "stride_C": 8,
+            },
+            mem,
+        )
+        expected = a.array.astype(np.int32) @ b.array.astype(np.int32)
+        assert (c.array == expected).all()
+
+    def test_zero_points(self):
+        mem = Memory()
+        a = mem.place(np.full((8, 8), 3, dtype=np.int8))
+        b = mem.place(np.full((8, 8), 5, dtype=np.int8))
+        c = mem.alloc((8, 8), np.int32)
+        OPENGEMM.execute(
+            {
+                "M": 8,
+                "K": 8,
+                "N": 8,
+                "ptr_A": a.addr,
+                "ptr_B": b.addr,
+                "ptr_C": c.addr,
+                "stride_A": 8,
+                "stride_B": 8,
+                "stride_C": 8,
+                "subtractions": (4 << 8) | 2,  # a_zp=2, b_zp=4
+            },
+            mem,
+        )
+        assert (c.array == (3 - 2) * (5 - 4) * 8).all()

@@ -1,0 +1,104 @@
+"""Tests for roofline analysis of measured runs."""
+
+import numpy as np
+import pytest
+
+from repro.backends import GEMMINI, OPENGEMM
+from repro.core import (
+    Boundness,
+    analyze_run,
+    geomean,
+    point_from_metrics,
+    roofline_for_spec,
+    roofline_from_metrics,
+    theoretical_config_bandwidth,
+)
+from repro.isa import HostCostModel
+from repro.sim import CoSimulator, Memory, collect_metrics
+
+
+def toy_metrics(launches=4):
+    memory = Memory()
+    x = memory.place(np.arange(64, dtype=np.int32))
+    y = memory.place(np.arange(64, dtype=np.int32))
+    out = memory.alloc(64, np.int32)
+    sim = CoSimulator(memory=memory, cost_model=HostCostModel(1.0))
+    for _ in range(launches):
+        sim.exec_setup(
+            "toyvec",
+            {"ptr_x": x.addr, "ptr_y": y.addr, "ptr_out": out.addr, "n": 64, "op": 0},
+        )
+        sim.exec_await(sim.exec_launch("toyvec"))
+    return collect_metrics(sim, "toyvec")
+
+
+class TestTheoreticalBandwidth:
+    def test_gemmini_matches_paper(self):
+        """Full Table-1 field set: 16 bytes per RoCC write, 3 instrs per
+        write, 3 cycles per instr -> 16/9 ≈ 1.78 B/cycle (Section 4.6)."""
+        bw = theoretical_config_bandwidth(GEMMINI, HostCostModel(3.0))
+        # Slightly above 16/9 because an odd trailing operand word needs only
+        # one staging instruction; the paper rounds to 3 instrs per write.
+        assert bw == pytest.approx(16 / 9, rel=0.05)
+
+    def test_opengemm(self):
+        bw = theoretical_config_bandwidth(OPENGEMM, HostCostModel(1.0))
+        assert bw == pytest.approx(4.0)  # 4-byte CSR per 1-cycle csrw
+
+
+class TestRooflineConstruction:
+    def test_for_spec(self):
+        r = roofline_for_spec(OPENGEMM, OPENGEMM.host_cost_model())
+        assert r.peak_performance == 1024
+        assert r.knee_intensity == pytest.approx(256.0)
+
+    def test_from_metrics_uses_effective_bandwidth(self):
+        metrics = toy_metrics()
+        r = roofline_from_metrics(metrics)
+        assert r.config_bandwidth == pytest.approx(
+            metrics.effective_config_bandwidth
+        )
+
+
+class TestRunAnalysis:
+    def test_point_and_regions(self):
+        metrics = toy_metrics()
+        analysis = analyze_run(metrics, label="toy-run")
+        assert analysis.point.label == "toy-run"
+        assert analysis.boundness in tuple(Boundness)
+        assert 0 < analysis.utilization <= 1.0
+
+    def test_measured_below_roofline(self):
+        """A real run can never beat the roofline built from its own
+        effective bandwidth."""
+        metrics = toy_metrics()
+        analysis = analyze_run(metrics)
+        assert analysis.point.performance <= analysis.attainable_concurrent * 1.001
+
+    def test_sequential_bound_below_concurrent(self):
+        analysis = analyze_run(toy_metrics())
+        assert analysis.attainable_sequential <= analysis.attainable_concurrent
+
+    def test_headroom(self):
+        analysis = analyze_run(toy_metrics())
+        assert analysis.headroom_to_concurrent_roof >= 1.0
+
+    def test_point_from_metrics(self):
+        metrics = toy_metrics()
+        point = point_from_metrics(metrics)
+        assert point.label == "toyvec"
+        assert point.i_oc == metrics.operation_to_config_intensity
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,84 @@
+"""Tests for measured memory traffic and the empirical roofsurface (Eq. 5)."""
+
+import pytest
+
+from repro.backends import GEMMINI, OPENGEMM, get_accelerator
+from repro.core import Boundness, combined_boundness, roofline_for_spec
+from repro.experiments.common import run_workload
+from repro.workloads import build_gemmini_matmul, build_opengemm_matmul
+
+
+class TestMemoryAccounting:
+    def test_opengemm_tile_bytes(self):
+        assert OPENGEMM.launch_memory_bytes({"M": 8, "K": 32, "N": 8}) == (
+            8 * 32 + 32 * 8 + 4 * 64
+        )
+
+    def test_gemmini_moves_counted_computes_free(self):
+        from repro.backends.gemmini import OP_COMPUTE, OP_MVIN, OP_MVOUT
+
+        assert GEMMINI.launch_memory_bytes({"op": OP_MVIN}) == 256
+        assert GEMMINI.launch_memory_bytes({"op": OP_MVOUT}) == 1024
+        assert GEMMINI.launch_memory_bytes({"op": OP_COMPUTE}) == 0
+
+    def test_workload_memory_bytes_measured(self):
+        run = run_workload(build_opengemm_matmul(16), "baseline", functional=False)
+        size = 16
+        tiles = (size // 8) ** 2
+        per_tile = 8 * size + size * 8 + 4 * 64
+        assert run.metrics.memory_bytes == tiles * per_tile
+
+    def test_operational_intensity(self):
+        run = run_workload(build_opengemm_matmul(16), "baseline", functional=False)
+        metrics = run.metrics
+        assert metrics.operational_intensity == pytest.approx(
+            metrics.total_ops / metrics.memory_bytes
+        )
+
+    def test_gemmini_fine_grained_traffic(self):
+        run = run_workload(
+            build_gemmini_matmul(32), "volatile-baseline", functional=False
+        )
+        tiles = (32 // 16) ** 2
+        expected = tiles * 2 * 256 + tiles * 1024  # A+B mvins, C mvouts
+        assert run.metrics.memory_bytes == expected
+
+
+class TestCombinedBoundness:
+    def test_config_bound_workload(self):
+        run = run_workload(build_opengemm_matmul(16), "baseline", functional=False)
+        roofline = roofline_for_spec(OPENGEMM, OPENGEMM.host_cost_model())
+        assert roofline.memory_bandwidth == OPENGEMM.memory_bandwidth
+        assert (
+            combined_boundness(run.metrics, roofline) is Boundness.CONFIG_BOUND
+        )
+
+    def test_dedup_can_change_the_binding_term(self):
+        """Once configuration is optimized away, the *next* wall appears —
+        here the memory term of the roofsurface takes over (the A matrix is
+        re-streamed for every output tile column)."""
+        roofline = roofline_for_spec(OPENGEMM, OPENGEMM.host_cost_model())
+        base = run_workload(build_opengemm_matmul(32), "baseline", functional=False)
+        full = run_workload(build_opengemm_matmul(32), "full", functional=False)
+        assert combined_boundness(base.metrics, roofline) is Boundness.CONFIG_BOUND
+        assert combined_boundness(full.metrics, roofline) is Boundness.MEMORY_BOUND
+
+    def test_memory_term_ignored_without_bandwidth(self):
+        from repro.core import ConfigRoofline
+
+        run = run_workload(build_opengemm_matmul(16), "baseline", functional=False)
+        roofline = ConfigRoofline(1024.0, 4.0, memory_bandwidth=None)
+        # No memory term: classification falls back to config vs compute.
+        assert combined_boundness(run.metrics, roofline) in (
+            Boundness.CONFIG_BOUND,
+            Boundness.COMPUTE_BOUND,
+        )
+
+    def test_memory_bound_case(self):
+        """A skinny workload with a starved memory system becomes
+        memory-bound even after configuration is optimized away."""
+        from repro.core import ConfigRoofline
+
+        run = run_workload(build_opengemm_matmul(64), "full", functional=False)
+        starved = ConfigRoofline(1024.0, 4.0, memory_bandwidth=0.05)
+        assert combined_boundness(run.metrics, starved) is Boundness.MEMORY_BOUND

@@ -1,0 +1,71 @@
+"""Tests for the roofline's inverse (design-exploration) queries."""
+
+import pytest
+
+from repro.core import ConfigRoofline
+
+
+@pytest.fixture
+def roofline():
+    return ConfigRoofline(512.0, 2.0)
+
+
+class TestRequiredIntensity:
+    def test_roundtrips_through_the_forward_model(self, roofline):
+        for utilization in (0.1, 0.5, 0.9):
+            for concurrent in (True, False):
+                i_oc = roofline.required_i_oc(utilization, concurrent)
+                attained = roofline.attainable(i_oc, concurrent)
+                assert attained == pytest.approx(
+                    utilization * roofline.peak_performance, rel=1e-9
+                )
+
+    def test_sequential_needs_more_intensity(self, roofline):
+        for utilization in (0.25, 0.5, 0.75):
+            assert roofline.required_i_oc(
+                utilization, concurrent=False
+            ) > roofline.required_i_oc(utilization, concurrent=True)
+
+    def test_half_peak_sequential_is_the_knee(self, roofline):
+        assert roofline.required_i_oc(0.5, concurrent=False) == pytest.approx(
+            roofline.knee_intensity
+        )
+
+    def test_out_of_range_rejected(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.required_i_oc(0.0, True)
+        with pytest.raises(ValueError):
+            roofline.required_i_oc(1.0, False)
+
+    def test_monotone_in_utilization(self, roofline):
+        values = [
+            roofline.required_i_oc(u, concurrent=False)
+            for u in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert values == sorted(values)
+
+
+class TestRequiredBandwidth:
+    def test_roundtrips(self, roofline):
+        i_oc = 100.0
+        for utilization in (0.2, 0.6):
+            bw = roofline.required_config_bandwidth(i_oc, utilization, False)
+            fast = ConfigRoofline(roofline.peak_performance, bw)
+            assert fast.attainable_sequential(i_oc) == pytest.approx(
+                utilization * roofline.peak_performance, rel=1e-9
+            )
+
+    def test_gemmini_worked_example(self):
+        """How fast would Gemmini's config interface need to be for the
+        Section 4.6 kernel (I_OC = 205.19) to reach 90% of peak?"""
+        roofline = ConfigRoofline(512.0, 1.778)
+        needed = roofline.required_config_bandwidth(205.19, 0.9, False)
+        assert needed > roofline.config_bandwidth  # faster than today
+        faster = ConfigRoofline(512.0, needed)
+        assert faster.utilization(205.19, concurrent=False) == pytest.approx(0.9)
+
+    def test_validation(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.required_config_bandwidth(0.0, 0.5, True)
+        with pytest.raises(ValueError):
+            roofline.required_config_bandwidth(10.0, 1.5, True)

@@ -1,0 +1,54 @@
+"""Tests for text charts and tables."""
+
+from repro.core import ConfigRoofline, RooflinePoint, ascii_roofline, format_series
+
+
+class TestFormatSeries:
+    def test_alignment(self):
+        table = format_series(("a", "b"), [(1, 2.5), (10, 3.25)])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        assert lines[0].endswith("b")
+        assert "2.500" in lines[2]
+
+    def test_columns_grow_to_content(self):
+        table = format_series(
+            ("col",), [("a-very-long-cell-value-exceeding-minimum",)]
+        )
+        assert "a-very-long-cell-value-exceeding-minimum" in table
+
+    def test_float_formats(self):
+        table = format_series(("x",), [(123456.0,), (0.0001,), (float("inf"),)])
+        assert "1.235e+05" in table
+        assert "0.0001" in table
+        assert "inf" in table
+
+
+class TestAsciiRoofline:
+    def setup_method(self):
+        self.roofline = ConfigRoofline(512.0, 2.0)
+
+    def test_contains_both_roofs(self):
+        art = ascii_roofline(self.roofline)
+        assert "-" in art
+        assert "~" in art
+        assert "knee" in art
+
+    def test_points_labelled(self):
+        points = [
+            RooflinePoint("base", 10.0, 15.0),
+            RooflinePoint("opt", 100.0, 150.0),
+        ]
+        art = ascii_roofline(self.roofline, points)
+        assert "A: base" in art
+        assert "B: opt" in art
+
+    def test_out_of_range_points_clamped(self):
+        points = [RooflinePoint("tiny", 1e-6, 1e-6)]
+        art = ascii_roofline(self.roofline, points)
+        assert "A: tiny" in art  # no exception, point clamped into the chart
+
+    def test_dimensions(self):
+        art = ascii_roofline(self.roofline, width=40, height=10)
+        chart_lines = art.split("\n")[:10]
+        assert all(len(line) <= 40 for line in chart_lines)

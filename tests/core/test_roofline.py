@@ -1,0 +1,142 @@
+"""Tests for the configuration roofline model (Eq. 1-5)."""
+
+import math
+
+import pytest
+
+from repro.core import Boundness, ConfigRoofline, effective_config_bandwidth
+from repro.core.roofline import RooflinePoint
+
+
+def roofline(peak=512.0, config_bw=2.0, mem_bw=None):
+    return ConfigRoofline(peak, config_bw, mem_bw)
+
+
+class TestEq2Concurrent:
+    def test_config_bound_region(self):
+        r = roofline()
+        assert r.attainable_concurrent(10) == 20.0  # BW * I_OC
+
+    def test_compute_bound_region(self):
+        r = roofline()
+        assert r.attainable_concurrent(10_000) == 512.0
+
+    def test_knee_exact(self):
+        r = roofline()
+        assert r.knee_intensity == 256.0
+        assert r.attainable_concurrent(256.0) == 512.0
+
+
+class TestEq3Sequential:
+    def test_always_below_concurrent(self):
+        r = roofline()
+        for i_oc in (0.5, 16, 256, 4096):
+            assert r.attainable_sequential(i_oc) < r.attainable_concurrent(i_oc)
+
+    def test_half_peak_at_knee(self):
+        """At the knee the system spends equal time configuring and
+        computing: the sequential model attains exactly half of peak."""
+        r = roofline()
+        assert r.attainable_sequential(r.knee_intensity) == pytest.approx(256.0)
+
+    def test_asymptotically_approaches_peak(self):
+        r = roofline()
+        assert r.attainable_sequential(1e9) == pytest.approx(512.0, rel=1e-3)
+
+    def test_zero_intensity(self):
+        assert roofline().attainable_sequential(0) == 0.0
+
+    def test_attainable_dispatch(self):
+        r = roofline()
+        assert r.attainable(10, concurrent=True) == r.attainable_concurrent(10)
+        assert r.attainable(10, concurrent=False) == r.attainable_sequential(10)
+
+
+class TestEq4EffectiveBandwidth:
+    def test_formula(self):
+        assert effective_config_bandwidth(100, 10, 40) == 2.0
+
+    def test_zero_time_infinite(self):
+        assert effective_config_bandwidth(100, 0, 0) == float("inf")
+
+    def test_paper_gemmini_value(self):
+        # 160 writes * 16 B / (935 instrs * 3 cycles)
+        bw = effective_config_bandwidth(160 * 16, 775 * 3, 160 * 3)
+        assert bw == pytest.approx(0.913, abs=1e-3)
+
+
+class TestEq1And5:
+    def test_processor_roofline(self):
+        r = roofline(mem_bw=64.0)
+        assert r.attainable_processor(2.0) == 128.0
+        assert r.attainable_processor(100.0) == 512.0
+
+    def test_processor_roofline_requires_mem_bw(self):
+        with pytest.raises(ValueError):
+            roofline().attainable_processor(1.0)
+
+    def test_combined_takes_minimum(self):
+        r = roofline(mem_bw=64.0)
+        assert r.attainable_combined(100.0, 10.0) == 20.0  # config limits
+        assert r.attainable_combined(1.0, 1000.0) == 64.0  # memory limits
+        assert r.attainable_combined(100.0, 1000.0) == 512.0  # compute limits
+
+    def test_roofsurface_shape(self):
+        r = roofline(mem_bw=64.0)
+        surface = r.roofsurface([1.0, 2.0], [1.0, 2.0, 4.0])
+        assert len(surface) == 3
+        assert len(surface[0]) == 2
+        # Monotonic in both axes.
+        assert surface[0][0] <= surface[0][1]
+        assert surface[0][0] <= surface[1][0]
+
+
+class TestBoundness:
+    def test_regions(self):
+        r = roofline()
+        assert r.boundness(1.0) is Boundness.CONFIG_BOUND
+        assert r.boundness(256.0) is Boundness.KNEE
+        assert r.boundness(10_000.0) is Boundness.COMPUTE_BOUND
+
+    def test_is_config_bound(self):
+        r = roofline()
+        assert r.is_config_bound(1.0)
+        assert not r.is_config_bound(1000.0)
+
+
+class TestSection47Predictions:
+    def test_overlap_headroom_maximal_at_knee(self):
+        r = roofline()
+        knee_headroom = r.overlap_headroom(r.knee_intensity)
+        assert knee_headroom == pytest.approx(2.0)
+        assert r.overlap_headroom(r.knee_intensity / 16) < knee_headroom
+        assert r.overlap_headroom(r.knee_intensity * 16) < knee_headroom
+
+    def test_utilization(self):
+        r = roofline()
+        assert r.utilization(r.knee_intensity, concurrent=True) == 1.0
+        assert r.utilization(r.knee_intensity, concurrent=False) == pytest.approx(0.5)
+
+
+class TestSweepAndPoints:
+    def test_sweep_log_spaced(self):
+        samples = roofline().sweep(1.0, 1024.0, points=11)
+        assert len(samples) == 11
+        assert samples[0][0] == pytest.approx(1.0)
+        assert samples[-1][0] == pytest.approx(1024.0)
+        ratios = [samples[i + 1][0] / samples[i][0] for i in range(10)]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_point_utilization(self):
+        point = RooflinePoint("x", 100.0, 128.0)
+        assert point.utilization(roofline()) == 0.25
+
+
+class TestValidation:
+    def test_nonpositive_peak_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigRoofline(0.0, 1.0)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigRoofline(512.0, 0.0)

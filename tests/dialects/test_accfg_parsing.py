@@ -1,0 +1,110 @@
+"""Parse-error and syntax-edge tests for the accfg dialect."""
+
+import pytest
+
+from repro.ir import ParseError, parse_module
+
+
+class TestAccfgParseErrors:
+    def test_setup_missing_on_keyword(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                """
+                func.func @f(%x : i64) -> () {
+                  %s = accfg.setup "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+                  func.return
+                }
+                """
+            )
+
+    def test_setup_field_needs_string_name(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                """
+                func.func @f(%x : i64) -> () {
+                  %s = accfg.setup on "toyvec" (n = %x : i64) : !accfg.state<"toyvec">
+                  func.return
+                }
+                """
+            )
+
+    def test_launch_requires_state_value(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                """
+                func.func @f(%x : i64) -> () {
+                  %t = accfg.launch : !accfg.token<"toyvec">
+                  func.return
+                }
+                """
+            )
+
+    def test_state_type_requires_quoted_name(self):
+        with pytest.raises(ParseError):
+            parse_module(
+                "func.func @f(%s : !accfg.state<toyvec>) -> () { func.return }"
+            )
+
+    def test_bad_effects_value_rejected(self):
+        with pytest.raises(ValueError):
+            parse_module(
+                """
+                func.func @f() -> () {
+                  "x.y"() {accfg.effects = #accfg.effects<sometimes>} : () -> ()
+                  func.return
+                }
+                """
+            )
+
+    def test_unknown_accfg_attribute(self):
+        with pytest.raises(ParseError, match="unknown accfg attribute"):
+            parse_module(
+                """
+                func.func @f() -> () {
+                  "x.y"() {k = #accfg.wibble<1>} : () -> ()
+                  func.return
+                }
+                """
+            )
+
+
+class TestAccfgSyntaxEdges:
+    def test_empty_setup(self):
+        module = parse_module(
+            """
+            func.func @f() -> () {
+              %s = accfg.setup on "toyvec" () : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        from repro.dialects import accfg
+
+        setup = next(op for op in module.walk() if isinstance(op, accfg.SetupOp))
+        assert setup.fields == ()
+
+    def test_accelerator_names_with_dashes(self):
+        module = parse_module(
+            """
+            func.func @f(%x : i64) -> () {
+              %s = accfg.setup on "toyvec-seq" ("n" = %x : i64) : !accfg.state<"toyvec-seq">
+              func.return
+            }
+            """
+        )
+        assert 'on "toyvec-seq"' in str(module)
+
+    def test_chain_and_launch_fields_roundtrip(self):
+        text = """
+        func.func @f(%x : i64) -> () {
+          %s1 = accfg.setup on "gemmini" ("I" = %x : i64) : !accfg.state<"gemmini">
+          %s2 = accfg.setup on "gemmini" from %s1 ("J" = %x : i64) : !accfg.state<"gemmini">
+          %t = accfg.launch %s2 ("op" = %x : i64, "ld_addr" = %x : i64) : !accfg.token<"gemmini">
+          accfg.await %t
+          func.return
+        }
+        """
+        module = parse_module(text)
+        printed = str(module)
+        assert str(parse_module(printed)) == printed
+        assert '("op" = ' in printed

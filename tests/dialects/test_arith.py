@@ -1,0 +1,217 @@
+"""Tests for the arith dialect: construction, verification, folding."""
+
+import pytest
+
+from repro.dialects import arith
+from repro.ir import IntegerAttr, VerifyError, i1, i8, i64
+
+
+def const(value, type=i64):
+    return arith.ConstantOp.create(value, type)
+
+
+class TestConstant:
+    def test_value_accessor(self):
+        assert const(42).value == 42
+
+    def test_negative_wraps_to_unsigned(self):
+        c = const(-1, i8)
+        assert c.value == 255
+
+    def test_verify_requires_matching_type(self):
+        c = const(1, i64)
+        c.attributes["value"] = IntegerAttr(1, i8)
+        with pytest.raises(VerifyError):
+            c.verify_()
+
+
+class TestBinaryConstruction:
+    def test_mismatched_types_rejected(self):
+        with pytest.raises(VerifyError):
+            arith.AddiOp.create(const(1, i64).result, const(1, i8).result)
+
+    def test_result_type_follows_operands(self):
+        add = arith.AddiOp.create(const(1, i8).result, const(2, i8).result)
+        assert add.result.type == i8
+
+    @pytest.mark.parametrize(
+        "cls,lhs,rhs,expected",
+        [
+            (arith.AddiOp, 3, 4, 7),
+            (arith.SubiOp, 10, 4, 6),
+            (arith.MuliOp, 6, 7, 42),
+            (arith.DivuiOp, 9, 2, 4),
+            (arith.RemuiOp, 9, 2, 1),
+            (arith.AndiOp, 0b1100, 0b1010, 0b1000),
+            (arith.OriOp, 0b1100, 0b1010, 0b1110),
+            (arith.XoriOp, 0b1100, 0b1010, 0b0110),
+            (arith.ShliOp, 1, 4, 16),
+            (arith.ShruiOp, 16, 4, 1),
+            (arith.MinUIOp, 3, 9, 3),
+            (arith.MaxUIOp, 3, 9, 9),
+        ],
+    )
+    def test_evaluate(self, cls, lhs, rhs, expected):
+        op = cls.create(const(lhs).result, const(rhs).result)
+        assert op.evaluate(lhs, rhs) == expected
+
+
+class TestFolding:
+    def fold_result(self, op):
+        folded = op.fold()
+        assert folded is not None and len(folded) == 1
+        return folded[0]
+
+    def test_constant_fold_add(self):
+        op = arith.AddiOp.create(const(3).result, const(4).result)
+        assert self.fold_result(op) == IntegerAttr(7, i64)
+
+    def test_fold_wraps_to_width(self):
+        op = arith.AddiOp.create(const(255, i8).result, const(1, i8).result)
+        assert self.fold_result(op) == IntegerAttr(0, i8)
+
+    @staticmethod
+    def unknown(value=5):
+        """A non-constant value (so identity folds, not constant folds, fire)."""
+        return arith.AddiOp.create(const(value).result, const(0).result)
+
+    def test_add_zero_identity(self):
+        x = self.unknown()
+        op = arith.AddiOp.create(x.result, const(0).result)
+        assert self.fold_result(op) is x.result
+
+    def test_zero_plus_x(self):
+        x = self.unknown()
+        op = arith.AddiOp.create(const(0).result, x.result)
+        assert self.fold_result(op) is x.result
+
+    def test_mul_one_identity(self):
+        x = self.unknown()
+        op = arith.MuliOp.create(x.result, const(1).result)
+        assert self.fold_result(op) is x.result
+
+    def test_mul_zero_annihilates(self):
+        x = arith.AddiOp.create(const(5).result, const(6).result)
+        op = arith.MuliOp.create(x.result, const(0).result)
+        assert self.fold_result(op) == IntegerAttr(0, i64)
+
+    def test_sub_self_is_zero(self):
+        x = const(5)
+        op = arith.SubiOp.create(x.result, x.result)
+        assert self.fold_result(op) == IntegerAttr(0, i64)
+
+    def test_div_by_zero_not_folded(self):
+        op = arith.DivuiOp.create(const(5).result, const(0).result)
+        assert op.fold() is None
+
+    def test_rem_by_one_is_zero(self):
+        x = arith.AddiOp.create(const(5).result, const(6).result)
+        op = arith.RemuiOp.create(x.result, const(1).result)
+        assert self.fold_result(op) == IntegerAttr(0, i64)
+
+    def test_or_self(self):
+        x = self.unknown()
+        op = arith.OriOp.create(x.result, x.result)
+        assert self.fold_result(op) is x.result
+
+    def test_xor_self_is_zero(self):
+        x = self.unknown()
+        op = arith.XoriOp.create(x.result, x.result)
+        assert self.fold_result(op) == IntegerAttr(0, i64)
+
+    def test_no_fold_for_unknowns(self):
+        x = arith.AddiOp.create(const(1).result, const(2).result)
+        y = arith.AddiOp.create(const(3).result, const(4).result)
+        op = arith.AddiOp.create(x.result, y.result)
+        assert op.fold() is None
+
+
+class TestCmpi:
+    @pytest.mark.parametrize(
+        "pred,lhs,rhs,expected",
+        [
+            ("eq", 1, 1, True),
+            ("ne", 1, 1, False),
+            ("ult", 2, 3, True),
+            ("ule", 3, 3, True),
+            ("ugt", 4, 3, True),
+            ("uge", 2, 3, False),
+            ("slt", 2, 3, True),
+            ("sge", 3, 3, True),
+        ],
+    )
+    def test_predicates(self, pred, lhs, rhs, expected):
+        assert (
+            arith.CmpiOp.evaluate_predicate(pred, lhs, rhs, 64) is expected
+        )
+
+    def test_signed_uses_twos_complement(self):
+        # 255 as i8 is -1, which is slt 0.
+        assert arith.CmpiOp.evaluate_predicate("slt", 255, 0, 8)
+        assert not arith.CmpiOp.evaluate_predicate("ult", 255, 0, 8)
+
+    def test_result_is_i1(self):
+        op = arith.CmpiOp.create("eq", const(1).result, const(1).result)
+        assert op.result.type == i1
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(VerifyError):
+            arith.CmpiOp.create("weird", const(1).result, const(1).result)
+
+    def test_fold_constants(self):
+        op = arith.CmpiOp.create("ult", const(1).result, const(2).result)
+        assert op.fold() == [IntegerAttr(1, i1)]
+
+    def test_fold_same_value_reflexive(self):
+        x = arith.AddiOp.create(const(1).result, const(2).result)
+        eq = arith.CmpiOp.create("eq", x.result, x.result)
+        assert eq.fold() == [IntegerAttr(1, i1)]
+        lt = arith.CmpiOp.create("ult", x.result, x.result)
+        assert lt.fold() == [IntegerAttr(0, i1)]
+
+
+class TestSelect:
+    def test_fold_constant_condition(self):
+        t = const(1)
+        f = const(2)
+        cond = arith.ConstantOp.create(1, i1)
+        op = arith.SelectOp.create(cond.result, t.result, f.result)
+        assert op.fold() == [t.result]
+
+    def test_fold_equal_branches(self):
+        x = const(5)
+        cond_op = arith.CmpiOp.create("eq", const(1).result, const(2).result)
+        op = arith.SelectOp.create(cond_op.result, x.result, x.result)
+        assert op.fold() == [x.result]
+
+    def test_condition_must_be_i1(self):
+        op = arith.SelectOp(
+            operands=[const(1).result, const(2).result, const(3).result],
+            result_types=[i64],
+        )
+        with pytest.raises(VerifyError):
+            op.verify_()
+
+
+class TestHelpers:
+    def test_constant_value(self):
+        assert arith.constant_value(const(9).result) == 9
+        add = arith.AddiOp.create(const(1).result, const(2).result)
+        assert arith.constant_value(add.result) is None
+
+    def test_truncate_to_type(self):
+        assert arith.truncate_to_type(256, i8) == 0
+        assert arith.truncate_to_type(-1, i8) == 255
+        from repro.ir import index
+
+        assert arith.truncate_to_type(10**20, index) == 10**20
+
+    def test_materialize_attr(self):
+        op = arith.materialize_attr(IntegerAttr(5, i8))
+        assert op.value == 5 and op.result.type == i8
+
+    def test_materialize_non_integer_raises(self):
+        from repro.ir import StringAttr
+
+        with pytest.raises(VerifyError):
+            arith.materialize_attr(StringAttr("nope"))

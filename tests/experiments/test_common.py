@@ -1,0 +1,41 @@
+"""Tests for the shared experiment plumbing."""
+
+import pytest
+
+from repro.experiments.common import ExperimentRun, run_workload
+from repro.workloads import build_opengemm_matmul
+
+
+class TestRunWorkload:
+    def test_functional_run_checks_numerics(self):
+        run = run_workload(build_opengemm_matmul(16), "full")
+        assert isinstance(run, ExperimentRun)
+        assert run.correct
+        assert run.accelerator == "opengemm"
+        assert run.size == 16
+        assert run.pipeline == "full"
+
+    def test_timing_only_run_skips_check(self):
+        run = run_workload(build_opengemm_matmul(16), "full", functional=False)
+        assert run.correct  # vacuously true: no numerics executed
+        assert run.cycles > 0
+
+    def test_host_cost_model_comes_from_spec(self):
+        """OpenGeMM runs with the 1-cycle Snitch model, not the default 3."""
+        run = run_workload(build_opengemm_matmul(16), "baseline", functional=False)
+        stats_cycles = run.metrics.setup_cycles
+        # 25 CSRs + launch per tile at 1 cycle each; with the default
+        # 3-cycle model this would be 3x larger.
+        tiles = (16 // 8) ** 2
+        assert stats_cycles == pytest.approx(tiles * (25 + 2))
+
+    def test_performance_property(self):
+        run = run_workload(build_opengemm_matmul(16), "full", functional=False)
+        assert run.performance == pytest.approx(
+            run.metrics.total_ops / run.metrics.total_cycles
+        )
+
+    def test_pipeline_actually_applied(self):
+        base = run_workload(build_opengemm_matmul(16), "baseline", functional=False)
+        full = run_workload(build_opengemm_matmul(16), "full", functional=False)
+        assert full.cycles < base.cycles

@@ -1,0 +1,59 @@
+"""Tests for the Figure 2/7 timeline experiment."""
+
+import pytest
+
+from repro.experiments import fig2_timeline
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2_timeline.run(size=16)
+
+
+class TestOverheadDefinition:
+    def test_accelerator_idle_is_overhead(self, result):
+        baseline = result.breakdown("baseline")
+        # Figure 2's claim: a configuration-bound program spends most of its
+        # time with the accelerator idle.
+        assert baseline.overhead_fraction > 0.5
+
+    def test_accounting_consistent(self, result):
+        for breakdown in result.breakdowns.values():
+            assert (
+                breakdown.accel_busy_cycles + breakdown.accel_idle_cycles
+                == pytest.approx(breakdown.total_cycles)
+            )
+            assert breakdown.config_cycles < breakdown.total_cycles
+
+
+class TestOptimizationEffects:
+    def test_dedup_shrinks_config_bursts(self, result):
+        assert (
+            result.breakdown("dedup").config_cycles
+            < result.breakdown("baseline").config_cycles
+        )
+
+    def test_overlap_shrinks_idle_not_config(self, result):
+        dedup = result.breakdown("dedup")
+        full = result.breakdown("full")
+        # Overlap does not remove configuration work; it hides it.
+        assert full.accel_idle_cycles < dedup.accel_idle_cycles
+        assert full.host_stall_cycles < dedup.host_stall_cycles
+
+    def test_overhead_strictly_decreasing(self, result):
+        fractions = [
+            result.breakdown(v).overhead_fraction
+            for v in ("baseline", "dedup", "full")
+        ]
+        assert fractions[0] > fractions[1] > fractions[2]
+
+    def test_accelerator_work_is_invariant(self, result):
+        busy = {
+            v: result.breakdown(v).accel_busy_cycles
+            for v in ("baseline", "dedup", "full")
+        }
+        assert busy["baseline"] == busy["dedup"] == busy["full"]
+
+    def test_render(self, result):
+        art = result.breakdown("full").timeline.render_ascii(width=60)
+        assert "host" in art and "opengemm" in art

@@ -1,0 +1,44 @@
+"""Tests for the output-stationary outlook experiment."""
+
+import pytest
+
+from repro.experiments import outlook_os_gemmini
+from repro.experiments.common import run_workload
+from repro.ir import verify_operation
+from repro.workloads.matmul import build_gemmini_os_matmul
+
+
+class TestOsWorkload:
+    def test_ir_verifies(self):
+        verify_operation(build_gemmini_os_matmul(32).module)
+
+    @pytest.mark.parametrize("pipeline", ["none", "volatile-baseline", "full"])
+    def test_numerics(self, pipeline):
+        result = run_workload(build_gemmini_os_matmul(32), pipeline)
+        assert result.correct
+
+    def test_os_carries_more_config_than_ws(self):
+        from repro.workloads import build_gemmini_matmul
+
+        os_run = run_workload(
+            build_gemmini_os_matmul(32), "volatile-baseline", functional=False
+        )
+        ws_run = run_workload(
+            build_gemmini_matmul(32), "volatile-baseline", functional=False
+        )
+        assert os_run.metrics.config_bytes > ws_run.metrics.config_bytes
+
+
+class TestPrediction:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return outlook_os_gemmini.run(sizes=(32, 64), functional=False)
+
+    def test_paper_prediction_holds(self, result):
+        assert result.prediction_holds
+        assert result.os_geomean > result.ws_geomean
+
+    def test_uplifts_positive(self, result):
+        for row in result.rows:
+            assert row.ws_uplift >= 1.0
+            assert row.os_uplift >= 1.0

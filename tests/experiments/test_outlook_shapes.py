@@ -1,0 +1,37 @@
+"""Tests for the matrix-shape outlook experiment."""
+
+import pytest
+
+from repro.core.roofline import Boundness
+from repro.experiments import outlook_shapes
+
+
+@pytest.fixture(scope="module")
+def result():
+    return outlook_shapes.run(functional=False)
+
+
+class TestShapeSweep:
+    def test_intensity_rises_with_inner_dimension(self, result):
+        intensities = [row.baseline_i_oc for row in result.rows]
+        assert intensities == sorted(intensities)
+
+    def test_speedup_falls_with_intensity(self, result):
+        """Deeper in the configuration-bound region -> more to gain."""
+        speedups = [row.speedup for row in result.rows]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_regions_transition(self, result):
+        regions = [result.boundness(row) for row in result.rows]
+        assert regions[0] is Boundness.CONFIG_BOUND
+        assert regions[-1] is Boundness.COMPUTE_BOUND
+
+    def test_all_speedups_positive(self, result):
+        for row in result.rows:
+            assert row.speedup > 1.0
+
+    def test_constant_volume(self, result):
+        volumes = {
+            row.shape[0] * row.shape[1] * row.shape[2] for row in result.rows
+        }
+        assert len(volumes) == 1

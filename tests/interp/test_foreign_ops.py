@@ -1,0 +1,93 @@
+"""Tests for interpreting annotated foreign operations."""
+
+import pytest
+
+from repro.interp import InterpreterError, run_module
+from repro.ir import parse_module
+from repro.isa import InstrCategory
+from repro.sim import CoSimulator
+
+
+class TestForeignOps:
+    def test_effects_none_foreign_op_executes_as_host_work(self):
+        module = parse_module(
+            """
+            func.func @main() -> () {
+              "libc.printf"() {accfg.effects = "none"} : () -> ()
+              func.return
+            }
+            """
+        )
+        sim = CoSimulator()
+        run_module(module, sim)
+        stats = sim.trace.stats(sim.cost_model)
+        assert stats.compute_instrs == 1
+
+    def test_effects_all_foreign_op_executes(self):
+        module = parse_module(
+            """
+            func.func @main() -> () {
+              "driver.reset_accelerator"() {accfg.effects = "all"} : () -> ()
+              func.return
+            }
+            """
+        )
+        results, _ = run_module(module)
+        assert results == []
+
+    def test_unannotated_foreign_op_rejected(self):
+        module = parse_module(
+            """
+            func.func @main() -> () {
+              "mystery.op"() : () -> ()
+              func.return
+            }
+            """
+        )
+        with pytest.raises(InterpreterError, match="unregistered"):
+            run_module(module)
+
+    def test_foreign_op_with_results_rejected(self):
+        module = parse_module(
+            """
+            func.func @main() -> (i64) {
+              %r = "mystery.read"() {accfg.effects = "none"} : () -> (i64)
+              func.return %r : i64
+            }
+            """
+        )
+        with pytest.raises(InterpreterError):
+            run_module(module)
+
+    def test_state_preserved_across_annotated_foreign_op(self):
+        """End to end: the annotated call does not disturb the device's
+        register file, so a partial setup after it still works."""
+        import numpy as np
+
+        from repro.sim import Memory
+
+        memory = Memory()
+        x = memory.place(np.arange(8, dtype=np.int32))
+        y = memory.place(np.arange(8, dtype=np.int32))
+        out = memory.alloc(8, np.int32)
+        module = parse_module(
+            f"""
+            func.func @main() -> () {{
+              %px = arith.constant {x.addr} : i64
+              %py = arith.constant {y.addr} : i64
+              %po = arith.constant {out.addr} : i64
+              %n = arith.constant 8 : i64
+              %add = arith.constant 0 : i64
+              %mul = arith.constant 1 : i64
+              %s = accfg.setup on "toyvec" ("ptr_x" = %px : i64, "ptr_y" = %py : i64, "ptr_out" = %po : i64, "n" = %n : i64, "op" = %add : i64) : !accfg.state<"toyvec">
+              "libc.printf"() {{accfg.effects = "none"}} : () -> ()
+              %s2 = accfg.setup on "toyvec" ("op" = %mul : i64) : !accfg.state<"toyvec">
+              %t = accfg.launch %s2 : !accfg.token<"toyvec">
+              accfg.await %t
+              func.return
+            }}
+            """
+        )
+        sim = CoSimulator(memory=memory)
+        run_module(module, sim)
+        assert (out.array == x.array * y.array).all()

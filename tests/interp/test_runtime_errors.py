@@ -1,0 +1,112 @@
+"""Tests for runtime error propagation through the interpreter stack."""
+
+import pytest
+
+from repro.interp import run_module
+from repro.ir import parse_module
+from repro.sim import CoSimulator
+from repro.sim.memory import MemoryError_
+
+
+class TestArithmeticTraps:
+    def test_division_by_zero_surfaces(self):
+        module = parse_module(
+            """
+            func.func @main(%a : i64) -> (i64) {
+              %c0 = arith.constant 0 : i64
+              %r = arith.divui %a, %c0 : i64
+              func.return %r : i64
+            }
+            """
+        )
+        with pytest.raises(ZeroDivisionError):
+            run_module(module, args=[5])
+
+    def test_remainder_by_zero_surfaces(self):
+        module = parse_module(
+            """
+            func.func @main(%a : i64) -> (i64) {
+              %c0 = arith.constant 0 : i64
+              %r = arith.remui %a, %c0 : i64
+              func.return %r : i64
+            }
+            """
+        )
+        with pytest.raises(ZeroDivisionError):
+            run_module(module, args=[5])
+
+
+class TestMemoryFaults:
+    def test_wild_pointer_faults_at_launch(self):
+        module = parse_module(
+            """
+            func.func @main() -> () {
+              %bad = arith.constant 3 : i64
+              %n = arith.constant 8 : i64
+              %op = arith.constant 0 : i64
+              %s = accfg.setup on "toyvec" ("ptr_x" = %bad : i64, "ptr_y" = %bad : i64, "ptr_out" = %bad : i64, "n" = %n : i64, "op" = %op : i64) : !accfg.state<"toyvec">
+              %t = accfg.launch %s : !accfg.token<"toyvec">
+              func.return
+            }
+            """
+        )
+        with pytest.raises(MemoryError_):
+            run_module(module)
+
+    def test_timing_only_mode_skips_memory_faults(self):
+        """functional=False runs pure timing: bad addresses never touch the
+        memory model (how the large sweeps run)."""
+        module = parse_module(
+            """
+            func.func @main() -> () {
+              %bad = arith.constant 3 : i64
+              %n = arith.constant 8 : i64
+              %op = arith.constant 0 : i64
+              %s = accfg.setup on "toyvec" ("ptr_x" = %bad : i64, "ptr_y" = %bad : i64, "ptr_out" = %bad : i64, "n" = %n : i64, "op" = %op : i64) : !accfg.state<"toyvec">
+              %t = accfg.launch %s : !accfg.token<"toyvec">
+              func.return
+            }
+            """
+        )
+        sim = CoSimulator(functional=False)
+        run_module(module, sim)
+        assert sim.device("toyvec").launch_count == 1
+
+
+class TestRecursionGuard:
+    def test_unbounded_recursion_detected(self):
+        module = parse_module(
+            """
+            func.func @spin(%x : i64) -> (i64) {
+              %r = func.call @spin(%x) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            func.func @main(%x : i64) -> (i64) {
+              %r = func.call @spin(%x) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            """
+        )
+        from repro.interp import InterpreterError
+
+        with pytest.raises(InterpreterError, match="call depth"):
+            run_module(module, args=[1])
+
+    def test_deep_but_bounded_calls_fine(self):
+        module = parse_module(
+            """
+            func.func @leaf(%x : i64) -> (i64) {
+              func.return %x : i64
+            }
+            func.func @mid(%x : i64) -> (i64) {
+              %r = func.call @leaf(%x) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            func.func @main(%x : i64) -> (i64) {
+              %r = func.call @mid(%x) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            """
+        )
+        results, _ = run_module(module, args=[7])
+        assert results == [7]

@@ -1,0 +1,118 @@
+"""Tests for IR attributes and types."""
+
+import pytest
+
+from repro.ir import (
+    ArrayAttr,
+    BoolAttr,
+    DictAttr,
+    FunctionType,
+    IndexType,
+    IntegerAttr,
+    IntegerType,
+    StringAttr,
+    SymbolRefAttr,
+    UnitAttr,
+    i1,
+    i32,
+    i64,
+    index,
+)
+
+
+class TestIntegerType:
+    def test_str(self):
+        assert str(IntegerType(32)) == "i32"
+        assert str(IntegerType(1)) == "i1"
+
+    def test_equality_by_value(self):
+        assert IntegerType(64) == i64
+        assert IntegerType(32) != i64
+
+    def test_hashable(self):
+        assert len({IntegerType(8), IntegerType(8), IntegerType(16)}) == 2
+
+    @pytest.mark.parametrize("width", [0, -1, -64])
+    def test_invalid_width_rejected(self, width):
+        with pytest.raises(ValueError):
+            IntegerType(width)
+
+    def test_singletons_consistent(self):
+        assert i1.width == 1
+        assert i32.width == 32
+        assert i64.width == 64
+
+
+class TestIndexType:
+    def test_str(self):
+        assert str(index) == "index"
+
+    def test_distinct_from_integers(self):
+        assert index != i64
+        assert IndexType() == index
+
+
+class TestFunctionType:
+    def test_single_result_str(self):
+        ft = FunctionType.from_lists([i64, i32], [i64])
+        assert str(ft) == "(i64, i32) -> i64"
+
+    def test_multi_result_str(self):
+        ft = FunctionType.from_lists([i64], [i64, i1])
+        assert str(ft) == "(i64) -> (i64, i1)"
+
+    def test_empty(self):
+        ft = FunctionType.from_lists([], [])
+        assert str(ft) == "() -> ()"
+
+    def test_equality(self):
+        a = FunctionType.from_lists([i64], [i64])
+        b = FunctionType((i64,), (i64,))
+        assert a == b
+
+
+class TestScalarAttrs:
+    def test_integer_attr_str(self):
+        assert str(IntegerAttr(5, i32)) == "5 : i32"
+
+    def test_integer_attr_default_type(self):
+        assert IntegerAttr(7).type == i64
+
+    def test_bool_attr(self):
+        assert str(BoolAttr(True)) == "true"
+        assert str(BoolAttr(False)) == "false"
+
+    def test_string_attr(self):
+        assert str(StringAttr("gemmini")) == '"gemmini"'
+
+    def test_symbol_ref(self):
+        assert str(SymbolRefAttr("main")) == "@main"
+
+    def test_unit(self):
+        assert str(UnitAttr()) == "unit"
+        assert UnitAttr() == UnitAttr()
+
+
+class TestContainerAttrs:
+    def test_array_attr(self):
+        arr = ArrayAttr.from_list([IntegerAttr(1, i64), StringAttr("x")])
+        assert len(arr) == 2
+        assert arr[1] == StringAttr("x")
+        assert list(arr) == [IntegerAttr(1, i64), StringAttr("x")]
+
+    def test_array_str(self):
+        arr = ArrayAttr.from_list([BoolAttr(True)])
+        assert str(arr) == "[true]"
+
+    def test_dict_attr_roundtrip(self):
+        d = DictAttr.from_dict({"a": IntegerAttr(1, i64), "b": BoolAttr(False)})
+        assert d.as_dict()["b"] == BoolAttr(False)
+
+    def test_dict_attr_preserves_order(self):
+        d = DictAttr.from_dict({"z": BoolAttr(True), "a": BoolAttr(False)})
+        assert [k for k, _ in d.entries] == ["z", "a"]
+
+    def test_nested_attrs_hashable(self):
+        inner = ArrayAttr.from_list([IntegerAttr(3, i32)])
+        outer = DictAttr.from_dict({"k": inner})
+        assert hash(outer) == hash(DictAttr.from_dict({"k": inner}))

@@ -1,0 +1,125 @@
+"""Tests for blocks and regions."""
+
+import pytest
+
+from repro.dialects import arith, scf
+from repro.ir import Block, IRError, Region, i64, index, values_defined_above
+
+
+class TestBlockOps:
+    def test_add_and_index(self):
+        block = Block()
+        c1 = arith.ConstantOp.create(1, i64)
+        c2 = arith.ConstantOp.create(2, i64)
+        block.add_ops([c1, c2])
+        assert block.index_of(c2) == 1
+        assert len(block) == 2
+
+    def test_insert_before_after(self):
+        block = Block()
+        c1 = arith.ConstantOp.create(1, i64)
+        c3 = arith.ConstantOp.create(3, i64)
+        block.add_ops([c1, c3])
+        c2 = arith.ConstantOp.create(2, i64)
+        block.insert_op_after(c1, c2)
+        c0 = arith.ConstantOp.create(0, i64)
+        block.insert_op_before(c1, c0)
+        values = [op.value for op in block.ops]
+        assert values == [0, 1, 2, 3]
+
+    def test_first_last_op(self):
+        block = Block()
+        assert block.first_op is None
+        assert block.last_op is None
+        c = arith.ConstantOp.create(1, i64)
+        block.add_op(c)
+        assert block.first_op is c
+        assert block.last_op is c
+
+    def test_terminator(self):
+        block = Block()
+        assert block.terminator is None
+        block.add_op(arith.ConstantOp.create(1, i64))
+        assert block.terminator is None
+        y = scf.YieldOp.create()
+        block.add_op(y)
+        assert block.terminator is y
+
+    def test_detach_unowned_raises(self):
+        block = Block()
+        c = arith.ConstantOp.create(1, i64)
+        with pytest.raises(IRError):
+            block.detach_op(c)
+
+    def test_iteration(self):
+        block = Block([arith.ConstantOp.create(i, i64) for i in range(3)])
+        assert [op.value for op in block] == [0, 1, 2]
+
+
+class TestBlockArguments:
+    def test_add_arg(self):
+        block = Block()
+        arg = block.add_arg(i64, "x")
+        assert arg.index == 0
+        assert arg.name_hint == "x"
+        assert block.args == [arg]
+
+    def test_erase_arg_renumbers(self):
+        block = Block(arg_types=[i64, i64, i64])
+        middle = block.args[1]
+        block.erase_arg(middle)
+        assert [a.index for a in block.args] == [0, 1]
+
+    def test_erase_used_arg_raises(self):
+        block = Block(arg_types=[i64])
+        arith.AddiOp.create(block.args[0], block.args[0])
+        with pytest.raises(IRError):
+            block.erase_arg(block.args[0])
+
+
+class TestRegion:
+    def test_single_block_accessor(self):
+        region = Region([Block()])
+        assert region.block is region.blocks[0]
+
+    def test_multi_block_accessor_raises(self):
+        region = Region([Block(), Block()])
+        with pytest.raises(IRError):
+            region.block
+
+    def test_empty(self):
+        assert Region([]).empty
+        assert Region([Block()]).empty
+        assert not Region([Block([scf.YieldOp.create()])]).empty
+
+    def test_block_double_add_raises(self):
+        block = Block()
+        Region([block])
+        with pytest.raises(IRError):
+            Region([block])
+
+
+class TestValuesDefinedAbove:
+    def test_captures_external_values(self):
+        outer = arith.ConstantOp.create(5, index)
+        lb = arith.ConstantOp.create(0, index)
+        ub = arith.ConstantOp.create(4, index)
+        step = arith.ConstantOp.create(1, index)
+        loop = scf.ForOp.create(lb.result, ub.result, step.result)
+        add = arith.AddiOp.create(outer.result, loop.induction_var)
+        loop.body.add_op(add)
+        loop.body.add_op(scf.YieldOp.create())
+        captured = values_defined_above(loop.regions[0])
+        assert outer.result in captured
+        assert loop.induction_var not in captured
+
+    def test_internal_values_not_captured(self):
+        lb = arith.ConstantOp.create(0, index)
+        ub = arith.ConstantOp.create(4, index)
+        step = arith.ConstantOp.create(1, index)
+        loop = scf.ForOp.create(lb.result, ub.result, step.result)
+        inner = arith.ConstantOp.create(1, index)
+        add = arith.AddiOp.create(inner.result, inner.result)
+        loop.body.add_ops([inner, add, scf.YieldOp.create()])
+        captured = values_defined_above(loop.regions[0])
+        assert inner.result not in captured

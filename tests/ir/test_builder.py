@@ -1,0 +1,66 @@
+"""Tests for the IR builder and insertion points."""
+
+import pytest
+
+from repro.dialects import arith
+from repro.ir import Block, Builder, InsertPoint, IRError, i64
+
+
+class TestInsertPoint:
+    def test_at_end(self):
+        block = Block([arith.ConstantOp.create(1, i64)])
+        point = InsertPoint.at_end(block)
+        assert point.index == 1
+
+    def test_at_start(self):
+        block = Block([arith.ConstantOp.create(1, i64)])
+        assert InsertPoint.at_start(block).index == 0
+
+    def test_before_after(self):
+        c1 = arith.ConstantOp.create(1, i64)
+        c2 = arith.ConstantOp.create(2, i64)
+        block = Block([c1, c2])
+        assert InsertPoint.before(c2).index == 1
+        assert InsertPoint.after(c1).index == 1
+
+    def test_before_detached_raises(self):
+        c = arith.ConstantOp.create(1, i64)
+        with pytest.raises(IRError):
+            InsertPoint.before(c)
+
+
+class TestBuilder:
+    def test_insert_advances(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        a = builder.insert(arith.ConstantOp.create(1, i64))
+        b = builder.insert(arith.ConstantOp.create(2, i64))
+        assert block.ops == [a, b]
+
+    def test_insert_at_start_keeps_order(self):
+        block = Block([arith.ConstantOp.create(9, i64)])
+        builder = Builder.at_start(block)
+        builder.insert(arith.ConstantOp.create(1, i64))
+        builder.insert(arith.ConstantOp.create(2, i64))
+        assert [op.value for op in block.ops] == [1, 2, 9]
+
+    def test_no_insert_point_raises(self):
+        with pytest.raises(IRError):
+            Builder().insert(arith.ConstantOp.create(1, i64))
+
+    def test_temporary_insertion_point(self):
+        block1 = Block()
+        block2 = Block()
+        builder = Builder.at_end(block1)
+        with builder.at(InsertPoint.at_end(block2)):
+            builder.insert(arith.ConstantOp.create(5, i64))
+        builder.insert(arith.ConstantOp.create(1, i64))
+        assert len(block1.ops) == 1
+        assert len(block2.ops) == 1
+
+    def test_insert_all(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        ops = [arith.ConstantOp.create(i, i64) for i in range(3)]
+        builder.insert_all(ops)
+        assert block.ops == ops

@@ -1,0 +1,186 @@
+"""Tests for the Operation base class: structure, cloning, traits, walking."""
+
+import pytest
+
+from repro.dialects import arith, scf
+from repro.ir import (
+    Block,
+    IntegerAttr,
+    IRError,
+    Operation,
+    Region,
+    UnregisteredOp,
+    i64,
+    index,
+)
+from repro.ir.traits import IsTerminator, Pure
+
+
+def simple_loop():
+    """for i in 0..10 step 1 { %x = addi %c, %c }  — returns (ops, loop)."""
+    lb = arith.ConstantOp.create(0, index)
+    ub = arith.ConstantOp.create(10, index)
+    step = arith.ConstantOp.create(1, index)
+    c = arith.ConstantOp.create(7, index)
+    loop = scf.ForOp.create(lb.result, ub.result, step.result)
+    add = arith.AddiOp.create(c.result, c.result)
+    loop.body.add_op(add)
+    loop.body.add_op(scf.YieldOp.create())
+    return [lb, ub, step, c, loop], loop
+
+
+class TestStructure:
+    def test_results_numbered(self):
+        c = arith.ConstantOp.create(1, i64)
+        assert c.results[0].index == 0
+        assert c.result is c.results[0]
+
+    def test_result_property_raises_for_zero_results(self):
+        op = scf.YieldOp.create()
+        with pytest.raises(IRError):
+            op.result
+
+    def test_parent_links(self):
+        block = Block()
+        c = arith.ConstantOp.create(1, i64)
+        block.add_op(c)
+        assert c.parent is block
+
+    def test_parent_op_through_region(self):
+        _, loop = simple_loop()
+        add = loop.body.ops[0]
+        assert add.parent_op is loop
+
+    def test_is_ancestor_of(self):
+        _, loop = simple_loop()
+        add = loop.body.ops[0]
+        assert loop.is_ancestor_of(add)
+        assert not add.is_ancestor_of(loop)
+
+    def test_set_operands_resizes(self):
+        c1 = arith.ConstantOp.create(1, i64)
+        c2 = arith.ConstantOp.create(2, i64)
+        op = UnregisteredOp("test.op", operands=[c1.result])
+        op.set_operands([c1.result, c2.result])
+        assert len(op.operands) == 2
+        op.set_operands([])
+        assert not c1.result.has_uses
+
+
+class TestTraits:
+    def test_pure_trait(self):
+        assert arith.ConstantOp.create(1, i64).is_pure
+        assert arith.AddiOp.has_trait(Pure())
+
+    def test_terminator_trait(self):
+        assert scf.YieldOp.create().is_terminator
+        assert not arith.ConstantOp.create(1, i64).is_terminator
+
+    def test_unregistered_has_no_traits(self):
+        op = UnregisteredOp("foreign.op")
+        assert not op.is_pure
+        assert not op.is_terminator
+
+
+class TestWalk:
+    def test_walk_preorder(self):
+        ops, loop = simple_loop()
+        block = Block()
+        for op in ops:
+            block.add_op(op)
+        names = [op.name for op in loop.walk()]
+        assert names == ["scf.for", "arith.addi", "scf.yield"]
+
+    def test_walk_reverse(self):
+        _, loop = simple_loop()
+        names = [op.name for op in loop.walk(reverse=True)]
+        assert names[0] == "scf.for"
+        assert names[-1] == "arith.addi"
+
+
+class TestOrdering:
+    def test_is_before_in_block(self):
+        block = Block()
+        c1 = arith.ConstantOp.create(1, i64)
+        c2 = arith.ConstantOp.create(2, i64)
+        block.add_op(c1)
+        block.add_op(c2)
+        assert c1.is_before_in_block(c2)
+        assert not c2.is_before_in_block(c1)
+
+    def test_is_before_requires_same_block(self):
+        c1 = arith.ConstantOp.create(1, i64)
+        c2 = arith.ConstantOp.create(2, i64)
+        Block([c1])
+        Block([c2])
+        with pytest.raises(IRError):
+            c1.is_before_in_block(c2)
+
+
+class TestClone:
+    def test_clone_remaps_operands(self):
+        c1 = arith.ConstantOp.create(1, i64)
+        c2 = arith.ConstantOp.create(2, i64)
+        add = arith.AddiOp.create(c1.result, c1.result)
+        clone = add.clone({c1.result: c2.result})
+        assert clone.operands == (c2.result, c2.result)
+        assert clone is not add
+
+    def test_clone_copies_attributes(self):
+        c = arith.ConstantOp.create(42, i64)
+        clone = c.clone()
+        assert clone.attributes["value"] == IntegerAttr(42, i64)
+        clone.attributes["value"] = IntegerAttr(0, i64)
+        assert c.value == 42
+
+    def test_clone_regions_deep(self):
+        _, loop = simple_loop()
+        value_map = {o: o for o in loop.operands}
+        clone = loop.clone(dict(value_map))
+        assert isinstance(clone, scf.ForOp)
+        assert len(clone.body.ops) == 2
+        assert clone.body is not loop.body
+        # The cloned body ops reference the cloned block args, not originals.
+        assert clone.induction_var is not loop.induction_var
+
+    def test_clone_maps_nested_results(self):
+        c1 = arith.ConstantOp.create(1, i64)
+        block = Block()
+        a = arith.AddiOp.create(c1.result, c1.result)
+        b = arith.MuliOp.create(a.result, a.result)
+        block.add_op(a)
+        block.add_op(b)
+        region_op = UnregisteredOp("test.wrap", regions=[Region([block])])
+        clone = region_op.clone()
+        cloned_block = clone.regions[0].block
+        assert cloned_block.ops[1].operands[0] is cloned_block.ops[0].results[0]
+
+    def test_unregistered_clone_keeps_name(self):
+        op = UnregisteredOp("weird.op")
+        assert op.clone().op_name == "weird.op"
+
+
+class TestErase:
+    def test_detach_then_reattach(self):
+        block1 = Block()
+        block2 = Block()
+        c = arith.ConstantOp.create(1, i64)
+        block1.add_op(c)
+        c.detach()
+        block2.add_op(c)
+        assert c.parent is block2
+        assert len(block1.ops) == 0
+
+    def test_double_adopt_raises(self):
+        block1 = Block()
+        block2 = Block()
+        c = arith.ConstantOp.create(1, i64)
+        block1.add_op(c)
+        with pytest.raises(IRError):
+            block2.add_op(c)
+
+    def test_unsafe_erase_skips_check(self):
+        c1 = arith.ConstantOp.create(1, i64)
+        add = arith.AddiOp.create(c1.result, c1.result)
+        c1.erase(safe=False)
+        assert add is not None  # the op object survives; IR is now dangling

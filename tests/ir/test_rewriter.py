@@ -1,0 +1,134 @@
+"""Tests for structural rewriting and the greedy pattern driver."""
+
+import pytest
+
+from repro.dialects import arith, scf
+from repro.ir import (
+    Block,
+    IRError,
+    Operation,
+    PatternRewriter,
+    RewritePattern,
+    Rewriter,
+    apply_patterns_greedily,
+    i64,
+)
+
+
+def block_with_chain():
+    block = Block()
+    c1 = arith.ConstantOp.create(1, i64)
+    c2 = arith.ConstantOp.create(2, i64)
+    add = arith.AddiOp.create(c1.result, c2.result)
+    mul = arith.MuliOp.create(add.result, add.result)
+    block.add_ops([c1, c2, add, mul])
+    return block, c1, c2, add, mul
+
+
+class TestReplaceOp:
+    def test_replace_with_new_op(self):
+        block, c1, c2, add, mul = block_with_chain()
+        sub = arith.SubiOp.create(c1.result, c2.result)
+        Rewriter.replace_op(add, sub)
+        assert mul.operands == (sub.result, sub.result)
+        assert add.parent is None
+
+    def test_replace_values_reroutes(self):
+        block, c1, c2, add, mul = block_with_chain()
+        Rewriter.replace_values(add, [c1.result])
+        assert mul.operands == (c1.result, c1.result)
+
+    def test_result_count_checked(self):
+        block, c1, c2, add, mul = block_with_chain()
+        with pytest.raises(IRError, match="results"):
+            Rewriter.replace_op(add, [], new_results=[c1.result, c2.result])
+
+    def test_none_result_requires_unused(self):
+        block, c1, c2, add, mul = block_with_chain()
+        with pytest.raises(IRError):
+            Rewriter.replace_op(add, [], new_results=[None])
+
+
+class TestMove:
+    def test_move_before(self):
+        block, c1, c2, add, mul = block_with_chain()
+        Rewriter.move_op_before(c2, c1)
+        assert block.index_of(c2) == 0
+
+    def test_move_after(self):
+        block, c1, c2, add, mul = block_with_chain()
+        Rewriter.move_op_after(c1, add)
+        # dominance now broken, but the structural move itself works
+        assert block.index_of(c1) == block.index_of(add) + 1
+
+
+class TestInlineBlock:
+    def test_inline_substitutes_args(self):
+        inner = Block(arg_types=[i64])
+        double = arith.AddiOp.create(inner.args[0], inner.args[0])
+        inner.add_op(double)
+
+        outer = Block()
+        c = arith.ConstantOp.create(21, i64)
+        anchor = arith.MuliOp.create(c.result, c.result)
+        outer.add_ops([c, anchor])
+        Rewriter.inline_block_before(inner, anchor, [c.result])
+        assert double.parent is outer
+        assert double.operands == (c.result, c.result)
+
+    def test_arg_count_checked(self):
+        inner = Block(arg_types=[i64])
+        outer = Block()
+        anchor = arith.ConstantOp.create(1, i64)
+        outer.add_op(anchor)
+        with pytest.raises(IRError):
+            Rewriter.inline_block_before(inner, anchor, [])
+
+
+class ReplaceAddWithSub(RewritePattern):
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
+        if not isinstance(op, arith.AddiOp):
+            return False
+        sub = arith.SubiOp.create(op.lhs, op.rhs)
+        rewriter.replace_op(op, sub)
+        return True
+
+
+class TestGreedyDriver:
+    def test_applies_to_fixpoint(self):
+        block, *_ = block_with_chain()
+        wrapper = _wrap(block)
+        changed = apply_patterns_greedily(wrapper, [ReplaceAddWithSub()])
+        assert changed
+        names = [op.name for op in block.ops]
+        assert "arith.addi" not in names
+        assert "arith.subi" in names
+
+    def test_no_change_returns_false(self):
+        block = Block([arith.ConstantOp.create(1, i64)])
+        wrapper = _wrap(block)
+        assert not apply_patterns_greedily(wrapper, [ReplaceAddWithSub()])
+
+    def test_max_iterations_bounds_runaway(self):
+        class Flipper(RewritePattern):
+            """Alternates addi <-> subi forever."""
+
+            def match_and_rewrite(self, op, rewriter):
+                if isinstance(op, arith.AddiOp):
+                    rewriter.replace_op(op, arith.SubiOp.create(op.lhs, op.rhs))
+                    return True
+                if isinstance(op, arith.SubiOp):
+                    rewriter.replace_op(op, arith.AddiOp.create(op.lhs, op.rhs))
+                    return True
+                return False
+
+        block, *_ = block_with_chain()
+        wrapper = _wrap(block)
+        # Terminates despite the non-converging pattern.
+        assert apply_patterns_greedily(wrapper, [Flipper()], max_iterations=5)
+
+
+def _wrap(block: Block) -> Operation:
+    from repro.ir import Region, UnregisteredOp
+
+    return UnregisteredOp("test.wrapper", regions=[Region([block])])

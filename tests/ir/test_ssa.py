@@ -1,0 +1,94 @@
+"""Tests for SSA values and def-use chains."""
+
+import pytest
+
+from repro.dialects import arith
+from repro.ir import Block, IRError, Use, i64
+
+
+def make_constants():
+    c1 = arith.ConstantOp.create(1, i64)
+    c2 = arith.ConstantOp.create(2, i64)
+    return c1, c2
+
+
+class TestUseTracking:
+    def test_operand_registers_use(self):
+        c1, c2 = make_constants()
+        add = arith.AddiOp.create(c1.result, c2.result)
+        assert Use(add, 0) in c1.result.uses
+        assert Use(add, 1) in c2.result.uses
+
+    def test_has_uses(self):
+        c1, c2 = make_constants()
+        assert not c1.result.has_uses
+        arith.AddiOp.create(c1.result, c2.result)
+        assert c1.result.has_uses
+
+    def test_users_deduplicates(self):
+        c1, _ = make_constants()
+        add = arith.AddiOp.create(c1.result, c1.result)
+        assert c1.result.users() == [add]
+
+    def test_set_operand_moves_use(self):
+        c1, c2 = make_constants()
+        add = arith.AddiOp.create(c1.result, c1.result)
+        add.set_operand(1, c2.result)
+        assert Use(add, 1) in c2.result.uses
+        assert Use(add, 1) not in c1.result.uses
+        assert Use(add, 0) in c1.result.uses
+
+    def test_replace_all_uses_with(self):
+        c1, c2 = make_constants()
+        a = arith.AddiOp.create(c1.result, c1.result)
+        b = arith.MuliOp.create(c1.result, c1.result)
+        c1.result.replace_all_uses_with(c2.result)
+        assert not c1.result.has_uses
+        assert a.operands == (c2.result, c2.result)
+        assert b.operands == (c2.result, c2.result)
+
+    def test_replace_all_uses_with_self_is_noop(self):
+        c1, _ = make_constants()
+        add = arith.AddiOp.create(c1.result, c1.result)
+        c1.result.replace_all_uses_with(c1.result)
+        assert add.operands == (c1.result, c1.result)
+
+    def test_use_equality_is_slot_identity(self):
+        c1, _ = make_constants()
+        add = arith.AddiOp.create(c1.result, c1.result)
+        assert Use(add, 0) == Use(add, 0)
+        assert Use(add, 0) != Use(add, 1)
+
+
+class TestValueIdentity:
+    def test_values_compare_by_identity(self):
+        c1, c2 = make_constants()
+        assert c1.result != c2.result
+        assert c1.result == c1.result
+
+    def test_owner_of_result(self):
+        c1, _ = make_constants()
+        assert c1.result.owner is c1
+
+    def test_owner_of_block_argument(self):
+        block = Block(arg_types=[i64])
+        assert block.args[0].owner is block
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            arith.ConstantOp(result_types=["not a type"])
+
+
+class TestEraseSemantics:
+    def test_erase_with_uses_raises(self):
+        c1, c2 = make_constants()
+        arith.AddiOp.create(c1.result, c2.result)
+        with pytest.raises(IRError):
+            c1.erase()
+
+    def test_erase_releases_uses(self):
+        c1, c2 = make_constants()
+        add = arith.AddiOp.create(c1.result, c2.result)
+        add.erase()
+        assert not c1.result.has_uses
+        assert not c2.result.has_uses

@@ -1,0 +1,93 @@
+"""Tests for configuration field packing (Listing 1 modeling)."""
+
+import pytest
+
+from repro.isa import (
+    FieldSpec,
+    pack_fields,
+    packing_instruction_count,
+    total_config_bytes,
+)
+
+
+class TestFieldSpec:
+    def test_mask(self):
+        assert FieldSpec("x", 4).mask == 0xF
+        assert FieldSpec("x", 64).mask == (1 << 64) - 1
+
+    @pytest.mark.parametrize("bits", [0, 65, -3])
+    def test_invalid_width(self, bits):
+        with pytest.raises(ValueError):
+            FieldSpec("x", bits)
+
+
+class TestPackFields:
+    def test_small_fields_share_word(self):
+        fields = [FieldSpec("i", 16), FieldSpec("j", 16), FieldSpec("k", 16)]
+        words = pack_fields(fields)
+        assert len(words) == 1
+        assert words[0].bits_used == 48
+
+    def test_large_fields_get_own_words(self):
+        fields = [FieldSpec("a", 64), FieldSpec("b", 64)]
+        words = pack_fields(fields)
+        assert len(words) == 2
+
+    def test_overflow_starts_new_word(self):
+        fields = [FieldSpec("a", 48), FieldSpec("b", 32)]
+        words = pack_fields(fields)
+        assert len(words) == 2
+        assert words[0].bits_used == 48
+
+    def test_order_preserved(self):
+        fields = [FieldSpec("a", 8), FieldSpec("b", 8)]
+        word = pack_fields(fields)[0]
+        assert [spec.name for spec, _ in word.lanes] == ["a", "b"]
+        assert [offset for _, offset in word.lanes] == [0, 8]
+
+    def test_custom_word_width(self):
+        fields = [FieldSpec("a", 16), FieldSpec("b", 16), FieldSpec("c", 16)]
+        words = pack_fields(fields, word_bits=32)
+        assert len(words) == 2
+
+    def test_empty(self):
+        assert pack_fields([]) == []
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        fields = [FieldSpec("i", 16), FieldSpec("j", 16), FieldSpec("k", 16)]
+        word = pack_fields(fields)[0]
+        values = {"i": 3, "j": 1000, "k": 65535}
+        encoded = word.encode(values)
+        assert word.decode(encoded) == values
+
+    def test_listing1_layout(self):
+        """(pad_K << 32) | (pad_J << 16) | pad_I — exactly Listing 1."""
+        fields = [FieldSpec("pad_I", 16), FieldSpec("pad_J", 16), FieldSpec("pad_K", 16)]
+        word = pack_fields(fields)[0]
+        encoded = word.encode({"pad_I": 1, "pad_J": 2, "pad_K": 3})
+        assert encoded == (3 << 32) | (2 << 16) | 1
+
+    def test_values_masked_to_width(self):
+        word = pack_fields([FieldSpec("x", 4)])[0]
+        assert word.encode({"x": 0xFF}) == 0xF
+
+    def test_missing_values_default_zero(self):
+        word = pack_fields([FieldSpec("x", 8), FieldSpec("y", 8)])[0]
+        assert word.encode({"y": 1}) == 1 << 8
+
+
+class TestCosts:
+    def test_single_lane_is_one_move(self):
+        word = pack_fields([FieldSpec("a", 64)])[0]
+        assert packing_instruction_count(word) == 1
+
+    def test_each_extra_lane_costs_shift_plus_or(self):
+        fields = [FieldSpec("a", 16), FieldSpec("b", 16), FieldSpec("c", 16)]
+        word = pack_fields(fields)[0]
+        assert packing_instruction_count(word) == 5  # 1 + 2*2
+
+    def test_total_config_bytes_rounds_per_field(self):
+        fields = [FieldSpec("a", 6), FieldSpec("b", 1), FieldSpec("c", 64)]
+        assert total_config_bytes(fields) == 1 + 1 + 8

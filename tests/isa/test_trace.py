@@ -1,0 +1,105 @@
+"""Tests for instruction records, cost model, and trace statistics."""
+
+import pytest
+
+from repro.isa import (
+    HostCostModel,
+    Instr,
+    InstrCategory,
+    Trace,
+    alu,
+    branch,
+    config_write,
+    launch_instr,
+    sync_instr,
+)
+
+
+class TestInstr:
+    def test_categories(self):
+        assert alu().category is InstrCategory.CALC
+        assert branch().category is InstrCategory.CONTROL
+        assert sync_instr("poll", "x").category is InstrCategory.SYNC
+
+    def test_config_bytes_only_on_setup(self):
+        with pytest.raises(ValueError):
+            Instr("add", InstrCategory.CALC, config_bytes=8)
+
+    def test_config_write_carries_bytes(self):
+        instr = config_write("csrw", "opengemm", 4)
+        assert instr.config_bytes == 4
+        assert instr.accelerator == "opengemm"
+
+    def test_launch_may_carry_bytes(self):
+        instr = launch_instr("start", "x", 4)
+        assert instr.config_bytes == 4
+
+
+class TestHostCostModel:
+    def test_default_three_cycles(self):
+        model = HostCostModel()
+        assert model.cycles(alu()) == 3.0
+
+    def test_category_override(self):
+        model = HostCostModel(
+            1.0, category_overrides={InstrCategory.SETUP: 10.0}
+        )
+        assert model.cycles(config_write("mmio", "x", 8)) == 10.0
+        assert model.cycles(alu()) == 1.0
+
+
+class TestTrace:
+    def make_trace(self):
+        trace = Trace()
+        trace.extend(
+            [
+                alu(),
+                alu(),
+                config_write("w", "x", 16),
+                config_write("w", "x", 16),
+                launch_instr("go", "x"),
+                sync_instr("poll", "x"),
+            ]
+        )
+        return trace
+
+    def test_counts(self):
+        trace = self.make_trace()
+        assert len(trace) == 6
+        assert trace.count(InstrCategory.CALC) == 2
+        assert trace.count(InstrCategory.SETUP) == 2
+
+    def test_config_bytes(self):
+        trace = self.make_trace()
+        assert trace.config_bytes() == 32
+        assert trace.config_bytes("x") == 32
+        assert trace.config_bytes("other") == 0
+
+    def test_stats(self):
+        stats = self.make_trace().stats(HostCostModel(3.0))
+        assert stats.total_instrs == 6
+        assert stats.setup_instrs == 2
+        assert stats.calc_instrs == 2
+        assert stats.config_bytes == 32
+        assert stats.setup_cycles == 6.0
+        assert stats.calc_cycles == 6.0
+
+    def test_effective_bandwidth_eq4(self):
+        stats = self.make_trace().stats(HostCostModel(3.0))
+        # Eq. 4: 32 bytes / (6 + 6 cycles)
+        assert stats.effective_config_bandwidth() == pytest.approx(32 / 12)
+        assert stats.theoretical_config_bandwidth() == pytest.approx(32 / 6)
+
+    def test_empty_trace_bandwidth_infinite(self):
+        stats = Trace().stats()
+        assert stats.effective_config_bandwidth() == float("inf")
+
+    def test_paper_4_6_numbers(self):
+        """160 RoCC writes + 775 calc instrs at 3 cycles -> BW_eff 0.913."""
+        trace = Trace()
+        for _ in range(160):
+            trace.append(config_write("rocc", "gemmini", 16))
+        for _ in range(775):
+            trace.append(alu())
+        stats = trace.stats(HostCostModel(3.0))
+        assert stats.effective_config_bandwidth() == pytest.approx(0.913, abs=1e-3)

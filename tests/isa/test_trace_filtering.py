@@ -1,0 +1,54 @@
+"""Tests for per-accelerator trace filtering (multi-accelerator metrics)."""
+
+import pytest
+
+from repro.isa import HostCostModel, Trace, alu, config_write, launch_instr, sync_instr
+
+
+def mixed_trace():
+    trace = Trace()
+    trace.extend(
+        [
+            alu(),  # unattributed calc
+            config_write("csrw", "opengemm", 4),
+            config_write("csrw", "opengemm", 4),
+            config_write("rocc", "gemmini", 16),
+            launch_instr("start", "opengemm", 4),
+            sync_instr("poll", "gemmini"),
+        ]
+    )
+    return trace
+
+
+class TestFiltering:
+    def test_unfiltered_sees_everything(self):
+        stats = mixed_trace().stats(HostCostModel(1.0))
+        assert stats.total_instrs == 6
+        assert stats.setup_instrs == 3
+        assert stats.config_bytes == 4 + 4 + 16 + 4
+
+    def test_filter_by_accelerator(self):
+        stats = mixed_trace().stats(HostCostModel(1.0), accelerator="opengemm")
+        assert stats.setup_instrs == 2
+        assert stats.launch_instrs == 1
+        assert stats.sync_instrs == 0
+        assert stats.config_bytes == 12
+
+    def test_unattributed_work_always_included(self):
+        stats = mixed_trace().stats(HostCostModel(1.0), accelerator="gemmini")
+        assert stats.calc_instrs == 1  # the plain alu
+        assert stats.setup_instrs == 1
+        assert stats.config_bytes == 16
+
+    def test_unknown_accelerator_gets_only_unattributed(self):
+        stats = mixed_trace().stats(HostCostModel(1.0), accelerator="other")
+        assert stats.setup_instrs == 0
+        assert stats.calc_instrs == 1
+        assert stats.config_bytes == 0
+
+    def test_bandwidths_follow_filter(self):
+        full = mixed_trace().stats(HostCostModel(1.0))
+        opengemm = mixed_trace().stats(HostCostModel(1.0), accelerator="opengemm")
+        assert opengemm.theoretical_config_bandwidth() != pytest.approx(
+            full.theoretical_config_bandwidth()
+        )

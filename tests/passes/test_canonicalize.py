@@ -1,0 +1,215 @@
+"""Tests for canonicalization: folding, DCE of pure ops, scf simplification."""
+
+from repro.dialects import arith, scf
+from repro.ir import parse_module, verify_operation
+from repro.passes import CanonicalizePass
+
+
+def canonicalized(text: str):
+    module = parse_module(text)
+    CanonicalizePass().apply(module)
+    verify_operation(module)
+    return module
+
+
+def op_names(module):
+    return [op.name for op in module.walk() if op.name.startswith("arith")]
+
+
+class TestConstantFolding:
+    def test_bit_packing_ladder_folds(self):
+        """Listing 1's shift/or ladder collapses when inputs are constant."""
+        module = canonicalized(
+            """
+            func.func @f() -> (i64) {
+              %i = arith.constant 3 : i64
+              %j = arith.constant 5 : i64
+              %k = arith.constant 7 : i64
+              %c16 = arith.constant 16 : i64
+              %c32 = arith.constant 32 : i64
+              %sj = arith.shli %j, %c16 : i64
+              %sk = arith.shli %k, %c32 : i64
+              %p1 = arith.ori %i, %sj : i64
+              %p2 = arith.ori %p1, %sk : i64
+              func.return %p2 : i64
+            }
+            """
+        )
+        constants = [
+            op for op in module.walk() if isinstance(op, arith.ConstantOp)
+        ]
+        assert len(constants) == 1
+        assert constants[0].value == 3 | (5 << 16) | (7 << 32)
+
+    def test_chain_folds_through(self):
+        module = canonicalized(
+            """
+            func.func @f() -> (i64) {
+              %a = arith.constant 2 : i64
+              %b = arith.constant 3 : i64
+              %c = arith.muli %a, %b : i64
+              %d = arith.addi %c, %a : i64
+              func.return %d : i64
+            }
+            """
+        )
+        constants = [
+            op for op in module.walk() if isinstance(op, arith.ConstantOp)
+        ]
+        assert [c.value for c in constants] == [8]
+
+
+class TestDeadCodeRemoval:
+    def test_unused_pure_op_removed(self):
+        module = canonicalized(
+            """
+            func.func @f() -> () {
+              %a = arith.constant 2 : i64
+              %b = arith.addi %a, %a : i64
+              func.return
+            }
+            """
+        )
+        assert op_names(module) == []
+
+    def test_impure_op_kept(self):
+        module = canonicalized(
+            """
+            func.func @f() -> () {
+              %a = arith.constant 2 : i64
+              %s = accfg.setup on "toyvec" ("n" = %a : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        names = [op.name for op in module.walk()]
+        assert "accfg.setup" in names
+
+
+class TestIfSimplification:
+    def test_constant_true_inlines_then(self):
+        module = canonicalized(
+            """
+            func.func @f(%x : i64) -> (i64) {
+              %t = arith.constant 1 : i1
+              %r = scf.if %t -> (i64) {
+                %a = arith.addi %x, %x : i64
+                scf.yield %a : i64
+              } else {
+                scf.yield %x : i64
+              }
+              func.return %r : i64
+            }
+            """
+        )
+        names = [op.name for op in module.walk()]
+        assert "scf.if" not in names
+        assert "arith.addi" in names
+
+    def test_constant_false_inlines_else(self):
+        module = canonicalized(
+            """
+            func.func @f(%x : i64) -> (i64) {
+              %t = arith.constant 0 : i1
+              %r = scf.if %t -> (i64) {
+                %a = arith.addi %x, %x : i64
+                scf.yield %a : i64
+              } else {
+                scf.yield %x : i64
+              }
+              func.return %r : i64
+            }
+            """
+        )
+        names = [op.name for op in module.walk()]
+        assert "scf.if" not in names
+        assert "arith.addi" not in names
+
+    def test_constant_false_no_else_erased(self):
+        module = canonicalized(
+            """
+            func.func @f(%x : i64) -> () {
+              %t = arith.constant 0 : i1
+              scf.if %t {
+                %s = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        names = [op.name for op in module.walk()]
+        assert "scf.if" not in names
+        assert "accfg.setup" not in names
+
+
+class TestLoopSimplification:
+    def test_zero_trip_loop_removed(self):
+        module = canonicalized(
+            """
+            func.func @f(%x : i64) -> (i64) {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %r = scf.for %i = %c0 to %c0 step %c1 iter_args(%acc = %x) -> (i64) {
+                %n = arith.addi %acc, %acc : i64
+                scf.yield %n : i64
+              }
+              func.return %r : i64
+            }
+            """
+        )
+        names = [op.name for op in module.walk()]
+        assert "scf.for" not in names
+
+    def test_nonzero_trip_loop_kept(self):
+        module = canonicalized(
+            """
+            func.func @f(%x : i64) -> (i64) {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              %r = scf.for %i = %c0 to %c4 step %c1 iter_args(%acc = %x) -> (i64) {
+                %n = arith.addi %acc, %acc : i64
+                scf.yield %n : i64
+              }
+              func.return %r : i64
+            }
+            """
+        )
+        names = [op.name for op in module.walk()]
+        assert "scf.for" in names
+
+
+class TestConstantDedup:
+    def test_same_block_constants_merged(self):
+        module = canonicalized(
+            """
+            func.func @f() -> (i64) {
+              %a = arith.constant 7 : i64
+              %b = arith.constant 7 : i64
+              %c = arith.addi %a, %b : i64
+              func.return %c : i64
+            }
+            """
+        )
+        constants = [
+            op for op in module.walk() if isinstance(op, arith.ConstantOp)
+        ]
+        # folding turned addi into 14; 7s removed as dead
+        assert [c.value for c in constants] == [14]
+
+    def test_different_types_not_merged(self):
+        module = canonicalized(
+            """
+            func.func @f(%x : i1) -> () {
+              %a = arith.constant 1 : i64
+              %b = arith.constant 1 : i32
+              %s = accfg.setup on "toyvec" ("n" = %a : i64, "op" = %b : i32) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        constants = [
+            op for op in module.walk() if isinstance(op, arith.ConstantOp)
+        ]
+        assert len(constants) == 2

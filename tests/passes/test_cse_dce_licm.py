@@ -1,0 +1,255 @@
+"""Tests for CSE, DCE and LICM."""
+
+from repro.dialects import arith, scf
+from repro.ir import parse_module, verify_operation
+from repro.passes import CSEPass, DCEPass, LICMPass
+
+
+def apply(pass_, text):
+    module = parse_module(text)
+    pass_.apply(module)
+    verify_operation(module)
+    return module
+
+
+def count(module, name):
+    return sum(1 for op in module.walk() if op.name == name)
+
+
+class TestCSE:
+    def test_identical_ops_merged(self):
+        module = apply(
+            CSEPass(),
+            """
+            func.func @f(%x : i64) -> () {
+              %a = arith.addi %x, %x : i64
+              %b = arith.addi %x, %x : i64
+              %s = accfg.setup on "toyvec" ("n" = %a : i64, "op" = %b : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """,
+        )
+        setups = [op for op in module.walk() if op.name == "accfg.setup"]
+        values = setups[0].field_values
+        assert values[0] is values[1]
+
+    def test_different_attrs_not_merged(self):
+        module = apply(
+            CSEPass(),
+            """
+            func.func @f(%x : i64) -> () {
+              %a = arith.cmpi eq, %x, %x : i64
+              %b = arith.cmpi ne, %x, %x : i64
+              %s = arith.select %a, %x, %x : i64
+              %t = arith.select %b, %x, %x : i64
+              %u = accfg.setup on "toyvec" ("n" = %s : i64, "op" = %t : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """,
+        )
+        assert count(module, "arith.cmpi") == 2
+
+    def test_outer_value_visible_in_region(self):
+        module = apply(
+            CSEPass(),
+            """
+            func.func @f(%x : i64) -> () {
+              %a = arith.addi %x, %x : i64
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              scf.for %i = %c0 to %c4 step %c1 {
+                %b = arith.addi %x, %x : i64
+                %s = accfg.setup on "toyvec" ("n" = %b : i64) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              %t = accfg.setup on "toyvec" ("n" = %a : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """,
+        )
+        assert count(module, "arith.addi") == 1
+
+    def test_inner_value_not_hoisted_to_outer(self):
+        module = apply(
+            CSEPass(),
+            """
+            func.func @f(%x : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              scf.for %i = %c0 to %c1 step %c1 {
+                %a = arith.addi %x, %x : i64
+                %s = accfg.setup on "toyvec" ("n" = %a : i64) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              %b = arith.addi %x, %x : i64
+              %t = accfg.setup on "toyvec" ("n" = %b : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """,
+        )
+        # %b must NOT be CSE'd against the loop-internal %a.
+        assert count(module, "arith.addi") == 2
+
+    def test_impure_ops_not_merged(self):
+        module = apply(
+            CSEPass(),
+            """
+            func.func @f(%x : i64) -> () {
+              %a = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              %b = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              %t1 = accfg.launch %a : !accfg.token<"toyvec">
+              %t2 = accfg.launch %b : !accfg.token<"toyvec">
+              func.return
+            }
+            """,
+        )
+        assert count(module, "accfg.setup") == 2
+
+
+class TestDCE:
+    def test_dead_chain_removed(self):
+        module = apply(
+            DCEPass(),
+            """
+            func.func @f(%x : i64) -> () {
+              %a = arith.addi %x, %x : i64
+              %b = arith.muli %a, %a : i64
+              %c = arith.addi %b, %a : i64
+              func.return
+            }
+            """,
+        )
+        assert count(module, "arith.addi") == 0
+        assert count(module, "arith.muli") == 0
+
+    def test_partially_used_chain_kept(self):
+        module = apply(
+            DCEPass(),
+            """
+            func.func @f(%x : i64) -> (i64) {
+              %a = arith.addi %x, %x : i64
+              %b = arith.muli %a, %a : i64
+              func.return %a : i64
+            }
+            """,
+        )
+        assert count(module, "arith.addi") == 1
+        assert count(module, "arith.muli") == 0
+
+    def test_impure_never_removed(self):
+        module = apply(
+            DCEPass(),
+            """
+            func.func @f(%x : i64) -> () {
+              %s = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """,
+        )
+        assert count(module, "accfg.setup") == 1
+
+    def test_dead_ops_inside_loops_removed(self):
+        module = apply(
+            DCEPass(),
+            """
+            func.func @f(%x : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              scf.for %i = %c0 to %c4 step %c1 {
+                %dead = arith.addi %x, %x : i64
+                scf.yield
+              }
+              func.return
+            }
+            """,
+        )
+        assert count(module, "arith.addi") == 0
+
+
+class TestLICM:
+    LOOP = """
+    func.func @f(%x : i64) -> () {
+      %c0 = arith.constant 0 : index
+      %c1 = arith.constant 1 : index
+      %c4 = arith.constant 4 : index
+      scf.for %i = %c0 to %c4 step %c1 {
+        BODY
+        scf.yield
+      }
+      func.return
+    }
+    """
+
+    def test_invariant_hoisted(self):
+        module = apply(
+            LICMPass(),
+            self.LOOP.replace(
+                "BODY",
+                """%inv = arith.addi %x, %x : i64
+        %s = accfg.setup on "toyvec" ("n" = %inv : i64) : !accfg.state<"toyvec">""",
+            ),
+        )
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        body_names = [op.name for op in loop.body.ops]
+        assert "arith.addi" not in body_names
+        assert "accfg.setup" in body_names  # setups are never LICM'd
+
+    def test_variant_stays(self):
+        module = apply(
+            LICMPass(),
+            self.LOOP.replace(
+                "BODY",
+                """%var = arith.muli %x, %x : i64
+        %dep = arith.addi %var, %var : i64
+        %s = accfg.setup on "toyvec" ("n" = %dep : i64) : !accfg.state<"toyvec">""",
+            ),
+        )
+        # both are invariant actually: muli of %x, addi of it -> both hoist
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert [op.name for op in loop.body.ops] == ["accfg.setup", "scf.yield"]
+
+    def test_iv_dependent_not_hoisted(self):
+        module = apply(
+            LICMPass(),
+            """
+            func.func @f(%x : index) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              scf.for %i = %c0 to %c4 step %c1 {
+                %v = arith.addi %i, %x : index
+                %s = accfg.setup on "toyvec" ("n" = %v : index) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              func.return
+            }
+            """,
+        )
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert "arith.addi" in [op.name for op in loop.body.ops]
+
+    def test_nested_loops_hoist_all_the_way(self):
+        module = apply(
+            LICMPass(),
+            """
+            func.func @f(%x : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              scf.for %i = %c0 to %c4 step %c1 {
+                scf.for %j = %c0 to %c4 step %c1 {
+                  %inv = arith.addi %x, %x : i64
+                  %s = accfg.setup on "toyvec" ("n" = %inv : i64) : !accfg.state<"toyvec">
+                  scf.yield
+                }
+                scf.yield
+              }
+              func.return
+            }
+            """,
+        )
+        loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+        for loop in loops:
+            assert "arith.addi" not in [op.name for op in loop.body.ops]

@@ -1,0 +1,206 @@
+"""Tests for function inlining and its interaction with accfg passes."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import accfg, func
+from repro.interp import run_module
+from repro.ir import parse_module, verify_operation
+from repro.passes import (
+    DedupPass,
+    InlinePass,
+    PassManager,
+    TraceStatesPass,
+)
+from repro.sim import CoSimulator, Memory
+
+
+def calls_in(module):
+    return [op for op in module.walk() if isinstance(op, func.CallOp)]
+
+
+class TestBasicInlining:
+    def test_simple_call_inlined(self):
+        module = parse_module(
+            """
+            func.func @double(%x : i64) -> (i64) {
+              %r = arith.addi %x, %x : i64
+              func.return %r : i64
+            }
+            func.func @main(%a : i64) -> (i64) {
+              %r = func.call @double(%a) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            """
+        )
+        InlinePass().apply(module)
+        verify_operation(module)
+        assert calls_in(module) == []
+        results, _ = run_module(module, args=[21])
+        assert results == [42]
+
+    def test_nested_calls_inlined_transitively(self):
+        module = parse_module(
+            """
+            func.func @inc(%x : i64) -> (i64) {
+              %c1 = arith.constant 1 : i64
+              %r = arith.addi %x, %c1 : i64
+              func.return %r : i64
+            }
+            func.func @inc2(%x : i64) -> (i64) {
+              %a = func.call @inc(%x) : (i64) -> (i64)
+              %b = func.call @inc(%a) : (i64) -> (i64)
+              func.return %b : i64
+            }
+            func.func @main(%a : i64) -> (i64) {
+              %r = func.call @inc2(%a) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            """
+        )
+        InlinePass().apply(module)
+        verify_operation(module)
+        assert calls_in(module) == []
+        results, _ = run_module(module, args=[5])
+        assert results == [7]
+
+    def test_recursive_function_not_inlined(self):
+        module = parse_module(
+            """
+            func.func @loop(%x : i64) -> (i64) {
+              %r = func.call @loop(%x) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            func.func @main(%a : i64) -> (i64) {
+              %r = func.call @loop(%a) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            """
+        )
+        InlinePass().apply(module)
+        assert len(calls_in(module)) == 2
+
+    def test_mutual_recursion_not_inlined(self):
+        module = parse_module(
+            """
+            func.func @a(%x : i64) -> (i64) {
+              %r = func.call @b(%x) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            func.func @b(%x : i64) -> (i64) {
+              %r = func.call @a(%x) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            func.func @main(%x : i64) -> (i64) {
+              %r = func.call @a(%x) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            """
+        )
+        InlinePass().apply(module)
+        # The @main call to @a could legally still be inlined once, but all
+        # cyclic functions are conservatively skipped.
+        assert len(calls_in(module)) >= 2
+
+    def test_declaration_not_inlined(self):
+        module = parse_module(
+            """
+            func.func @ext(i64) -> (i64)
+            func.func @main(%a : i64) -> (i64) {
+              %r = func.call @ext(%a) : (i64) -> (i64)
+              func.return %r : i64
+            }
+            """
+        )
+        InlinePass().apply(module)
+        assert len(calls_in(module)) == 1
+
+    def test_inlined_regions_cloned(self):
+        module = parse_module(
+            """
+            func.func @looped(%x : index) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              scf.for %i = %c0 to %x step %c1 {
+                %s = accfg.setup on "toyvec" ("n" = %i : index) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              func.return
+            }
+            func.func @main(%a : index) -> () {
+              func.call @looped(%a) : (index) -> ()
+              func.call @looped(%a) : (index) -> ()
+              func.return
+            }
+            """
+        )
+        InlinePass().apply(module)
+        verify_operation(module)
+        from repro.dialects import scf
+
+        loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+        assert len(loops) == 3  # original + two clones
+
+
+class TestInliningUnlocksDedup:
+    def test_dedup_across_former_call_boundary(self):
+        """A helper configuring the accelerator identically on each call:
+        without inlining the call is a barrier; with inlining dedup removes
+        the repeated configuration entirely."""
+        text = """
+        func.func @do_launch(%n : i64) -> () {
+          %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+          %t = accfg.launch %s : !accfg.token<"toyvec">
+          accfg.await %t
+          func.return
+        }
+        func.func @main(%n : i64) -> () {
+          func.call @do_launch(%n) : (i64) -> ()
+          func.call @do_launch(%n) : (i64) -> ()
+          func.call @do_launch(%n) : (i64) -> ()
+          func.return
+        }
+        """
+
+        def field_writes(pm):
+            module = parse_module(text)
+            pm.run(module)
+            return sum(
+                len(op.fields)
+                for op in module.walk()
+                if isinstance(op, accfg.SetupOp) and op.parent_op.sym_name == "main"
+            )
+
+        without = field_writes(PassManager([TraceStatesPass(), DedupPass()]))
+        with_inline = field_writes(
+            PassManager([InlinePass(), TraceStatesPass(), DedupPass()])
+        )
+        assert without == 0  # setups still hidden behind calls
+        assert with_inline == 1  # inlined: one write, two dedup'd repeats
+
+    def test_functional_equivalence_with_accfg(self):
+        memory = Memory()
+        x = memory.place(np.arange(8, dtype=np.int32))
+        y = memory.place(np.arange(8, dtype=np.int32) * 3)
+        out = memory.alloc(8, np.int32)
+        text = f"""
+        func.func @go(%op : i64) -> () {{
+          %px = arith.constant {x.addr} : i64
+          %py = arith.constant {y.addr} : i64
+          %po = arith.constant {out.addr} : i64
+          %n = arith.constant 8 : i64
+          %s = accfg.setup on "toyvec" ("ptr_x" = %px : i64, "ptr_y" = %py : i64, "ptr_out" = %po : i64, "n" = %n : i64, "op" = %op : i64) : !accfg.state<"toyvec">
+          %t = accfg.launch %s : !accfg.token<"toyvec">
+          accfg.await %t
+          func.return
+        }}
+        func.func @main() -> () {{
+          %add = arith.constant 0 : i64
+          func.call @go(%add) : (i64) -> ()
+          func.return
+        }}
+        """
+        module = parse_module(text)
+        PassManager([InlinePass(), TraceStatesPass(), DedupPass()]).run(module)
+        run_module(module, CoSimulator(memory=memory))
+        assert (out.array == x.array + y.array).all()

@@ -1,0 +1,127 @@
+"""Tests for the known-fields dataflow through branches (Section 5.4.1:
+"our inference has to take the intersection of the two sides")."""
+
+from repro.dialects import accfg, scf
+from repro.ir import parse_module
+from repro.passes import TraceStatesPass
+from repro.passes.dedup import KnownFieldsAnalysis
+
+
+def known_after_if(text):
+    module = parse_module(text)
+    TraceStatesPass().apply(module)
+    if_op = next(op for op in module.walk() if isinstance(op, scf.IfOp))
+    state_result = next(
+        r for r in if_op.results if isinstance(r.type, accfg.StateType)
+    )
+    return KnownFieldsAnalysis("toyvec").known(state_result)
+
+
+class TestBranchIntersection:
+    def test_field_written_in_one_branch_is_dropped(self):
+        known = known_after_if(
+            """
+            func.func @f(%c : i1, %x : i64, %y : i64) -> () {
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              scf.if %c {
+                %s1 = accfg.setup on "toyvec" ("op" = %y : i64) : !accfg.state<"toyvec">
+                scf.yield
+              } else {
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        # "n" survives (untouched on both paths); "op" is branch-dependent.
+        assert "n" in known.fields
+        assert "op" not in known.fields
+
+    def test_same_value_on_both_paths_survives(self):
+        known = known_after_if(
+            """
+            func.func @f(%c : i1, %x : i64) -> () {
+              %s0 = accfg.setup on "toyvec" () : !accfg.state<"toyvec">
+              scf.if %c {
+                %s1 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                scf.yield
+              } else {
+                %s2 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        assert known.fields.get("op") is not None
+
+    def test_different_values_per_path_dropped(self):
+        known = known_after_if(
+            """
+            func.func @f(%c : i1, %x : i64, %y : i64) -> () {
+              %s0 = accfg.setup on "toyvec" () : !accfg.state<"toyvec">
+              scf.if %c {
+                %s1 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                scf.yield
+              } else {
+                %s2 = accfg.setup on "toyvec" ("op" = %y : i64) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        assert "op" not in known.fields
+
+    def test_overwrite_on_one_path_kills_incoming_knowledge(self):
+        known = known_after_if(
+            """
+            func.func @f(%c : i1, %x : i64, %y : i64) -> () {
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              scf.if %c {
+                %s1 = accfg.setup on "toyvec" ("n" = %y : i64) : !accfg.state<"toyvec">
+                scf.yield
+              } else {
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        assert "n" not in known.fields
+
+    def test_post_if_dedup_uses_intersection(self):
+        """End to end: only the intersection-stable field is removable from
+        the post-if setup."""
+        from repro.passes import DedupPass
+
+        module = parse_module(
+            """
+            func.func @f(%c : i1, %x : i64, %y : i64) -> () {
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64, "op" = %x : i64) : !accfg.state<"toyvec">
+              %t0 = accfg.launch %s0 : !accfg.token<"toyvec">
+              scf.if %c {
+                %s1 = accfg.setup on "toyvec" ("op" = %y : i64) : !accfg.state<"toyvec">
+                %t1 = accfg.launch %s1 : !accfg.token<"toyvec">
+                scf.yield
+              } else {
+                scf.yield
+              }
+              %s2 = accfg.setup on "toyvec" ("n" = %x : i64, "op" = %x : i64) : !accfg.state<"toyvec">
+              %t2 = accfg.launch %s2 : !accfg.token<"toyvec">
+              func.return
+            }
+            """
+        )
+        TraceStatesPass().apply(module)
+        DedupPass().apply(module)
+        # "n" is stable across both paths and dedup-able; "op" was
+        # overwritten on one path and must still be written somewhere after
+        # the branch (inside the branches after hoisting, or at the join).
+        remaining = set()
+        for setup in module.walk():
+            if isinstance(setup, accfg.SetupOp):
+                remaining.update(setup.field_names)
+        # "op" must still be written somewhere after the branch (inside the
+        # branches after hoisting, or in the final setup).
+        assert "op" in remaining

@@ -1,0 +1,200 @@
+"""Tests for the linalg frontend and the step-1 conversion pass."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import accfg, linalg
+from repro.interp import run_module
+from repro.ir import VerifyError, parse_module, verify_operation
+from repro.passes import ConvertLinalgToAccfgPass, LoweringError, pipeline_by_name
+from repro.sim import CoSimulator, Memory
+
+
+def matmul_module(mem, m=16, k=16, n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    a = mem.place(rng.integers(-4, 4, (m, k), dtype=np.int8))
+    b = mem.place(rng.integers(-4, 4, (k, n), dtype=np.int8))
+    c = mem.alloc((m, n), np.int32)
+    module = parse_module(
+        f"""
+        func.func @main() -> () {{
+          %a = arith.constant {a.addr} : index
+          %b = arith.constant {b.addr} : index
+          %c = arith.constant {c.addr} : index
+          linalg.matmul ins(%a, %b) outs(%c) dims({m} x {k} x {n})
+          func.return
+        }}
+        """
+    )
+    return module, (a, b, c)
+
+
+class TestDialect:
+    def test_matmul_roundtrip(self):
+        mem = Memory()
+        module, _ = matmul_module(mem)
+        printed = str(module)
+        assert "linalg.matmul ins(" in printed
+        reparsed = parse_module(printed)
+        assert str(reparsed) == printed
+
+    def test_elementwise_roundtrip(self):
+        module = parse_module(
+            """
+            func.func @main(%x : index, %y : index, %o : index) -> () {
+              linalg.elementwise "mul" ins(%x, %y) outs(%o) n(100)
+              func.return
+            }
+            """
+        )
+        op = next(o for o in module.walk() if isinstance(o, linalg.ElementwiseOp))
+        assert op.kind == "mul"
+        assert op.n == 100
+        assert str(parse_module(str(module))) == str(module)
+
+    def test_matmul_verify(self):
+        mem = Memory()
+        module, _ = matmul_module(mem)
+        op = next(o for o in module.walk() if isinstance(o, linalg.MatmulOp))
+        from repro.ir import IntegerAttr
+
+        op.attributes["m"] = IntegerAttr(0)
+        with pytest.raises(VerifyError):
+            op.verify_()
+
+    def test_elementwise_bad_kind(self):
+        with pytest.raises(VerifyError):
+            module = parse_module(
+                """
+                func.func @main(%x : index) -> () {
+                  linalg.elementwise "frobnicate" ins(%x, %x) outs(%x) n(4)
+                  func.return
+                }
+                """
+            )
+
+
+class TestLoweringToOpenGeMM:
+    def test_produces_accfg_clusters(self):
+        mem = Memory()
+        module, _ = matmul_module(mem)
+        ConvertLinalgToAccfgPass().apply(module)
+        verify_operation(module)
+        names = [op.name for op in module.walk()]
+        assert "linalg.matmul" not in names
+        assert "accfg.setup" in names
+        assert "accfg.launch" in names
+        assert "accfg.await" in names
+
+    def test_numerics_through_full_pipeline(self):
+        mem = Memory()
+        module, (a, b, c) = matmul_module(mem, 16, 24, 32)
+        ConvertLinalgToAccfgPass().apply(module)
+        pipeline_by_name("full").run(module)
+        run_module(module, CoSimulator(memory=mem))
+        expected = a.array.astype(np.int32) @ b.array.astype(np.int32)
+        assert (c.array == expected).all()
+
+    def test_bad_dims_rejected(self):
+        mem = Memory()
+        module, _ = matmul_module(mem, 12, 16, 16)
+        with pytest.raises(LoweringError, match="multiples"):
+            ConvertLinalgToAccfgPass().apply(module)
+
+
+class TestLoweringToGemmini:
+    def test_numerics(self):
+        mem = Memory()
+        module, (a, b, c) = matmul_module(mem, 32, 16, 32)
+        ConvertLinalgToAccfgPass(targets={"linalg.matmul": "gemmini"}).apply(module)
+        verify_operation(module)
+        pipeline_by_name("full").run(module)
+        run_module(module, CoSimulator(memory=mem))
+        expected = a.array.astype(np.int32) @ b.array.astype(np.int32)
+        assert (c.array == expected).all()
+
+    def test_unknown_target_rejected(self):
+        mem = Memory()
+        module, _ = matmul_module(mem)
+        with pytest.raises(LoweringError, match="no matmul lowering"):
+            ConvertLinalgToAccfgPass(targets={"linalg.matmul": "tpu"}).apply(module)
+
+
+class TestLoweringElementwise:
+    def run_elementwise(self, n, kind="add"):
+        mem = Memory()
+        rng = np.random.default_rng(1)
+        x = mem.place(rng.integers(-9, 9, n, dtype=np.int32))
+        y = mem.place(rng.integers(-9, 9, n, dtype=np.int32))
+        out = mem.alloc(n, np.int32)
+        module = parse_module(
+            f"""
+            func.func @main() -> () {{
+              %x = arith.constant {x.addr} : index
+              %y = arith.constant {y.addr} : index
+              %o = arith.constant {out.addr} : index
+              linalg.elementwise "{kind}" ins(%x, %y) outs(%o) n({n})
+              func.return
+            }}
+            """
+        )
+        ConvertLinalgToAccfgPass().apply(module)
+        verify_operation(module)
+        pipeline_by_name("full").run(module)
+        run_module(module, CoSimulator(memory=mem))
+        return x.array, y.array, out.array
+
+    def test_exact_chunks(self):
+        x, y, out = self.run_elementwise(128)
+        assert (out == x + y).all()
+
+    def test_with_tail(self):
+        x, y, out = self.run_elementwise(100)
+        assert (out == x + y).all()
+
+    def test_smaller_than_chunk(self):
+        x, y, out = self.run_elementwise(5, kind="mul")
+        assert (out == x * y).all()
+
+    def test_max_kind(self):
+        x, y, out = self.run_elementwise(64, kind="max")
+        assert (out == np.maximum(x, y)).all()
+
+
+class TestDedupAcrossLoweredOps:
+    def test_two_matmuls_share_configuration(self):
+        """Back-to-back lowered matmuls on the same shapes: dedup removes the
+        second one's invariant CSR rewrites entirely."""
+        mem = Memory()
+        rng = np.random.default_rng(2)
+        a = mem.place(rng.integers(-4, 4, (16, 16), dtype=np.int8))
+        b = mem.place(rng.integers(-4, 4, (16, 16), dtype=np.int8))
+        c1 = mem.alloc((16, 16), np.int32)
+        c2 = mem.alloc((16, 16), np.int32)
+        module = parse_module(
+            f"""
+            func.func @main() -> () {{
+              %a = arith.constant {a.addr} : index
+              %b = arith.constant {b.addr} : index
+              %c1 = arith.constant {c1.addr} : index
+              %c2 = arith.constant {c2.addr} : index
+              linalg.matmul ins(%a, %b) outs(%c1) dims(16 x 16 x 16)
+              linalg.matmul ins(%a, %b) outs(%c2) dims(16 x 16 x 16)
+              func.return
+            }}
+            """
+        )
+        ConvertLinalgToAccfgPass().apply(module)
+        baseline_bytes = _run_and_bytes(parse_module(str(module)), mem, "baseline")
+        dedup_bytes = _run_and_bytes(parse_module(str(module)), mem, "dedup")
+        assert dedup_bytes < baseline_bytes
+        expected = a.array.astype(np.int32) @ b.array.astype(np.int32)
+        assert (c1.array == expected).all()
+        assert (c2.array == expected).all()
+
+
+def _run_and_bytes(module, mem, pipeline):
+    pipeline_by_name(pipeline).run(module)
+    sim = CoSimulator(memory=mem)
+    run_module(module, sim)
+    return sim.trace.config_bytes()

@@ -1,0 +1,278 @@
+"""Tests for configuration-computation overlap (paper, Section 5.5)."""
+
+from repro.dialects import accfg, arith, scf
+from repro.ir import parse_module, verify_operation
+from repro.passes import OverlapPass, TraceStatesPass
+from repro.passes.overlap import overlap_straight_line, pipeline_loop
+
+CONCURRENT = {"toyvec"}
+
+
+def prepared(text: str):
+    module = parse_module(text)
+    TraceStatesPass().apply(module)
+    verify_operation(module)
+    return module
+
+
+LOOP_TEXT = """
+func.func @f(%base : index) -> () {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %c8 = arith.constant 8 : index
+  scf.for %i = %c0 to %c8 step %c1 {
+    %addr = arith.addi %base, %i : index
+    %s = accfg.setup on "toyvec" ("ptr_x" = %addr : index) : !accfg.state<"toyvec">
+    %t = accfg.launch %s : !accfg.token<"toyvec">
+    accfg.await %t
+    scf.yield
+  }
+  func.return
+}
+"""
+
+
+class TestLoopPipelining:
+    def test_loop_rotated(self):
+        module = prepared(LOOP_TEXT)
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert pipeline_loop(loop, CONCURRENT)
+        verify_operation(module)
+
+        # A preamble setup now exists before the loop (iv -> lb).
+        func_body = loop.parent
+        pre_setups = [
+            op
+            for op in func_body.ops
+            if isinstance(op, accfg.SetupOp) and op.fields
+        ]
+        assert len(pre_setups) == 1  # (plus the empty anchor from tracing)
+        assert loop.iter_inits[0] is pre_setups[0].out_state
+
+        # Inside the loop: launch comes first, from the incoming state.
+        body_kinds = [op.name for op in loop.body.ops]
+        assert body_kinds[0] == "accfg.launch"
+        launch = loop.body.ops[0]
+        assert launch.state is loop.iter_args[0]
+        # The setup (for i+1) sits before the await.
+        setup_index = body_kinds.index("accfg.setup")
+        await_index = body_kinds.index("accfg.await")
+        assert setup_index < await_index
+
+    def test_next_iteration_uses_incremented_iv(self):
+        module = prepared(LOOP_TEXT)
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        pipeline_loop(loop, CONCURRENT)
+        in_loop_setup = next(
+            op for op in loop.body.ops if isinstance(op, accfg.SetupOp)
+        )
+        addr = in_loop_setup.field_values[0]
+        add_chain = addr.owner
+        # addr = base + (i + step): the slice was cloned onto iv+step.
+        assert isinstance(add_chain, arith.AddiOp)
+        iv_next = add_chain.rhs.owner
+        assert isinstance(iv_next, arith.AddiOp)
+        assert iv_next.lhs is loop.induction_var
+
+    def test_sequential_accelerator_not_pipelined(self):
+        module = prepared(LOOP_TEXT.replace("toyvec", "toyvec-seq"))
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert not pipeline_loop(loop, None)  # registry: toyvec-seq is sequential
+
+    def test_explicit_concurrent_set_respected(self):
+        module = prepared(LOOP_TEXT)
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert not pipeline_loop(loop, set())  # not listed -> treated sequential
+
+    def test_impure_setup_sequence_blocks_pipelining(self):
+        text = """
+        func.func @f(%base : index) -> () {
+          %c0 = arith.constant 0 : index
+          %c1 = arith.constant 1 : index
+          %c8 = arith.constant 8 : index
+          scf.for %i = %c0 to %c8 step %c1 {
+            %addr = "foreign.load"(%i) {accfg.effects = "none"} : (index) -> (index)
+            %s = accfg.setup on "toyvec" ("ptr_x" = %addr : index) : !accfg.state<"toyvec">
+            %t = accfg.launch %s : !accfg.token<"toyvec">
+            accfg.await %t
+            scf.yield
+          }
+          func.return
+        }
+        """
+        module = prepared(text)
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert not pipeline_loop(loop, CONCURRENT)
+
+    def test_two_launches_not_pipelined(self):
+        text = """
+        func.func @f(%base : index) -> () {
+          %c0 = arith.constant 0 : index
+          %c1 = arith.constant 1 : index
+          %c8 = arith.constant 8 : index
+          scf.for %i = %c0 to %c8 step %c1 {
+            %s = accfg.setup on "toyvec" ("ptr_x" = %i : index) : !accfg.state<"toyvec">
+            %t = accfg.launch %s : !accfg.token<"toyvec">
+            accfg.await %t
+            %t2 = accfg.launch %s : !accfg.token<"toyvec">
+            accfg.await %t2
+            scf.yield
+          }
+          func.return
+        }
+        """
+        module = prepared(text)
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert not pipeline_loop(loop, CONCURRENT)
+
+
+class TestStraightLineOverlap:
+    def test_setup_moved_above_await(self):
+        text = """
+        func.func @f(%x : i64, %y : i64) -> () {
+          %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+          %t1 = accfg.launch %s1 : !accfg.token<"toyvec">
+          accfg.await %t1
+          %s2 = accfg.setup on "toyvec" from %s1 ("n" = %y : i64) : !accfg.state<"toyvec">
+          %t2 = accfg.launch %s2 : !accfg.token<"toyvec">
+          accfg.await %t2
+          func.return
+        }
+        """
+        module = parse_module(text)
+        assert overlap_straight_line(module, CONCURRENT)
+        verify_operation(module)
+        fn_body = next(
+            op for op in module.walk() if op.name == "func.func"
+        ).regions[0].block
+        names = [op.name for op in fn_body.ops]
+        # second setup now sits between launch 1 and await 1
+        assert names.index("accfg.setup", 1) < names.index("accfg.await")
+
+    def test_pure_producers_move_along(self):
+        text = """
+        func.func @f(%x : i64, %y : i64) -> () {
+          %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+          %t1 = accfg.launch %s1 : !accfg.token<"toyvec">
+          accfg.await %t1
+          %calc = arith.addi %y, %y : i64
+          %s2 = accfg.setup on "toyvec" from %s1 ("n" = %calc : i64) : !accfg.state<"toyvec">
+          func.return
+        }
+        """
+        module = parse_module(text)
+        assert overlap_straight_line(module, CONCURRENT)
+        verify_operation(module)
+        fn_body = next(
+            op for op in module.walk() if op.name == "func.func"
+        ).regions[0].block
+        names = [op.name for op in fn_body.ops]
+        assert names.index("arith.addi") < names.index("accfg.await")
+
+    def test_sequential_target_untouched(self):
+        text = """
+        func.func @f(%x : i64, %y : i64) -> () {
+          %s1 = accfg.setup on "toyvec-seq" ("n" = %x : i64) : !accfg.state<"toyvec-seq">
+          %t1 = accfg.launch %s1 : !accfg.token<"toyvec-seq">
+          accfg.await %t1
+          %s2 = accfg.setup on "toyvec-seq" from %s1 ("n" = %y : i64) : !accfg.state<"toyvec-seq">
+          func.return
+        }
+        """
+        module = parse_module(text)
+        assert not overlap_straight_line(module, None)
+
+    def test_impure_dependency_blocks_move(self):
+        text = """
+        func.func @f(%x : i64) -> () {
+          %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+          %t1 = accfg.launch %s1 : !accfg.token<"toyvec">
+          accfg.await %t1
+          %v = "foreign.read"() {accfg.effects = "none"} : () -> (i64)
+          %s2 = accfg.setup on "toyvec" from %s1 ("n" = %v : i64) : !accfg.state<"toyvec">
+          func.return
+        }
+        """
+        module = parse_module(text)
+        assert not overlap_straight_line(module, CONCURRENT)
+
+
+class TestNoCrossLaunchMotion:
+    def test_setup_not_moved_above_intervening_launch(self):
+        """Regression (found by fuzzing): a setup must not move above an
+        await when another launch of the same accelerator sits in between —
+        that launch would commit the moved setup's staged writes."""
+        text = """
+        func.func @f(%x : i64, %y : i64) -> () {
+          %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+          %t1 = accfg.launch %s0 : !accfg.token<"toyvec">
+          accfg.await %t1
+          %t2 = accfg.launch %s0 : !accfg.token<"toyvec">
+          accfg.await %t2
+          %s1 = accfg.setup on "toyvec" from %s0 ("n" = %y : i64) : !accfg.state<"toyvec">
+          func.return
+        }
+        """
+        module = parse_module(text)
+        overlap_straight_line(module, CONCURRENT)
+        verify_operation(module)
+        fn_body = next(
+            op for op in module.walk() if op.name == "func.func"
+        ).regions[0].block
+        names = [op.name for op in fn_body.ops]
+        # The setup may move above the SECOND await, but never above the
+        # second launch.
+        second_launch_index = [
+            i for i, n in enumerate(names) if n == "accfg.launch"
+        ][1]
+        setup_indices = [i for i, n in enumerate(names) if n == "accfg.setup"]
+        assert setup_indices[-1] > second_launch_index
+
+    def test_semantics_preserved_on_regression_case(self):
+        """The end-to-end shape of the original fuzz failure."""
+        import numpy as np
+
+        from repro.interp import run_module
+        from repro.passes import pipeline_by_name
+        from repro.sim import CoSimulator, Memory
+
+        def run(pipeline):
+            memory = Memory()
+            x = memory.place(np.arange(16, dtype=np.int32))
+            y = memory.place(np.arange(16, dtype=np.int32) * 2)
+            out = memory.alloc(16, np.int32)
+            text = f"""
+            func.func @main() -> () {{
+              %px = arith.constant {x.addr} : i64
+              %py = arith.constant {y.addr} : i64
+              %po = arith.constant {out.addr} : i64
+              %n = arith.constant 16 : i64
+              %add = arith.constant 0 : i64
+              %mul = arith.constant 1 : i64
+              %s0 = accfg.setup on "toyvec" ("ptr_x" = %px : i64, "ptr_y" = %py : i64, "ptr_out" = %po : i64, "n" = %n : i64, "op" = %add : i64) : !accfg.state<"toyvec">
+              %t1 = accfg.launch %s0 : !accfg.token<"toyvec">
+              accfg.await %t1
+              %t2 = accfg.launch %s0 : !accfg.token<"toyvec">
+              accfg.await %t2
+              %s1 = accfg.setup on "toyvec" from %s0 ("op" = %mul : i64) : !accfg.state<"toyvec">
+              func.return
+            }}
+            """
+            module = parse_module(text)
+            pipeline_by_name(pipeline).run(module)
+            sim = CoSimulator(memory=memory)
+            run_module(module, sim)
+            return out.array.copy()
+
+        assert (run("none") == run("full")).all()
+
+
+class TestFullPass:
+    def test_pass_is_idempotent(self):
+        module = prepared(LOOP_TEXT)
+        OverlapPass(CONCURRENT).apply(module)
+        verify_operation(module)
+        before = str(module)
+        OverlapPass(CONCURRENT).apply(module)
+        verify_operation(module)
+        assert str(module) == before

@@ -1,0 +1,50 @@
+"""Tests for pass-manager instrumentation."""
+
+from repro.ir import parse_module
+from repro.passes import (
+    CanonicalizePass,
+    DCEPass,
+    PassManager,
+    TraceStatesPass,
+)
+
+PROGRAM = """
+func.func @f(%x : i64) -> () {
+  %dead = arith.addi %x, %x : i64
+  %s = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+  %s2 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+  func.return
+}
+"""
+
+
+class TestInstrumentation:
+    def test_statistics_collected_per_pass(self):
+        pm = PassManager([CanonicalizePass(), DCEPass()], instrument=True)
+        pm.run(parse_module(PROGRAM))
+        assert [s.pass_name for s in pm.statistics] == ["canonicalize", "dce"]
+        for stat in pm.statistics:
+            assert stat.seconds >= 0.0
+
+    def test_op_deltas_tracked(self):
+        pm = PassManager([CanonicalizePass()], instrument=True)
+        pm.run(parse_module(PROGRAM))
+        stat = pm.statistics[0]
+        # canonicalize removes the dead addi
+        assert stat.ops_delta == -1
+        assert stat.ops_after == stat.ops_before - 1
+
+    def test_no_instrumentation_by_default(self):
+        pm = PassManager([CanonicalizePass()])
+        pm.run(parse_module(PROGRAM))
+        assert pm.statistics == []
+
+    def test_format(self):
+        pm = PassManager([TraceStatesPass()], instrument=True)
+        pm.run(parse_module(PROGRAM))
+        text = pm.format_statistics()
+        assert "accfg-trace-states" in text
+        assert "ms" in text
+
+    def test_format_empty(self):
+        assert "no pass statistics" in PassManager().format_statistics()

@@ -1,0 +1,302 @@
+"""Tests for state tracing (paper, Section 5.3)."""
+
+from repro.dialects import accfg, scf
+from repro.ir import parse_module, verify_operation
+from repro.passes import TraceStatesPass
+
+
+def traced(text: str):
+    module = parse_module(text)
+    TraceStatesPass().apply(module)
+    verify_operation(module)
+    return module
+
+
+def setups(module):
+    return [op for op in module.walk() if isinstance(op, accfg.SetupOp)]
+
+
+class TestStraightLine:
+    def test_consecutive_setups_chained(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              %s2 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        s1, s2 = setups(module)
+        assert s2.in_state is s1.out_state
+
+    def test_existing_chain_untouched(self):
+        text = """
+        func.func @f(%x : i64) -> () {
+          %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+          %s2 = accfg.setup on "toyvec" from %s1 ("op" = %x : i64) : !accfg.state<"toyvec">
+          func.return
+        }
+        """
+        module = traced(text)
+        s1, s2 = setups(module)
+        assert s2.in_state is s1.out_state
+        # idempotency
+        TraceStatesPass().apply(module)
+        assert s2.in_state is s1.out_state
+        assert len(setups(module)) == 2
+
+    def test_distinct_accelerators_independent(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              %s2 = accfg.setup on "gemmini" ("I" = %x : i64) : !accfg.state<"gemmini">
+              %s3 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        s1, s2, s3 = setups(module)
+        assert s3.in_state is s1.out_state
+        assert s2.in_state is None
+
+    def test_unknown_op_clobbers(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              "foreign.mystery"() : () -> ()
+              %s2 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        s1, s2 = setups(module)
+        assert s2.in_state is None
+
+    def test_effects_none_preserves(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              "foreign.print"() {accfg.effects = "none"} : () -> ()
+              %s2 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        s1, s2 = setups(module)
+        assert s2.in_state is s1.out_state
+
+    def test_reset_clobbers(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              accfg.reset %s1
+              %s2 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        s1, s2 = setups(module)
+        assert s2.in_state is None
+
+    def test_launch_await_preserve_state(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %s1 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              %t = accfg.launch %s1 : !accfg.token<"toyvec">
+              accfg.await %t
+              %s2 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        s1, s2 = setups(module)
+        assert s2.in_state is s1.out_state
+
+
+class TestLoops:
+    def test_state_threaded_through_loop(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              scf.for %i = %c0 to %c4 step %c1 {
+                %s = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                %t = accfg.launch %s : !accfg.token<"toyvec">
+                accfg.await %t
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        # One iter arg of state type was added, initialized with %s0.
+        assert len(loop.iter_args) == 1
+        assert isinstance(loop.iter_args[0].type, accfg.StateType)
+        s0 = setups(module)[0]
+        assert loop.iter_inits[0] is s0.out_state
+        inner = setups(module)[1]
+        assert inner.in_state is loop.iter_args[0]
+        # The final state is yielded.
+        assert loop.yield_op.operands[-1] is inner.out_state
+
+    def test_anchor_materialized_when_no_prior_state(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              scf.for %i = %c0 to %c4 step %c1 {
+                %s = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        all_setups = setups(module)
+        assert len(all_setups) == 2
+        anchor = all_setups[0]
+        assert anchor.fields == ()
+        assert anchor.parent.parent_op.name == "func.func"
+
+    def test_clobbering_loop_not_threaded(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              scf.for %i = %c0 to %c4 step %c1 {
+                %s = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                "foreign.mystery"() : () -> ()
+                scf.yield
+              }
+              %s2 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert len(loop.iter_args) == 0
+        # The post-loop setup has unknown input state.
+        assert setups(module)[-1].in_state is None
+
+    def test_loop_without_accfg_preserves_state(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              scf.for %i = %c0 to %c4 step %c1 {
+                %v = arith.addi %x, %x : i64
+                scf.yield
+              }
+              %s2 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        s0, s2 = setups(module)
+        assert s2.in_state is s0.out_state
+
+    def test_nested_loops_threaded(self):
+        module = traced(
+            """
+            func.func @f(%x : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              scf.for %i = %c0 to %c4 step %c1 {
+                scf.for %j = %c0 to %c4 step %c1 {
+                  %s = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                  scf.yield
+                }
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+        assert all(len(loop.iter_args) == 1 for loop in loops)
+        verify_operation(module)
+
+
+class TestBranches:
+    def test_if_with_setups_joined(self):
+        module = traced(
+            """
+            func.func @f(%c : i1, %x : i64) -> () {
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              scf.if %c {
+                %s1 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                scf.yield
+              } else {
+                scf.yield
+              }
+              %s2 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        if_op = next(op for op in module.walk() if isinstance(op, scf.IfOp))
+        assert len(if_op.results) == 1
+        assert isinstance(if_op.results[0].type, accfg.StateType)
+        # The branch setup chains from the incoming state.
+        branch_setup = setups(module)[1]
+        assert branch_setup.in_state is setups(module)[0].out_state
+        # The post-if setup consumes the joined state.
+        post = setups(module)[-1]
+        assert post.in_state is if_op.results[0]
+
+    def test_if_without_else_gets_one(self):
+        module = traced(
+            """
+            func.func @f(%c : i1, %x : i64) -> () {
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              scf.if %c {
+                %s1 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        if_op = next(op for op in module.walk() if isinstance(op, scf.IfOp))
+        assert if_op.has_else
+        verify_operation(module)
+
+    def test_clobbering_branch_pessimizes(self):
+        module = traced(
+            """
+            func.func @f(%c : i1, %x : i64) -> () {
+              %s0 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              scf.if %c {
+                %s1 = accfg.setup on "toyvec" ("op" = %x : i64) : !accfg.state<"toyvec">
+                "foreign.mystery"() : () -> ()
+                scf.yield
+              } else {
+                scf.yield
+              }
+              %s2 = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+              func.return
+            }
+            """
+        )
+        post = setups(module)[-1]
+        assert post.in_state is None

@@ -1,0 +1,206 @@
+"""Tests for loop unrolling and its interaction with dedup."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import accfg, scf
+from repro.interp import run_module
+from repro.ir import parse_module, verify_operation
+from repro.passes import (
+    CanonicalizePass,
+    DedupPass,
+    PassManager,
+    TraceStatesPass,
+    UnrollPass,
+)
+from repro.passes.unroll import constant_trip_count, unroll_loop
+from repro.sim import CoSimulator, Memory
+
+
+def loops_in(module):
+    return [op for op in module.walk() if isinstance(op, scf.ForOp)]
+
+
+class TestTripCount:
+    def parse_loop(self, lb, ub, step):
+        module = parse_module(
+            f"""
+            func.func @f() -> () {{
+              %lb = arith.constant {lb} : index
+              %ub = arith.constant {ub} : index
+              %st = arith.constant {step} : index
+              scf.for %i = %lb to %ub step %st {{
+                scf.yield
+              }}
+              func.return
+            }}
+            """
+        )
+        return loops_in(module)[0]
+
+    @pytest.mark.parametrize(
+        "lb,ub,step,expected",
+        [(0, 8, 1, 8), (0, 8, 3, 3), (2, 8, 2, 3), (5, 5, 1, 0), (8, 2, 1, 0)],
+    )
+    def test_constant_bounds(self, lb, ub, step, expected):
+        assert constant_trip_count(self.parse_loop(lb, ub, step)) == expected
+
+    def test_runtime_bounds_unknown(self):
+        module = parse_module(
+            """
+            func.func @f(%n : index) -> () {
+              %lb = arith.constant 0 : index
+              %st = arith.constant 1 : index
+              scf.for %i = %lb to %n step %st {
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        assert constant_trip_count(loops_in(module)[0]) is None
+
+
+class TestUnrolling:
+    def test_simple_loop_unrolled(self):
+        module = parse_module(
+            """
+            func.func @f(%x : index) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c3 = arith.constant 3 : index
+              scf.for %i = %c0 to %c3 step %c1 {
+                %s = accfg.setup on "toyvec" ("n" = %i : index) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        UnrollPass().apply(module)
+        verify_operation(module)
+        assert loops_in(module) == []
+        setups = [op for op in module.walk() if isinstance(op, accfg.SetupOp)]
+        assert len(setups) == 3
+
+    def test_iter_args_threaded(self):
+        module = parse_module(
+            """
+            func.func @f() -> (index) {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              %sum = scf.for %i = %c0 to %c4 step %c1 iter_args(%acc = %c0) -> (index) {
+                %n = arith.addi %acc, %i : index
+                scf.yield %n : index
+              }
+              func.return %sum : index
+            }
+            """
+        )
+        UnrollPass().apply(module)
+        verify_operation(module)
+        results, _ = run_module(module, function="f")
+        assert results == [6]  # 0+1+2+3
+
+    def test_large_loops_kept(self):
+        module = parse_module(
+            """
+            func.func @f() -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c100 = arith.constant 100 : index
+              scf.for %i = %c0 to %c100 step %c1 {
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        UnrollPass(max_trips=8).apply(module)
+        assert len(loops_in(module)) == 1
+
+    def test_nested_loops_unroll_completely(self):
+        module = parse_module(
+            """
+            func.func @f(%x : index) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c2 = arith.constant 2 : index
+              scf.for %i = %c0 to %c2 step %c1 {
+                scf.for %j = %c0 to %c2 step %c1 {
+                  %v = arith.addi %i, %j : index
+                  %s = accfg.setup on "toyvec" ("n" = %v : index) : !accfg.state<"toyvec">
+                  scf.yield
+                }
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        UnrollPass().apply(module)
+        verify_operation(module)
+        assert loops_in(module) == []
+        setups = [op for op in module.walk() if isinstance(op, accfg.SetupOp)]
+        assert len(setups) == 4
+
+
+class TestUnrollEnablesDedup:
+    def test_cross_iteration_dedup_after_unroll(self):
+        """Unrolling exposes cross-iteration redundancy to plain
+        redundant-field elimination — no loop hoisting needed."""
+        text = """
+        func.func @f(%x : i64) -> () {
+          %c0 = arith.constant 0 : index
+          %c1 = arith.constant 1 : index
+          %c4 = arith.constant 4 : index
+          scf.for %i = %c0 to %c4 step %c1 {
+            %s = accfg.setup on "toyvec" ("n" = %x : i64) : !accfg.state<"toyvec">
+            %t = accfg.launch %s : !accfg.token<"toyvec">
+            accfg.await %t
+            scf.yield
+          }
+          func.return
+        }
+        """
+        module = parse_module(text)
+        PassManager(
+            [UnrollPass(), CanonicalizePass(), TraceStatesPass(), DedupPass()]
+        ).run(module)
+        setups = [op for op in module.walk() if isinstance(op, accfg.SetupOp)]
+        # One real write remains; the three unrolled repeats deduplicated.
+        assert sum(len(s.fields) for s in setups) == 1
+        launches = [op for op in module.walk() if isinstance(op, accfg.LaunchOp)]
+        assert len(launches) == 4
+
+    def test_functional_equivalence(self):
+        memory = Memory()
+        x = memory.place(np.arange(24, dtype=np.int32))
+        y = memory.place(np.arange(24, dtype=np.int32) * 5)
+        out = memory.alloc(24, np.int32)
+        text = f"""
+        func.func @main() -> () {{
+          %px = arith.constant {x.addr} : i64
+          %py = arith.constant {y.addr} : i64
+          %po = arith.constant {out.addr} : i64
+          %n = arith.constant 24 : i64
+          %op = arith.constant 0 : i64
+          %c0 = arith.constant 0 : index
+          %c1 = arith.constant 1 : index
+          %c3 = arith.constant 3 : index
+          scf.for %i = %c0 to %c3 step %c1 {{
+            %s = accfg.setup on "toyvec" ("ptr_x" = %px : i64, "ptr_y" = %py : i64, "ptr_out" = %po : i64, "n" = %n : i64, "op" = %op : i64) : !accfg.state<"toyvec">
+            %t = accfg.launch %s : !accfg.token<"toyvec">
+            accfg.await %t
+            scf.yield
+          }}
+          func.return
+        }}
+        """
+        module = parse_module(text)
+        PassManager([UnrollPass(), CanonicalizePass(), TraceStatesPass(), DedupPass()]).run(module)
+        sim = CoSimulator(memory=memory)
+        run_module(module, sim)
+        assert (out.array == x.array + y.array).all()
+        assert sim.device("toyvec").launch_count == 3

@@ -1,0 +1,127 @@
+"""Regression tests: loop hoisting/pipelining must not write configuration
+for loops that execute zero times.
+
+A hoisted (or pipelined-preamble) setup writes registers the original
+program never wrote; a later launch on the carried state would observe
+them.  The passes guard such setups with ``lb < ub`` when the trip count is
+not provably positive.
+"""
+
+import numpy as np
+
+from repro.dialects import accfg, scf
+from repro.interp import run_module
+from repro.ir import parse_module, verify_operation
+from repro.passes import DedupPass, OverlapPass, TraceStatesPass, pipeline_by_name
+from repro.sim import CoSimulator, Memory
+
+
+def zero_trip_program(memory):
+    """Configure add; run a (runtime) zero-trip loop that would configure
+    multiply; launch after the loop.  Result must be the SUM."""
+    x = memory.place(np.arange(8, dtype=np.int32) + 1)
+    y = memory.place(np.arange(8, dtype=np.int32) + 1)
+    out = memory.alloc(8, np.int32)
+    text = f"""
+    func.func @main(%n : index) -> () {{
+      %px = arith.constant {x.addr} : i64
+      %py = arith.constant {y.addr} : i64
+      %po = arith.constant {out.addr} : i64
+      %len = arith.constant 8 : i64
+      %add = arith.constant 0 : i64
+      %mul = arith.constant 1 : i64
+      %c0 = arith.constant 0 : index
+      %c1 = arith.constant 1 : index
+      %s0 = accfg.setup on "toyvec" ("ptr_x" = %px : i64, "ptr_y" = %py : i64, "ptr_out" = %po : i64, "n" = %len : i64, "op" = %add : i64) : !accfg.state<"toyvec">
+      scf.for %i = %c0 to %n step %c1 {{
+        %s1 = accfg.setup on "toyvec" ("op" = %mul : i64) : !accfg.state<"toyvec">
+        %t1 = accfg.launch %s1 : !accfg.token<"toyvec">
+        accfg.await %t1
+        scf.yield
+      }}
+      %t = accfg.launch %s0 : !accfg.token<"toyvec">
+      accfg.await %t
+      func.return
+    }}
+    """
+    return parse_module(text), (x, y, out)
+
+
+class TestZeroTripSoundness:
+    def run_with(self, pipeline_steps):
+        memory = Memory()
+        module, (x, y, out) = zero_trip_program(memory)
+        for step in pipeline_steps:
+            step.apply(module)
+        verify_operation(module)
+        sim = CoSimulator(memory=memory)
+        run_module(module, sim, args=[0])  # loop runs ZERO times
+        return x.array, y.array, out.array
+
+    def test_unoptimized_reference(self):
+        x, y, out = self.run_with([])
+        assert (out == x + y).all()
+
+    def test_dedup_hoisting_guarded(self):
+        x, y, out = self.run_with([TraceStatesPass(), DedupPass()])
+        assert (out == x + y).all(), "hoisted 'op' write leaked into zero-trip path"
+
+    def test_overlap_preamble_guarded(self):
+        x, y, out = self.run_with(
+            [TraceStatesPass(), OverlapPass({"toyvec"})]
+        )
+        assert (out == x + y).all(), "pipelined preamble leaked into zero-trip path"
+
+    def test_full_pipeline(self):
+        memory = Memory()
+        module, (x, y, out) = zero_trip_program(memory)
+        pipeline_by_name("full").run(module)
+        sim = CoSimulator(memory=memory)
+        run_module(module, sim, args=[0])
+        assert (out.array == x.array + y.array).all()
+
+    def test_nonzero_trips_still_optimized_and_correct(self):
+        memory = Memory()
+        module, (x, y, out) = zero_trip_program(memory)
+        pipeline_by_name("full").run(module)
+        sim = CoSimulator(memory=memory)
+        run_module(module, sim, args=[3])  # loop runs: product wins
+        assert (out.array == x.array * y.array).all()
+
+    def test_guard_emitted_for_runtime_bounds(self):
+        memory = Memory()
+        module, _ = zero_trip_program(memory)
+        TraceStatesPass().apply(module)
+        DedupPass().apply(module)
+        # The hoisted 'op' setup sits behind an scf.if guard.
+        guards = [
+            op
+            for op in module.walk()
+            if isinstance(op, scf.IfOp)
+            and any(isinstance(r.type, accfg.StateType) for r in op.results)
+        ]
+        assert guards, "expected a lb<ub guard around the hoisted setup"
+
+    def test_no_guard_for_constant_positive_bounds(self):
+        memory = Memory()
+        x = memory.place(np.arange(8, dtype=np.int32))
+        module = parse_module(
+            f"""
+            func.func @main() -> () {{
+              %ptr = arith.constant {x.addr} : i64
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c4 = arith.constant 4 : index
+              scf.for %i = %c0 to %c4 step %c1 {{
+                %s = accfg.setup on "toyvec" ("ptr_x" = %ptr : i64, "n" = %i : index) : !accfg.state<"toyvec">
+                %t = accfg.launch %s : !accfg.token<"toyvec">
+                accfg.await %t
+                scf.yield
+              }}
+              func.return
+            }}
+            """
+        )
+        TraceStatesPass().apply(module)
+        DedupPass().apply(module)
+        assert not any(isinstance(op, scf.IfOp) for op in module.walk())

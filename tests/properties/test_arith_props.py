@@ -1,0 +1,94 @@
+"""Property-based tests: folding is consistent with interpretation.
+
+For random constant expression trees, the value computed by the interpreter
+on the unoptimized IR must equal the single constant canonicalization folds
+the tree to.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dialects import arith, func
+from repro.dialects.builtin import ModuleOp
+from repro.interp import run_module
+from repro.ir import Block, FunctionType, i64, verify_operation
+from repro.passes import CanonicalizePass
+
+SAFE_BINARY_OPS = (
+    arith.AddiOp,
+    arith.SubiOp,
+    arith.MuliOp,
+    arith.AndiOp,
+    arith.OriOp,
+    arith.XoriOp,
+    arith.MinUIOp,
+    arith.MaxUIOp,
+)
+
+
+@st.composite
+def expression_trees(draw, depth=3):
+    """A nested tuple tree: int leaf or (op_class, left, right)."""
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.integers(min_value=0, max_value=2**32))
+    op = draw(st.sampled_from(SAFE_BINARY_OPS))
+    left = draw(expression_trees(depth=depth - 1))
+    right = draw(expression_trees(depth=depth - 1))
+    return (op, left, right)
+
+
+def build_module(tree):
+    block = Block()
+
+    def emit(node):
+        if isinstance(node, int):
+            op = arith.ConstantOp.create(node, i64)
+            block.add_op(op)
+            return op.result
+        cls, left, right = node
+        op = cls.create(emit(left), emit(right))
+        block.add_op(op)
+        return op.result
+
+    result = emit(tree)
+    block.add_op(func.ReturnOp.create([result]))
+    fn = func.FuncOp.create("main", FunctionType.from_lists([], [i64]), block)
+    return ModuleOp.create([fn])
+
+
+@given(expression_trees())
+def test_folding_matches_interpretation(tree):
+    module = build_module(tree)
+    interpreted, _ = run_module(module)
+
+    folded_module = build_module(tree)
+    CanonicalizePass().apply(folded_module)
+    verify_operation(folded_module)
+    ops = [
+        op
+        for op in folded_module.walk()
+        if op.name.startswith("arith") and not isinstance(op, arith.ConstantOp)
+    ]
+    assert ops == [], "tree of constants must fold completely"
+    folded_value, _ = run_module(folded_module)
+    assert folded_value == interpreted
+
+
+@given(expression_trees())
+def test_canonicalization_idempotent(tree):
+    module = build_module(tree)
+    CanonicalizePass().apply(module)
+    once = str(module)
+    CanonicalizePass().apply(module)
+    assert str(module) == once
+
+
+@given(st.integers(min_value=-(2**70), max_value=2**70))
+def test_truncate_in_range(value):
+    from repro.ir import i8, i32
+
+    for type in (i8, i32):
+        truncated = arith.truncate_to_type(value, type)
+        assert 0 <= truncated < (1 << type.width)
+        # idempotent
+        assert arith.truncate_to_type(truncated, type) == truncated

@@ -1,0 +1,61 @@
+"""Property-based tests for field packing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import FieldSpec, pack_fields
+
+
+@st.composite
+def field_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    return [
+        FieldSpec(f"f{i}", draw(st.integers(min_value=1, max_value=64)))
+        for i in range(count)
+    ]
+
+
+@given(field_lists())
+def test_every_field_packed_exactly_once(fields):
+    words = pack_fields(fields)
+    packed = [spec.name for word in words for spec, _ in word.lanes]
+    assert packed == [spec.name for spec in fields]
+
+
+@given(field_lists())
+def test_no_word_overflows(fields):
+    for word in pack_fields(fields):
+        assert word.bits_used <= 64
+        for spec, offset in word.lanes:
+            assert offset + spec.bits <= 64
+
+
+@given(field_lists())
+def test_lanes_do_not_overlap(fields):
+    for word in pack_fields(fields):
+        cursor = 0
+        for spec, offset in word.lanes:
+            assert offset >= cursor
+            cursor = offset + spec.bits
+
+
+@given(field_lists(), st.data())
+def test_encode_decode_roundtrip(fields, data):
+    values = {
+        spec.name: data.draw(
+            st.integers(min_value=0, max_value=spec.mask), label=spec.name
+        )
+        for spec in fields
+    }
+    for word in pack_fields(fields):
+        decoded = word.decode(word.encode(values))
+        for spec, _ in word.lanes:
+            assert decoded[spec.name] == values[spec.name]
+
+
+@given(field_lists())
+def test_word_count_bounded(fields):
+    words = pack_fields(fields)
+    total_bits = sum(spec.bits for spec in fields)
+    assert len(words) >= -(-total_bits // 64)  # at least ceil(bits/64)
+    assert len(words) <= len(fields)  # at most one word per field

@@ -1,0 +1,95 @@
+"""Property-based tests on the roofline model's mathematical invariants."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigRoofline
+
+positive = st.floats(
+    min_value=1e-3, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+intensity = st.floats(
+    min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@given(positive, positive, intensity)
+def test_sequential_never_above_concurrent(peak, bw, i_oc):
+    r = ConfigRoofline(peak, bw)
+    assert r.attainable_sequential(i_oc) <= r.attainable_concurrent(i_oc)
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e4),
+    st.floats(min_value=0.1, max_value=1e3),
+    st.floats(min_value=0.1, max_value=1e5),
+)
+def test_sequential_strictly_below_concurrent_in_moderate_range(peak, bw, i_oc):
+    """Strict inequality holds wherever floats don't saturate."""
+    r = ConfigRoofline(peak, bw)
+    assert r.attainable_sequential(i_oc) < r.attainable_concurrent(i_oc)
+
+
+@given(positive, positive, intensity)
+def test_attainable_never_exceeds_peak(peak, bw, i_oc):
+    r = ConfigRoofline(peak, bw)
+    assert r.attainable_concurrent(i_oc) <= peak
+    assert r.attainable_sequential(i_oc) <= peak
+
+
+@given(positive, positive, intensity, intensity)
+def test_monotone_in_intensity(peak, bw, a, b):
+    r = ConfigRoofline(peak, bw)
+    lo, hi = min(a, b), max(a, b)
+    assert r.attainable_sequential(lo) <= r.attainable_sequential(hi)
+    assert r.attainable_concurrent(lo) <= r.attainable_concurrent(hi)
+
+
+@given(positive, positive)
+def test_sequential_half_peak_exactly_at_knee(peak, bw):
+    r = ConfigRoofline(peak, bw)
+    assert math.isclose(
+        r.attainable_sequential(r.knee_intensity), peak / 2, rel_tol=1e-9
+    )
+
+
+@given(positive, positive, intensity)
+def test_overlap_headroom_bounded_by_two(peak, bw, i_oc):
+    """Concurrent configuration can at most halve the run time (Section 4.3:
+    the maximum discrepancy is at the knee, where config time equals compute
+    time)."""
+    r = ConfigRoofline(peak, bw)
+    headroom = r.overlap_headroom(i_oc)
+    assert 1.0 <= headroom <= 2.0 + 1e-9
+
+
+@given(positive, positive, st.floats(min_value=1.01, max_value=100))
+def test_increasing_bandwidth_moves_knee_left(peak, bw, factor):
+    slow = ConfigRoofline(peak, bw)
+    fast = ConfigRoofline(peak, bw * factor)
+    assert fast.knee_intensity < slow.knee_intensity
+
+
+@given(positive, positive, positive, intensity, intensity)
+def test_combined_is_min_of_terms(peak, config_bw, mem_bw, i_op, i_oc):
+    r = ConfigRoofline(peak, config_bw, mem_bw)
+    combined = r.attainable_combined(i_op, i_oc)
+    assert combined <= r.attainable_processor(i_op)
+    assert combined <= r.attainable_concurrent(i_oc)
+    assert combined == min(
+        peak, mem_bw * i_op, config_bw * i_oc
+    )
+
+
+@given(positive, positive, intensity)
+def test_boundness_consistent_with_attainable(peak, bw, i_oc):
+    from repro.core import Boundness
+
+    r = ConfigRoofline(peak, bw)
+    region = r.boundness(i_oc)
+    if region is Boundness.CONFIG_BOUND:
+        assert bw * i_oc < peak
+    elif region is Boundness.COMPUTE_BOUND:
+        assert bw * i_oc >= peak * (1 - 1e-6)

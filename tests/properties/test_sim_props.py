@@ -1,0 +1,107 @@
+"""Property-based tests on co-simulation timing invariants.
+
+Random configure/launch/await traces are replayed against devices with
+different configuration schemes; the scheme comparisons the paper makes
+analytically (Section 2.2 / 4.3) must hold on every trace.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import get_accelerator, register_accelerator
+from repro.backends.toyvec import ToyVecSpec
+from repro.isa import HostCostModel
+from repro.sim import CoSimulator
+
+
+@st.composite
+def traces(draw):
+    """A list of invocation descriptors: (#fields to write, vector length,
+    whether to await)."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    return [
+        (
+            draw(st.integers(min_value=0, max_value=5)),
+            draw(st.integers(min_value=1, max_value=128)),
+            draw(st.booleans()),
+        )
+        for _ in range(count)
+    ]
+
+
+FIELD_NAMES = ("ptr_x", "ptr_y", "ptr_out", "n", "op")
+
+
+def replay(trace, accelerator: str) -> CoSimulator:
+    sim = CoSimulator(cost_model=HostCostModel(1.0), functional=False)
+    tokens = []
+    for field_count, length, do_await in trace:
+        fields = {FIELD_NAMES[i]: 0 for i in range(field_count)}
+        fields["n"] = length
+        sim.exec_setup(accelerator, fields)
+        tokens.append(sim.exec_launch(accelerator))
+        if do_await:
+            sim.exec_await(tokens[-1])
+    for token in tokens:
+        sim.exec_await(token)
+    return sim
+
+
+def _depth_variant(depth: int) -> str:
+    name = f"toyvec-prop-q{depth}"
+    from repro.backends import get_accelerator_or_none
+
+    if get_accelerator_or_none(name) is None:
+        cls = type(
+            f"PropToyVecQ{depth}",
+            (ToyVecSpec,),
+            {"name": name, "launch_queue_depth": depth},
+        )
+        register_accelerator(cls())
+    return name
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_concurrent_never_slower_than_sequential(trace):
+    concurrent = replay(trace, "toyvec")
+    sequential = replay(trace, "toyvec-seq")
+    assert concurrent.total_cycles <= sequential.total_cycles + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_deeper_queue_never_slower(trace):
+    shallow = replay(trace, _depth_variant(1))
+    deep = replay(trace, _depth_variant(4))
+    assert deep.total_cycles <= shallow.total_cycles + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_total_cycles_cover_all_activity(trace):
+    sim = replay(trace, "toyvec")
+    device = sim.device("toyvec")
+    assert sim.total_cycles + 1e-9 >= device.busy_until
+    assert sim.total_cycles + 1e-9 >= sim.host_time
+    assert device.busy_cycles <= sim.total_cycles + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_launch_accounting_consistent(trace):
+    sim = replay(trace, "toyvec")
+    device = sim.device("toyvec")
+    assert device.launch_count == len(trace)
+    assert device.total_ops == sum(length for _, length, _ in trace)
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_scheme_does_not_change_functional_config(trace):
+    """Both schemes commit the same final register contents."""
+    concurrent = replay(trace, "toyvec")
+    sequential = replay(trace, "toyvec-seq")
+    conc = concurrent.device("toyvec")
+    seq = sequential.device("toyvec-seq")
+    assert conc.registers == seq.registers

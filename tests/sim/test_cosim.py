@@ -1,0 +1,135 @@
+"""Tests for the co-simulation engine and timelines."""
+
+import numpy as np
+import pytest
+
+from repro.isa import HostCostModel, InstrCategory, alu
+from repro.sim import CoSimulator, Memory, SpanKind, Timeline
+
+
+def vector_sim(concurrent=True):
+    name = "toyvec" if concurrent else "toyvec-seq"
+    memory = Memory()
+    x = memory.place(np.arange(32, dtype=np.int32))
+    y = memory.place(np.arange(32, dtype=np.int32))
+    out = memory.alloc(32, np.int32)
+    sim = CoSimulator(memory=memory, cost_model=HostCostModel(1.0))
+    config = {
+        "ptr_x": x.addr,
+        "ptr_y": y.addr,
+        "ptr_out": out.addr,
+        "n": 32,
+        "op": 0,
+    }
+    return sim, name, config, out
+
+
+class TestCharging:
+    def test_charge_advances_time(self):
+        sim = CoSimulator(cost_model=HostCostModel(2.0))
+        sim.charge([alu(), alu()])
+        assert sim.host_time == 4.0
+        assert len(sim.trace) == 2
+
+    def test_stall_records_span(self):
+        sim = CoSimulator()
+        sim.stall_until(10.0)
+        assert sim.host_time == 10.0
+        assert sim.timeline.busy_time("host", SpanKind.STALL) == 10.0
+
+    def test_stall_into_past_is_noop(self):
+        sim = CoSimulator()
+        sim.charge([alu()])
+        before = sim.host_time
+        sim.stall_until(before - 1)
+        assert sim.host_time == before
+
+
+class TestAccfgSemantics:
+    def test_setup_launch_await_flow(self):
+        sim, name, config, out = vector_sim()
+        sim.exec_setup(name, config)
+        token = sim.exec_launch(name)
+        sim.exec_await(token)
+        assert sim.host_time >= token.end
+        assert (out.array == np.arange(32) * 2).all()
+
+    def test_sequential_setup_stalls_while_busy(self):
+        sim, name, config, out = vector_sim(concurrent=False)
+        sim.exec_setup(name, config)
+        token = sim.exec_launch(name)
+        before = sim.host_time
+        assert before < token.end
+        sim.exec_setup(name, {"n": 16})
+        # The second setup had to wait for the device to finish.
+        assert sim.host_time > token.end
+
+    def test_concurrent_setup_does_not_stall(self):
+        sim, name, config, out = vector_sim(concurrent=True)
+        sim.exec_setup(name, config)
+        token = sim.exec_launch(name)
+        sim.exec_setup(name, {"n": 16})
+        # only the setup instruction cost was paid
+        assert sim.host_time < token.end
+
+    def test_launch_is_barrier_even_when_concurrent(self):
+        sim, name, config, out = vector_sim(concurrent=True)
+        sim.exec_setup(name, config)
+        first = sim.exec_launch(name)
+        second = sim.exec_launch(name)
+        assert second.start >= first.end
+
+    def test_total_cycles_includes_accelerator_tail(self):
+        sim, name, config, out = vector_sim()
+        sim.exec_setup(name, config)
+        token = sim.exec_launch(name)
+        # no await: the accelerator finishes after the host is done
+        assert sim.total_cycles == token.end
+
+    def test_performance(self):
+        sim, name, config, out = vector_sim()
+        sim.exec_setup(name, config)
+        sim.exec_await(sim.exec_launch(name))
+        assert sim.performance() == pytest.approx(32 / sim.total_cycles)
+
+    def test_trace_categories(self):
+        sim, name, config, out = vector_sim()
+        sim.exec_setup(name, config)
+        sim.exec_await(sim.exec_launch(name))
+        stats = sim.trace.stats(sim.cost_model)
+        assert stats.setup_instrs == 5  # 5 MMIO stores
+        assert stats.launch_instrs == 1
+        assert stats.sync_instrs == 1
+
+
+class TestTimeline:
+    def test_spans_recorded_per_actor(self):
+        sim, name, config, out = vector_sim()
+        sim.exec_setup(name, config)
+        sim.exec_await(sim.exec_launch(name))
+        actors = sim.timeline.actors()
+        assert "host" in actors and name in actors
+        assert sim.timeline.busy_time(name, SpanKind.ACCEL) > 0
+
+    def test_idle_time(self):
+        timeline = Timeline()
+        timeline.record("host", SpanKind.SETUP, 0, 4)
+        timeline.record("host", SpanKind.SETUP, 6, 10)
+        assert timeline.idle_time("host") == 2.0
+
+    def test_render_ascii(self):
+        sim, name, config, out = vector_sim()
+        sim.exec_setup(name, config)
+        sim.exec_await(sim.exec_launch(name))
+        art = sim.timeline.render_ascii(width=40)
+        assert "host" in art
+        assert "X" in art  # accelerator compute glyph
+        assert "C" in art  # config glyph
+
+    def test_render_empty(self):
+        assert Timeline().render_ascii() == "(empty timeline)"
+
+    def test_zero_length_span_dropped(self):
+        timeline = Timeline()
+        timeline.record("host", SpanKind.SETUP, 5, 5)
+        assert timeline.spans == []

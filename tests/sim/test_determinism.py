@@ -1,0 +1,53 @@
+"""Determinism: identical inputs must produce identical simulations.
+
+The whole evaluation methodology rests on run-to-run reproducibility; no
+wall-clock, randomness, or iteration-order effects may leak into cycle
+counts or traces.
+"""
+
+from repro.experiments.common import run_workload
+from repro.interp import run_module
+from repro.passes import pipeline_by_name
+from repro.sim import CoSimulator
+from repro.workloads import build_gemmini_matmul, build_opengemm_matmul
+
+
+def trace_signature(sim):
+    return [
+        (instr.mnemonic, instr.category, instr.config_bytes, instr.accelerator)
+        for instr in sim.trace.instrs
+    ]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_cycles(self):
+        runs = [
+            run_workload(build_opengemm_matmul(32), "full", functional=False)
+            for _ in range(2)
+        ]
+        assert runs[0].cycles == runs[1].cycles
+        assert runs[0].metrics == runs[1].metrics
+
+    def test_identical_traces(self):
+        sims = []
+        for _ in range(2):
+            workload = build_opengemm_matmul(16)
+            pipeline_by_name("full").run(workload.module)
+            sim = CoSimulator(memory=workload.memory, functional=False)
+            run_module(workload.module, sim)
+            sims.append(sim)
+        assert trace_signature(sims[0]) == trace_signature(sims[1])
+
+    def test_identical_optimized_ir(self):
+        texts = []
+        for _ in range(2):
+            workload = build_gemmini_matmul(32)
+            pipeline_by_name("full").run(workload.module)
+            texts.append(str(workload.module))
+        assert texts[0] == texts[1]
+
+    def test_seeded_inputs_reproducible(self):
+        a = build_opengemm_matmul(16, seed=9)
+        b = build_opengemm_matmul(16, seed=9)
+        assert (a.a.array == b.a.array).all()
+        assert (a.b.array == b.b.array).all()

@@ -1,0 +1,122 @@
+"""Tests for the accelerator device model: sequential vs concurrent
+configuration semantics (paper, Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import get_accelerator
+from repro.sim import AcceleratorDevice, Memory, SimulationError
+
+
+def toyvec_device(concurrent=True):
+    name = "toyvec" if concurrent else "toyvec-seq"
+    memory = Memory()
+    x = memory.place(np.arange(16, dtype=np.int32))
+    y = memory.place(np.arange(16, dtype=np.int32) * 10)
+    out = memory.alloc(16, np.int32)
+    device = AcceleratorDevice(get_accelerator(name), memory)
+    config = {
+        "ptr_x": x.addr,
+        "ptr_y": y.addr,
+        "ptr_out": out.addr,
+        "n": 16,
+        "op": 0,
+    }
+    return device, config, (x, y, out)
+
+
+class TestSequentialConfiguration:
+    def test_write_while_idle_immediate(self):
+        device, config, _ = toyvec_device(concurrent=False)
+        start = device.write_fields(config, now=100.0)
+        assert start == 100.0
+        assert device.registers["n"] == 16
+
+    def test_write_while_busy_stalls(self):
+        device, config, _ = toyvec_device(concurrent=False)
+        device.write_fields(config, 0.0)
+        token = device.launch(0.0)
+        assert device.is_busy(1.0)
+        start = device.write_fields({"n": 8}, now=1.0)
+        assert start == token.end
+
+    def test_registers_written_directly(self):
+        device, config, _ = toyvec_device(concurrent=False)
+        device.write_fields({"n": 5}, 0.0)
+        assert device.effective_config()["n"] == 5
+        assert device.staged == {}
+
+
+class TestConcurrentConfiguration:
+    def test_write_while_busy_stages(self):
+        device, config, _ = toyvec_device(concurrent=True)
+        device.write_fields(config, 0.0)
+        device.launch(0.0)
+        start = device.write_fields({"n": 8}, now=1.0)
+        assert start == 1.0  # no stall
+        assert device.staged == {"n": 8}
+        assert device.registers["n"] == 16  # live copy unchanged
+
+    def test_launch_commits_staged(self):
+        device, config, _ = toyvec_device(concurrent=True)
+        device.write_fields(config, 0.0)
+        first = device.launch(0.0)
+        device.write_fields({"n": 8}, 1.0)
+        second = device.launch(5.0)
+        assert second.start == first.end  # launch is a barrier
+        assert device.registers["n"] == 8
+        assert device.staged == {}
+
+    def test_effective_config_merges_staged(self):
+        device, config, _ = toyvec_device(concurrent=True)
+        device.write_fields(config, 0.0)
+        device.launch(0.0)
+        device.write_fields({"n": 8}, 1.0)
+        assert device.effective_config()["n"] == 8
+
+
+class TestLaunchSemantics:
+    def test_launch_computes_functionally(self):
+        device, config, (x, y, out) = toyvec_device()
+        device.write_fields(config, 0.0)
+        device.launch(0.0)
+        assert (out.array == x.array + y.array).all()
+
+    def test_functional_false_skips_execution(self):
+        device, config, (x, y, out) = toyvec_device()
+        device.write_fields(config, 0.0)
+        device.launch(0.0, functional=False)
+        assert (out.array == 0).all()
+
+    def test_launch_fields_applied(self):
+        device, config, (x, y, out) = toyvec_device()
+        config.pop("op")
+        device.write_fields(config, 0.0)
+        device.launch(0.0, {"op": 1})  # multiply
+        assert (out.array == x.array * y.array).all()
+
+    def test_timing_accumulates(self):
+        device, config, _ = toyvec_device()
+        device.write_fields(config, 0.0)
+        t1 = device.launch(0.0)
+        t2 = device.launch(0.0)
+        assert t2.start == t1.end
+        assert device.busy_cycles == pytest.approx(
+            (t1.end - t1.start) + (t2.end - t2.start)
+        )
+        assert device.launch_count == 2
+
+    def test_ops_accounted(self):
+        device, config, _ = toyvec_device()
+        device.write_fields(config, 0.0)
+        token = device.launch(0.0)
+        assert token.ops == 16
+        assert device.total_ops == 16
+
+    def test_token_from_other_device_rejected(self):
+        device_a, config, _ = toyvec_device()
+        device_b, config_b, _ = toyvec_device()
+        device_a.write_fields(config, 0.0)
+        token = device_a.launch(0.0)
+        with pytest.raises(SimulationError):
+            device_b.completion_time(token)

@@ -1,0 +1,85 @@
+"""Tests for the simulated memory."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Memory, MemoryError_
+
+
+class TestAllocation:
+    def test_alloc_zeroed(self):
+        mem = Memory()
+        buf = mem.alloc((4, 4), np.int32)
+        assert (buf.array == 0).all()
+        assert buf.array.shape == (4, 4)
+
+    def test_place_copies(self):
+        mem = Memory()
+        source = np.arange(8, dtype=np.int8)
+        buf = mem.place(source)
+        source[0] = 99
+        assert buf.array[0] == 0
+
+    def test_addresses_disjoint_and_aligned(self):
+        mem = Memory(alignment=64)
+        a = mem.alloc(100, np.int8)
+        b = mem.alloc(100, np.int8)
+        assert b.addr >= a.addr + 100
+        assert a.addr % 64 == 0
+        assert b.addr % 64 == 0
+
+    def test_buffer_at(self):
+        mem = Memory()
+        a = mem.alloc(16, np.int8)
+        assert mem.buffer_at(a.addr) is a
+        assert mem.buffer_at(a.addr + 15) is a
+        with pytest.raises(MemoryError_):
+            mem.buffer_at(a.addr + 1000000)
+
+
+class TestMatrixAccess:
+    def test_read_matrix_row_major(self):
+        mem = Memory()
+        buf = mem.place(np.arange(16, dtype=np.int8).reshape(4, 4))
+        tile = mem.read_matrix(buf.addr, 2, 2, 4, np.int8)
+        assert (tile == [[0, 1], [4, 5]]).all()
+
+    def test_read_with_offset(self):
+        mem = Memory()
+        buf = mem.place(np.arange(16, dtype=np.int8).reshape(4, 4))
+        tile = mem.read_matrix(buf.addr + 5, 2, 2, 4, np.int8)
+        assert (tile == [[5, 6], [9, 10]]).all()
+
+    def test_write_matrix(self):
+        mem = Memory()
+        buf = mem.alloc((4, 4), np.int32)
+        mem.write_matrix(
+            buf.addr + 4 * 5, np.full((2, 2), 7, dtype=np.int32), 4
+        )
+        assert buf.array[1, 1] == 7
+        assert buf.array[2, 2] == 7
+        assert buf.array[0, 0] == 0
+
+    def test_dtype_mismatch_rejected(self):
+        mem = Memory()
+        buf = mem.alloc(16, np.int8)
+        with pytest.raises(MemoryError_, match="dtype"):
+            mem.read_matrix(buf.addr, 2, 2, 4, np.int32)
+
+    def test_misaligned_access_rejected(self):
+        mem = Memory()
+        buf = mem.alloc((4, 4), np.int32)
+        with pytest.raises(MemoryError_, match="misaligned"):
+            mem.read_matrix(buf.addr + 2, 1, 1, 4, np.int32)
+
+    def test_overrun_rejected(self):
+        mem = Memory()
+        buf = mem.alloc((2, 2), np.int8)
+        with pytest.raises(MemoryError_, match="overrun"):
+            mem.read_matrix(buf.addr, 4, 4, 4, np.int8)
+
+    def test_write_overrun_rejected(self):
+        mem = Memory()
+        buf = mem.alloc((2, 2), np.int32)
+        with pytest.raises(MemoryError_, match="overrun"):
+            mem.write_matrix(buf.addr, np.zeros((4, 4), np.int32), 4)

@@ -1,0 +1,62 @@
+"""Tests for run metrics extraction."""
+
+import numpy as np
+import pytest
+
+from repro.isa import HostCostModel
+from repro.sim import CoSimulator, Memory, collect_metrics
+
+
+def run_vector_workload(launches=3):
+    memory = Memory()
+    x = memory.place(np.arange(64, dtype=np.int32))
+    y = memory.place(np.arange(64, dtype=np.int32))
+    out = memory.alloc(64, np.int32)
+    sim = CoSimulator(memory=memory, cost_model=HostCostModel(1.0))
+    for _ in range(launches):
+        sim.exec_setup(
+            "toyvec",
+            {
+                "ptr_x": x.addr,
+                "ptr_y": y.addr,
+                "ptr_out": out.addr,
+                "n": 64,
+                "op": 0,
+            },
+        )
+        sim.exec_await(sim.exec_launch("toyvec"))
+    return collect_metrics(sim, "toyvec")
+
+
+class TestRunMetrics:
+    def test_counts(self):
+        metrics = run_vector_workload(3)
+        assert metrics.launch_count == 3
+        assert metrics.total_ops == 3 * 64
+        assert metrics.setup_instrs == 15
+        assert metrics.config_bytes == 3 * (8 + 8 + 8 + 4 + 1)
+
+    def test_performance_and_utilization(self):
+        metrics = run_vector_workload()
+        assert 0 < metrics.performance <= metrics.peak_ops_per_cycle
+        assert 0 < metrics.utilization <= 1.0
+        assert metrics.performance == pytest.approx(
+            metrics.total_ops / metrics.total_cycles
+        )
+
+    def test_i_oc(self):
+        metrics = run_vector_workload()
+        assert metrics.operation_to_config_intensity == pytest.approx(
+            metrics.total_ops / metrics.config_bytes
+        )
+
+    def test_effective_bandwidth_le_theoretical(self):
+        metrics = run_vector_workload()
+        assert (
+            metrics.effective_config_bandwidth
+            <= metrics.theoretical_config_bandwidth
+        )
+
+    def test_stall_cycles_tracked(self):
+        metrics = run_vector_workload()
+        assert metrics.host_stall_cycles > 0  # awaits stall the host

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+DEMO = """
+builtin.module {
+  func.func @main(%n : i64) -> () {
+    %c0 = arith.constant 0 : index
+    %c1 = arith.constant 1 : index
+    %c4 = arith.constant 4 : index
+    scf.for %i = %c0 to %c4 step %c1 {
+      %s = accfg.setup on "toyvec" ("n" = %n : i64, "op" = %i : index) : !accfg.state<"toyvec">
+      %t = accfg.launch %s : !accfg.token<"toyvec">
+      accfg.await %t
+      scf.yield
+    }
+    func.return
+  }
+}
+"""
+
+
+@pytest.fixture
+def demo_file(tmp_path):
+    path = tmp_path / "demo.mlir"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestOpt:
+    def test_full_pipeline_pipelines_the_loop(self, demo_file, capsys):
+        assert main(["opt", "--pipeline", "full", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "iter_args" in out  # state threaded through the loop
+        assert "i_next" in out  # software pipelining applied
+
+    def test_baseline_leaves_setups_in_loop(self, demo_file, capsys):
+        assert main(["opt", "--pipeline", "baseline", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "iter_args" not in out
+
+    def test_invalid_pipeline_rejected(self, demo_file):
+        with pytest.raises(SystemExit):
+            main(["opt", "--pipeline", "warp-speed", demo_file])
+
+    def test_output_reparses(self, demo_file, capsys):
+        from repro.ir import parse_module, verify_operation
+
+        main(["opt", "--pipeline", "dedup", demo_file])
+        out = capsys.readouterr().out
+        verify_operation(parse_module(out))
+
+
+class TestReport:
+    def test_static_report(self, demo_file, capsys):
+        assert main(["report", demo_file]) == 0
+        out = capsys.readouterr().out
+        assert "accfg.setup" in out
+        assert "total (static)" in out
+
+    def test_report_after_pipeline(self, demo_file, capsys):
+        main(["report", demo_file])
+        before = capsys.readouterr().out
+        main(["report", demo_file, "--pipeline", "dedup"])
+        after = capsys.readouterr().out
+        assert before != after
+
+
+class TestRun:
+    def test_run_prints_metrics(self, demo_file, capsys):
+        assert main(["run", demo_file, "--args", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "total cycles" in out
+        assert "toyvec" in out
+
+    def test_optimized_run_is_faster(self, demo_file, capsys):
+        def cycles_of(extra):
+            main(["run", demo_file, "--args", "16", *extra])
+            out = capsys.readouterr().out
+            line = next(l for l in out.splitlines() if "total cycles" in l)
+            return float(line.split(":")[1])
+
+        baseline = cycles_of([])
+        optimized = cycles_of(["--pipeline", "full"])
+        assert optimized < baseline
+
+
+class TestExperimentShortcuts:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "gemmini_loop_ws" in capsys.readouterr().out
+
+    def test_example46(self, capsys):
+        assert main(["example46"]) == 0
+        assert "26.78%" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "knee" in capsys.readouterr().out

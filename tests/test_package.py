@@ -1,0 +1,77 @@
+"""Public-API smoke tests: the documented entry points exist and cohere."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.ir",
+            "repro.dialects",
+            "repro.passes",
+            "repro.isa",
+            "repro.backends",
+            "repro.sim",
+            "repro.interp",
+            "repro.workloads",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackages_import(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.ir",
+            "repro.passes",
+            "repro.isa",
+            "repro.backends",
+            "repro.sim",
+            "repro.interp",
+            "repro.workloads",
+        ],
+    )
+    def test_all_entries_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+    def test_readme_quickstart_snippet(self):
+        """The README's code snippet runs verbatim."""
+        from repro.core import ConfigRoofline
+
+        roofline = ConfigRoofline(peak_performance=512, config_bandwidth=2.0)
+        assert roofline.knee_intensity == 256.0
+        assert roofline.attainable_sequential(100) == pytest.approx(143.8, abs=0.1)
+        from repro.core import Boundness
+
+        assert roofline.boundness(100) is Boundness.CONFIG_BOUND
+
+    def test_every_public_op_has_docstring(self):
+        from repro.ir import OP_REGISTRY
+
+        for name, cls in OP_REGISTRY.items():
+            assert cls.__doc__, f"op {name} lacks a docstring"
+
+    def test_every_pass_has_docstring(self):
+        from repro.passes import PASS_REGISTRY
+
+        for name, cls in PASS_REGISTRY.items():
+            assert cls.__doc__, f"pass {name} lacks a docstring"
+
+    def test_registered_pipelines_cover_the_evaluation(self):
+        from repro.passes import PIPELINES
+
+        for name in ("baseline", "volatile-baseline", "dedup", "overlap", "full"):
+            assert name in PIPELINES

@@ -1,0 +1,62 @@
+"""Tests for rectangular matmuls and sweep helpers."""
+
+import pytest
+
+from repro.experiments.common import run_workload
+from repro.ir import verify_operation
+from repro.workloads import (
+    aspect_ratio_sweep,
+    build_opengemm_matmul,
+    build_opengemm_rect_matmul,
+    square_sweep,
+)
+
+
+class TestRectMatmul:
+    def test_ir_verifies(self):
+        wl = build_opengemm_rect_matmul(16, 24, 32)
+        verify_operation(wl.module)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            build_opengemm_rect_matmul(10, 8, 8)
+        with pytest.raises(ValueError):
+            build_opengemm_rect_matmul(8, 9, 8)
+
+    @pytest.mark.parametrize("pipeline", ["none", "baseline", "dedup", "full"])
+    def test_numerics_under_pipelines(self, pipeline):
+        result = run_workload(build_opengemm_rect_matmul(16, 32, 8), pipeline)
+        assert result.correct
+
+    def test_total_ops(self):
+        wl = build_opengemm_rect_matmul(16, 32, 8)
+        assert wl.total_ops == 2 * 16 * 32 * 8
+
+    def test_nonsquare_strides_respected(self):
+        wl = build_opengemm_rect_matmul(8, 64, 16, seed=5)
+        run_workload(wl, "full")
+        assert wl.check()
+
+
+class TestSweeps:
+    def test_square_sweep_labels(self):
+        points = list(square_sweep(build_opengemm_matmul, (16, 32)))
+        assert [p.label for p in points] == ["16x16x16", "32x32x32"]
+        wl = points[1].build()
+        assert wl.size == 32
+
+    def test_square_sweep_lazy_and_fresh(self):
+        points = list(square_sweep(build_opengemm_matmul, (16,)))
+        first = points[0].build()
+        second = points[0].build()
+        assert first is not second
+
+    def test_aspect_ratio_sweep_intensity_ordering(self):
+        """Constant volume: larger K per tile means higher I_OC (fewer
+        tiles, so fewer configuration bytes per op)."""
+        intensities = []
+        for point in aspect_ratio_sweep():
+            run = run_workload(point.build(), "baseline")
+            assert run.correct
+            intensities.append(run.metrics.operation_to_config_intensity)
+        assert intensities == sorted(intensities)

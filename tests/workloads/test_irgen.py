@@ -1,0 +1,101 @@
+"""Tests for the workload IR emission helpers."""
+
+from repro.dialects import accfg, arith, func, scf
+from repro.ir import i64, index, verify_operation
+from repro.workloads import build_function, new_module
+from repro.workloads.irgen import IRGen
+
+
+class TestScalarHelpers:
+    def test_const_and_arith(self):
+        module = new_module()
+        with build_function(module, "main") as (gen, _):
+            a = gen.const(6)
+            b = gen.const(7)
+            gen.setup("toyvec", [("n", gen.mul(a, b))])
+        verify_operation(module)
+        ops = [op.name for op in module.walk()]
+        assert "arith.muli" in ops
+
+    def test_pack_emits_shift_or_ladder(self):
+        module = new_module()
+        with build_function(module, "main", input_types=[i64, i64]) as (gen, args):
+            x, y = args
+            word = gen.pack([(x, 0), (y, 16)])
+            gen.setup("toyvec", [("n", word)])
+        verify_operation(module)
+        names = [op.name for op in module.walk()]
+        assert "arith.shli" in names
+        assert "arith.ori" in names
+
+    def test_pack_zero_offset_first_lane_free(self):
+        module = new_module()
+        with build_function(module, "main", input_types=[i64]) as (gen, args):
+            word = gen.pack([(args[0], 0)])
+            gen.setup("toyvec", [("n", word)])
+        names = [op.name for op in module.walk()]
+        assert "arith.shli" not in names
+
+    def test_pack_empty_rejected(self):
+        import pytest
+
+        module = new_module()
+        with build_function(module, "main") as (gen, _):
+            with pytest.raises(ValueError):
+                gen.pack([])
+
+
+class TestControlFlowHelpers:
+    def test_loop_context_manager(self):
+        module = new_module()
+        with build_function(module, "main") as (gen, _):
+            zero = gen.const(0)
+            one = gen.const(1)
+            eight = gen.const(8)
+            with gen.loop(zero, eight, one) as (loop, iv):
+                gen.setup("toyvec", [("n", iv)])
+        verify_operation(module)
+        loop_op = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert isinstance(loop_op.body.terminator, scf.YieldOp)
+
+    def test_nested_loops(self):
+        module = new_module()
+        with build_function(module, "main") as (gen, _):
+            zero = gen.const(0)
+            one = gen.const(1)
+            four = gen.const(4)
+            with gen.loop(zero, four, one) as (_, i):
+                with gen.loop(zero, four, one) as (_, j):
+                    gen.setup("toyvec", [("n", gen.add(i, j))])
+        verify_operation(module)
+        loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+        assert len(loops) == 2
+
+    def test_function_return_appended(self):
+        module = new_module()
+        with build_function(module, "main") as (gen, _):
+            gen.const(1)
+        fn = next(op for op in module.walk() if isinstance(op, func.FuncOp))
+        assert isinstance(fn.body.terminator, func.ReturnOp)
+
+
+class TestAccfgHelpers:
+    def test_cluster_emission(self):
+        module = new_module()
+        with build_function(module, "main", input_types=[i64]) as (gen, args):
+            state = gen.setup("toyvec", [("n", args[0])])
+            token = gen.launch(state)
+            gen.await_(token)
+        verify_operation(module)
+        names = [op.name for op in module.walk()]
+        assert names.count("accfg.setup") == 1
+        assert names.count("accfg.launch") == 1
+        assert names.count("accfg.await") == 1
+
+    def test_launch_with_fields(self):
+        module = new_module()
+        with build_function(module, "main", input_types=[i64]) as (gen, args):
+            state = gen.setup("toyvec", [])
+            gen.launch(state, [("op", args[0])])
+        launch = next(op for op in module.walk() if isinstance(op, accfg.LaunchOp))
+        assert launch.field_names == ("op",)
