@@ -4,6 +4,7 @@ An ``mlir-opt``-style driver for the accfg flow plus shortcuts to the
 paper's experiments::
 
     python -m repro opt --pipeline full program.mlir     # optimize IR
+    python -m repro lint program.mlir                    # hazard diagnostics
     python -m repro report program.mlir                  # static config cost
     python -m repro run program.mlir                     # co-simulate
     python -m repro experiments [--quick]                # all tables/figures
@@ -26,10 +27,12 @@ from .sim import CoSimulator
 def _read_module(path: str):
     if path == "-":
         text = sys.stdin.read()
+        filename = "<stdin>"
     else:
         with open(path) as handle:
             text = handle.read()
-    module = parse_module(text)
+        filename = path
+    module = parse_module(text, filename)
     verify_operation(module)
     return module
 
@@ -38,6 +41,32 @@ def cmd_opt(args: argparse.Namespace) -> int:
     module = _read_module(args.input)
     pipeline_by_name(args.pipeline).run(module)
     print(module)
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import LINT_RULES, Severity, run_lints
+
+    module = _read_module(args.input)
+    if args.pipeline:
+        pipeline_by_name(args.pipeline).run(module)
+    codes = set(args.filter) if args.filter else None
+    try:
+        diagnostics = run_lints(module, target=args.target, codes=codes)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for diag in diagnostics:
+        print(diag.format())
+        print()
+    errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+    warnings = sum(1 for d in diagnostics if d.severity is Severity.WARNING)
+    checked = len(codes) if codes is not None else len(LINT_RULES)
+    print(
+        f"{checked} check(s): {errors} error(s), {warnings} warning(s)"
+    )
+    if errors or (args.werror and warnings):
+        return 1
     return 0
 
 
@@ -101,6 +130,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="optimization level (default: full)",
     )
     opt.set_defaults(func=cmd_opt)
+
+    lint = sub.add_parser(
+        "lint", help="statically check a module for configuration hazards"
+    )
+    lint.add_argument("input", help="path to a .mlir file, or - for stdin")
+    lint.add_argument(
+        "--pipeline",
+        default="",
+        choices=["", *sorted(PIPELINES)],
+        help="optimize before linting (e.g. trace states first)",
+    )
+    lint.add_argument(
+        "--target",
+        default=None,
+        help="restrict target-specific lints to one accelerator",
+    )
+    lint.add_argument(
+        "--werror", action="store_true", help="treat warnings as errors"
+    )
+    lint.add_argument(
+        "--filter",
+        action="append",
+        metavar="CODE",
+        help="run only the given diagnostic code(s), e.g. ACCFG001",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     report = sub.add_parser(
         "report", help="static configuration-cost report for a module"

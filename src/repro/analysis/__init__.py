@@ -1,0 +1,52 @@
+"""repro.analysis — static diagnostics for configuration-wall hazards.
+
+Three pieces:
+
+* :mod:`repro.analysis.diagnostics` — ``Diagnostic``/``DiagnosticEngine``,
+  structured findings with codes, severities and source locations;
+* :mod:`repro.analysis.dataflow` — the reusable dataflow layer (forward
+  solver, token liveness, known/observed configuration fields) shared with
+  the optimization passes;
+* :mod:`repro.analysis.lints` (+ :mod:`repro.analysis.roofline_lint`,
+  :mod:`repro.analysis.linearity`) — the ACCFG001..ACCFG010 lint suite,
+  run via :func:`run_lints` or ``python -m repro lint``.
+"""
+
+from .dataflow import (
+    AwaitedTokensAnalysis,
+    FieldSet,
+    ForwardSolver,
+    KnownFields,
+    KnownFieldsAnalysis,
+    ObservedFieldsAnalysis,
+    intersect,
+)
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticEngine,
+    Severity,
+    error_code_counts,
+)
+from .linearity import linearity_diagnostics, unknown_accelerator_diagnostics
+from .lints import LINT_RULES, LintContext, LintRule, register_lint, run_lints
+
+__all__ = [
+    "AwaitedTokensAnalysis",
+    "FieldSet",
+    "ForwardSolver",
+    "KnownFields",
+    "KnownFieldsAnalysis",
+    "ObservedFieldsAnalysis",
+    "intersect",
+    "Diagnostic",
+    "DiagnosticEngine",
+    "Severity",
+    "error_code_counts",
+    "linearity_diagnostics",
+    "unknown_accelerator_diagnostics",
+    "LINT_RULES",
+    "LintContext",
+    "LintRule",
+    "register_lint",
+    "run_lints",
+]

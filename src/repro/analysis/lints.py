@@ -1,0 +1,430 @@
+"""The accfg lint suite: static configuration-wall hazard checks.
+
+Each check is registered under a stable code (``ACCFG001`` ...) via
+:func:`register_lint`; :func:`run_lints` runs them all (or a filtered
+subset) over a module and returns the collected diagnostics.  The checks
+are read-only — they never modify the IR — so they are safe to run at any
+point of a pass pipeline.
+
+Codes:
+
+========= ========================= ========
+ACCFG001  launch-never-awaited      warning
+ACCFG002  double-await              error
+ACCFG003  use-after-reset           error
+ACCFG004  forked-state-chain        error
+ACCFG005  superseded-state-launch   error
+ACCFG006  dead-setup-field          warning
+ACCFG007  redundant-setup-field     warning
+ACCFG008  pessimistic-clobber       warning
+ACCFG009  unknown-accelerator       warning
+ACCFG010  config-roofline           warning
+========= ========================= ========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..dialects import accfg, func, scf
+from ..ir.operation import Operation
+from ..ir.ssa import SSAValue
+from .dataflow import AwaitedTokensAnalysis, KnownFieldsAnalysis, ObservedFieldsAnalysis
+from .diagnostics import Diagnostic, DiagnosticEngine
+from .linearity import linearity_diagnostics, unknown_accelerator_diagnostics
+
+
+@dataclass
+class LintContext:
+    """Shared lint configuration."""
+
+    #: restrict target-specific lints (roofline) to one accelerator
+    target: str | None = None
+
+
+LintFn = Callable[[Operation, LintContext, DiagnosticEngine], None]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    code: str
+    name: str
+    description: str
+    fn: LintFn
+
+
+LINT_RULES: dict[str, LintRule] = {}
+
+
+def register_lint(code: str, name: str, description: str) -> Callable[[LintFn], LintFn]:
+    def decorate(fn: LintFn) -> LintFn:
+        if code in LINT_RULES:
+            raise ValueError(f"lint code {code} registered twice")
+        LINT_RULES[code] = LintRule(code, name, description, fn)
+        return fn
+
+    return decorate
+
+
+def run_lints(
+    module: Operation,
+    target: str | None = None,
+    codes: set[str] | None = None,
+) -> list[Diagnostic]:
+    """Run every registered lint (or just ``codes``) over ``module``."""
+    if codes is not None:
+        unknown = codes - set(LINT_RULES)
+        if unknown:
+            known = ", ".join(sorted(LINT_RULES))
+            raise ValueError(
+                f"unknown lint code(s) {', '.join(sorted(unknown))} (known: {known})"
+            )
+    engine = DiagnosticEngine()
+    context = LintContext(target=target)
+    for code in sorted(LINT_RULES):
+        if codes is not None and code not in codes:
+            continue
+        LINT_RULES[code].fn(module, context, engine)
+    return engine.diagnostics
+
+
+def _functions(module: Operation) -> list[func.FuncOp]:
+    return [
+        op
+        for op in module.walk()
+        if isinstance(op, func.FuncOp) and not op.is_declaration
+    ]
+
+
+# ---------------------------------------------------------------------------
+# ACCFG001: launch-never-awaited
+# ---------------------------------------------------------------------------
+
+
+def _token_reaches_await(launch: accfg.LaunchOp) -> bool:
+    """Follow the token through yields/iter-args; True when some await (or
+    an escape the analysis cannot see through) consumes it."""
+    seen: set[SSAValue] = set()
+    work: list[SSAValue] = [launch.token]
+    while work:
+        value = work.pop()
+        if value in seen:
+            continue
+        seen.add(value)
+        for use in value.uses:
+            user = use.operation
+            if isinstance(user, accfg.AwaitOp):
+                return True
+            if isinstance(user, scf.YieldOp):
+                parent = user.parent_op
+                if isinstance(parent, scf.IfOp):
+                    work.append(parent.results[use.index])
+                elif isinstance(parent, scf.ForOp):
+                    work.append(parent.results[use.index])
+                    work.append(parent.body.args[use.index + 1])
+                else:
+                    return True  # unknown region op: assume consumed
+            elif isinstance(user, scf.ForOp):
+                if use.index < 3:
+                    return True
+                work.append(user.results[use.index - 3])
+                work.append(user.body.args[use.index - 3 + 1])
+            else:
+                return True  # call/return/unknown: token escapes
+    return False
+
+
+@register_lint(
+    "ACCFG001",
+    "launch-never-awaited",
+    "a launch produces a token that no accfg.await ever consumes",
+)
+def _check_launch_never_awaited(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    for op in module.walk():
+        if isinstance(op, accfg.LaunchOp) and not _token_reaches_await(op):
+            in_loop = any(
+                isinstance(a, scf.ForOp) for a in _ancestors(op)
+            )
+            message = f"launch on '{op.accelerator}' is never awaited"
+            if in_loop:
+                message += " (fire-and-forget inside a loop)"
+            engine.warning("ACCFG001", message, op).with_note(
+                "fix: insert `accfg.await` on this token once the result is "
+                "needed; an un-awaited launch gives no completion ordering"
+            )
+
+
+def _ancestors(op: Operation) -> list[Operation]:
+    result = []
+    current = op.parent_op
+    while current is not None:
+        result.append(current)
+        current = current.parent_op
+    return result
+
+
+# ---------------------------------------------------------------------------
+# ACCFG002: double-await
+# ---------------------------------------------------------------------------
+
+
+@register_lint(
+    "ACCFG002",
+    "double-await",
+    "a token is awaited twice on some execution path",
+)
+def _check_double_await(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    for fn in _functions(module):
+        analysis = AwaitedTokensAnalysis()
+        analysis.run_function(fn)
+        for op in fn.walk():
+            if not isinstance(op, accfg.AwaitOp):
+                continue
+            already = analysis.input_states.get(op)
+            if already is not None and op.token in already:
+                engine.error(
+                    "ACCFG002",
+                    f"token of '{op.accelerator}' is awaited more than once "
+                    "on some execution path",
+                    op,
+                ).with_note(
+                    "a token is consumed by its first await; remove the "
+                    "duplicate (or re-launch to obtain a fresh token)"
+                )
+
+
+# ---------------------------------------------------------------------------
+# ACCFG003: use-after-reset
+# ---------------------------------------------------------------------------
+
+
+def _is_ordered_after(op: Operation, anchor: Operation) -> bool:
+    """True when ``op`` (or an ancestor) follows ``anchor`` in its block."""
+    current: Operation | None = op
+    while current is not None:
+        if current.parent is anchor.parent:
+            return current is not anchor and anchor.is_before_in_block(current)
+        current = current.parent_op
+    return False
+
+
+@register_lint(
+    "ACCFG003",
+    "use-after-reset",
+    "a state value is read after accfg.reset destroyed it",
+)
+def _check_use_after_reset(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    for reset in module.walk():
+        if not isinstance(reset, accfg.ResetOp):
+            continue
+        state = reset.state
+        state_type = state.type
+        accelerator = (
+            state_type.accelerator if isinstance(state_type, accfg.StateType) else "?"
+        )
+        for use in state.uses:
+            user = use.operation
+            if user is reset:
+                continue
+            if _is_ordered_after(user, reset):
+                engine.error(
+                    "ACCFG003",
+                    f"state of '{accelerator}' is used after accfg.reset "
+                    "destroyed it",
+                    user,
+                ).with_note(
+                    "reset ends the state's lifetime; re-run accfg.setup to "
+                    "obtain a fresh state before this use"
+                )
+
+
+# ---------------------------------------------------------------------------
+# ACCFG004/ACCFG005: state-chain linearity; ACCFG009: unknown accelerator
+# ---------------------------------------------------------------------------
+
+
+@register_lint(
+    "ACCFG004",
+    "forked-state-chain",
+    "two setups consume the same input state (forked chain)",
+)
+def _check_forked_chain(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    linearity_diagnostics(module, engine)
+
+
+@register_lint(
+    "ACCFG005",
+    "superseded-state-launch",
+    "a launch reads a state an intervening setup superseded",
+)
+def _check_superseded_launch(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    # ACCFG004's walk already emitted both codes; the engine deduplicates if
+    # both rules run, but honor `--filter ACCFG005` running alone.
+    linearity_diagnostics(module, engine)
+
+
+@register_lint(
+    "ACCFG009",
+    "unknown-accelerator",
+    "an accfg op names an accelerator no backend registers",
+)
+def _check_unknown_accelerator(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    unknown_accelerator_diagnostics(module, engine)
+
+
+# ---------------------------------------------------------------------------
+# ACCFG006: dead setup fields
+# ---------------------------------------------------------------------------
+
+
+@register_lint(
+    "ACCFG006",
+    "dead-setup-field",
+    "a setup writes fields no launch can ever observe",
+)
+def _check_dead_setup_fields(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    analysis = ObservedFieldsAnalysis()
+    for op in module.walk():
+        if not isinstance(op, accfg.SetupOp) or not op.fields:
+            continue
+        observed = analysis.observed(op.out_state)
+        dead = [name for name in op.field_names if not observed.contains(name)]
+        if dead:
+            listing = ", ".join(f"'{name}'" for name in dead)
+            engine.warning(
+                "ACCFG006",
+                f"setup on '{op.accelerator}' writes field(s) {listing} that "
+                "are overwritten or never observed by any launch",
+                op,
+            ).with_note(
+                "dead configuration writes cost host cycles for nothing; "
+                "drop the field(s) or move them next to the launch that "
+                "needs them"
+            )
+
+
+# ---------------------------------------------------------------------------
+# ACCFG007: redundant setup fields (what dedup would remove)
+# ---------------------------------------------------------------------------
+
+
+@register_lint(
+    "ACCFG007",
+    "redundant-setup-field",
+    "a setup rewrites a register with the value it already holds",
+)
+def _check_redundant_setup_fields(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    analyses: dict[str, KnownFieldsAnalysis] = {}
+    for op in module.walk():
+        if not isinstance(op, accfg.SetupOp) or op.in_state is None:
+            continue
+        analysis = analyses.setdefault(
+            op.accelerator, KnownFieldsAnalysis(op.accelerator)
+        )
+        known = analysis.known(op.in_state)
+        redundant = [
+            name for name, value in op.fields if known.fields.get(name) is value
+        ]
+        if redundant:
+            listing = ", ".join(f"'{name}'" for name in redundant)
+            engine.warning(
+                "ACCFG007",
+                f"setup on '{op.accelerator}' rewrites field(s) {listing} "
+                "with the value the register already holds",
+                op,
+            ).with_note(
+                "run `python -m repro opt --pipeline dedup` to remove "
+                "redundant configuration writes (Section 5.4)"
+            )
+
+
+# ---------------------------------------------------------------------------
+# ACCFG008: pessimistic clobbers
+# ---------------------------------------------------------------------------
+
+
+def _accfg_accelerators(op: Operation) -> set[str]:
+    names: set[str] = set()
+    if isinstance(op, (accfg.SetupOp, accfg.LaunchOp, accfg.AwaitOp)):
+        names.add(op.accelerator)
+    elif isinstance(op, accfg.ResetOp):
+        state_type = op.state.type
+        if isinstance(state_type, accfg.StateType):
+            names.add(state_type.accelerator)
+    return names
+
+
+@register_lint(
+    "ACCFG008",
+    "pessimistic-clobber",
+    "an op with unknown effects splits a configuration sequence",
+)
+def _check_pessimistic_clobber(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    from ..passes.trace_states import op_preserves_state
+
+    for fn in _functions(module):
+        used: set[str] = set()
+        for op in fn.walk():
+            used |= _accfg_accelerators(op)
+        if not used:
+            continue
+        for block_op in fn.walk():
+            for region in block_op.regions:
+                for block in region.blocks:
+                    ops = list(block.ops)
+                    accfg_positions = [
+                        i
+                        for i, op in enumerate(ops)
+                        if _accfg_accelerators(op)
+                        or any(_accfg_accelerators(n) for n in op.walk())
+                    ]
+                    if len(accfg_positions) < 2:
+                        continue
+                    for i in range(accfg_positions[0] + 1, accfg_positions[-1]):
+                        op = ops[i]
+                        if op.name.startswith("accfg.") or op.regions:
+                            continue
+                        if accfg.get_effects(op) is not None:
+                            continue
+                        clobbered = sorted(
+                            acc for acc in used if not op_preserves_state(op, acc)
+                        )
+                        if clobbered:
+                            listing = ", ".join(f"'{a}'" for a in clobbered)
+                            shown_name = getattr(op, "op_name", op.name)
+                            engine.warning(
+                                "ACCFG008",
+                                f"'{shown_name}' sits between configuration ops "
+                                f"but has unknown effects on {listing}; the "
+                                "state tracer must assume it clobbers the "
+                                "configuration",
+                                op,
+                            ).with_note(
+                                "annotate it `{accfg.effects = \"none\"}` if "
+                                "it cannot touch configuration registers, so "
+                                "dedup and overlap can optimize across it"
+                            )
+
+
+# Importing this module registers ACCFG001..ACCFG009; the roofline lint
+# (ACCFG010) lives in its own module and registers itself on import.
+from . import roofline_lint  # noqa: E402,F401

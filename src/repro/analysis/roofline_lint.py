@@ -1,0 +1,134 @@
+"""ACCFG010 — the static configuration-roofline lint (paper, Section 4).
+
+For every ``scf.for`` body that launches accelerator work, compute the
+*static* operation-to-configuration intensity
+
+    I_OC = datapath ops per iteration / configuration bytes per iteration
+
+from the IR alone (constant-folding setup/launch fields through the state
+chain), place it against the target's theoretical configuration roofline
+(``BW_config`` from the spec's instruction costs, Eq. 2/3), and warn when
+the loop sits left of the ridge point — i.e. the kernel is provably
+configuration-bound no matter how fast the datapath is.  This reproduces
+the paper's Example 4.6 verdict for a tiny-tile Gemmini matmul without
+running anything.
+"""
+
+from __future__ import annotations
+
+from ..dialects import accfg, arith, scf
+from ..ir.operation import Operation
+from ..ir.ssa import OpResult
+from .diagnostics import DiagnosticEngine
+from .lints import LintContext, register_lint
+
+
+def static_launch_config(launch: accfg.LaunchOp) -> dict[str, int]:
+    """Constant configuration fields visible to a launch: the chain of
+    setups feeding its state, overlaid with its own launch-semantic fields.
+    Non-constant fields are simply absent."""
+    config: dict[str, int] = {}
+    chain: list[accfg.SetupOp] = []
+    state = launch.state
+    while isinstance(state, OpResult) and isinstance(state.op, accfg.SetupOp):
+        chain.append(state.op)
+        state = state.op.in_state
+    for setup in reversed(chain):
+        for name, value in setup.fields:
+            constant = arith.constant_value(value)
+            if constant is not None:
+                config[name] = constant
+    for name, value in launch.fields:
+        constant = arith.constant_value(value)
+        if constant is not None:
+            config[name] = constant
+    return config
+
+
+def _loop_body_accfg_ops(loop: scf.ForOp) -> list[Operation]:
+    """All accfg ops under the loop body, not counting nested loops (those
+    are assessed on their own)."""
+    found: list[Operation] = []
+
+    def visit(block) -> None:
+        for op in block.ops:
+            if isinstance(op, scf.ForOp):
+                continue
+            if op.name.startswith("accfg."):
+                found.append(op)
+            for region in op.regions:
+                for nested in region.blocks:
+                    visit(nested)
+
+    visit(loop.body)
+    return found
+
+
+@register_lint(
+    "ACCFG010",
+    "config-roofline",
+    "a loop's static I_OC sits left of the configuration ridge point",
+)
+def _check_config_roofline(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    from ..backends.base import get_accelerator_or_none
+    from ..core.analysis import roofline_for_spec
+    from ..core.roofline import Boundness
+
+    for loop in module.walk():
+        if not isinstance(loop, scf.ForOp):
+            continue
+        ops = _loop_body_accfg_ops(loop)
+        by_accelerator: dict[str, list[Operation]] = {}
+        for op in ops:
+            if isinstance(op, (accfg.SetupOp, accfg.LaunchOp, accfg.AwaitOp)):
+                by_accelerator.setdefault(op.accelerator, []).append(op)
+        for accelerator, acc_ops in sorted(by_accelerator.items()):
+            if context.target is not None and accelerator != context.target:
+                continue
+            spec = get_accelerator_or_none(accelerator)
+            if spec is None:
+                continue
+            launches = [op for op in acc_ops if isinstance(op, accfg.LaunchOp)]
+            if not launches:
+                continue
+            config_bytes = 0
+            total_ops = 0
+            determinate = True
+            for op in acc_ops:
+                if isinstance(op, accfg.SetupOp):
+                    config_bytes += spec.config_bytes(list(op.field_names))
+                elif isinstance(op, accfg.LaunchOp):
+                    instrs = spec.launch_field_instrs(
+                        [name for name, _ in op.fields]
+                    ) + spec.launch_instrs()
+                    config_bytes += sum(i.config_bytes for i in instrs)
+                    ops_count = spec.static_launch_ops(static_launch_config(op))
+                    if ops_count is None:
+                        determinate = False
+                        break
+                    total_ops += ops_count
+            if not determinate or config_bytes <= 0 or total_ops <= 0:
+                continue
+            i_oc = total_ops / config_bytes
+            roofline = roofline_for_spec(spec, spec.host_cost_model())
+            if roofline.boundness(i_oc) is not Boundness.CONFIG_BOUND:
+                continue
+            knee = roofline.knee_intensity
+            engine.warning(
+                "ACCFG010",
+                f"loop body is configuration-bound on '{accelerator}': "
+                f"static I_OC ≈ {i_oc:.1f} ops/byte is left of the "
+                f"ridge point ≈ {knee:.1f} ops/byte (Eq. 2/3)",
+                loop,
+            ).with_note(
+                f"per iteration: {total_ops} datapath ops against "
+                f"{config_bytes} configuration bytes; at BW_config ≈ "
+                f"{roofline.config_bandwidth:.2f} B/cycle the datapath can "
+                "never be kept busy"
+            ).with_note(
+                "raise work per configuration (larger tiles), or shrink and "
+                "hide the configuration stream with `--pipeline dedup` / "
+                "`--pipeline overlap`"
+            )

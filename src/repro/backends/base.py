@@ -106,6 +106,13 @@ class AcceleratorSpec(ABC):
         """Useful datapath operations one launch performs (for roofline
         accounting: multiply-accumulate counts as two ops)."""
 
+    def static_launch_ops(self, config: dict[str, int]) -> int | None:
+        """Like :meth:`launch_ops`, but for *static* analysis: ``config``
+        holds only the fields a compiler could constant-fold, so a spec must
+        return ``None`` when those do not pin the op count down (e.g. a
+        runtime-sized vector).  Used by the configuration-roofline lint."""
+        return None
+
     def launch_memory_bytes(self, config: dict[str, int]) -> int:
         """Bytes of data one launch moves (for the I_operational axis of the
         combined roofsurface, Eq. 5).  Zero by default (not modeled)."""

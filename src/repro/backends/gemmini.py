@@ -184,6 +184,16 @@ class GemminiSpec(AcceleratorSpec):
         inner = tiles_k * ARRAY_DIM
         return 2 * rows * cols * inner
 
+    def static_launch_ops(self, config: dict[str, int]) -> int | None:
+        op = config.get("op", OP_LOOP_WS)
+        if op in (OP_MVIN, OP_MVOUT, OP_PRELOAD, OP_COMPUTE, OP_COMPUTE_OS):
+            # Fine-grained macro-ops work on fixed 16x16 tiles: the op
+            # selector alone determines the datapath work.
+            return self.launch_ops(config)
+        if all(name in config for name in ("I", "J", "K")):
+            return self.launch_ops(config)
+        return None  # loop_ws with runtime tile counts
+
     def launch_memory_bytes(self, config: dict[str, int]) -> int:
         op = config.get("op", OP_LOOP_WS)
         if op in (OP_MVIN, OP_MVOUT):

@@ -115,6 +115,11 @@ class OpenGeMMSpec(AcceleratorSpec):
         n = max(1, config.get("N", MESH))
         return 2 * m * k * n
 
+    def static_launch_ops(self, config: dict[str, int]) -> int | None:
+        if all(name in config for name in ("M", "K", "N")):
+            return self.launch_ops(config)
+        return None
+
     def launch_memory_bytes(self, config: dict[str, int]) -> int:
         m = max(1, config.get("M", MESH))
         k = max(1, config.get("K", MESH))

@@ -56,6 +56,11 @@ class ToyVecSpec(AcceleratorSpec):
     def launch_ops(self, config: dict[str, int]) -> int:
         return max(1, config.get("n", 1))
 
+    def static_launch_ops(self, config: dict[str, int]) -> int | None:
+        if "n" in config:
+            return self.launch_ops(config)
+        return None  # runtime-sized vector: op count unknown statically
+
     def launch_memory_bytes(self, config: dict[str, int]) -> int:
         return 3 * 4 * max(0, config.get("n", 0))  # two reads + one write
 

@@ -28,6 +28,7 @@ from .attributes import (
 )
 from .block import Block, Region, values_defined_above
 from .builder import Builder, InsertPoint
+from .location import SourceLoc
 from .operation import IRError, Operation, UnregisteredOp, VerifyError
 from .parser import ParseError, Parser, parse_module, parse_operation
 from .printer import Printer, format_attribute, print_operation
@@ -71,6 +72,7 @@ __all__ = [
     "values_defined_above",
     "Builder",
     "InsertPoint",
+    "SourceLoc",
     "IRError",
     "Operation",
     "UnregisteredOp",

@@ -1,0 +1,24 @@
+"""Source locations for IR operations.
+
+The parser records where each operation started in the input text; passes
+that synthesize ops leave the location unset (``None``).  Diagnostics and
+verifier errors print locations when present, in the conventional
+``file:line:column`` shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A point in a textual IR source: 1-based line and column."""
+
+    line: int
+    column: int
+    filename: str | None = None
+
+    def __str__(self) -> str:
+        prefix = self.filename if self.filename else "<input>"
+        return f"{prefix}:{self.line}:{self.column}"

@@ -20,6 +20,7 @@ from .traits import IsTerminator, OpTrait, Pure
 
 if TYPE_CHECKING:  # pragma: no cover
     from .block import Block, Region
+    from .location import SourceLoc
 
 
 class IRError(Exception):
@@ -40,7 +41,7 @@ class Operation:
     #: trailing ``{...}`` dictionary so round-trips stay lossless
     custom_printed_attrs: frozenset[str] = frozenset()
 
-    __slots__ = ("_operands", "results", "attributes", "regions", "parent")
+    __slots__ = ("_operands", "results", "attributes", "regions", "parent", "loc")
 
     def __init__(
         self,
@@ -49,6 +50,8 @@ class Operation:
         attributes: dict[str, Attribute] | None = None,
         regions: Sequence["Region"] = (),
     ) -> None:
+        #: where this op came from in textual IR, if parsed (see location.py)
+        self.loc: "SourceLoc | None" = None
         self._operands: list[SSAValue] = []
         self.results: list[OpResult] = [
             OpResult(t, self, i) for i, t in enumerate(result_types)
@@ -189,6 +192,7 @@ class Operation:
             result_types=[r.type for r in self.results],
             attributes=dict(self.attributes),
         )
+        new_op.loc = self.loc
         for old_res, new_res in zip(self.results, new_op.results):
             new_res.name_hint = old_res.name_hint
             value_map[old_res] = new_res

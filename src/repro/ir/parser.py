@@ -25,6 +25,7 @@ from .attributes import (
     UnitAttr,
 )
 from .block import Block, Region
+from .location import SourceLoc
 from .operation import Operation, UnregisteredOp
 from .registry import CUSTOM_PARSERS, OP_REGISTRY, TYPE_PARSERS
 from .ssa import SSAValue
@@ -91,10 +92,11 @@ class Parser:
     remain visible (matching MLIR's visibility rules for non-isolated ops).
     """
 
-    def __init__(self, text: str) -> None:
+    def __init__(self, text: str, filename: str | None = None) -> None:
         self._tokens = tokenize(text)
         self._pos = 0
         self._scopes: list[dict[str, SSAValue]] = [{}]
+        self._filename = filename
 
     # -- token access --------------------------------------------------------
 
@@ -321,6 +323,7 @@ class Parser:
         return module
 
     def parse_operation(self) -> Operation:
+        start = self.current
         result_names: list[str] = []
         if self.current.kind == "PERCENT":
             result_names.append(self.advance().text[1:])
@@ -328,6 +331,10 @@ class Parser:
                 result_names.append(self.expect_kind("PERCENT").text[1:])
             self.expect("=")
         op = self._parse_op_body()
+        # Nested ops got their own locations during the recursive parse;
+        # only the op this call produced is still unlocated.
+        if op.loc is None:
+            op.loc = SourceLoc(start.line, start.column, self._filename)
         if result_names:
             if len(result_names) != len(op.results):
                 raise self.error(
@@ -427,19 +434,19 @@ class Parser:
         return Region([block])
 
 
-def parse_module(text: str) -> Operation:
+def parse_module(text: str, filename: str | None = None) -> Operation:
     """Parse IR text into a ``builtin.module`` op."""
     # Importing the dialects registers ops, custom parsers, and type parsers.
     from .. import dialects  # noqa: F401
 
-    return Parser(text).parse_module()
+    return Parser(text, filename).parse_module()
 
 
-def parse_operation(text: str) -> Operation:
+def parse_operation(text: str, filename: str | None = None) -> Operation:
     """Parse a single operation from text (dialects must self-register)."""
     from .. import dialects  # noqa: F401
 
-    parser = Parser(text)
+    parser = Parser(text, filename)
     op = parser.parse_operation()
     if parser.current.kind != "EOF":
         raise parser.error("unexpected trailing input")

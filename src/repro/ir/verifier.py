@@ -23,7 +23,17 @@ def verify_operation(root: Operation) -> None:
     _verify_structure(root)
     _verify_dominance(root)
     for op in root.walk():
-        op.verify_()
+        try:
+            op.verify_()
+        except VerifyError as err:
+            raise VerifyError(_located(op, str(err))) from None
+
+
+def _located(op: Operation, message: str) -> str:
+    """Prefix a verifier message with the op's source location, if known."""
+    if op.loc is not None:
+        return f"{op.loc}: {message}"
+    return message
 
 
 def _verify_structure(root: Operation) -> None:
@@ -67,9 +77,9 @@ def _verify_dominance(root: Operation) -> None:
     for op in root.walk():
         for i, operand in enumerate(op.operands):
             if not _value_visible(operand, op):
-                raise VerifyError(
-                    f"operand #{i} of '{op.name}' violates dominance/visibility"
-                )
+                raise VerifyError(_located(
+                    op, f"operand #{i} of '{op.name}' violates dominance/visibility"
+                ))
 
 
 def _value_visible(value: SSAValue, user: Operation) -> bool:

@@ -17,6 +17,7 @@ from .dedup import (
 )
 from .inline import InlinePass
 from .licm import LICMPass
+from .lint import LintPass
 from .lower_linalg import ConvertLinalgToAccfgPass, LoweringError
 from .overlap import OverlapPass, overlap_straight_line, pipeline_loop
 from .pass_manager import (
@@ -56,6 +57,7 @@ __all__ = [
     "merge_consecutive_setups",
     "remove_empty_setups",
     "LICMPass",
+    "LintPass",
     "InlinePass",
     "ConvertLinalgToAccfgPass",
     "LoweringError",

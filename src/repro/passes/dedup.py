@@ -21,126 +21,27 @@ The pass pipeline inside ``accfg-dedup`` follows Section 5.4.1:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from ..analysis.dataflow import KnownFields, KnownFieldsAnalysis, intersect
 from ..dialects import accfg, scf
 from ..ir.operation import Operation
-from ..ir.ssa import BlockArgument, OpResult, SSAValue
+from ..ir.ssa import OpResult, SSAValue
 from .licm import is_defined_outside
 from .pass_manager import ModulePass, register_pass
 
-
-# ---------------------------------------------------------------------------
-# Known-fields dataflow
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class KnownFields:
-    """What the analysis knows about configuration register contents.
-
-    ``is_top`` marks the optimistic lattice top used to break cycles through
-    loop-carried states: "every field holds whatever you need, except the
-    explicit overrides in ``fields``".  Concrete answers always have
-    ``is_top=False``, with ``fields`` mapping field name -> SSA value.
-    """
-
-    is_top: bool = False
-    fields: dict[str, SSAValue] = field(default_factory=dict)
-
-    @staticmethod
-    def top() -> "KnownFields":
-        return KnownFields(is_top=True)
-
-    @staticmethod
-    def bottom() -> "KnownFields":
-        return KnownFields()
-
-    def updated(self, new_fields: dict[str, SSAValue]) -> "KnownFields":
-        merged = dict(self.fields)
-        merged.update(new_fields)
-        return KnownFields(self.is_top, merged)
-
-
-def intersect(a: KnownFields, b: KnownFields) -> KnownFields:
-    if a.is_top and b.is_top:
-        return KnownFields(
-            True, {k: v for k, v in a.fields.items() if b.fields.get(k, v) is v}
-        )
-    if a.is_top:
-        a, b = b, a
-    if b.is_top:
-        # b knows everything except where it overrides with a different value.
-        return KnownFields(
-            False,
-            {k: v for k, v in a.fields.items() if b.fields.get(k, v) is v},
-        )
-    return KnownFields(
-        False, {k: v for k, v in a.fields.items() if b.fields.get(k) is v}
-    )
-
-
-class KnownFieldsAnalysis:
-    """Computes register contents represented by a state SSA value."""
-
-    def __init__(self, accelerator: str) -> None:
-        self.accelerator = accelerator
-        self._cache: dict[SSAValue, KnownFields] = {}
-        self._in_progress: set[SSAValue] = set()
-
-    def known(self, state: SSAValue | None) -> KnownFields:
-        if state is None:
-            return KnownFields.bottom()
-        if state in self._cache:
-            return self._cache[state]
-        if state in self._in_progress:
-            return KnownFields.top()
-        self._in_progress.add(state)
-        try:
-            result = self._compute(state)
-        finally:
-            self._in_progress.discard(state)
-        self._cache[state] = result
-        return result
-
-    def _compute(self, state: SSAValue) -> KnownFields:
-        if isinstance(state, OpResult):
-            op = state.op
-            if isinstance(op, accfg.SetupOp):
-                base = self.known(op.in_state)
-                return base.updated(dict(op.fields))
-            if isinstance(op, scf.IfOp):
-                index = state.index
-                then_yield = op.then_block.terminator
-                else_yield = op.else_block.terminator if op.has_else else None
-                if not isinstance(then_yield, scf.YieldOp) or not isinstance(
-                    else_yield, scf.YieldOp
-                ):
-                    return KnownFields.bottom()
-                return intersect(
-                    self.known(then_yield.operands[index]),
-                    self.known(else_yield.operands[index]),
-                )
-            if isinstance(op, scf.ForOp):
-                index = state.index
-                return intersect(
-                    self.known(op.iter_inits[index]),
-                    self.known(op.yield_op.operands[index]),
-                )
-            return KnownFields.bottom()
-        if isinstance(state, BlockArgument):
-            block = state.block
-            parent = block.parent_op
-            if isinstance(parent, scf.ForOp) and block is parent.body:
-                if state.index == 0:
-                    return KnownFields.bottom()  # induction variable, not state
-                iter_index = state.index - 1
-                return intersect(
-                    self.known(parent.iter_inits[iter_index]),
-                    self.known(parent.yield_op.operands[iter_index]),
-                )
-            return KnownFields.bottom()
-        return KnownFields.bottom()
+# The known-fields dataflow (KnownFields / intersect / KnownFieldsAnalysis)
+# moved to repro.analysis.dataflow so the lint suite shares it; the names
+# above stay importable from this module for backward compatibility.
+__all__ = [
+    "KnownFields",
+    "KnownFieldsAnalysis",
+    "intersect",
+    "DedupPass",
+    "hoist_setups_into_branches",
+    "hoist_invariant_setup_fields",
+    "eliminate_redundant_fields",
+    "merge_consecutive_setups",
+    "remove_empty_setups",
+]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,34 @@
+"""A pass wrapper around the accfg lint suite.
+
+Lets pipelines embed a diagnostics gate, e.g.
+``PassManager.from_pipeline("accfg-trace-states,accfg-dedup,accfg-lint")``:
+the pass fails the pipeline on any error-severity diagnostic and stores the
+full list on itself for inspection.
+"""
+
+from __future__ import annotations
+
+from ..ir.operation import Operation
+from .pass_manager import ModulePass, register_pass
+
+
+@register_pass
+class LintPass(ModulePass):
+    """Run the ACCFG lint suite; fail on error-severity diagnostics."""
+
+    name = "accfg-lint"
+
+    def __init__(self, target: str | None = None) -> None:
+        self.target = target
+        self.diagnostics = []
+
+    def apply(self, module: Operation) -> None:
+        from ..analysis import Severity, run_lints
+
+        self.diagnostics = run_lints(module, target=self.target)
+        errors = [d for d in self.diagnostics if d.severity is Severity.ERROR]
+        if errors:
+            summary = "\n\n".join(d.format() for d in errors)
+            raise RuntimeError(
+                f"accfg-lint found {len(errors)} error(s):\n{summary}"
+            )

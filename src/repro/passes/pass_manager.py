@@ -68,10 +68,15 @@ class PassManager:
         passes: list[ModulePass] | None = None,
         verify_each: bool = True,
         instrument: bool = False,
+        lint: bool = False,
     ) -> None:
         self.passes: list[ModulePass] = list(passes or [])
         self.verify_each = verify_each
         self.instrument = instrument
+        #: with ``lint=True``, the accfg lint suite runs before and after
+        #: the pipeline; a pipeline that *introduces* error-severity
+        #: diagnostics fails the run (optimizations must not create hazards)
+        self.lint = lint
         self.statistics: list[PassStatistics] = []
 
     @staticmethod
@@ -97,6 +102,11 @@ class PassManager:
         """Apply every pass in order; returns the module for chaining."""
         if self.verify_each:
             verify_operation(module)
+        baseline_errors: dict[str, int] | None = None
+        if self.lint:
+            from ..analysis import error_code_counts, run_lints
+
+            baseline_errors = error_code_counts(run_lints(module))
         for pass_ in self.passes:
             ops_before = sum(1 for _ in module.walk()) if self.instrument else 0
             started = time.perf_counter() if self.instrument else 0.0
@@ -117,6 +127,22 @@ class PassManager:
                     raise RuntimeError(
                         f"IR verification failed after pass '{pass_.name}': {error}"
                     ) from error
+        if baseline_errors is not None:
+            from ..analysis import error_code_counts, run_lints
+
+            after = error_code_counts(run_lints(module))
+            introduced = {
+                code: count - baseline_errors.get(code, 0)
+                for code, count in after.items()
+                if count > baseline_errors.get(code, 0)
+            }
+            if introduced:
+                detail = ", ".join(
+                    f"{code} (+{delta})" for code, delta in sorted(introduced.items())
+                )
+                raise RuntimeError(
+                    f"pipeline introduced lint errors: {detail}"
+                )
         return module
 
     def format_statistics(self) -> str:

@@ -239,38 +239,20 @@ def state_linearity_diagnostics(module: Operation) -> list[str]:
     """Check the paper's IR constraint: per accelerator, only one state
     variable is *live* at any program point (Section 5.1).
 
-    A state dies when a later setup for the same accelerator supersedes it;
-    reading a superseded state (launching from it, or forking two setups off
-    the same input state) breaks the linear chain.  Returns human-readable
-    diagnostics; an empty list means the constraint holds.
-
-    Untraced frontend output usually violates this trivially (disconnected
-    setups); after ``accfg-trace-states`` the chain must be linear.
+    Backward-compatible shim: the implementation moved to
+    :mod:`repro.analysis.linearity`, which produces structured diagnostics
+    (codes ACCFG004/ACCFG005) and — unlike the original — also flags
+    accelerator names no backend registers (ACCFG009) instead of passing
+    silently over them.  This wrapper returns the legacy ``list[str]``.
     """
-    diagnostics: list[str] = []
+    from ..analysis.linearity import (
+        linearity_diagnostics,
+        unknown_accelerator_diagnostics,
+    )
 
-    def visit_function(fn: func.FuncOp) -> None:
-        superseded: set[SSAValue] = set()
-        for op in fn.walk():
-            if isinstance(op, accfg.SetupOp):
-                in_state = op.in_state
-                if in_state is not None:
-                    if in_state in superseded:
-                        diagnostics.append(
-                            f"setup for '{op.accelerator}' consumes an "
-                            "already-superseded state (forked chain)"
-                        )
-                    superseded.add(in_state)
-            elif isinstance(op, accfg.LaunchOp):
-                if op.state in superseded:
-                    diagnostics.append(
-                        f"launch on '{op.accelerator}' reads a superseded state"
-                    )
-
-    for op in module.walk():
-        if isinstance(op, func.FuncOp) and not op.is_declaration:
-            visit_function(op)
-    return diagnostics
+    found = linearity_diagnostics(module)
+    found += unknown_accelerator_diagnostics(module)
+    return [diag.message for diag in found]
 
 
 @register_pass

@@ -1,0 +1,120 @@
+"""The ``python -m repro lint`` subcommand."""
+
+import pytest
+
+from repro.__main__ import main
+
+UNAWAITED_LOOP = """builtin.module {
+  func.func @main(%n : i64) -> () {
+    %c0 = arith.constant 0 : index
+    %c1 = arith.constant 1 : index
+    %c4 = arith.constant 4 : index
+    scf.for %i = %c0 to %c4 step %c1 {
+      %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+      %t = accfg.launch %s : !accfg.token<"toyvec">
+      scf.yield
+    }
+    func.return
+  }
+}
+"""
+
+DOUBLE_AWAIT = """builtin.module {
+  func.func @main(%n : i64) -> () {
+    %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    %t = accfg.launch %s : !accfg.token<"toyvec">
+    accfg.await %t
+    accfg.await %t
+    func.return
+  }
+}
+"""
+
+CLEAN = """builtin.module {
+  func.func @main(%n : i64) -> () {
+    %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    %t = accfg.launch %s : !accfg.token<"toyvec">
+    accfg.await %t
+    func.return
+  }
+}
+"""
+
+
+@pytest.fixture
+def mlir_file(tmp_path):
+    def write(text, name="program.mlir"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return write
+
+
+class TestLintCommand:
+    def test_clean_module_exits_zero(self, mlir_file, capsys):
+        assert main(["lint", mlir_file(CLEAN)]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_warning_exits_zero_without_werror(self, mlir_file, capsys):
+        assert main(["lint", mlir_file(UNAWAITED_LOOP)]) == 0
+        assert "warning[ACCFG001]" in capsys.readouterr().out
+
+    def test_werror_turns_warning_into_failure(self, mlir_file, capsys):
+        # The acceptance scenario: an unawaited launch inside a loop must
+        # fail under --werror, printing the code, the offending line, and
+        # a fix-it note.
+        path = mlir_file(UNAWAITED_LOOP, "unawaited.mlir")
+        assert main(["lint", "--werror", path]) == 1
+        out = capsys.readouterr().out
+        assert "warning[ACCFG001]" in out
+        assert "fire-and-forget inside a loop" in out
+        assert f"--> {path}:8:7" in out  # the launch's own line and column
+        assert "accfg.launch" in out  # IR excerpt
+        assert "= note: fix: insert `accfg.await`" in out
+
+    def test_errors_exit_nonzero_without_werror(self, mlir_file, capsys):
+        assert main(["lint", mlir_file(DOUBLE_AWAIT)]) == 1
+        assert "error[ACCFG002]" in capsys.readouterr().out
+
+    def test_filter_restricts_codes(self, mlir_file, capsys):
+        path = mlir_file(DOUBLE_AWAIT)
+        assert main(["lint", "--filter", "ACCFG001", path]) == 0
+        out = capsys.readouterr().out
+        assert "ACCFG002" not in out
+        assert "1 check(s)" in out
+
+    def test_filter_unknown_code_exits_two(self, mlir_file, capsys):
+        assert main(["lint", "--filter", "ACCFG999", mlir_file(CLEAN)]) == 2
+        assert "ACCFG999" in capsys.readouterr().err
+
+    def test_pipeline_before_linting(self, mlir_file, capsys):
+        # `overlap` threads the state through the loop without dedup, which
+        # exposes the redundant per-iteration rewrite of "n"; `full` dedups
+        # it away.  Raw IR has no SSA state chain, so neither code fires.
+        redundant = """builtin.module {
+  func.func @main(%n : i64) -> () {
+    %c0 = arith.constant 0 : index
+    %c1 = arith.constant 1 : index
+    %c4 = arith.constant 4 : index
+    scf.for %i = %c0 to %c4 step %c1 {
+      %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+      %t = accfg.launch %s : !accfg.token<"toyvec">
+      accfg.await %t
+      scf.yield
+    }
+    func.return
+  }
+}
+"""
+        path = mlir_file(redundant)
+        main(["lint", "--filter", "ACCFG007", "--pipeline", "overlap", path])
+        assert "ACCFG007" in capsys.readouterr().out
+        main(["lint", "--filter", "ACCFG007", "--pipeline", "full", path])
+        assert "ACCFG007" not in capsys.readouterr().out
+
+    def test_stdin_reads_dash(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(CLEAN))
+        assert main(["lint", "-"]) == 0

@@ -1,0 +1,85 @@
+"""The shipped examples are diagnostic-clean.
+
+Every example's generated IR goes through the full lint suite.  Errors are
+forbidden everywhere; the expected warnings are pinned explicitly (and must
+actually appear — a silently vanishing warning is also a regression):
+
+* ``quickstart`` deliberately drives a *tiny* vector workload in a loop, so
+  the configuration-roofline lint (ACCFG010) fires by design — that is the
+  example's whole point.
+* The MLP's small layers are likewise configuration-bound pre-optimization
+  (the paper's motivating scenario), so ACCFG010 is expected there too.
+"""
+
+import contextlib
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, run_lints
+from repro.ir import parse_module
+from repro.passes import ConvertLinalgToAccfgPass
+from repro.workloads import build_opengemm_matmul
+from repro.workloads.network import build_mlp
+
+EXAMPLES = Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def examples_on_path():
+    sys.path.insert(0, str(EXAMPLES))
+    yield
+    sys.path.remove(str(EXAMPLES))
+
+
+def import_example(name):
+    """Import an example script, swallowing its demo output."""
+    with contextlib.redirect_stdout(io.StringIO()):
+        return __import__(name)
+
+
+def assert_lint_profile(module, expected_codes):
+    diags = run_lints(module)
+    assert not [d for d in diags if d.severity is Severity.ERROR], (
+        "examples must never ship error-severity hazards:\n"
+        + "\n".join(d.format() for d in diags)
+    )
+    assert {d.code for d in diags} == expected_codes
+
+
+class TestExamplesAreClean:
+    def test_quickstart(self):
+        quickstart = import_example("quickstart")
+        assert_lint_profile(parse_module(quickstart.PROGRAM), {"ACCFG010"})
+
+    def test_linalg_pipeline(self):
+        linalg_pipeline = import_example("linalg_pipeline")
+        assert_lint_profile(parse_module(linalg_pipeline.SOURCE), set())
+
+    def test_multi_accelerator(self):
+        example = import_example("multi_accelerator")
+        assert_lint_profile(example.module, set())
+
+    def test_custom_accelerator(self):
+        example = import_example("custom_accelerator")
+        assert_lint_profile(example.module, set())
+
+    def test_opengemm_tiled_matmul(self):
+        example = import_example("opengemm_tiled_matmul")
+        assert_lint_profile(example.workload.module, set())
+
+    def test_mlp_inference_ir(self):
+        # mlp_inference.py runs four co-simulations on import; lint the
+        # same IR it builds instead of importing the script.
+        workload = build_mlp([32, 64, 64, 32, 8], batch=16, seed=11)
+        ConvertLinalgToAccfgPass().apply(workload.module)
+        assert_lint_profile(workload.module, {"ACCFG010"})
+
+    def test_timeline_visualization_ir(self):
+        # timeline_visualization.py renders the build_opengemm_matmul(16)
+        # workload; lint that IR directly.  A 16x16 matmul pays more for
+        # configuration than for compute — being configuration-bound is
+        # what makes it a good timeline demo, so ACCFG010 is expected.
+        assert_lint_profile(build_opengemm_matmul(16).module, {"ACCFG010"})
