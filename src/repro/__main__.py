@@ -97,6 +97,51 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .testing import DEFAULT_CORPUS_DIR, fuzz, replay, run_selftest
+
+    if args.replay:
+        try:
+            failures = replay(args.replay)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if not failures:
+            print(f"{args.replay}: replays clean (failure no longer reproduces)")
+            return 0
+        for failure in failures:
+            print(f"{args.replay}: {failure.format()}")
+        return 1
+
+    if args.selftest:
+        result = run_selftest(
+            seed=args.seed,
+            iterations=max(args.iterations, 25),
+            corpus_dir=None if args.no_corpus else args.corpus_dir,
+        )
+        print(result.summary())
+        return 0 if result.ok else 1
+
+    pipelines = None
+    if args.pipeline:
+        # The functional/timing oracles are differential: they always need
+        # the reference pipelines next to the ones under test.
+        names = {"none", "baseline", *args.pipeline}
+        pipelines = {name: PIPELINES[name] for name in sorted(names)}
+    report = fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        backends=tuple(args.backend) if args.backend else None,
+        pipelines=pipelines,
+        corpus_dir=None if args.no_corpus else args.corpus_dir,
+        shrink=not args.no_shrink,
+        max_stmts=args.max_stmts,
+        on_progress=print,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import runner
 
@@ -169,6 +214,64 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--pipeline", default="", help="optimize first")
     run.add_argument("--args", nargs="*", default=[], help="main() arguments")
     run.set_defaults(func=cmd_run)
+
+    from .testing.corpus import DEFAULT_CORPUS_DIR
+    from .testing.generator import PROFILES
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the pass pipelines against random programs",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="run seed (default 0)")
+    fuzz.add_argument(
+        "--iterations",
+        type=int,
+        default=100,
+        help="programs per backend (default 100)",
+    )
+    fuzz.add_argument(
+        "--backend",
+        action="append",
+        choices=sorted(PROFILES),
+        help="restrict to one backend profile (repeatable; default: all)",
+    )
+    fuzz.add_argument(
+        "--pipeline",
+        action="append",
+        choices=sorted(PIPELINES),
+        help="restrict to one pipeline under test (repeatable; default: all; "
+        "'none' and 'baseline' are always run as references)",
+    )
+    fuzz.add_argument(
+        "--corpus-dir",
+        default=DEFAULT_CORPUS_DIR,
+        help=f"where shrunk reproducers are written (default: {DEFAULT_CORPUS_DIR})",
+    )
+    fuzz.add_argument(
+        "--no-corpus",
+        action="store_true",
+        help="do not write reproducer files",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="keep failing programs as found"
+    )
+    fuzz.add_argument(
+        "--max-stmts",
+        type=int,
+        default=6,
+        help="top-level statement budget per generated program (default 6)",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="replay one corpus reproducer instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--selftest",
+        action="store_true",
+        help="verify the oracles catch a deliberately broken pass",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
 
     experiments = sub.add_parser(
         "experiments", help="regenerate every table and figure"

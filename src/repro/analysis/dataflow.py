@@ -209,6 +209,7 @@ class KnownFieldsAnalysis:
         self.accelerator = accelerator
         self._cache: dict[SSAValue, KnownFields] = {}
         self._in_progress: set[SSAValue] = set()
+        self._tainted = False
 
     def known(self, state: SSAValue | None) -> KnownFields:
         if state is None:
@@ -216,13 +217,22 @@ class KnownFieldsAnalysis:
         if state in self._cache:
             return self._cache[state]
         if state in self._in_progress:
+            # Optimistic cycle break.  The answer below this point depends on
+            # *which* value is currently being resolved, so it must not be
+            # cached — a TOP-seeded partial result recorded globally would
+            # poison later queries with a different recursion root.
+            self._tainted = True
             return KnownFields.top()
         self._in_progress.add(state)
+        outer_tainted = self._tainted
+        self._tainted = False
         try:
             result = self._compute(state)
         finally:
             self._in_progress.discard(state)
-        self._cache[state] = result
+        if not self._tainted:
+            self._cache[state] = result
+        self._tainted = self._tainted or outer_tainted
         return result
 
     def _compute(self, state: SSAValue) -> KnownFields:

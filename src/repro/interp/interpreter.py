@@ -31,6 +31,13 @@ class InterpreterError(Exception):
     """Raised when a program cannot be interpreted."""
 
 
+def _fail(op: Operation, message: str) -> "InterpreterError":
+    """An InterpreterError carrying the op's source location when known."""
+    if op.loc is not None:
+        message = f"{message} at {op.loc}"
+    return InterpreterError(message)
+
+
 @dataclass(frozen=True)
 class StateHandle:
     """Runtime stand-in for an ``!accfg.state`` value."""
@@ -79,6 +86,13 @@ class Interpreter:
         self._state_counter = 0
         self._call_depth = 0
         self.max_call_depth = 256
+        # Runtime accfg protocol state: completed tokens (double-await
+        # detection), states invalidated by accfg.reset, and a per-accelerator
+        # reset epoch so launches outstanding across a reset are caught.
+        self._awaited: set[LaunchToken] = set()
+        self._reset_states: set[StateHandle] = set()
+        self._reset_epoch: dict[str, int] = {}
+        self._token_epoch: dict[LaunchToken, int] = {}
 
     # -- public API ------------------------------------------------------
 
@@ -165,26 +179,66 @@ class Interpreter:
         if isinstance(op, func.CallOp):
             return self._run_call(op, env)
         if isinstance(op, accfg.SetupOp):
+            if op.in_state is not None and env.get(op.in_state) in self._reset_states:
+                raise _fail(
+                    op,
+                    f"setup on '{op.accelerator}' uses a state that was reset "
+                    "(register contents are no longer defined)",
+                )
             fields = {
                 name: self._as_int(env, value) for name, value in op.fields
             }
-            self.sim.exec_setup(op.accelerator, fields)
+            try:
+                self.sim.exec_setup(op.accelerator, fields)
+            except KeyError as error:
+                raise _fail(op, f"setup on {error.args[0]}") from None
             self._state_counter += 1
             env[op.out_state] = StateHandle(op.accelerator, self._state_counter)
             return None
         if isinstance(op, accfg.LaunchOp):
+            if op.state is not None and env.get(op.state) in self._reset_states:
+                raise _fail(
+                    op,
+                    f"launch on '{op.accelerator}' uses a state that was reset "
+                    "(register contents are no longer defined)",
+                )
             fields = {
                 name: self._as_int(env, value) for name, value in op.fields
             }
-            env[op.token] = self.sim.exec_launch(op.accelerator, fields)
+            try:
+                token = self.sim.exec_launch(op.accelerator, fields)
+            except KeyError as error:
+                raise _fail(op, f"launch on {error.args[0]}") from None
+            self._token_epoch[token] = self._reset_epoch.get(op.accelerator, 0)
+            env[op.token] = token
             return None
         if isinstance(op, accfg.AwaitOp):
             token = env[op.token]
             if not isinstance(token, LaunchToken):
-                raise InterpreterError("await of a value that is not a token")
+                raise _fail(op, "await of a value that is not a token")
+            if token in self._awaited:
+                raise _fail(
+                    op,
+                    f"double await of a token on '{op.accelerator}' "
+                    "(the launch was already awaited)",
+                )
+            epoch = self._reset_epoch.get(op.accelerator, 0)
+            if self._token_epoch.get(token, epoch) != epoch:
+                raise _fail(
+                    op,
+                    f"await of a launch on '{op.accelerator}' that was "
+                    "discarded by accfg.reset",
+                )
             self.sim.exec_await(token)
+            self._awaited.add(token)
             return None
         if isinstance(op, accfg.ResetOp):
+            handle = env.get(op.state)
+            if isinstance(handle, StateHandle):
+                self._reset_states.add(handle)
+                self._reset_epoch[handle.accelerator] = (
+                    self._reset_epoch.get(handle.accelerator, 0) + 1
+                )
             self._charge_control()
             return None
         # Extension point: ops outside the core dialects may carry their own
@@ -200,10 +254,8 @@ class Interpreter:
             if accfg.get_effects(op) is not None and not op.results:
                 self.sim.charge_one(Instr("foreign", InstrCategory.COMPUTE))
                 return None
-            raise InterpreterError(
-                f"cannot interpret unregistered op '{op.op_name}'"
-            )
-        raise InterpreterError(f"cannot interpret op '{op.name}'")
+            raise _fail(op, f"cannot interpret unregistered op '{op.op_name}'")
+        raise _fail(op, f"cannot interpret op '{op.name}'")
 
     def _run_for(self, op: scf.ForOp, env: dict[SSAValue, object]) -> None:
         lb = self._as_int(env, op.lb)

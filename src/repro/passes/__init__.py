@@ -32,6 +32,8 @@ from .pipeline import (
     baseline_pipeline,
     none_pipeline,
     volatile_baseline_pipeline,
+    licm_pipeline,
+    unroll_pipeline,
     dedup_pipeline,
     full_pipeline,
     overlap_pipeline,
@@ -73,6 +75,8 @@ __all__ = [
     "baseline_pipeline",
     "none_pipeline",
     "volatile_baseline_pipeline",
+    "licm_pipeline",
+    "unroll_pipeline",
     "dedup_pipeline",
     "full_pipeline",
     "overlap_pipeline",

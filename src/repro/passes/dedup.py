@@ -176,15 +176,40 @@ def _hoist_fields_from_loop(loop: scf.ForOp) -> bool:
         setups = _top_level_setups(loop, accelerator)
         if not setups:
             continue
+        # Program order over the whole body (nested regions included):
+        # register retention means soundness is about *when* writes execute,
+        # not about the SSA chain alone.
+        order = {op: i for i, op in enumerate(loop.walk())}
+        first_launch = min(
+            (
+                order[op]
+                for op in order
+                if isinstance(op, accfg.LaunchOp) and op.accelerator == accelerator
+            ),
+            default=None,
+        )
         field_writers: dict[str, list[accfg.SetupOp]] = {}
-        for setup in setups:
-            for name, _ in setup.fields:
-                field_writers.setdefault(name, []).append(setup)
+        for op in order:
+            if isinstance(op, accfg.SetupOp) and op.accelerator == accelerator:
+                for name, _ in op.fields:
+                    field_writers.setdefault(name, []).append(op)
         hoisted: list[tuple[str, SSAValue]] = []
         for setup in setups:
+            # A write moved to before the loop is only equivalent if every
+            # launch in the body already observed it in its own iteration —
+            # i.e. the writer precedes the first launch.  A writer after a
+            # launch supplies the *next* iteration, so iteration 0 must keep
+            # seeing the pre-loop register contents.
+            executes_before_launches = (
+                first_launch is None or order[setup] < first_launch
+            )
             keep: list[tuple[str, SSAValue]] = []
             for name, value in setup.fields:
-                if len(field_writers[name]) == 1 and is_defined_outside(value, loop):
+                if (
+                    len(field_writers[name]) == 1
+                    and executes_before_launches
+                    and is_defined_outside(value, loop)
+                ):
                     hoisted.append((name, value))
                 else:
                     keep.append((name, value))

@@ -171,6 +171,35 @@ def pipeline_loop(loop: scf.ForOp, concurrent: set[str] | None) -> bool:
     # 4. Reroute: the loop now carries the next-iteration state.
     setup.out_state.replace_all_uses_with(next_setup.out_state)
     setup.erase()
+
+    # 5. When the state flowing out of the loop is observed afterwards
+    # (register retention: a later launch sees whatever the last setup
+    # wrote), the rotated setup must not run in the final iteration — it
+    # would commit the configuration of an iteration that never executes.
+    # Peel that iteration: shorten the loop by one trip and launch/await the
+    # final (already configured) state after the loop.  Peeling keeps the
+    # loop body free of per-iteration guard code; when the result is unused
+    # we keep the paper's plain rotation (Figure 9) with its harmless
+    # trailing write.
+    if loop.results[state_arg_index].has_uses:
+        new_ub = arith.SubiOp.create(loop.ub, loop.step)
+        new_ub.result.name_hint = "ub_main"
+        loop.parent.insert_op_before(loop, new_ub)
+        final_state = loop.results[state_arg_index]
+        tail_launch = accfg.LaunchOp.create(final_state)
+        tail_await = accfg.AwaitOp.create(tail_launch.token)
+        if _loop_certainly_runs(loop):
+            loop.parent.insert_op_after(loop, tail_launch)
+            loop.parent.insert_op_after(tail_launch, tail_await)
+        else:
+            ran = arith.CmpiOp.create("ult", loop.lb, loop.ub)
+            loop.parent.insert_op_after(loop, ran)
+            tail = scf.IfOp.create(ran.result)
+            tail.then_block.add_op(tail_launch)
+            tail.then_block.add_op(tail_await)
+            tail.then_block.add_op(scf.YieldOp.create())
+            loop.parent.insert_op_after(ran, tail)
+        loop.set_operand(1, new_ub.result)
     return True
 
 

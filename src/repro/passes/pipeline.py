@@ -16,6 +16,7 @@ from .licm import LICMPass
 from .overlap import OverlapPass
 from .pass_manager import PassManager
 from .trace_states import TraceStatesPass
+from .unroll import UnrollPass
 
 
 def cleanup_pipeline() -> list:
@@ -46,6 +47,18 @@ def volatile_baseline_pipeline() -> PassManager:
 def none_pipeline() -> PassManager:
     """Run nothing at all (the IR exactly as the frontend emitted it)."""
     return PassManager([])
+
+
+def licm_pipeline() -> PassManager:
+    """Loop-invariant code motion alone (plus the folding it needs and the
+    dead code it leaves) — isolates the hoisting leg of the cleanups."""
+    return PassManager([CanonicalizePass(), LICMPass(), DCEPass()])
+
+
+def unroll_pipeline() -> PassManager:
+    """Full unrolling of small constant-trip loops, then the cleanups —
+    exposes cross-iteration redundancy to CSE without dedup's help."""
+    return PassManager([UnrollPass(), *cleanup_pipeline()])
 
 
 def dedup_pipeline() -> PassManager:
@@ -89,6 +102,8 @@ PIPELINES = {
     "none": none_pipeline,
     "baseline": baseline_pipeline,
     "volatile-baseline": volatile_baseline_pipeline,
+    "licm": licm_pipeline,
+    "unroll": unroll_pipeline,
     "dedup": dedup_pipeline,
     "overlap": overlap_pipeline,
     "full": full_pipeline,

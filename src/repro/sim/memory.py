@@ -57,6 +57,12 @@ class Memory:
         buffer.array[...] = array
         return buffer
 
+    @property
+    def buffers(self) -> tuple[Buffer, ...]:
+        """Every allocated region, in allocation order (used by differential
+        oracles to snapshot the whole image)."""
+        return tuple(self._buffers)
+
     def _align(self, addr: int) -> int:
         mask = self._alignment - 1
         return (addr + mask) & ~mask

@@ -1,0 +1,104 @@
+"""repro.testing — the shipped correctness-tooling subsystem.
+
+A generative differential-execution harness guarding the paper's central
+claim: the accfg passes eliminate configuration overhead *without changing
+program semantics* (Section 5), at a cost the roofline accounting predicts
+(Section 4).  Five pieces:
+
+* :mod:`repro.testing.generator` — typed random-program generation over
+  per-backend profiles (Gemmini, OpenGeMM, toyvec): nested control flow,
+  multi-accelerator modules, partial setup writes relying on register
+  retention; plus the promoted hypothesis strategies the property tests use;
+* :mod:`repro.testing.oracles` — the differential oracles: functional
+  equivalence, timing-never-worse, and lint cleanliness for every
+  registered pass pipeline;
+* :mod:`repro.testing.shrink` — greedy structural test-case minimization;
+* :mod:`repro.testing.corpus` — self-contained ``.mlir`` reproducers with
+  replay (``python -m repro fuzz --replay``);
+* :mod:`repro.testing.fuzz` / :mod:`repro.testing.selftest` — the seeded
+  fuzz driver behind ``python -m repro fuzz`` and the broken-pass selftest
+  that proves the oracles can fire.
+"""
+
+from .corpus import (
+    DEFAULT_CORPUS_DIR,
+    Reproducer,
+    ReproducerMeta,
+    load_reproducer,
+    replay,
+    subject_for_reproducer,
+    write_reproducer,
+)
+from .fuzz import FuzzFailure, FuzzReport, fuzz, program_seed
+from .generator import (
+    PROFILES,
+    BackendProfile,
+    Branch,
+    BufferPool,
+    BuiltFuzzProgram,
+    FieldOption,
+    FieldWrite,
+    Invoke,
+    Loop,
+    ProgramSpec,
+    ZERO_TRIPS,
+    build_memory,
+    build_spec,
+    generate_spec,
+    walk_invokes,
+)
+from .oracles import (
+    BASELINE_PIPELINES,
+    OracleFailure,
+    RunOutcome,
+    Subject,
+    check_subject,
+    run_one,
+    subject_for_spec,
+    timing_slack,
+)
+from .selftest import BrokenDedupPass, SelftestResult, broken_dedup_pipeline, run_selftest
+from .shrink import shrink_candidates, shrink_spec
+
+__all__ = [
+    "DEFAULT_CORPUS_DIR",
+    "Reproducer",
+    "ReproducerMeta",
+    "load_reproducer",
+    "replay",
+    "subject_for_reproducer",
+    "write_reproducer",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz",
+    "program_seed",
+    "PROFILES",
+    "BackendProfile",
+    "Branch",
+    "BufferPool",
+    "BuiltFuzzProgram",
+    "FieldOption",
+    "FieldWrite",
+    "Invoke",
+    "Loop",
+    "ProgramSpec",
+    "ZERO_TRIPS",
+    "build_memory",
+    "build_spec",
+    "generate_spec",
+    "walk_invokes",
+    "BASELINE_PIPELINES",
+    "OracleFailure",
+    "RunOutcome",
+    "Subject",
+    "check_subject",
+    "run_one",
+    "subject_for_spec",
+    "timing_slack",
+    "BrokenDedupPass",
+    "SelftestResult",
+    "broken_dedup_pipeline",
+    "run_selftest",
+    "shrink_candidates",
+    "shrink_spec",
+]

@@ -1,0 +1,151 @@
+"""Reproducer corpus: failing fuzz cases as self-contained ``.mlir`` files.
+
+Every file the fuzzer writes is ordinary, parseable textual IR preceded by
+``//`` comment lines carrying the replay metadata:
+
+* which backend profile built the memory image (buffer addresses and
+  contents are a pure function of ``(backend, memory_seed)``, so the module
+  text plus two integers fully reconstructs the run);
+* which pipeline and which oracle failed, the generator seed that produced
+  the case, the ``main`` arguments, and a human-readable failure message.
+
+``python -m repro fuzz --replay <file>`` re-runs the recorded pipeline's
+oracles against the recorded baseline and reports whether the failure still
+reproduces — the triage loop for a shrunk reproducer is therefore: read the
+(tiny) module, replay, bisect the pass pipeline by hand with
+``python -m repro opt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+
+from ..ir import parse_module, verify_operation
+from .generator import build_memory
+from .oracles import OracleFailure, Subject, check_subject
+
+#: Default directory for locally collected reproducers (gitignored).
+DEFAULT_CORPUS_DIR = "fuzz-corpus"
+
+_META_PREFIX = "// repro-fuzz-meta: "
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReproducerMeta:
+    """The replay metadata stored in a corpus file's header."""
+
+    backend: str
+    pipeline: str
+    oracle: str
+    seed: int
+    memory_seed: int
+    args: tuple[int, ...]
+    zero_trip_sites: int = 0
+    message: str = ""
+    version: int = _FORMAT_VERSION
+
+
+@dataclass
+class Reproducer:
+    """A corpus entry: metadata plus the module's textual IR."""
+
+    meta: ReproducerMeta
+    module_text: str
+    path: str | None = field(default=None)
+
+
+def write_reproducer(
+    directory: str, meta: ReproducerMeta, module_text: str
+) -> str:
+    """Write one reproducer; returns its path.
+
+    File names encode the failure coordinates so a corpus directory reads
+    like a failure summary: ``<backend>-<pipeline>-<oracle>-s<seed>.mlir``.
+    """
+    os.makedirs(directory, exist_ok=True)
+    name = f"{meta.backend}-{meta.pipeline}-{meta.oracle}-s{meta.seed}.mlir"
+    path = os.path.join(directory, name)
+    payload = asdict(meta)
+    payload["args"] = list(meta.args)
+    with open(path, "w") as handle:
+        handle.write(
+            "// repro-fuzz reproducer — replay with: "
+            "python -m repro fuzz --replay <this file>\n"
+        )
+        handle.write(f"// failure: {meta.message}\n")
+        handle.write(_META_PREFIX + json.dumps(payload, sort_keys=True) + "\n")
+        handle.write(module_text)
+        if not module_text.endswith("\n"):
+            handle.write("\n")
+    return path
+
+
+def load_reproducer(path: str) -> Reproducer:
+    """Parse a corpus file back into metadata + module text."""
+    with open(path) as handle:
+        text = handle.read()
+    meta: ReproducerMeta | None = None
+    for line in text.splitlines():
+        if line.startswith(_META_PREFIX):
+            payload = json.loads(line[len(_META_PREFIX) :])
+            payload.pop("version", None)
+            payload["args"] = tuple(payload.get("args", ()))
+            meta = ReproducerMeta(**payload)
+            break
+    if meta is None:
+        raise ValueError(f"{path}: not a repro-fuzz reproducer (missing meta line)")
+    return Reproducer(meta=meta, module_text=text, path=path)
+
+
+def subject_for_reproducer(reproducer: Reproducer) -> Subject:
+    """An oracle subject that replays the stored module text.
+
+    Each ``fresh()`` call re-parses the text (pipelines mutate modules in
+    place) and rebuilds the deterministic memory image the module's address
+    constants point into.
+    """
+    meta = reproducer.meta
+
+    def fresh():
+        module = parse_module(reproducer.module_text, reproducer.path)
+        verify_operation(module)
+        memory, _ = build_memory(meta.backend, meta.memory_seed)
+        return module, memory, list(meta.args)
+
+    return Subject(
+        fresh=fresh,
+        zero_trip_sites=meta.zero_trip_sites,
+        name=f"replay:{reproducer.path or meta.backend}",
+    )
+
+
+def replay(path: str, pipelines=None) -> list[OracleFailure]:
+    """Re-run a reproducer's oracles for its recorded pipeline.
+
+    ``pipelines`` may extend/override the registered pipelines (e.g. to
+    replay against a locally patched pass).  Returns the failures observed
+    for the recorded pipeline — an empty list means the bug no longer
+    reproduces.
+    """
+    from ..passes import PIPELINES
+
+    reproducer = load_reproducer(path)
+    available = dict(PIPELINES)
+    if pipelines:
+        available.update(pipelines)
+    target = reproducer.meta.pipeline
+    if target not in available:
+        raise ValueError(
+            f"{path}: recorded pipeline '{target}' is not registered; pass it "
+            "via the pipelines argument"
+        )
+    needed = {
+        name: available[name]
+        for name in ("none", "baseline", target)
+        if name in available
+    }
+    failures = check_subject(subject_for_reproducer(reproducer), needed)
+    return [f for f in failures if f.pipeline == target]

@@ -1,0 +1,201 @@
+"""The differential fuzzing driver behind ``python -m repro fuzz``.
+
+For each iteration, a seeded generator draws one typed program spec per
+backend, builds it to IR over a deterministic memory image, and runs every
+registered pass pipeline through the three oracles (functional equivalence,
+timing-never-worse, lint cleanliness).  Failures are greedily shrunk and
+written to the corpus as self-contained ``.mlir`` reproducers.
+
+The whole run is a pure function of ``(seed, iterations, backends,
+pipelines)`` — CI runs a fixed-seed smoke job, and any reported failure can
+be replayed locally from either the seed or the corpus file.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..passes import PIPELINES
+from .corpus import DEFAULT_CORPUS_DIR, ReproducerMeta, write_reproducer
+from .generator import PROFILES, ProgramSpec, build_spec, generate_spec
+from .oracles import OracleFailure, check_subject, subject_for_spec
+from .shrink import shrink_spec
+
+
+@dataclass
+class FuzzFailure:
+    """One fuzz finding: the (shrunk) failing program plus its coordinates."""
+
+    backend: str
+    iteration: int
+    program_seed: int
+    failure: OracleFailure
+    spec: ProgramSpec
+    reproducer_path: str | None = None
+
+    def format(self) -> str:
+        where = f"{self.backend} iteration {self.iteration} (seed {self.program_seed})"
+        lines = [f"{where}: {self.failure.format()}"]
+        if self.reproducer_path:
+            lines.append(f"  reproducer: {self.reproducer_path}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one fuzzing run."""
+
+    seed: int
+    iterations: int
+    backends: tuple[str, ...]
+    pipelines: tuple[str, ...]
+    programs_run: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    corpus_dir: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: seed {self.seed}, {self.iterations} iteration(s) x "
+            f"{len(self.backends)} backend(s) "
+            f"({', '.join(self.backends)}), pipelines: "
+            f"{', '.join(self.pipelines)}",
+            f"programs run : {self.programs_run}",
+            f"failures     : {len(self.failures)}",
+        ]
+        for finding in self.failures:
+            lines.append(finding.format())
+        return "\n".join(lines)
+
+
+def program_seed(seed: int, backend: str, iteration: int) -> int:
+    """Stable per-program seed (process-independent, unlike ``hash``)."""
+    return (
+        seed * 1_000_003 + iteration * 7919 + zlib.crc32(backend.encode())
+    ) & 0x7FFFFFFF
+
+
+def fuzz(
+    seed: int = 0,
+    iterations: int = 100,
+    backends: tuple[str, ...] | None = None,
+    pipelines: Mapping[str, Callable] | None = None,
+    corpus_dir: str | None = DEFAULT_CORPUS_DIR,
+    shrink: bool = True,
+    max_stmts: int = 6,
+    max_failures: int = 10,
+    on_progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run the differential fuzzer; see the module docstring.
+
+    ``iterations`` counts programs *per backend*.  ``pipelines`` defaults to
+    every registered pipeline; custom mappings let tests inject deliberately
+    broken passes.  Shrunk reproducers are written to ``corpus_dir`` (pass
+    ``None`` to disable).  The run stops early after ``max_failures``
+    distinct findings.
+    """
+    backends = tuple(backends or sorted(PROFILES))
+    for backend in backends:
+        if backend not in PROFILES:
+            known = ", ".join(sorted(PROFILES))
+            raise ValueError(f"unknown backend '{backend}' (known: {known})")
+    pipeline_map = dict(pipelines if pipelines is not None else PIPELINES)
+    report = FuzzReport(
+        seed=seed,
+        iterations=iterations,
+        backends=backends,
+        pipelines=tuple(sorted(pipeline_map)),
+        corpus_dir=corpus_dir,
+    )
+
+    import random
+
+    for iteration in range(iterations):
+        for backend in backends:
+            if len(report.failures) >= max_failures:
+                return report
+            pseed = program_seed(seed, backend, iteration)
+            rng = random.Random(pseed)
+            spec = generate_spec(rng, backend, max_stmts=max_stmts)
+            subject = subject_for_spec(spec, memory_seed=pseed)
+            failures = check_subject(subject, pipeline_map)
+            report.programs_run += 1
+            if not failures:
+                continue
+            finding = _handle_failure(
+                spec, pseed, iteration, failures[0], pipeline_map, corpus_dir, shrink
+            )
+            report.failures.append(finding)
+            if on_progress:
+                on_progress(finding.format())
+        if on_progress and (iteration + 1) % 25 == 0:
+            on_progress(
+                f"... {report.programs_run} programs, "
+                f"{len(report.failures)} failure(s)"
+            )
+    return report
+
+
+def _handle_failure(
+    spec: ProgramSpec,
+    pseed: int,
+    iteration: int,
+    failure: OracleFailure,
+    pipeline_map: Mapping[str, Callable],
+    corpus_dir: str | None,
+    shrink: bool,
+) -> FuzzFailure:
+    """Shrink one failing spec and write its reproducer."""
+    needed = {
+        name: pipeline_map[name]
+        for name in ("none", "baseline", failure.pipeline)
+        if name in pipeline_map
+    }
+
+    def still_fails(candidate: ProgramSpec) -> bool:
+        candidate_failures = check_subject(
+            subject_for_spec(candidate, memory_seed=pseed), needed
+        )
+        return any(
+            f.oracle == failure.oracle and f.pipeline == failure.pipeline
+            for f in candidate_failures
+        )
+
+    if shrink:
+        spec = shrink_spec(spec, still_fails)
+        # Re-derive the (possibly different) message of the shrunk case.
+        final = [
+            f
+            for f in check_subject(subject_for_spec(spec, memory_seed=pseed), needed)
+            if f.oracle == failure.oracle and f.pipeline == failure.pipeline
+        ]
+        if final:
+            failure = final[0]
+
+    path: str | None = None
+    if corpus_dir is not None:
+        built = build_spec(spec, memory_seed=pseed)
+        meta = ReproducerMeta(
+            backend=spec.backend,
+            pipeline=failure.pipeline,
+            oracle=failure.oracle,
+            seed=pseed,
+            memory_seed=pseed,
+            args=tuple(built.args),
+            zero_trip_sites=built.zero_trip_sites,
+            message=failure.message,
+        )
+        path = write_reproducer(corpus_dir, meta, str(built.module))
+    return FuzzFailure(
+        backend=spec.backend,
+        iteration=iteration,
+        program_seed=pseed,
+        failure=failure,
+        spec=spec,
+        reproducer_path=path,
+    )

@@ -1,0 +1,238 @@
+"""Differential equivalence oracles.
+
+A :class:`Subject` is a program under test: a factory that produces a *fresh*
+``(module, memory, args)`` triple on every call (pass pipelines mutate
+modules in place, so each pipeline runs against its own build).  For every
+registered pipeline, :func:`check_subject` asserts three things the paper
+claims its optimizations guarantee:
+
+* **functional** — function results, final memory image, and per-device
+  launch counts match the unoptimized (``none``) run bit-exactly
+  (Section 5: the passes never change program semantics);
+* **timing** — optimized total cycles never materially exceed the
+  cleanups-only ``baseline`` run (Eq. 2/3 accounting: removing configuration
+  work cannot slow the program down).  A small additive slack covers the
+  ``lb < ub`` guards hoisting inserts around possibly-zero-trip loops, and
+  the comparison is skipped for the baseline pipelines themselves;
+* **lint** — pipelines never *introduce* error-severity ACCFG diagnostics
+  (reusing :mod:`repro.analysis`, the same gate as
+  ``PassManager(lint=True)``).
+
+Any crash while optimizing or executing is reported as a fourth oracle,
+``crash``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..analysis import error_code_counts, run_lints
+from ..interp import run_module
+from ..ir import verify_operation
+from ..passes import PIPELINES, PassManager
+from ..sim import CoSimulator
+from ..sim.memory import Memory
+from .generator import ProgramSpec, build_spec
+
+#: Pipelines that make no faster-than-baseline promise: the timing oracle
+#: does not apply to them.  ``volatile-baseline`` deliberately withholds LICM
+#: and ``licm`` withholds CSE — each runs a strict subset of ``baseline``'s
+#: cleanups, so either may legitimately be slower than it.
+BASELINE_PIPELINES = frozenset({"none", "baseline", "volatile-baseline", "licm"})
+
+#: Multiplicative tolerance of the timing oracle.
+TIMING_EPSILON = 0.001
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One oracle violation for one pipeline."""
+
+    oracle: str  # "functional" | "timing" | "lint" | "crash"
+    pipeline: str
+    message: str
+
+    def format(self) -> str:
+        return f"[{self.oracle}] pipeline '{self.pipeline}': {self.message}"
+
+
+@dataclass
+class RunOutcome:
+    """Everything one (build, optimize, execute) run observed."""
+
+    results: list[int]
+    image: list[np.ndarray]
+    total_cycles: float
+    launch_counts: dict[str, int]
+    lint_errors: dict[str, int]
+
+
+@dataclass
+class Subject:
+    """A program under differential test.
+
+    ``fresh()`` must return an independent build each time: a verified
+    module, the memory image it references, and the ``main`` arguments.
+    """
+
+    fresh: Callable[[], tuple[object, Memory, list[int]]]
+    zero_trip_sites: int = 0
+    name: str = "<subject>"
+
+
+def subject_for_spec(spec: ProgramSpec, memory_seed: int = 0) -> Subject:
+    """Wrap a generated program spec as an oracle subject."""
+
+    def fresh():
+        built = build_spec(spec, memory_seed)
+        return built.module, built.memory, built.args
+
+    return Subject(
+        fresh=fresh,
+        zero_trip_sites=spec.zero_trip_sites(),
+        name=f"spec:{spec.backend}",
+    )
+
+
+def run_one(
+    subject: Subject, pipeline: PassManager | None
+) -> RunOutcome | OracleFailure:
+    """Build the subject, optionally optimize it, execute, and measure."""
+    stage = "build"
+    try:
+        module, memory, args = subject.fresh()
+        if pipeline is not None:
+            stage = "optimize"
+            pipeline.run(module)
+            verify_operation(module)
+        stage = "execute"
+        sim = CoSimulator(memory=memory)
+        results = run_module(module, sim, args=args)[0]
+        stage = "lint"
+        lint_errors = error_code_counts(run_lints(module))
+    except Exception as error:  # noqa: BLE001 - every crash is a finding
+        return OracleFailure(
+            "crash", "?", f"{stage}: {type(error).__name__}: {error}"
+        )
+    return RunOutcome(
+        results=results,
+        image=[buffer.array.copy() for buffer in memory.buffers],
+        total_cycles=sim.total_cycles,
+        launch_counts={
+            name: device.launch_count for name, device in sim.devices.items()
+        },
+        lint_errors=lint_errors,
+    )
+
+
+def timing_slack(zero_trip_sites: int, cycles_per_instr: float = 3.0) -> float:
+    """Additive cycles the optimized program may pay for soundness guards.
+
+    Hoisting a setup out of a possibly-zero-trip loop inserts an ``lb < ub``
+    guard (compare + branch, and the hoisted constants execute once even
+    when the loop would not have run); each such site is allowed a small
+    constant, never anything proportional to trip counts.
+    """
+    return 16.0 * cycles_per_instr * (zero_trip_sites + 1)
+
+
+def _functional_failures(
+    name: str, base: RunOutcome, out: RunOutcome
+) -> Iterable[OracleFailure]:
+    if out.results != base.results:
+        yield OracleFailure(
+            "functional",
+            name,
+            f"results diverge: {out.results} != {base.results}",
+        )
+        return
+    for i, (a, b) in enumerate(zip(base.image, out.image)):
+        if a.shape != b.shape or not (a == b).all():
+            diverging = int((a != b).sum()) if a.shape == b.shape else -1
+            yield OracleFailure(
+                "functional",
+                name,
+                f"memory image diverges in buffer #{i} "
+                f"({diverging} element(s) differ)",
+            )
+            return
+    if out.launch_counts != base.launch_counts:
+        yield OracleFailure(
+            "functional",
+            name,
+            f"launch counts diverge: {out.launch_counts} != {base.launch_counts}",
+        )
+
+
+def check_subject(
+    subject: Subject,
+    pipelines: Mapping[str, Callable[[], PassManager]] | None = None,
+    timing: bool = True,
+) -> list[OracleFailure]:
+    """Run every pipeline over the subject and collect oracle violations.
+
+    ``pipelines`` maps pipeline names to :class:`PassManager` factories and
+    defaults to every registered pipeline; a ``none`` entry (or an implicit
+    unoptimized run) is the functional baseline, ``baseline`` the timing
+    baseline.
+    """
+    pipelines = dict(pipelines if pipelines is not None else PIPELINES)
+    failures: list[OracleFailure] = []
+
+    none_factory = pipelines.get("none")
+    base = run_one(subject, none_factory() if none_factory else None)
+    if isinstance(base, OracleFailure):
+        # The *unoptimized* program crashed: either a generator bug or a
+        # genuine interpreter/simulator defect — either way, report it.
+        return [OracleFailure(base.oracle, "none", base.message)]
+
+    timing_base: RunOutcome | None = None
+    if timing and "baseline" in pipelines:
+        outcome = run_one(subject, pipelines["baseline"]())
+        if isinstance(outcome, OracleFailure):
+            failures.append(OracleFailure(outcome.oracle, "baseline", outcome.message))
+        else:
+            timing_base = outcome
+
+    for name, factory in sorted(pipelines.items()):
+        if name == "none":
+            continue
+        out = run_one(subject, factory())
+        if isinstance(out, OracleFailure):
+            failures.append(OracleFailure(out.oracle, name, out.message))
+            continue
+        failures.extend(_functional_failures(name, base, out))
+        introduced = {
+            code: count - base.lint_errors.get(code, 0)
+            for code, count in out.lint_errors.items()
+            if count > base.lint_errors.get(code, 0)
+        }
+        if introduced:
+            detail = ", ".join(
+                f"{code} (+{delta})" for code, delta in sorted(introduced.items())
+            )
+            failures.append(
+                OracleFailure("lint", name, f"introduced lint errors: {detail}")
+            )
+        if (
+            timing
+            and timing_base is not None
+            and name not in BASELINE_PIPELINES
+        ):
+            budget = timing_base.total_cycles * (1 + TIMING_EPSILON) + timing_slack(
+                subject.zero_trip_sites
+            )
+            if out.total_cycles > budget:
+                failures.append(
+                    OracleFailure(
+                        "timing",
+                        name,
+                        f"{out.total_cycles:.0f} cycles > baseline "
+                        f"{timing_base.total_cycles:.0f} (+ slack, budget "
+                        f"{budget:.0f})",
+                    )
+                )
+    return failures

@@ -1,0 +1,131 @@
+"""Greedy test-case shrinking for generated program specs.
+
+Given a failing :class:`~repro.testing.generator.ProgramSpec` and a
+predicate "does this still fail the same way", the shrinker repeatedly
+applies the most aggressive structure-reducing transformation that keeps
+the failure alive, until none applies (or an attempt budget runs out):
+
+1. delete a whole statement (anywhere in the tree);
+2. replace a loop or branch by its body (flatten control flow);
+3. reduce a loop's trip count to 1;
+4. drop a field from an invocation;
+5. simplify an invocation (launch -> setup-only, dynamic -> static field).
+
+The candidate order guarantees monotone progress: every accepted candidate
+strictly reduces a (statements, nodes, fields, flags) measure, so the loop
+terminates without an explicit fixpoint check.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .generator import (
+    Branch,
+    FieldWrite,
+    Invoke,
+    Loop,
+    ProgramSpec,
+    Stmt,
+)
+
+
+def _with_stmts(spec: ProgramSpec, stmts: tuple[Stmt, ...]) -> ProgramSpec:
+    return ProgramSpec(spec.backend, stmts, spec.cond_value)
+
+
+def _edit_stmts(
+    stmts: tuple[Stmt, ...],
+    edit: Callable[[tuple[Stmt, ...]], Iterator[tuple[Stmt, ...]]],
+) -> Iterator[tuple[Stmt, ...]]:
+    """Yield every statement tuple obtained by applying ``edit`` to this
+    level or (recursively) to one nested body."""
+    yield from edit(stmts)
+    for i, stmt in enumerate(stmts):
+        if isinstance(stmt, Loop):
+            for body in _edit_stmts(stmt.body, edit):
+                yield (*stmts[:i], Loop(stmt.trips, body), *stmts[i + 1 :])
+        elif isinstance(stmt, Branch):
+            for then in _edit_stmts(stmt.then, edit):
+                yield (*stmts[:i], Branch(then, stmt.orelse), *stmts[i + 1 :])
+            for orelse in _edit_stmts(stmt.orelse, edit):
+                yield (*stmts[:i], Branch(stmt.then, orelse), *stmts[i + 1 :])
+
+
+def _deletions(stmts: tuple[Stmt, ...]) -> Iterator[tuple[Stmt, ...]]:
+    for i in range(len(stmts)):
+        yield (*stmts[:i], *stmts[i + 1 :])
+
+
+def _flattenings(stmts: tuple[Stmt, ...]) -> Iterator[tuple[Stmt, ...]]:
+    for i, stmt in enumerate(stmts):
+        if isinstance(stmt, Loop):
+            yield (*stmts[:i], *stmt.body, *stmts[i + 1 :])
+        elif isinstance(stmt, Branch):
+            yield (*stmts[:i], *stmt.then, *stmts[i + 1 :])
+            if stmt.orelse:
+                yield (*stmts[:i], *stmt.orelse, *stmts[i + 1 :])
+                yield (*stmts[:i], Branch(stmt.then, ()), *stmts[i + 1 :])
+
+
+def _trip_reductions(stmts: tuple[Stmt, ...]) -> Iterator[tuple[Stmt, ...]]:
+    for i, stmt in enumerate(stmts):
+        if isinstance(stmt, Loop) and stmt.trips > 1:
+            yield (*stmts[:i], Loop(1, stmt.body), *stmts[i + 1 :])
+
+
+def _invoke_simplifications(stmts: tuple[Stmt, ...]) -> Iterator[tuple[Stmt, ...]]:
+    for i, stmt in enumerate(stmts):
+        if not isinstance(stmt, Invoke):
+            continue
+        for j in range(len(stmt.fields)):
+            fields = (*stmt.fields[:j], *stmt.fields[j + 1 :])
+            yield (*stmts[:i], Invoke(stmt.accelerator, fields, stmt.launch), *stmts[i + 1 :])
+        if stmt.launch:
+            yield (*stmts[:i], Invoke(stmt.accelerator, stmt.fields, False), *stmts[i + 1 :])
+        for j, write in enumerate(stmt.fields):
+            if write.dynamic:
+                fields = (
+                    *stmt.fields[:j],
+                    FieldWrite(write.name, write.choice, False),
+                    *stmt.fields[j + 1 :],
+                )
+                yield (*stmts[:i], Invoke(stmt.accelerator, fields, stmt.launch), *stmts[i + 1 :])
+
+
+#: Most aggressive first: whole-statement deletion, then flattening, then
+#: local simplifications.
+_PASSES = (_deletions, _flattenings, _trip_reductions, _invoke_simplifications)
+
+
+def shrink_candidates(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    """All one-step reductions of ``spec``, most aggressive first."""
+    for edit in _PASSES:
+        for stmts in _edit_stmts(spec.stmts, edit):
+            yield _with_stmts(spec, stmts)
+
+
+def shrink_spec(
+    spec: ProgramSpec,
+    still_fails: Callable[[ProgramSpec], bool],
+    max_attempts: int = 400,
+) -> ProgramSpec:
+    """Greedily minimize ``spec`` while ``still_fails`` holds.
+
+    ``still_fails`` should rebuild and re-check the candidate and return
+    True when the original failure (same oracle, same pipeline) reproduces.
+    Returns the smallest failing spec found within the attempt budget.
+    """
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for candidate in shrink_candidates(spec):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            if still_fails(candidate):
+                spec = candidate
+                progress = True
+                break
+    return spec

@@ -170,6 +170,46 @@ class TestLoopFieldHoisting:
         assert all(s.field_names == ("n",) for s in in_loop)
 
 
+    def test_post_launch_writer_not_hoisted(self):
+        """Regression (found by fuzzing): a loop-invariant field written
+        *after* the launch supplies the next iteration — iteration 0's
+        launch must keep seeing the pre-loop register contents, so the
+        write must not move in front of the loop."""
+        module = optimized(
+            """
+            func.func @f(%a : i64, %b : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %c2 = arith.constant 2 : index
+              %s0 = accfg.setup on "toyvec" ("op" = %a : i64) : !accfg.state<"toyvec">
+              scf.for %i = %c0 to %c2 step %c1 {
+                %s1 = accfg.setup on "toyvec" () : !accfg.state<"toyvec">
+                %t = accfg.launch %s1 : !accfg.token<"toyvec">
+                accfg.await %t
+                %s2 = accfg.setup on "toyvec" ("op" = %b : i64) : !accfg.state<"toyvec">
+                scf.yield
+              }
+              func.return
+            }
+            """
+        )
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        fn = module.regions[0].block.ops[0]
+        b = fn.body.args[1]
+        writers = [
+            s
+            for s in setups(module)
+            if any(name == "op" and value is b for name, value in s.fields)
+        ]
+        assert writers, "the op=%b write disappeared entirely"
+        for writer in writers:
+            assert writer.parent is loop.body
+            launch = next(
+                op for op in loop.body.ops if isinstance(op, accfg.LaunchOp)
+            )
+            assert launch.is_before_in_block(writer)
+
+
 class TestBranchHoisting:
     def test_setup_after_if_hoisted_into_branches(self):
         module = parse_module(
@@ -320,3 +360,36 @@ class TestKnownFieldsAnalysis:
         # ptr_x survives the back edge; n is overwritten with a body value.
         assert "ptr_x" in known.fields
         assert "n" not in known.fields
+
+    def test_query_order_does_not_poison_cache(self):
+        """Regression (found by fuzzing): resolving a nested loop-carried
+        state first must not cache the optimistic partial results of its
+        cycle — a later query for the outer loop's result would then claim
+        the body's ``ptr_y`` overwrite never happened."""
+        module = parse_module(
+            """
+            func.func @f(%x : i64, %y : i64) -> () {
+              %c0 = arith.constant 0 : index
+              %c1 = arith.constant 1 : index
+              %s0 = accfg.setup on "toyvec" ("ptr_y" = %x : i64) : !accfg.state<"toyvec">
+              %r = scf.for %i = %c0 to %c1 step %c1 iter_args(%st = %s0) -> (!accfg.state<"toyvec">) {
+                %s1 = accfg.setup on "toyvec" from %st ("ptr_y" = %y : i64) : !accfg.state<"toyvec">
+                %r2 = scf.for %j = %c0 to %c1 step %c1 iter_args(%st2 = %s1) -> (!accfg.state<"toyvec">) {
+                  %s2 = accfg.setup on "toyvec" from %st2 ("op" = %j : index) : !accfg.state<"toyvec">
+                  scf.yield %s2 : !accfg.state<"toyvec">
+                }
+                scf.yield %r2 : !accfg.state<"toyvec">
+              }
+              func.return
+            }
+            """
+        )
+        loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+        outer = next(loop for loop in loops if loop.parent_op.name == "func.func")
+        inner = next(loop for loop in loops if loop is not outer)
+        fresh = KnownFieldsAnalysis("toyvec")
+        expected = fresh.known(outer.results[0])
+        assert "ptr_y" not in expected.fields  # %x vs %y disagree
+        primed = KnownFieldsAnalysis("toyvec")
+        primed.known(inner.iter_args[0])  # the poisoning query order
+        assert primed.known(outer.results[0]).fields == expected.fields

@@ -267,6 +267,80 @@ class TestNoCrossLaunchMotion:
         assert (run("none") == run("full")).all()
 
 
+class TestNoPhantomEpilogueWrite:
+    """Regression (found by fuzzing): the rotated next-iteration setup must
+    not leak out of the loop.  In the plain rotation the last iteration
+    executes the setup for iteration ``ub`` — a configuration the original
+    program never wrote — and a post-loop launch relying on register
+    retention observes it.  When the loop's state result is used, the pass
+    peels the final launch/await out of the loop instead."""
+
+    OBSERVED_TEXT = """
+    func.func @f() -> () {
+      %c0 = arith.constant 0 : index
+      %c1 = arith.constant 1 : index
+      %c3 = arith.constant 3 : index
+      %init = accfg.setup on "toyvec" () : !accfg.state<"toyvec">
+      %final = scf.for %i = %c0 to %c3 step %c1 iter_args(%s0 = %init) -> (!accfg.state<"toyvec">) {
+        %s = accfg.setup on "toyvec" from %s0 ("n" = %i : index) : !accfg.state<"toyvec">
+        %t = accfg.launch %s : !accfg.token<"toyvec">
+        accfg.await %t
+        scf.yield %s : !accfg.state<"toyvec">
+      }
+      %tail = accfg.setup on "toyvec" from %final () : !accfg.state<"toyvec">
+      %t2 = accfg.launch %tail : !accfg.token<"toyvec">
+      accfg.await %t2
+      func.return
+    }
+    """
+
+    def test_final_iteration_peeled_when_state_observed(self):
+        from repro.dialects import arith
+
+        module = parse_module(self.OBSERVED_TEXT)
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert pipeline_loop(loop, CONCURRENT)
+        verify_operation(module)
+        # The loop runs one fewer trip (ub - step) and the final launch and
+        # await move behind it, so no guard code runs per iteration.
+        assert isinstance(loop.ub.owner, arith.SubiOp)
+        assert not any(isinstance(op, scf.IfOp) for op in loop.body.ops)
+        parent = loop.parent
+        after = parent.ops[parent.index_of(loop) + 1 :]
+        # Peeled launch + await come right after the loop, consuming its
+        # state result, before the original tail setup.
+        assert isinstance(after[0], accfg.LaunchOp)
+        assert after[0].state is loop.results[0]
+        assert isinstance(after[1], accfg.AwaitOp)
+
+    def test_post_loop_launch_sees_last_iteration_config(self):
+        from repro.interp import run_module
+        from repro.sim import CoSimulator
+
+        def final_n(pipelined: bool) -> int:
+            module = parse_module(self.OBSERVED_TEXT)
+            if pipelined:
+                loop = next(
+                    op for op in module.walk() if isinstance(op, scf.ForOp)
+                )
+                assert pipeline_loop(loop, CONCURRENT)
+                verify_operation(module)
+            sim = CoSimulator(functional=False)
+            run_module(module, sim, function="f")
+            return sim.device("toyvec").registers["n"]
+
+        assert final_n(pipelined=True) == final_n(pipelined=False)
+
+    def test_unobserved_state_keeps_plain_rotation(self):
+        """When nothing after the loop reads the state, the cheaper
+        unguarded rotation is still used."""
+        module = prepared(LOOP_TEXT)
+        loop = next(op for op in module.walk() if isinstance(op, scf.ForOp))
+        assert pipeline_loop(loop, CONCURRENT)
+        assert any(isinstance(op, accfg.SetupOp) for op in loop.body.ops)
+        assert not any(isinstance(op, scf.IfOp) for op in loop.body.ops)
+
+
 class TestFullPass:
     def test_pass_is_idempotent(self):
         module = prepared(LOOP_TEXT)

@@ -1,201 +1,31 @@
 """Random accfg program generation for property-based testing.
 
-Generates random-but-valid toyvec programs: a sequence of accelerator
-invocations (some inside loops, some behind branches), where each invocation
-writes a random *subset* of the configuration fields — deliberately relying
-on configuration-register retention, which is exactly the behaviour the
-dedup pass must preserve.
+The generator was promoted into the shipped package as
+:mod:`repro.testing.generator` (it now also powers ``python -m repro fuzz``);
+this module re-exports the original surface so existing property tests keep
+importing from ``program_gen`` unchanged.
 """
 
-from __future__ import annotations
+from repro.testing.generator import (
+    FIELD_NAMES,
+    VECTOR_LENGTH,
+    BuiltProgram,
+    GeneratedProgram,
+    Invocation,
+    build,
+    golden_result,
+    invocations,
+    programs,
+)
 
-from dataclasses import dataclass
-
-import numpy as np
-from hypothesis import strategies as st
-
-from repro.ir import i64
-from repro.sim.memory import Memory
-from repro.workloads import build_function, new_module
-from repro.workloads.irgen import IRGen
-
-VECTOR_LENGTH = 16
-FIELD_NAMES = ("ptr_x", "ptr_y", "ptr_out", "n", "op")
-
-
-@dataclass(frozen=True)
-class Invocation:
-    """One setup(+launch+await) with a subset of fields."""
-
-    fields: tuple[tuple[str, int], ...]  # name -> symbolic value index
-    launch: bool
-    # 0 = straight-line; >0 = loop with that many trips; -1 = a loop whose
-    # bounds make it execute ZERO times (registers must stay untouched).
-    loop_trips: int
-    guarded: bool = False  # wrapped in `scf.if %cond`
-    accelerator: str = "toyvec"  # or the sequential twin "toyvec-seq"
-
-
-@dataclass
-class GeneratedProgram:
-    invocations: tuple[Invocation, ...]
-    cond_value: bool = True  # runtime value of the opaque branch condition
-
-
-@st.composite
-def invocations(draw) -> Invocation:
-    chosen = draw(
-        st.lists(
-            st.sampled_from(FIELD_NAMES), min_size=0, max_size=5, unique=True
-        )
-    )
-    fields = tuple(
-        (name, draw(st.integers(min_value=0, max_value=2))) for name in chosen
-    )
-    launch = draw(st.booleans())
-    loop_trips = draw(st.sampled_from([0, 0, 0, 1, 2, 3, -1]))
-    guarded = draw(st.sampled_from([False, False, False, True]))
-    accelerator = draw(st.sampled_from(["toyvec", "toyvec", "toyvec-seq"]))
-    return Invocation(fields, launch, loop_trips, guarded, accelerator)
-
-
-def programs() -> st.SearchStrategy[GeneratedProgram]:
-    return st.builds(
-        GeneratedProgram,
-        st.lists(invocations(), min_size=1, max_size=6).map(tuple),
-        st.booleans(),
-    )
-
-
-@dataclass
-class BuiltProgram:
-    module: object
-    memory: Memory
-    buffers: list
-    out_buffers: list
-
-
-def build(program: GeneratedProgram, seed: int = 0) -> BuiltProgram:
-    """Emit the IR for a generated program, with a fresh memory image."""
-    memory = Memory()
-    rng = np.random.default_rng(seed)
-    buffers = [
-        memory.place(rng.integers(-100, 100, VECTOR_LENGTH, dtype=np.int32))
-        for _ in range(2)
-    ]
-    out_buffers = [memory.alloc(VECTOR_LENGTH, np.int32) for _ in range(2)]
-    module = new_module()
-
-    def field_value(gen: IRGen, name: str, index: int) -> object:
-        if name == "ptr_x" or name == "ptr_y":
-            return gen.const(buffers[index % len(buffers)].addr, i64)
-        if name == "ptr_out":
-            return gen.const(out_buffers[index % len(out_buffers)].addr, i64)
-        if name == "n":
-            return gen.const((4, 8, VECTOR_LENGTH)[index % 3], i64)
-        return gen.const(index % 3, i64)  # op
-
-    from repro.ir import i1, index
-
-    # main(%cond : i1, %rt_zero : index) — %rt_zero is always 0 at runtime
-    # but opaque to the optimizer (used as a zero-trip loop bound).
-    with build_function(module, "main", input_types=[i1, index]) as (gen, args):
-        (cond, rt_zero) = args
-        # A safe initial full configuration (per accelerator) so partial
-        # updates always act on defined registers.
-        for accel in ("toyvec", "toyvec-seq"):
-            gen.setup(
-                accel,
-                [
-                    ("ptr_x", gen.const(buffers[0].addr, i64)),
-                    ("ptr_y", gen.const(buffers[1].addr, i64)),
-                    ("ptr_out", gen.const(out_buffers[0].addr, i64)),
-                    ("n", gen.const(VECTOR_LENGTH, i64)),
-                    ("op", gen.const(0, i64)),
-                ],
-            )
-        zero = gen.const(0)
-        one = gen.const(1)
-        for invocation in program.invocations:
-            def emit_body(gen: IRGen) -> None:
-                fields = [
-                    (name, field_value(gen, name, index))
-                    for name, index in invocation.fields
-                ]
-                inner = gen.setup(invocation.accelerator, fields)
-                if invocation.launch:
-                    token = gen.launch(inner)
-                    gen.await_(token)
-
-            def emit_maybe_looped(gen: IRGen) -> None:
-                if invocation.loop_trips == -1:
-                    # A zero-trip loop: ub = the opaque runtime zero, so the
-                    # optimizer cannot prove the trip count and the hoisting
-                    # guards stay exercised.
-                    with gen.loop(zero, rt_zero, one):
-                        emit_body(gen)
-                elif invocation.loop_trips:
-                    trips = gen.const(invocation.loop_trips)
-                    with gen.loop(zero, trips, one):
-                        emit_body(gen)
-                else:
-                    emit_body(gen)
-
-            if invocation.guarded:
-                from repro.dialects import scf
-                from repro.ir.builder import Builder, InsertPoint
-
-                if_op = gen.builder.insert(scf.IfOp.create(cond))
-                inner_gen = IRGen(Builder.at_end(if_op.then_block))
-                emit_maybe_looped(inner_gen)
-                inner_gen.builder.insert(scf.YieldOp.create())
-            else:
-                emit_maybe_looped(gen)
-    return BuiltProgram(module, memory, buffers, out_buffers)
-
-
-def golden_result(program: GeneratedProgram, seed: int = 0) -> list[np.ndarray]:
-    """Reference semantics: simulate the register file in plain Python."""
-    built = build(program, seed)  # fresh image, never executed
-    memory = built.memory
-    register_files = {
-        accel: {
-            "ptr_x": built.buffers[0].addr,
-            "ptr_y": built.buffers[1].addr,
-            "ptr_out": built.out_buffers[0].addr,
-            "n": VECTOR_LENGTH,
-            "op": 0,
-        }
-        for accel in ("toyvec", "toyvec-seq")
-    }
-
-    def value_of(name: str, index: int) -> int:
-        if name in ("ptr_x", "ptr_y"):
-            return built.buffers[index % 2].addr
-        if name == "ptr_out":
-            return built.out_buffers[index % 2].addr
-        if name == "n":
-            return (4, 8, VECTOR_LENGTH)[index % 3]
-        return index % 3
-
-    def do_launch(registers: dict) -> None:
-        n = registers["n"]
-        x = memory.read_matrix(registers["ptr_x"], 1, n, n, np.int32)[0]
-        y = memory.read_matrix(registers["ptr_y"], 1, n, n, np.int32)[0]
-        op = registers["op"]
-        out = x + y if op == 0 else x * y if op == 1 else np.maximum(x, y)
-        memory.write_matrix(registers["ptr_out"], out.reshape(1, n), n)
-
-    for invocation in program.invocations:
-        if invocation.guarded and not program.cond_value:
-            continue
-        if invocation.loop_trips == -1:
-            continue  # a zero-trip loop never runs its body
-        registers = register_files[invocation.accelerator]
-        trips = invocation.loop_trips if invocation.loop_trips else 1
-        for _ in range(trips):
-            for name, index in invocation.fields:
-                registers[name] = value_of(name, index)
-            if invocation.launch:
-                do_launch(registers)
-    return [buf.array.copy() for buf in built.out_buffers]
+__all__ = [
+    "FIELD_NAMES",
+    "VECTOR_LENGTH",
+    "BuiltProgram",
+    "GeneratedProgram",
+    "Invocation",
+    "build",
+    "golden_result",
+    "invocations",
+    "programs",
+]

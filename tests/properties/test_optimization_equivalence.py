@@ -63,6 +63,24 @@ def test_overlap_preserves_semantics(program):
 
 @RELAXED
 @given(programs())
+def test_licm_preserves_semantics(program):
+    baseline, _ = run_with_pipeline(program, "none")
+    optimized, _ = run_with_pipeline(program, "licm")
+    for a, b in zip(baseline, optimized):
+        assert (a == b).all()
+
+
+@RELAXED
+@given(programs())
+def test_unroll_pipeline_preserves_semantics(program):
+    baseline, _ = run_with_pipeline(program, "none")
+    optimized, _ = run_with_pipeline(program, "unroll")
+    for a, b in zip(baseline, optimized):
+        assert (a == b).all()
+
+
+@RELAXED
+@given(programs())
 def test_full_pipeline_preserves_semantics(program):
     baseline, _ = run_with_pipeline(program, "none")
     optimized, _ = run_with_pipeline(program, "full")
@@ -85,7 +103,7 @@ def test_dedup_never_increases_executed_config_writes(program):
 def test_launch_count_invariant(program):
     """No pipeline may drop or duplicate accelerator launches."""
     _, base_sim = run_with_pipeline(program, "none")
-    for pipeline in ("baseline", "dedup", "overlap", "full"):
+    for pipeline in ("baseline", "licm", "unroll", "dedup", "overlap", "full"):
         _, opt_sim = run_with_pipeline(program, pipeline)
         for accelerator in ("toyvec", "toyvec-seq"):
             assert (

@@ -1,0 +1,125 @@
+"""Tests for the ``python -m repro fuzz`` subcommand."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.testing import ReproducerMeta, write_reproducer
+from repro.testing.generator import Invoke, ProgramSpec, build_spec
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--seed",
+                "0",
+                "--iterations",
+                "3",
+                "--backend",
+                "toyvec",
+                "--corpus-dir",
+                str(tmp_path / "corpus"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failures     : 0" in out
+
+    def test_pipeline_filter_always_includes_references(self, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--iterations",
+                "1",
+                "--backend",
+                "toyvec",
+                "--pipeline",
+                "full",
+                "--no-corpus",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pipelines: baseline, full, none" in out
+
+    def test_unknown_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--backend", "bogus"])
+
+    def test_selftest_exits_zero_and_reports_catch(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--selftest",
+                "--corpus-dir",
+                str(tmp_path / "corpus"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CAUGHT" in out
+        assert "replays to the same failure" in out
+
+
+class TestReplayCommand:
+    def _write_clean_reproducer(self, tmp_path) -> str:
+        spec = ProgramSpec(
+            backend="toyvec", stmts=(Invoke("toyvec", (), launch=True),)
+        )
+        built = build_spec(spec, memory_seed=5)
+        meta = ReproducerMeta(
+            backend="toyvec",
+            pipeline="full",
+            oracle="functional",
+            seed=5,
+            memory_seed=5,
+            args=tuple(built.args),
+            message="stale failure",
+        )
+        return write_reproducer(str(tmp_path), meta, str(built.module))
+
+    def test_replay_of_fixed_bug_reports_clean(self, tmp_path, capsys):
+        path = self._write_clean_reproducer(tmp_path)
+        code = main(["fuzz", "--replay", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replays clean" in out
+
+    def test_replay_missing_file_exits_two(self, capsys):
+        code = main(["fuzz", "--replay", "/does/not/exist.mlir"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_replay_of_still_failing_bug_exits_one(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """When the recorded failure still reproduces the command exits 1
+        and prints it (a clean tree has no genuinely failing reproducer for
+        a registered pipeline, so stub the replay result)."""
+        import repro.testing as testing
+        from repro.testing import OracleFailure
+
+        path = self._write_clean_reproducer(tmp_path)
+        monkeypatch.setattr(
+            testing,
+            "replay",
+            lambda p: [OracleFailure("functional", "full", "still diverges")],
+        )
+        code = main(["fuzz", "--replay", path])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "still diverges" in out
+
+    def test_corpus_files_written_on_failure_are_replayable(self, tmp_path):
+        """End-to-end through the CLI: selftest writes a corpus file whose
+        name encodes the coordinates."""
+        corpus = tmp_path / "corpus"
+        assert main(["fuzz", "--selftest", "--corpus-dir", str(corpus)]) == 0
+        files = os.listdir(corpus)
+        assert len(files) == 1
+        assert files[0].startswith("toyvec-dedup-broken-functional-s")
+        assert files[0].endswith(".mlir")

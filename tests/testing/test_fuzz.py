@@ -1,0 +1,107 @@
+"""Tests for the fuzz driver and its selftest (repro.testing.fuzz)."""
+
+import os
+
+from repro.passes import PIPELINES
+from repro.testing import (
+    broken_dedup_pipeline,
+    fuzz,
+    program_seed,
+    replay,
+    run_selftest,
+)
+
+
+class TestProgramSeed:
+    def test_process_independent_and_distinct(self):
+        # Values are a stable contract: reproducer seeds must mean the same
+        # thing in every interpreter session (no salted hash()).
+        assert program_seed(0, "toyvec", 0) == program_seed(0, "toyvec", 0)
+        seeds = {
+            program_seed(s, backend, i)
+            for s in range(3)
+            for backend in ("toyvec", "gemmini", "opengemm")
+            for i in range(10)
+        }
+        assert len(seeds) == 90
+
+    def test_backend_changes_the_stream(self):
+        assert program_seed(0, "toyvec", 1) != program_seed(0, "gemmini", 1)
+
+
+class TestCleanFuzz:
+    def test_registered_pipelines_survive_smoke_run(self):
+        report = fuzz(seed=0, iterations=8, corpus_dir=None)
+        assert report.ok, report.summary()
+        assert report.programs_run == 8 * 3  # three backend profiles
+
+    def test_backend_filter(self):
+        report = fuzz(seed=0, iterations=2, backends=("gemmini",), corpus_dir=None)
+        assert report.backends == ("gemmini",)
+        assert report.programs_run == 2
+
+    def test_unknown_backend_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown backend"):
+            fuzz(backends=("not-a-backend",), corpus_dir=None)
+
+
+class TestBrokenPassDetection:
+    def test_broken_dedup_caught_shrunk_and_replayable(self, tmp_path):
+        corpus = str(tmp_path / "corpus")
+        pipelines = {
+            "none": PIPELINES["none"],
+            "baseline": PIPELINES["baseline"],
+            "dedup-broken": broken_dedup_pipeline,
+        }
+        report = fuzz(
+            seed=0,
+            iterations=25,
+            backends=("toyvec",),
+            pipelines=pipelines,
+            corpus_dir=corpus,
+            max_failures=1,
+        )
+        assert not report.ok
+        finding = report.failures[0]
+        assert finding.failure.pipeline == "dedup-broken"
+        assert finding.failure.oracle == "functional"
+        # Shrinking got it down to a handful of invocations.
+        assert finding.spec.count_invokes() <= 3
+        # The reproducer exists and replays to the same failure.
+        assert finding.reproducer_path and os.path.exists(finding.reproducer_path)
+        observed = replay(
+            finding.reproducer_path,
+            pipelines={"dedup-broken": broken_dedup_pipeline},
+        )
+        assert any(
+            f.oracle == finding.failure.oracle
+            and f.pipeline == finding.failure.pipeline
+            for f in observed
+        )
+
+    def test_selftest_end_to_end(self, tmp_path):
+        result = run_selftest(corpus_dir=str(tmp_path / "corpus"))
+        assert result.caught
+        assert result.replayed
+        assert result.ok
+        assert "CAUGHT" in result.summary()
+
+    def test_max_failures_stops_early(self):
+        pipelines = {
+            "none": PIPELINES["none"],
+            "baseline": PIPELINES["baseline"],
+            "dedup-broken": broken_dedup_pipeline,
+        }
+        report = fuzz(
+            seed=0,
+            iterations=50,
+            backends=("toyvec",),
+            pipelines=pipelines,
+            corpus_dir=None,
+            shrink=False,
+            max_failures=2,
+        )
+        assert len(report.failures) == 2
+        assert report.programs_run < 50

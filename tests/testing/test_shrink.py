@@ -1,0 +1,117 @@
+"""Tests for greedy structural shrinking (repro.testing.shrink)."""
+
+import random
+
+from repro.testing import (
+    Branch,
+    FieldWrite,
+    Invoke,
+    Loop,
+    ProgramSpec,
+    generate_spec,
+    shrink_candidates,
+    shrink_spec,
+    walk_invokes,
+)
+
+
+def _size(spec: ProgramSpec) -> tuple[int, int, int, int]:
+    def nodes(stmts) -> int:
+        total = 0
+        for stmt in stmts:
+            total += 1
+            if isinstance(stmt, Loop):
+                total += nodes(stmt.body)
+            elif isinstance(stmt, Branch):
+                total += nodes(stmt.then) + nodes(stmt.orelse)
+        return total
+
+    def trips(stmts) -> int:
+        total = 0
+        for stmt in stmts:
+            if isinstance(stmt, Loop):
+                total += max(stmt.trips, 0) + trips(stmt.body)
+            elif isinstance(stmt, Branch):
+                total += trips(stmt.then) + trips(stmt.orelse)
+        return total
+
+    fields = sum(len(inv.fields) for inv in walk_invokes(spec.stmts))
+    flags = sum(
+        inv.launch + sum(f.dynamic for f in inv.fields)
+        for inv in walk_invokes(spec.stmts)
+    )
+    return (nodes(spec.stmts), fields, flags, trips(spec.stmts))
+
+
+NESTED = ProgramSpec(
+    backend="toyvec",
+    stmts=(
+        Invoke("toyvec", (FieldWrite("op", 1),), launch=True),
+        Loop(
+            3,
+            (
+                Invoke("toyvec", (FieldWrite("n", 0), FieldWrite("op", 2)),),
+                Branch((Invoke("toyvec-seq", (), launch=True),)),
+            ),
+        ),
+    ),
+)
+
+
+class TestCandidates:
+    def test_every_candidate_is_strictly_smaller(self):
+        for seed in range(20):
+            spec = generate_spec(random.Random(seed), "toyvec")
+            original = _size(spec)
+            for candidate in shrink_candidates(spec):
+                assert _size(candidate) < original
+
+    def test_candidates_preserve_backend_and_condition(self):
+        for candidate in shrink_candidates(NESTED):
+            assert candidate.backend == NESTED.backend
+            assert candidate.cond_value == NESTED.cond_value
+
+    def test_deletion_comes_before_field_dropping(self):
+        first = next(shrink_candidates(NESTED))
+        # The first candidate deletes a whole top-level statement.
+        assert len(first.stmts) == len(NESTED.stmts) - 1
+
+
+class TestShrinkSpec:
+    def test_shrinks_to_single_relevant_invoke(self):
+        """A predicate caring only about one accelerator's invocation
+        reduces the nested program to just that."""
+
+        def still_fails(spec: ProgramSpec) -> bool:
+            return any(
+                inv.accelerator == "toyvec-seq"
+                for inv in walk_invokes(spec.stmts)
+            )
+
+        shrunk = shrink_spec(NESTED, still_fails)
+        assert still_fails(shrunk)
+        invokes = list(walk_invokes(shrunk.stmts))
+        assert len(invokes) == 1
+        assert invokes[0].accelerator == "toyvec-seq"
+        assert _size(shrunk) <= _size(NESTED)
+
+    def test_predicate_never_true_returns_original(self):
+        shrunk = shrink_spec(NESTED, lambda spec: False)
+        assert shrunk == NESTED
+
+    def test_respects_attempt_budget(self):
+        calls = 0
+
+        def expensive(spec: ProgramSpec) -> bool:
+            nonlocal calls
+            calls += 1
+            return True
+
+        shrink_spec(NESTED, expensive, max_attempts=5)
+        assert calls <= 6
+
+    def test_terminates_on_generated_programs(self):
+        for seed in range(10):
+            spec = generate_spec(random.Random(seed), "gemmini")
+            shrunk = shrink_spec(spec, lambda s: s.count_invokes() >= 1)
+            assert shrunk.count_invokes() == 1
