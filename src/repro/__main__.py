@@ -122,30 +122,69 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(result.summary())
         return 0 if result.ok else 1
 
-    pipelines = None
+    pipeline_names = None
     if args.pipeline:
         # The functional/timing oracles are differential: they always need
         # the reference pipelines next to the ones under test.
-        names = {"none", "baseline", *args.pipeline}
-        pipelines = {name: PIPELINES[name] for name in sorted(names)}
-    report = fuzz(
-        seed=args.seed,
-        iterations=args.iterations,
-        backends=tuple(args.backend) if args.backend else None,
-        pipelines=pipelines,
-        corpus_dir=None if args.no_corpus else args.corpus_dir,
-        shrink=not args.no_shrink,
-        max_stmts=args.max_stmts,
-        on_progress=print,
-    )
+        pipeline_names = tuple(sorted({"none", "baseline", *args.pipeline}))
+    if args.jobs > 1:
+        from .testing import fuzz_sharded
+
+        report = fuzz_sharded(
+            jobs=args.jobs,
+            seed=args.seed,
+            iterations=args.iterations,
+            backends=tuple(args.backend) if args.backend else None,
+            pipeline_names=pipeline_names,
+            corpus_dir=None if args.no_corpus else args.corpus_dir,
+            shrink=not args.no_shrink,
+            max_stmts=args.max_stmts,
+            on_progress=print,
+            engine=args.engine,
+        )
+    else:
+        pipelines = (
+            {name: PIPELINES[name] for name in pipeline_names}
+            if pipeline_names is not None
+            else None
+        )
+        report = fuzz(
+            seed=args.seed,
+            iterations=args.iterations,
+            backends=tuple(args.backend) if args.backend else None,
+            pipelines=pipelines,
+            corpus_dir=None if args.no_corpus else args.corpus_dir,
+            shrink=not args.no_shrink,
+            max_stmts=args.max_stmts,
+            on_progress=print,
+            engine=args.engine,
+        )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.out:
+        argv.extend(["--out", args.out])
+    if args.check:
+        argv.extend(["--check", args.check])
+    if args.freeze_baseline:
+        argv.append("--freeze-baseline")
+    return bench.main(argv)
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import runner
 
-    runner.main(["--quick"] if args.quick else [])
+    argv = ["--quick"] if args.quick else []
+    if args.jobs != 1:
+        argv.extend(["--jobs", str(args.jobs)])
+    runner.main(argv)
     return 0
 
 
@@ -262,6 +301,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="top-level statement budget per generated program (default 6)",
     )
     fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; the iteration range is sharded by seed, so "
+        "the findings match a sequential run (default 1)",
+    )
+    fuzz.add_argument(
+        "--engine",
+        default="trace",
+        choices=["trace", "tree", "both"],
+        help="execution engine for the oracles: 'trace' (compiled traces, "
+        "cross-checked against the tree interpreter), 'tree', or 'both' "
+        "(default: trace)",
+    )
+    fuzz.add_argument(
         "--replay",
         metavar="FILE",
         help="replay one corpus reproducer instead of fuzzing",
@@ -273,10 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.set_defaults(func=cmd_fuzz)
 
+    bench = sub.add_parser(
+        "bench", help="benchmark compile/simulate/fuzz throughput"
+    )
+    bench.add_argument("--quick", action="store_true", help="fewer reps")
+    bench.add_argument("--out", default="BENCH_engine.json")
+    bench.add_argument(
+        "--check", metavar="FILE", help="fail on regression vs this baseline"
+    )
+    bench.add_argument("--freeze-baseline", action="store_true")
+    bench.set_defaults(func=cmd_bench)
+
     experiments = sub.add_parser(
         "experiments", help="regenerate every table and figure"
     )
     experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the size sweeps (one sweep point per "
+        "worker; default 1)",
+    )
     experiments.set_defaults(func=cmd_experiments)
 
     for name, module_name in (

@@ -10,6 +10,10 @@ Three pieces:
 * :mod:`repro.analysis.lints` (+ :mod:`repro.analysis.roofline_lint`,
   :mod:`repro.analysis.linearity`) — the ACCFG001..ACCFG010 lint suite,
   run via :func:`run_lints` or ``python -m repro lint``.
+
+:mod:`repro.analysis.manager` adds :class:`AnalysisManager`, the per-scope
+analysis cache the pass manager and lints share (recomputation happens only
+when a pass reports mutating the analyzed scope).
 """
 
 from .dataflow import (
@@ -29,8 +33,10 @@ from .diagnostics import (
 )
 from .linearity import linearity_diagnostics, unknown_accelerator_diagnostics
 from .lints import LINT_RULES, LintContext, LintRule, register_lint, run_lints
+from .manager import AnalysisManager
 
 __all__ = [
+    "AnalysisManager",
     "AwaitedTokensAnalysis",
     "FieldSet",
     "ForwardSolver",

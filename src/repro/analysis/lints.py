@@ -24,15 +24,15 @@ ACCFG010  config-roofline           warning
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..dialects import accfg, func, scf
 from ..ir.operation import Operation
 from ..ir.ssa import SSAValue
-from .dataflow import AwaitedTokensAnalysis, KnownFieldsAnalysis, ObservedFieldsAnalysis
 from .diagnostics import Diagnostic, DiagnosticEngine
 from .linearity import linearity_diagnostics, unknown_accelerator_diagnostics
+from .manager import AnalysisManager
 
 
 @dataclass
@@ -41,6 +41,11 @@ class LintContext:
 
     #: restrict target-specific lints (roofline) to one accelerator
     target: str | None = None
+    #: analysis cache shared across rules (and, when the caller passes one
+    #: in, with the surrounding pass pipeline)
+    analyses: AnalysisManager = field(default_factory=AnalysisManager)
+    #: the code filter of this run (None = every rule runs)
+    codes: set[str] | None = None
 
 
 LintFn = Callable[[Operation, LintContext, DiagnosticEngine], None]
@@ -71,8 +76,14 @@ def run_lints(
     module: Operation,
     target: str | None = None,
     codes: set[str] | None = None,
+    analyses: AnalysisManager | None = None,
 ) -> list[Diagnostic]:
-    """Run every registered lint (or just ``codes``) over ``module``."""
+    """Run every registered lint (or just ``codes``) over ``module``.
+
+    ``analyses`` lets a caller (typically the pass manager) share its
+    analysis cache with the lint rules; by default each run uses a private
+    cache, still shared *between* rules of the same run.
+    """
     if codes is not None:
         unknown = codes - set(LINT_RULES)
         if unknown:
@@ -81,7 +92,9 @@ def run_lints(
                 f"unknown lint code(s) {', '.join(sorted(unknown))} (known: {known})"
             )
     engine = DiagnosticEngine()
-    context = LintContext(target=target)
+    if analyses is None:
+        analyses = AnalysisManager()
+    context = LintContext(target=target, analyses=analyses, codes=codes)
     for code in sorted(LINT_RULES):
         if codes is not None and code not in codes:
             continue
@@ -180,8 +193,7 @@ def _check_double_await(
     module: Operation, context: LintContext, engine: DiagnosticEngine
 ) -> None:
     for fn in _functions(module):
-        analysis = AwaitedTokensAnalysis()
-        analysis.run_function(fn)
+        analysis = context.analyses.awaited_tokens(fn)
         for op in fn.walk():
             if not isinstance(op, accfg.AwaitOp):
                 continue
@@ -269,9 +281,11 @@ def _check_forked_chain(
 def _check_superseded_launch(
     module: Operation, context: LintContext, engine: DiagnosticEngine
 ) -> None:
-    # ACCFG004's walk already emitted both codes; the engine deduplicates if
-    # both rules run, but honor `--filter ACCFG005` running alone.
-    linearity_diagnostics(module, engine)
+    # ACCFG004's walk already emitted both codes, so re-walking here would
+    # only produce duplicates for the engine to drop; run the walk only when
+    # a `--filter ACCFG005` selection excludes ACCFG004.
+    if context.codes is not None and "ACCFG004" not in context.codes:
+        linearity_diagnostics(module, engine)
 
 
 @register_lint(
@@ -298,7 +312,7 @@ def _check_unknown_accelerator(
 def _check_dead_setup_fields(
     module: Operation, context: LintContext, engine: DiagnosticEngine
 ) -> None:
-    analysis = ObservedFieldsAnalysis()
+    analysis = context.analyses.observed_fields(module)
     for op in module.walk():
         if not isinstance(op, accfg.SetupOp) or not op.fields:
             continue
@@ -331,13 +345,10 @@ def _check_dead_setup_fields(
 def _check_redundant_setup_fields(
     module: Operation, context: LintContext, engine: DiagnosticEngine
 ) -> None:
-    analyses: dict[str, KnownFieldsAnalysis] = {}
     for op in module.walk():
         if not isinstance(op, accfg.SetupOp) or op.in_state is None:
             continue
-        analysis = analyses.setdefault(
-            op.accelerator, KnownFieldsAnalysis(op.accelerator)
-        )
+        analysis = context.analyses.known_fields(module, op.accelerator)
         known = analysis.known(op.in_state)
         redundant = [
             name for name, value in op.fields if known.fields.get(name) is value
@@ -382,20 +393,32 @@ def _check_pessimistic_clobber(
     from ..passes.trace_states import op_preserves_state
 
     for fn in _functions(module):
+        all_ops = list(fn.walk())
         used: set[str] = set()
-        for op in fn.walk():
+        for op in all_ops:
             used |= _accfg_accelerators(op)
         if not used:
             continue
-        for block_op in fn.walk():
+        # One bottom-up sweep marks every op whose subtree contains an accfg
+        # op (walk() is pre-order, so reversed order sees children first) —
+        # replacing the former per-op nested re-walks.
+        has_accfg: dict[Operation, bool] = {}
+        for op in reversed(all_ops):
+            flag = bool(_accfg_accelerators(op))
+            if not flag and op.regions:
+                flag = any(
+                    has_accfg.get(nested, False)
+                    for region in op.regions
+                    for block in region.blocks
+                    for nested in block.ops
+                )
+            has_accfg[op] = flag
+        for block_op in all_ops:
             for region in block_op.regions:
                 for block in region.blocks:
                     ops = list(block.ops)
                     accfg_positions = [
-                        i
-                        for i, op in enumerate(ops)
-                        if _accfg_accelerators(op)
-                        or any(_accfg_accelerators(n) for n in op.walk())
+                        i for i, op in enumerate(ops) if has_accfg.get(op, False)
                     ]
                     if len(accfg_positions) < 2:
                         continue

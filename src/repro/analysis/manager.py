@@ -1,0 +1,122 @@
+"""Analysis caching across passes.
+
+The dataflow analyses in :mod:`.dataflow` (known fields, awaited tokens,
+observed fields) are demand-driven and internally memoized, but historically
+every pass and every lint built its own instance — recompute-per-pass.  The
+:class:`AnalysisManager` caches analysis instances keyed on the IR scope
+they were computed over (a function, or a whole module), so consecutive
+passes that leave a scope untouched share one computation.
+
+Invalidation is driven by the :class:`~repro.passes.PassManager`: a pass
+reports what it mutated (nothing / everything / a specific set of
+functions), and only entries whose scope overlaps the mutated ops are
+dropped.  Analyses cache facts about concrete ``Operation``/``SSAValue``
+objects, so an entry is only ever valid for the exact op identity it was
+keyed on — cloned or re-parsed modules always miss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..ir.operation import Operation
+from .dataflow import (
+    AwaitedTokensAnalysis,
+    KnownFieldsAnalysis,
+    ObservedFieldsAnalysis,
+)
+
+
+def _is_related(a: Operation, b: Operation) -> bool:
+    """True when one op is (or contains) the other."""
+    current: Operation | None = a
+    while current is not None:
+        if current is b:
+            return True
+        current = current.parent_op
+    current = b
+    while current is not None:
+        if current is a:
+            return True
+        current = current.parent_op
+    return False
+
+
+class AnalysisManager:
+    """Per-scope cache of dataflow analysis instances."""
+
+    def __init__(self) -> None:
+        #: (id(scope op), kind) -> analysis instance
+        self._entries: dict[tuple[int, object], object] = {}
+        #: id(scope op) -> scope op (pins identity so ids stay unique)
+        self._scopes: dict[int, Operation] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, scope: Operation, kind: object, factory: Callable[[], object]):
+        """The cached analysis for ``(scope, kind)``, building on first use."""
+        key = (id(scope), kind)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            entry = factory()
+            self._entries[key] = entry
+            self._scopes[id(scope)] = scope
+        else:
+            self.hits += 1
+        return entry
+
+    # -- the analyses the passes and lints share -------------------------
+
+    def known_fields(self, scope: Operation, accelerator: str) -> KnownFieldsAnalysis:
+        return self.get(
+            scope,
+            ("known-fields", accelerator),
+            lambda: KnownFieldsAnalysis(accelerator),
+        )
+
+    def awaited_tokens(self, fn: Operation) -> AwaitedTokensAnalysis:
+        def build() -> AwaitedTokensAnalysis:
+            analysis = AwaitedTokensAnalysis()
+            analysis.run_function(fn)
+            return analysis
+
+        return self.get(fn, "awaited-tokens", build)
+
+    def observed_fields(self, scope: Operation) -> ObservedFieldsAnalysis:
+        return self.get(scope, "observed-fields", ObservedFieldsAnalysis)
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate(self, mutated: Iterable[Operation] | None = None) -> None:
+        """Drop entries made stale by mutating ``mutated`` (all, if None).
+
+        An entry is stale when its scope contains, or is contained in, a
+        mutated op — a module-scoped analysis dies when any of its functions
+        changes, and a function-scoped analysis dies when the whole module
+        is rewritten.
+        """
+        if mutated is None:
+            self._entries.clear()
+            self._scopes.clear()
+            return
+        mutated = list(mutated)
+        if not mutated:
+            return
+        stale_scopes = {
+            scope_id
+            for scope_id, scope in self._scopes.items()
+            if any(_is_related(scope, op) for op in mutated)
+        }
+        if not stale_scopes:
+            return
+        self._entries = {
+            key: entry
+            for key, entry in self._entries.items()
+            if key[0] not in stale_scopes
+        }
+        for scope_id in stale_scopes:
+            del self._scopes[scope_id]

@@ -26,6 +26,8 @@ from ..isa.encoding import FieldSpec
 from ..isa.instructions import HostCostModel, Instr
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Sequence
+
     from ..sim.memory import Memory
 
 
@@ -86,6 +88,40 @@ class AcceleratorSpec(ABC):
         from ..isa.instructions import sync_instr
 
         return [sync_instr("poll", self.name)]
+
+    # -- memoized instruction streams ---------------------------------------
+
+    def _cached_instrs(self, kind: str, key: tuple, build) -> list[Instr]:
+        # Instruction streams are pure functions of the field-name tuple and
+        # Instr records are frozen, so one spec-local cache hands out shared
+        # tuples; callers get a fresh list they are free to extend.
+        cache = self.__dict__.get("_instr_cache")
+        if cache is None:
+            cache = self.__dict__["_instr_cache"] = {}
+        entry = cache.get((kind, key))
+        if entry is None:
+            entry = cache[(kind, key)] = tuple(build())
+        return list(entry)
+
+    def setup_instrs_cached(self, field_names: "Sequence[str]") -> list[Instr]:
+        """Memoized :meth:`setup_instrs` (the simulator hot path)."""
+        key = tuple(field_names)
+        return self._cached_instrs("setup", key, lambda: self.setup_instrs(list(key)))
+
+    def launch_field_instrs_cached(self, field_names: "Sequence[str]") -> list[Instr]:
+        """Memoized :meth:`launch_field_instrs`."""
+        key = tuple(field_names)
+        return self._cached_instrs(
+            "launch-fields", key, lambda: self.launch_field_instrs(list(key))
+        )
+
+    def launch_instrs_cached(self) -> list[Instr]:
+        """Memoized :meth:`launch_instrs`."""
+        return self._cached_instrs("launch", (), self.launch_instrs)
+
+    def sync_instrs_cached(self) -> list[Instr]:
+        """Memoized :meth:`sync_instrs`."""
+        return self._cached_instrs("sync", (), self.sync_instrs)
 
     def config_bytes(self, field_names: list[str]) -> int:
         """Configuration payload in bytes for the given fields."""

@@ -1,0 +1,307 @@
+"""Performance benchmark harness behind ``python -m repro bench``.
+
+Times the three throughput-bound paths of the reproduction on *pinned*
+workloads (fixed generator seeds, fixed rep counts, so numbers are
+comparable run to run):
+
+* ``compile``   — build + full pass pipeline over one pinned program per
+  backend (the per-pipeline cost every fuzz iteration and sweep point pays);
+* ``simulate``  — repeated execution of one pinned program per backend
+  against fresh memory images (the differential-oracle hot loop);
+* ``fuzz_iteration`` — end-to-end ``repro.testing.fuzz`` iterations across
+  all backends and all registered pipelines.
+
+Results are written to ``BENCH_engine.json``::
+
+    {
+      "schema": "bench-engine/1",
+      "meta": {... python/host info, calibration_ops_per_s ...},
+      "workloads": {name: {"wall_s", "programs_per_s", "cache_hit_rate"}},
+      "seed_baseline": {...}   # frozen pre-engine numbers, never overwritten
+    }
+
+``cache_hit_rate`` reports the compiled-trace cache of :mod:`repro.engine`
+(0.0 when the engine is absent or cold).  ``--check FILE`` implements the CI
+regression gate: the current ``fuzz_iteration`` throughput must stay within
+25% of the committed number after scaling both by the machine-speed
+calibration, so the gate compares machines on equal footing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+#: Tolerated fractional throughput loss before ``--check`` fails (the CI
+#: gate: "fails if fuzz-iteration throughput regresses >25%").
+REGRESSION_TOLERANCE = 0.25
+
+SCHEMA = "bench-engine/1"
+
+#: Pinned per-workload generator seeds; changing these invalidates every
+#: recorded baseline, so don't.
+PINNED_SEED = 20260806
+
+
+def calibrate(loops: int = 300_000) -> float:
+    """Machine-speed probe: pure-Python integer ops per second.
+
+    Used to rescale committed throughput numbers when the checking machine
+    is faster/slower than the recording machine.
+    """
+    started = time.perf_counter()
+    acc = 0
+    for i in range(loops):
+        acc = (acc + i * 3) & 0xFFFFFFFF
+    wall = time.perf_counter() - started
+    return loops / wall if wall > 0 else float("inf")
+
+
+def _trace_cache_stats() -> tuple[int, int]:
+    """(hits, misses) of the engine's compiled-trace cache, if present."""
+    try:
+        from .engine import TRACE_CACHE
+    except ImportError:
+        return (0, 0)
+    return (TRACE_CACHE.hits, TRACE_CACHE.misses)
+
+
+def _hit_rate(before: tuple[int, int], after: tuple[int, int]) -> float:
+    hits = after[0] - before[0]
+    misses = after[1] - before[1]
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def _pinned_programs() -> list:
+    """One pinned mid-size program spec per backend profile."""
+    import random
+    import zlib
+
+    from .testing.generator import PROFILES, generate_spec
+
+    specs = []
+    for backend in sorted(PROFILES):
+        rng = random.Random(PINNED_SEED + zlib.crc32(backend.encode()) % 1000)
+        specs.append(generate_spec(rng, backend, max_stmts=6))
+    return specs
+
+
+def bench_compile(quick: bool = False) -> dict:
+    """Build + optimize (``full`` pipeline) pinned programs, repeatedly."""
+    from .passes import PIPELINES
+    from .testing.generator import build_spec
+
+    specs = _pinned_programs()
+    reps = 4 if quick else 40
+    cache_before = _trace_cache_stats()
+    started = time.perf_counter()
+    programs = 0
+    for _ in range(reps):
+        for spec in specs:
+            built = build_spec(spec, memory_seed=PINNED_SEED)
+            PIPELINES["full"]().run(built.module)
+            programs += 1
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(programs / wall, 3) if wall else 0.0,
+        "cache_hit_rate": round(_hit_rate(cache_before, _trace_cache_stats()), 4),
+    }
+
+
+def bench_simulate(quick: bool = False) -> dict:
+    """Execute pinned (unoptimized) programs against fresh memory images."""
+    from .sim import CoSimulator
+    from .testing.generator import build_spec
+
+    specs = _pinned_programs()
+    reps = 8 if quick else 100
+    builds = [build_spec(spec, memory_seed=PINNED_SEED) for spec in specs]
+    try:
+        from .engine import run_module_traced as execute
+    except ImportError:
+        from .interp import run_module as execute
+    cache_before = _trace_cache_stats()
+    started = time.perf_counter()
+    programs = 0
+    for _ in range(reps):
+        for spec in specs:
+            built = build_spec(spec, memory_seed=PINNED_SEED)
+            sim = CoSimulator(memory=built.memory)
+            execute(built.module, sim, args=built.args)
+            programs += 1
+    wall = time.perf_counter() - started
+    del builds
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(programs / wall, 3) if wall else 0.0,
+        "cache_hit_rate": round(_hit_rate(cache_before, _trace_cache_stats()), 4),
+    }
+
+
+def bench_fuzz(quick: bool = False) -> dict:
+    """End-to-end fuzz iterations (all backends, all pipelines, no corpus)."""
+    from .testing import fuzz
+
+    iterations = 2 if quick else 25
+    cache_before = _trace_cache_stats()
+    started = time.perf_counter()
+    report = fuzz(
+        seed=0,
+        iterations=iterations,
+        corpus_dir=None,
+        shrink=False,
+    )
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(report.programs_run / wall, 3) if wall else 0.0,
+        "cache_hit_rate": round(_hit_rate(cache_before, _trace_cache_stats()), 4),
+    }
+
+
+def bench_fuzz_acceptance(quick: bool = False) -> dict:
+    """The acceptance workload: 200 fuzz iterations, all backends, shrink
+    and corpus on defaults — the exact shape of
+    ``python -m repro fuzz --seed 0 --iterations 200`` (minus corpus I/O).
+    Quick mode scales the count down and notes it in the result."""
+    from .testing import fuzz
+
+    iterations = 20 if quick else 200
+    cache_before = _trace_cache_stats()
+    started = time.perf_counter()
+    report = fuzz(seed=0, iterations=iterations, corpus_dir=None)
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(report.programs_run / wall, 3) if wall else 0.0,
+        "cache_hit_rate": round(_hit_rate(cache_before, _trace_cache_stats()), 4),
+        "iterations": iterations,
+    }
+
+
+WORKLOADS = {
+    "compile": bench_compile,
+    "simulate": bench_simulate,
+    "fuzz_iteration": bench_fuzz,
+    "fuzz_200_acceptance": bench_fuzz_acceptance,
+}
+
+
+def run_bench(quick: bool = False) -> dict:
+    """Run every workload; returns the full BENCH_engine.json document."""
+    meta = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": quick,
+        "calibration_ops_per_s": round(calibrate(), 1),
+    }
+    workloads = {}
+    for name, runner in WORKLOADS.items():
+        workloads[name] = runner(quick=quick)
+    return {"schema": SCHEMA, "meta": meta, "workloads": workloads}
+
+
+def check_regression(current: dict, committed: dict) -> list[str]:
+    """CI gate: compare fuzz-iteration throughput against the committed
+    baseline, rescaled by the machine-speed calibration.  Returns a list of
+    human-readable problems (empty means the gate passes)."""
+    problems: list[str] = []
+    ref = committed.get("workloads", {}).get("fuzz_iteration")
+    if not ref:
+        return ["committed baseline has no fuzz_iteration workload"]
+    measured = current["workloads"]["fuzz_iteration"]["programs_per_s"]
+    ref_cal = committed.get("meta", {}).get("calibration_ops_per_s") or 0.0
+    cur_cal = current.get("meta", {}).get("calibration_ops_per_s") or 0.0
+    scale = (cur_cal / ref_cal) if ref_cal and cur_cal else 1.0
+    floor = ref["programs_per_s"] * scale * (1.0 - REGRESSION_TOLERANCE)
+    if measured < floor:
+        problems.append(
+            f"fuzz_iteration throughput regressed: {measured:.2f} programs/s "
+            f"< floor {floor:.2f} (committed {ref['programs_per_s']:.2f} "
+            f"x machine scale {scale:.2f} x {1 - REGRESSION_TOLERANCE:.2f})"
+        )
+    return problems
+
+
+def _merge_with_existing(doc: dict, out_path: str, freeze_baseline: bool) -> dict:
+    """Preserve a previously frozen ``seed_baseline`` section (or freeze the
+    current numbers as one when asked and none exists yet)."""
+    existing: dict = {}
+    try:
+        with open(out_path) as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        pass
+    if "seed_baseline" in existing:
+        doc["seed_baseline"] = existing["seed_baseline"]
+    elif freeze_baseline:
+        doc["seed_baseline"] = {
+            "meta": doc["meta"],
+            "workloads": doc["workloads"],
+        }
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="benchmark compile/simulate/fuzz throughput",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer reps (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_engine.json", help="where to write results"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="FILE",
+        help="also compare against a committed BENCH_engine.json; exit 1 on "
+        f">{REGRESSION_TOLERANCE:.0%} fuzz-iteration throughput regression",
+    )
+    parser.add_argument(
+        "--freeze-baseline",
+        action="store_true",
+        help="record these numbers as the immutable seed_baseline section "
+        "(no-op if one is already present in --out)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_bench(quick=args.quick)
+    doc = _merge_with_existing(doc, args.out, args.freeze_baseline)
+    with open(args.out, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for name, result in doc["workloads"].items():
+        print(
+            f"{name:16s} wall {result['wall_s']:8.3f}s   "
+            f"{result['programs_per_s']:8.2f} programs/s   "
+            f"cache hit rate {result['cache_hit_rate']:.0%}"
+        )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        try:
+            with open(args.check) as handle:
+                committed = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read baseline {args.check}: {error}",
+                  file=sys.stderr)
+            return 2
+        problems = check_regression(doc, committed)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("regression check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

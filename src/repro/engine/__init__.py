@@ -1,0 +1,28 @@
+"""repro.engine — trace-compiled execution.
+
+Lowers verified modules to flat, preallocated instruction streams
+(:mod:`.compiler`), executes them with a tight dispatch loop that is
+bit-identical to the tree interpreter (:mod:`.executor`), and caches
+compiled traces by content hash (:mod:`.cache`).  See docs/PERFORMANCE.md.
+"""
+
+from .cache import TRACE_CACHE, TraceCache, module_fingerprint
+from .compiler import (
+    CompiledFunction,
+    CompiledModule,
+    TraceCompileError,
+    compile_module,
+)
+from .executor import TraceExecutor, run_module_traced
+
+__all__ = [
+    "TRACE_CACHE",
+    "TraceCache",
+    "module_fingerprint",
+    "CompiledFunction",
+    "CompiledModule",
+    "TraceCompileError",
+    "compile_module",
+    "TraceExecutor",
+    "run_module_traced",
+]

@@ -1,0 +1,99 @@
+"""Content-hash-keyed cache of compiled traces.
+
+The fuzzer's differential oracles execute the *same optimized module text*
+over and over: several pipelines routinely converge to identical IR (e.g.
+``dedup`` and ``full`` when there is nothing to overlap), and experiment
+sweeps re-run one module per size point.  Keying compiled traces on a
+content hash of the printed module makes every such re-execution skip
+compilation entirely.
+
+Key = SHA-256 of the module's structural serialization
+(:func:`repro.ir.fingerprint_operation` — a faster, hash-oriented form of
+the printed text).  The serialization pins everything the compiled form
+depends on: op structure, SSA topology, attributes (field names,
+accelerator names), and types.  Mutating a module in place therefore
+changes its fingerprint and misses the cache — there is no in-place
+invalidation to get wrong.
+Device behavior is resolved at *execution* time (the compiled stream stores
+accelerator names, not device objects), so one entry serves every backend
+registry state and cost model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from ..dialects.builtin import ModuleOp
+from .compiler import CompiledModule, compile_module
+
+
+def module_fingerprint(module: ModuleOp, text: str | None = None) -> str:
+    """Content hash of a module's structural serialization."""
+    if text is None:
+        from ..ir.printer import fingerprint_operation
+
+        text = fingerprint_operation(module)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class TraceCache:
+    """Bounded LRU mapping module fingerprints to compiled traces."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, CompiledModule] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, fingerprint: str) -> CompiledModule | None:
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(fingerprint)
+        return entry
+
+    def put(self, fingerprint: str, compiled: CompiledModule) -> None:
+        compiled.fingerprint = fingerprint
+        self._entries[fingerprint] = compiled
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def get_or_compile(
+        self, module: ModuleOp, text: str | None = None, key=None
+    ) -> CompiledModule:
+        """The compiled trace for ``module``, compiling on first sight.
+
+        ``text`` lets callers that already printed the module (e.g. for an
+        outcome cache of their own) avoid printing it twice.  ``key`` lets
+        callers that already computed a structural key for the module
+        (:func:`repro.ir.structural_key`) skip fingerprinting entirely; any
+        hashable value works, and str/tuple keys never collide.
+        """
+        fingerprint = key if key is not None else module_fingerprint(module, text)
+        entry = self.get(fingerprint)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        compiled = compile_module(module)
+        self.put(fingerprint, compiled)
+        return compiled
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide compiled-trace cache (the fuzzer, oracles, and experiment
+#: runners all share it; entries are immutable so sharing is safe).
+TRACE_CACHE = TraceCache()

@@ -1,0 +1,387 @@
+"""Trace compilation: lower a verified module to a flat instruction stream.
+
+The tree interpreter re-discovers a program's structure on every execution:
+each op re-dispatches through ``isinstance`` ladders, each loop iteration
+re-walks the same block objects, and each scalar charge re-resolves its
+category against the config-feeding analysis.  This module performs all of
+that exactly once, producing a :class:`CompiledModule`:
+
+* every op becomes one dense opcode tuple (opcode int first, operands after);
+* every SSA value becomes an integer *slot* into a flat frame list;
+* ``scf.for`` / ``scf.if`` become conditional jumps over the flat stream,
+  with loop-carried values lowered to (parallel-safe) slot copies;
+* per-op host instructions (:class:`repro.isa.instructions.Instr`) are
+  materialized at compile time, including the calc-vs-compute categorization
+  of :func:`repro.interp.interpreter.config_feeding_ops`.
+
+The compiled form is immutable and shareable: it holds no references into
+the source module's def-use graph, so it can outlive the module and be
+reused across executions — that is what the content-hash trace cache in
+:mod:`repro.engine.cache` does.
+
+Compilation assumes *verified* IR (the executor is proven bit-identical to
+the tree interpreter on verifier-clean programs; IR that would not verify
+may diverge in the error paths).  Ops the compiler does not understand —
+custom ``interpret`` hooks, unregistered ops without an effects annotation —
+raise :class:`TraceCompileError`; callers fall back to the tree interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dialects import accfg, arith, func, scf
+from ..dialects.builtin import ModuleOp
+from ..interp.interpreter import config_feeding_ops
+from ..ir.attributes import IntegerType
+from ..ir.operation import Operation, UnregisteredOp
+from ..ir.ssa import SSAValue
+from ..isa.instructions import Instr, InstrCategory
+
+
+class TraceCompileError(Exception):
+    """Raised when a module cannot be lowered to a flat trace."""
+
+
+# Opcodes.  Dense small ints so the executor dispatches on an int compare
+# chain ordered by dynamic frequency.
+OP_BINOP = 0
+OP_CONST = 1
+OP_COPY = 2
+OP_FOR_TEST = 3
+OP_FOR_NEXT = 4
+OP_CMP = 5
+OP_SELECT = 6
+OP_IF = 7
+OP_JUMP = 8
+OP_FOR_INIT = 9
+OP_SETUP = 10
+OP_LAUNCH = 11
+OP_AWAIT = 12
+OP_RESET = 13
+OP_CALL = 14
+OP_RETURN = 15
+OP_FOREIGN = 16
+
+#: Shared control-flow charge record (frozen, compared by value — reusing
+#: one instance is indistinguishable from the interpreter's fresh ones).
+CTRL_INSTR = Instr("ctrl", InstrCategory.CONTROL)
+FOREIGN_INSTR = Instr("foreign", InstrCategory.COMPUTE)
+
+
+@dataclass
+class CompiledFunction:
+    """One function lowered to a flat instruction stream."""
+
+    name: str
+    n_args: int
+    n_slots: int
+    arg_slots: tuple[int, ...]
+    code: tuple[tuple, ...]
+
+
+class CompiledModule:
+    """Every defined function of one module, trace-compiled."""
+
+    def __init__(
+        self,
+        functions: dict[str, CompiledFunction],
+        declarations: frozenset[str],
+        fingerprint: str | None = None,
+    ) -> None:
+        self.functions = functions
+        self.declarations = declarations
+        #: content hash of the source module text (set by the cache layer)
+        self.fingerprint = fingerprint
+
+
+def _loc_suffix(op: Operation) -> str:
+    """The " at file:line" suffix the interpreter's ``_fail`` appends."""
+    return f" at {op.loc}" if op.loc is not None else ""
+
+
+def _int_mask(type_) -> int | None:
+    """Wrap-around mask for a result type (None for unbounded ``index``)."""
+    if isinstance(type_, IntegerType):
+        return (1 << type_.width) - 1
+    return None
+
+
+class _FunctionCompiler:
+    """Lowers one function body; shared module-level context is passed in."""
+
+    def __init__(self, config_feeding: set[Operation]) -> None:
+        self._config_feeding = config_feeding
+        self._slots: dict[SSAValue, int] = {}
+        self.code: list[tuple] = []
+
+    # -- slots -----------------------------------------------------------
+
+    def slot(self, value: SSAValue) -> int:
+        index = self._slots.get(value)
+        if index is None:
+            index = len(self._slots)
+            self._slots[value] = index
+        return index
+
+    def scratch(self) -> int:
+        """A fresh slot not tied to any SSA value (parallel-copy staging)."""
+        key = object()  # unique, never looked up again
+        index = len(self._slots)
+        self._slots[key] = index  # type: ignore[index]
+        return index
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._slots)
+
+    # -- charging --------------------------------------------------------
+
+    def _scalar_instr(self, op: Operation, mnemonic: str) -> Instr:
+        category = (
+            InstrCategory.CALC
+            if op in self._config_feeding
+            else InstrCategory.COMPUTE
+        )
+        return Instr(mnemonic, category)
+
+    # -- lowering --------------------------------------------------------
+
+    def compile_function(self, fn: func.FuncOp) -> CompiledFunction:
+        arg_slots = tuple(self.slot(arg) for arg in fn.args)
+        self.compile_block(fn.body)
+        # A body falling off the end (no func.return executed) returns [].
+        self.code.append((OP_RETURN, ()))
+        return CompiledFunction(
+            name=fn.sym_name,
+            n_args=len(fn.args),
+            n_slots=self.n_slots,
+            arg_slots=arg_slots,
+            code=tuple(self.code),
+        )
+
+    def compile_block(self, block) -> tuple[int, ...] | None:
+        """Emit a block's ops in order.
+
+        Returns the slots its terminating ``scf.yield`` forwards (None when
+        the block has no yield — the interpreter then yields ``[]``).
+        Mirrors the interpreter's ``_run_block``: ops after a terminator are
+        never executed, so they are not compiled either.
+        """
+        for op in block.ops:
+            if isinstance(op, scf.YieldOp):
+                return tuple(self.slot(v) for v in op.operands)
+            self.compile_op(op)
+            if op.is_terminator:
+                return None
+        return None
+
+    def compile_op(self, op: Operation) -> None:
+        code = self.code
+        if isinstance(op, arith.ConstantOp):
+            code.append(
+                (OP_CONST, self.slot(op.result), op.value,
+                 self._scalar_instr(op, "li"))
+            )
+            return
+        if isinstance(op, arith.BinaryOp):
+            code.append(
+                (
+                    OP_BINOP,
+                    self.slot(op.result),
+                    type(op).evaluate,
+                    self.slot(op.lhs),
+                    self.slot(op.rhs),
+                    _int_mask(op.result.type),
+                    self._scalar_instr(op, op.name.split(".")[-1]),
+                )
+            )
+            return
+        if isinstance(op, arith.CmpiOp):
+            width = (
+                op.lhs.type.width
+                if isinstance(op.lhs.type, IntegerType)
+                else 64
+            )
+            code.append(
+                (
+                    OP_CMP,
+                    self.slot(op.result),
+                    op.predicate,
+                    self.slot(op.lhs),
+                    self.slot(op.rhs),
+                    width,
+                    self._scalar_instr(op, "cmp"),
+                )
+            )
+            return
+        if isinstance(op, arith.SelectOp):
+            code.append(
+                (
+                    OP_SELECT,
+                    self.slot(op.result),
+                    self.slot(op.condition),
+                    self.slot(op.true_value),
+                    self.slot(op.false_value),
+                    self._scalar_instr(op, "select"),
+                )
+            )
+            return
+        if isinstance(op, scf.ForOp):
+            self.compile_for(op)
+            return
+        if isinstance(op, scf.IfOp):
+            self.compile_if(op)
+            return
+        if isinstance(op, func.ReturnOp):
+            code.append(
+                (OP_RETURN, tuple(self.slot(v) for v in op.operands))
+            )
+            return
+        if isinstance(op, func.CallOp):
+            code.append(
+                (
+                    OP_CALL,
+                    op.callee,
+                    tuple(self.slot(v) for v in op.operands),
+                    tuple(self.slot(r) for r in op.results),
+                )
+            )
+            return
+        if isinstance(op, accfg.SetupOp):
+            in_state = op.in_state
+            code.append(
+                (
+                    OP_SETUP,
+                    op.accelerator,
+                    tuple(op.field_names),
+                    tuple(self.slot(v) for v in op.field_values),
+                    self.slot(op.out_state),
+                    self.slot(in_state) if in_state is not None else None,
+                    _loc_suffix(op),
+                )
+            )
+            return
+        if isinstance(op, accfg.LaunchOp):
+            code.append(
+                (
+                    OP_LAUNCH,
+                    op.accelerator,
+                    tuple(op.field_names),
+                    tuple(self.slot(v) for _, v in op.fields),
+                    self.slot(op.token),
+                    self.slot(op.state),
+                    _loc_suffix(op),
+                )
+            )
+            return
+        if isinstance(op, accfg.AwaitOp):
+            code.append(
+                (
+                    OP_AWAIT,
+                    self.slot(op.token),
+                    op.accelerator,
+                    _loc_suffix(op),
+                )
+            )
+            return
+        if isinstance(op, accfg.ResetOp):
+            code.append((OP_RESET, self.slot(op.state)))
+            return
+        if getattr(op, "interpret", None) is not None:
+            raise TraceCompileError(
+                f"op '{op.name}' carries a custom interpret hook"
+            )
+        if isinstance(op, UnregisteredOp):
+            if accfg.get_effects(op) is not None and not op.results:
+                code.append((OP_FOREIGN, FOREIGN_INSTR))
+                return
+            raise TraceCompileError(
+                f"cannot compile unregistered op '{op.op_name}'"
+            )
+        raise TraceCompileError(f"cannot compile op '{op.name}'")
+
+    def compile_for(self, op: scf.ForOp) -> None:
+        code = self.code
+        lb, ub, step = self.slot(op.lb), self.slot(op.ub), self.slot(op.step)
+        iv = self.slot(op.induction_var)
+        iter_slots = tuple(self.slot(arg) for arg in op.iter_args)
+        # Bound/step validation (and the positive-step trap) happen before
+        # the carried values are copied, matching interpreter order.
+        code.append((OP_FOR_INIT, lb, ub, step, iv))
+        self._emit_copies(zip(tuple(self.slot(v) for v in op.iter_inits),
+                              iter_slots))
+        head = len(code)
+        code.append(None)  # patched: (OP_FOR_TEST, iv, ub, exit_target)
+        yielded = self.compile_block(op.body)
+        if yielded is not None:
+            self._emit_parallel_copies(
+                tuple(zip(yielded, iter_slots))  # zip truncation on purpose
+            )
+        code.append((OP_FOR_NEXT, iv, step, head))
+        exit_target = len(code)
+        code[head] = (OP_FOR_TEST, iv, ub, exit_target)
+        self._emit_copies(
+            zip(iter_slots, tuple(self.slot(r) for r in op.results))
+        )
+
+    def compile_if(self, op: scf.IfOp) -> None:
+        code = self.code
+        result_slots = tuple(self.slot(r) for r in op.results)
+        branch = len(code)
+        code.append(None)  # patched: (OP_IF, cond, false_target)
+        then_yield = self.compile_block(op.then_block)
+        if then_yield is not None:
+            self._emit_copies(zip(then_yield, result_slots))
+        if op.has_else:
+            jump = len(code)
+            code.append(None)  # patched: (OP_JUMP, end)
+            false_target = len(code)
+            else_yield = self.compile_block(op.else_block)
+            if else_yield is not None:
+                self._emit_copies(zip(else_yield, result_slots))
+            end = len(code)
+            code[jump] = (OP_JUMP, end)
+        else:
+            false_target = len(code)
+        code[branch] = (OP_IF, self.slot(op.condition), false_target)
+
+    def _emit_copies(self, pairs) -> None:
+        for src, dst in pairs:
+            if src != dst:
+                self.code.append((OP_COPY, dst, src))
+
+    def _emit_parallel_copies(self, pairs: tuple[tuple[int, int], ...]) -> None:
+        """Copy sources to targets with parallel-assignment semantics.
+
+        Loop back-edges read every yielded value before rebinding the iter
+        args (``carried = run_block(...)`` then assign), so a yield that
+        permutes its own iter args must stage through scratch slots.
+        """
+        pairs = tuple((s, d) for s, d in pairs if s != d)
+        targets = {d for _, d in pairs}
+        if any(s in targets for s, _ in pairs):
+            staged = [(s, self.scratch(), d) for s, d in pairs]
+            for src, tmp, _ in staged:
+                self.code.append((OP_COPY, tmp, src))
+            for _, tmp, dst in staged:
+                self.code.append((OP_COPY, dst, tmp))
+        else:
+            self._emit_copies(pairs)
+
+
+def compile_module(module: ModuleOp) -> CompiledModule:
+    """Lower every defined function of ``module`` to a flat trace."""
+    config_feeding = config_feeding_ops(module)
+    functions: dict[str, CompiledFunction] = {}
+    declarations: set[str] = set()
+    for op in module.body_block.ops:
+        if not isinstance(op, func.FuncOp):
+            continue
+        if op.is_declaration:
+            declarations.add(op.sym_name)
+            continue
+        functions[op.sym_name] = _FunctionCompiler(
+            config_feeding
+        ).compile_function(op)
+    return CompiledModule(functions, frozenset(declarations))

@@ -74,23 +74,31 @@ class Fig10Result:
         return max(row.uplift for row in self.rows)
 
 
-def run(sizes=DEFAULT_SIZES, functional: bool = True) -> Fig10Result:
-    rows = []
-    for size in sizes:
-        baseline = run_workload(
-            build_gemmini_matmul(size), BASELINE_PIPELINE, functional
-        )
-        optimized = run_workload(
-            build_gemmini_matmul(size), OPTIMIZED_PIPELINE, functional
-        )
-        if functional and not (baseline.correct and optimized.correct):
-            raise AssertionError(f"wrong matmul result at size {size}")
-        rows.append(Fig10Row(size, baseline, optimized))
+def _sweep_point(payload: tuple[int, bool]) -> Fig10Row:
+    """One size point (module-level so worker processes can import it)."""
+    size, functional = payload
+    baseline = run_workload(
+        build_gemmini_matmul(size), BASELINE_PIPELINE, functional
+    )
+    optimized = run_workload(
+        build_gemmini_matmul(size), OPTIMIZED_PIPELINE, functional
+    )
+    if functional and not (baseline.correct and optimized.correct):
+        raise AssertionError(f"wrong matmul result at size {size}")
+    return Fig10Row(size, baseline, optimized)
+
+
+def run(sizes=DEFAULT_SIZES, functional: bool = True, jobs: int = 1) -> Fig10Result:
+    from ..testing.parallel import parallel_map
+
+    rows = parallel_map(
+        _sweep_point, [(size, functional) for size in sizes], jobs=jobs
+    )
     return Fig10Result(rows)
 
 
-def main(sizes=DEFAULT_SIZES) -> None:
-    result = run(sizes)
+def main(sizes=DEFAULT_SIZES, jobs: int = 1) -> None:
+    result = run(sizes, jobs=jobs)
     print("Figure 10 — Gemmini weight-stationary tiled matmul")
     print(f"P_peak = {GEMMINI.peak_ops_per_cycle} ops/cycle, Eq. 3 proxy\n")
     print(

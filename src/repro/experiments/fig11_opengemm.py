@@ -49,25 +49,31 @@ class Fig11Result:
         return max(row.speedup(variant) for row in self.rows)
 
 
-def run(sizes=DEFAULT_SIZES, functional: bool = True) -> Fig11Result:
-    rows = []
-    for size in sizes:
-        runs: dict[str, ExperimentRun] = {}
-        for variant in VARIANTS:
-            result = run_workload(
-                build_opengemm_matmul(size), variant, functional
+def _sweep_point(payload: tuple[int, bool]) -> Fig11Row:
+    """One size point — all variants (module-level for worker pickling)."""
+    size, functional = payload
+    runs: dict[str, ExperimentRun] = {}
+    for variant in VARIANTS:
+        result = run_workload(build_opengemm_matmul(size), variant, functional)
+        if functional and not result.correct:
+            raise AssertionError(
+                f"wrong matmul result: size {size}, variant {variant}"
             )
-            if functional and not result.correct:
-                raise AssertionError(
-                    f"wrong matmul result: size {size}, variant {variant}"
-                )
-            runs[variant] = result
-        rows.append(Fig11Row(size, runs))
+        runs[variant] = result
+    return Fig11Row(size, runs)
+
+
+def run(sizes=DEFAULT_SIZES, functional: bool = True, jobs: int = 1) -> Fig11Result:
+    from ..testing.parallel import parallel_map
+
+    rows = parallel_map(
+        _sweep_point, [(size, functional) for size in sizes], jobs=jobs
+    )
     return Fig11Result(rows)
 
 
-def main(sizes=FULL_SIZES) -> None:
-    result = run(sizes)
+def main(sizes=FULL_SIZES, jobs: int = 1) -> None:
+    result = run(sizes, jobs=jobs)
     print("Figure 11 — OpenGeMM tiled matmul, performance by optimization")
     print(f"P_peak = {OPENGEMM.peak_ops_per_cycle} ops/cycle\n")
     print(

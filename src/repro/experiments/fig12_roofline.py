@@ -48,8 +48,8 @@ class Fig12Result:
         return self.roofline.boundness(self.point(size, variant).i_oc)
 
 
-def run(sizes=DEFAULT_SIZES, functional: bool = True) -> Fig12Result:
-    fig11 = run_fig11(sizes, functional)
+def run(sizes=DEFAULT_SIZES, functional: bool = True, jobs: int = 1) -> Fig12Result:
+    fig11 = run_fig11(sizes, functional, jobs=jobs)
     roofline = roofline_for_spec(OPENGEMM, OPENGEMM.host_cost_model())
     points = [
         point_from_metrics(row.runs[variant].metrics, f"{variant}-{row.size}")
@@ -59,8 +59,8 @@ def run(sizes=DEFAULT_SIZES, functional: bool = True) -> Fig12Result:
     return Fig12Result(roofline, points, fig11)
 
 
-def main(sizes=DEFAULT_SIZES) -> None:
-    result = run(sizes)
+def main(sizes=DEFAULT_SIZES, jobs: int = 1) -> None:
+    result = run(sizes, jobs=jobs)
     roofline = result.roofline
     print("Figure 12 — OpenGeMM measurements on the configuration roofline")
     print(

@@ -2,10 +2,12 @@
 
 Usage::
 
-    python -m repro.experiments.runner [--quick]
+    python -m repro.experiments.runner [--quick] [--jobs N]
 
 ``--quick`` restricts the size sweeps so the whole suite finishes in well
-under a minute; the default sweep matches the paper's figures.
+under a minute; the default sweep matches the paper's figures.  ``--jobs``
+fans the size sweeps (fig10/fig11/fig12) out over worker processes, one
+sweep point per task; results are identical to a sequential run.
 """
 
 from __future__ import annotations
@@ -26,6 +28,9 @@ from . import (
 def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
     quick = "--quick" in argv
+    jobs = 1
+    if "--jobs" in argv:
+        jobs = int(argv[argv.index("--jobs") + 1])
     separator = "\n" + "=" * 72 + "\n"
 
     print(separator)
@@ -35,11 +40,20 @@ def main(argv: list[str] | None = None) -> None:
     print(separator)
     figure4_rooflines.main()
     print(separator)
-    fig10_gemmini.main(sizes=(16, 32, 64) if quick else fig10_gemmini.DEFAULT_SIZES)
+    fig10_gemmini.main(
+        sizes=(16, 32, 64) if quick else fig10_gemmini.DEFAULT_SIZES,
+        jobs=jobs,
+    )
     print(separator)
-    fig11_opengemm.main(sizes=(16, 32, 64) if quick else fig11_opengemm.FULL_SIZES)
+    fig11_opengemm.main(
+        sizes=(16, 32, 64) if quick else fig11_opengemm.FULL_SIZES,
+        jobs=jobs,
+    )
     print(separator)
-    fig12_roofline.main(sizes=(32, 64) if quick else fig12_roofline.DEFAULT_SIZES)
+    fig12_roofline.main(
+        sizes=(32, 64) if quick else fig12_roofline.DEFAULT_SIZES,
+        jobs=jobs,
+    )
     print(separator)
     fig2_timeline.main()
     print(separator)

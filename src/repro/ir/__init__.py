@@ -31,7 +31,13 @@ from .builder import Builder, InsertPoint
 from .location import SourceLoc
 from .operation import IRError, Operation, UnregisteredOp, VerifyError
 from .parser import ParseError, Parser, parse_module, parse_operation
-from .printer import Printer, format_attribute, print_operation
+from .printer import (
+    Printer,
+    fingerprint_operation,
+    format_attribute,
+    print_operation,
+    structural_key,
+)
 from .registry import (
     OP_REGISTRY,
     register_custom_parser,
@@ -84,6 +90,8 @@ __all__ = [
     "Printer",
     "format_attribute",
     "print_operation",
+    "fingerprint_operation",
+    "structural_key",
     "OP_REGISTRY",
     "register_custom_parser",
     "register_op",

@@ -23,6 +23,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from .location import SourceLoc
 
 
+_IS_TERMINATOR = IsTerminator()
+_PURE = Pure()
+
+#: lazily bound by :meth:`Operation.clone` (module-level import would cycle)
+_BLOCK_CLS = None
+_REGION_CLS = None
+
+
 class IRError(Exception):
     """Raised on malformed IR manipulations."""
 
@@ -142,15 +150,30 @@ class Operation:
         self.drop_all_references()
 
     def walk(self, reverse: bool = False) -> Iterator["Operation"]:
-        """Yield this op and all nested ops, pre-order."""
-        yield self
-        regions = reversed(self.regions) if reverse else self.regions
-        for region in regions:
-            blocks = reversed(region.blocks) if reverse else region.blocks
-            for block in blocks:
-                ops = reversed(block.ops) if reverse else block.ops
-                for op in list(ops):
-                    yield from op.walk(reverse=reverse)
+        """Yield this op and all nested ops, pre-order.
+
+        Iterative (explicit stack) rather than recursive: the walk sits on
+        the hot path of the verifier, lints, and every pass, and nested
+        ``yield from`` generators pay a frame per nesting level per item.
+        Children are snapshotted when their parent is yielded, so erasing
+        an op while walking it (the common collect-then-mutate idiom) is
+        safe.
+        """
+        stack = [self]
+        while stack:
+            op = stack.pop()
+            yield op
+            if not op.regions:
+                continue
+            children: list[Operation] = []
+            regions = reversed(op.regions) if reverse else op.regions
+            for region in regions:
+                blocks = reversed(region.blocks) if reverse else region.blocks
+                for block in blocks:
+                    ops = block.ops
+                    children.extend(reversed(ops) if reverse else ops)
+            children.reverse()
+            stack.extend(children)
 
     def is_before_in_block(self, other: "Operation") -> bool:
         """True if both ops share a block and ``self`` comes first."""
@@ -166,11 +189,22 @@ class Operation:
 
     @property
     def is_terminator(self) -> bool:
-        return self.has_trait(IsTerminator())
+        # Trait flags are per-class constants; cache them on the class the
+        # first time they are asked for (trait queries sit on the hot path
+        # of the verifier, DCE, and CSE).
+        cached = type(self).__dict__.get("_is_terminator")
+        if cached is None:
+            cached = _IS_TERMINATOR in self.traits
+            type(self)._is_terminator = cached
+        return cached
 
     @property
     def is_pure(self) -> bool:
-        return self.has_trait(Pure())
+        cached = type(self).__dict__.get("_is_pure")
+        if cached is None:
+            cached = _PURE in self.traits
+            type(self)._is_pure = cached
+        return cached
 
     # -- cloning -----------------------------------------------------------
 
@@ -180,19 +214,29 @@ class Operation:
         """Deep-copy this op (and regions), remapping operands via
         ``value_map``.  Results of cloned ops are added to the map so nested
         references resolve to the clones."""
-        from .block import Block, Region
+        # Lazily bound module globals: clone is recursive and hot, and a
+        # local ``from .block import ...`` pays import-machinery cost per op.
+        global _BLOCK_CLS, _REGION_CLS
+        if _REGION_CLS is None:
+            from .block import Block as _BLOCK_CLS, Region as _REGION_CLS
+        Block, Region = _BLOCK_CLS, _REGION_CLS
 
         if value_map is None:
             value_map = {}
         new_operands = [value_map.get(o, o) for o in self._operands]
         new_op = object.__new__(type(self))
-        Operation.__init__(
-            new_op,
-            operands=new_operands,
-            result_types=[r.type for r in self.results],
-            attributes=dict(self.attributes),
-        )
+        # Inlined Operation.__init__: clone dominates pass pipelines, and the
+        # generic constructor re-walks lists this path already has in hand.
         new_op.loc = self.loc
+        new_op._operands = new_operands
+        new_op.results = [
+            OpResult(r.type, new_op, i) for i, r in enumerate(self.results)
+        ]
+        new_op.attributes = dict(self.attributes)
+        new_op.regions = []
+        new_op.parent = None
+        for i, operand in enumerate(new_operands):
+            operand.add_use(Use(new_op, i))
         for old_res, new_res in zip(self.results, new_op.results):
             new_res.name_hint = old_res.name_hint
             value_map[old_res] = new_res

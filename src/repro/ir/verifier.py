@@ -8,6 +8,11 @@ Checks structural invariants that every pass relies on:
   unless some ancestor is ``IsolatedFromAbove``),
 * terminator placement, and
 * per-op invariants via each op's ``verify_`` hook.
+
+Verification sits on the hot path of every pass pipeline, so the walk is
+done once (the op list is reused by all three phases) and per-block op
+positions are computed once per block instead of re-scanning the block for
+every dominance query.
 """
 
 from __future__ import annotations
@@ -17,12 +22,16 @@ from .operation import Operation, VerifyError
 from .ssa import BlockArgument, OpResult, SSAValue, Use
 from .traits import IsolatedFromAbove, IsTerminator
 
+_ISOLATED = IsolatedFromAbove()
+_TERMINATOR = IsTerminator()
+
 
 def verify_operation(root: Operation) -> None:
     """Verify ``root`` and all nested operations; raises :class:`VerifyError`."""
-    _verify_structure(root)
-    _verify_dominance(root)
-    for op in root.walk():
+    ops = list(root.walk())
+    _verify_structure(ops)
+    _verify_dominance(ops)
+    for op in ops:
         try:
             op.verify_()
         except VerifyError as err:
@@ -36,8 +45,8 @@ def _located(op: Operation, message: str) -> str:
     return message
 
 
-def _verify_structure(root: Operation) -> None:
-    for op in root.walk():
+def _verify_structure(ops: list[Operation]) -> None:
+    for op in ops:
         for i, operand in enumerate(op.operands):
             if Use(op, i) not in operand.uses:
                 raise VerifyError(
@@ -60,13 +69,13 @@ def _verify_structure(root: Operation) -> None:
 
 def _verify_terminator(block: Block) -> None:
     for i, op in enumerate(block.ops):
-        if op.has_trait(IsTerminator()) and i != len(block.ops) - 1:
+        if op.has_trait(_TERMINATOR) and i != len(block.ops) - 1:
             raise VerifyError(
                 f"terminator '{op.name}' is not the last op in its block"
             )
 
 
-def _verify_dominance(root: Operation) -> None:
+def _verify_dominance(ops: list[Operation]) -> None:
     """Check that every use is dominated by its definition.
 
     With single-block regions and structured control flow, dominance reduces
@@ -74,15 +83,28 @@ def _verify_dominance(root: Operation) -> None:
     (op result or block argument) lives in a block that is an ancestor of the
     user — without crossing an ``IsolatedFromAbove`` boundary.
     """
-    for op in root.walk():
+    order: dict[Block, dict[Operation, int]] = {}
+    for op in ops:
         for i, operand in enumerate(op.operands):
-            if not _value_visible(operand, op):
+            if not _value_visible(operand, op, order):
                 raise VerifyError(_located(
                     op, f"operand #{i} of '{op.name}' violates dominance/visibility"
                 ))
 
 
-def _value_visible(value: SSAValue, user: Operation) -> bool:
+def _block_order(block: Block, order: dict[Block, dict[Operation, int]]) -> dict:
+    positions = order.get(block)
+    if positions is None:
+        positions = {op: i for i, op in enumerate(block.ops)}
+        order[block] = positions
+    return positions
+
+
+def _value_visible(
+    value: SSAValue,
+    user: Operation,
+    order: dict[Block, dict[Operation, int]],
+) -> bool:
     # An op's operands are read in its *parent's* context, so the user's own
     # IsolatedFromAbove trait is irrelevant; but once we walk up past an
     # ancestor, finding the definition outside that ancestor while the
@@ -94,18 +116,24 @@ def _value_visible(value: SSAValue, user: Operation) -> bool:
             return False
         current: Operation | None = user
         while current is not None:
-            if current is not user and current.has_trait(IsolatedFromAbove()):
+            if current is not user and current.has_trait(_ISOLATED):
                 return False
             if current.parent is def_block:
                 anchor = current
-                return def_op is not anchor and def_op.is_before_in_block(anchor)
+                if def_op is anchor:
+                    return False
+                positions = _block_order(def_block, order)
+                try:
+                    return positions[def_op] < positions[anchor]
+                except KeyError:
+                    return False
             current = current.parent_op
         return False
     if isinstance(value, BlockArgument):
         def_block = value.block
         current = user
         while current is not None:
-            if current is not user and current.has_trait(IsolatedFromAbove()):
+            if current is not user and current.has_trait(_ISOLATED):
                 return False
             if current.parent is def_block:
                 return True

@@ -11,6 +11,7 @@ of effective configuration bandwidth (Eq. 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 @dataclass(frozen=True)
@@ -53,13 +54,28 @@ class PackedWord:
         }
 
 
-def pack_fields(fields: list[FieldSpec], word_bits: int = 64) -> list[PackedWord]:
+def pack_fields(
+    fields: "Sequence[FieldSpec]", word_bits: int = 64
+) -> list[PackedWord]:
     """Greedy first-fit packing of fields into machine words, in order.
 
     Mirrors how accelerator C APIs lay out macro-instruction operands: fields
     are packed densely in declaration order, starting a new word when the
     next field does not fit.
+
+    Packing is a pure function of the (hashable, frozen) field specs, and
+    the simulators re-pack the same few field sets on every configuration
+    write — so the layout is memoized on the field tuple.  The returned
+    list is a fresh copy per call; the :class:`PackedWord` entries are
+    immutable and shared.
     """
+    return list(_pack_fields_cached(tuple(fields), word_bits))
+
+
+@lru_cache(maxsize=4096)
+def _pack_fields_cached(
+    fields: tuple[FieldSpec, ...], word_bits: int
+) -> tuple[PackedWord, ...]:
     words: list[PackedWord] = []
     lanes: list[tuple[FieldSpec, int]] = []
     offset = 0
@@ -71,7 +87,7 @@ def pack_fields(fields: list[FieldSpec], word_bits: int = 64) -> list[PackedWord
         offset += spec.bits
     if lanes:
         words.append(PackedWord(tuple(lanes)))
-    return words
+    return tuple(words)
 
 
 def packing_instruction_count(word: PackedWord) -> int:

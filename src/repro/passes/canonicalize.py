@@ -103,21 +103,27 @@ class SimplifyTrivialLoopPattern(RewritePattern):
 
 
 class DedupConstantPattern(RewritePattern):
-    """Merge identical constants within one block (local constant uniquing)."""
+    """Merge identical constants within one block (local constant uniquing).
+
+    The sweep visits each block's ops in order, so a per-sweep memo (stashed
+    on the rewriter, which the driver recreates every sweep) of the first
+    constant seen per ``(block, value, type)`` replaces the former rescan of
+    all earlier block ops.  Constants materialized mid-sweep (by folding) are
+    not in the memo; the following sweep dedups them — same fixpoint.
+    """
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if not isinstance(op, arith.ConstantOp) or op.parent is None:
             return False
-        for earlier in op.parent.ops:
-            if earlier is op:
-                return False
-            if (
-                isinstance(earlier, arith.ConstantOp)
-                and earlier.value == op.value
-                and earlier.result.type == op.result.type
-            ):
-                rewriter.replace_values(op, [earlier.result])
-                return True
+        memo: dict = rewriter.__dict__.setdefault("_constant_memo", {})
+        key = (op.parent, op.value, op.result.type)
+        earlier = memo.get(key)
+        # No canonicalization pattern moves an op later in its block, so a
+        # memoized constant still attached to this block precedes ``op``.
+        if earlier is not None and earlier is not op and earlier.parent is op.parent:
+            rewriter.replace_values(op, [earlier.result])
+            return True
+        memo[key] = op
         return False
 
 
@@ -136,5 +142,5 @@ class CanonicalizePass(ModulePass):
 
     name = "canonicalize"
 
-    def apply(self, module: Operation) -> None:
-        apply_patterns_greedily(module, DEFAULT_PATTERNS)
+    def apply(self, module: Operation, analyses=None) -> bool:
+        return apply_patterns_greedily(module, DEFAULT_PATTERNS)

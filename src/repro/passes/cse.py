@@ -40,20 +40,25 @@ class CSEPass(ModulePass):
 
     name = "cse"
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
+        changed = False
         for region in module.regions:
             for block in region.blocks:
-                self._process_block(block, ChainMap())
+                changed |= self._process_block(block, ChainMap())
+        return changed
 
-    def _process_block(self, block: Block, known: ChainMap) -> None:
+    def _process_block(self, block: Block, known: ChainMap) -> bool:
+        changed = False
         for op in list(block.ops):
             key = _op_key(op)
             if key is not None:
                 existing = known.get(key)
                 if existing is not None:
                     Rewriter.replace_values(op, list(existing.results))
+                    changed = True
                     continue
                 known[key] = op
             for region in op.regions:
                 for nested in region.blocks:
-                    self._process_block(nested, known.new_child())
+                    changed |= self._process_block(nested, known.new_child())
+        return changed

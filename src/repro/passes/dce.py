@@ -17,7 +17,8 @@ class DCEPass(ModulePass):
 
     name = "dce"
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
+        erased_any = False
         changed = True
         while changed:
             changed = False
@@ -30,3 +31,5 @@ class DCEPass(ModulePass):
                     continue
                 op.erase()
                 changed = True
+                erased_any = True
+        return erased_any

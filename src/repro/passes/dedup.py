@@ -222,18 +222,26 @@ def _hoist_fields_from_loop(loop: scf.ForOp) -> bool:
     return changed
 
 
-def eliminate_redundant_fields(root: Operation) -> bool:
-    """Drop setup fields whose register already holds the same SSA value."""
+def eliminate_redundant_fields(root: Operation, manager=None) -> bool:
+    """Drop setup fields whose register already holds the same SSA value.
+
+    ``manager`` is an optional :class:`~repro.analysis.AnalysisManager`; when
+    given (and still valid for ``root``), its cached per-accelerator
+    known-fields analyses are reused instead of rebuilt from scratch.
+    """
     changed = False
-    analyses: dict[str, KnownFieldsAnalysis] = {}
+    local: dict[str, KnownFieldsAnalysis] = {}
     for op in list(root.walk()):
         if not isinstance(op, accfg.SetupOp) or op.parent is None:
             continue
         if op.in_state is None:
             continue
-        analysis = analyses.setdefault(
-            op.accelerator, KnownFieldsAnalysis(op.accelerator)
-        )
+        if manager is not None:
+            analysis = manager.known_fields(root, op.accelerator)
+        else:
+            analysis = local.setdefault(
+                op.accelerator, KnownFieldsAnalysis(op.accelerator)
+            )
         known = analysis.known(op.in_state)
         keep = [
             (name, value)
@@ -307,12 +315,19 @@ class DedupPass(ModulePass):
 
     name = "accfg-dedup"
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
+        changed_any = False
         for _ in range(20):
             changed = hoist_setups_into_branches(module)
             changed |= hoist_invariant_setup_fields(module)
-            changed |= eliminate_redundant_fields(module)
+            # The shared analysis cache is only trustworthy while this pass
+            # has not yet mutated the module; after the first change, fall
+            # back to a private (freshly built) analysis.
+            shared = analyses if not (changed or changed_any) else None
+            changed |= eliminate_redundant_fields(module, shared)
             changed |= merge_consecutive_setups(module)
             changed |= remove_empty_setups(module)
+            changed_any |= changed
             if not changed:
                 break
+        return changed_any

@@ -80,8 +80,9 @@ class InlinePass(ModulePass):
     def __init__(self, max_rounds: int = 8) -> None:
         self.max_rounds = max_rounds
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
         assert isinstance(module, ModuleOp)
+        inlined_any = False
         for _ in range(self.max_rounds):
             functions = _function_map(module)
             recursive = _recursive_functions(functions)
@@ -98,5 +99,7 @@ class InlinePass(ModulePass):
                     continue
                 inline_call(op, callee)
                 changed = True
+                inlined_any = True
             if not changed:
                 break
+        return inlined_any

@@ -56,18 +56,23 @@ class LICMPass(ModulePass):
 
     name = "licm"
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
         # Collect loops innermost-first: a post-order over the walk.
         loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+        hoisted_any = False
         for loop in reversed(loops):
-            self._hoist_from(loop)
+            hoisted_any |= self._hoist_from(loop)
+        return hoisted_any
 
-    def _hoist_from(self, loop: scf.ForOp) -> None:
+    def _hoist_from(self, loop: scf.ForOp) -> bool:
+        hoisted = False
         changed = True
         while changed:
             changed = False
             if loop.parent is None:
-                return
+                return hoisted
             for op in hoistable_ops(loop):
                 Rewriter.move_op_before(op, loop)
                 changed = True
+                hoisted = True
+        return hoisted

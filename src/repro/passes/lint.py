@@ -22,13 +22,14 @@ class LintPass(ModulePass):
         self.target = target
         self.diagnostics = []
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
         from ..analysis import Severity, run_lints
 
-        self.diagnostics = run_lints(module, target=self.target)
+        self.diagnostics = run_lints(module, target=self.target, analyses=analyses)
         errors = [d for d in self.diagnostics if d.severity is Severity.ERROR]
         if errors:
             summary = "\n\n".join(d.format() for d in errors)
             raise RuntimeError(
                 f"accfg-lint found {len(errors)} error(s):\n{summary}"
             )
+        return False  # read-only: never mutates the module

@@ -212,7 +212,8 @@ class ConvertLinalgToAccfgPass(ModulePass):
         if targets:
             self.targets.update(targets)
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
+        changed = False
         for op in list(module.walk()):
             if isinstance(op, linalg.MatmulOp):
                 target = self.targets["linalg.matmul"]
@@ -222,6 +223,7 @@ class ConvertLinalgToAccfgPass(ModulePass):
                         f"no matmul lowering for target '{target}'"
                     )
                 lowering(op)
+                changed = True
             elif isinstance(op, linalg.ElementwiseOp):
                 target = self.targets["linalg.elementwise"]
                 if target != "toyvec":
@@ -229,3 +231,5 @@ class ConvertLinalgToAccfgPass(ModulePass):
                         f"no elementwise lowering for target '{target}'"
                     )
                 lower_elementwise_to_toyvec(op)
+                changed = True
+        return changed

@@ -278,10 +278,13 @@ class OverlapPass(ModulePass):
     def __init__(self, concurrent: set[str] | None = None) -> None:
         self.concurrent = concurrent
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
+        changed = False
         loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
         for loop in reversed(loops):
-            pipeline_loop(loop, self.concurrent)
+            changed |= pipeline_loop(loop, self.concurrent)
         for _ in range(10):
             if not overlap_straight_line(module, self.concurrent):
                 break
+            changed = True
+        return changed

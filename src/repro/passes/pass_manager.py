@@ -6,10 +6,30 @@ the module between passes, which catches IR corruption right where it is
 introduced.  Passes self-register by name so pipelines can be described as
 comma-separated strings (``"canonicalize,cse,accfg-dedup"``), mirroring
 ``mlir-opt``.
+
+Change reporting and analysis caching
+-------------------------------------
+
+Modern passes take an optional second ``analyses`` argument (an
+:class:`~repro.analysis.AnalysisManager`) and *report what they mutated*
+from ``apply``:
+
+* ``False``     — the module is untouched: cached analyses stay valid and
+  the post-pass re-verification is skipped (nothing can have broken);
+* ``True``/``None`` — the module (may have) changed anywhere: every cached
+  analysis is invalidated and the module re-verified;
+* an iterable of ops (usually ``func.func`` ops) — only those scopes
+  changed: analyses over unrelated scopes survive.
+
+Passes with the legacy single-argument ``apply(self, module)`` signature
+keep working unchanged (their return value, conventionally ``None``, means
+"assume everything changed").  The signature is inspected once per pass
+class, never guessed per call.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass
 
@@ -17,6 +37,28 @@ from ..ir.operation import Operation
 from ..ir.verifier import verify_operation
 
 PASS_REGISTRY: dict[str, type["ModulePass"]] = {}
+
+#: pass class -> whether its ``apply`` accepts an ``analyses`` argument
+_APPLY_ACCEPTS_ANALYSES: dict[type, bool] = {}
+
+
+def _accepts_analyses(cls: type) -> bool:
+    cached = _APPLY_ACCEPTS_ANALYSES.get(cls)
+    if cached is None:
+        try:
+            params = list(inspect.signature(cls.apply).parameters.values())
+        except (TypeError, ValueError):
+            params = []
+        positional = [
+            p
+            for p in params
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        cached = len(positional) >= 3 or any(
+            p.kind is p.VAR_POSITIONAL for p in params
+        )
+        _APPLY_ACCEPTS_ANALYSES[cls] = cached
+    return cached
 
 
 def register_pass(cls: type["ModulePass"]) -> type["ModulePass"]:
@@ -31,7 +73,12 @@ def register_pass(cls: type["ModulePass"]) -> type["ModulePass"]:
 
 
 class ModulePass:
-    """Base class for module-level transformations."""
+    """Base class for module-level transformations.
+
+    Subclasses implement either the legacy ``apply(self, module)`` or the
+    modern ``apply(self, module, analyses=None)`` signature; modern passes
+    report what they mutated (see the module docstring).
+    """
 
     name: str = ""
 
@@ -69,6 +116,7 @@ class PassManager:
         verify_each: bool = True,
         instrument: bool = False,
         lint: bool = False,
+        analyses: "AnalysisManager | None" = None,
     ) -> None:
         self.passes: list[ModulePass] = list(passes or [])
         self.verify_each = verify_each
@@ -78,6 +126,13 @@ class PassManager:
         #: diagnostics fails the run (optimizations must not create hazards)
         self.lint = lint
         self.statistics: list[PassStatistics] = []
+        #: per-pipeline analysis cache handed to passes that accept it;
+        #: invalidated according to each pass's change report
+        if analyses is None:
+            from ..analysis.manager import AnalysisManager
+
+            analyses = AnalysisManager()
+        self.analyses = analyses
 
     @staticmethod
     def from_pipeline(pipeline: str, verify_each: bool = True) -> "PassManager":
@@ -106,11 +161,16 @@ class PassManager:
         if self.lint:
             from ..analysis import error_code_counts, run_lints
 
-            baseline_errors = error_code_counts(run_lints(module))
+            baseline_errors = error_code_counts(
+                run_lints(module, analyses=self.analyses)
+            )
         for pass_ in self.passes:
             ops_before = sum(1 for _ in module.walk()) if self.instrument else 0
             started = time.perf_counter() if self.instrument else 0.0
-            pass_.apply(module)
+            if _accepts_analyses(type(pass_)):
+                changed = pass_.apply(module, self.analyses)
+            else:
+                changed = pass_.apply(module)
             if self.instrument:
                 self.statistics.append(
                     PassStatistics(
@@ -120,6 +180,14 @@ class PassManager:
                         ops_after=sum(1 for _ in module.walk()),
                     )
                 )
+            if changed is False:
+                # Untouched module: cached analyses stay valid, and the
+                # pre-pass verification still covers the current IR.
+                continue
+            if changed is True or changed is None:
+                self.analyses.invalidate()
+            else:
+                self.analyses.invalidate(list(changed))
             if self.verify_each:
                 try:
                     verify_operation(module)
@@ -130,7 +198,7 @@ class PassManager:
         if baseline_errors is not None:
             from ..analysis import error_code_counts, run_lints
 
-            after = error_code_counts(run_lints(module))
+            after = error_code_counts(run_lints(module, analyses=self.analyses))
             introduced = {
                 code: count - baseline_errors.get(code, 0)
                 for code, count in after.items()

@@ -262,8 +262,13 @@ class TraceStatesPass(ModulePass):
 
     name = "accfg-trace-states"
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
+        traced: list[Operation] = []
         for op in module.walk():
             if isinstance(op, func.FuncOp) and not op.is_declaration:
-                for accelerator in accelerators_in(op.body):
+                accelerators = list(accelerators_in(op.body))
+                for accelerator in accelerators:
                     StateTracer(accelerator).trace_block(op.body, None)
+                if accelerators:
+                    traced.append(op)
+        return traced if traced else False

@@ -82,7 +82,8 @@ class UnrollPass(ModulePass):
     def __init__(self, max_trips: int = DEFAULT_MAX_TRIPS) -> None:
         self.max_trips = max_trips
 
-    def apply(self, module: Operation) -> None:
+    def apply(self, module: Operation, analyses=None) -> bool:
+        unrolled_any = False
         changed = True
         while changed:
             changed = False
@@ -90,3 +91,5 @@ class UnrollPass(ModulePass):
             for loop in reversed(loops):  # innermost first
                 if loop.parent is not None and unroll_loop(loop, self.max_trips):
                     changed = True
+                    unrolled_any = True
+        return unrolled_any

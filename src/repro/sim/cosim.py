@@ -18,7 +18,7 @@ from ..isa.instructions import HostCostModel, Instr, InstrCategory
 from ..isa.trace import Trace
 from .device import AcceleratorDevice, LaunchToken
 from .memory import Memory
-from .timeline import SpanKind, Timeline
+from .timeline import Span, SpanKind, Timeline
 
 _SPAN_FOR_CATEGORY = {
     InstrCategory.SETUP: SpanKind.SETUP,
@@ -46,6 +46,9 @@ class CoSimulator:
         self.trace = Trace()
         self.timeline = Timeline()
         self._devices: dict[str, AcceleratorDevice] = {}
+        #: category -> cycles, resolved lazily against the cost model (the
+        #: model is caller-provided, so resolution waits until first charge)
+        self._cycles_by_category: dict[InstrCategory, float] | None = None
 
     # -- devices ---------------------------------------------------------
 
@@ -64,14 +67,37 @@ class CoSimulator:
 
     def charge(self, instrs: list[Instr], label: str = "") -> None:
         """Execute host instructions back to back at the current time."""
+        if not instrs:
+            return
+        # Inlined Timeline.record / Trace.append: this loop runs once per
+        # simulated host instruction and dominates execution time.
+        time = self.host_time
+        spans = self.timeline.spans
+        record = self.trace.instrs.append
+        cycles_by_category = self._cycles_by_category
+        if cycles_by_category is None:
+            model = self.cost_model
+            cycles_by_category = self._cycles_by_category = {
+                category: model.category_overrides.get(
+                    category, model.cycles_per_instr
+                )
+                for category in InstrCategory
+            }
         for instr in instrs:
-            cycles = self.cost_model.cycles(instr)
-            kind = _SPAN_FOR_CATEGORY[instr.category]
-            self.timeline.record(
-                "host", kind, self.host_time, self.host_time + cycles, label
-            )
-            self.trace.append(instr)
-            self.host_time += cycles
+            cycles = cycles_by_category[instr.category]
+            if cycles > 0:
+                spans.append(
+                    Span(
+                        "host",
+                        _SPAN_FOR_CATEGORY[instr.category],
+                        time,
+                        time + cycles,
+                        label,
+                    )
+                )
+            record(instr)
+            time += cycles
+        self.host_time = time
 
     def charge_one(self, instr: Instr, label: str = "") -> None:
         self.charge([instr], label)
@@ -88,7 +114,7 @@ class CoSimulator:
         device = self.device(accelerator)
         start = device.write_fields(fields, self.host_time)
         self.stall_until(start, "sequential-config stall")
-        instrs = device.spec.setup_instrs(list(fields))
+        instrs = device.spec.setup_instrs_cached(tuple(fields))
         self.charge(instrs, f"setup {accelerator}")
 
     def exec_launch(
@@ -102,10 +128,10 @@ class CoSimulator:
         self.stall_until(device.accept_time(self.host_time), "launch barrier")
         if launch_fields:
             self.charge(
-                device.spec.launch_field_instrs(list(launch_fields)),
+                device.spec.launch_field_instrs_cached(tuple(launch_fields)),
                 f"launch-config {accelerator}",
             )
-        self.charge(device.spec.launch_instrs(), f"launch {accelerator}")
+        self.charge(device.spec.launch_instrs_cached(), f"launch {accelerator}")
         token = device.launch(
             self.host_time, launch_fields or {}, functional=self.functional
         )
@@ -117,7 +143,7 @@ class CoSimulator:
     def exec_await(self, token: LaunchToken) -> None:
         """Perform one ``accfg.await``: poll until the launch completes."""
         device = token.device
-        self.charge(device.spec.sync_instrs(), f"await {device.name}")
+        self.charge(device.spec.sync_instrs_cached(), f"await {device.name}")
         self.stall_until(token.end, f"await {device.name}")
 
     # -- results ------------------------------------------------------------

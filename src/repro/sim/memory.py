@@ -33,6 +33,47 @@ class Buffer:
         return self.addr + self.array.nbytes
 
 
+class MemorySnapshot:
+    """A copy-on-write image of every buffer at snapshot time.
+
+    Replaces the eager full-image copies the differential oracles used to
+    take: creating a snapshot is O(#buffers) bookkeeping, and a buffer's
+    bytes are duplicated only if something writes to it *after* the snapshot
+    (via :meth:`Memory.write_matrix`, the sole runtime mutation path).  The
+    oracles snapshot after execution finishes, so the common case copies
+    nothing at all.  Iterating yields one array per buffer in allocation
+    order, exactly like the old list of copies.
+
+    Direct writes to ``buffer.array`` bypass the write barrier; workloads
+    that scribble on their own arrays must do so before snapshotting.
+    """
+
+    def __init__(self, memory: "Memory") -> None:
+        self._live: list[Buffer | None] = list(memory._buffers)
+        self._copies: dict[int, np.ndarray] = {}
+        memory._snapshots.append(self)
+
+    def _before_write(self, buffer: Buffer) -> None:
+        """Materialize ``buffer``'s bytes before they change underneath us."""
+        for index, live in enumerate(self._live):
+            if live is buffer:
+                self._copies[index] = live.array.copy()
+                self._live[index] = None
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        live = self._live[index]
+        if live is not None:
+            return live.array
+        return self._copies[index if index >= 0 else index + len(self._live)]
+
+    def __iter__(self):
+        for index in range(len(self._live)):
+            yield self[index]
+
+
 class Memory:
     """Byte-addressed memory composed of allocated numpy regions."""
 
@@ -40,6 +81,7 @@ class Memory:
         self._next = base
         self._alignment = alignment
         self._buffers: list[Buffer] = []
+        self._snapshots: list[MemorySnapshot] = []
 
     def alloc(self, shape: tuple[int, ...] | int, dtype) -> Buffer:
         """Allocate a zeroed region and return its buffer."""
@@ -62,6 +104,10 @@ class Memory:
         """Every allocated region, in allocation order (used by differential
         oracles to snapshot the whole image)."""
         return tuple(self._buffers)
+
+    def snapshot(self) -> MemorySnapshot:
+        """A copy-on-write image of the current buffer contents."""
+        return MemorySnapshot(self)
 
     def _align(self, addr: int) -> int:
         mask = self._alignment - 1
@@ -107,6 +153,10 @@ class Memory:
         self, addr: int, values: np.ndarray, row_stride: int
     ) -> None:
         """Write a matrix; ``row_stride`` in elements of the region dtype."""
+        if self._snapshots:
+            buffer = self.buffer_at(addr)
+            for snap in self._snapshots:
+                snap._before_write(buffer)
         flat, offset = self._flat_view(addr, values.dtype)
         rows, cols = values.shape
         for r in range(rows):

@@ -29,7 +29,7 @@ _GLYPHS = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """A half-open interval ``[start, end)`` of activity by one actor."""
 

@@ -57,6 +57,7 @@ from .oracles import (
     subject_for_spec,
     timing_slack,
 )
+from .parallel import fuzz_sharded, parallel_map, shard_ranges
 from .selftest import BrokenDedupPass, SelftestResult, broken_dedup_pipeline, run_selftest
 from .shrink import shrink_candidates, shrink_spec
 
@@ -71,6 +72,9 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "fuzz",
+    "fuzz_sharded",
+    "parallel_map",
+    "shard_ranges",
     "program_seed",
     "PROFILES",
     "BackendProfile",

@@ -115,10 +115,15 @@ def subject_for_reproducer(reproducer: Reproducer) -> Subject:
         memory, _ = build_memory(meta.backend, meta.memory_seed)
         return module, memory, list(meta.args)
 
+    def fresh_memory():
+        memory, _ = build_memory(meta.backend, meta.memory_seed)
+        return memory, list(meta.args)
+
     return Subject(
         fresh=fresh,
         zero_trip_sites=meta.zero_trip_sites,
         name=f"replay:{reproducer.path or meta.backend}",
+        fresh_memory=fresh_memory,
     )
 
 

@@ -54,17 +54,20 @@ class FuzzReport:
     programs_run: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
     corpus_dir: str | None = None
+    #: worker processes the run was sharded over (1 = sequential)
+    jobs: int = 1
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
     def summary(self) -> str:
+        sharding = f", {self.jobs} job(s)" if self.jobs > 1 else ""
         lines = [
             f"fuzz: seed {self.seed}, {self.iterations} iteration(s) x "
             f"{len(self.backends)} backend(s) "
             f"({', '.join(self.backends)}), pipelines: "
-            f"{', '.join(self.pipelines)}",
+            f"{', '.join(self.pipelines)}{sharding}",
             f"programs run : {self.programs_run}",
             f"failures     : {len(self.failures)}",
         ]
@@ -90,6 +93,8 @@ def fuzz(
     max_stmts: int = 6,
     max_failures: int = 10,
     on_progress: Callable[[str], None] | None = None,
+    engine: str = "trace",
+    start_iteration: int = 0,
 ) -> FuzzReport:
     """Run the differential fuzzer; see the module docstring.
 
@@ -97,7 +102,13 @@ def fuzz(
     every registered pipeline; custom mappings let tests inject deliberately
     broken passes.  Shrunk reproducers are written to ``corpus_dir`` (pass
     ``None`` to disable).  The run stops early after ``max_failures``
-    distinct findings.
+    distinct findings.  ``engine`` selects trace/tree execution for the
+    oracles (``"trace"`` also cross-checks every unoptimized run against the
+    tree interpreter; see :mod:`repro.testing.oracles`).
+    ``start_iteration`` offsets the iteration range — program seeds are a
+    function of the *absolute* iteration index, which is what lets
+    :func:`repro.testing.parallel.fuzz_sharded` split one run across
+    processes without changing which programs are generated.
     """
     backends = tuple(backends or sorted(PROFILES))
     for backend in backends:
@@ -115,7 +126,7 @@ def fuzz(
 
     import random
 
-    for iteration in range(iterations):
+    for iteration in range(start_iteration, start_iteration + iterations):
         for backend in backends:
             if len(report.failures) >= max_failures:
                 return report
@@ -123,12 +134,19 @@ def fuzz(
             rng = random.Random(pseed)
             spec = generate_spec(rng, backend, max_stmts=max_stmts)
             subject = subject_for_spec(spec, memory_seed=pseed)
-            failures = check_subject(subject, pipeline_map)
+            failures = check_subject(subject, pipeline_map, engine=engine)
             report.programs_run += 1
             if not failures:
                 continue
             finding = _handle_failure(
-                spec, pseed, iteration, failures[0], pipeline_map, corpus_dir, shrink
+                spec,
+                pseed,
+                iteration,
+                failures[0],
+                pipeline_map,
+                corpus_dir,
+                shrink,
+                engine,
             )
             report.failures.append(finding)
             if on_progress:
@@ -149,6 +167,7 @@ def _handle_failure(
     pipeline_map: Mapping[str, Callable],
     corpus_dir: str | None,
     shrink: bool,
+    engine: str = "trace",
 ) -> FuzzFailure:
     """Shrink one failing spec and write its reproducer."""
     needed = {
@@ -159,7 +178,7 @@ def _handle_failure(
 
     def still_fails(candidate: ProgramSpec) -> bool:
         candidate_failures = check_subject(
-            subject_for_spec(candidate, memory_seed=pseed), needed
+            subject_for_spec(candidate, memory_seed=pseed), needed, engine=engine
         )
         return any(
             f.oracle == failure.oracle and f.pipeline == failure.pipeline
@@ -171,7 +190,9 @@ def _handle_failure(
         # Re-derive the (possibly different) message of the shrunk case.
         final = [
             f
-            for f in check_subject(subject_for_spec(spec, memory_seed=pseed), needed)
+            for f in check_subject(
+                subject_for_spec(spec, memory_seed=pseed), needed, engine=engine
+            )
             if f.oracle == failure.oracle and f.pipeline == failure.pipeline
         ]
         if final:

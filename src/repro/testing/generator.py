@@ -337,6 +337,14 @@ def _pool_count(profile: BackendProfile, label: str | None) -> int:
 
 _DTYPES = {"int8": np.int8, "int32": np.int32}
 
+#: (backend, memory_seed) -> the generated buffer contents, in allocation
+#: order (None = zero-filled).  The oracles rebuild the same image several
+#: times per fuzzed program (one per executed pipeline plus the
+#: trace-vs-tree cross-check); copying cached arrays is a memcpy where
+#: regenerating them pays RNG setup and sampling.  Entries for past
+#: programs are useless, so the cache stays tiny.
+_IMAGE_CACHE: dict[tuple[str, int], list["np.ndarray | None"]] = {}
+
 
 def build_memory(
     backend: str, memory_seed: int = 0
@@ -349,21 +357,36 @@ def build_memory(
     identical image from ``(backend, memory_seed)`` alone.
     """
     profile = PROFILES[backend]
-    memory = Memory()
-    rng = np.random.default_rng(memory_seed)
-    pools: dict[str, list[Buffer]] = {}
-    for pool in profile.pools:
-        buffers = []
-        for _ in range(pool.count):
+    key = (backend, memory_seed)
+    arrays = _IMAGE_CACHE.get(key)
+    if arrays is None:
+        rng = np.random.default_rng(memory_seed)
+        arrays = []
+        for pool in profile.pools:
             dtype = _DTYPES[pool.dtype]
-            if pool.fill == "zero":
-                buffers.append(memory.alloc(pool.shape, dtype))
-            else:
-                buffers.append(
-                    memory.place(
+            for _ in range(pool.count):
+                if pool.fill == "zero":
+                    arrays.append(None)
+                else:
+                    arrays.append(
                         rng.integers(-20, 20, pool.shape).astype(dtype)
                     )
-                )
+        if len(_IMAGE_CACHE) >= 16:
+            _IMAGE_CACHE.clear()
+        _IMAGE_CACHE[key] = arrays
+    memory = Memory()
+    pools: dict[str, list[Buffer]] = {}
+    index = 0
+    for pool in profile.pools:
+        dtype = _DTYPES[pool.dtype]
+        buffers = []
+        for _ in range(pool.count):
+            array = arrays[index]
+            index += 1
+            if array is None:
+                buffers.append(memory.alloc(pool.shape, dtype))
+            else:
+                buffers.append(memory.place(array.copy()))
         pools[pool.label] = buffers
     return memory, pools
 

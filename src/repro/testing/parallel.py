@@ -1,0 +1,149 @@
+"""Process-parallel sharded runs for the fuzz and experiment hot paths.
+
+Sharding is by *seed range*: the fuzzer's program generation is a pure
+function of ``(seed, backend, absolute_iteration)`` (see
+:func:`repro.testing.fuzz.program_seed`), so splitting the iteration range
+into contiguous shards and running each in its own process visits exactly
+the same programs as a sequential run — shard boundaries cannot change what
+is generated, only who generates it.  Workers write reproducers straight to
+the shared corpus directory (file names embed the per-program seed, so
+shards never collide) and return their :class:`FuzzReport`; the parent
+merges reports in iteration order so the combined report is deterministic.
+
+The same pool helper drives the experiment sweeps: one sweep point (one
+matrix size) per worker task.
+
+Everything here degrades gracefully: ``jobs=1`` (the default everywhere)
+never touches ``multiprocessing``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Iterable, Sequence
+
+from .corpus import DEFAULT_CORPUS_DIR
+from .fuzz import FuzzReport, fuzz
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def parallel_map(fn: Callable, items: Iterable, jobs: int = 1) -> list:
+    """``[fn(item) for item in items]``, fanned out over ``jobs`` processes.
+
+    ``fn`` must be a module-level function (it is pickled by name).  Results
+    come back in input order.  With ``jobs <= 1`` or fewer than two items
+    the map runs in-process.
+    """
+    items = list(items)
+    jobs = max(1, min(int(jobs), len(items)))
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with _pool_context().Pool(processes=jobs) as pool:
+        return pool.map(fn, items)
+
+
+def shard_ranges(total: int, jobs: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into up to ``jobs`` contiguous non-empty
+    ``(start, count)`` shards, as evenly as possible."""
+    jobs = max(1, min(int(jobs), total))
+    base, extra = divmod(total, jobs)
+    shards: list[tuple[int, int]] = []
+    start = 0
+    for index in range(jobs):
+        count = base + (1 if index < extra else 0)
+        if count:
+            shards.append((start, count))
+            start += count
+    return shards
+
+
+def _run_shard(payload: dict) -> FuzzReport:
+    """One worker: run a contiguous slice of the iteration range."""
+    from ..passes import PIPELINES
+
+    names = payload.pop("pipeline_names")
+    pipelines = (
+        {name: PIPELINES[name] for name in names} if names is not None else None
+    )
+    return fuzz(pipelines=pipelines, **payload)
+
+
+def fuzz_sharded(
+    jobs: int = 1,
+    seed: int = 0,
+    iterations: int = 100,
+    backends: tuple[str, ...] | None = None,
+    pipeline_names: Sequence[str] | None = None,
+    corpus_dir: str | None = DEFAULT_CORPUS_DIR,
+    shrink: bool = True,
+    max_stmts: int = 6,
+    max_failures: int = 10,
+    on_progress: Callable[[str], None] | None = None,
+    engine: str = "trace",
+) -> FuzzReport:
+    """:func:`repro.testing.fuzz.fuzz`, sharded over ``jobs`` processes.
+
+    Same findings as the sequential run (modulo the ``max_failures`` early
+    stop, which each shard honors locally); pipelines are named rather than
+    passed as factories so shards can be dispatched to worker processes.
+    """
+    shards = shard_ranges(iterations, jobs)
+    pipeline_names = tuple(pipeline_names) if pipeline_names is not None else None
+    if len(shards) <= 1:
+        payload = {
+            "seed": seed,
+            "iterations": iterations,
+            "backends": backends,
+            "pipeline_names": pipeline_names,
+            "corpus_dir": corpus_dir,
+            "shrink": shrink,
+            "max_stmts": max_stmts,
+            "max_failures": max_failures,
+            "engine": engine,
+        }
+        report = _run_shard(payload)
+        report.jobs = 1
+        return report
+
+    payloads = [
+        {
+            "seed": seed,
+            "iterations": count,
+            "start_iteration": start,
+            "backends": backends,
+            "pipeline_names": pipeline_names,
+            "corpus_dir": corpus_dir,
+            "shrink": shrink,
+            "max_stmts": max_stmts,
+            "max_failures": max_failures,
+            "engine": engine,
+        }
+        for start, count in shards
+    ]
+    reports = parallel_map(_run_shard, payloads, jobs=len(payloads))
+
+    merged = FuzzReport(
+        seed=seed,
+        iterations=iterations,
+        backends=reports[0].backends,
+        pipelines=reports[0].pipelines,
+        corpus_dir=corpus_dir,
+        jobs=len(payloads),
+    )
+    for report in reports:
+        merged.programs_run += report.programs_run
+        merged.failures.extend(report.failures)
+    merged.failures.sort(key=lambda f: (f.iteration, f.backend))
+    del merged.failures[max_failures:]
+    if on_progress:
+        on_progress(
+            f"... merged {len(reports)} shard(s): {merged.programs_run} "
+            f"programs, {len(merged.failures)} failure(s)"
+        )
+    return merged

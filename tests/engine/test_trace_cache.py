@@ -1,0 +1,97 @@
+"""Tests for the compiled-trace cache: keying, invalidation, eviction."""
+
+from repro.engine import TraceCache, compile_module, module_fingerprint
+from repro.ir import IntegerAttr, i64, parse_module, structural_key
+
+PROGRAM = """
+func.func @main(%x : i64) -> (i64) {
+  %c = arith.constant 3 : i64
+  %y = arith.addi %x, %c : i64
+  func.return %y : i64
+}
+"""
+
+
+def parse(text: str = PROGRAM):
+    return parse_module(text)
+
+
+class TestGetOrCompile:
+    def test_identical_module_hits(self):
+        cache = TraceCache()
+        module = parse()
+        first = cache.get_or_compile(module)
+        second = cache.get_or_compile(module)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_reparsed_module_hits_via_fingerprint(self):
+        cache = TraceCache()
+        first = cache.get_or_compile(parse())
+        second = cache.get_or_compile(parse())
+        assert first is second
+        assert cache.hits == 1
+
+    def test_structural_key_hits_across_clones(self):
+        cache = TraceCache()
+        module = parse()
+        clone = module.clone()
+        first = cache.get_or_compile(module, key=structural_key(module))
+        second = cache.get_or_compile(clone, key=structural_key(clone))
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_hit_rate(self):
+        cache = TraceCache()
+        assert cache.hit_rate == 0.0
+        cache.get_or_compile(parse())
+        cache.get_or_compile(parse())
+        assert cache.hit_rate == 0.5
+
+
+class TestInvalidation:
+    def test_in_place_mutation_misses(self):
+        # There is no explicit invalidation: mutating a module changes its
+        # structural key / fingerprint, so the stale entry is simply never
+        # looked up again.
+        cache = TraceCache()
+        module = parse()
+        stale = cache.get_or_compile(module, key=structural_key(module))
+        constant = next(op for op in module.walk() if op.name == "arith.constant")
+        constant.attributes["value"] = IntegerAttr(7, i64)
+        fresh = cache.get_or_compile(module, key=structural_key(module))
+        assert fresh is not stale
+        assert cache.misses == 2
+
+    def test_fingerprint_tracks_mutation_too(self):
+        module = parse()
+        before = module_fingerprint(module)
+        constant = next(op for op in module.walk() if op.name == "arith.constant")
+        constant.attributes["value"] = IntegerAttr(7, i64)
+        assert module_fingerprint(module) != before
+
+    def test_clear_resets_everything(self):
+        cache = TraceCache()
+        cache.get_or_compile(parse())
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestEviction:
+    def test_lru_bound(self):
+        cache = TraceCache(maxsize=2)
+        for value in (1, 2, 3):
+            cache.put(f"key-{value}", compile_module(parse()))
+        assert len(cache) == 2
+        assert cache.get("key-1") is None  # oldest evicted
+        assert cache.get("key-3") is not None
+
+    def test_get_refreshes_recency(self):
+        cache = TraceCache(maxsize=2)
+        cache.put("a", compile_module(parse()))
+        cache.put("b", compile_module(parse()))
+        cache.get("a")  # "b" is now least recently used
+        cache.put("c", compile_module(parse()))
+        assert cache.get("a") is not None
+        assert cache.get("b") is None

@@ -1,0 +1,79 @@
+"""Tests for structural_key: the exact, hashable module cache key."""
+
+from repro.ir import IntegerAttr, i64, parse_module, structural_key
+
+
+def parse(text: str):
+    return parse_module(text)
+
+
+PROGRAM = """
+func.func @main(%x : i64) -> (i64) {
+  %c = arith.constant 3 : i64
+  %y = arith.addi %x, %c : i64
+  func.return %y : i64
+}
+"""
+
+
+class TestEquality:
+    def test_deterministic(self):
+        module = parse(PROGRAM)
+        assert structural_key(module) == structural_key(module)
+
+    def test_clone_has_equal_key(self):
+        module = parse(PROGRAM)
+        assert structural_key(module.clone()) == structural_key(module)
+
+    def test_reparsed_text_has_equal_key(self):
+        # Keys depend only on structure, never on object identity, so two
+        # independent parses of the same text must collide (that is what
+        # makes the trace cache hit across pipeline clones).
+        assert structural_key(parse(PROGRAM)) == structural_key(parse(PROGRAM))
+
+    def test_key_is_hashable(self):
+        cache = {structural_key(parse(PROGRAM)): "entry"}
+        assert cache[structural_key(parse(PROGRAM))] == "entry"
+
+
+class TestInequality:
+    def test_attribute_value_changes_key(self):
+        module = parse(PROGRAM)
+        before = structural_key(module)
+        constant = next(op for op in module.walk() if op.name == "arith.constant")
+        constant.attributes["value"] = IntegerAttr(4, i64)
+        assert structural_key(module) != before
+
+    def test_different_op_changes_key(self):
+        other = parse(PROGRAM.replace("arith.addi", "arith.muli"))
+        assert structural_key(other) != structural_key(parse(PROGRAM))
+
+    def test_operand_topology_changes_key(self):
+        swapped = parse(PROGRAM.replace("%x, %c", "%c, %x"))
+        assert structural_key(swapped) != structural_key(parse(PROGRAM))
+
+    def test_region_structure_changes_key(self):
+        looped = parse(
+            """
+            func.func @main(%x : i64) -> (i64) {
+              %c = arith.constant 3 : i64
+              %lb = arith.constant 0 : index
+              %ub = arith.constant 2 : index
+              %st = arith.constant 1 : index
+              scf.for %i = %lb to %ub step %st {
+                %y = arith.addi %x, %c : i64
+              }
+              func.return %c : i64
+            }
+            """
+        )
+        assert structural_key(looped) != structural_key(parse(PROGRAM))
+
+
+class TestAtomInterning:
+    def test_atom_ids_are_stable_across_modules(self):
+        # The process-global atom table must assign the same id to equal
+        # attributes/types every time, or long-lived caches would corrupt.
+        first = structural_key(parse(PROGRAM))
+        for _ in range(3):
+            assert structural_key(parse(PROGRAM)) == first
