@@ -106,6 +106,17 @@ class AnalysisManager:
         mutated = list(mutated)
         if not mutated:
             return
+        # Defensive: a detached op (no parent chain) can no longer be matched
+        # to the scope that used to contain it, so ancestry-based matching
+        # would silently keep that scope's stale entries alive.  The only
+        # safe answer for an unattributable mutation is to drop everything.
+        # (Module roots also have no parent; mutating one invalidates all
+        # cached scopes anyway, so the conservative branch is exact there.)
+        if any(
+            op.parent is None and id(op) not in self._scopes for op in mutated
+        ):
+            self.invalidate()
+            return
         stale_scopes = {
             scope_id
             for scope_id, scope in self._scopes.items()

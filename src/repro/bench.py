@@ -6,6 +6,8 @@ comparable run to run):
 
 * ``compile``   — build + full pass pipeline over one pinned program per
   backend (the per-pipeline cost every fuzz iteration and sweep point pays);
+* ``pattern_driver`` — the greedy rewrite driver alone (worklist vs the
+  legacy sweep driver on identical pinned modules; reports the speedup);
 * ``simulate``  — repeated execution of one pinned program per backend
   against fresh memory images (the differential-oracle hot loop);
 * ``fuzz_iteration`` — end-to-end ``repro.testing.fuzz`` iterations across
@@ -15,10 +17,15 @@ Results are written to ``BENCH_engine.json``::
 
     {
       "schema": "bench-engine/1",
-      "meta": {... python/host info, calibration_ops_per_s ...},
+      "meta": {... python/host info, calibration_ops_per_s, rewrite_driver ...},
       "workloads": {name: {"wall_s", "programs_per_s", "cache_hit_rate"}},
+      "pass_breakdown": {pass_name: {"seconds", "runs", "ops_delta"}},
       "seed_baseline": {...}   # frozen pre-engine numbers, never overwritten
     }
+
+``pass_breakdown`` aggregates ``PassManager(instrument=True)`` statistics
+over the ``full`` pipeline: per pass slot, total seconds, run count, and net
+op-count delta — the compile-side bottleneck map.
 
 ``cache_hit_rate`` reports the compiled-trace cache of :mod:`repro.engine`
 (0.0 when the engine is absent or cold).  ``--check FILE`` implements the CI
@@ -143,6 +150,87 @@ def bench_simulate(quick: bool = False) -> dict:
     }
 
 
+def bench_pattern_driver(quick: bool = False) -> dict:
+    """Worklist vs legacy sweep pattern driver on pinned modules.
+
+    Isolates the rewrite-driver cost (canonicalization pattern set, the one
+    every pipeline pays): each program is rebuilt per run and only the
+    ``drive_patterns`` call is timed, so the ratio is a pure driver
+    comparison.  The headline ``programs_per_s`` reports the shipped
+    (worklist) driver; the sweep driver's numbers and the resulting speedup
+    ride along.
+    """
+    from .ir.rewriter import drive_patterns
+    from .passes.canonicalize import DEFAULT_PATTERNS
+    from .testing.generator import build_spec
+
+    specs = _pinned_programs()
+
+    def timed(driver: str, reps: int) -> tuple[float, int]:
+        total = 0.0
+        programs = 0
+        for _ in range(reps):
+            for spec in specs:
+                built = build_spec(spec, memory_seed=PINNED_SEED)
+                started = time.perf_counter()
+                drive_patterns(built.module, DEFAULT_PATTERNS, driver=driver)
+                total += time.perf_counter() - started
+                programs += 1
+        return total, programs
+
+    wall, programs = timed("worklist", 8 if quick else 80)
+    sweep_wall, sweep_programs = timed("sweep", 2 if quick else 20)
+    worklist_rate = programs / wall if wall else 0.0
+    sweep_rate = sweep_programs / sweep_wall if sweep_wall else 0.0
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(worklist_rate, 3),
+        "cache_hit_rate": 0.0,  # no execution: the trace cache never engages
+        "sweep_wall_s": round(sweep_wall, 4),
+        "sweep_programs_per_s": round(sweep_rate, 3),
+        "worklist_speedup": round(worklist_rate / sweep_rate, 3)
+        if sweep_rate
+        else 0.0,
+    }
+
+
+def bench_pass_breakdown(quick: bool = False) -> dict:
+    """Aggregated per-pass wall time of the ``full`` pipeline.
+
+    Feeds the ``pass_breakdown`` section of BENCH_engine.json from
+    ``PassManager(instrument=True)`` statistics: for each pass slot the
+    total seconds across all runs, the run count, and the net op-count
+    delta — the compile-side answer to "which pass is the bottleneck".
+    """
+    from .passes import PIPELINES
+    from .testing.generator import build_spec
+
+    specs = _pinned_programs()
+    reps = 2 if quick else 10
+    totals: dict[str, dict] = {}
+    for _ in range(reps):
+        for spec in specs:
+            built = build_spec(spec, memory_seed=PINNED_SEED)
+            manager = PIPELINES["full"]()
+            manager.instrument = True
+            manager.run(built.module)
+            for stat in manager.statistics:
+                entry = totals.setdefault(
+                    stat.pass_name, {"seconds": 0.0, "runs": 0, "ops_delta": 0}
+                )
+                entry["seconds"] += stat.seconds
+                entry["runs"] += 1
+                entry["ops_delta"] += stat.ops_delta
+    return {
+        name: {
+            "seconds": round(entry["seconds"], 4),
+            "runs": entry["runs"],
+            "ops_delta": entry["ops_delta"],
+        }
+        for name, entry in sorted(totals.items())
+    }
+
+
 def bench_fuzz(quick: bool = False) -> dict:
     """End-to-end fuzz iterations (all backends, all pipelines, no corpus)."""
     from .testing import fuzz
@@ -186,6 +274,7 @@ def bench_fuzz_acceptance(quick: bool = False) -> dict:
 
 WORKLOADS = {
     "compile": bench_compile,
+    "pattern_driver": bench_pattern_driver,
     "simulate": bench_simulate,
     "fuzz_iteration": bench_fuzz,
     "fuzz_200_acceptance": bench_fuzz_acceptance,
@@ -194,16 +283,24 @@ WORKLOADS = {
 
 def run_bench(quick: bool = False) -> dict:
     """Run every workload; returns the full BENCH_engine.json document."""
+    from .ir.rewriter import active_driver
+
     meta = {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "quick": quick,
         "calibration_ops_per_s": round(calibrate(), 1),
+        "rewrite_driver": active_driver(),
     }
     workloads = {}
     for name, runner in WORKLOADS.items():
         workloads[name] = runner(quick=quick)
-    return {"schema": SCHEMA, "meta": meta, "workloads": workloads}
+    return {
+        "schema": SCHEMA,
+        "meta": meta,
+        "workloads": workloads,
+        "pass_breakdown": bench_pass_breakdown(quick=quick),
+    }
 
 
 def check_regression(current: dict, committed: dict) -> list[str]:
@@ -279,11 +376,24 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
 
     for name, result in doc["workloads"].items():
-        print(
-            f"{name:16s} wall {result['wall_s']:8.3f}s   "
+        line = (
+            f"{name:20s} wall {result['wall_s']:8.3f}s   "
             f"{result['programs_per_s']:8.2f} programs/s   "
             f"cache hit rate {result['cache_hit_rate']:.0%}"
         )
+        if "worklist_speedup" in result:
+            line += f"   worklist speedup {result['worklist_speedup']:.2f}x"
+        print(line)
+    breakdown = doc.get("pass_breakdown") or {}
+    if breakdown:
+        print("pass breakdown (full pipeline):")
+        for name, entry in sorted(
+            breakdown.items(), key=lambda item: -item[1]["seconds"]
+        ):
+            print(
+                f"  {name:24s} {entry['seconds'] * 1e3:8.1f}ms over "
+                f"{entry['runs']} run(s)   ops delta {entry['ops_delta']:+d}"
+            )
     print(f"wrote {args.out}")
 
     if args.check:

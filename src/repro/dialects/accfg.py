@@ -74,6 +74,57 @@ class EffectsAttr(Attribute):
         return f"#accfg.effects<{self.effects}>"
 
 
+# Interned singletons for the dialect's hot constructors.  Accelerator and
+# field names recur constantly while building and rewriting (every setup /
+# launch re-wraps the same handful of strings), and StringAttr / StateType /
+# TokenType are frozen dataclasses whose construction is comparatively
+# expensive.  All attributes are immutable, so sharing is safe; the caches
+# are capped so adversarial name streams cannot grow them without bound.
+_INTERN_CAP = 4096
+_INTERNED_STRINGS: dict[str, StringAttr] = {}
+_INTERNED_PARAM_NAMES: dict[tuple[str, ...], ArrayAttr] = {}
+_INTERNED_STATE_TYPES: dict[str, StateType] = {}
+_INTERNED_TOKEN_TYPES: dict[str, TokenType] = {}
+
+
+def _str_attr(value: str) -> StringAttr:
+    attr = _INTERNED_STRINGS.get(value)
+    if attr is None:
+        attr = StringAttr(value)
+        if len(_INTERNED_STRINGS) < _INTERN_CAP:
+            _INTERNED_STRINGS[value] = attr
+    return attr
+
+
+def _param_names_attr(names: tuple[str, ...]) -> ArrayAttr:
+    attr = _INTERNED_PARAM_NAMES.get(names)
+    if attr is None:
+        attr = ArrayAttr(tuple(_str_attr(name) for name in names))
+        if len(_INTERNED_PARAM_NAMES) < _INTERN_CAP:
+            _INTERNED_PARAM_NAMES[names] = attr
+    return attr
+
+
+def state_type(accelerator: str) -> StateType:
+    """The (interned) ``!accfg.state`` type for ``accelerator``."""
+    cached = _INTERNED_STATE_TYPES.get(accelerator)
+    if cached is None:
+        cached = StateType(accelerator)
+        if len(_INTERNED_STATE_TYPES) < _INTERN_CAP:
+            _INTERNED_STATE_TYPES[accelerator] = cached
+    return cached
+
+
+def token_type(accelerator: str) -> TokenType:
+    """The (interned) ``!accfg.token`` type for ``accelerator``."""
+    cached = _INTERNED_TOKEN_TYPES.get(accelerator)
+    if cached is None:
+        cached = TokenType(accelerator)
+        if len(_INTERNED_TOKEN_TYPES) < _INTERN_CAP:
+            _INTERNED_TOKEN_TYPES[accelerator] = cached
+    return cached
+
+
 def set_effects(op: Operation, effects: str) -> None:
     """Annotate a foreign op with its accelerator-state effects."""
     op.attributes[EFFECTS_ATTR_NAME] = EffectsAttr(effects)
@@ -160,13 +211,15 @@ class SetupOp(Operation):
         operands: list[SSAValue] = []
         if in_state is not None:
             operands.append(in_state)
-        names: list[Attribute] = []
+        names: list[str] = []
         for field_name, value in fields:
-            names.append(StringAttr(field_name))
+            names.append(field_name)
             operands.append(value)
-        op = SetupOp(operands=operands, result_types=[StateType(accelerator)])
-        op.attributes["accelerator"] = StringAttr(accelerator)
-        op.attributes["param_names"] = ArrayAttr(tuple(names))
+        op = SetupOp(
+            operands=operands, result_types=[state_type(accelerator)]
+        )
+        op.attributes["accelerator"] = _str_attr(accelerator)
+        op.attributes["param_names"] = _param_names_attr(tuple(names))
         op.result.name_hint = "state"
         return op
 
@@ -178,10 +231,15 @@ class SetupOp(Operation):
         assert isinstance(attr, StringAttr)
         return attr.value
 
+    #: (param_names attr, extracted names) pair — attrs are immutable, so
+    #: the extraction is valid as long as the same attr object is installed
+    _field_names_cache: tuple[ArrayAttr, tuple[str, ...]] | None = None
+
     @property
     def in_state(self) -> SSAValue | None:
-        if self.operands and isinstance(self.operands[0].type, StateType):
-            return self.operands[0]
+        operands = self._operands
+        if operands and isinstance(operands[0].type, StateType):
+            return operands[0]
         return None
 
     @property
@@ -191,15 +249,25 @@ class SetupOp(Operation):
     @property
     def field_names(self) -> tuple[str, ...]:
         attr = self.attributes["param_names"]
+        cached = self._field_names_cache
+        if cached is not None and cached[0] is attr:
+            return cached[1]
         assert isinstance(attr, ArrayAttr)
-        return tuple(
+        names = tuple(
             e.value for e in attr.elements if isinstance(e, StringAttr)
         )
+        self._field_names_cache = (attr, names)
+        return names
 
     @property
     def field_values(self) -> tuple[SSAValue, ...]:
-        offset = 1 if self.in_state is not None else 0
-        return self.operands[offset:]
+        operands = self._operands
+        offset = (
+            1
+            if operands and isinstance(operands[0].type, StateType)
+            else 0
+        )
+        return tuple(operands[offset:])
 
     @property
     def fields(self) -> tuple[tuple[str, SSAValue], ...]:
@@ -219,12 +287,12 @@ class SetupOp(Operation):
         in_state = self.in_state
         if in_state is not None:
             operands.append(in_state)
-        names: list[Attribute] = []
+        names: list[str] = []
         for field_name, value in fields:
-            names.append(StringAttr(field_name))
+            names.append(field_name)
             operands.append(value)
         self.set_operands(operands)
-        self.attributes["param_names"] = ArrayAttr(tuple(names))
+        self.attributes["param_names"] = _param_names_attr(tuple(names))
 
     def set_in_state(self, state: SSAValue | None) -> None:
         fields = list(self.fields)
@@ -235,7 +303,8 @@ class SetupOp(Operation):
         self.set_operands(operands)
 
     def verify_(self) -> None:
-        if not isinstance(self.attributes.get("accelerator"), StringAttr):
+        accelerator = self.attributes.get("accelerator")
+        if not isinstance(accelerator, StringAttr):
             raise VerifyError("accfg.setup needs an 'accelerator' attribute")
         if not isinstance(self.attributes.get("param_names"), ArrayAttr):
             raise VerifyError("accfg.setup needs a 'param_names' attribute")
@@ -243,23 +312,27 @@ class SetupOp(Operation):
             raise VerifyError("accfg.setup must produce exactly one state")
         state_type = self.results[0].type
         assert isinstance(state_type, StateType)
-        if state_type.accelerator != self.accelerator:
+        if state_type.accelerator != accelerator.value:
             raise VerifyError("accfg.setup state type accelerator mismatch")
-        in_state = self.in_state
-        if in_state is not None and in_state.type != state_type:
+        operands = self._operands
+        has_in_state = bool(operands) and isinstance(operands[0].type, StateType)
+        if has_in_state and operands[0].type != state_type:
             raise VerifyError("accfg.setup input state type mismatch")
-        if len(self.field_names) != len(self.field_values):
+        field_names = self.field_names
+        field_values = operands[1:] if has_in_state else operands
+        if len(field_names) != len(field_values):
             raise VerifyError(
                 "accfg.setup param_names length must match field operand count"
             )
-        for value in self.field_values:
+        for value in field_values:
             if isinstance(value.type, (StateType, TokenType)):
                 raise VerifyError("accfg.setup field values cannot be states/tokens")
-        seen: set[str] = set()
-        for field_name in self.field_names:
-            if field_name in seen:
-                raise VerifyError(f"duplicate setup field '{field_name}'")
-            seen.add(field_name)
+        if len(set(field_names)) != len(field_names):
+            seen: set[str] = set()
+            for field_name in field_names:
+                if field_name in seen:
+                    raise VerifyError(f"duplicate setup field '{field_name}'")
+                seen.add(field_name)
 
     def print_custom(self, printer: Printer) -> None:
         printer.emit(f'accfg.setup on "{self.accelerator}" ')
@@ -305,14 +378,15 @@ class LaunchOp(Operation):
         if not isinstance(state_type, StateType):
             raise VerifyError("accfg.launch operand must be a state")
         operands: list[SSAValue] = [state]
-        names: list[Attribute] = []
+        names: list[str] = []
         for field_name, value in fields:
-            names.append(StringAttr(field_name))
+            names.append(field_name)
             operands.append(value)
         op = LaunchOp(
-            operands=operands, result_types=[TokenType(state_type.accelerator)]
+            operands=operands,
+            result_types=[token_type(state_type.accelerator)],
         )
-        op.attributes["param_names"] = ArrayAttr(tuple(names))
+        op.attributes["param_names"] = _param_names_attr(tuple(names))
         op.result.name_hint = "token"
         return op
 

@@ -39,6 +39,14 @@ def truncate_to_type(value: int, type: TypeAttribute) -> int:
     return value & mask
 
 
+#: interned ``value`` attributes — constants repeat heavily (loop bounds,
+#: field values), and reusing the attribute object skips a dataclass
+#: construction per constant and makes later attribute hashing/equality hit
+#: the identity fast path.  Keyed by the type *attribute* (not its id), so
+#: entries keep their type alive and can never alias a recycled object.
+_INTERNED_VALUES: dict[tuple[int, TypeAttribute], IntegerAttr] = {}
+
+
 @register_op
 class ConstantOp(Operation):
     """An integer constant: ``%c = arith.constant 5 : i64``."""
@@ -50,7 +58,13 @@ class ConstantOp(Operation):
     @staticmethod
     def create(value: int, type: TypeAttribute) -> "ConstantOp":
         op = ConstantOp(result_types=[type])
-        op.attributes["value"] = IntegerAttr(truncate_to_type(value, type), type)
+        key = (value, type)
+        attr = _INTERNED_VALUES.get(key)
+        if attr is None:
+            attr = IntegerAttr(truncate_to_type(value, type), type)
+            if len(_INTERNED_VALUES) < 4096:
+                _INTERNED_VALUES[key] = attr
+        op.attributes["value"] = attr
         return op
 
     @property

@@ -48,8 +48,16 @@ class Operation:
     #: attribute (e.g. an ``accfg.effects`` annotation) is printed as a
     #: trailing ``{...}`` dictionary so round-trips stay lossless
     custom_printed_attrs: frozenset[str] = frozenset()
+    #: trait flags as plain class attributes (see __init_subclass__)
+    is_terminator: bool = False
+    is_pure: bool = False
 
     __slots__ = ("_operands", "results", "attributes", "regions", "parent", "loc")
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.is_terminator = _IS_TERMINATOR in cls.traits
+        cls.is_pure = _PURE in cls.traits
 
     def __init__(
         self,
@@ -64,7 +72,9 @@ class Operation:
         self.results: list[OpResult] = [
             OpResult(t, self, i) for i, t in enumerate(result_types)
         ]
-        self.attributes: dict[str, Attribute] = dict(attributes or {})
+        self.attributes: dict[str, Attribute] = (
+            dict(attributes) if attributes else {}
+        )
         self.regions: list[Region] = []
         self.parent: Block | None = None
         for i, operand in enumerate(operands):
@@ -82,14 +92,14 @@ class Operation:
     def set_operand(self, index: int, value: SSAValue) -> None:
         """Replace operand ``index`` with ``value``, updating use lists."""
         old = self._operands[index]
-        old.remove_use(Use(self, index))
+        old.remove_use_of(self, index)
         self._operands[index] = value
         value.add_use(Use(self, index))
 
     def set_operands(self, values: Sequence[SSAValue]) -> None:
         """Replace the whole operand list (lengths may differ)."""
         for i, old in enumerate(self._operands):
-            old.remove_use(Use(self, i))
+            old.remove_use_of(self, i)
         self._operands = list(values)
         for i, new in enumerate(self._operands):
             new.add_use(Use(self, i))
@@ -97,7 +107,7 @@ class Operation:
     def drop_all_references(self) -> None:
         """Remove this op's reads of its operands (used before erasing)."""
         for i, old in enumerate(self._operands):
-            old.remove_use(Use(self, i))
+            old.remove_use_of(self, i)
         self._operands = []
         for region in self.regions:
             for block in region.blocks:
@@ -175,6 +185,21 @@ class Operation:
             children.reverse()
             stack.extend(children)
 
+    def walk_list(self) -> "list[Operation]":
+        """Pre-order op list, same order as :meth:`walk`.
+
+        Materialized variant for hot consumers (verifier, pattern-driver
+        seeding, pass-level op collection).  Recursing per *block* rather
+        than maintaining an explicit per-op stack means region-free ops —
+        the overwhelming majority — cost one append and one truthiness
+        check each; :meth:`walk` pays a generator resumption per op and the
+        old stack walk paid a children-list build and reversal per parent.
+        """
+        out: list[Operation] = [self]
+        if self.regions:
+            _walk_into(self, out)
+        return out
+
     def is_before_in_block(self, other: "Operation") -> bool:
         """True if both ops share a block and ``self`` comes first."""
         if self.parent is None or self.parent is not other.parent:
@@ -187,24 +212,11 @@ class Operation:
     def has_trait(cls, trait: OpTrait) -> bool:
         return trait in cls.traits
 
-    @property
-    def is_terminator(self) -> bool:
-        # Trait flags are per-class constants; cache them on the class the
-        # first time they are asked for (trait queries sit on the hot path
-        # of the verifier, DCE, and CSE).
-        cached = type(self).__dict__.get("_is_terminator")
-        if cached is None:
-            cached = _IS_TERMINATOR in self.traits
-            type(self)._is_terminator = cached
-        return cached
-
-    @property
-    def is_pure(self) -> bool:
-        cached = type(self).__dict__.get("_is_pure")
-        if cached is None:
-            cached = _PURE in self.traits
-            type(self)._is_pure = cached
-        return cached
+    # ``is_terminator``/``is_pure`` are class-level constants recomputed per
+    # subclass in ``__init_subclass__`` (declared on the base class above,
+    # next to ``traits``): trait queries sit on the hot path of the
+    # verifier, DCE, and CSE, and a plain class-attribute read beats a
+    # property + per-call trait-set membership test.
 
     # -- cloning -----------------------------------------------------------
 
@@ -295,11 +307,21 @@ class Operation:
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"
 
-    def __hash__(self) -> int:
-        return id(self)
+    # Identity hashing/equality: ops are mutable graph nodes, and the
+    # worklist driver, CSE, and DCE all key sets by op identity.  The
+    # inherited object.__hash__/__eq__ already ARE identity-based and run
+    # in C; redefining them in Python costs a frame per set probe on the
+    # hottest paths, so we deliberately do not override them.
 
-    def __eq__(self, other: object) -> bool:
-        return self is other
+
+def _walk_into(op: Operation, out: list[Operation]) -> None:
+    """Append all ops nested under ``op``'s regions to ``out``, pre-order."""
+    for region in op.regions:
+        for block in region.blocks:
+            for nested in block.ops:
+                out.append(nested)
+                if nested.regions:
+                    _walk_into(nested, out)
 
 
 class UnregisteredOp(Operation):

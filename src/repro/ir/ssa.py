@@ -10,7 +10,6 @@ a proxy for runtime-value identity (paper, Section 5.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from .attributes import TypeAttribute
@@ -20,12 +19,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle breakers for typing only
     from .operation import Operation
 
 
-@dataclass(frozen=True)
 class Use:
-    """A single read of an SSA value: ``operation.operands[index]``."""
+    """A single read of an SSA value: ``operation.operands[index]``.
 
-    operation: "Operation"
-    index: int
+    A plain ``__slots__`` class rather than a frozen dataclass: one ``Use``
+    is built for every operand link/unlink, and the frozen-dataclass
+    ``object.__setattr__`` constructor is several times slower than direct
+    slot assignment.
+    """
+
+    __slots__ = ("operation", "index")
+
+    def __init__(self, operation: "Operation", index: int) -> None:
+        self.operation = operation
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"Use({self.operation!r}, {self.index})"
 
     def __hash__(self) -> int:
         return hash((id(self.operation), self.index))
@@ -45,16 +55,29 @@ class SSAValue:
         if not isinstance(type, TypeAttribute):
             raise TypeError(f"SSA value type must be a TypeAttribute, got {type!r}")
         self.type = type
-        self.uses: set[Use] = set()
+        # A list, not a set: use lists are tiny (a handful of entries), and
+        # list append/scan beats per-Use tuple hashing on every link/unlink.
+        # Link/unlink discipline (one add per operand slot, one remove per
+        # unlink) keeps entries unique without set semantics.
+        self.uses: list[Use] = []
         self.name_hint = name_hint
 
     # -- def-use management -------------------------------------------------
 
     def add_use(self, use: Use) -> None:
-        self.uses.add(use)
+        self.uses.append(use)
 
     def remove_use(self, use: Use) -> None:
-        self.uses.discard(use)
+        self.remove_use_of(use.operation, use.index)
+
+    def remove_use_of(self, operation: "Operation", index: int) -> None:
+        """Unlink the use ``operation.operands[index]`` without allocating a
+        :class:`Use` for the lookup (the unlink-side hot path)."""
+        uses = self.uses
+        for i, existing in enumerate(uses):
+            if existing.operation is operation and existing.index == index:
+                del uses[i]
+                return
 
     def replace_all_uses_with(self, other: "SSAValue") -> None:
         """Rewrite every operand slot reading ``self`` to read ``other``."""
@@ -81,11 +104,9 @@ class SSAValue:
     def owner(self) -> "Operation | Block":
         raise NotImplementedError
 
-    def __hash__(self) -> int:
-        return id(self)
-
-    def __eq__(self, other: object) -> bool:
-        return self is other
+    # Identity hashing/equality (value maps, use sets, CSE keys) is the
+    # inherited object behaviour, already C-implemented; overriding it in
+    # Python would add a frame per dict/set probe on hot paths.
 
 
 class OpResult(SSAValue):

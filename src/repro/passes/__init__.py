@@ -3,7 +3,8 @@ from the paper (state tracing, configuration deduplication, configuration
 overlap)."""
 
 from .canonicalize import CanonicalizePass
-from .cse import CSEPass
+from .cleanup import CleanupPass
+from .cse import CSEPass, cse_root
 from .dce import DCEPass
 from .dedup import (
     DedupPass,
@@ -26,6 +27,7 @@ from .pass_manager import (
     PassManager,
     PassStatistics,
     register_pass,
+    report_scopes,
 )
 from .pipeline import (
     PIPELINES,
@@ -48,7 +50,9 @@ from .trace_states import (
 
 __all__ = [
     "CanonicalizePass",
+    "CleanupPass",
     "CSEPass",
+    "cse_root",
     "DCEPass",
     "DedupPass",
     "KnownFields",
@@ -71,6 +75,7 @@ __all__ = [
     "PassManager",
     "PassStatistics",
     "register_pass",
+    "report_scopes",
     "PIPELINES",
     "baseline_pipeline",
     "none_pipeline",

@@ -7,6 +7,11 @@ attack configuration-parameter computation "for free"; this pass implements
 the folding part.  Bit-packing expressions such as ``(K << 32) | (J << 16) |
 I`` (Listing 1) collapse to constants whenever the operands are static, which
 directly raises the effective configuration bandwidth (Section 4.4).
+
+Patterns carry indexing hints for the worklist driver: scf-structural
+patterns name their root op class (``root_ops``), and the wildcard patterns
+narrow themselves per op *class* through ``applies_to`` (an op type without
+a ``fold`` override can never fold; an impure op class can never be dead).
 """
 
 from __future__ import annotations
@@ -18,38 +23,47 @@ from ..ir.rewriter import (
     PatternRewriter,
     RewritePattern,
     apply_patterns_greedily,
+    drive_patterns,
 )
 from ..ir.ssa import SSAValue
+from ..ir.traits import Pure
 from .pass_manager import ModulePass, register_pass
+
+_PURE = Pure()
 
 
 class FoldPattern(RewritePattern):
     """Apply each op's ``fold`` hook, materializing attribute results."""
 
+    @classmethod
+    def applies_to(cls, op_type: type) -> bool:
+        # Only op classes overriding the fold hook can ever fold.
+        return op_type.fold is not Operation.fold
+
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         folded = op.fold()
         if folded is None:
             return False
+        if op.parent is None:
+            return False
         replacements: list[SSAValue] = []
-        new_ops: list[Operation] = []
         for entry in folded:
             if isinstance(entry, Attribute):
                 constant = arith.materialize_attr(entry)
-                new_ops.append(constant)
+                rewriter.insert_op_before(op, constant)
                 replacements.append(constant.result)
             else:
                 replacements.append(entry)
-        block = op.parent
-        if block is None:
-            return False
-        for new_op in new_ops:
-            block.insert_op_before(op, new_op)
         rewriter.replace_values(op, replacements)
         return True
 
 
 class DeadPureOpPattern(RewritePattern):
     """Erase pure ops none of whose results are used."""
+
+    @classmethod
+    def applies_to(cls, op_type: type) -> bool:
+        return _PURE in op_type.traits
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if not op.is_pure or op.is_terminator or op.parent is None:
@@ -64,6 +78,8 @@ class DeadPureOpPattern(RewritePattern):
 
 class SimplifyConstantIfPattern(RewritePattern):
     """Replace ``scf.if`` on a constant condition with the taken branch."""
+
+    root_ops = (scf.IfOp,)
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if not isinstance(op, scf.IfOp) or op.parent is None:
@@ -82,7 +98,7 @@ class SimplifyConstantIfPattern(RewritePattern):
         yielded: list[SSAValue] = []
         if isinstance(terminator, scf.YieldOp):
             yielded = list(terminator.operands)
-            terminator.erase()
+            rewriter.erase_op(terminator)
         rewriter.inline_block_before(block, op, [])
         rewriter.replace_values(op, yielded)
         return True
@@ -90,6 +106,8 @@ class SimplifyConstantIfPattern(RewritePattern):
 
 class SimplifyTrivialLoopPattern(RewritePattern):
     """Drop ``scf.for`` loops that execute zero times (constant bounds)."""
+
+    root_ops = (scf.ForOp,)
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if not isinstance(op, scf.ForOp) or op.parent is None:
@@ -105,26 +123,36 @@ class SimplifyTrivialLoopPattern(RewritePattern):
 class DedupConstantPattern(RewritePattern):
     """Merge identical constants within one block (local constant uniquing).
 
-    The sweep visits each block's ops in order, so a per-sweep memo (stashed
-    on the rewriter, which the driver recreates every sweep) of the first
-    constant seen per ``(block, value, type)`` replaces the former rescan of
-    all earlier block ops.  Constants materialized mid-sweep (by folding) are
-    not in the memo; the following sweep dedups them — same fixpoint.
+    A memo of the representative constant per ``(block, value, type)`` lives
+    on the rewriter.  Under the sweep driver the rewriter (and memo) is
+    recreated every sweep and ops are visited in block order, so the first
+    constant seen is the earliest.  The worklist driver's rewriter *outlives*
+    any single pass over the IR and pops in worklist (not block) order, so
+    the memo must be validated on every hit: a memoized constant that was
+    erased or moved away no longer counts, and when both constants are live
+    the *earlier one in the block* survives regardless of visit order —
+    which is both the dominance-safe choice and the sweep driver's normal
+    form.
     """
+
+    root_ops = (arith.ConstantOp,)
 
     def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> bool:
         if not isinstance(op, arith.ConstantOp) or op.parent is None:
             return False
-        memo: dict = rewriter.__dict__.setdefault("_constant_memo", {})
-        key = (op.parent, op.value, op.result.type)
-        earlier = memo.get(key)
-        # No canonicalization pattern moves an op later in its block, so a
-        # memoized constant still attached to this block precedes ``op``.
-        if earlier is not None and earlier is not op and earlier.parent is op.parent:
-            rewriter.replace_values(op, [earlier.result])
-            return True
-        memo[key] = op
-        return False
+        memo: dict = rewriter._constant_memo
+        key = (op.parent, op.value, op.results[0].type)
+        memoized = memo.get(key)
+        if memoized is None or memoized is op or memoized.parent is not op.parent:
+            memo[key] = op  # first live constant seen (or stale entry fixed)
+            return False
+        if memoized.is_before_in_block(op):
+            survivor, duplicate = memoized, op
+        else:
+            survivor, duplicate = op, memoized
+        memo[key] = survivor
+        rewriter.replace_values(duplicate, [survivor.result])
+        return True
 
 
 DEFAULT_PATTERNS: tuple[RewritePattern, ...] = (
@@ -142,5 +170,17 @@ class CanonicalizePass(ModulePass):
 
     name = "canonicalize"
 
-    def apply(self, module: Operation, analyses=None) -> bool:
-        return apply_patterns_greedily(module, DEFAULT_PATTERNS)
+    def apply(self, module: Operation, analyses=None):
+        return drive_patterns(module, DEFAULT_PATTERNS).report()
+
+
+__all__ = [
+    "FoldPattern",
+    "DeadPureOpPattern",
+    "SimplifyConstantIfPattern",
+    "SimplifyTrivialLoopPattern",
+    "DedupConstantPattern",
+    "DEFAULT_PATTERNS",
+    "CanonicalizePass",
+    "apply_patterns_greedily",
+]

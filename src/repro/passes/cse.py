@@ -8,30 +8,87 @@ The paper leans on CSE as a correctness amplifier for configuration
 deduplication (Section 5.4): dedup compares setup fields by SSA-value
 identity, and CSE is what makes "same computed value" become "same SSA
 value".
+
+:func:`cse_root` is the reusable core: it optionally threads a
+:class:`~repro.ir.rewriter.PatternRewriter` so callers (the fused cleanup
+driver) learn which ops were touched, and reports the erased duplicates so
+the pass can attribute changes to functions.
 """
 
 from __future__ import annotations
 
-from collections import ChainMap
+from typing import Callable
 
 from ..ir.attributes import Attribute
 from ..ir.block import Block
 from ..ir.operation import Operation
-from ..ir.rewriter import Rewriter
-from .pass_manager import ModulePass, register_pass
+from ..ir.rewriter import Rewriter, enclosing_scope
+from .pass_manager import ModulePass, register_pass, report_scopes
 
 
 def _op_key(op: Operation) -> tuple | None:
     """A hashable structural key; None when the op cannot be CSE'd."""
     if not op.is_pure or op.regions or op.is_terminator:
         return None
-    attrs: list[tuple[str, Attribute]] = sorted(op.attributes.items())
+    attributes = op.attributes
+    attrs: tuple[tuple[str, Attribute], ...] = (
+        tuple(sorted(attributes.items())) if attributes else ()
+    )
     return (
         op.name,
-        tuple(id(operand) for operand in op.operands),
-        tuple(attrs),
+        tuple(id(operand) for operand in op._operands),
+        attrs,
         tuple(result.type for result in op.results),
     )
+
+
+def cse_root(
+    root: Operation,
+    rewriter: Rewriter | None = None,
+    on_erase: Callable[[Operation], None] | None = None,
+) -> bool:
+    """One CSE pass over everything nested in ``root``.
+
+    ``rewriter`` routes the replacements (a :class:`PatternRewriter` records
+    the touched users for worklist reseeding); ``on_erase`` observes each
+    duplicate right *before* it is erased, while its parent chain is intact.
+    """
+    if rewriter is None:
+        rewriter = Rewriter()
+    changed = False
+    for region in root.regions:
+        for block in region.blocks:
+            changed |= _process_block(block, {}, rewriter, on_erase)
+    return changed
+
+
+def _process_block(
+    block: Block,
+    known: dict,
+    rewriter: Rewriter,
+    on_erase: Callable[[Operation], None] | None,
+) -> bool:
+    changed = False
+    for op in list(block.ops):
+        key = _op_key(op)
+        if key is not None:
+            existing = known.get(key)
+            if existing is not None:
+                if on_erase is not None:
+                    on_erase(op)
+                rewriter.replace_values(op, list(existing.results))
+                changed = True
+                continue
+            known[key] = op
+        for region in op.regions:
+            for nested in region.blocks:
+                # Copy-on-descend scoping: entries added inside the nested
+                # block must not leak back out, and a flat dict copy beats a
+                # ChainMap's per-lookup chain walk at our shallow nestings.
+                changed |= _process_block(
+                    nested, dict(known), rewriter, on_erase
+                )
+    return changed
 
 
 @register_pass
@@ -40,25 +97,17 @@ class CSEPass(ModulePass):
 
     name = "cse"
 
-    def apply(self, module: Operation, analyses=None) -> bool:
-        changed = False
-        for region in module.regions:
-            for block in region.blocks:
-                changed |= self._process_block(block, ChainMap())
-        return changed
+    def apply(self, module: Operation, analyses=None):
+        scopes: dict[Operation, None] = {}
+        root_level = False
 
-    def _process_block(self, block: Block, known: ChainMap) -> bool:
-        changed = False
-        for op in list(block.ops):
-            key = _op_key(op)
-            if key is not None:
-                existing = known.get(key)
-                if existing is not None:
-                    Rewriter.replace_values(op, list(existing.results))
-                    changed = True
-                    continue
-                known[key] = op
-            for region in op.regions:
-                for nested in region.blocks:
-                    changed |= self._process_block(nested, known.new_child())
-        return changed
+        def record(op: Operation) -> None:
+            nonlocal root_level
+            scope = enclosing_scope(module, op)
+            if scope is None:
+                root_level = True
+            else:
+                scopes[scope] = None
+
+        changed = cse_root(module, on_erase=record)
+        return report_scopes(changed, scopes, root_level)

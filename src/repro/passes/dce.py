@@ -1,14 +1,17 @@
 """Dead-code elimination for pure ops.
 
-Removes pure operations whose results are all unused, iterating until
-fixpoint so chains of dead computation disappear.  A reverse walk makes most
-chains die in a single sweep.
+Removes pure operations whose results are all unused.  Worklist-driven: one
+reverse walk seeds the queue (so most use-chains die the first time they are
+visited, leaf first), and erasing an op re-enqueues exactly the definers of
+its operands — the only ops an erasure can newly make dead — instead of
+re-walking the whole module until fixpoint.
 """
 
 from __future__ import annotations
 
 from ..ir.operation import Operation
-from .pass_manager import ModulePass, register_pass
+from ..ir.rewriter import Worklist, enclosing_scope
+from .pass_manager import ModulePass, register_pass, report_scopes
 
 
 @register_pass
@@ -17,19 +20,33 @@ class DCEPass(ModulePass):
 
     name = "dce"
 
-    def apply(self, module: Operation, analyses=None) -> bool:
+    def apply(self, module: Operation, analyses=None):
+        worklist = Worklist()
+        for op in module.walk(reverse=True):
+            worklist.push(op)
         erased_any = False
-        changed = True
-        while changed:
-            changed = False
-            for op in list(module.walk(reverse=True)):
-                if op is module or op.parent is None:
-                    continue
-                if not op.is_pure or op.is_terminator or op.regions:
-                    continue
-                if any(result.has_uses for result in op.results):
-                    continue
-                op.erase()
-                changed = True
-                erased_any = True
-        return erased_any
+        root_level = False
+        scopes: dict[Operation, None] = {}
+        while worklist:
+            op = worklist.pop()
+            if op is module or op.parent is None:
+                continue
+            if not op.is_pure or op.is_terminator or op.regions:
+                continue
+            if any(result.has_uses for result in op.results):
+                continue
+            scope = enclosing_scope(module, op)
+            definers = [
+                operand.owner
+                for operand in op.operands
+                if isinstance(operand.owner, Operation)
+            ]
+            op.erase()
+            erased_any = True
+            for definer in definers:
+                worklist.push(definer)
+            if scope is None or scope is op:
+                root_level = True
+            else:
+                scopes[scope] = None
+        return report_scopes(erased_any, scopes, root_level)

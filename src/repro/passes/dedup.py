@@ -21,12 +21,14 @@ The pass pipeline inside ``accfg-dedup`` follows Section 5.4.1:
 
 from __future__ import annotations
 
+import warnings
+
 from ..analysis.dataflow import KnownFields, KnownFieldsAnalysis, intersect
 from ..dialects import accfg, scf
 from ..ir.operation import Operation
 from ..ir.ssa import OpResult, SSAValue
 from .licm import is_defined_outside
-from .pass_manager import ModulePass, register_pass
+from .pass_manager import ModulePass, register_pass, report_scopes
 
 # The known-fields dataflow (KnownFields / intersect / KnownFieldsAnalysis)
 # moved to repro.analysis.dataflow so the lint suite shares it; the names
@@ -72,7 +74,7 @@ def hoist_setups_into_branches(root: Operation) -> bool:
     """Sink a setup whose input state is an ``scf.if`` result into both
     branches, restoring linear setup chains (Section 5.4.1)."""
     changed = False
-    for op in list(root.walk()):
+    for op in root.walk_list():
         if not isinstance(op, accfg.SetupOp) or op.parent is None:
             continue
         in_state = op.in_state
@@ -140,7 +142,7 @@ def _insert_guarded_setup(
         return pre.out_state
     cond = arith.CmpiOp.create("ult", loop.lb, loop.ub)
     loop.parent.insert_op_before(loop, cond)
-    state_type = accfg.StateType(accelerator)
+    state_type = accfg.state_type(accelerator)
     if_op = scf.IfOp.create(cond.result, [state_type])
     guarded = accfg.SetupOp.create(accelerator, fields, init)
     if_op.then_block.add_op(guarded)
@@ -160,7 +162,7 @@ def hoist_invariant_setup_fields(root: Operation) -> bool:
     pre-loop write is visible to every iteration.
     """
     changed = False
-    loops = [op for op in root.walk() if isinstance(op, scf.ForOp)]
+    loops = [op for op in root.walk_list() if isinstance(op, scf.ForOp)]
     for loop in reversed(loops):  # innermost first
         changed |= _hoist_fields_from_loop(loop)
     return changed
@@ -179,7 +181,7 @@ def _hoist_fields_from_loop(loop: scf.ForOp) -> bool:
         # Program order over the whole body (nested regions included):
         # register retention means soundness is about *when* writes execute,
         # not about the SSA chain alone.
-        order = {op: i for i, op in enumerate(loop.walk())}
+        order = {op: i for i, op in enumerate(loop.walk_list())}
         first_launch = min(
             (
                 order[op]
@@ -204,7 +206,8 @@ def _hoist_fields_from_loop(loop: scf.ForOp) -> bool:
                 first_launch is None or order[setup] < first_launch
             )
             keep: list[tuple[str, SSAValue]] = []
-            for name, value in setup.fields:
+            setup_fields = setup.fields
+            for name, value in setup_fields:
                 if (
                     len(field_writers[name]) == 1
                     and executes_before_launches
@@ -213,7 +216,7 @@ def _hoist_fields_from_loop(loop: scf.ForOp) -> bool:
                     hoisted.append((name, value))
                 else:
                     keep.append((name, value))
-            if len(keep) != len(setup.fields):
+            if len(keep) != len(setup_fields):
                 setup.set_fields(keep)
                 changed = True
         if hoisted:
@@ -231,7 +234,7 @@ def eliminate_redundant_fields(root: Operation, manager=None) -> bool:
     """
     changed = False
     local: dict[str, KnownFieldsAnalysis] = {}
-    for op in list(root.walk()):
+    for op in root.walk_list():
         if not isinstance(op, accfg.SetupOp) or op.parent is None:
             continue
         if op.in_state is None:
@@ -243,14 +246,17 @@ def eliminate_redundant_fields(root: Operation, manager=None) -> bool:
                 op.accelerator, KnownFieldsAnalysis(op.accelerator)
             )
         known = analysis.known(op.in_state)
+        fields = op.fields
         keep = [
             (name, value)
-            for name, value in op.fields
+            for name, value in fields
             if known.fields.get(name) is not value
         ]
-        if len(keep) != len(op.fields):
+        if len(keep) != len(fields):
+            # The cached analysis stays valid: every dropped field wrote the
+            # exact SSA value the register already held, so the state after
+            # this setup — and everything downstream — is unchanged.
             op.set_fields(keep)
-            analysis._cache.clear()  # field sets changed; recompute lazily
             changed = True
     return changed
 
@@ -259,7 +265,7 @@ def remove_empty_setups(root: Operation) -> bool:
     """Erase setups that write nothing: forward their input state (or drop
     result-free anchors entirely when unused)."""
     changed = False
-    for op in list(root.walk()):
+    for op in root.walk_list():
         if not isinstance(op, accfg.SetupOp) or op.parent is None:
             continue
         if op.fields:
@@ -278,7 +284,7 @@ def remove_empty_setups(root: Operation) -> bool:
 def merge_consecutive_setups(root: Operation) -> bool:
     """Merge a setup chain ``s1 -> s2`` when nothing else observes ``s1``."""
     changed = False
-    for op in list(root.walk()):
+    for op in root.walk_list():
         if not isinstance(op, accfg.SetupOp) or op.parent is None:
             continue
         in_state = op.in_state
@@ -309,25 +315,71 @@ def merge_consecutive_setups(root: Operation) -> bool:
     return changed
 
 
+#: rounds of the five-phase flow per function before giving up (a phase can
+#: enable another, but chains are short in practice)
+MAX_DEDUP_ROUNDS = 20
+
+
+def _dedup_root(root: Operation, analyses=None) -> bool:
+    """Run the five-phase dedup flow over one root until fixpoint."""
+    changed_any = False
+    for _ in range(MAX_DEDUP_ROUNDS):
+        structural = hoist_setups_into_branches(root)
+        structural |= hoist_invariant_setup_fields(root)
+        # The shared analysis cache is only trustworthy while this pass
+        # has not yet mutated this scope; after the first change, fall
+        # back to a private (freshly built) analysis.
+        shared = analyses if not (structural or changed_any) else None
+        eliminated = eliminate_redundant_fields(root, shared)
+        structural |= merge_consecutive_setups(root)
+        structural |= remove_empty_setups(root)
+        if structural or eliminated:
+            changed_any = True
+        # Field elimination cannot enable any phase by itself: a removed
+        # field was a no-op write, so the known-fields map, setup
+        # adjacency, and loop invariance are all unchanged.  Only the
+        # structural phases force another round.
+        if not structural:
+            return changed_any
+    warnings.warn(
+        f"accfg-dedup did not converge within {MAX_DEDUP_ROUNDS} rounds",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return changed_any
+
+
 @register_pass
 class DedupPass(ModulePass):
-    """Configuration deduplication (step 3 of the flow, Figure 8)."""
+    """Configuration deduplication (step 3 of the flow, Figure 8).
+
+    Runs the round loop *per function* rather than over the whole module:
+    setup chains never cross function boundaries, so one function reaching
+    its fixpoint never needs to be rescanned because another changed — and
+    the change report names exactly the functions that were mutated.
+    """
 
     name = "accfg-dedup"
 
-    def apply(self, module: Operation, analyses=None) -> bool:
-        changed_any = False
-        for _ in range(20):
-            changed = hoist_setups_into_branches(module)
-            changed |= hoist_invariant_setup_fields(module)
-            # The shared analysis cache is only trustworthy while this pass
-            # has not yet mutated the module; after the first change, fall
-            # back to a private (freshly built) analysis.
-            shared = analyses if not (changed or changed_any) else None
-            changed |= eliminate_redundant_fields(module, shared)
-            changed |= merge_consecutive_setups(module)
-            changed |= remove_empty_setups(module)
-            changed_any |= changed
-            if not changed:
-                break
-        return changed_any
+    def apply(self, module: Operation, analyses=None):
+        from ..dialects import func
+
+        tops = [
+            op
+            for region in module.regions
+            for block in region.blocks
+            for op in block.ops
+        ]
+        if not all(isinstance(op, func.FuncOp) for op in tops):
+            # Setups directly at module level (hand-written tests): phases
+            # can reach across tops, so fall back to whole-module rounds.
+            return True if _dedup_root(module, analyses) else False
+        scopes: dict[Operation, None] = {}
+        for fn in tops:
+            if fn.is_declaration:
+                continue
+            if not any(isinstance(op, accfg.SetupOp) for op in fn.walk_list()):
+                continue
+            if _dedup_root(fn, analyses):
+                scopes[fn] = None
+        return report_scopes(bool(scopes), scopes)

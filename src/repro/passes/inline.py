@@ -8,16 +8,24 @@ practical counterpart to the paper's outlook on cross-function effects
 
 Only direct calls to same-module, non-recursive function definitions are
 inlined; declarations and (mutually) recursive calls are left in place.
+
+The pass drives a worklist of call sites: inlining one call enqueues only
+the calls cloned out of the callee body, instead of re-walking the module
+for up to ``max_rounds`` rounds.  The function map and recursive-function
+set are computed once — inlining can only shrink the call graph's edge set
+toward its transitive closure, so no new cycles can appear mid-run.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from ..dialects import func
 from ..dialects.builtin import ModuleOp
 from ..ir.operation import Operation
-from ..ir.rewriter import Rewriter
+from ..ir.rewriter import Rewriter, Worklist, enclosing_scope
 from ..ir.ssa import SSAValue
-from .pass_manager import ModulePass, register_pass
+from .pass_manager import ModulePass, register_pass, report_scopes
 
 
 def _function_map(module: ModuleOp) -> dict[str, func.FuncOp]:
@@ -52,8 +60,16 @@ def _recursive_functions(functions: dict[str, func.FuncOp]) -> set[str]:
     return {name for name in functions if reaches(name, name, set())}
 
 
-def inline_call(call: func.CallOp, callee: func.FuncOp) -> None:
-    """Replace ``call`` with a clone of ``callee``'s body."""
+def inline_call(
+    call: func.CallOp,
+    callee: func.FuncOp,
+    cloned: list[Operation] | None = None,
+) -> None:
+    """Replace ``call`` with a clone of ``callee``'s body.
+
+    ``cloned`` (when given) collects the inserted body clones so the caller
+    can find the call sites they contain without a re-walk.
+    """
     value_map: dict[SSAValue, SSAValue] = dict(
         zip(callee.args, call.operands)
     )
@@ -68,6 +84,8 @@ def inline_call(call: func.CallOp, callee: func.FuncOp) -> None:
         clone = op.clone(value_map)
         block.insert_op_at(index, clone)
         index += 1
+        if cloned is not None:
+            cloned.append(clone)
     Rewriter.replace_values(call, returned)
 
 
@@ -80,26 +98,48 @@ class InlinePass(ModulePass):
     def __init__(self, max_rounds: int = 8) -> None:
         self.max_rounds = max_rounds
 
-    def apply(self, module: Operation, analyses=None) -> bool:
+    def apply(self, module: Operation, analyses=None):
         assert isinstance(module, ModuleOp)
-        inlined_any = False
-        for _ in range(self.max_rounds):
-            functions = _function_map(module)
-            recursive = _recursive_functions(functions)
-            changed = False
-            for op in list(module.walk()):
-                if not isinstance(op, func.CallOp) or op.parent is None:
-                    continue
-                callee = functions.get(op.callee)
-                if (
-                    callee is None
-                    or callee.is_declaration
-                    or op.callee in recursive
-                ):
-                    continue
-                inline_call(op, callee)
-                changed = True
-                inlined_any = True
-            if not changed:
+        functions = _function_map(module)
+        recursive = _recursive_functions(functions)
+        worklist = Worklist()
+        for op in module.walk():
+            if isinstance(op, func.CallOp):
+                worklist.push(op)
+        #: matches the legacy bound of max_rounds full-module sweeps
+        budget = self.max_rounds * max(len(worklist), 1)
+        inlined = 0
+        scopes: dict[Operation, None] = {}
+        while worklist:
+            op = worklist.pop()
+            if not isinstance(op, func.CallOp) or op.parent is None:
+                continue
+            callee = functions.get(op.callee)
+            if (
+                callee is None
+                or callee.is_declaration
+                or op.callee in recursive
+            ):
+                continue
+            if inlined >= budget:
+                warnings.warn(
+                    f"inline stopped after {inlined} call sites "
+                    f"(budget {budget}); remaining calls left in place",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 break
-        return inlined_any
+            scope = enclosing_scope(module, op)
+            cloned: list[Operation] = []
+            inline_call(op, callee, cloned)
+            inlined += 1
+            if scope is not None:
+                scopes[scope] = None
+            for clone in cloned:
+                if isinstance(clone, func.CallOp):
+                    worklist.push(clone)
+                elif clone.regions:
+                    for nested in clone.walk():
+                        if isinstance(nested, func.CallOp):
+                            worklist.push(nested)
+        return report_scopes(inlined > 0, scopes)

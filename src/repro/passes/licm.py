@@ -6,6 +6,12 @@ of loop nests.  This is one of the stock optimizations the paper notes accfg
 code benefits from once configuration computation is visible IR instead of
 volatile inline assembly (Section 5.2); the accfg-specific variant that
 hoists *individual setup fields* lives in :mod:`repro.passes.dedup`.
+
+Per loop, a FIFO worklist seeded in body order replaces the
+rescan-until-fixpoint rounds: hoisting an op re-enqueues only the in-body
+users of its results, which are the only ops the hoist can newly make
+invariant.  Insertion is always directly before the loop, so any hoist
+order is dominance-safe.
 """
 
 from __future__ import annotations
@@ -13,9 +19,9 @@ from __future__ import annotations
 from ..dialects import scf
 from ..ir.block import Block
 from ..ir.operation import Operation
-from ..ir.rewriter import Rewriter
+from ..ir.rewriter import Rewriter, Worklist, enclosing_scope
 from ..ir.ssa import SSAValue
-from .pass_manager import ModulePass, register_pass
+from .pass_manager import ModulePass, register_pass, report_scopes
 
 
 def is_defined_outside(value: SSAValue, loop: scf.ForOp) -> bool:
@@ -50,29 +56,55 @@ def hoistable_ops(loop: scf.ForOp) -> list[Operation]:
     return result
 
 
+def hoist_from_loop(loop: scf.ForOp) -> bool:
+    """Hoist every (transitively) invariant pure op out of one loop."""
+    if loop.parent is None:
+        return False
+    worklist = Worklist()
+    for op in loop.body.ops:
+        worklist.push(op)
+    hoisted = False
+    while worklist:
+        op = worklist.pop()
+        if op.parent is not loop.body:
+            continue  # already hoisted (or erased)
+        if not op.is_pure or op.regions or op.is_terminator:
+            continue
+        if not all(is_defined_outside(operand, loop) for operand in op.operands):
+            continue
+        users = [
+            user
+            for result in op.results
+            for user in result.users()
+            if user.parent is loop.body
+        ]
+        Rewriter.move_op_before(op, loop)
+        hoisted = True
+        for user in users:
+            worklist.push(user)
+    return hoisted
+
+
 @register_pass
 class LICMPass(ModulePass):
     """Hoist loop-invariant pure computation out of scf.for bodies."""
 
     name = "licm"
 
-    def apply(self, module: Operation, analyses=None) -> bool:
+    def apply(self, module: Operation, analyses=None):
         # Collect loops innermost-first: a post-order over the walk.
-        loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+        loops = [op for op in module.walk_list() if isinstance(op, scf.ForOp)]
+        scopes: dict[Operation, None] = {}
+        root_level = False
         hoisted_any = False
         for loop in reversed(loops):
-            hoisted_any |= self._hoist_from(loop)
-        return hoisted_any
-
-    def _hoist_from(self, loop: scf.ForOp) -> bool:
-        hoisted = False
-        changed = True
-        while changed:
-            changed = False
             if loop.parent is None:
-                return hoisted
-            for op in hoistable_ops(loop):
-                Rewriter.move_op_before(op, loop)
-                changed = True
-                hoisted = True
-        return hoisted
+                continue
+            if hoist_from_loop(loop):
+                hoisted_any = True
+                scope = enclosing_scope(module, loop)
+                if scope is None:
+                    root_level = True
+                else:
+                    scopes[scope] = None
+        return report_scopes(hoisted_any, scopes, root_level)

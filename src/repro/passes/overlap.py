@@ -23,9 +23,9 @@ from __future__ import annotations
 
 from ..dialects import accfg, arith, scf
 from ..ir.operation import Operation
-from ..ir.rewriter import Rewriter
+from ..ir.rewriter import Rewriter, Worklist, enclosing_scope
 from ..ir.ssa import BlockArgument, SSAValue
-from .pass_manager import ModulePass, register_pass
+from .pass_manager import ModulePass, register_pass, report_scopes
 
 
 def _is_concurrent(accelerator: str, concurrent: set[str] | None) -> bool:
@@ -203,69 +203,88 @@ def pipeline_loop(loop: scf.ForOp, concurrent: set[str] | None) -> bool:
     return True
 
 
-def overlap_straight_line(root: Operation, concurrent: set[str] | None) -> bool:
-    """Move setups above the await of the launch that consumed their input
+def _try_overlap_setup(op: accfg.SetupOp, concurrent: set[str] | None) -> bool:
+    """Move one setup above the await of the launch that consumed its input
     state (the block-level rewrite of Section 5.5)."""
+    if op.parent is None:
+        return False
+    if not _is_concurrent(op.accelerator, concurrent):
+        return False
+    in_state = op.in_state
+    if in_state is None:
+        return False
+    block = op.parent
+    # Find the LAST launch of this accelerator before the setup: moving
+    # the setup above any earlier launch would change which launch
+    # commits its (staged) writes.
+    op_index = block.index_of(op)
+    launch: accfg.LaunchOp | None = None
+    for candidate in block.ops[:op_index]:
+        if (
+            isinstance(candidate, accfg.LaunchOp)
+            and candidate.accelerator == op.accelerator
+        ):
+            launch = candidate
+    if launch is None or launch.state is not in_state:
+        return False
+    # The await of that launch, between it and the setup.
+    await_op: accfg.AwaitOp | None = None
+    for candidate in block.ops[block.index_of(launch) + 1 : op_index]:
+        if (
+            isinstance(candidate, accfg.AwaitOp)
+            and candidate.token is launch.token
+        ):
+            await_op = candidate
+            break
+    if await_op is None:
+        return False
+    # Move the whole setup sequence (pure producers between the await
+    # and the setup) in front of the await.
+    await_index = block.index_of(await_op)
+    pending = [v for _, v in op.fields]
+    slice_ops: list[Operation] = []
+    seen: set[Operation] = set()
+    while pending:
+        value = pending.pop()
+        owner = value.owner
+        if not isinstance(owner, Operation) or owner.parent is not block:
+            continue
+        if block.index_of(owner) <= await_index or owner in seen:
+            continue
+        if not owner.is_pure or owner.regions:
+            return False
+        seen.add(owner)
+        slice_ops.append(owner)
+        pending.extend(owner.operands)
+    for slice_op in sorted(slice_ops, key=block.index_of):
+        Rewriter.move_op_before(slice_op, await_op)
+    Rewriter.move_op_before(op, await_op)
+    return True
+
+
+def overlap_straight_line(root: Operation, concurrent: set[str] | None) -> bool:
+    """Drive :func:`_try_overlap_setup` over every setup under ``root``.
+
+    Worklist-driven: moving one setup up can expose the launch/await shape
+    for setups later in the same block, so a successful move re-enqueues the
+    block's remaining setups instead of rescanning the whole tree.  Each
+    move strictly decreases a setup's block index, so the drain terminates.
+    """
+    worklist = Worklist()
+    for op in root.walk_list():
+        if isinstance(op, accfg.SetupOp):
+            worklist.push(op)
     changed = False
-    for op in list(root.walk()):
+    while worklist:
+        op = worklist.pop()
         if not isinstance(op, accfg.SetupOp) or op.parent is None:
             continue
-        if not _is_concurrent(op.accelerator, concurrent):
+        if not _try_overlap_setup(op, concurrent):
             continue
-        in_state = op.in_state
-        if in_state is None:
-            continue
-        block = op.parent
-        # Find the LAST launch of this accelerator before the setup: moving
-        # the setup above any earlier launch would change which launch
-        # commits its (staged) writes.
-        op_index = block.index_of(op)
-        launch: accfg.LaunchOp | None = None
-        for candidate in block.ops[:op_index]:
-            if (
-                isinstance(candidate, accfg.LaunchOp)
-                and candidate.accelerator == op.accelerator
-            ):
-                launch = candidate
-        if launch is None or launch.state is not in_state:
-            continue
-        # The await of that launch, between it and the setup.
-        await_op: accfg.AwaitOp | None = None
-        for candidate in block.ops[block.index_of(launch) + 1 : op_index]:
-            if (
-                isinstance(candidate, accfg.AwaitOp)
-                and candidate.token is launch.token
-            ):
-                await_op = candidate
-                break
-        if await_op is None:
-            continue
-        # Move the whole setup sequence (pure producers between the await
-        # and the setup) in front of the await.
-        await_index = block.index_of(await_op)
-        pending = [v for _, v in op.fields]
-        slice_ops: list[Operation] = []
-        seen: set[Operation] = set()
-        movable = True
-        while pending:
-            value = pending.pop()
-            owner = value.owner
-            if not isinstance(owner, Operation) or owner.parent is not block:
-                continue
-            if block.index_of(owner) <= await_index or owner in seen:
-                continue
-            if not owner.is_pure or owner.regions:
-                movable = False
-                break
-            seen.add(owner)
-            slice_ops.append(owner)
-            pending.extend(owner.operands)
-        if not movable:
-            continue
-        for slice_op in sorted(slice_ops, key=block.index_of):
-            Rewriter.move_op_before(slice_op, await_op)
-        Rewriter.move_op_before(op, await_op)
         changed = True
+        for sibling in op.parent.ops:
+            if isinstance(sibling, accfg.SetupOp) and sibling is not op:
+                worklist.push(sibling)
     return changed
 
 
@@ -278,13 +297,28 @@ class OverlapPass(ModulePass):
     def __init__(self, concurrent: set[str] | None = None) -> None:
         self.concurrent = concurrent
 
-    def apply(self, module: Operation, analyses=None) -> bool:
-        changed = False
-        loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
+    def apply(self, module: Operation, analyses=None):
+        scopes: dict[Operation, None] = {}
+        root_level = False
+        changed_any = False
+        loops = [op for op in module.walk_list() if isinstance(op, scf.ForOp)]
         for loop in reversed(loops):
-            changed |= pipeline_loop(loop, self.concurrent)
-        for _ in range(10):
-            if not overlap_straight_line(module, self.concurrent):
-                break
-            changed = True
-        return changed
+            if loop.parent is None:
+                continue
+            if pipeline_loop(loop, self.concurrent):
+                changed_any = True
+                scope = enclosing_scope(module, loop)
+                if scope is None:
+                    root_level = True
+                else:
+                    scopes[scope] = None
+        for top in [
+            op
+            for region in module.regions
+            for block in region.blocks
+            for op in block.ops
+        ]:
+            if overlap_straight_line(top, self.concurrent):
+                changed_any = True
+                scopes[top] = None
+        return report_scopes(changed_any, scopes, root_level)

@@ -72,6 +72,25 @@ def register_pass(cls: type["ModulePass"]) -> type["ModulePass"]:
     return cls
 
 
+def report_scopes(changed: bool, scopes, root_level: bool = False):
+    """Build a pass change report from per-scope bookkeeping.
+
+    ``scopes`` is an iterable of the top-level ops (usually ``func.func``)
+    whose subtrees were mutated.  Falls back to the conservative ``True``
+    when a change happened at root level, when scope tracking was
+    unavailable, or when a reported scope was itself detached (its analyses
+    could not be matched by ancestry anymore).
+    """
+    if not changed:
+        return False
+    if root_level or scopes is None:
+        return True
+    scopes = list(scopes)
+    if any(scope.parent is None for scope in scopes):
+        return True
+    return scopes
+
+
 class ModulePass:
     """Base class for module-level transformations.
 
@@ -113,12 +132,22 @@ class PassManager:
     def __init__(
         self,
         passes: list[ModulePass] | None = None,
-        verify_each: bool = True,
+        verify_each: "bool | str" = True,
         instrument: bool = False,
         lint: bool = False,
         analyses: "AnalysisManager | None" = None,
     ) -> None:
         self.passes: list[ModulePass] = list(passes or [])
+        #: ``True`` — verify on entry and after every changed pass (catches
+        #: corruption right where it is introduced; the debugging default).
+        #: ``"final"`` — verify the whole module once, after the pipeline
+        #: (the preset-pipeline policy: same soundness guarantee for the
+        #: pipeline's *output*, one traversal instead of one per pass).
+        #: ``False`` — no verification.
+        if verify_each not in (True, False, "final"):
+            raise ValueError(
+                f"verify_each must be True, False or 'final', got {verify_each!r}"
+            )
         self.verify_each = verify_each
         self.instrument = instrument
         #: with ``lint=True``, the accfg lint suite runs before and after
@@ -155,7 +184,7 @@ class PassManager:
 
     def run(self, module: Operation) -> Operation:
         """Apply every pass in order; returns the module for chaining."""
-        if self.verify_each:
+        if self.verify_each is True:
             verify_operation(module)
         baseline_errors: dict[str, int] | None = None
         if self.lint:
@@ -164,37 +193,62 @@ class PassManager:
             baseline_errors = error_code_counts(
                 run_lints(module, analyses=self.analyses)
             )
+        # Op counts chain from pass to pass: nothing mutates the module
+        # between passes, so pass N's after-count is pass N+1's before-count,
+        # and a pass reporting ``changed is False`` reuses its before-count —
+        # one walk per *changing* pass instead of two walks per pass.
+        op_count = sum(1 for _ in module.walk()) if self.instrument else 0
         for pass_ in self.passes:
-            ops_before = sum(1 for _ in module.walk()) if self.instrument else 0
+            ops_before = op_count
             started = time.perf_counter() if self.instrument else 0.0
             if _accepts_analyses(type(pass_)):
                 changed = pass_.apply(module, self.analyses)
             else:
                 changed = pass_.apply(module)
             if self.instrument:
+                if changed is not False:
+                    op_count = sum(1 for _ in module.walk())
                 self.statistics.append(
                     PassStatistics(
                         pass_name=pass_.name,
                         seconds=time.perf_counter() - started,
                         ops_before=ops_before,
-                        ops_after=sum(1 for _ in module.walk()),
+                        ops_after=op_count,
                     )
                 )
             if changed is False:
                 # Untouched module: cached analyses stay valid, and the
                 # pre-pass verification still covers the current IR.
                 continue
+            scopes: list[Operation] | None
             if changed is True or changed is None:
+                scopes = None
                 self.analyses.invalidate()
             else:
-                self.analyses.invalidate(list(changed))
-            if self.verify_each:
+                scopes = list(changed)
+                self.analyses.invalidate(scopes)
+            if self.verify_each is True:
+                # Scope-granular re-verification: a pass that reported the
+                # exact functions it mutated only pays for verifying those.
+                targets = [module]
+                if scopes is not None and all(
+                    scope.parent is not None for scope in scopes
+                ):
+                    targets = scopes
                 try:
-                    verify_operation(module)
+                    for target in targets:
+                        verify_operation(target)
                 except Exception as error:
                     raise RuntimeError(
                         f"IR verification failed after pass '{pass_.name}': {error}"
                     ) from error
+        if self.verify_each == "final":
+            try:
+                verify_operation(module)
+            except Exception as error:
+                raise RuntimeError(
+                    f"IR verification failed after pipeline: {error}"
+                ) from error
         if baseline_errors is not None:
             from ..analysis import error_code_counts, run_lints
 

@@ -9,7 +9,7 @@ overlap (4), bracketed by the standard cleanups accfg unlocks.
 from __future__ import annotations
 
 from .canonicalize import CanonicalizePass
-from .cse import CSEPass
+from .cleanup import CleanupPass
 from .dce import DCEPass
 from .dedup import DedupPass
 from .licm import LICMPass
@@ -20,15 +20,20 @@ from .unroll import UnrollPass
 
 
 def cleanup_pipeline() -> list:
-    """The stock optimizations accfg code benefits from "for free"."""
-    return [CanonicalizePass(), CSEPass(), LICMPass(), DCEPass()]
+    """The stock optimizations accfg code benefits from "for free".
+
+    ``cleanup`` is the fused canonicalize+cse+dce driver (one pass slot to
+    their joint fixpoint, instead of three whole-module passes), followed by
+    LICM.  No trailing DCE is needed: hoisting creates no dead ops.
+    """
+    return [CleanupPass(), LICMPass()]
 
 
 def baseline_pipeline() -> PassManager:
     """The paper's OpenGeMM base configuration: compiled through the same
     MLIR flow (generic cleanups apply) but with no configuration
     deduplication and no configuration overlap (Section 6.2)."""
-    return PassManager(cleanup_pipeline())
+    return PassManager(cleanup_pipeline(), verify_each="final")
 
 
 def volatile_baseline_pipeline() -> PassManager:
@@ -41,24 +46,28 @@ def volatile_baseline_pipeline() -> PassManager:
     any accelerator configuration code" — which we model by withholding
     loop-invariant code motion from configuration-parameter computation.
     """
-    return PassManager([CanonicalizePass(), CSEPass(), DCEPass()])
+    return PassManager([CleanupPass()], verify_each="final")
 
 
 def none_pipeline() -> PassManager:
     """Run nothing at all (the IR exactly as the frontend emitted it)."""
-    return PassManager([])
+    return PassManager([], verify_each="final")
 
 
 def licm_pipeline() -> PassManager:
     """Loop-invariant code motion alone (plus the folding it needs and the
     dead code it leaves) — isolates the hoisting leg of the cleanups."""
-    return PassManager([CanonicalizePass(), LICMPass(), DCEPass()])
+    return PassManager(
+        [CanonicalizePass(), LICMPass(), DCEPass()], verify_each="final"
+    )
 
 
 def unroll_pipeline() -> PassManager:
     """Full unrolling of small constant-trip loops, then the cleanups —
     exposes cross-iteration redundancy to CSE without dedup's help."""
-    return PassManager([UnrollPass(), *cleanup_pipeline()])
+    return PassManager(
+        [UnrollPass(), *cleanup_pipeline()], verify_each="final"
+    )
 
 
 def dedup_pipeline() -> PassManager:
@@ -69,7 +78,8 @@ def dedup_pipeline() -> PassManager:
             TraceStatesPass(),
             DedupPass(),
             *cleanup_pipeline(),
-        ]
+        ],
+        verify_each="final",
     )
 
 
@@ -81,7 +91,8 @@ def overlap_pipeline(concurrent: set[str] | None = None) -> PassManager:
             TraceStatesPass(),
             OverlapPass(concurrent),
             *cleanup_pipeline(),
-        ]
+        ],
+        verify_each="final",
     )
 
 
@@ -94,7 +105,8 @@ def full_pipeline(concurrent: set[str] | None = None) -> PassManager:
             DedupPass(),
             OverlapPass(concurrent),
             *cleanup_pipeline(),
-        ]
+        ],
+        verify_each="final",
     )
 
 

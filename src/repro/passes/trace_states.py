@@ -48,6 +48,12 @@ def _callee_effects(op: func.CallOp) -> str | None:
     return None
 
 
+#: classes whose preserves-state answer is instance-independent (no effects
+#: annotation consulted, no per-instance state/callee to inspect): the
+#: generic dialect-prefix verdict, cached per class
+_GENERIC_PRESERVES: dict[type, bool] = {}
+
+
 def op_preserves_state(op: Operation, accelerator: str) -> bool:
     """Whether ``op`` itself (ignoring regions) leaves the configuration
     registers of ``accelerator`` untouched."""
@@ -56,6 +62,9 @@ def op_preserves_state(op: Operation, accelerator: str) -> bool:
         return True
     if effects == "all":
         return False
+    cached = _GENERIC_PRESERVES.get(type(op))
+    if cached is not None:
+        return cached
     if isinstance(op, accfg.ResetOp):
         state_type = op.state.type
         assert isinstance(state_type, accfg.StateType)
@@ -68,11 +77,12 @@ def op_preserves_state(op: Operation, accelerator: str) -> bool:
         return _callee_effects(op) == "none"
     if isinstance(op, func.FuncOp):
         return False
-    if any(op.name.startswith(prefix) for prefix in _KNOWN_SAFE_DIALECTS):
-        return True
-    if op.name.startswith("func."):  # return
-        return True
-    return False
+    preserves = (
+        any(op.name.startswith(prefix) for prefix in _KNOWN_SAFE_DIALECTS)
+        or op.name.startswith("func.")  # return
+    )
+    _GENERIC_PRESERVES[type(op)] = preserves
+    return preserves
 
 
 def region_clobbers(block: Block, accelerator: str) -> bool:
@@ -97,18 +107,35 @@ def region_clobbers(block: Block, accelerator: str) -> bool:
 def accelerators_in(block: Block) -> list[str]:
     """All accelerator names configured anywhere inside ``block``."""
     names: list[str] = []
-    for op in block.ops:
-        for nested in op.walk():
-            if isinstance(nested, accfg.SetupOp) and nested.accelerator not in names:
-                names.append(nested.accelerator)
+    # Pre-order, like Operation.walk: discovery order decides which
+    # accelerator is traced (and anchored) first, so it must stay stable.
+    stack: list[Operation] = list(reversed(block.ops))
+    while stack:
+        op = stack.pop()
+        if isinstance(op, accfg.SetupOp):
+            if op.accelerator not in names:
+                names.append(op.accelerator)
+        elif op.regions:
+            children: list[Operation] = []
+            for region in op.regions:
+                for nested in region.blocks:
+                    children.extend(nested.ops)
+            children.reverse()
+            stack.extend(children)
     return names
 
 
 def _block_mentions(block: Block, accelerator: str) -> bool:
-    for op in block.ops:
-        for nested in op.walk():
-            if isinstance(nested, accfg.SetupOp) and nested.accelerator == accelerator:
+    stack: list[Operation] = list(block.ops)
+    while stack:
+        op = stack.pop()
+        if isinstance(op, accfg.SetupOp):
+            if op.accelerator == accelerator:
                 return True
+        elif op.regions:
+            for region in op.regions:
+                for nested in region.blocks:
+                    stack.extend(nested.ops)
     return False
 
 
@@ -223,7 +250,7 @@ class StateTracer:
         else_final = self.trace_block(op.else_block, live)
         assert then_final is not None and else_final is not None
         result = OpResult(
-            accfg.StateType(self.accelerator), op, len(op.results), "state"
+            accfg.state_type(self.accelerator), op, len(op.results), "state"
         )
         op.results.append(result)
         then_yield = op.then_block.terminator
@@ -264,7 +291,7 @@ class TraceStatesPass(ModulePass):
 
     def apply(self, module: Operation, analyses=None) -> bool:
         traced: list[Operation] = []
-        for op in module.walk():
+        for op in module.walk_list():
             if isinstance(op, func.FuncOp) and not op.is_declaration:
                 accelerators = list(accelerators_in(op.body))
                 for accelerator in accelerators:

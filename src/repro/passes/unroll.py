@@ -10,14 +10,19 @@ the loop-hoisting machinery.
 Loop-carried values (including traced accelerator state) are threaded
 through the unrolled copies, so the pass composes with ``accfg-trace-states``
 in either order.
+
+The pass drives a worklist of loops (seeded innermost-first) instead of
+re-walking the module until fixpoint: :func:`unroll_loop` reports the ops it
+cloned, and only the loops nested inside those clones are new work.
 """
 
 from __future__ import annotations
 
 from ..dialects import arith, scf
 from ..ir.operation import Operation
+from ..ir.rewriter import Worklist, enclosing_scope
 from ..ir.ssa import SSAValue
-from .pass_manager import ModulePass, register_pass
+from .pass_manager import ModulePass, register_pass, report_scopes
 
 DEFAULT_MAX_TRIPS = 8
 
@@ -34,8 +39,16 @@ def constant_trip_count(loop: scf.ForOp) -> int | None:
     return -(-(ub - lb) // step)
 
 
-def unroll_loop(loop: scf.ForOp, max_trips: int = DEFAULT_MAX_TRIPS) -> bool:
-    """Fully unroll ``loop`` if its trip count is constant and small."""
+def unroll_loop(
+    loop: scf.ForOp,
+    max_trips: int = DEFAULT_MAX_TRIPS,
+    cloned: list[Operation] | None = None,
+) -> bool:
+    """Fully unroll ``loop`` if its trip count is constant and small.
+
+    ``cloned`` (when given) collects the ops inserted in place of the loop,
+    so callers can find newly created nested loops without a re-walk.
+    """
     trips = constant_trip_count(loop)
     if trips is None or trips > max_trips or trips == 0:
         return False
@@ -66,6 +79,8 @@ def unroll_loop(loop: scf.ForOp, max_trips: int = DEFAULT_MAX_TRIPS) -> bool:
             clone = op.clone(value_map)
             block.insert_op_at(insert_index, clone)
             insert_index += 1
+            if cloned is not None:
+                cloned.append(clone)
         carried = yielded
     for result, value in zip(loop.results, carried):
         result.replace_all_uses_with(value)
@@ -82,14 +97,30 @@ class UnrollPass(ModulePass):
     def __init__(self, max_trips: int = DEFAULT_MAX_TRIPS) -> None:
         self.max_trips = max_trips
 
-    def apply(self, module: Operation, analyses=None) -> bool:
+    def apply(self, module: Operation, analyses=None):
+        worklist = Worklist()
+        loops = [op for op in module.walk_list() if isinstance(op, scf.ForOp)]
+        for loop in reversed(loops):  # innermost loops dequeue first
+            worklist.push(loop)
         unrolled_any = False
-        changed = True
-        while changed:
-            changed = False
-            loops = [op for op in module.walk() if isinstance(op, scf.ForOp)]
-            for loop in reversed(loops):  # innermost first
-                if loop.parent is not None and unroll_loop(loop, self.max_trips):
-                    changed = True
-                    unrolled_any = True
-        return unrolled_any
+        root_level = False
+        scopes: dict[Operation, None] = {}
+        while worklist:
+            loop = worklist.pop()
+            if loop.parent is None:
+                continue
+            scope = enclosing_scope(module, loop)
+            cloned: list[Operation] = []
+            if not unroll_loop(loop, self.max_trips, cloned):
+                continue
+            unrolled_any = True
+            if scope is None:
+                root_level = True
+            else:
+                scopes[scope] = None
+            for clone in cloned:
+                if isinstance(clone, scf.ForOp) or clone.regions:
+                    for nested in clone.walk():
+                        if isinstance(nested, scf.ForOp):
+                            worklist.push(nested)
+        return report_scopes(unrolled_any, scopes, root_level)

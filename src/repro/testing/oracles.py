@@ -21,7 +21,11 @@ claims its optimizations guarantee:
 Any crash while optimizing or executing is reported as a fourth oracle,
 ``crash``; a fifth, ``trace-vs-tree``, cross-checks the trace-compiled
 execution engine against the reference tree interpreter (see *Engines*
-below).
+below).  A sixth, ``driver-divergence``, activates under
+``REPRO_REWRITE_DRIVER=both``: every pipeline is replayed on a fresh clone
+with the legacy sweep pattern driver and both optimized modules must have
+identical structural keys — the worklist driver's normal form is the sweep
+driver's normal form, on every fuzzed program.
 
 Hot-path structure
 ------------------
@@ -62,6 +66,7 @@ import numpy as np
 from ..analysis import error_code_counts, run_lints
 from ..interp import run_module
 from ..ir import structural_key, verify_operation
+from ..ir.rewriter import active_driver, use_driver
 from ..passes import PIPELINES, PassManager
 from ..sim import CoSimulator
 from ..sim.memory import Memory, MemorySnapshot
@@ -93,7 +98,9 @@ ENGINES = ("tree", "trace", "both")
 class OracleFailure:
     """One oracle violation for one pipeline."""
 
-    oracle: str  # "functional" | "timing" | "lint" | "crash" | "trace-vs-tree"
+    #: "functional" | "timing" | "lint" | "crash" | "trace-vs-tree"
+    #: | "driver-divergence"
+    oracle: str
     pipeline: str
     message: str
 
@@ -488,6 +495,37 @@ class _SubjectRunner:
             self._prefix_states[full] = module
         return module
 
+    def _check_driver_equivalence(
+        self, name: str, factory: Callable[[], PassManager], fingerprint
+    ) -> OracleFailure | None:
+        """Re-run the pipeline under the legacy sweep driver and compare.
+
+        The worklist driver's tentpole claim is that it reaches the *same
+        normal form* as fixpoint-of-full-sweeps, just without the re-walks;
+        under ``REPRO_REWRITE_DRIVER=both`` every pipeline run is replayed
+        on a fresh clone with the sweep driver and the two optimized modules
+        are compared by exact structural key.
+        """
+        try:
+            sweep_module = self.base_module.clone()
+            with use_driver("sweep"):
+                factory().run(sweep_module)
+            verify_operation(sweep_module)
+        except Exception as error:  # noqa: BLE001 - asymmetry is the finding
+            return OracleFailure(
+                "driver-divergence",
+                name,
+                f"sweep driver raised {type(error).__name__}: {error} "
+                "where the worklist driver succeeded",
+            )
+        if structural_key(sweep_module) != fingerprint:
+            return OracleFailure(
+                "driver-divergence",
+                name,
+                "worklist and sweep drivers reached different normal forms",
+            )
+        return None
+
     def run(
         self,
         name: str,
@@ -495,8 +533,10 @@ class _SubjectRunner:
         cross_check: bool,
         memory: Memory | None = None,
         args: list[int] | None = None,
-    ) -> tuple[RunOutcome | OracleFailure, OracleFailure | None]:
-        """One pipeline's outcome plus any trace-vs-tree divergence."""
+    ) -> tuple[RunOutcome | OracleFailure, list[OracleFailure]]:
+        """One pipeline's outcome plus any cross-check divergences
+        (trace-vs-tree, worklist-vs-sweep)."""
+        extras: list[OracleFailure] = []
         stage = "optimize"
         try:
             pipeline = factory() if factory is not None else None
@@ -510,11 +550,17 @@ class _SubjectRunner:
                 # output (it is never mutated, so no clone is needed).
                 module = self.base_module
             fingerprint = structural_key(module)
+            if ran_passes and factory is not None and active_driver() == "both":
+                failure = self._check_driver_equivalence(
+                    name, factory, fingerprint
+                )
+                if failure is not None:
+                    extras.append(failure)
             cached = self.outcomes.get(fingerprint)
             if cached is not None:
                 # An identical module already verified, executed, and linted
                 # for this subject — nothing about this run can differ.
-                return cached, None
+                return cached, extras
             if ran_passes:
                 try:
                     verify_operation(module)
@@ -530,11 +576,12 @@ class _SubjectRunner:
             results, sim, used_trace = _execute(
                 module, memory, args, self.engine, fingerprint
             )
-            divergence = None
             if cross_check and used_trace:
                 divergence = _cross_check(
                     name, module, self.subject, results, sim, memory
                 )
+                if divergence is not None:
+                    extras.append(divergence)
             stage = "lint"
             lint_errors = error_code_counts(
                 run_lints(module, codes=set(ERROR_LINT_CODES))
@@ -544,7 +591,7 @@ class _SubjectRunner:
                 OracleFailure(
                     "crash", name, f"{stage}: {type(error).__name__}: {error}"
                 ),
-                None,
+                extras,
             )
         outcome = RunOutcome(
             results=results,
@@ -557,7 +604,7 @@ class _SubjectRunner:
             lint_errors=lint_errors,
         )
         self.outcomes[fingerprint] = outcome
-        return outcome, divergence
+        return outcome, extras
 
 
 def check_subject(
@@ -598,7 +645,7 @@ def check_subject(
         subject, base_module, engine, shared_prefixes, resume_counts
     )
 
-    base, divergence = runner.run(
+    base, extras = runner.run(
         "none",
         pipelines.get("none"),
         cross_check=engine in ("trace", "both"),
@@ -609,20 +656,18 @@ def check_subject(
         # The *unoptimized* program crashed: either a generator bug or a
         # genuine interpreter/simulator defect — either way, report it.
         return [base]
-    if divergence is not None:
-        failures.append(divergence)
+    failures.extend(extras)
 
     # Run the timing baseline first so its cycle count is available no
     # matter where other pipeline names sort.
     baseline_out: RunOutcome | OracleFailure | None = None
     if "baseline" in pipelines:
-        baseline_out, divergence = runner.run(
+        baseline_out, extras = runner.run(
             "baseline", pipelines["baseline"], cross_check=engine == "both"
         )
         if isinstance(baseline_out, OracleFailure):
             failures.append(baseline_out)
-        elif divergence is not None:
-            failures.append(divergence)
+        failures.extend(extras)
     timing_base = (
         baseline_out if timing and isinstance(baseline_out, RunOutcome) else None
     )
@@ -635,14 +680,13 @@ def check_subject(
                 continue  # its crash is already reported
             out = baseline_out
         else:
-            out, divergence = runner.run(
+            out, extras = runner.run(
                 name, factory, cross_check=engine == "both"
             )
+            failures.extend(extras)
             if isinstance(out, OracleFailure):
                 failures.append(out)
                 continue
-            if divergence is not None:
-                failures.append(divergence)
         failures.extend(_functional_failures(name, base, out))
         introduced = {
             code: count - base.lint_errors.get(code, 0)

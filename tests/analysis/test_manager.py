@@ -96,6 +96,29 @@ class TestInvalidation:
         manager.invalidate([])
         assert manager.awaited_tokens(first) is entry
 
+    def test_detached_mutation_invalidates_everything(self):
+        # A mutated op that has been detached from the IR can no longer be
+        # attributed to any cached scope by ancestry, so the manager must
+        # fall back to full invalidation rather than keep stale entries.
+        module, (first, second) = setup_module()
+        manager = AnalysisManager()
+        kept = manager.awaited_tokens(second)
+        detached = first.body.ops[0].detach()
+        manager.invalidate([detached])
+        assert len(manager) == 0
+        assert manager.awaited_tokens(second) is not kept
+
+    def test_detached_scope_root_still_matches_itself(self):
+        # Detaching a cached scope op itself stays scope-granular: the op is
+        # a known scope, so only its own entries (and enclosing ones) die.
+        module, (first, second) = setup_module()
+        manager = AnalysisManager()
+        kept = manager.awaited_tokens(second)
+        manager.awaited_tokens(first)
+        first.detach()
+        manager.invalidate([first])
+        assert manager.awaited_tokens(second) is kept
+
 
 class _RecordingPass(ModulePass):
     """A modern pass that reports a caller-chosen change set."""

@@ -132,3 +132,243 @@ def _wrap(block: Block) -> Operation:
     from repro.ir import Region, UnregisteredOp
 
     return UnregisteredOp("test.wrapper", regions=[Region([block])])
+
+
+# ---------------------------------------------------------------------------
+# Worklist driver: indexing, incrementality, and driver selection
+# ---------------------------------------------------------------------------
+
+from repro.ir import (  # noqa: E402 - grouped with the tests that use them
+    GreedyPatternDriver,
+    PatternDriverWarning,
+    Region,
+    UnregisteredOp,
+    active_driver,
+    drive_patterns,
+    i1,
+    print_operation,
+    use_driver,
+)
+from repro.passes.canonicalize import (  # noqa: E402
+    DEFAULT_PATTERNS,
+    DeadPureOpPattern,
+    FoldPattern,
+    SimplifyConstantIfPattern,
+)
+
+
+class AddToSub(RewritePattern):
+    root_ops = (arith.AddiOp,)
+
+    def match_and_rewrite(self, op, rewriter):
+        if not isinstance(op, arith.AddiOp) or op.parent is None:
+            return False
+        rewriter.replace_op(op, arith.SubiOp.create(op.lhs, op.rhs))
+        return True
+
+
+class MulOfSubsToLhs(RewritePattern):
+    """mul(a, b) -> a, but only once both operands come from subi ops."""
+
+    root_ops = (arith.MuliOp,)
+
+    def match_and_rewrite(self, op, rewriter):
+        if not isinstance(op, arith.MuliOp) or op.parent is None:
+            return False
+        if not all(
+            isinstance(v.owner, arith.SubiOp) for v in op.operands
+        ):
+            return False
+        rewriter.replace_values(op, [op.lhs])
+        return True
+
+
+class RecordingAddPattern(RewritePattern):
+    """Never rewrites; records every addi the driver offers it."""
+
+    root_ops = (arith.AddiOp,)
+
+    def __init__(self):
+        self.seen = []
+
+    def match_and_rewrite(self, op, rewriter):
+        self.seen.append(op)
+        return False
+
+
+class TestPatternIndex:
+    def test_root_ops_limits_candidates(self):
+        pattern = SimplifyConstantIfPattern()
+        driver = GreedyPatternDriver([pattern])
+        add = arith.AddiOp.create(
+            arith.ConstantOp.create(1, i64).result,
+            arith.ConstantOp.create(2, i64).result,
+        )
+        cond = arith.ConstantOp.create(1, i1)
+        if_op = scf.IfOp.create(cond.result)
+        assert driver._patterns_for(add) == ()
+        assert driver._patterns_for(if_op) == (pattern,)
+
+    def test_applies_to_filters_by_class(self):
+        driver = GreedyPatternDriver([FoldPattern()])
+        # scf.yield has no fold override, so FoldPattern never indexes it.
+        assert driver._patterns_for(scf.YieldOp.create()) == ()
+
+    def test_index_entries_are_cached(self):
+        driver = GreedyPatternDriver([AddToSub()])
+        add = arith.AddiOp.create(
+            arith.ConstantOp.create(1, i64).result,
+            arith.ConstantOp.create(2, i64).result,
+        )
+        first = driver._patterns_for(add)
+        assert driver._patterns_for(add) is first
+        assert arith.AddiOp in driver._index
+
+    def test_unregistered_roots_are_keyed_by_name(self):
+        class NamedRoot(RewritePattern):
+            root_ops = ("test.target",)
+
+            def match_and_rewrite(self, op, rewriter):
+                return False
+
+        driver = GreedyPatternDriver([NamedRoot()])
+        target = UnregisteredOp("test.target")
+        other = UnregisteredOp("test.other")
+        assert len(driver._patterns_for(target)) == 1
+        assert driver._patterns_for(other) == ()
+
+
+class TestWorklistIncrementality:
+    def test_replace_reenqueues_users(self):
+        # Seed mul *before* add: mul fails its first match, and can only
+        # succeed if replacing add re-enqueues its users.
+        block, c1, c2, add, mul = block_with_chain()
+        wrapper = _wrap(block)
+        driver = GreedyPatternDriver([AddToSub(), MulOfSubsToLhs()])
+        result = driver.run(wrapper, seeds=[mul, add])
+        assert result.changed
+        names = [op.name for op in block.ops]
+        assert "arith.muli" not in names
+        assert "arith.subi" in names
+
+    def test_erase_reenqueues_operand_definers(self):
+        # Erasing the unused mul makes add dead, which makes the constants
+        # dead: the cascade only happens if erasure re-enqueues definers.
+        block, *_ = block_with_chain()
+        wrapper = _wrap(block)
+        assert apply_patterns_greedily(wrapper, [DeadPureOpPattern()])
+        assert list(block.ops) == []
+
+    def test_inserted_ops_are_processed(self):
+        class MulToAdd(RewritePattern):
+            root_ops = (arith.MuliOp,)
+
+            def match_and_rewrite(self, op, rewriter):
+                if not isinstance(op, arith.MuliOp) or op.parent is None:
+                    return False
+                rewriter.replace_op(op, arith.AddiOp.create(op.lhs, op.rhs))
+                return True
+
+        block = Block()
+        c2 = arith.ConstantOp.create(2, i64)
+        mul = arith.MuliOp.create(c2.result, c2.result)
+        sink = scf.YieldOp.create([mul.result])
+        block.add_ops([c2, mul, sink])
+        wrapper = _wrap(block)
+        # MulToAdd inserts a fresh addi; FoldPattern must still see it.
+        assert apply_patterns_greedily(wrapper, [MulToAdd(), FoldPattern()])
+        names = [op.name for op in block.ops]
+        assert "arith.addi" not in names and "arith.muli" not in names
+        assert isinstance(sink.operands[0].owner, arith.ConstantOp)
+        assert sink.operands[0].owner.value == 4
+
+    def test_erased_subtree_ops_are_skipped(self):
+        recorder = RecordingAddPattern()
+        then = Block()
+        t1 = arith.ConstantOp.create(1, i64)
+        t2 = arith.ConstantOp.create(2, i64)
+        inner_add = arith.AddiOp.create(t1.result, t2.result)
+        then.add_ops([t1, t2, inner_add, scf.YieldOp.create()])
+        block = Block()
+        cond = arith.ConstantOp.create(0, i1)
+        if_op = scf.IfOp.create(cond.result, then_block=then)
+        block.add_ops([cond, if_op])
+        wrapper = _wrap(block)
+        # The if is popped first (walk order) and erased wholesale; the
+        # already-queued inner addi must be skipped, not offered to patterns.
+        apply_patterns_greedily(
+            wrapper, [SimplifyConstantIfPattern(), recorder]
+        )
+        assert inner_add not in recorder.seen
+
+    def test_nonconvergence_warns(self):
+        class Flipper(RewritePattern):
+            def match_and_rewrite(self, op, rewriter):
+                if isinstance(op, arith.AddiOp):
+                    rewriter.replace_op(op, arith.SubiOp.create(op.lhs, op.rhs))
+                    return True
+                if isinstance(op, arith.SubiOp):
+                    rewriter.replace_op(op, arith.AddiOp.create(op.lhs, op.rhs))
+                    return True
+                return False
+
+        for driver in ("worklist", "sweep"):
+            block, *_ = block_with_chain()
+            wrapper = _wrap(block)
+            with pytest.warns(PatternDriverWarning):
+                apply_patterns_greedily(
+                    wrapper, [Flipper()], max_iterations=3, driver=driver
+                )
+
+    def test_report_names_changed_scopes_only(self):
+        fn_blocks = [Block(), Block()]
+        functions = [
+            UnregisteredOp(f"test.fn{i}", regions=[Region([b])])
+            for i, b in enumerate(fn_blocks)
+        ]
+        touched_block = fn_blocks[0]
+        c1 = arith.ConstantOp.create(1, i64)
+        c2 = arith.ConstantOp.create(2, i64)
+        add = arith.AddiOp.create(c1.result, c2.result)
+        touched_block.add_ops([c1, c2, add])
+        fn_blocks[1].add_op(arith.ConstantOp.create(3, i64))
+        outer = Block(functions)
+        root = UnregisteredOp("test.module", regions=[Region([outer])])
+        result = GreedyPatternDriver([AddToSub()]).run(root)
+        assert result.report() == [functions[0]]
+
+
+class TestDriverSelection:
+    def test_default_is_worklist(self):
+        assert active_driver() in ("worklist", "both")
+
+    def test_use_driver_scopes_and_restores(self):
+        before = active_driver()
+        with use_driver("sweep"):
+            assert active_driver() == "sweep"
+            with use_driver("worklist"):
+                assert active_driver() == "worklist"
+            assert active_driver() == "sweep"
+        assert active_driver() == before
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            with use_driver("bogus"):
+                pass
+
+    def test_drivers_agree_on_default_patterns(self):
+        def canonicalized(driver):
+            block, *_ = block_with_chain()
+            sink = scf.YieldOp.create([block.ops[-1].results[0]])
+            block.add_op(sink)
+            wrapper = _wrap(block)
+            drive_patterns(wrapper, DEFAULT_PATTERNS, driver=driver)
+            return print_operation(wrapper)
+
+        assert canonicalized("worklist") == canonicalized("sweep")
+
+    def test_driver_instances_are_cached(self):
+        from repro.ir.rewriter import _cached_driver
+
+        patterns = (FoldPattern(),)
+        assert _cached_driver(patterns, 10) is _cached_driver(patterns, 10)
