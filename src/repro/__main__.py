@@ -141,6 +141,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             max_stmts=args.max_stmts,
             on_progress=print,
             engine=args.engine,
+            iteration_timeout=args.iteration_timeout,
+            inject_hang=args.inject_hang,
         )
     else:
         pipelines = (
@@ -158,7 +160,39 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             max_stmts=args.max_stmts,
             on_progress=print,
             engine=args.engine,
+            iteration_timeout=args.iteration_timeout,
+            inject_hang=args.inject_hang,
         )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .faults.campaign import DEFAULT_RATES, run_campaign
+    from .faults.model import FaultRates
+    from .faults.recovery import RecoveryPolicy
+
+    rates = FaultRates.uniform(args.rate) if args.rate is not None else DEFAULT_RATES
+    policy = RecoveryPolicy(resetup=args.resetup)
+
+    def progress(done: int, report) -> None:
+        if done % 10 == 0 or done == args.iterations:
+            print(
+                f"iteration {done}/{args.iterations}: {report.runs} runs, "
+                f"{report.faults_injected} faults injected, "
+                f"{len(report.findings)} finding(s)"
+            )
+
+    report = run_campaign(
+        seed=args.seed,
+        iterations=args.iterations,
+        backends=args.backend or None,
+        pipelines=args.pipeline or None,
+        rates=rates,
+        policy=policy,
+        max_findings=args.max_findings,
+        on_progress=progress,
+    )
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -316,6 +350,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: trace)",
     )
     fuzz.add_argument(
+        "--iteration-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per fuzz iteration; a slower iteration is "
+        "reported as a 'timeout' finding and the run continues (default: "
+        "no budget)",
+    )
+    fuzz.add_argument(
+        "--inject-hang",
+        type=int,
+        default=None,
+        metavar="ITERATION",
+        help="testing hook: hang forever at the given iteration "
+        "(exercises --iteration-timeout and worker isolation)",
+    )
+    fuzz.add_argument(
         "--replay",
         metavar="FILE",
         help="replay one corpus reproducer instead of fuzzing",
@@ -326,6 +377,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify the oracles catch a deliberately broken pass",
     )
     fuzz.set_defaults(func=cmd_fuzz)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run the seeded fault-injection correctness campaign",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0, help="fault/program seed (default 0)"
+    )
+    faults.add_argument(
+        "--iterations",
+        type=int,
+        default=100,
+        help="programs per backend (default 100)",
+    )
+    faults.add_argument(
+        "--backend",
+        action="append",
+        choices=sorted(PROFILES),
+        help="restrict to one backend profile (repeatable; default: all)",
+    )
+    faults.add_argument(
+        "--pipeline",
+        action="append",
+        choices=sorted(PIPELINES),
+        help="restrict to one pipeline (repeatable; default: all)",
+    )
+    faults.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="uniform per-interaction fault rate for every fault kind "
+        "(default: the campaign's mixed rates)",
+    )
+    faults.add_argument(
+        "--resetup",
+        default="minimal",
+        choices=["minimal", "full"],
+        help="re-setup strategy after detected state loss (default: minimal)",
+    )
+    faults.add_argument(
+        "--max-findings",
+        type=int,
+        default=10,
+        help="stop after this many findings (default 10)",
+    )
+    faults.set_defaults(func=cmd_faults)
 
     bench = sub.add_parser(
         "bench", help="benchmark compile/simulate/fuzz throughput"
@@ -359,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig10", "fig10_gemmini"),
         ("fig11", "fig11_opengemm"),
         ("fig12", "fig12_roofline"),
+        ("fault-recovery", "fault_recovery"),
         ("outlook-os", "outlook_os_gemmini"),
         ("outlook-shapes", "outlook_shapes"),
         ("outlook-tradeoff", "outlook_tradeoff"),

@@ -23,6 +23,7 @@ from .dataflow import (
     KnownFields,
     KnownFieldsAnalysis,
     ObservedFieldsAnalysis,
+    RegisterLivenessAnalysis,
     intersect,
 )
 from .diagnostics import (
@@ -43,6 +44,7 @@ __all__ = [
     "KnownFields",
     "KnownFieldsAnalysis",
     "ObservedFieldsAnalysis",
+    "RegisterLivenessAnalysis",
     "intersect",
     "Diagnostic",
     "DiagnosticEngine",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..dialects import accfg, scf
+from ..dialects import accfg, func, scf
 from ..ir.block import Block
 from ..ir.operation import Operation
 from ..ir.ssa import BlockArgument, OpResult, SSAValue
@@ -319,6 +319,87 @@ class FieldSet:
         if self.is_top:
             return name not in self.names
         return name in self.names
+
+
+class RegisterLivenessAnalysis:
+    """Backward may-read-before-overwrite liveness of the *register file*.
+
+    :class:`ObservedFieldsAnalysis` reasons along one SSA state chain; this
+    analysis reasons about the shared physical register file of one
+    accelerator, which *every* chain on that accelerator reads and writes.
+    That distinction matters for programs that open fresh state chains
+    (``accfg.setup`` with no input state) and still rely on registers a
+    previous chain wrote — the register-retention idiom that makes partial
+    configuration pay off (paper Section 5.4), and exactly what must be
+    re-issued when a device loses state.
+
+    ``live_in[op]`` answers: which fields may some later launch of this
+    accelerator read before any rewrite, as of the program point *just
+    before* ``op``?  A launch reads the entire register file (``TOP``) except
+    the launch-carried fields it writes itself; a setup kills the fields it
+    writes; ``accfg.reset`` kills everything (contents are declared
+    undefined); calls and unknown region ops are conservatively ``TOP``.
+    ``live_in`` is joined (union) over loop-fixpoint rounds, so it is a
+    may-result: a field it excludes is provably rewritten on every path
+    before any launch can read it.
+    """
+
+    max_loop_rounds = 8
+
+    def __init__(self, accelerator: str) -> None:
+        self.accelerator = accelerator
+        self.live_in: dict[Operation, FieldSet] = {}
+
+    def run_function(self, fn: Operation) -> FieldSet:
+        """Analyze one function body; returns liveness at function entry."""
+        return self.run_block(fn.regions[0].block, FieldSet.bottom())
+
+    def run_block(self, block: Block, live: FieldSet) -> FieldSet:
+        for op in reversed(list(block.ops)):
+            live = self.run_op(op, live)
+        return live
+
+    def run_op(self, op: Operation, live: FieldSet) -> FieldSet:
+        if isinstance(op, scf.IfOp):
+            then_live = self.run_block(op.then_block, live)
+            else_live = (
+                self.run_block(op.else_block, live) if op.has_else else live
+            )
+            result = then_live.union(else_live)
+        elif isinstance(op, scf.ForOp):
+            entry = live  # zero-trip: the loop may contribute nothing
+            for _ in range(self.max_loop_rounds):
+                merged = entry.union(self.run_block(op.body, entry))
+                if merged == entry:
+                    break
+                entry = merged
+            result = entry
+        elif isinstance(op, accfg.SetupOp):
+            if op.accelerator == self.accelerator:
+                result = live.minus(set(op.field_names))
+            else:
+                result = live
+        elif isinstance(op, accfg.LaunchOp):
+            if op.accelerator == self.accelerator:
+                # The launch commits its carried fields, then reads the
+                # whole register file.
+                result = FieldSet.top().minus({name for name, _ in op.fields})
+            else:
+                result = live
+        elif isinstance(op, accfg.ResetOp):
+            state_type = op.state.type
+            if getattr(state_type, "accelerator", None) == self.accelerator:
+                result = FieldSet.bottom()
+            else:
+                result = live
+        elif op.regions or isinstance(op, func.CallOp):
+            # Unknown region-bearing ops and calls may do anything.
+            result = FieldSet.top()
+        else:
+            result = live
+        previous = self.live_in.get(op)
+        self.live_in[op] = result if previous is None else result.union(previous)
+        return result
 
 
 class ObservedFieldsAnalysis:

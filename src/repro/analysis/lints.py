@@ -19,6 +19,7 @@ ACCFG007  redundant-setup-field     warning
 ACCFG008  pessimistic-clobber       warning
 ACCFG009  unknown-accelerator       warning
 ACCFG010  config-roofline           warning
+ACCFG011  retention-hazard          warning
 ========= ========================= ========
 """
 
@@ -448,6 +449,117 @@ def _check_pessimistic_clobber(
                             )
 
 
-# Importing this module registers ACCFG001..ACCFG009; the roofline lint
-# (ACCFG010) lives in its own module and registers itself on import.
+# ---------------------------------------------------------------------------
+# ACCFG011: retention hazards (reliance on device state across launches)
+# ---------------------------------------------------------------------------
+
+
+def _retention_hazards(fn: func.FuncOp) -> dict[Operation, set[str]]:
+    """Which setup-written fields do launches rely on retaining?
+
+    The lattice state maps ``(accelerator, field)`` to the set of
+    ``(writer setup op, crossed)`` entries that may have last written the
+    field, where ``crossed`` records that at least one launch boundary has
+    passed since the write.  A launch reads the whole register file, so any
+    ``crossed`` entry it sees is a retention reliance: the program only
+    works because the device kept that register across a previous launch.
+    That is exactly the assumption the dedup/hoist passes introduce — and
+    exactly what a spontaneous device state loss breaks.  Returns writer
+    setup op -> the field names relied on across a boundary.
+    """
+    from .dataflow import ForwardSolver
+
+    hazards: dict[Operation, set[str]] = {}
+
+    class Solver(ForwardSolver):
+        def initial(self):
+            return {}
+
+        def join(self, a, b):
+            merged = dict(a)
+            for key, entries in b.items():
+                merged[key] = merged.get(key, frozenset()) | entries
+            return merged
+
+        def transfer(self, op, state):
+            if isinstance(op, accfg.SetupOp):
+                state = dict(state)
+                for name in op.field_names:
+                    state[(op.accelerator, name)] = frozenset({(op, False)})
+                return state
+            if isinstance(op, accfg.LaunchOp):
+                accelerator = op.accelerator
+                carried = {name for name, _ in op.fields}
+                state = dict(state)
+                for (acc, name), entries in list(state.items()):
+                    if acc != accelerator:
+                        continue
+                    if name not in carried:
+                        for writer, crossed in entries:
+                            if crossed:
+                                hazards.setdefault(writer, set()).add(name)
+                    # This launch is a new boundary behind every surviving
+                    # write; launch-carried fields are rewritten by the
+                    # command itself and stop being setup-attributed.
+                    if name in carried:
+                        state.pop((acc, name))
+                    else:
+                        state[(acc, name)] = frozenset(
+                            (writer, True) for writer, _ in entries
+                        )
+                return state
+            if isinstance(op, accfg.ResetOp):
+                state_type = op.state.type
+                if isinstance(state_type, accfg.StateType):
+                    accelerator = state_type.accelerator
+                    state = {
+                        key: entries
+                        for key, entries in state.items()
+                        if key[0] != accelerator
+                    }
+                return state
+            if isinstance(op, func.CallOp):
+                # The callee may launch or reset anything: assume every
+                # tracked write is invalidated rather than guess.
+                return {}
+            return state
+
+    solver = Solver()
+    solver.run_block(fn.regions[0].block, solver.initial())
+    return hazards
+
+
+@register_lint(
+    "ACCFG011",
+    "retention-hazard",
+    "a launch relies on setup fields retained across an earlier launch",
+)
+def _check_retention_hazard(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    for fn in _functions(module):
+        hazards = _retention_hazards(fn)
+        for op in fn.walk():
+            fields = hazards.get(op)
+            if not fields:
+                continue
+            listing = ", ".join(f"'{name}'" for name in sorted(fields))
+            engine.warning(
+                "ACCFG011",
+                f"setup on '{op.accelerator}' writes field(s) {listing} that "
+                "later launches rely on across a launch boundary without an "
+                "intervening write",
+                op,
+            ).with_note(
+                "retained state is an optimization asset (dedup/hoisting "
+                "depend on it) but a resilience hazard: a device power cycle "
+                "between launches silently corrupts these fields unless a "
+                "recovery runtime re-establishes them (see `python -m repro "
+                "faults` and docs/ROBUSTNESS.md)"
+            )
+
+
+# Importing this module registers ACCFG001..ACCFG009 and ACCFG011; the
+# roofline lint (ACCFG010) lives in its own module and registers itself on
+# import.
 from . import roofline_lint  # noqa: E402,F401

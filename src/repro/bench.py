@@ -42,6 +42,8 @@ import platform
 import sys
 import time
 
+from .ioutil import atomic_write_json
+
 #: Tolerated fractional throughput loss before ``--check`` fails (the CI
 #: gate: "fails if fuzz-iteration throughput regresses >25%").
 REGRESSION_TOLERANCE = 0.25
@@ -371,9 +373,7 @@ def main(argv: list[str] | None = None) -> int:
 
     doc = run_bench(quick=args.quick)
     doc = _merge_with_existing(doc, args.out, args.freeze_baseline)
-    with open(args.out, "w") as handle:
-        json.dump(doc, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(args.out, doc)
 
     for name, result in doc["workloads"].items():
         line = (

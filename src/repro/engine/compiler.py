@@ -259,6 +259,9 @@ class _FunctionCompiler:
                     self.slot(op.out_state),
                     self.slot(in_state) if in_state is not None else None,
                     _loc_suffix(op),
+                    # The originating op: the fault-recovery runtime plans
+                    # minimal re-setup per site.  Unused on fault-free runs.
+                    op,
                 )
             )
             return
@@ -272,6 +275,7 @@ class _FunctionCompiler:
                     self.slot(op.token),
                     self.slot(op.state),
                     _loc_suffix(op),
+                    op,
                 )
             )
             return

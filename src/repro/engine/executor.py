@@ -18,7 +18,7 @@ from __future__ import annotations
 from ..dialects.builtin import ModuleOp
 from ..interp.interpreter import InterpreterError, StateHandle
 from ..sim.cosim import _SPAN_FOR_CATEGORY, CoSimulator
-from ..sim.device import LaunchToken
+from ..sim.device import FaultError, LaunchToken
 from ..sim.timeline import Span
 from .compiler import (
     OP_AWAIT,
@@ -250,7 +250,7 @@ class TraceExecutor:
                 continue
 
             if opcode == OP_SETUP:
-                _, accel, names, slots, out_slot, in_slot, loc = ins
+                _, accel, names, slots, out_slot, in_slot, loc, site = ins
                 if in_slot is not None and frame[in_slot] in reset_states:
                     raise InterpreterError(
                         f"setup on '{accel}' uses a state that was reset "
@@ -263,18 +263,20 @@ class TraceExecutor:
                         raise _not_int(value)
                     fields[name] = value
                 try:
-                    sim.exec_setup(accel, fields)
+                    sim.exec_setup(accel, fields, site=site)
                 except KeyError as error:
                     raise InterpreterError(
                         f"setup on {error.args[0]}{loc}"
                     ) from None
+                except FaultError as error:
+                    raise InterpreterError(f"{error}{loc}") from None
                 self._state_counter += 1
                 frame[out_slot] = StateHandle(accel, self._state_counter)
                 pc += 1
                 continue
 
             if opcode == OP_LAUNCH:
-                _, accel, names, slots, token_slot, state_slot, loc = ins
+                _, accel, names, slots, token_slot, state_slot, loc, site = ins
                 if frame[state_slot] in reset_states:
                     raise InterpreterError(
                         f"launch on '{accel}' uses a state that was reset "
@@ -287,11 +289,13 @@ class TraceExecutor:
                         raise _not_int(value)
                     fields[name] = value
                 try:
-                    token = sim.exec_launch(accel, fields)
+                    token = sim.exec_launch(accel, fields, site=site)
                 except KeyError as error:
                     raise InterpreterError(
                         f"launch on {error.args[0]}{loc}"
                     ) from None
+                except FaultError as error:
+                    raise InterpreterError(f"{error}{loc}") from None
                 self._token_epoch[token] = self._reset_epoch.get(accel, 0)
                 frame[token_slot] = token
                 pc += 1
@@ -315,7 +319,10 @@ class TraceExecutor:
                         f"await of a launch on '{accel}' that was "
                         f"discarded by accfg.reset{loc}"
                     )
-                sim.exec_await(token)
+                try:
+                    sim.exec_await(token)
+                except FaultError as error:
+                    raise InterpreterError(f"{error}{loc}") from None
                 self._awaited.add(token)
                 pc += 1
                 continue
@@ -327,6 +334,8 @@ class TraceExecutor:
                     self._reset_epoch[handle.accelerator] = (
                         self._reset_epoch.get(handle.accelerator, 0) + 1
                     )
+                    if sim.faults is not None:
+                        sim.exec_reset(handle.accelerator)
                 cycles, kind = cost(CTRL_INSTR)
                 t = sim.host_time
                 if cycles > 0:

@@ -8,6 +8,7 @@ from . import (
     fig11_opengemm,
     fig12_roofline,
     figure4_rooflines,
+    fault_recovery,
     outlook_os_gemmini,
     outlook_shapes,
     outlook_tradeoff,
@@ -22,6 +23,7 @@ __all__ = [
     "fig11_opengemm",
     "fig12_roofline",
     "figure4_rooflines",
+    "fault_recovery",
     "outlook_os_gemmini",
     "outlook_shapes",
     "outlook_tradeoff",

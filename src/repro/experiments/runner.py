@@ -16,6 +16,7 @@ import sys
 
 from . import (
     example_4_6,
+    fault_recovery,
     fig2_timeline,
     fig10_gemmini,
     fig11_opengemm,
@@ -56,6 +57,8 @@ def main(argv: list[str] | None = None) -> None:
     )
     print(separator)
     fig2_timeline.main()
+    print(separator)
+    fault_recovery.main(quick=quick)
     print(separator)
 
 

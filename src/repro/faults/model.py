@@ -1,0 +1,144 @@
+"""Seed-driven fault model.
+
+Every fault decision is a *deterministic* function of ``(seed, kind, index)``
+where ``index`` is a per-kind interaction counter advanced in program order:
+the n-th configuration write draws from its own private stream, so the fault
+schedule is reproducible byte for byte from the seed alone, independent of
+Python hash randomization, wall-clock time, or which execution engine (tree
+interpreter or compiled trace) drives the simulator.  Both engines run the
+same recovery protocol inside :class:`~repro.sim.cosim.CoSimulator`, so the
+same seed produces the same :class:`FaultEvent` log under either.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class FaultKind(str, Enum):
+    """The injectable failure modes of the host–accelerator config plane."""
+
+    #: a configuration-register write is silently lost (MMIO write dropped)
+    DROP_WRITE = "drop-write"
+    #: a configuration-register write lands with a flipped bit
+    CORRUPT_WRITE = "corrupt-write"
+    #: the launch command is rejected by the interface (must be re-issued)
+    LAUNCH_REJECT = "launch-reject"
+    #: a completion poll keeps reading busy well past the expected finish
+    AWAIT_STALL = "await-stall"
+    #: the device power-gates/resets: every retained register is lost
+    STATE_LOSS = "state-loss"
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-kind fault probabilities (per interaction, in ``[0, 1]``)."""
+
+    drop_write: float = 0.0
+    corrupt_write: float = 0.0
+    launch_reject: float = 0.0
+    await_stall: float = 0.0
+    state_loss: float = 0.0
+
+    @staticmethod
+    def uniform(rate: float) -> "FaultRates":
+        """The same rate for every fault kind."""
+        return FaultRates(rate, rate, rate, rate, rate)
+
+    def rate(self, kind: FaultKind) -> float:
+        return getattr(self, kind.name.lower())
+
+    def any(self) -> bool:
+        return any(
+            getattr(self, f.name.lower()) > 0.0 for f in FaultKind
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault, as recorded in the injector's schedule log."""
+
+    kind: FaultKind
+    index: int
+    accelerator: str
+    detail: str = ""
+
+    def render(self) -> str:
+        text = f"{self.kind.value}#{self.index} on {self.accelerator}"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+class FaultInjector:
+    """Deterministic per-interaction fault draws plus the fired-fault log.
+
+    One injector instance belongs to one simulation run.  Comparing two runs'
+    ``schedule()`` (e.g. the tree-interpreted and trace-compiled executions
+    of the same program) checks that they took byte-identical fault paths.
+    """
+
+    def __init__(
+        self, seed: int, rates: FaultRates, max_stall_polls: int = 4
+    ) -> None:
+        self.seed = int(seed)
+        self.rates = rates
+        #: upper bound on how many extra completion polls one await-stall
+        #: fault costs; a watchdog whose retry budget is at least this large
+        #: always recovers, a smaller budget times out
+        self.max_stall_polls = max_stall_polls
+        self._counters: dict[str, int] = {}
+        #: fired faults in program order — the reproducible fault schedule
+        self.log: list[FaultEvent] = []
+
+    # -- deterministic draws ------------------------------------------------
+
+    def _next_index(self, stream: str) -> int:
+        index = self._counters.get(stream, 0)
+        self._counters[stream] = index + 1
+        return index
+
+    def _rng(self, stream: str, index: int) -> random.Random:
+        # Seeding with a string is deterministic (hashed via sha512 by
+        # random.seed version 2), unaffected by PYTHONHASHSEED.
+        return random.Random(f"{self.seed}:{stream}:{index}")
+
+    def draw(self, stream: str) -> tuple[int, random.Random]:
+        """Advance one named stream; returns (interaction index, its rng)."""
+        index = self._next_index(stream)
+        return index, self._rng(stream, index)
+
+    # -- fault decisions ----------------------------------------------------
+
+    def should(self, kind: FaultKind, accelerator: str, detail: str = "") -> bool:
+        """Decide whether this interaction faults; logs fired faults."""
+        index, rng = self.draw(kind.value)
+        fired = rng.random() < self.rates.rate(kind)
+        if fired:
+            self.log.append(FaultEvent(kind, index, accelerator, detail))
+        return fired
+
+    def corrupt(self, value: int, bits: int) -> int:
+        """Deterministically flip one bit of a written field value."""
+        _, rng = self.draw("corrupt-bit")
+        flipped = value ^ (1 << rng.randrange(max(1, bits)))
+        return flipped if flipped != value else value + 1
+
+    def stall_polls(self) -> int:
+        """How many extra completion polls an await-stall fault costs.
+
+        Drawn from ``1 .. max_stall_polls``; the watchdog recovers when its
+        retry budget covers the draw and declares a timeout otherwise, so
+        stall severity and watchdog patience are independent knobs.
+        """
+        _, rng = self.draw("stall-polls")
+        return rng.randint(1, max(1, self.max_stall_polls))
+
+    # -- the reproducible schedule ------------------------------------------
+
+    def schedule(self) -> tuple[str, ...]:
+        """The fired-fault schedule as a tuple of rendered lines."""
+        return tuple(event.render() for event in self.log)
+
+    def format_schedule(self) -> str:
+        return "\n".join(self.schedule())

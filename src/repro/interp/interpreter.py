@@ -23,7 +23,7 @@ from ..ir.attributes import IntegerType
 from ..ir.operation import Operation, UnregisteredOp
 from ..ir.ssa import SSAValue
 from ..sim.cosim import CoSimulator
-from ..sim.device import LaunchToken
+from ..sim.device import FaultError, LaunchToken
 from ..isa.instructions import Instr, InstrCategory
 
 
@@ -189,9 +189,11 @@ class Interpreter:
                 name: self._as_int(env, value) for name, value in op.fields
             }
             try:
-                self.sim.exec_setup(op.accelerator, fields)
+                self.sim.exec_setup(op.accelerator, fields, site=op)
             except KeyError as error:
                 raise _fail(op, f"setup on {error.args[0]}") from None
+            except FaultError as error:
+                raise _fail(op, str(error)) from None
             self._state_counter += 1
             env[op.out_state] = StateHandle(op.accelerator, self._state_counter)
             return None
@@ -206,9 +208,11 @@ class Interpreter:
                 name: self._as_int(env, value) for name, value in op.fields
             }
             try:
-                token = self.sim.exec_launch(op.accelerator, fields)
+                token = self.sim.exec_launch(op.accelerator, fields, site=op)
             except KeyError as error:
                 raise _fail(op, f"launch on {error.args[0]}") from None
+            except FaultError as error:
+                raise _fail(op, str(error)) from None
             self._token_epoch[token] = self._reset_epoch.get(op.accelerator, 0)
             env[op.token] = token
             return None
@@ -229,7 +233,10 @@ class Interpreter:
                     f"await of a launch on '{op.accelerator}' that was "
                     "discarded by accfg.reset",
                 )
-            self.sim.exec_await(token)
+            try:
+                self.sim.exec_await(token)
+            except FaultError as error:
+                raise _fail(op, str(error)) from None
             self._awaited.add(token)
             return None
         if isinstance(op, accfg.ResetOp):
@@ -239,6 +246,8 @@ class Interpreter:
                 self._reset_epoch[handle.accelerator] = (
                     self._reset_epoch.get(handle.accelerator, 0) + 1
                 )
+                if self.sim.faults is not None:
+                    self.sim.exec_reset(handle.accelerator)
             self._charge_control()
             return None
         # Extension point: ops outside the core dialects may carry their own

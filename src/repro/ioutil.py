@@ -1,0 +1,45 @@
+"""Crash-safe file output.
+
+Results files (benchmark baselines, experiment JSON, fuzz reproducers) are
+read back by later runs and by CI; a half-written file from an interrupted
+process would poison those readers.  Every writer goes through
+:func:`atomic_write_text`: the payload lands in a temporary file in the same
+directory and is published with :func:`os.replace`, which POSIX guarantees
+is atomic — readers observe either the old complete file or the new one,
+never a truncated mix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(path: str, doc: Any, indent: int = 2) -> None:
+    """Serialize ``doc`` as sorted, indented JSON and publish it atomically."""
+    atomic_write_text(
+        path, json.dumps(doc, indent=indent, sort_keys=True) + "\n"
+    )

@@ -25,6 +25,17 @@ class SimulationError(Exception):
     """Raised on illegal device interactions (e.g. double-await)."""
 
 
+class FaultError(SimulationError):
+    """An injected hardware fault that was detected but not repaired.
+
+    Raised by the co-simulator when fault injection is active and either
+    recovery is disabled or a bounded-retry recovery strategy ran out of
+    attempts.  Both execution engines convert it into a loc-tagged
+    ``InterpreterError`` so faulted runs fail loudly at the offending op
+    instead of silently corrupting results.
+    """
+
+
 @dataclass(frozen=True)
 class LaunchToken:
     """Handle of one in-flight launch."""
@@ -51,6 +62,13 @@ class AcceleratorDevice:
         self.busy_cycles = 0.0
         self.config_write_count = 0
         self._launch_ends: list[float] = []
+        #: bumped by :meth:`power_cycle`; a host-visible epoch register that
+        #: lets the recovery runtime detect spontaneous state loss
+        self.hw_epoch = 0
+        #: degraded mode: treat a concurrent-configuration device as
+        #: sequential (recovery runtime flips this when the staged path
+        #: keeps faulting)
+        self.force_sequential = False
 
     @property
     def name(self) -> str:
@@ -58,6 +76,11 @@ class AcceleratorDevice:
 
     def is_busy(self, now: float) -> bool:
         return now < self.busy_until
+
+    @property
+    def concurrent_now(self) -> bool:
+        """Effective configuration concurrency (degradation-aware)."""
+        return self.spec.concurrent_config and not self.force_sequential
 
     # -- configuration -------------------------------------------------------
 
@@ -69,9 +92,9 @@ class AcceleratorDevice:
         host stalls; paper Figure 2's idle region).
         """
         start = now
-        if not self.spec.concurrent_config and self.is_busy(now):
+        if not self.concurrent_now and self.is_busy(now):
             start = self.busy_until
-        target = self.staged if self.spec.concurrent_config else self.registers
+        target = self.staged if self.concurrent_now else self.registers
         for name, value in fields.items():
             target[name] = int(value)
         self.config_write_count += len(fields)
@@ -82,6 +105,19 @@ class AcceleratorDevice:
         merged = dict(self.registers)
         merged.update(self.staged)
         return merged
+
+    def power_cycle(self) -> None:
+        """Spontaneous device state loss (reset / power-gate).
+
+        Clears both the committed register file and any staged writes —
+        exactly the retention assumption the dedup pass leans on — and bumps
+        the host-visible :attr:`hw_epoch` so read-back detection works.  The
+        compute plane is unaffected: an in-flight launch already snapshotted
+        its configuration, so ``busy_until`` and the launch queue survive.
+        """
+        self.registers.clear()
+        self.staged.clear()
+        self.hw_epoch += 1
 
     # -- launch / completion ---------------------------------------------
 
@@ -96,7 +132,7 @@ class AcceleratorDevice:
         """
         depth = (
             max(1, self.spec.launch_queue_depth)
-            if self.spec.concurrent_config
+            if self.concurrent_now
             else 1
         )
         if len(self._launch_ends) < depth:

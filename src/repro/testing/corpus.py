@@ -22,6 +22,7 @@ import json
 import os
 from dataclasses import asdict, dataclass, field
 
+from ..ioutil import atomic_write_text
 from ..ir import parse_module, verify_operation
 from .generator import build_memory
 from .oracles import OracleFailure, Subject, check_subject
@@ -70,16 +71,16 @@ def write_reproducer(
     path = os.path.join(directory, name)
     payload = asdict(meta)
     payload["args"] = list(meta.args)
-    with open(path, "w") as handle:
-        handle.write(
-            "// repro-fuzz reproducer — replay with: "
-            "python -m repro fuzz --replay <this file>\n"
-        )
-        handle.write(f"// failure: {meta.message}\n")
-        handle.write(_META_PREFIX + json.dumps(payload, sort_keys=True) + "\n")
-        handle.write(module_text)
-        if not module_text.endswith("\n"):
-            handle.write("\n")
+    lines = [
+        "// repro-fuzz reproducer — replay with: "
+        "python -m repro fuzz --replay <this file>\n",
+        f"// failure: {meta.message}\n",
+        _META_PREFIX + json.dumps(payload, sort_keys=True) + "\n",
+        module_text,
+    ]
+    if not module_text.endswith("\n"):
+        lines.append("\n")
+    atomic_write_text(path, "".join(lines))
     return path
 
 

@@ -13,9 +13,13 @@ be replayed locally from either the seed or the corpus file.
 
 from __future__ import annotations
 
+import contextlib
+import os
+import signal
+import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Iterator, Mapping
 
 from ..passes import PIPELINES
 from .corpus import DEFAULT_CORPUS_DIR, ReproducerMeta, write_reproducer
@@ -24,15 +28,56 @@ from .oracles import OracleFailure, check_subject, subject_for_spec
 from .shrink import shrink_spec
 
 
+class IterationTimeout(Exception):
+    """One fuzz iteration exceeded its wall-clock budget."""
+
+
+@contextlib.contextmanager
+def _iteration_deadline(seconds: float | None) -> Iterator[None]:
+    """Raise :class:`IterationTimeout` after ``seconds`` of wall clock.
+
+    Uses ``SIGALRM``, so it interrupts arbitrary in-progress Python work (a
+    pass stuck in a rewrite loop, a runaway shrink) rather than only
+    checking between iterations.  A no-op when no budget is set, off the
+    main thread, or on platforms without ``SIGALRM``.
+    """
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise IterationTimeout()
+
+    try:
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+    except ValueError:  # not the main thread: deadlines unavailable
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _hang_forever() -> None:  # pragma: no cover - exercised via SIGALRM
+    while True:
+        time.sleep(3600)
+
+
 @dataclass
 class FuzzFailure:
-    """One fuzz finding: the (shrunk) failing program plus its coordinates."""
+    """One fuzz finding: the (shrunk) failing program plus its coordinates.
+
+    ``spec`` is ``None`` for synthetic findings that have no single failing
+    program — a timed-out iteration or a crashed worker shard."""
 
     backend: str
     iteration: int
     program_seed: int
     failure: OracleFailure
-    spec: ProgramSpec
+    spec: ProgramSpec | None = None
     reproducer_path: str | None = None
 
     def format(self) -> str:
@@ -95,6 +140,9 @@ def fuzz(
     on_progress: Callable[[str], None] | None = None,
     engine: str = "trace",
     start_iteration: int = 0,
+    iteration_timeout: float | None = None,
+    inject_hang: int | None = None,
+    inject_crash: int | None = None,
 ) -> FuzzReport:
     """Run the differential fuzzer; see the module docstring.
 
@@ -109,6 +157,13 @@ def fuzz(
     function of the *absolute* iteration index, which is what lets
     :func:`repro.testing.parallel.fuzz_sharded` split one run across
     processes without changing which programs are generated.
+
+    ``iteration_timeout`` bounds each (iteration, backend) step in seconds
+    of wall clock; a step that exceeds it is reported as a ``timeout``
+    finding and the run continues with the next program.  ``inject_hang``
+    and ``inject_crash`` are testing hooks: at the given absolute iteration
+    the first backend's step hangs forever (exercising the timeout path) or
+    hard-exits the process (exercising sharded worker-crash isolation).
     """
     backends = tuple(backends or sorted(PROFILES))
     for backend in backends:
@@ -131,23 +186,47 @@ def fuzz(
             if len(report.failures) >= max_failures:
                 return report
             pseed = program_seed(seed, backend, iteration)
-            rng = random.Random(pseed)
-            spec = generate_spec(rng, backend, max_stmts=max_stmts)
-            subject = subject_for_spec(spec, memory_seed=pseed)
-            failures = check_subject(subject, pipeline_map, engine=engine)
+            if inject_crash is not None and iteration == inject_crash:
+                os._exit(86)
             report.programs_run += 1
-            if not failures:
-                continue
-            finding = _handle_failure(
-                spec,
-                pseed,
-                iteration,
-                failures[0],
-                pipeline_map,
-                corpus_dir,
-                shrink,
-                engine,
-            )
+            spec = None
+            try:
+                with _iteration_deadline(iteration_timeout):
+                    if inject_hang is not None and iteration == inject_hang:
+                        _hang_forever()
+                    rng = random.Random(pseed)
+                    spec = generate_spec(rng, backend, max_stmts=max_stmts)
+                    subject = subject_for_spec(spec, memory_seed=pseed)
+                    failures = check_subject(
+                        subject, pipeline_map, engine=engine
+                    )
+                    if not failures:
+                        continue
+                    finding = _handle_failure(
+                        spec,
+                        pseed,
+                        iteration,
+                        failures[0],
+                        pipeline_map,
+                        corpus_dir,
+                        shrink,
+                        engine,
+                    )
+            except IterationTimeout:
+                finding = FuzzFailure(
+                    backend=backend,
+                    iteration=iteration,
+                    program_seed=pseed,
+                    failure=OracleFailure(
+                        oracle="timeout",
+                        pipeline="*",
+                        message=(
+                            f"iteration exceeded its {iteration_timeout:g}s "
+                            "wall-clock budget"
+                        ),
+                    ),
+                    spec=spec,
+                )
             report.failures.append(finding)
             if on_progress:
                 on_progress(finding.format())

@@ -20,10 +20,12 @@ never touches ``multiprocessing``.
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 from typing import Callable, Iterable, Sequence
 
 from .corpus import DEFAULT_CORPUS_DIR
-from .fuzz import FuzzReport, fuzz
+from .fuzz import FuzzFailure, FuzzReport, fuzz
+from .oracles import OracleFailure
 
 
 def _pool_context():
@@ -74,6 +76,56 @@ def _run_shard(payload: dict) -> FuzzReport:
     return fuzz(pipelines=pipelines, **payload)
 
 
+def _shard_worker(index: int, payload: dict, results) -> None:
+    """Process entry point: run one shard, ship the report (or the error)
+    back over the results queue.  A worker that dies before putting anything
+    — hard crash, ``os._exit``, OOM kill — is detected by the parent via its
+    exit code and surfaced as a ``worker-crash`` finding."""
+    try:
+        results.put((index, "ok", _run_shard(payload)))
+    except KeyboardInterrupt:  # parent is tearing the run down
+        raise
+    except BaseException as error:  # noqa: BLE001 - report, don't vanish
+        results.put((index, "error", f"{type(error).__name__}: {error}"))
+
+
+def _collect_shard_outcomes(workers, results) -> dict[int, tuple]:
+    """Wait for every worker to report or die; never hangs on a crash.
+
+    On ``KeyboardInterrupt`` the workers are terminated and joined before
+    the interrupt propagates, so ctrl-C leaves no orphan processes behind.
+    """
+    outcomes: dict[int, tuple] = {}
+    polls_dead: dict[int, int] = {}
+    try:
+        while len(outcomes) < len(workers):
+            try:
+                index, status, value = results.get(timeout=0.2)
+                outcomes[index] = (status, value)
+                continue
+            except queue_module.Empty:
+                pass
+            for index, worker in enumerate(workers):
+                if index in outcomes or worker.exitcode is None:
+                    continue
+                # Dead without a result.  Give its result a few more poll
+                # rounds to drain out of the queue's pipe buffer before
+                # declaring the worker crashed.
+                polls_dead[index] = polls_dead.get(index, 0) + 1
+                if polls_dead[index] >= 5:
+                    outcomes[index] = ("crash", worker.exitcode)
+    except KeyboardInterrupt:
+        for worker in workers:
+            if worker.exitcode is None:
+                worker.terminate()
+        for worker in workers:
+            worker.join()
+        raise
+    for worker in workers:
+        worker.join()
+    return outcomes
+
+
 def fuzz_sharded(
     jobs: int = 1,
     seed: int = 0,
@@ -86,33 +138,27 @@ def fuzz_sharded(
     max_failures: int = 10,
     on_progress: Callable[[str], None] | None = None,
     engine: str = "trace",
+    iteration_timeout: float | None = None,
+    inject_hang: int | None = None,
+    inject_crash: int | None = None,
 ) -> FuzzReport:
     """:func:`repro.testing.fuzz.fuzz`, sharded over ``jobs`` processes.
 
     Same findings as the sequential run (modulo the ``max_failures`` early
     stop, which each shard honors locally); pipelines are named rather than
     passed as factories so shards can be dispatched to worker processes.
+
+    Workers are isolated: a shard whose process dies (crash, kill, hang
+    beyond ``iteration_timeout`` escalating into ``inject_crash`` tests)
+    becomes a ``worker-crash`` finding in the merged report instead of
+    hanging or aborting the whole run, and ctrl-C tears every worker down
+    before propagating.
     """
     shards = shard_ranges(iterations, jobs)
     pipeline_names = tuple(pipeline_names) if pipeline_names is not None else None
-    if len(shards) <= 1:
-        payload = {
-            "seed": seed,
-            "iterations": iterations,
-            "backends": backends,
-            "pipeline_names": pipeline_names,
-            "corpus_dir": corpus_dir,
-            "shrink": shrink,
-            "max_stmts": max_stmts,
-            "max_failures": max_failures,
-            "engine": engine,
-        }
-        report = _run_shard(payload)
-        report.jobs = 1
-        return report
 
-    payloads = [
-        {
+    def payload_for(start: int, count: int) -> dict:
+        return {
             "seed": seed,
             "iterations": count,
             "start_iteration": start,
@@ -123,27 +169,66 @@ def fuzz_sharded(
             "max_stmts": max_stmts,
             "max_failures": max_failures,
             "engine": engine,
+            "iteration_timeout": iteration_timeout,
+            "inject_hang": inject_hang,
+            "inject_crash": inject_crash,
         }
-        for start, count in shards
+
+    if len(shards) <= 1:
+        report = _run_shard(payload_for(0, iterations))
+        report.jobs = 1
+        return report
+
+    ctx = _pool_context()
+    results = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_shard_worker,
+            args=(index, payload_for(start, count), results),
+        )
+        for index, (start, count) in enumerate(shards)
     ]
-    reports = parallel_map(_run_shard, payloads, jobs=len(payloads))
+    for worker in workers:
+        worker.start()
+    outcomes = _collect_shard_outcomes(workers, results)
 
     merged = FuzzReport(
         seed=seed,
         iterations=iterations,
-        backends=reports[0].backends,
-        pipelines=reports[0].pipelines,
+        backends=tuple(backends or ()),
+        pipelines=pipeline_names or (),
         corpus_dir=corpus_dir,
-        jobs=len(payloads),
+        jobs=len(shards),
     )
-    for report in reports:
-        merged.programs_run += report.programs_run
-        merged.failures.extend(report.failures)
+    for index, (start, count) in enumerate(shards):
+        status, value = outcomes[index]
+        if status == "ok":
+            merged.backends = value.backends
+            merged.pipelines = value.pipelines
+            merged.programs_run += value.programs_run
+            merged.failures.extend(value.failures)
+            continue
+        span = f"iterations {start}..{start + count - 1}"
+        message = (
+            f"worker for shard {index} ({span}) died with exit code {value}"
+            if status == "crash"
+            else f"worker for shard {index} ({span}) failed: {value}"
+        )
+        merged.failures.append(
+            FuzzFailure(
+                backend="*",
+                iteration=start,
+                program_seed=-1,
+                failure=OracleFailure(
+                    oracle="worker-crash", pipeline="*", message=message
+                ),
+            )
+        )
     merged.failures.sort(key=lambda f: (f.iteration, f.backend))
     del merged.failures[max_failures:]
     if on_progress:
         on_progress(
-            f"... merged {len(reports)} shard(s): {merged.programs_run} "
+            f"... merged {len(shards)} shard(s): {merged.programs_run} "
             f"programs, {len(merged.failures)} failure(s)"
         )
     return merged

@@ -9,6 +9,11 @@ actually appear — a silently vanishing warning is also a regression):
   example's whole point.
 * The MLP's small layers are likewise configuration-bound pre-optimization
   (the paper's motivating scenario), so ACCFG010 is expected there too.
+* Examples written directly in the *optimized* idiom — one hoisted setup
+  feeding many launches — rely on the device retaining configuration across
+  launch boundaries, which the retention-hazard lint (ACCFG011) flags by
+  design: that reliance is the paper's optimization asset and the faults
+  subsystem's resilience hazard.
 """
 
 import contextlib
@@ -60,7 +65,7 @@ class TestExamplesAreClean:
 
     def test_multi_accelerator(self):
         example = import_example("multi_accelerator")
-        assert_lint_profile(example.module, set())
+        assert_lint_profile(example.module, {"ACCFG011"})
 
     def test_custom_accelerator(self):
         example = import_example("custom_accelerator")
@@ -68,7 +73,7 @@ class TestExamplesAreClean:
 
     def test_opengemm_tiled_matmul(self):
         example = import_example("opengemm_tiled_matmul")
-        assert_lint_profile(example.workload.module, set())
+        assert_lint_profile(example.workload.module, {"ACCFG011"})
 
     def test_mlp_inference_ir(self):
         # mlp_inference.py runs four co-simulations on import; lint the

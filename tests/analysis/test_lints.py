@@ -419,3 +419,78 @@ class TestLegacyWrapper:
         diagnostics = state_linearity_diagnostics(module)
         assert diagnostics and all(isinstance(d, str) for d in diagnostics)
         assert any("not registered" in d for d in diagnostics)
+
+
+class TestRetentionHazard:
+    def test_positive_second_launch_relies_on_retention(self):
+        codes, diags = lint_codes("""builtin.module {
+  func.func @main(%n : i64) -> () {
+    %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    %t1 = accfg.launch %s : !accfg.token<"toyvec">
+    accfg.await %t1
+    %t2 = accfg.launch %s : !accfg.token<"toyvec">
+    accfg.await %t2
+    func.return
+  }
+}
+""")
+        assert "ACCFG011" in codes
+        diag = next(d for d in diags if d.code == "ACCFG011")
+        assert diag.severity is Severity.WARNING
+        assert "'n'" in diag.message
+        assert any("recovery" in note for note in diag.notes)
+
+    def test_positive_hoisted_setup_feeding_loop(self):
+        codes, _ = lint_codes("""builtin.module {
+  func.func @main(%n : i64) -> () {
+    %c0 = arith.constant 0 : index
+    %c1 = arith.constant 1 : index
+    %c4 = arith.constant 4 : index
+    %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    scf.for %i = %c0 to %c4 step %c1 {
+      %t = accfg.launch %s : !accfg.token<"toyvec">
+      accfg.await %t
+      scf.yield
+    }
+    func.return
+  }
+}
+""")
+        assert "ACCFG011" in codes
+
+    def test_negative_single_launch(self):
+        codes, _ = lint_codes(CLEAN)
+        assert "ACCFG011" not in codes
+
+    def test_negative_field_rewritten_before_each_launch(self):
+        codes, _ = lint_codes("""builtin.module {
+  func.func @main(%n : i64, %m : i64) -> () {
+    %s1 = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    %t1 = accfg.launch %s1 : !accfg.token<"toyvec">
+    accfg.await %t1
+    %s2 = accfg.setup on "toyvec" from %s1 ("n" = %m : i64) : !accfg.state<"toyvec">
+    %t2 = accfg.launch %s2 : !accfg.token<"toyvec">
+    accfg.await %t2
+    func.return
+  }
+}
+""")
+        assert "ACCFG011" not in codes
+
+    def test_negative_per_iteration_setup(self):
+        codes, _ = lint_codes("""builtin.module {
+  func.func @main(%n : i64) -> () {
+    %c0 = arith.constant 0 : index
+    %c1 = arith.constant 1 : index
+    %c4 = arith.constant 4 : index
+    scf.for %i = %c0 to %c4 step %c1 {
+      %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+      %t = accfg.launch %s : !accfg.token<"toyvec">
+      accfg.await %t
+      scf.yield
+    }
+    func.return
+  }
+}
+""")
+        assert "ACCFG011" not in codes

@@ -1,0 +1,91 @@
+"""The seeded fault-injection correctness campaign."""
+
+from repro.faults import FaultRates, RecoveryPolicy
+from repro.faults.campaign import run_campaign
+
+
+class TestCleanCampaign:
+    def test_smoke_campaign_is_clean_and_injects_faults(self):
+        report = run_campaign(
+            seed=0,
+            iterations=3,
+            backends=["toyvec"],
+            pipelines=["none", "full"],
+            rates=FaultRates.uniform(0.2),
+        )
+        assert report.ok, report.summary()
+        # 4 runs per (iteration, pipeline): reference, tree recovery, trace
+        # recovery, detect-only — minus detect-only runs that (correctly)
+        # raised on a detected fault.
+        assert report.runs >= 3 * 2 * 3
+        assert report.faults_injected > 0
+        totals = report.recovery_totals
+        assert totals.verify_reads > 0
+        assert totals.write_faults + totals.launch_rejects > 0
+
+    def test_campaign_is_deterministic(self):
+        kwargs = dict(
+            seed=9,
+            iterations=2,
+            backends=["toyvec"],
+            pipelines=["full"],
+            rates=FaultRates.uniform(0.3),
+        )
+        a = run_campaign(**kwargs)
+        b = run_campaign(**kwargs)
+        assert a.faults_injected == b.faults_injected
+        assert a.recovery_totals.as_dict() == b.recovery_totals.as_dict()
+        assert a.summary() == b.summary()
+
+    def test_summary_mentions_the_accounting(self):
+        report = run_campaign(
+            seed=0, iterations=1, backends=["toyvec"], pipelines=["none"]
+        )
+        summary = report.summary()
+        for needle in ("faults injected", "state losses", "findings"):
+            assert needle in summary
+
+
+class TestFindings:
+    def test_exhausted_retry_budget_becomes_a_finding(self):
+        # Every write drops and there is no retry budget: the recovery run
+        # must surface that as a campaign finding, not a crash.
+        report = run_campaign(
+            seed=0,
+            iterations=1,
+            backends=["toyvec"],
+            pipelines=["none"],
+            rates=FaultRates(drop_write=1.0),
+            policy=RecoveryPolicy(max_retries=0),
+            max_findings=1,
+        )
+        assert not report.ok
+        finding = report.findings[0]
+        assert finding.stage == "recovery"
+        assert finding.pipeline == "none"
+        assert "recovery" in finding.render()
+
+    def test_max_findings_caps_the_run(self):
+        report = run_campaign(
+            seed=0,
+            iterations=5,
+            backends=["toyvec"],
+            pipelines=["none", "full"],
+            rates=FaultRates(drop_write=1.0),
+            policy=RecoveryPolicy(max_retries=0),
+            max_findings=2,
+        )
+        assert len(report.findings) == 2
+
+
+class TestProgress:
+    def test_on_progress_called_per_iteration(self):
+        seen = []
+        run_campaign(
+            seed=0,
+            iterations=2,
+            backends=["toyvec"],
+            pipelines=["none"],
+            on_progress=lambda done, report: seen.append(done),
+        )
+        assert seen == [1, 2]

@@ -1,0 +1,86 @@
+"""The ``python -m repro faults`` campaign command."""
+
+from repro.__main__ import main
+
+
+class TestFaultsCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--seed",
+                "0",
+                "--iterations",
+                "2",
+                "--backend",
+                "toyvec",
+                "--pipeline",
+                "none",
+                "--pipeline",
+                "full",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "fault campaign: seed 0" in out
+        assert "findings:         0" in out
+
+    def test_uniform_rate_flag(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--seed",
+                "0",
+                "--iterations",
+                "1",
+                "--backend",
+                "toyvec",
+                "--pipeline",
+                "none",
+                "--rate",
+                "0.3",
+            ]
+        )
+        assert code == 0
+        assert "faults injected" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, capsys):
+        # rate 1.0 drops every write; the default retry budget cannot win
+        # against a 100% fault rate, so the campaign must report findings
+        # and exit 1.
+        code = main(
+            [
+                "faults",
+                "--seed",
+                "0",
+                "--iterations",
+                "1",
+                "--backend",
+                "toyvec",
+                "--pipeline",
+                "none",
+                "--rate",
+                "1.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "findings" in out
+
+    def test_full_resetup_flag(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--seed",
+                "0",
+                "--iterations",
+                "1",
+                "--backend",
+                "toyvec",
+                "--pipeline",
+                "full",
+                "--resetup",
+                "full",
+            ]
+        )
+        assert code == 0, capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""The deterministic fault model (repro.faults.model)."""
+
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultRates
+
+
+def drive(injector, interactions=40):
+    """Run a fixed interaction sequence; returns the decision vector."""
+    decisions = []
+    for index in range(interactions):
+        kind = list(FaultKind)[index % len(FaultKind)]
+        decisions.append(injector.should(kind, "toyvec", f"i{index}"))
+    return decisions
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector(7, FaultRates.uniform(0.3))
+        b = FaultInjector(7, FaultRates.uniform(0.3))
+        assert drive(a) == drive(b)
+        assert a.schedule() == b.schedule()
+        assert any(drive(FaultInjector(7, FaultRates.uniform(0.3), 4)))
+
+    def test_different_seeds_diverge(self):
+        a = FaultInjector(7, FaultRates.uniform(0.3))
+        b = FaultInjector(8, FaultRates.uniform(0.3))
+        assert drive(a) != drive(b)
+
+    def test_streams_are_independent_per_kind(self):
+        # Consuming extra draws on one kind's stream must not shift any
+        # other kind's decisions — each kind indexes its own stream.
+        a = FaultInjector(3, FaultRates.uniform(0.5))
+        b = FaultInjector(3, FaultRates.uniform(0.5))
+        for _ in range(10):
+            a.should(FaultKind.DROP_WRITE, "toyvec")
+        stalls_a = [a.should(FaultKind.AWAIT_STALL, "toyvec") for _ in range(10)]
+        stalls_b = [b.should(FaultKind.AWAIT_STALL, "toyvec") for _ in range(10)]
+        assert stalls_a == stalls_b
+
+    def test_corrupt_is_deterministic_and_changes_value(self):
+        a = FaultInjector(5, FaultRates())
+        b = FaultInjector(5, FaultRates())
+        va = a.corrupt(0x1234, bits=32)
+        vb = b.corrupt(0x1234, bits=32)
+        assert va == vb
+        assert va != 0x1234
+
+    def test_stall_polls_bounded(self):
+        injector = FaultInjector(0, FaultRates(), max_stall_polls=4)
+        draws = {injector.stall_polls() for _ in range(50)}
+        assert draws <= set(range(1, 5))
+        assert len(draws) > 1  # actually varies
+
+
+class TestRates:
+    def test_uniform(self):
+        rates = FaultRates.uniform(0.25)
+        for kind in FaultKind:
+            assert rates.rate(kind) == 0.25
+        assert rates.any()
+
+    def test_zero_rates_never_fire(self):
+        injector = FaultInjector(0, FaultRates())
+        assert not any(drive(injector))
+        assert injector.log == []
+        assert not FaultRates().any()
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(0, FaultRates.uniform(1.0))
+        assert all(drive(injector, 10))
+        assert len(injector.log) == 10
+
+
+class TestSchedule:
+    def test_log_records_kind_index_and_detail(self):
+        injector = FaultInjector(0, FaultRates(drop_write=1.0))
+        injector.should(FaultKind.DROP_WRITE, "gemmini", "k")
+        injector.should(FaultKind.AWAIT_STALL, "gemmini")
+        injector.should(FaultKind.DROP_WRITE, "gemmini")
+        events = injector.log
+        assert [e.index for e in events] == [0, 1]
+        assert events[0].detail == "k"
+        assert "drop-write#0 on gemmini (k)" in injector.format_schedule()
+
+    def test_render_without_detail(self):
+        event = FaultEvent(FaultKind.STATE_LOSS, 3, "toyvec")
+        assert event.render() == "state-loss#3 on toyvec"

@@ -1,0 +1,50 @@
+"""Crash-safe file output (repro.ioutil)."""
+
+import json
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(str(path), "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "payload")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_creates_missing_directories(self, tmp_path):
+        path = tmp_path / "nested" / "deeper" / "out.txt"
+        atomic_write_text(str(path), "payload")
+        assert path.read_text() == "payload"
+
+
+class TestAtomicWriteJson:
+    def test_sorted_keys_and_trailing_newline(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(str(path), {"b": 1, "a": 2})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 2, "b": 1}
+
+    def test_failure_leaves_original_and_no_litter(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_json(str(path), {"ok": True})
+        with pytest.raises(TypeError):
+            atomic_write_json(str(path), {"bad": object()})
+        # The old complete file survives; no temporary files remain.
+        assert json.loads(path.read_text()) == {"ok": True}
+        assert os.listdir(tmp_path) == ["doc.json"]

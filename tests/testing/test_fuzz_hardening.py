@@ -1,0 +1,108 @@
+"""Fuzzer robustness: per-iteration timeouts and worker crash isolation.
+
+The hooks under test (``inject_hang`` / ``inject_crash``) exist precisely so
+these paths can be exercised deterministically: a hang must become a
+``timeout`` finding and let the run continue; a worker process that dies
+must become a ``worker-crash`` finding instead of hanging the merge.
+"""
+
+from repro.testing import fuzz
+from repro.testing.parallel import fuzz_sharded, shard_ranges
+
+
+class TestIterationTimeout:
+    def test_hang_becomes_timeout_finding(self):
+        report = fuzz(
+            seed=0,
+            iterations=1,
+            backends=("toyvec",),
+            corpus_dir=None,
+            iteration_timeout=0.2,
+            inject_hang=0,
+        )
+        assert not report.ok
+        [finding] = report.failures
+        assert finding.failure.oracle == "timeout"
+        assert "wall-clock budget" in finding.failure.message
+        assert finding.backend == "toyvec"
+
+    def test_run_continues_after_a_timeout(self):
+        report = fuzz(
+            seed=0,
+            iterations=3,
+            backends=("toyvec",),
+            corpus_dir=None,
+            iteration_timeout=0.2,
+            inject_hang=1,
+        )
+        # Iterations 0 and 2 ran normally; only iteration 1 timed out.
+        assert report.programs_run == 3
+        assert [f.iteration for f in report.failures] == [1]
+
+    def test_no_timeout_without_budget(self):
+        report = fuzz(
+            seed=0, iterations=2, backends=("toyvec",), corpus_dir=None
+        )
+        assert report.ok
+
+
+class TestShardedCrashIsolation:
+    def test_crashed_worker_becomes_finding(self):
+        report = fuzz_sharded(
+            jobs=2,
+            seed=0,
+            iterations=2,
+            backends=("toyvec",),
+            corpus_dir=None,
+            inject_crash=1,
+        )
+        # Shard 0 (iteration 0) is clean; shard 1 (iteration 1) hard-exits.
+        assert report.programs_run == 1
+        [finding] = report.failures
+        assert finding.failure.oracle == "worker-crash"
+        assert "exit code 86" in finding.failure.message
+
+    def test_worker_exception_becomes_finding(self):
+        # An exception inside the worker (not a hard crash) is shipped back
+        # over the queue and surfaced with its type and message.
+        report = fuzz_sharded(
+            jobs=2,
+            seed=0,
+            iterations=2,
+            backends=("no-such-backend",),
+            corpus_dir=None,
+        )
+        assert len(report.failures) == 2
+        for finding in report.failures:
+            assert finding.failure.oracle == "worker-crash"
+            assert "ValueError" in finding.failure.message
+
+    def test_hang_in_worker_surfaces_as_timeout(self):
+        report = fuzz_sharded(
+            jobs=2,
+            seed=0,
+            iterations=2,
+            backends=("toyvec",),
+            corpus_dir=None,
+            iteration_timeout=0.2,
+            inject_hang=0,
+        )
+        assert [f.failure.oracle for f in report.failures] == ["timeout"]
+        assert report.programs_run == 2
+
+    def test_single_shard_path_stays_in_process(self):
+        report = fuzz_sharded(
+            jobs=1, seed=0, iterations=2, backends=("toyvec",), corpus_dir=None
+        )
+        assert report.ok
+        assert report.jobs == 1
+
+
+class TestShardRanges:
+    def test_covers_range_without_overlap(self):
+        for total, jobs in ((10, 3), (2, 8), (7, 7), (1, 1)):
+            shards = shard_ranges(total, jobs)
+            seen = []
+            for start, count in shards:
+                seen.extend(range(start, start + count))
+            assert seen == list(range(total))
