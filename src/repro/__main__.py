@@ -5,6 +5,7 @@ paper's experiments::
 
     python -m repro opt --pipeline full program.mlir     # optimize IR
     python -m repro lint program.mlir                    # hazard diagnostics
+    python -m repro cost program.mlir                    # symbolic cost table
     python -m repro report program.mlir                  # static config cost
     python -m repro run program.mlir                     # co-simulate
     python -m repro experiments [--quick]                # all tables/figures
@@ -56,17 +57,42 @@ def cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    for diag in diagnostics:
-        print(diag.format())
-        print()
     errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
     warnings = sum(1 for d in diagnostics if d.severity is Severity.WARNING)
     checked = len(codes) if codes is not None else len(LINT_RULES)
-    print(
-        f"{checked} check(s): {errors} error(s), {warnings} warning(s)"
-    )
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                    "checks": checked,
+                    "errors": errors,
+                    "warnings": warnings,
+                },
+                indent=2,
+            )
+        )
+    else:
+        for diag in diagnostics:
+            print(diag.format())
+            print()
+        print(
+            f"{checked} check(s): {errors} error(s), {warnings} warning(s)"
+        )
     if errors or (args.werror and warnings):
         return 1
+    return 0
+
+
+def cmd_cost(args: argparse.Namespace) -> int:
+    from .analysis.cost import CostAnalysis, format_cost_table
+
+    module = _read_module(args.input)
+    if args.pipeline:
+        pipeline_by_name(args.pipeline).run(module)
+    print(format_cost_table(CostAnalysis(module)), end="")
     return 0
 
 
@@ -273,7 +299,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="CODE",
         help="run only the given diagnostic code(s), e.g. ACCFG001",
     )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable diagnostics (code, severity, loc, fix-it)",
+    )
     lint.set_defaults(func=cmd_lint)
+
+    cost = sub.add_parser(
+        "cost",
+        help="static per-function cost summary from the symbolic cost engine",
+    )
+    cost.add_argument("input", help="path to a .mlir file, or - for stdin")
+    cost.add_argument(
+        "--pipeline",
+        default="",
+        choices=["", *sorted(PIPELINES)],
+        help="optimize before analyzing",
+    )
+    cost.set_defaults(func=cmd_cost)
 
     report = sub.add_parser(
         "report", help="static configuration-cost report for a module"

@@ -7,15 +7,29 @@ Three pieces:
 * :mod:`repro.analysis.dataflow` — the reusable dataflow layer (forward
   solver, token liveness, known/observed configuration fields) shared with
   the optimization passes;
+* :mod:`repro.analysis.cost` — the static configuration-cost engine:
+  symbolic per-function cost summaries (``python -m repro cost``) and the
+  static-cost oracle that pins the model to the simulator;
 * :mod:`repro.analysis.lints` (+ :mod:`repro.analysis.roofline_lint`,
-  :mod:`repro.analysis.linearity`) — the ACCFG001..ACCFG010 lint suite,
-  run via :func:`run_lints` or ``python -m repro lint``.
+  :mod:`repro.analysis.cost_lints`, :mod:`repro.analysis.linearity`) — the
+  ACCFG001..ACCFG015 lint suite, run via :func:`run_lints` or
+  ``python -m repro lint``.
 
 :mod:`repro.analysis.manager` adds :class:`AnalysisManager`, the per-scope
 analysis cache the pass manager and lints share (recomputation happens only
 when a pass reports mutating the analyzed scope).
 """
 
+from .cost import (
+    CostAnalysis,
+    CostRange,
+    CostSite,
+    CostVector,
+    FunctionCostSummary,
+    SymExpr,
+    compare_with_simulation,
+    format_cost_table,
+)
 from .dataflow import (
     AwaitedTokensAnalysis,
     FieldSet,
@@ -38,6 +52,14 @@ from .manager import AnalysisManager
 
 __all__ = [
     "AnalysisManager",
+    "CostAnalysis",
+    "CostRange",
+    "CostSite",
+    "CostVector",
+    "FunctionCostSummary",
+    "SymExpr",
+    "compare_with_simulation",
+    "format_cost_table",
     "AwaitedTokensAnalysis",
     "FieldSet",
     "ForwardSolver",

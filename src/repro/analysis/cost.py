@@ -1,0 +1,1041 @@
+"""The static configuration-cost engine (paper, Section 4).
+
+An abstract interpretation over accfg IR that predicts, per function, what
+the co-simulator will charge — configuration instructions and bytes, launch
+counts, host compute — *without running anything*.  Loop trip counts are
+carried symbolically: constant-bound ``scf.for`` loops contribute exact
+counts, loops bounded by a function argument contribute a polynomial in
+that argument (``arg0``, ``arg1``, ...), and everything else widens to an
+interval.  ``scf.if`` joins both arms into a min/max interval.
+
+The cost domain is three-layered:
+
+* :class:`SymExpr` — a polynomial with nonnegative integer coefficients
+  over nonnegative parameters.  Parameters model loop trip counts, which
+  are never negative (``argN`` binds to ``max(0, args[N])``), so addition
+  and multiplication are monotone and termwise min/max of coefficients
+  gives sound interval bounds.
+* :class:`CostRange` — a ``[lo, hi]`` interval of :class:`SymExpr`, with
+  ``hi = None`` meaning unbounded (a loop whose bound the analysis cannot
+  see).  Exact programs keep ``lo == hi`` through every operation.
+* :class:`CostVector` — per ``(accelerator, category)`` instruction-count
+  ranges plus configuration bytes, launch counts, and static datapath ops.
+
+Every setup/launch/await/reset contributes a :class:`CostSite` carrying
+provenance: the op, its instruction stream, its enclosing loops and trip
+counts, and whether it executes conditionally.  Sites power the opportunity
+lints (ACCFG010, ACCFG012–015) and the ``python -m repro cost`` table.
+
+The per-op charges mirror :mod:`repro.interp.interpreter` /
+:mod:`repro.sim.cosim` exactly; the static-cost oracle
+(:func:`compare_with_simulation`) holds the two sides together — on every
+fuzzed program the prediction must bound (and, with concrete trip counts,
+equal) what the simulator measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, TypeVar
+
+from ..dialects import accfg, arith, func, scf
+from ..ir.operation import Operation, UnregisteredOp
+from ..ir.ssa import BlockArgument, SSAValue
+from ..isa.instructions import Instr, InstrCategory
+
+K = TypeVar("K")
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..backends.base import AcceleratorSpec
+    from ..ir.block import Block
+    from ..sim.cosim import CoSimulator
+
+# A monomial: parameter names, sorted, with repetition for powers.
+Monomial = tuple[str, ...]
+
+#: Instruction-count key: ``(Instr.accelerator, Instr.category)`` — exactly
+#: how charged instruction records are attributed (Gemmini's ``stage-rs``
+#: staging writes carry ``accelerator=None``, so a per-accelerator-only
+#: grouping would lose them).
+InstrKey = tuple["str | None", InstrCategory]
+
+
+# ---------------------------------------------------------------------------
+# Symbolic domain
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymExpr:
+    """A polynomial over nonnegative integer parameters.
+
+    ``terms`` maps each monomial to a positive integer coefficient; the
+    empty monomial ``()`` is the constant term.  The zero polynomial has no
+    terms.  Coefficients and parameters are nonnegative, so the polynomial
+    is monotone in every parameter — the soundness basis for the interval
+    arithmetic in :class:`CostRange`.
+    """
+
+    terms: tuple[tuple[Monomial, int], ...] = ()
+
+    @staticmethod
+    def _make(terms: Mapping[Monomial, int]) -> "SymExpr":
+        return SymExpr(
+            tuple(sorted((m, c) for m, c in terms.items() if c != 0))
+        )
+
+    @staticmethod
+    def const(value: int) -> "SymExpr":
+        if value < 0:
+            raise ValueError(f"cost expressions are nonnegative, got {value}")
+        return SymExpr._make({(): value})
+
+    @staticmethod
+    def param(name: str) -> "SymExpr":
+        return SymExpr._make({(name,): 1})
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def constant_value(self) -> int | None:
+        """The polynomial's value when it has no parameters, else None."""
+        if not self.terms:
+            return 0
+        if len(self.terms) == 1 and self.terms[0][0] == ():
+            return self.terms[0][1]
+        return None
+
+    def parameters(self) -> frozenset[str]:
+        return frozenset(name for mono, _ in self.terms for name in mono)
+
+    def __add__(self, other: "SymExpr") -> "SymExpr":
+        if not self.terms:
+            return other
+        if not other.terms:
+            return self
+        mine, theirs = self.terms, other.terms
+        if len(mine) == 1 and len(theirs) == 1 and mine[0][0] == theirs[0][0]:
+            # The overwhelmingly common case: const + const (or two like
+            # monomials) — skip the dict round-trip.
+            return SymExpr(((mine[0][0], mine[0][1] + theirs[0][1]),))
+        merged = dict(mine)
+        for mono, coeff in theirs:
+            merged[mono] = merged.get(mono, 0) + coeff
+        return SymExpr._make(merged)
+
+    def __mul__(self, other: "SymExpr") -> "SymExpr":
+        product: dict[Monomial, int] = {}
+        for mono_a, coeff_a in self.terms:
+            for mono_b, coeff_b in other.terms:
+                mono = tuple(sorted(mono_a + mono_b))
+                product[mono] = product.get(mono, 0) + coeff_a * coeff_b
+        return SymExpr._make(product)
+
+    def scaled(self, factor: int) -> "SymExpr":
+        return SymExpr._make({mono: coeff * factor for mono, coeff in self.terms})
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        """The polynomial's value under concrete parameter bindings."""
+        total = 0
+        for mono, coeff in self.terms:
+            value = coeff
+            for name in mono:
+                value *= bindings[name]
+            total += value
+        return total
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts: list[str] = []
+        for mono, coeff in self.terms:
+            if not mono:
+                parts.append(str(coeff))
+            else:
+                factors = "*".join(mono)
+                parts.append(factors if coeff == 1 else f"{coeff}*{factors}")
+        return " + ".join(parts)
+
+
+def _termwise(
+    a: SymExpr, b: SymExpr, pick: Callable[[int, int], int]
+) -> SymExpr:
+    """Coefficient-wise combination of two polynomials (min or max).
+
+    With nonnegative coefficients and parameters, the termwise minimum is a
+    sound lower bound for ``min(a, b)`` and the termwise maximum a sound
+    upper bound for ``max(a, b)`` at every parameter valuation.
+    """
+    terms_a = dict(a.terms)
+    terms_b = dict(b.terms)
+    return SymExpr._make(
+        {
+            mono: pick(terms_a.get(mono, 0), terms_b.get(mono, 0))
+            for mono in set(terms_a) | set(terms_b)
+        }
+    )
+
+
+_ZERO_EXPR = SymExpr.const(0)
+
+
+@dataclass(frozen=True)
+class CostRange:
+    """An interval ``[lo, hi]`` of symbolic costs; ``hi = None`` = unbounded."""
+
+    lo: SymExpr = _ZERO_EXPR
+    hi: SymExpr | None = _ZERO_EXPR
+
+    @staticmethod
+    def exact(value: "SymExpr | int") -> "CostRange":
+        expr = SymExpr.const(value) if isinstance(value, int) else value
+        return CostRange(expr, expr)
+
+    @property
+    def is_exact(self) -> bool:
+        return self.hi is not None and self.hi == self.lo
+
+    @property
+    def is_zero(self) -> bool:
+        return self.lo.is_zero and self.hi is not None and self.hi.is_zero
+
+    def __add__(self, other: "CostRange") -> "CostRange":
+        hi = (
+            None
+            if self.hi is None or other.hi is None
+            else self.hi + other.hi
+        )
+        return CostRange(self.lo + other.lo, hi)
+
+    def times(self, other: "CostRange") -> "CostRange":
+        """Interval product (e.g. trip count × per-iteration cost)."""
+        lo = self.lo * other.lo
+        if self.hi is not None and other.hi is not None:
+            return CostRange(lo, self.hi * other.hi)
+        # One side is unbounded: the product is too, unless the other side
+        # is exactly zero (an unbounded loop around a free body costs 0).
+        if (self.hi is not None and self.hi.is_zero) or (
+            other.hi is not None and other.hi.is_zero
+        ):
+            return CostRange(lo, _ZERO_EXPR)
+        return CostRange(lo, None)
+
+    def join(self, other: "CostRange") -> "CostRange":
+        """Interval hull: the range covering either alternative."""
+        hi = (
+            None
+            if self.hi is None or other.hi is None
+            else _termwise(self.hi, other.hi, max)
+        )
+        return CostRange(_termwise(self.lo, other.lo, min), hi)
+
+    def substitute(self, mapping: Mapping[str, "CostRange"]) -> "CostRange":
+        """Replace parameters by cost ranges (call-site inlining)."""
+        lo = _substitute_bound(self.lo, mapping, upper=False)
+        assert lo is not None
+        hi = (
+            None
+            if self.hi is None
+            else _substitute_bound(self.hi, mapping, upper=True)
+        )
+        return CostRange(lo, hi)
+
+    def evaluate(self, bindings: Mapping[str, int]) -> tuple[int, int | None]:
+        return (
+            self.lo.evaluate(bindings),
+            None if self.hi is None else self.hi.evaluate(bindings),
+        )
+
+    def __str__(self) -> str:
+        if self.is_exact:
+            return str(self.lo)
+        hi = "inf" if self.hi is None else str(self.hi)
+        return f"[{self.lo}, {hi}]"
+
+
+def _substitute_bound(
+    expr: SymExpr, mapping: Mapping[str, CostRange], upper: bool
+) -> SymExpr | None:
+    """One bound of ``expr`` after substituting parameter ranges.
+
+    Monotonicity makes this simple: the lower bound substitutes every
+    mapped parameter's ``lo``, the upper bound its ``hi`` (returning None —
+    unbounded — as soon as an unbounded parameter appears with a nonzero
+    coefficient).
+    """
+    total = _ZERO_EXPR
+    for mono, coeff in expr.terms:
+        term = SymExpr.const(coeff)
+        for name in mono:
+            replacement = mapping.get(name)
+            if replacement is None:
+                factor: SymExpr | None = SymExpr.param(name)
+            elif upper:
+                factor = replacement.hi
+            else:
+                factor = replacement.lo
+            if factor is None:
+                return None
+            term = term * factor
+        total = total + term
+    return total
+
+
+_ZERO_RANGE = CostRange()
+_ONE_RANGE = CostRange.exact(1)
+
+
+# ---------------------------------------------------------------------------
+# Cost vectors
+# ---------------------------------------------------------------------------
+
+
+def _merge(
+    a: Mapping[K, CostRange],
+    b: Mapping[K, CostRange],
+    combine: Callable[[CostRange, CostRange], CostRange],
+) -> dict[K, CostRange]:
+    merged: dict[K, CostRange] = {}
+    for key in set(a) | set(b):
+        merged[key] = combine(
+            a.get(key, _ZERO_RANGE), b.get(key, _ZERO_RANGE)
+        )
+    return {key: value for key, value in merged.items() if not value.is_zero}
+
+
+@dataclass
+class CostVector:
+    """Everything one program region is predicted to charge.
+
+    ``instrs`` counts host instruction records per :data:`InstrKey`;
+    ``config_bytes`` sums the configuration payload per accelerator;
+    ``launches`` counts device launches; ``ops`` sums statically-known
+    datapath operations per accelerator (``indeterminate_ops`` lists
+    accelerators where some launch's op count is not statically known).
+    ``unmodeled`` names ops the engine cannot cost — any entry voids the
+    prediction (the oracle skips such programs).
+    """
+
+    instrs: dict[InstrKey, CostRange] = field(default_factory=dict)
+    config_bytes: dict["str | None", CostRange] = field(default_factory=dict)
+    launches: dict[str, CostRange] = field(default_factory=dict)
+    ops: dict[str, CostRange] = field(default_factory=dict)
+    indeterminate_ops: set[str] = field(default_factory=set)
+    unmodeled: set[str] = field(default_factory=set)
+
+    @staticmethod
+    def zero() -> "CostVector":
+        return CostVector()
+
+    @staticmethod
+    def for_instrs(
+        instrs: Iterable[Instr], count: CostRange = _ONE_RANGE
+    ) -> "CostVector":
+        vector = CostVector()
+        for instr in instrs:
+            key: InstrKey = (instr.accelerator, instr.category)
+            vector.instrs[key] = vector.instrs.get(key, _ZERO_RANGE) + count
+            if instr.config_bytes:
+                bucket = instr.accelerator
+                vector.config_bytes[bucket] = vector.config_bytes.get(
+                    bucket, _ZERO_RANGE
+                ) + count.times(CostRange.exact(instr.config_bytes))
+        return vector
+
+    @staticmethod
+    def unmodeled_op(name: str) -> "CostVector":
+        vector = CostVector()
+        vector.unmodeled.add(name)
+        return vector
+
+    def __add__(self, other: "CostVector") -> "CostVector":
+        # Pointwise sum; unlike the interval-hull join, a missing key is a
+        # true zero under addition, so the plain dict merge is sound (and
+        # much cheaper than _merge on this, the accumulation hot path).
+        def add_maps(
+            a: Mapping[K, CostRange], b: Mapping[K, CostRange]
+        ) -> dict[K, CostRange]:
+            if not b:
+                return dict(a)
+            if not a:
+                return dict(b)
+            merged = dict(a)
+            for key, value in b.items():
+                current = merged.get(key)
+                merged[key] = value if current is None else current + value
+            return merged
+
+        return CostVector(
+            instrs=add_maps(self.instrs, other.instrs),
+            config_bytes=add_maps(self.config_bytes, other.config_bytes),
+            launches=add_maps(self.launches, other.launches),
+            ops=add_maps(self.ops, other.ops),
+            indeterminate_ops=self.indeterminate_ops | other.indeterminate_ops,
+            unmodeled=self.unmodeled | other.unmodeled,
+        )
+
+    def scale(self, trips: CostRange) -> "CostVector":
+        """The cost of executing this vector ``trips`` times."""
+
+        def times(mapping: Mapping[K, CostRange]) -> dict[K, CostRange]:
+            scaled = {k: trips.times(v) for k, v in mapping.items()}
+            # A zero trip count must leave no entries behind (the loop
+            # body never runs), matching what the accumulation fast path
+            # relies on: recorded entries are nonzero.
+            return {k: v for k, v in scaled.items() if not v.is_zero}
+
+        return CostVector(
+            instrs=times(self.instrs),
+            config_bytes=times(self.config_bytes),
+            launches=times(self.launches),
+            ops=times(self.ops),
+            indeterminate_ops=set(self.indeterminate_ops),
+            unmodeled=set(self.unmodeled),
+        )
+
+    def join(self, other: "CostVector") -> "CostVector":
+        hull = lambda a, b: a.join(b)  # noqa: E731
+        return CostVector(
+            instrs=_merge(self.instrs, other.instrs, hull),
+            config_bytes=_merge(self.config_bytes, other.config_bytes, hull),
+            launches=_merge(self.launches, other.launches, hull),
+            ops=_merge(self.ops, other.ops, hull),
+            indeterminate_ops=self.indeterminate_ops | other.indeterminate_ops,
+            unmodeled=self.unmodeled | other.unmodeled,
+        )
+
+    def substitute(self, mapping: Mapping[str, CostRange]) -> "CostVector":
+        subst = lambda value: value.substitute(mapping)  # noqa: E731
+        return CostVector(
+            instrs={k: subst(v) for k, v in self.instrs.items()},
+            config_bytes={k: subst(v) for k, v in self.config_bytes.items()},
+            launches={k: subst(v) for k, v in self.launches.items()},
+            ops={k: subst(v) for k, v in self.ops.items()},
+            indeterminate_ops=set(self.indeterminate_ops),
+            unmodeled=set(self.unmodeled),
+        )
+
+    def category_total(self, *categories: InstrCategory) -> CostRange:
+        total = _ZERO_RANGE
+        for (_, category), count in self.instrs.items():
+            if category in categories:
+                total = total + count
+        return total
+
+    def config_bytes_total(self) -> CostRange:
+        total = _ZERO_RANGE
+        for count in self.config_bytes.values():
+            total = total + count
+        return total
+
+    @property
+    def is_exact(self) -> bool:
+        values: list[CostRange] = [
+            *self.instrs.values(),
+            *self.config_bytes.values(),
+            *self.launches.values(),
+        ]
+        return all(value.is_exact for value in values) and not self.unmodeled
+
+
+# ---------------------------------------------------------------------------
+# Provenance
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CostSite:
+    """One accfg op's contribution to the cost, with provenance.
+
+    ``instrs``/``config_bytes``/``ops`` are per *single execution* of the
+    op; ``trip_count`` is the (symbolic) number of executions implied by the
+    enclosing loops, and ``conditional`` records whether an ``scf.if``
+    guards the op (making the trip count an upper bound).
+    """
+
+    op: Operation
+    kind: str  # "setup" | "launch" | "await" | "reset"
+    accelerator: str
+    instrs: tuple[Instr, ...]
+    config_bytes: int
+    trip_count: CostRange
+    loops: tuple[scf.ForOp, ...]  # outermost → innermost
+    conditional: bool
+    ops: int | None = None  # launch datapath ops when statically known
+
+    @property
+    def loop_depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def innermost_loop(self) -> "scf.ForOp | None":
+        return self.loops[-1] if self.loops else None
+
+
+def enclosing_loops(op: Operation) -> tuple[scf.ForOp, ...]:
+    """The ``scf.for`` ops around ``op``, outermost first."""
+    loops: list[scf.ForOp] = []
+    current = op.parent_op
+    while current is not None:
+        if isinstance(current, scf.ForOp):
+            loops.append(current)
+        current = current.parent_op
+    return tuple(reversed(loops))
+
+
+def loop_depth(op: Operation) -> int:
+    """How many ``scf.for`` loops enclose ``op``."""
+    return len(enclosing_loops(op))
+
+
+@dataclass
+class FunctionCostSummary:
+    """The cost analysis result for one function."""
+
+    function: func.FuncOp
+    total: CostVector
+    sites: tuple[CostSite, ...]
+
+    @property
+    def name(self) -> str:
+        return self.function.sym_name
+
+    @property
+    def is_modeled(self) -> bool:
+        return not self.total.unmodeled
+
+    def parameters(self) -> list[str]:
+        names: set[str] = set()
+        for count in self.total.instrs.values():
+            names |= count.lo.parameters()
+            if count.hi is not None:
+                names |= count.hi.parameters()
+        return sorted(names)
+
+    def config_instrs(self) -> CostRange:
+        """Configuration-stream instructions (register writes + launches)."""
+        return self.total.category_total(
+            InstrCategory.SETUP, InstrCategory.LAUNCH
+        )
+
+    def calc_instrs(self) -> CostRange:
+        return self.total.category_total(InstrCategory.CALC)
+
+    def config_cycles(
+        self, cycles_per_category: Mapping[InstrCategory, float]
+    ) -> tuple[float, float | None]:
+        """Predicted config cycles (Eq. 4: setup + launch + calc) under
+        concrete ``bindings``-free evaluation — exact only for parameterless
+        functions; use :func:`compare_with_simulation` otherwise."""
+        lo_total = 0.0
+        hi_total: float | None = 0.0
+        for (_, category), count in self.total.instrs.items():
+            if category not in (
+                InstrCategory.SETUP,
+                InstrCategory.LAUNCH,
+                InstrCategory.CALC,
+            ):
+                continue
+            per = cycles_per_category[category]
+            lo, hi = count.evaluate({})
+            lo_total += lo * per
+            if hi_total is not None:
+                hi_total = None if hi is None else hi_total + hi * per
+        return lo_total, hi_total
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+_CONTROL_INSTR = Instr("ctrl", InstrCategory.CONTROL)
+_FOREIGN_INSTR = Instr("foreign", InstrCategory.COMPUTE)
+
+
+class CostAnalysis:
+    """Per-module static cost analysis.
+
+    One instance is valid for one IR snapshot; the :class:`AnalysisManager`
+    caches instances per module scope and drops them when a pass reports
+    mutating the module.  Function summaries are computed on demand and
+    memoized; calls inline the callee's summary with parameter
+    substitution (recursion and declarations are unmodeled).
+    """
+
+    def __init__(self, module: Operation) -> None:
+        from ..interp.interpreter import config_feeding_ops
+
+        self.module = module
+        self._functions: dict[str, func.FuncOp] = {}
+        for op in module.walk():
+            if isinstance(op, func.FuncOp):
+                self._functions.setdefault(op.sym_name, op)
+        self._feeding = config_feeding_ops(module)
+        self._summaries: dict[str, FunctionCostSummary] = {}
+        self._in_progress: set[str] = set()
+
+    def functions(self) -> list[func.FuncOp]:
+        return [fn for fn in self._functions.values() if not fn.is_declaration]
+
+    def summary(self, fn: "func.FuncOp | str") -> FunctionCostSummary | None:
+        """The cost summary for ``fn`` (None for unknown/declared names)."""
+        if isinstance(fn, str):
+            found = self._functions.get(fn)
+            if found is None:
+                return None
+            fn = found
+        if fn.is_declaration:
+            return None
+        name = fn.sym_name
+        cached = self._summaries.get(name)
+        if cached is not None and cached.function is fn:
+            return cached
+        self._in_progress.add(name)
+        try:
+            walker = _FunctionWalker(self, fn)
+            total = walker.block_cost(fn.body)
+            summary = FunctionCostSummary(
+                function=fn, total=total, sites=tuple(walker.sites)
+            )
+        finally:
+            self._in_progress.discard(name)
+        self._summaries[name] = summary
+        return summary
+
+    def summaries(self) -> list[FunctionCostSummary]:
+        result = []
+        for fn in self.functions():
+            summary = self.summary(fn)
+            if summary is not None:
+                result.append(summary)
+        return result
+
+
+class _FunctionWalker:
+    """Structural walk of one function body, mirroring the interpreter's
+    charging discipline op for op."""
+
+    def __init__(self, analysis: CostAnalysis, fn: func.FuncOp) -> None:
+        self.analysis = analysis
+        self.fn = fn
+        self.sites: list[CostSite] = []
+        self._loops: list[scf.ForOp] = []
+        self._trip_stack: list[CostRange] = []
+        self._cond_depth = 0
+        self._params: dict[SSAValue, str] = {
+            arg: f"arg{i}" for i, arg in enumerate(fn.args)
+        }
+
+    # -- helpers ---------------------------------------------------------
+
+    def _spec(self, accelerator: str) -> "AcceleratorSpec | None":
+        from ..backends.base import get_accelerator_or_none
+
+        return get_accelerator_or_none(accelerator)
+
+    def _site_trips(self) -> CostRange:
+        trips = _ONE_RANGE
+        for loop_trips in self._trip_stack:
+            trips = trips.times(loop_trips)
+        return trips
+
+    def _record_site(
+        self,
+        op: Operation,
+        kind: str,
+        accelerator: str,
+        instrs: Iterable[Instr],
+        ops: int | None = None,
+    ) -> None:
+        instr_tuple = tuple(instrs)
+        self.sites.append(
+            CostSite(
+                op=op,
+                kind=kind,
+                accelerator=accelerator,
+                instrs=instr_tuple,
+                config_bytes=sum(i.config_bytes for i in instr_tuple),
+                trip_count=self._site_trips(),
+                loops=tuple(self._loops),
+                conditional=self._cond_depth > 0,
+                ops=ops,
+            )
+        )
+
+    def _scalar_cost(self, op: Operation) -> CostVector:
+        category = (
+            InstrCategory.CALC
+            if op in self.analysis._feeding
+            else InstrCategory.COMPUTE
+        )
+        return CostVector.for_instrs([Instr("alu", category)])
+
+    def trip_range(self, op: scf.ForOp) -> CostRange:
+        """The symbolic iteration count of one ``scf.for``."""
+        lb = arith.constant_value(op.lb)
+        ub = arith.constant_value(op.ub)
+        step = arith.constant_value(op.step)
+        if lb is not None and ub is not None and step is not None and step > 0:
+            return CostRange.exact(max(0, -((lb - ub) // step)))
+        if (
+            lb == 0
+            and step == 1
+            and isinstance(op.ub, BlockArgument)
+            and self._params.get(op.ub) is not None
+        ):
+            # `for i = 0 to %argN step 1` runs max(0, argN) times — exactly
+            # the value the parameter binds to.
+            return CostRange.exact(SymExpr.param(self._params[op.ub]))
+        return CostRange(_ZERO_EXPR, None)
+
+    # -- the walk --------------------------------------------------------
+
+    def block_cost(self, block: "Block") -> CostVector:
+        total = CostVector.zero()
+        for op in block.ops:
+            total = total + self.op_cost(op)
+        return total
+
+    def op_cost(self, op: Operation) -> CostVector:
+        if isinstance(
+            op, (arith.ConstantOp, arith.BinaryOp, arith.CmpiOp, arith.SelectOp)
+        ):
+            return self._scalar_cost(op)
+        if isinstance(op, scf.ForOp):
+            trips = self.trip_range(op)
+            self._loops.append(op)
+            self._trip_stack.append(trips)
+            try:
+                body = self.block_cost(op.body)
+            finally:
+                self._loops.pop()
+                self._trip_stack.pop()
+            # Each iteration pays the back-edge's increment + compare&branch.
+            per_iteration = body + CostVector.for_instrs(
+                [_CONTROL_INSTR, _CONTROL_INSTR]
+            )
+            return per_iteration.scale(trips)
+        if isinstance(op, scf.IfOp):
+            self._cond_depth += 1
+            try:
+                then_cost = self.block_cost(op.then_block)
+                else_cost = (
+                    self.block_cost(op.else_block)
+                    if op.has_else
+                    else CostVector.zero()
+                )
+            finally:
+                self._cond_depth -= 1
+            branch = then_cost.join(else_cost)
+            return CostVector.for_instrs([_CONTROL_INSTR]) + branch
+        if isinstance(op, (scf.YieldOp, func.ReturnOp)):
+            return CostVector.zero()
+        if isinstance(op, func.CallOp):
+            return self._call_cost(op)
+        if isinstance(op, accfg.SetupOp):
+            spec = self._spec(op.accelerator)
+            if spec is None:
+                return CostVector.unmodeled_op(
+                    f"setup on unknown accelerator '{op.accelerator}'"
+                )
+            instrs = spec.setup_instrs_cached(tuple(op.field_names))
+            self._record_site(op, "setup", op.accelerator, instrs)
+            return CostVector.for_instrs(instrs)
+        if isinstance(op, accfg.LaunchOp):
+            return self._launch_cost(op)
+        if isinstance(op, accfg.AwaitOp):
+            spec = self._spec(op.accelerator)
+            if spec is None:
+                return CostVector.unmodeled_op(
+                    f"await on unknown accelerator '{op.accelerator}'"
+                )
+            instrs = spec.sync_instrs_cached()
+            self._record_site(op, "await", op.accelerator, instrs)
+            return CostVector.for_instrs(instrs)
+        if isinstance(op, accfg.ResetOp):
+            state_type = op.state.type
+            accelerator = (
+                state_type.accelerator
+                if isinstance(state_type, accfg.StateType)
+                else "?"
+            )
+            self._record_site(op, "reset", accelerator, [_CONTROL_INSTR])
+            return CostVector.for_instrs([_CONTROL_INSTR])
+        # Extension point mirroring the interpreter's `interpret` hook: ops
+        # that charge custom instruction streams advertise them statically
+        # via `cost_instrs()`.
+        cost_hook = getattr(op, "cost_instrs", None)
+        if cost_hook is not None:
+            return CostVector.for_instrs(cost_hook())
+        if getattr(op, "interpret", None) is not None:
+            return CostVector.unmodeled_op(
+                f"'{op.name}' (interpret hook without cost_instrs)"
+            )
+        if isinstance(op, UnregisteredOp):
+            if accfg.get_effects(op) is not None and not op.results:
+                return CostVector.for_instrs([_FOREIGN_INSTR])
+            return CostVector.unmodeled_op(f"'{op.op_name}'")
+        return CostVector.unmodeled_op(f"'{op.name}'")
+
+    def _launch_cost(self, op: accfg.LaunchOp) -> CostVector:
+        spec = self._spec(op.accelerator)
+        if spec is None:
+            return CostVector.unmodeled_op(
+                f"launch on unknown accelerator '{op.accelerator}'"
+            )
+        field_names = [name for name, _ in op.fields]
+        instrs: list[Instr] = []
+        if field_names:
+            instrs.extend(spec.launch_field_instrs_cached(tuple(field_names)))
+        instrs.extend(spec.launch_instrs_cached())
+        from .roofline_lint import static_launch_config
+
+        static_ops = spec.static_launch_ops(static_launch_config(op))
+        self._record_site(op, "launch", op.accelerator, instrs, ops=static_ops)
+        vector = CostVector.for_instrs(instrs)
+        vector.launches[op.accelerator] = (
+            vector.launches.get(op.accelerator, _ZERO_RANGE) + _ONE_RANGE
+        )
+        if static_ops is None:
+            vector.indeterminate_ops.add(op.accelerator)
+        else:
+            vector.ops[op.accelerator] = vector.ops.get(
+                op.accelerator, _ZERO_RANGE
+            ) + CostRange.exact(static_ops)
+        return vector
+
+    def _call_cost(self, op: func.CallOp) -> CostVector:
+        overhead = CostVector.for_instrs([_CONTROL_INSTR, _CONTROL_INSTR])
+        callee = self.analysis._functions.get(op.callee)
+        if callee is None or callee.is_declaration:
+            return overhead + CostVector.unmodeled_op(
+                f"call to unknown/declared '@{op.callee}'"
+            )
+        if op.callee in self.analysis._in_progress:
+            return overhead + CostVector.unmodeled_op(
+                f"recursive call to '@{op.callee}'"
+            )
+        summary = self.analysis.summary(callee)
+        if summary is None:
+            return overhead + CostVector.unmodeled_op(f"call '@{op.callee}'")
+        mapping: dict[str, CostRange] = {}
+        for index, operand in enumerate(op.operands):
+            name = f"arg{index}"
+            constant = arith.constant_value(operand)
+            if constant is not None:
+                # Callee parameters model trip counts, which clamp at zero.
+                mapping[name] = CostRange.exact(max(0, constant))
+            elif operand in self._params:
+                mapping[name] = CostRange.exact(
+                    SymExpr.param(self._params[operand])
+                )
+            else:
+                mapping[name] = CostRange(_ZERO_EXPR, None)
+        return overhead + summary.total.substitute(mapping)
+
+
+# ---------------------------------------------------------------------------
+# The static-cost oracle
+# ---------------------------------------------------------------------------
+
+
+def parameter_bindings(args: Iterable[int]) -> dict[str, int]:
+    """Concrete values for the ``argN`` parameters of a ``main`` summary.
+
+    Parameters stand for trip counts of ``for i = 0 to %argN step 1``
+    loops, which clamp at zero for negative bounds.
+    """
+    return {f"arg{i}": max(0, int(value)) for i, value in enumerate(args)}
+
+
+def _check_range(
+    problems: list[str], label: str, count: CostRange, measured: int,
+    bindings: Mapping[str, int],
+) -> None:
+    lo, hi = count.evaluate(bindings)
+    if measured < lo or (hi is not None and measured > hi):
+        predicted = str(lo) if lo == hi else f"[{lo}, {'inf' if hi is None else hi}]"
+        problems.append(
+            f"{label}: simulator measured {measured}, static model "
+            f"predicts {predicted}"
+        )
+
+
+def compare_with_simulation(
+    module: Operation,
+    sim: "CoSimulator",
+    args: Iterable[int] = (),
+    function: str = "main",
+) -> list[str]:
+    """Mismatches between the static prediction and a finished fault-free
+    simulation of ``function`` (empty = the prediction holds).
+
+    Checks instruction counts per ``(accelerator, category)``, configuration
+    bytes per accelerator, launch counts per device, and the resulting
+    configuration cycles.  Programs containing unmodeled ops are skipped
+    (returns ``[]``): the model makes no claim about them.
+    """
+    analysis = CostAnalysis(module)
+    summary = analysis.summary(function)
+    if summary is None or not summary.is_modeled:
+        return []
+    total = summary.total
+    bindings = parameter_bindings(args)
+    problems: list[str] = []
+
+    measured_instrs: dict[InstrKey, int] = {}
+    measured_bytes: dict["str | None", int] = {}
+    for instr in sim.trace.instrs:
+        key: InstrKey = (instr.accelerator, instr.category)
+        measured_instrs[key] = measured_instrs.get(key, 0) + 1
+        if instr.config_bytes:
+            measured_bytes[instr.accelerator] = (
+                measured_bytes.get(instr.accelerator, 0) + instr.config_bytes
+            )
+
+    for key in sorted(
+        set(total.instrs) | set(measured_instrs),
+        key=lambda k: (k[0] or "", k[1].value),
+    ):
+        _check_range(
+            problems,
+            f"instrs ({key[0] or 'host'}, {key[1].value})",
+            total.instrs.get(key, _ZERO_RANGE),
+            measured_instrs.get(key, 0),
+            bindings,
+        )
+    for bucket in sorted(
+        set(total.config_bytes) | set(measured_bytes), key=lambda b: b or ""
+    ):
+        _check_range(
+            problems,
+            f"config bytes on '{bucket or 'host'}'",
+            total.config_bytes.get(bucket, _ZERO_RANGE),
+            measured_bytes.get(bucket, 0),
+            bindings,
+        )
+    measured_launches = {
+        name: device.launch_count for name, device in sim.devices.items()
+    }
+    for name in sorted(set(total.launches) | set(measured_launches)):
+        _check_range(
+            problems,
+            f"launches on '{name}'",
+            total.launches.get(name, _ZERO_RANGE),
+            measured_launches.get(name, 0),
+            bindings,
+        )
+
+    # Config cycles (Eq. 4): implied by the per-category counts, checked
+    # explicitly so the cycle-level guarantee is stated in cycle units.
+    model = sim.cost_model
+    config_categories = (
+        InstrCategory.SETUP,
+        InstrCategory.LAUNCH,
+        InstrCategory.CALC,
+    )
+    lo_cycles, hi_cycles = 0.0, 0.0
+    unbounded = False
+    for (_, category), count in total.instrs.items():
+        if category not in config_categories:
+            continue
+        per = model.category_overrides.get(category, model.cycles_per_instr)
+        lo, hi = count.evaluate(bindings)
+        lo_cycles += lo * per
+        if hi is None:
+            unbounded = True
+        else:
+            hi_cycles += hi * per
+    measured_cycles = sum(
+        model.category_overrides.get(i.category, model.cycles_per_instr)
+        for i in sim.trace.instrs
+        if i.category in config_categories
+    )
+    epsilon = 1e-6 * max(1.0, measured_cycles)
+    if measured_cycles < lo_cycles - epsilon or (
+        not unbounded and measured_cycles > hi_cycles + epsilon
+    ):
+        hi_text = "inf" if unbounded else f"{hi_cycles:.0f}"
+        problems.append(
+            f"config cycles: simulator measured {measured_cycles:.0f}, "
+            f"static model predicts [{lo_cycles:.0f}, {hi_text}]"
+        )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# The `repro cost` report
+# ---------------------------------------------------------------------------
+
+
+def format_cost_table(analysis: CostAnalysis) -> str:
+    """A per-function static roofline table for ``python -m repro cost``."""
+    from ..backends.base import get_accelerator_or_none
+    from ..core.analysis import roofline_for_spec
+    from ..core.roofline import Boundness
+
+    lines: list[str] = []
+    for summary in analysis.summaries():
+        params = summary.parameters()
+        header = f"@{summary.name}"
+        if params:
+            header += f"  (parameters: {', '.join(params)})"
+        lines.append(header)
+        if not summary.is_modeled:
+            for reason in sorted(summary.total.unmodeled):
+                lines.append(f"  unmodeled: {reason}")
+            lines.append("")
+            continue
+        lines.append(
+            f"  host instrs : config {summary.config_instrs()}, "
+            f"calc {summary.calc_instrs()}, "
+            f"compute {summary.total.category_total(InstrCategory.COMPUTE)}, "
+            f"control {summary.total.category_total(InstrCategory.CONTROL)}, "
+            f"sync {summary.total.category_total(InstrCategory.SYNC)}"
+        )
+        lines.append(
+            f"  config bytes: {summary.total.config_bytes_total()}"
+        )
+        accelerators = sorted(
+            set(summary.total.launches)
+            | (set(summary.total.config_bytes) - {None})
+        )
+        for name in accelerators:
+            if name is None:
+                continue
+            launches = summary.total.launches.get(name, _ZERO_RANGE)
+            bytes_range = summary.total.config_bytes.get(name, _ZERO_RANGE)
+            line = (
+                f"  {name:12s}: launches {launches}, config bytes {bytes_range}"
+            )
+            spec = get_accelerator_or_none(name)
+            ops = summary.total.ops.get(name)
+            if (
+                spec is not None
+                and ops is not None
+                and name not in summary.total.indeterminate_ops
+                and ops.is_exact
+                and bytes_range.is_exact
+            ):
+                ops_value = ops.lo.constant_value()
+                bytes_value = bytes_range.lo.constant_value()
+                if ops_value and bytes_value:
+                    i_oc = ops_value / bytes_value
+                    roofline = roofline_for_spec(spec, spec.host_cost_model())
+                    verdict = (
+                        "CONFIG-BOUND"
+                        if roofline.boundness(i_oc) is Boundness.CONFIG_BOUND
+                        else "compute-bound"
+                    )
+                    line += (
+                        f", ops {ops_value}, I_OC {i_oc:.2f} ops/B "
+                        f"(ridge {roofline.knee_intensity:.2f}) -> {verdict}"
+                    )
+            elif name in summary.total.indeterminate_ops:
+                line += ", ops indeterminate"
+            lines.append(line)
+        lines.append(f"  sites       : {len(summary.sites)}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

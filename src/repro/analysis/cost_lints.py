@@ -1,0 +1,371 @@
+"""ACCFG012–015 — opportunity lints on the static cost engine.
+
+Where ACCFG001–009 flag *hazards* (programs that may be wrong), these four
+flag *money left on the table*: configuration cost that is statically
+provable to be removable by one of the shipped optimization passes.  Each
+diagnostic names the pass (and ``--pipeline`` spelling) that eliminates the
+cost it points at.
+
+========= =========================== ========
+ACCFG012  missed-dedup                warning
+ACCFG013  loop-invariant-setup        warning
+ACCFG014  serialized-setup            warning
+ACCFG015  redundant-re-setup          warning
+========= =========================== ========
+
+All four are powered by the provenance the cost engine keeps per
+setup/launch site (:class:`~repro.analysis.cost.CostSite`) and by the
+shared :class:`~repro.analysis.dataflow.ForwardSolver` infrastructure.
+"""
+
+from __future__ import annotations
+
+from ..dialects import accfg, arith, func, scf
+from ..ir.block import Block
+from ..ir.operation import Operation
+from ..ir.ssa import OpResult, SSAValue
+from .dataflow import ForwardSolver, defined_outside
+from .diagnostics import DiagnosticEngine
+from .lints import LintContext, _functions, register_lint
+
+
+# ---------------------------------------------------------------------------
+# ACCFG012: statically-provable missed dedup
+# ---------------------------------------------------------------------------
+
+
+def _chain_register_file(
+    setup: accfg.SetupOp,
+) -> dict[str, tuple[int, SSAValue]]:
+    """What each register provably holds just before ``setup`` runs,
+    following its ``in_state`` chain of earlier setups.
+
+    Maps field name to ``(constant value, writing SSA value)``; a
+    non-constant write to a field removes it (the contents are unknown).
+    """
+    chain: list[accfg.SetupOp] = []
+    state = setup.in_state
+    while isinstance(state, OpResult) and isinstance(state.op, accfg.SetupOp):
+        chain.append(state.op)
+        state = state.op.in_state
+    held: dict[str, tuple[int, SSAValue]] = {}
+    for earlier in reversed(chain):
+        for name, value in earlier.fields:
+            constant = arith.constant_value(value)
+            if constant is None:
+                held.pop(name, None)
+            else:
+                held[name] = (constant, value)
+    return held
+
+
+@register_lint(
+    "ACCFG012",
+    "missed-dedup",
+    "a setup rewrites a register with a constant it provably already holds",
+)
+def _check_missed_dedup(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    for op in module.walk():
+        if not isinstance(op, accfg.SetupOp) or op.in_state is None:
+            continue
+        held = _chain_register_file(op)
+        redundant = []
+        for name, value in op.fields:
+            previous = held.get(name)
+            if previous is None:
+                continue
+            constant = arith.constant_value(value)
+            if constant is None or constant != previous[0]:
+                continue
+            if previous[1] is value:
+                # The very same SSA value: ACCFG007's (cheaper) territory.
+                continue
+            redundant.append(name)
+        if redundant:
+            listing = ", ".join(f"'{name}'" for name in redundant)
+            engine.warning(
+                "ACCFG012",
+                f"setup on '{op.accelerator}' rewrites field(s) {listing} "
+                "with constant value(s) the register provably already holds",
+                op,
+            ).with_note(
+                "fix: `python -m repro opt --pipeline dedup` (DedupPass) "
+                "folds constants through the state chain and drops "
+                "register writes that cannot change the device (Section 5.4)"
+            )
+
+
+# ---------------------------------------------------------------------------
+# ACCFG013: loop-invariant setup not hoisted
+# ---------------------------------------------------------------------------
+
+
+def _guarded_by_if_inside(op: Operation, loop: scf.ForOp) -> bool:
+    """True when an ``scf.if`` sits between ``op`` and ``loop``."""
+    current = op.parent_op
+    while current is not None and current is not loop:
+        if isinstance(current, scf.IfOp):
+            return True
+        current = current.parent_op
+    return False
+
+
+@register_lint(
+    "ACCFG013",
+    "loop-invariant-setup",
+    "a setup inside a loop depends only on values defined outside it",
+)
+def _check_loop_invariant_setup(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    analysis = context.analyses.cost(module)
+    for summary in analysis.summaries():
+        for site in summary.sites:
+            if site.kind != "setup":
+                continue
+            loop = site.innermost_loop
+            if loop is None:
+                continue
+            op = site.op
+            assert isinstance(op, accfg.SetupOp)
+            if _guarded_by_if_inside(op, loop):
+                continue  # conditionally executed: hoisting changes behavior
+            operands_invariant = all(
+                defined_outside(value, loop) for value in op.field_values
+            ) and (op.in_state is None or defined_outside(op.in_state, loop))
+            if not operands_invariant:
+                continue
+            per_iteration = site.config_bytes
+            engine.warning(
+                "ACCFG013",
+                f"setup on '{op.accelerator}' is loop-invariant: every "
+                "operand is defined outside the enclosing loop, yet its "
+                f"{per_iteration} configuration byte(s) are re-sent every "
+                "iteration",
+                op,
+            ).with_note(
+                f"this op repeats {site.trip_count} time(s) as written; "
+                "fix: LICMPass hoists it above the loop so configuration "
+                "is paid once (Section 5.3) — run `python -m repro opt "
+                "--pipeline full`, which threads the state chain "
+                "(TraceStatesPass) LICM needs, or `--pipeline licm` on "
+                "already-threaded IR"
+            )
+
+
+# ---------------------------------------------------------------------------
+# ACCFG014: overlappable setup serialized behind compute
+# ---------------------------------------------------------------------------
+
+
+def _block_accfg_sequence(
+    block: Block,
+) -> list[tuple[str, str, Operation]]:
+    """The (kind, accelerator, op) sequence of direct accfg ops in a block."""
+    sequence: list[tuple[str, str, Operation]] = []
+    for op in block.ops:
+        if isinstance(op, accfg.SetupOp):
+            sequence.append(("setup", op.accelerator, op))
+        elif isinstance(op, accfg.LaunchOp):
+            sequence.append(("launch", op.accelerator, op))
+        elif isinstance(op, accfg.AwaitOp):
+            sequence.append(("await", op.accelerator, op))
+    return sequence
+
+
+@register_lint(
+    "ACCFG014",
+    "serialized-setup",
+    "a setup waits for compute it could run concurrently with",
+)
+def _check_serialized_setup(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    from ..backends.base import get_accelerator_or_none
+
+    def concurrent(accelerator: str) -> bool:
+        spec = get_accelerator_or_none(accelerator)
+        return spec is not None and spec.concurrent_config
+
+    for container in module.walk():
+        blocks = [
+            block for region in container.regions for block in region.blocks
+        ]
+        for block in blocks:
+            sequence = _block_accfg_sequence(block)
+            # Straight-line: await A ... setup A ... launch A.  The setup
+            # only starts after the await drained the device, but a
+            # concurrent-config interface accepts register writes while the
+            # previous launch still computes.
+            last_await: dict[str, int] = {}
+            pending_setup: dict[str, tuple[int, Operation]] = {}
+            for index, (kind, accelerator, op) in enumerate(sequence):
+                if kind == "await":
+                    last_await[accelerator] = index
+                    pending_setup.pop(accelerator, None)
+                elif kind == "setup":
+                    if accelerator in last_await and concurrent(accelerator):
+                        pending_setup[accelerator] = (index, op)
+                elif kind == "launch":
+                    pending = pending_setup.pop(accelerator, None)
+                    if pending is not None:
+                        _emit_serialized(engine, pending[1], accelerator)
+            # Loop-carried: a loop body of the shape setup A ... launch A
+            # ... await A re-configures at the top of the next iteration
+            # only after this iteration's await — the same serialization,
+            # wrapped around the back edge.
+            parent = block.parent_op
+            if isinstance(parent, scf.ForOp):
+                kinds_by_acc: dict[str, list[str]] = {}
+                ops_by_acc: dict[str, Operation] = {}
+                for kind, accelerator, op in sequence:
+                    kinds_by_acc.setdefault(accelerator, []).append(kind)
+                    if kind == "setup":
+                        ops_by_acc.setdefault(accelerator, op)
+                for accelerator, kinds in kinds_by_acc.items():
+                    if not concurrent(accelerator):
+                        continue
+                    try:
+                        setup_at = kinds.index("setup")
+                        launch_at = kinds.index("launch", setup_at)
+                        kinds.index("await", launch_at)
+                    except ValueError:
+                        continue
+                    _emit_serialized(
+                        engine, ops_by_acc[accelerator], accelerator
+                    )
+
+
+def _emit_serialized(
+    engine: DiagnosticEngine, op: Operation, accelerator: str
+) -> None:
+    engine.warning(
+        "ACCFG014",
+        f"setup on '{accelerator}' is serialized behind the previous "
+        "launch's compute although the interface accepts configuration "
+        "concurrently",
+        op,
+    ).with_note(
+        "fix: `python -m repro opt --pipeline overlap` (OverlapPass) "
+        "double-buffers the configuration stream behind the running "
+        "launch, hiding it entirely when compute is long enough "
+        "(Section 5.5)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# ACCFG015: redundant full re-setup where retention suffices
+# ---------------------------------------------------------------------------
+
+
+class _ConstantRegisterFile(ForwardSolver):
+    """Forward lattice: which ``(accelerator, field)`` registers provably
+    hold which constant at each program point.  Join is agreement."""
+
+    def initial(self) -> object:
+        return {}
+
+    def join(self, a: object, b: object) -> object:
+        assert isinstance(a, dict) and isinstance(b, dict)
+        return {
+            key: value
+            for key, value in a.items()
+            if b.get(key, object()) == value
+        }
+
+    def transfer(self, op: Operation, state: object) -> object:
+        from ..passes.trace_states import op_preserves_state
+
+        assert isinstance(state, dict)
+        if isinstance(op, accfg.SetupOp):
+            state = dict(state)
+            for name, value in op.fields:
+                constant = arith.constant_value(value)
+                key = (op.accelerator, name)
+                if constant is None:
+                    state.pop(key, None)
+                else:
+                    state[key] = constant
+            return state
+        if isinstance(op, accfg.LaunchOp):
+            state = dict(state)
+            for name, value in op.fields:
+                constant = arith.constant_value(value)
+                key = (op.accelerator, name)
+                if constant is None:
+                    state.pop(key, None)
+                else:
+                    state[key] = constant
+            return state
+        if isinstance(op, accfg.ResetOp):
+            state_type = op.state.type
+            if isinstance(state_type, accfg.StateType):
+                accelerator = state_type.accelerator
+                return {
+                    key: value
+                    for key, value in state.items()
+                    if key[0] != accelerator
+                }
+            return state
+        if isinstance(op, accfg.AwaitOp):
+            return state
+        if isinstance(op, func.CallOp):
+            return {}  # the callee may reconfigure anything
+        touched = {acc for acc, _ in state}
+        if touched:
+            kept = {
+                acc for acc in touched if op_preserves_state(op, acc)
+            }
+            if kept != touched:
+                return {
+                    key: value for key, value in state.items() if key[0] in kept
+                }
+        return state
+
+
+@register_lint(
+    "ACCFG015",
+    "redundant-re-setup",
+    "a full re-setup rewrites exactly what the device provably retains",
+)
+def _check_redundant_re_setup(
+    module: Operation, context: LintContext, engine: DiagnosticEngine
+) -> None:
+    for fn in _functions(module):
+        solver = _ConstantRegisterFile()
+        solver.run_function(fn)
+        for op in fn.walk():
+            if (
+                not isinstance(op, accfg.SetupOp)
+                or op.in_state is not None
+                or not op.fields
+            ):
+                continue
+            held = solver.input_states.get(op)
+            if not isinstance(held, dict) or not held:
+                continue
+            retained = []
+            for name, value in op.fields:
+                constant = arith.constant_value(value)
+                if constant is None:
+                    retained = []
+                    break
+                if held.get((op.accelerator, name)) != constant:
+                    retained = []
+                    break
+                retained.append(name)
+            if retained:
+                engine.warning(
+                    "ACCFG015",
+                    f"full re-setup on '{op.accelerator}' rewrites the exact "
+                    "register contents the device provably still holds — "
+                    "retention makes every byte redundant",
+                    op,
+                ).with_note(
+                    "fix: `python -m repro opt --pipeline full` "
+                    "(TraceStatesPass threads the state chain, DedupPass "
+                    "then drops the redundant writes); the device retains "
+                    "configuration across launches (Section 5.4)"
+                )

@@ -140,15 +140,18 @@ class AwaitedTokensAnalysis(ForwardSolver):
     def initial(self) -> frozenset[SSAValue]:
         return frozenset()
 
-    def join(self, a: frozenset, b: frozenset) -> frozenset:
+    def join(self, a: object, b: object) -> object:
+        assert isinstance(a, frozenset) and isinstance(b, frozenset)
         return a | b
 
-    def transfer(self, op: Operation, state: frozenset) -> frozenset:
+    def transfer(self, op: Operation, state: object) -> object:
+        assert isinstance(state, frozenset)
         if isinstance(op, accfg.AwaitOp):
             return state | {op.token}
         return state
 
-    def back_edge(self, loop: scf.ForOp, state: frozenset) -> frozenset:
+    def back_edge(self, loop: scf.ForOp, state: object) -> object:
+        assert isinstance(state, frozenset)
         return frozenset(v for v in state if defined_outside(v, loop))
 
 

@@ -59,6 +59,26 @@ class Diagnostic:
         first = text.splitlines()[0] if text else ""
         return first.strip() or None
 
+    def to_dict(self) -> dict[str, object]:
+        """Machine-readable form — the ``repro lint --json`` schema."""
+        fixit = next(
+            (
+                note
+                for note in self.notes
+                if note.startswith("fix:") or "--pipeline" in note
+            ),
+            None,
+        )
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "loc": str(self.loc) if self.loc is not None else None,
+            "excerpt": self.excerpt(),
+            "notes": list(self.notes),
+            "fixit": fixit,
+        }
+
     def format(self, show_excerpt: bool = True) -> str:
         lines = [f"{self.severity}[{self.code}]: {self.message}"]
         if self.loc is not None:

@@ -20,7 +20,15 @@ ACCFG008  pessimistic-clobber       warning
 ACCFG009  unknown-accelerator       warning
 ACCFG010  config-roofline           warning
 ACCFG011  retention-hazard          warning
+ACCFG012  missed-dedup              warning
+ACCFG013  loop-invariant-setup      warning
+ACCFG014  serialized-setup          warning
+ACCFG015  redundant-re-setup        warning
 ========= ========================= ========
+
+ACCFG012–015 are the *opportunity* lints built on the static cost engine
+(:mod:`.cost`): each points at configuration cost a shipped pass provably
+eliminates, and its fix-it note names that pass.
 """
 
 from __future__ import annotations
@@ -100,7 +108,29 @@ def run_lints(
         if codes is not None and code not in codes:
             continue
         LINT_RULES[code].fn(module, context, engine)
+    _annotate_loop_depth(engine.diagnostics)
     return engine.diagnostics
+
+
+def _annotate_loop_depth(diagnostics: list[Diagnostic]) -> None:
+    """Append the innermost enclosing loop depth to nested diagnostics.
+
+    An op buried in nested ``scf.for``/``scf.if`` regions prints a raw
+    location that says nothing about *how often* it runs; the loop depth
+    (number of enclosing ``scf.for`` ops) is the first-order answer.  Diags
+    anchored on a loop op itself count only the loops *around* it.
+    """
+    for diag in diagnostics:
+        if diag.op is None:
+            continue
+        depth = 0
+        current = diag.op.parent_op
+        while current is not None:
+            if isinstance(current, scf.ForOp):
+                depth += 1
+            current = current.parent_op
+        if depth > 0:
+            diag.message += f" (at loop depth {depth})"
 
 
 def _functions(module: Operation) -> list[func.FuncOp]:
@@ -472,16 +502,18 @@ def _retention_hazards(fn: func.FuncOp) -> dict[Operation, set[str]]:
     hazards: dict[Operation, set[str]] = {}
 
     class Solver(ForwardSolver):
-        def initial(self):
+        def initial(self) -> object:
             return {}
 
-        def join(self, a, b):
+        def join(self, a: object, b: object) -> object:
+            assert isinstance(a, dict) and isinstance(b, dict)
             merged = dict(a)
             for key, entries in b.items():
                 merged[key] = merged.get(key, frozenset()) | entries
             return merged
 
-        def transfer(self, op, state):
+        def transfer(self, op: Operation, state: object) -> object:
+            assert isinstance(state, dict)
             if isinstance(op, accfg.SetupOp):
                 state = dict(state)
                 for name in op.field_names:
@@ -560,6 +592,7 @@ def _check_retention_hazard(
 
 
 # Importing this module registers ACCFG001..ACCFG009 and ACCFG011; the
-# roofline lint (ACCFG010) lives in its own module and registers itself on
-# import.
-from . import roofline_lint  # noqa: E402,F401
+# roofline lint (ACCFG010) and the cost-engine opportunity lints
+# (ACCFG012..ACCFG015) live in their own modules and register themselves
+# on import.
+from . import cost_lints, roofline_lint  # noqa: E402,F401

@@ -17,9 +17,12 @@ keyed on — cloned or re-parsed modules always miss.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..ir.operation import Operation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cost import CostAnalysis
 from .dataflow import (
     AwaitedTokensAnalysis,
     KnownFieldsAnalysis,
@@ -56,7 +59,9 @@ class AnalysisManager:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, scope: Operation, kind: object, factory: Callable[[], object]):
+    def get(
+        self, scope: Operation, kind: object, factory: Callable[[], object]
+    ) -> object:
         """The cached analysis for ``(scope, kind)``, building on first use."""
         key = (id(scope), kind)
         entry = self._entries.get(key)
@@ -88,6 +93,12 @@ class AnalysisManager:
 
     def observed_fields(self, scope: Operation) -> ObservedFieldsAnalysis:
         return self.get(scope, "observed-fields", ObservedFieldsAnalysis)
+
+    def cost(self, scope: Operation) -> "CostAnalysis":
+        """The static configuration-cost engine over ``scope`` (a module)."""
+        from .cost import CostAnalysis
+
+        return self.get(scope, "cost", lambda: CostAnalysis(scope))
 
     # -- invalidation ----------------------------------------------------
 

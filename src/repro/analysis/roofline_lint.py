@@ -45,25 +45,6 @@ def static_launch_config(launch: accfg.LaunchOp) -> dict[str, int]:
     return config
 
 
-def _loop_body_accfg_ops(loop: scf.ForOp) -> list[Operation]:
-    """All accfg ops under the loop body, not counting nested loops (those
-    are assessed on their own)."""
-    found: list[Operation] = []
-
-    def visit(block) -> None:
-        for op in block.ops:
-            if isinstance(op, scf.ForOp):
-                continue
-            if op.name.startswith("accfg."):
-                found.append(op)
-            for region in op.regions:
-                for nested in region.blocks:
-                    visit(nested)
-
-    visit(loop.body)
-    return found
-
-
 @register_lint(
     "ACCFG010",
     "config-roofline",
@@ -75,41 +56,41 @@ def _check_config_roofline(
     from ..backends.base import get_accelerator_or_none
     from ..core.analysis import roofline_for_spec
     from ..core.roofline import Boundness
+    from .cost import CostSite
 
+    # Cost-engine sites grouped by their innermost enclosing loop: that is
+    # exactly "the accfg ops of one iteration of this loop, nested ifs
+    # included, nested loops assessed on their own".
+    analysis = context.analyses.cost(module)
+    by_loop: dict[int, dict[str, list[CostSite]]] = {}
+    for summary in analysis.summaries():
+        for site in summary.sites:
+            loop = site.innermost_loop
+            if loop is None or site.kind == "reset":
+                continue
+            by_loop.setdefault(id(loop), {}).setdefault(
+                site.accelerator, []
+            ).append(site)
     for loop in module.walk():
         if not isinstance(loop, scf.ForOp):
             continue
-        ops = _loop_body_accfg_ops(loop)
-        by_accelerator: dict[str, list[Operation]] = {}
-        for op in ops:
-            if isinstance(op, (accfg.SetupOp, accfg.LaunchOp, accfg.AwaitOp)):
-                by_accelerator.setdefault(op.accelerator, []).append(op)
-        for accelerator, acc_ops in sorted(by_accelerator.items()):
+        groups = by_loop.get(id(loop))
+        if not groups:
+            continue
+        for accelerator, sites in sorted(groups.items()):
             if context.target is not None and accelerator != context.target:
                 continue
             spec = get_accelerator_or_none(accelerator)
             if spec is None:
                 continue
-            launches = [op for op in acc_ops if isinstance(op, accfg.LaunchOp)]
+            launches = [site for site in sites if site.kind == "launch"]
             if not launches:
                 continue
-            config_bytes = 0
-            total_ops = 0
-            determinate = True
-            for op in acc_ops:
-                if isinstance(op, accfg.SetupOp):
-                    config_bytes += spec.config_bytes(list(op.field_names))
-                elif isinstance(op, accfg.LaunchOp):
-                    instrs = spec.launch_field_instrs(
-                        [name for name, _ in op.fields]
-                    ) + spec.launch_instrs()
-                    config_bytes += sum(i.config_bytes for i in instrs)
-                    ops_count = spec.static_launch_ops(static_launch_config(op))
-                    if ops_count is None:
-                        determinate = False
-                        break
-                    total_ops += ops_count
-            if not determinate or config_bytes <= 0 or total_ops <= 0:
+            if any(site.ops is None for site in launches):
+                continue  # some launch's op count is not statically known
+            config_bytes = sum(site.config_bytes for site in sites)
+            total_ops = sum(site.ops or 0 for site in launches)
+            if config_bytes <= 0 or total_ops <= 0:
                 continue
             i_oc = total_ops / config_bytes
             roofline = roofline_for_spec(spec, spec.host_cost_model())

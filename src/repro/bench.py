@@ -10,6 +10,9 @@ comparable run to run):
   legacy sweep driver on identical pinned modules; reports the speedup);
 * ``simulate``  — repeated execution of one pinned program per backend
   against fresh memory images (the differential-oracle hot loop);
+* ``static_cost`` — the static configuration-cost engine analyzing the
+  same pinned programs (prediction throughput vs ``simulate``'s
+  measurement throughput);
 * ``fuzz_iteration`` — end-to-end ``repro.testing.fuzz`` iterations across
   all backends and all registered pipelines.
 
@@ -237,7 +240,10 @@ def bench_fuzz(quick: bool = False) -> dict:
     """End-to-end fuzz iterations (all backends, all pipelines, no corpus)."""
     from .testing import fuzz
 
-    iterations = 2 if quick else 25
+    # Quick mode still needs enough iterations to amortize per-run setup,
+    # or the --check gate would compare a cold quick number against the
+    # committed steady-state one.
+    iterations = 8 if quick else 25
     cache_before = _trace_cache_stats()
     started = time.perf_counter()
     report = fuzz(
@@ -274,8 +280,38 @@ def bench_fuzz_acceptance(quick: bool = False) -> dict:
     }
 
 
+def bench_static_cost(quick: bool = False) -> dict:
+    """The static cost engine: programs analyzed per second.
+
+    Each rep runs a fresh :class:`~repro.analysis.cost.CostAnalysis` over
+    the pinned programs (summaries for every function, rendered through the
+    same report the CLI prints; no caching between reps).  Read it against the
+    ``simulate`` workload, which executes the same pinned programs: the
+    ratio is the price of a prediction vs a measurement.
+    """
+    from .analysis.cost import CostAnalysis, format_cost_table
+    from .testing.generator import build_spec
+
+    specs = _pinned_programs()
+    reps = 8 if quick else 100
+    builds = [build_spec(spec, memory_seed=PINNED_SEED) for spec in specs]
+    started = time.perf_counter()
+    programs = 0
+    for _ in range(reps):
+        for built in builds:
+            format_cost_table(CostAnalysis(built.module))
+            programs += 1
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(programs / wall, 3) if wall else 0.0,
+        "cache_hit_rate": 0.0,  # pure analysis: the trace cache never engages
+    }
+
+
 WORKLOADS = {
     "compile": bench_compile,
+    "static_cost": bench_static_cost,
     "pattern_driver": bench_pattern_driver,
     "simulate": bench_simulate,
     "fuzz_iteration": bench_fuzz,

@@ -18,10 +18,18 @@ claims its optimizations guarantee:
   (reusing :mod:`repro.analysis`, the same gate as
   ``PassManager(lint=True)``).
 
-Any crash while optimizing or executing is reported as a fourth oracle,
-``crash``; a fifth, ``trace-vs-tree``, cross-checks the trace-compiled
+A fourth oracle, **static-cost**, holds the static cost engine
+(:mod:`repro.analysis.cost`) to the simulator on every executed run: the
+symbolic prediction of instruction counts, configuration bytes, and launch
+counts — evaluated at the run's concrete arguments — must *bound* what the
+simulator measured, and on programs whose trip counts the engine resolves
+exactly the bounds collapse to equality.  Programs containing ops the
+engine does not model are skipped (the model makes no claim about them).
+
+Any crash while optimizing or executing is reported as a ``crash``
+oracle finding; ``trace-vs-tree`` cross-checks the trace-compiled
 execution engine against the reference tree interpreter (see *Engines*
-below).  A sixth, ``driver-divergence``, activates under
+below).  A ``driver-divergence`` oracle activates under
 ``REPRO_REWRITE_DRIVER=both``: every pipeline is replayed on a fresh clone
 with the legacy sweep pattern driver and both optimized modules must have
 identical structural keys — the worklist driver's normal form is the sweep
@@ -98,8 +106,8 @@ ENGINES = ("tree", "trace", "both")
 class OracleFailure:
     """One oracle violation for one pipeline."""
 
-    #: "functional" | "timing" | "lint" | "crash" | "trace-vs-tree"
-    #: | "driver-divergence"
+    #: "functional" | "timing" | "lint" | "static-cost" | "crash"
+    #: | "trace-vs-tree" | "driver-divergence"
     oracle: str
     pipeline: str
     message: str
@@ -582,6 +590,14 @@ class _SubjectRunner:
                 )
                 if divergence is not None:
                     extras.append(divergence)
+            stage = "static-cost"
+            from ..analysis.cost import compare_with_simulation
+
+            mismatches = compare_with_simulation(module, sim, args)
+            if mismatches:
+                extras.append(
+                    OracleFailure("static-cost", name, "; ".join(mismatches))
+                )
             stage = "lint"
             lint_errors = error_code_counts(
                 run_lints(module, codes=set(ERROR_LINT_CODES))

@@ -216,10 +216,15 @@ class RequantizeOp(Operation):
         printer.print_value(self.operands[1])
         printer.emit(f" n({self.n})")
 
-    def interpret(self, interpreter, env) -> None:
-        """Functional semantics + host cost (one word per 8 elements)."""
+    def cost_instrs(self) -> list:
+        """The instruction stream :meth:`interpret` charges — advertised
+        statically so the cost engine can model this op exactly."""
         from ..isa.instructions import Instr, InstrCategory
 
+        return [Instr("dma-word", InstrCategory.COMPUTE)] * max(1, self.n // 8)
+
+    def interpret(self, interpreter, env) -> None:
+        """Functional semantics + host cost (one word per 8 elements)."""
         src = env[self.operands[0]]
         dst = env[self.operands[1]]
         memory = interpreter.sim.memory
@@ -227,9 +232,7 @@ class RequantizeOp(Operation):
         memory.write_matrix(
             dst, values.astype(np.int8).reshape(1, -1), self.n
         )
-        interpreter.sim.charge(
-            [Instr("dma-word", InstrCategory.COMPUTE)] * max(1, self.n // 8)
-        )
+        interpreter.sim.charge(self.cost_instrs())
 
 
 @register_custom_parser("net.requantize")

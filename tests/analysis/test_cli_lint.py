@@ -118,3 +118,54 @@ class TestLintCommand:
 
         monkeypatch.setattr("sys.stdin", io.StringIO(CLEAN))
         assert main(["lint", "-"]) == 0
+
+    def test_loop_depth_is_reported_for_nested_ops(self, mlir_file, capsys):
+        assert main(["lint", mlir_file(UNAWAITED_LOOP)]) == 0
+        assert "(at loop depth 1)" in capsys.readouterr().out
+
+
+class TestLintJson:
+    def test_json_is_machine_readable(self, mlir_file, capsys):
+        import json
+
+        path = mlir_file(UNAWAITED_LOOP, "unawaited.mlir")
+        assert main(["lint", "--json", path]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["errors"] == 0 and report["warnings"] >= 1
+        codes = {d["code"] for d in report["diagnostics"]}
+        assert "ACCFG001" in codes
+        diag = next(
+            d for d in report["diagnostics"] if d["code"] == "ACCFG001"
+        )
+        assert diag["severity"] == "warning"
+        assert diag["loc"].startswith(f"{path}:")
+        assert "accfg.launch" in diag["excerpt"]
+        # The fix-it rides along as a dedicated field, not just a note.
+        assert diag["fixit"] and "accfg.await" in diag["fixit"]
+
+    def test_json_clean_module(self, mlir_file, capsys):
+        import json
+
+        assert main(["lint", "--json", mlir_file(CLEAN)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["diagnostics"] == []
+        assert report["errors"] == report["warnings"] == 0
+        assert report["checks"] > 10
+
+    def test_json_respects_werror_exit_code(self, mlir_file, capsys):
+        import json
+
+        assert main(["lint", "--json", "--werror", mlir_file(UNAWAITED_LOOP)]) == 1
+        assert json.loads(capsys.readouterr().out)["warnings"] >= 1
+
+
+class TestCostCommand:
+    def test_cost_prints_summary_table(self, mlir_file, capsys):
+        assert main(["cost", mlir_file(CLEAN)]) == 0
+        out = capsys.readouterr().out
+        assert "@main" in out
+        assert "toyvec" in out
+
+    def test_cost_after_pipeline(self, mlir_file, capsys):
+        assert main(["cost", "--pipeline", "full", mlir_file(CLEAN)]) == 0
+        assert "@main" in capsys.readouterr().out

@@ -1,0 +1,208 @@
+"""ACCFG012–015 — the cost-engine opportunity lints.
+
+Each lint must (a) fire on the exact inefficiency it names, (b) stay
+silent once the named pass has run, and (c) carry a fix-it note naming
+that pass.
+"""
+
+from repro.analysis import run_lints
+from repro.ir import parse_module
+from repro.passes import pipeline_by_name
+
+
+def diags_for(text, code, pipeline=""):
+    module = parse_module(text)
+    if pipeline:
+        pipeline_by_name(pipeline).run(module)
+    return [d for d in run_lints(module, codes={code})]
+
+
+# ---------------------------------------------------------------------------
+# ACCFG012: missed dedup (same constant through different SSA values)
+# ---------------------------------------------------------------------------
+
+
+MISSED_DEDUP = """builtin.module {
+  func.func @main() -> () {
+    %n0 = arith.constant 8 : i64
+    %n1 = arith.constant 8 : i64
+    %s0 = accfg.setup on "toyvec" ("n" = %n0 : i64) : !accfg.state<"toyvec">
+    %s1 = accfg.setup on "toyvec" from %s0 ("n" = %n1 : i64) : !accfg.state<"toyvec">
+    %t = accfg.launch %s1 : !accfg.token<"toyvec">
+    accfg.await %t
+    func.return
+  }
+}
+"""
+
+
+class TestMissedDedup:
+    def test_same_constant_different_ssa_fires(self):
+        diags = diags_for(MISSED_DEDUP, "ACCFG012")
+        assert len(diags) == 1
+        assert "provably already holds" in diags[0].message
+        assert any("--pipeline dedup" in note for note in diags[0].notes)
+
+    def test_same_ssa_value_is_accfg007_territory(self):
+        # The identical SSA value re-written is ACCFG007's finding; 012
+        # only covers the harder same-constant-different-value case.
+        same_ssa = MISSED_DEDUP.replace('"n" = %n1', '"n" = %n0')
+        assert diags_for(same_ssa, "ACCFG012") == []
+
+    def test_different_constant_is_clean(self):
+        changed = MISSED_DEDUP.replace(
+            "%n1 = arith.constant 8", "%n1 = arith.constant 16"
+        )
+        assert diags_for(changed, "ACCFG012") == []
+
+    def test_dedup_pipeline_eliminates_the_finding(self):
+        assert diags_for(MISSED_DEDUP, "ACCFG012", pipeline="dedup") == []
+
+
+# ---------------------------------------------------------------------------
+# ACCFG013: loop-invariant setup
+# ---------------------------------------------------------------------------
+
+
+INVARIANT_SETUP = """builtin.module {
+  func.func @main(%n : i64) -> () {
+    %c0 = arith.constant 0 : index
+    %c1 = arith.constant 1 : index
+    %c4 = arith.constant 4 : index
+    scf.for %i = %c0 to %c4 step %c1 {
+      %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+      %t = accfg.launch %s : !accfg.token<"toyvec">
+      accfg.await %t
+      scf.yield
+    }
+    func.return
+  }
+}
+"""
+
+
+class TestLoopInvariantSetup:
+    def test_invariant_setup_in_loop_fires(self):
+        diags = diags_for(INVARIANT_SETUP, "ACCFG013")
+        assert len(diags) == 1
+        assert "loop-invariant" in diags[0].message
+        assert "loop depth 1" in diags[0].message
+        assert any("LICMPass" in note for note in diags[0].notes)
+
+    def test_induction_dependent_setup_is_clean(self):
+        # A field derived from the induction variable is not invariant.
+        variant = INVARIANT_SETUP.replace(
+            '%s = accfg.setup on "toyvec" ("n" = %n : i64)',
+            '%iv = arith.addi %i, %c1 : index\n'
+            '      %s = accfg.setup on "toyvec" ("n" = %iv : index)',
+        )
+        assert diags_for(variant, "ACCFG013") == []
+
+    def test_conditional_setup_is_not_hoistable(self):
+        guarded = INVARIANT_SETUP.replace(
+            """%s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+      %t = accfg.launch %s : !accfg.token<"toyvec">
+      accfg.await %t""",
+            """%c2 = arith.constant 2 : index
+      %go = arith.cmpi ult, %i, %c2 : index
+      scf.if %go {
+        %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+        %t = accfg.launch %s : !accfg.token<"toyvec">
+        accfg.await %t
+      }""",
+        )
+        assert diags_for(guarded, "ACCFG013") == []
+
+    def test_full_pipeline_hoists_and_eliminates_the_finding(self):
+        # Plain `licm` cannot hoist the un-threaded idiom (the state chain
+        # is rebuilt every iteration); `full` threads it first, then LICM
+        # hoists, and the finding disappears.
+        assert diags_for(INVARIANT_SETUP, "ACCFG013", pipeline="full") == []
+
+
+# ---------------------------------------------------------------------------
+# ACCFG014: overlappable setup serialized behind compute
+# ---------------------------------------------------------------------------
+
+
+SERIALIZED_LOOP = INVARIANT_SETUP  # setup -> launch -> await, loop-carried
+
+SERIALIZED_STRAIGHT = """builtin.module {
+  func.func @main(%n : i64, %m : i64) -> () {
+    %s0 = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    %t0 = accfg.launch %s0 : !accfg.token<"toyvec">
+    accfg.await %t0
+    %s1 = accfg.setup on "toyvec" ("n" = %m : i64) : !accfg.state<"toyvec">
+    %t1 = accfg.launch %s1 : !accfg.token<"toyvec">
+    accfg.await %t1
+    func.return
+  }
+}
+"""
+
+
+class TestSerializedSetup:
+    def test_loop_carried_serialization_fires(self):
+        diags = diags_for(SERIALIZED_LOOP, "ACCFG014")
+        assert len(diags) == 1
+        assert "serialized behind" in diags[0].message
+        assert any("--pipeline overlap" in note for note in diags[0].notes)
+
+    def test_straight_line_await_setup_launch_fires(self):
+        diags = diags_for(SERIALIZED_STRAIGHT, "ACCFG014")
+        assert len(diags) == 1
+        assert diags[0].op.name == "accfg.setup"
+
+    def test_sequential_config_interface_is_silent(self):
+        # toyvec-seq models a device that cannot take configuration while
+        # computing: there is nothing to overlap, so no opportunity exists.
+        sequential = SERIALIZED_STRAIGHT.replace('"toyvec"', '"toyvec-seq"')
+        assert diags_for(sequential, "ACCFG014") == []
+
+    def test_overlap_pipeline_eliminates_the_finding(self):
+        assert diags_for(SERIALIZED_LOOP, "ACCFG014", pipeline="overlap") == []
+
+
+# ---------------------------------------------------------------------------
+# ACCFG015: redundant full re-setup where retention suffices
+# ---------------------------------------------------------------------------
+
+
+REDUNDANT_RESETUP = """builtin.module {
+  func.func @main() -> () {
+    %n = arith.constant 8 : i64
+    %s0 = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    %t0 = accfg.launch %s0 : !accfg.token<"toyvec">
+    accfg.await %t0
+    %m = arith.constant 8 : i64
+    %s1 = accfg.setup on "toyvec" ("n" = %m : i64) : !accfg.state<"toyvec">
+    %t1 = accfg.launch %s1 : !accfg.token<"toyvec">
+    accfg.await %t1
+    func.return
+  }
+}
+"""
+
+
+class TestRedundantResetup:
+    def test_full_resetup_of_retained_registers_fires(self):
+        diags = diags_for(REDUNDANT_RESETUP, "ACCFG015")
+        assert len(diags) == 1
+        assert "retention" in diags[0].message
+        assert any("--pipeline full" in note for note in diags[0].notes)
+
+    def test_changed_constant_is_a_real_reconfiguration(self):
+        changed = REDUNDANT_RESETUP.replace(
+            "%m = arith.constant 8", "%m = arith.constant 16"
+        )
+        assert diags_for(changed, "ACCFG015") == []
+
+    def test_reset_in_between_invalidates_retention(self):
+        reset = REDUNDANT_RESETUP.replace(
+            "%m = arith.constant 8",
+            "accfg.reset %s0\n    %m = arith.constant 8",
+        )
+        assert diags_for(reset, "ACCFG015") == []
+
+    def test_full_pipeline_eliminates_the_finding(self):
+        assert diags_for(REDUNDANT_RESETUP, "ACCFG015", pipeline="full") == []

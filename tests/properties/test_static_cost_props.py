@@ -1,0 +1,98 @@
+"""Property: the static cost engine agrees with the co-simulator.
+
+On loop-free generator programs every trip count is trivially concrete, so
+the engine's summary must be *exact* — :func:`compare_with_simulation` has
+to return no mismatches for every backend and every optimization pipeline.
+This is the same oracle the fuzz driver runs by default; here hypothesis
+drives the seed/backend/pipeline space directly.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cost import compare_with_simulation
+from repro.interp.interpreter import Interpreter
+from repro.ir import parse_module
+from repro.passes import PIPELINES, pipeline_by_name
+from repro.sim.cosim import CoSimulator
+from repro.testing.generator import (
+    PROFILES,
+    Branch,
+    Invoke,
+    Loop,
+    ProgramSpec,
+    build_spec,
+    generate_spec,
+)
+
+BACKENDS = sorted(PROFILES)
+
+
+def _strip_loops(stmts):
+    """Inline every loop body once, so the program becomes loop-free while
+    keeping the invoke/branch mix the generator drew."""
+    flat = []
+    for stmt in stmts:
+        if isinstance(stmt, Loop):
+            flat.extend(_strip_loops(stmt.body))
+        elif isinstance(stmt, Branch):
+            flat.append(
+                Branch(_strip_loops(stmt.then), _strip_loops(stmt.orelse))
+            )
+        else:
+            assert isinstance(stmt, Invoke)
+            flat.append(stmt)
+    return tuple(flat)
+
+
+def _loop_free_program(seed: int, backend: str):
+    spec = generate_spec(random.Random(seed), backend, max_stmts=6)
+    spec = ProgramSpec(
+        backend=spec.backend,
+        stmts=_strip_loops(spec.stmts),
+        cond_value=spec.cond_value,
+    )
+    return build_spec(spec, memory_seed=seed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    backend=st.sampled_from(BACKENDS),
+)
+def test_prediction_matches_simulation_exactly(seed, backend):
+    built = _loop_free_program(seed, backend)
+    sim = CoSimulator(memory=built.memory)
+    Interpreter(built.module, sim).run("main", built.args)
+    assert compare_with_simulation(built.module, sim, built.args) == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    backend=st.sampled_from(BACKENDS),
+    pipeline=st.sampled_from(sorted(PIPELINES)),
+)
+def test_prediction_survives_every_pipeline(seed, backend, pipeline):
+    # Optimization must never break the model: after any registered
+    # pipeline rewrites the configuration stream, prediction and
+    # measurement still agree on the rewritten module.
+    built = _loop_free_program(seed, backend)
+    pipeline_by_name(pipeline).run(built.module)
+    sim = CoSimulator(memory=built.memory)
+    Interpreter(built.module, sim).run("main", built.args)
+    assert compare_with_simulation(built.module, sim, built.args) == []
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_prediction_roundtrips_through_text(seed):
+    # The engine works off parsed IR just as well as built IR: printing
+    # and re-parsing the module must not change the verdict.
+    built = _loop_free_program(seed, "toyvec")
+    reparsed = parse_module(str(built.module))
+    sim = CoSimulator(memory=built.memory)
+    Interpreter(reparsed, sim).run("main", built.args)
+    assert compare_with_simulation(reparsed, sim, built.args) == []
