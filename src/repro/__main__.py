@@ -108,6 +108,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     module = _read_module(args.input)
     if args.pipeline:
         pipeline_by_name(args.pipeline).run(module)
+    if args.batch:
+        from .engine.batch import BatchLane, run_batch
+
+        main_args = [int(a) for a in args.args]
+        lanes = [BatchLane(args=list(main_args)) for _ in range(args.batch)]
+        outcomes = run_batch(module, lanes, functional=False, cache=False)
+        ok = sum(1 for lane in outcomes if lane.ok)
+        print(f"batch        : {args.batch} lanes, {ok} ok")
+        first = outcomes[0]
+        if not first.ok:
+            print(f"lane 0 error : {first.error_type}: {first.error}")
+            return 1
+        print(f"results      : {first.results}")
+        print(f"total cycles : {first.total_cycles:.0f}")
+        for name, count in first.launch_counts.items():
+            print(f"{name:13s}: {count} launches")
+        return 0
     sim = CoSimulator(functional=False)
     results = run_module(module, sim, args=[int(a) for a in args.args])[0]
     stats = sim.trace.stats(sim.cost_model)
@@ -125,6 +142,28 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from .testing import DEFAULT_CORPUS_DIR, fuzz, replay, run_selftest
+
+    store = None
+    if args.cache_dir:
+        from .engine.cache import configure_persistent_cache
+
+        # Also exports REPRO_CACHE_DIR, so --jobs workers attach the same
+        # directory (their hit counters live in the worker processes).
+        store = configure_persistent_cache(args.cache_dir)
+    if args.min_persistent_hit_rate is not None:
+        if store is None:
+            print(
+                "error: --min-persistent-hit-rate requires --cache-dir",
+                file=sys.stderr,
+            )
+            return 2
+        if args.jobs > 1:
+            print(
+                "error: --min-persistent-hit-rate gates this process's "
+                "cache counters and is not meaningful with --jobs > 1",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.replay:
         try:
@@ -190,6 +229,22 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             inject_hang=args.inject_hang,
         )
     print(report.summary())
+    if store is not None:
+        print(
+            f"persistent cache: {store.hits} hit(s), {store.misses} miss(es), "
+            f"{store.stores} store(s), {store.rejected} rejected, "
+            f"hit rate {store.hit_rate:.1%}"
+        )
+        if (
+            args.min_persistent_hit_rate is not None
+            and store.hit_rate < args.min_persistent_hit_rate
+        ):
+            print(
+                f"error: persistent hit rate {store.hit_rate:.1%} below "
+                f"required {args.min_persistent_hit_rate:.1%}",
+                file=sys.stderr,
+            )
+            return 1
     return 0 if report.ok else 1
 
 
@@ -330,6 +385,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("input")
     run.add_argument("--pipeline", default="", help="optimize first")
     run.add_argument("--args", nargs="*", default=[], help="main() arguments")
+    run.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="LANES",
+        help="run LANES copies through the lockstep batch executor instead "
+        "of the tree interpreter (timing only)",
+    )
     run.set_defaults(func=cmd_run)
 
     from .testing.corpus import DEFAULT_CORPUS_DIR
@@ -388,10 +451,26 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--engine",
         default="trace",
-        choices=["trace", "tree", "both"],
+        choices=["trace", "tree", "both", "batch"],
         help="execution engine for the oracles: 'trace' (compiled traces, "
-        "cross-checked against the tree interpreter), 'tree', or 'both' "
-        "(default: trace)",
+        "cross-checked against the tree interpreter), 'tree', 'both', or "
+        "'batch' (trace plus a batch-vs-scalar lockstep cross-check on "
+        "every executed run) (default: trace)",
+    )
+    fuzz.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="attach a persistent on-disk compiled-trace cache (shared with "
+        "--jobs workers via REPRO_CACHE_DIR); created if missing",
+    )
+    fuzz.add_argument(
+        "--min-persistent-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="exit non-zero when the persistent cache's hit rate ends below "
+        "RATE (0..1); requires --cache-dir, single-process runs only",
     )
     fuzz.add_argument(
         "--iteration-timeout",

@@ -8,10 +8,28 @@ comparable run to run):
   backend (the per-pipeline cost every fuzz iteration and sweep point pays);
 * ``pattern_driver`` — the greedy rewrite driver alone (worklist vs the
   legacy sweep driver on identical pinned modules; reports the speedup);
-* ``simulate``  — repeated execution of one pinned program per backend
-  against fresh memory images (the differential-oracle hot loop);
+* ``simulate_cold`` — timing simulation of one pinned program per backend
+  with the trace cache disabled, so every run pays compile + simulate
+  (what a fuzz shard pays on first sight of a module).  Functional device
+  emulation is off: this trio measures the cycle-accounting engine the
+  paper's sweeps run on, and the (separately priced) functional work is
+  ``simulate_functional``;
+* ``simulate_warm`` — the same programs through a warm in-process trace
+  cache (the steady state of repeated sweeps);
+* ``simulate_batch`` — the same programs compiled once and executed across
+  many lanes by the batch executor; ``batch_speedup_vs_cold`` is the
+  headline amortization number;
+* ``simulate_functional`` — warm-cache execution *with* functional device
+  emulation (the differential-oracle hot loop).  Its gap to
+  ``simulate_warm`` is the price of functional emulation, which the old
+  conflated ``simulate`` number hid;
+* ``persistent_cache`` — two-phase: a subprocess populates an on-disk
+  store (``REPRO_CACHE_DIR``), then fresh in-process caches replay the
+  workload against it.  ``persistent_hit_rate`` is reported separately
+  from the in-process ``cache_hit_rate`` — a warm cross-process run never
+  inflates the in-memory number;
 * ``static_cost`` — the static configuration-cost engine analyzing the
-  same pinned programs (prediction throughput vs ``simulate``'s
+  same pinned programs (prediction throughput vs ``simulate_warm``'s
   measurement throughput);
 * ``fuzz_iteration`` — end-to-end ``repro.testing.fuzz`` iterations across
   all backends and all registered pipelines.
@@ -19,7 +37,7 @@ comparable run to run):
 Results are written to ``BENCH_engine.json``::
 
     {
-      "schema": "bench-engine/1",
+      "schema": "bench-engine/2",
       "meta": {... python/host info, calibration_ops_per_s, rewrite_driver ...},
       "workloads": {name: {"wall_s", "programs_per_s", "cache_hit_rate"}},
       "pass_breakdown": {pass_name: {"seconds", "runs", "ops_delta"}},
@@ -51,7 +69,7 @@ from .ioutil import atomic_write_json
 #: gate: "fails if fuzz-iteration throughput regresses >25%").
 REGRESSION_TOLERANCE = 0.25
 
-SCHEMA = "bench-engine/1"
+SCHEMA = "bench-engine/2"
 
 #: Pinned per-workload generator seeds; changing these invalidates every
 #: recorded baseline, so don't.
@@ -125,33 +143,241 @@ def bench_compile(quick: bool = False) -> dict:
     }
 
 
-def bench_simulate(quick: bool = False) -> dict:
-    """Execute pinned (unoptimized) programs against fresh memory images."""
+def bench_simulate_cold(quick: bool = False) -> dict:
+    """Timing-simulate pinned programs with the trace cache disabled.
+
+    Every run pays compile + simulate against a fresh memory image — the
+    uncached per-program cost a sweep pays on first sight of a module.
+    Functional device emulation is off (its price is measured by
+    ``simulate_functional``); this is the denominator of
+    ``simulate_batch``'s amortization claim.
+    """
+    from .engine import run_module_traced
     from .sim import CoSimulator
     from .testing.generator import build_spec
 
-    specs = _pinned_programs()
+    bases = [
+        build_spec(spec, memory_seed=PINNED_SEED) for spec in _pinned_programs()
+    ]
     reps = 8 if quick else 100
-    builds = [build_spec(spec, memory_seed=PINNED_SEED) for spec in specs]
-    try:
-        from .engine import run_module_traced as execute
-    except ImportError:
-        from .interp import run_module as execute
-    cache_before = _trace_cache_stats()
     started = time.perf_counter()
     programs = 0
     for _ in range(reps):
-        for spec in specs:
-            built = build_spec(spec, memory_seed=PINNED_SEED)
-            sim = CoSimulator(memory=built.memory)
-            execute(built.module, sim, args=built.args)
+        for built in bases:
+            sim = CoSimulator(memory=built.memory.duplicate(), functional=False)
+            run_module_traced(
+                built.module, sim, args=built.args, cache=False, fallback=False
+            )
             programs += 1
     wall = time.perf_counter() - started
-    del builds
     return {
         "wall_s": round(wall, 4),
         "programs_per_s": round(programs / wall, 3) if wall else 0.0,
-        "cache_hit_rate": round(_hit_rate(cache_before, _trace_cache_stats()), 4),
+        "cache_hit_rate": 0.0,  # cache disabled by construction
+        "functional": False,
+    }
+
+
+def bench_simulate_warm(quick: bool = False) -> dict:
+    """Timing-simulate pinned programs through a warm in-process cache.
+
+    A private :class:`~repro.engine.TraceCache` isolates the measurement
+    from whatever the other workloads left in the process-wide cache; only
+    the first rep per program compiles, the rest dispatch cached traces.
+    Cache keys are precomputed once per program, matching how the fuzz
+    oracles reuse one structural key across repeated executions (keying on
+    every call would re-fingerprint the module each run, which for small
+    modules costs more than compiling them).
+    """
+    from .engine import TraceCache, TraceExecutor, module_fingerprint
+    from .sim import CoSimulator
+    from .testing.generator import build_spec
+
+    bases = [
+        build_spec(spec, memory_seed=PINNED_SEED) for spec in _pinned_programs()
+    ]
+    keys = [module_fingerprint(built.module) for built in bases]
+    cache = TraceCache()
+    reps = 16 if quick else 200
+    started = time.perf_counter()
+    programs = 0
+    for _ in range(reps):
+        for built, key in zip(bases, keys):
+            compiled = cache.get_or_compile(built.module, key=key)
+            sim = CoSimulator(memory=built.memory.duplicate(), functional=False)
+            TraceExecutor(compiled, sim).run(args=built.args)
+            programs += 1
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(programs / wall, 3) if wall else 0.0,
+        "cache_hit_rate": round(cache.hit_rate, 4),
+        "functional": False,
+    }
+
+
+#: Lanes per batch in ``simulate_batch`` — the amortization width the
+#: headline ``batch_speedup_vs_cold`` number is quoted at.
+BATCH_LANES = 64
+
+
+def bench_simulate_batch(quick: bool = False) -> dict:
+    """Timing-simulate pinned programs through the batch executor.
+
+    Each program is compiled fresh (same cost ``simulate_cold`` pays) and
+    then run across :data:`BATCH_LANES` duplicated memory images in one
+    lockstep batch, so one compile + one dispatch walk is amortized over
+    the whole lane set.  ``programs_per_s`` counts lanes — one lane is one
+    (program, memory image) simulation, the same unit the scalar workloads
+    count — and ``run_bench`` derives ``batch_speedup_vs_cold`` from it.
+    """
+    from .engine import BatchExecutor, BatchLane, compile_module
+    from .testing.generator import build_spec
+
+    bases = [
+        build_spec(spec, memory_seed=PINNED_SEED) for spec in _pinned_programs()
+    ]
+    # Untimed warm-up: the batch executor memoizes its vector kernels
+    # (np.frompyfunc wrappers) process-wide on first sight of each opcode
+    # combination; the scalar workloads got their equivalent warm-up from
+    # the workloads that ran before them.
+    for built in bases:
+        BatchExecutor(compile_module(built.module), functional=False).run(
+            [BatchLane(memory=built.memory.duplicate(), args=list(built.args))]
+        )
+    reps = 2 if quick else 12
+    started = time.perf_counter()
+    programs = 0
+    for _ in range(reps):
+        for built in bases:
+            compiled = compile_module(built.module)
+            lanes = [
+                BatchLane(memory=built.memory.duplicate(), args=list(built.args))
+                for _ in range(BATCH_LANES)
+            ]
+            BatchExecutor(compiled, functional=False).run(lanes)
+            programs += len(lanes)
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(programs / wall, 3) if wall else 0.0,
+        "cache_hit_rate": 0.0,  # compiled fresh by construction
+        "functional": False,
+        "lanes": BATCH_LANES,
+    }
+
+
+def bench_simulate_functional(quick: bool = False) -> dict:
+    """The differential-oracle hot loop: warm cache, functional devices on.
+
+    Same programs and cache discipline as ``simulate_warm`` but with
+    functional device emulation enabled — the gap between the two numbers
+    is the price of emulating accelerator semantics, which the old
+    conflated ``simulate`` workload hid inside one number.
+    """
+    from .engine import TraceCache, TraceExecutor, module_fingerprint
+    from .sim import CoSimulator
+    from .testing.generator import build_spec
+
+    bases = [
+        build_spec(spec, memory_seed=PINNED_SEED) for spec in _pinned_programs()
+    ]
+    keys = [module_fingerprint(built.module) for built in bases]
+    cache = TraceCache()
+    reps = 8 if quick else 100
+    started = time.perf_counter()
+    programs = 0
+    for _ in range(reps):
+        for built, key in zip(bases, keys):
+            compiled = cache.get_or_compile(built.module, key=key)
+            sim = CoSimulator(memory=built.memory.duplicate(), functional=True)
+            TraceExecutor(compiled, sim).run(args=built.args)
+            programs += 1
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(programs / wall, 3) if wall else 0.0,
+        "cache_hit_rate": round(cache.hit_rate, 4),
+        "functional": True,
+    }
+
+
+def bench_persistent_cache(quick: bool = False) -> dict:
+    """Two-phase cross-process measurement of the persistent trace cache.
+
+    Phase 1 runs the pinned programs in a *subprocess* with
+    ``REPRO_CACHE_DIR`` pointing at a throwaway store, so compiled traces
+    land on disk exactly the way a fuzz shard publishes them.  Phase 2
+    replays the workload in this process through fresh in-memory caches
+    (one per rep — each rep simulates a new process) backed by the same
+    directory.  ``persistent_hit_rate`` therefore measures only disk loads;
+    the in-process ``cache_hit_rate`` stays 0 by construction, keeping the
+    two tiers' numbers separate.
+    """
+    import os
+    import subprocess
+    import tempfile
+
+    from .engine import TraceCache, TraceExecutor
+    from .engine.pcache import PersistentStore
+    from .sim import CoSimulator
+    from .testing.generator import build_spec
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    phase1_script = (
+        "from repro.bench import PINNED_SEED, _pinned_programs\n"
+        "from repro.engine import run_module_traced\n"
+        "from repro.sim import CoSimulator\n"
+        "from repro.testing.generator import build_spec\n"
+        "for spec in _pinned_programs():\n"
+        "    built = build_spec(spec, memory_seed=PINNED_SEED)\n"
+        "    run_module_traced(built.module, CoSimulator(memory=built.memory),\n"
+        "                      args=built.args)\n"
+    )
+    reps = 3 if quick else 12
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pcache-") as cache_dir:
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = cache_dir
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        phase1_started = time.perf_counter()
+        phase1 = subprocess.run(
+            [sys.executable, "-c", phase1_script],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        phase1_wall = time.perf_counter() - phase1_started
+
+        bases = [
+            build_spec(spec, memory_seed=PINNED_SEED)
+            for spec in _pinned_programs()
+        ]
+        hits = misses = rejected = 0
+        started = time.perf_counter()
+        programs = 0
+        for _ in range(reps):
+            store = PersistentStore(cache_dir)
+            cache = TraceCache(store=store)
+            for built in bases:
+                compiled = cache.get_or_compile(built.module)
+                executor = TraceExecutor(
+                    compiled, CoSimulator(memory=built.memory.duplicate())
+                )
+                executor.run(args=built.args)
+                programs += 1
+            hits += store.hits
+            misses += store.misses
+            rejected += store.rejected
+        wall = time.perf_counter() - started
+    total = hits + misses
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(programs / wall, 3) if wall else 0.0,
+        "cache_hit_rate": 0.0,  # fresh in-memory cache per rep
+        "persistent_hit_rate": round(hits / total, 4) if total else 0.0,
+        "persistent_rejected": rejected,
+        "phase1_wall_s": round(phase1_wall, 4),
+        "phase1_ok": phase1.returncode == 0,
     }
 
 
@@ -285,9 +511,9 @@ def bench_static_cost(quick: bool = False) -> dict:
 
     Each rep runs a fresh :class:`~repro.analysis.cost.CostAnalysis` over
     the pinned programs (summaries for every function, rendered through the
-    same report the CLI prints; no caching between reps).  Read it against the
-    ``simulate`` workload, which executes the same pinned programs: the
-    ratio is the price of a prediction vs a measurement.
+    same report the CLI prints; no caching between reps).  Read it against
+    the ``simulate_functional`` workload, which executes the same pinned
+    programs: the ratio is the price of a prediction vs a measurement.
     """
     from .analysis.cost import CostAnalysis, format_cost_table
     from .testing.generator import build_spec
@@ -313,7 +539,11 @@ WORKLOADS = {
     "compile": bench_compile,
     "static_cost": bench_static_cost,
     "pattern_driver": bench_pattern_driver,
-    "simulate": bench_simulate,
+    "simulate_cold": bench_simulate_cold,
+    "simulate_warm": bench_simulate_warm,
+    "simulate_batch": bench_simulate_batch,
+    "simulate_functional": bench_simulate_functional,
+    "persistent_cache": bench_persistent_cache,
     "fuzz_iteration": bench_fuzz,
     "fuzz_200_acceptance": bench_fuzz_acceptance,
 }
@@ -333,6 +563,12 @@ def run_bench(quick: bool = False) -> dict:
     workloads = {}
     for name, runner in WORKLOADS.items():
         workloads[name] = runner(quick=quick)
+    cold = workloads.get("simulate_cold", {}).get("programs_per_s") or 0.0
+    batch = workloads.get("simulate_batch")
+    if batch and cold:
+        batch["batch_speedup_vs_cold"] = round(
+            batch["programs_per_s"] / cold, 2
+        )
     return {
         "schema": SCHEMA,
         "meta": meta,
@@ -419,6 +655,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         if "worklist_speedup" in result:
             line += f"   worklist speedup {result['worklist_speedup']:.2f}x"
+        if "batch_speedup_vs_cold" in result:
+            line += f"   vs cold {result['batch_speedup_vs_cold']:.2f}x"
+        if "persistent_hit_rate" in result:
+            line += f"   persistent hit rate {result['persistent_hit_rate']:.0%}"
         print(line)
     breakdown = doc.get("pass_breakdown") or {}
     if breakdown:

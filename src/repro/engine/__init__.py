@@ -2,27 +2,55 @@
 
 Lowers verified modules to flat, preallocated instruction streams
 (:mod:`.compiler`), executes them with a tight dispatch loop that is
-bit-identical to the tree interpreter (:mod:`.executor`), and caches
-compiled traces by content hash (:mod:`.cache`).  See docs/PERFORMANCE.md.
+bit-identical to the tree interpreter (:mod:`.executor`), fuses hot pure
+opcode runs into superinstructions (:func:`fuse_module`), runs many lanes
+through one trace in lockstep (:mod:`.batch`), and caches compiled traces
+by content hash (:mod:`.cache`) with an optional on-disk persistent tier
+(:mod:`.pcache`).  See docs/PERFORMANCE.md.
 """
 
-from .cache import TRACE_CACHE, TraceCache, module_fingerprint
+from .batch import BatchExecutor, BatchLane, LaneResult, run_batch
+from .cache import (
+    TRACE_CACHE,
+    TraceCache,
+    active_persistent_store,
+    configure_persistent_cache,
+    module_fingerprint,
+)
 from .compiler import (
+    FUSABLE_OPCODES,
+    OPCODE_NAMES,
     CompiledFunction,
     CompiledModule,
     TraceCompileError,
     compile_module,
+    fuse_function,
+    fuse_module,
+    fusion_candidates,
 )
 from .executor import TraceExecutor, run_module_traced
+from .pcache import PersistentStore
 
 __all__ = [
     "TRACE_CACHE",
     "TraceCache",
+    "active_persistent_store",
+    "configure_persistent_cache",
     "module_fingerprint",
+    "PersistentStore",
+    "FUSABLE_OPCODES",
+    "OPCODE_NAMES",
     "CompiledFunction",
     "CompiledModule",
     "TraceCompileError",
     "compile_module",
+    "fuse_function",
+    "fuse_module",
+    "fusion_candidates",
     "TraceExecutor",
     "run_module_traced",
+    "BatchExecutor",
+    "BatchLane",
+    "LaneResult",
+    "run_batch",
 ]

@@ -17,15 +17,28 @@ invalidation to get wrong.
 Device behavior is resolved at *execution* time (the compiled stream stores
 accelerator names, not device objects), so one entry serves every backend
 registry state and cost model.
+
+Two tiers.  The in-memory LRU above is process-local; an optional
+:class:`repro.engine.pcache.PersistentStore` backs it on disk so compiled
+traces survive across processes (``fuzz --jobs N`` shards, two-phase CI,
+repeated sweeps).  Callers may hand ``get_or_compile`` a precomputed
+``structural_key`` tuple as the in-memory key — those tuples intern atoms
+per process, so the persistent tier always keys on the process-stable
+:func:`module_fingerprint` instead.  Attach a store explicitly with
+:func:`configure_persistent_cache` or implicitly via the
+``REPRO_CACHE_DIR`` environment variable (which is how forked/spawned fuzz
+workers inherit the cache directory).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 from collections import OrderedDict
 
 from ..dialects.builtin import ModuleOp
 from .compiler import CompiledModule, compile_module
+from .pcache import DEFAULT_MAX_BYTES, PersistentStore
 
 
 def module_fingerprint(module: ModuleOp, text: str | None = None) -> str:
@@ -38,10 +51,20 @@ def module_fingerprint(module: ModuleOp, text: str | None = None) -> str:
 
 
 class TraceCache:
-    """Bounded LRU mapping module fingerprints to compiled traces."""
+    """Bounded LRU mapping module fingerprints to compiled traces.
 
-    def __init__(self, maxsize: int = 256) -> None:
+    ``store`` (optional) is the persistent tier: in-memory misses consult
+    it before compiling, and fresh compiles are published to it.  Its
+    hit/miss counters are separate from the in-process ones — a warm
+    cross-process run shows up as ``store.hit_rate``, never inflates
+    :attr:`hit_rate`.
+    """
+
+    def __init__(
+        self, maxsize: int = 256, store: PersistentStore | None = None
+    ) -> None:
         self.maxsize = maxsize
+        self.store = store
         self._entries: OrderedDict[str, CompiledModule] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -53,6 +76,9 @@ class TraceCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def attach_store(self, store: PersistentStore | None) -> None:
+        self.store = store
 
     def get(self, fingerprint: str) -> CompiledModule | None:
         entry = self._entries.get(fingerprint)
@@ -84,6 +110,21 @@ class TraceCache:
             self.hits += 1
             return entry
         self.misses += 1
+        store = self.store
+        if store is not None:
+            # The persistent tier keys on the stable content hash even when
+            # the in-memory key is a process-local structural_key tuple.
+            stable = (
+                fingerprint
+                if isinstance(fingerprint, str)
+                else module_fingerprint(module, text)
+            )
+            compiled = store.load_trace(stable)
+            if compiled is None:
+                compiled = compile_module(module)
+                store.save_trace(stable, compiled)
+            self.put(fingerprint, compiled)
+            return compiled
         compiled = compile_module(module)
         self.put(fingerprint, compiled)
         return compiled
@@ -97,3 +138,38 @@ class TraceCache:
 #: Process-wide compiled-trace cache (the fuzzer, oracles, and experiment
 #: runners all share it; entries are immutable so sharing is safe).
 TRACE_CACHE = TraceCache()
+
+
+def configure_persistent_cache(
+    directory: str | None, max_bytes: int = DEFAULT_MAX_BYTES
+) -> PersistentStore | None:
+    """Attach (or detach, with ``None``) the process-wide persistent tier.
+
+    Also exports ``REPRO_CACHE_DIR`` so worker processes forked/spawned by
+    ``fuzz --jobs N`` and benchmark subprocesses attach the same directory.
+    """
+    if directory is None:
+        TRACE_CACHE.attach_store(None)
+        os.environ.pop("REPRO_CACHE_DIR", None)
+        return None
+    store = PersistentStore(directory, max_bytes=max_bytes)
+    TRACE_CACHE.attach_store(store)
+    os.environ["REPRO_CACHE_DIR"] = store.directory
+    return store
+
+
+def active_persistent_store() -> PersistentStore | None:
+    """The persistent tier of the process-wide cache, if any."""
+    return TRACE_CACHE.store
+
+
+def _attach_from_env() -> None:
+    directory = os.environ.get("REPRO_CACHE_DIR")
+    if directory:
+        try:
+            TRACE_CACHE.attach_store(PersistentStore(directory))
+        except OSError:
+            pass  # unusable directory: stay in-memory only
+
+
+_attach_from_env()

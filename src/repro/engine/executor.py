@@ -31,6 +31,7 @@ from .compiler import (
     OP_FOR_NEXT,
     OP_FOR_TEST,
     OP_FOREIGN,
+    OP_FUSED,
     OP_IF,
     OP_JUMP,
     OP_LAUNCH,
@@ -64,9 +65,18 @@ class TraceExecutor:
     compiled module can be shared by any number of executors/caches.
     """
 
-    def __init__(self, compiled: CompiledModule, sim: CoSimulator) -> None:
+    def __init__(
+        self,
+        compiled: CompiledModule,
+        sim: CoSimulator,
+        stats: dict[int, int] | None = None,
+    ) -> None:
         self.compiled = compiled
         self.sim = sim
+        #: optional dispatch counter (opcode -> count); feeding one run's
+        #: stats to :func:`repro.engine.compiler.fusion_candidates` yields
+        #: the frequency-ordered superinstruction candidate set
+        self.stats = stats
         self.max_call_depth = 256
         self._state_counter = 0
         self._call_depth = 0
@@ -115,10 +125,13 @@ class TraceExecutor:
         spans_append = spans.append
         trace_append = sim.trace.instrs.append
         reset_states = self._reset_states
+        stats = self.stats
         pc = 0
         while True:
             ins = code[pc]
             opcode = ins[0]
+            if stats is not None:
+                stats[opcode] = stats.get(opcode, 0) + 1
 
             if opcode == OP_BINOP:
                 _, dst, evaluate, a, b, mask, instr = ins
@@ -394,6 +407,55 @@ class TraceExecutor:
                 pc += 1
                 continue
 
+            if opcode == OP_FUSED:
+                # One dispatch for a straight-line run of pure opcodes; each
+                # sub-op replays its standalone branch exactly (same checks,
+                # same spans, same trace order), so fused and unfused
+                # streams are observationally identical.
+                for sub in ins[1]:
+                    sub_opcode = sub[0]
+                    if sub_opcode == OP_BINOP:
+                        _, dst, evaluate, a, b, mask, instr = sub
+                        lhs = frame[a]
+                        if not isinstance(lhs, int):
+                            raise _not_int(lhs)
+                        rhs = frame[b]
+                        if not isinstance(rhs, int):
+                            raise _not_int(rhs)
+                        value = evaluate(None, lhs, rhs)
+                        frame[dst] = value & mask if mask is not None else value
+                    elif sub_opcode == OP_CONST:
+                        _, dst, value, instr = sub
+                        frame[dst] = value
+                    elif sub_opcode == OP_COPY:
+                        frame[sub[1]] = frame[sub[2]]
+                        continue  # copies charge nothing
+                    elif sub_opcode == OP_CMP:
+                        _, dst, predicate, a, b, width, instr = sub
+                        lhs = frame[a]
+                        if not isinstance(lhs, int):
+                            raise _not_int(lhs)
+                        rhs = frame[b]
+                        if not isinstance(rhs, int):
+                            raise _not_int(rhs)
+                        frame[dst] = int(
+                            _evaluate_predicate(predicate, lhs, rhs, width)
+                        )
+                    else:  # OP_SELECT
+                        _, dst, cond_slot, tv, fv, instr = sub
+                        cond = frame[cond_slot]
+                        if not isinstance(cond, int):
+                            raise _not_int(cond)
+                        frame[dst] = frame[tv if cond else fv]
+                    cycles, kind = cost(instr)
+                    t = sim.host_time
+                    if cycles > 0:
+                        spans_append(Span("host", kind, t, t + cycles, ""))
+                    sim.host_time = t + cycles
+                    trace_append(instr)
+                pc += 1
+                continue
+
             raise InterpreterError(f"corrupt trace: unknown opcode {opcode}")
 
 
@@ -431,5 +493,14 @@ def run_module_traced(
         from ..interp import run_module
 
         return run_module(module, sim, function, args)
+    if sim.faults is not None and compiled.sites_stripped:
+        # Entries loaded from the persistent store carry no fault-recovery
+        # ``site`` ops; running them under fault injection would silently
+        # degrade minimal re-setup planning to full re-setup.  Recompile
+        # fresh (and re-cache, so one recompile serves the whole campaign).
+        key = compiled.fingerprint
+        compiled = compile_module(module)
+        if key is not None and cache is not False and hasattr(cache, "put"):
+            cache.put(key, compiled)
     results = TraceExecutor(compiled, sim).run(function, args)
     return results, sim

@@ -1,0 +1,212 @@
+"""Persistent content-addressed cache store.
+
+In-process caches (the compiled-trace LRU in :mod:`.cache`, the generator's
+memory-image cache) evaporate at process exit, so ``fuzz --jobs N`` shards,
+two-phase CI jobs, and repeated experiment sweeps recompile the same modules
+over and over.  :class:`PersistentStore` is the on-disk tier underneath
+them: a directory of pickle entries, content-addressed by the same stable
+content hash the in-memory tier uses (:func:`repro.engine.cache.module_fingerprint`
+— the SHA-256 of the module's structural serialization; the hashed form of
+``structural_key``, whose raw tuples intern atoms per process and therefore
+cannot cross a process boundary).
+
+Design rules, each of which a robustness test pins down:
+
+* **Schema versioned** — every entry embeds ``SCHEMA``; a version bump (or a
+  foreign file that happens to unpickle) reads as a miss, never as stale
+  data served.
+* **Atomic writes** — entries are published with
+  :func:`repro.ioutil.atomic_write_bytes`; concurrent writers (fuzz shards)
+  cannot torn-write, the last complete payload wins.
+* **Corruption tolerant** — a truncated, garbled, or wrong-type entry is a
+  miss (and is unlinked best-effort); the caller recompiles.
+* **Size bounded** — after every store the directory is trimmed to
+  ``max_bytes`` by oldest-mtime-first eviction (loads touch their entry's
+  mtime, so eviction is LRU-shaped).
+
+Compiled traces need one transformation before they can live on disk: the
+``OP_SETUP``/``OP_LAUNCH`` tuples carry the originating IR op as a ``site``
+for the fault-recovery runtime's minimal re-setup planning.  Those ops are
+process-local object graphs — meaningless (and unpicklable) across
+processes — so :func:`strip_sites` nulls them and marks the module
+``sites_stripped``; fault-injected runs recompile fresh rather than let
+minimal re-setup silently degrade to full (see ``run_module_traced``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+
+from ..ioutil import atomic_write_bytes
+from .compiler import (
+    OP_LAUNCH,
+    OP_SETUP,
+    CompiledFunction,
+    CompiledModule,
+)
+
+#: Bump on any change to the entry layout or to the compiled-trace tuple
+#: format; old entries then read as misses and are lazily replaced.
+SCHEMA = "repro-cache/1"
+
+#: Default size bound of one store directory (plenty for every fuzz/CI
+#: workload; a full 200-iteration three-backend fuzz run compiles ~2k
+#: distinct modules at a few KiB each).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_SUFFIX = ".bin"
+
+
+def strip_sites(compiled: CompiledModule) -> CompiledModule:
+    """A copy of ``compiled`` with fault-recovery site ops nulled out.
+
+    The stripped form is what goes to disk: identical on every fault-free
+    path (sites are only read when a fault injector is attached), marked
+    ``sites_stripped`` so faulted runs know to recompile.
+    """
+    functions = {}
+    for name, fn in compiled.functions.items():
+        code = []
+        for ins in fn.code:
+            opcode = ins[0]
+            if opcode == OP_SETUP or opcode == OP_LAUNCH:
+                code.append(ins[:7] + (None,))
+            else:
+                code.append(ins)
+        functions[name] = CompiledFunction(
+            name=fn.name,
+            n_args=fn.n_args,
+            n_slots=fn.n_slots,
+            arg_slots=fn.arg_slots,
+            code=tuple(code),
+        )
+    stripped = CompiledModule(
+        functions, compiled.declarations, fingerprint=compiled.fingerprint
+    )
+    stripped.sites_stripped = True
+    return stripped
+
+
+class PersistentStore:
+    """One on-disk cache directory; see the module docstring."""
+
+    def __init__(
+        self, directory: str, max_bytes: int = DEFAULT_MAX_BYTES
+    ) -> None:
+        self.directory = os.path.abspath(directory)
+        self.max_bytes = max_bytes
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        #: loads rejected for schema/kind/key mismatch or corruption
+        self.rejected = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _path(self, kind: str, key: str) -> str:
+        digest = hashlib.sha256(f"{kind}:{key}".encode()).hexdigest()
+        return os.path.join(self.directory, digest + _SUFFIX)
+
+    def load(self, kind: str, key: str) -> object | None:
+        """The stored payload, or None on miss/corruption/version skew."""
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            if (
+                not isinstance(entry, dict)
+                or entry.get("schema") != SCHEMA
+                or entry.get("kind") != kind
+                or entry.get("key") != key
+            ):
+                raise ValueError("schema or identity mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:  # noqa: BLE001 - any bad entry is just a miss
+            self.misses += 1
+            self.rejected += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        return entry["payload"]
+
+    def save(self, kind: str, key: str, payload: object) -> None:
+        """Publish an entry atomically, then enforce the size bound.
+
+        Serialization failures are swallowed: an unpicklable payload means
+        this entry stays process-local, not that the caller's work fails.
+        """
+        try:
+            blob = pickle.dumps(
+                {"schema": SCHEMA, "kind": kind, "key": key, "payload": payload},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:  # noqa: BLE001 - unpicklable payload: skip
+            return
+        try:
+            atomic_write_bytes(self._path(kind, key), blob)
+        except OSError:
+            return
+        self.stores += 1
+        self._evict()
+
+    # -- trace-specific convenience --------------------------------------
+
+    def load_trace(self, fingerprint: str) -> CompiledModule | None:
+        payload = self.load("trace", fingerprint)
+        if not isinstance(payload, CompiledModule):
+            return None
+        payload.sites_stripped = True
+        payload.fingerprint = fingerprint
+        return payload
+
+    def save_trace(self, fingerprint: str, compiled: CompiledModule) -> None:
+        self.save("trace", fingerprint, strip_sites(compiled))
+
+    # -- eviction ---------------------------------------------------------
+
+    def _entries(self) -> list[tuple[float, int, str]]:
+        """(mtime, size, path) per entry; racing deletions are skipped."""
+        entries = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(_SUFFIX):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def _evict(self) -> None:
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            if total <= self.max_bytes:
+                return

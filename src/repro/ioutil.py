@@ -38,6 +38,33 @@ def atomic_write_text(path: str, text: str) -> None:
         raise
 
 
+def atomic_write_bytes(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The binary twin of :func:`atomic_write_text` — used by the persistent
+    compiled-trace store, where two fuzz shards may publish the same cache
+    entry concurrently: each lands in its own temp file and the last
+    ``os.replace`` wins with a complete payload, never a torn mix.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 def atomic_write_json(path: str, doc: Any, indent: int = 2) -> None:
     """Serialize ``doc`` as sorted, indented JSON and publish it atomically."""
     atomic_write_text(

@@ -109,6 +109,23 @@ class Memory:
         """A copy-on-write image of the current buffer contents."""
         return MemorySnapshot(self)
 
+    def duplicate(self) -> "Memory":
+        """An independent memory with identical layout and contents.
+
+        The batch executor fans one built image out to N lanes with this:
+        addresses and allocation order are preserved exactly (the IR embeds
+        them as constants), contents are copied buffer-by-buffer, and live
+        snapshots are *not* carried over — the clone starts with none.
+        """
+        clone = Memory.__new__(Memory)
+        clone._next = self._next
+        clone._alignment = self._alignment
+        clone._buffers = [
+            Buffer(buffer.addr, buffer.array.copy()) for buffer in self._buffers
+        ]
+        clone._snapshots = []
+        return clone
+
     def _align(self, addr: int) -> int:
         mask = self._alignment - 1
         return (addr + mask) & ~mask

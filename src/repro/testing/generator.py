@@ -360,17 +360,27 @@ def build_memory(
     key = (backend, memory_seed)
     arrays = _IMAGE_CACHE.get(key)
     if arrays is None:
-        rng = np.random.default_rng(memory_seed)
-        arrays = []
-        for pool in profile.pools:
-            dtype = _DTYPES[pool.dtype]
-            for _ in range(pool.count):
-                if pool.fill == "zero":
-                    arrays.append(None)
-                else:
-                    arrays.append(
-                        rng.integers(-20, 20, pool.shape).astype(dtype)
-                    )
+        from ..engine.cache import active_persistent_store
+
+        store = active_persistent_store()
+        if store is not None:
+            loaded = store.load("image", f"{backend}-{memory_seed}")
+            if isinstance(loaded, list):
+                arrays = loaded
+        if arrays is None:
+            rng = np.random.default_rng(memory_seed)
+            arrays = []
+            for pool in profile.pools:
+                dtype = _DTYPES[pool.dtype]
+                for _ in range(pool.count):
+                    if pool.fill == "zero":
+                        arrays.append(None)
+                    else:
+                        arrays.append(
+                            rng.integers(-20, 20, pool.shape).astype(dtype)
+                        )
+            if store is not None:
+                store.save("image", f"{backend}-{memory_seed}", arrays)
         if len(_IMAGE_CACHE) >= 16:
             _IMAGE_CACHE.clear()
         _IMAGE_CACHE[key] = arrays

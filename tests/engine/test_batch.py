@@ -1,0 +1,246 @@
+"""Batch executor vs the scalar trace engine on hand-written programs.
+
+The hypothesis sweep in ``tests/properties/test_batch_equivalence.py``
+covers generated programs; these pin down specific shapes — lockstep
+divergence at branches, exact protocol-error parity, fault-injected
+lanes, mixed per-lane outcomes — using the same lane-comparison helper
+the fuzzer's batch-vs-scalar oracle uses.
+"""
+
+import pytest
+
+from repro.engine import (
+    BatchExecutor,
+    BatchLane,
+    TraceExecutor,
+    compile_module,
+    fuse_module,
+    run_batch,
+)
+from repro.faults import FaultInjector, FaultRates
+from repro.ir import parse_module
+from repro.sim import CoSimulator, Memory
+from repro.testing.oracles import _batch_lane_divergences
+
+BRANCHY = """
+func.func @main(%c : i1, %x : i64) -> (i64) {
+  %three = arith.constant 3 : i64
+  %r = scf.if %c -> (i64) {
+    %n = arith.constant 4 : i64
+    %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    %t = accfg.launch %s : !accfg.token<"toyvec">
+    accfg.await %t
+    %y = arith.muli %x, %three : i64
+    scf.yield %y : i64
+  } else {
+    %y = arith.addi %x, %three : i64
+    scf.yield %y : i64
+  }
+  func.return %r : i64
+}
+"""
+
+LOOPY = """
+func.func @main(%x : i64) -> (i64) {
+  %lb = arith.constant 0 : index
+  %ub = arith.constant 5 : index
+  %st = arith.constant 1 : index
+  %n = arith.constant 4 : i64
+  scf.for %i = %lb to %ub step %st {
+    %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    %t = accfg.launch %s : !accfg.token<"toyvec">
+    accfg.await %t
+  }
+  %two = arith.constant 2 : i64
+  %y = arith.muli %x, %two : i64
+  func.return %y : i64
+}
+"""
+
+DOUBLE_AWAIT = """
+func.func @main() -> () {
+  %n = arith.constant 4 : i64
+  %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+  %t = accfg.launch %s : !accfg.token<"toyvec">
+  accfg.await %t
+  accfg.await %t
+  func.return
+}
+"""
+
+UNKNOWN_DEVICE_IF_SET = """
+func.func @main(%c : i1) -> () {
+  scf.if %c {
+    %n = arith.constant 4 : i64
+    %s = accfg.setup on "nosuch" ("n" = %n : i64) : !accfg.state<"nosuch">
+    scf.yield
+  }
+  func.return
+}
+"""
+
+
+def scalar_run(module, args, faults=None):
+    """(results, error, sim, memory) of one scalar trace-engine run."""
+    compiled = compile_module(module)
+    sim = CoSimulator(functional=False, faults=faults)
+    try:
+        results = TraceExecutor(compiled, sim).run("main", list(args))
+        error = None
+    except Exception as exc:  # noqa: BLE001 - compared against the lane
+        results, error = None, (type(exc).__name__, str(exc))
+    return results, error, sim, sim.memory
+
+
+def assert_lanes_match(module, lane_args, faults=None):
+    """Run one batch and hold every lane to its own scalar run."""
+    faults = faults or [None] * len(lane_args)
+    compiled = compile_module(module)
+    lanes = [
+        BatchLane(memory=Memory(), args=list(args), faults=injector)
+        for args, injector in zip(lane_args, faults)
+    ]
+    lane_results = BatchExecutor(compiled, functional=False).run(lanes)
+    for index, (args, lane) in enumerate(zip(lane_args, lane_results)):
+        scalar_faults = faults[index]
+        if scalar_faults is not None:
+            # Same seed and rates => identical deterministic schedule.
+            scalar_faults = FaultInjector(
+                scalar_faults.seed, scalar_faults.rates
+            )
+        expected = scalar_run(module, args, faults=scalar_faults)
+        problems = _batch_lane_divergences(lane, *expected)
+        assert not problems, f"lane {index}: " + "; ".join(problems)
+    return lane_results
+
+
+class TestLockstep:
+    def test_identical_lanes(self):
+        module = parse_module(LOOPY)
+        results = assert_lanes_match(module, [[7]] * 4)
+        assert [lane.results for lane in results] == [[14]] * 4
+
+    def test_lanes_split_at_branch(self):
+        module = parse_module(BRANCHY)
+        results = assert_lanes_match(
+            module, [[1, 5], [0, 5], [1, 9], [0, 9]]
+        )
+        assert [lane.results for lane in results] == [[15], [8], [27], [12]]
+
+    def test_branch_lanes_diverge_in_launch_counts(self):
+        module = parse_module(BRANCHY)
+        taken, skipped = assert_lanes_match(module, [[1, 2], [0, 2]])
+        assert taken.launch_counts == {"toyvec": 1}
+        assert skipped.launch_counts == {}
+        assert taken.total_cycles != skipped.total_cycles
+
+
+class TestErrorParity:
+    def test_protocol_error_message_and_cycles(self):
+        module = parse_module(DOUBLE_AWAIT)
+        (lane,) = assert_lanes_match(module, [[]])
+        assert not lane.ok
+        assert lane.error_type == "InterpreterError"
+
+    def test_arity_error(self):
+        module = parse_module(LOOPY)
+        assert_lanes_match(module, [[1, 2, 3]])
+
+    def test_mixed_ok_and_error_lanes(self):
+        module = parse_module(UNKNOWN_DEVICE_IF_SET)
+        erroring, fine = assert_lanes_match(module, [[1], [0]])
+        assert not erroring.ok and "nosuch" in erroring.error
+        assert fine.ok
+
+    def test_missing_function(self):
+        module = parse_module(LOOPY)
+        compiled = compile_module(module)
+        lanes = [BatchLane(memory=Memory(), args=[1])]
+        (lane,) = BatchExecutor(compiled, functional=False).run(
+            lanes, function="nope"
+        )
+        assert not lane.ok
+        assert lane.error_type == "InterpreterError"
+
+
+class TestFaultLanes:
+    def test_fault_lane_matches_seeded_scalar_run(self):
+        module = parse_module(LOOPY)
+        rates = FaultRates.uniform(0.3)
+        assert_lanes_match(
+            module,
+            [[3], [3], [3]],
+            faults=[None, FaultInjector(7, rates), FaultInjector(11, rates)],
+        )
+
+    def test_fault_lane_on_stripped_trace_needs_module(self):
+        from repro.engine.pcache import strip_sites
+
+        module = parse_module(LOOPY)
+        stripped = strip_sites(compile_module(module))
+        lanes = [
+            BatchLane(
+                memory=Memory(),
+                args=[1],
+                faults=FaultInjector(1, FaultRates.uniform(0.2)),
+            )
+        ]
+        with pytest.raises(ValueError, match="recovery sites"):
+            BatchExecutor(stripped, functional=False).run(lanes)
+        # With the source module available the executor recompiles instead.
+        BatchExecutor(stripped, functional=False, module=module).run(lanes)
+
+
+class TestEntryPoints:
+    def test_run_batch_accepts_source_module(self):
+        module = parse_module(LOOPY)
+        (lane,) = run_batch(
+            module,
+            [BatchLane(memory=Memory(), args=[2])],
+            functional=False,
+            cache=False,
+        )
+        assert lane.ok and lane.results == [4]
+
+    def test_run_batch_accepts_compiled_module(self):
+        compiled = compile_module(parse_module(LOOPY))
+        (lane,) = run_batch(
+            compiled,
+            [BatchLane(memory=Memory(), args=[2])],
+            functional=False,
+        )
+        assert lane.results == [4]
+
+    def test_prefused_input_matches_unfused(self):
+        module = parse_module(BRANCHY)
+        compiled = compile_module(module)
+        args = [[1, 4], [0, 4]]
+        plain = BatchExecutor(compiled, functional=False).run(
+            [BatchLane(memory=Memory(), args=list(a)) for a in args]
+        )
+        fused = BatchExecutor(fuse_module(compiled), functional=False).run(
+            [BatchLane(memory=Memory(), args=list(a)) for a in args]
+        )
+        for a, b in zip(plain, fused):
+            assert (a.results, a.error, a.total_cycles, a.launch_counts) == (
+                b.results,
+                b.error,
+                b.total_cycles,
+                b.launch_counts,
+            )
+
+
+class TestMemoryDuplicate:
+    def test_duplicate_is_deep_and_preserves_layout(self):
+        import numpy as np
+
+        memory = Memory()
+        buffer = memory.alloc(4, np.int64)
+        buffer.array[:] = [1, 2, 3, 4]
+        clone = memory.duplicate()
+        assert [b.array.tolist() for b in clone.buffers] == [[1, 2, 3, 4]]
+        assert clone.buffers[0].addr == buffer.addr
+        clone.buffers[0].array[0] = 99
+        assert buffer.array[0] == 1
+        # Allocation cursor is preserved: next addresses stay identical.
+        assert clone.alloc(2, np.int64).addr == memory.alloc(2, np.int64).addr

@@ -1,0 +1,189 @@
+"""Superinstruction fusion: candidates, stream shape, and equivalence.
+
+Fusion is an executor-side representation change only.  These tests pin
+the candidate selection (frequency-ordered from a dispatch-stat counter),
+the fused stream's structure (runs collapse, jump targets re-index), exact
+execution equivalence fused vs unfused, and the invariant that fusing
+never changes cache identity (fingerprint / structural key).
+"""
+
+from repro.engine import (
+    FUSABLE_OPCODES,
+    TraceExecutor,
+    compile_module,
+    fuse_function,
+    fuse_module,
+    fusion_candidates,
+    module_fingerprint,
+)
+from repro.engine.compiler import (
+    OP_BINOP,
+    OP_CMP,
+    OP_CONST,
+    OP_FUSED,
+    OP_LAUNCH,
+    OP_SETUP,
+    OPCODE_NAMES,
+)
+from repro.ir import parse_module, structural_key
+from repro.sim import CoSimulator
+from repro.testing.oracles import _engine_divergences
+
+STRAIGHT_LINE = """
+func.func @main(%x : i64) -> (i64) {
+  %a = arith.constant 3 : i64
+  %b = arith.constant 5 : i64
+  %c = arith.addi %a, %b : i64
+  %d = arith.muli %c, %x : i64
+  %e = arith.addi %d, %a : i64
+  func.return %e : i64
+}
+"""
+
+LOOP_AND_PROTOCOL = """
+func.func @main(%x : i64) -> (i64) {
+  %lb = arith.constant 0 : index
+  %ub = arith.constant 4 : index
+  %st = arith.constant 1 : index
+  %n = arith.constant 4 : i64
+  scf.for %i = %lb to %ub step %st {
+    %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+    %t = accfg.launch %s : !accfg.token<"toyvec">
+    accfg.await %t
+  }
+  %two = arith.constant 2 : i64
+  %y = arith.muli %x, %two : i64
+  %zero = arith.constant 0 : i64
+  %cmp = arith.cmpi sgt, %y, %zero : i64
+  %r = arith.select %cmp, %y, %zero : i64
+  func.return %r : i64
+}
+"""
+
+
+def run_scalar(compiled, args, stats=None):
+    sim = CoSimulator(functional=False)
+    results = TraceExecutor(compiled, sim, stats=stats).run("main", list(args))
+    return results, sim
+
+
+class TestCandidates:
+    def test_candidates_come_from_pinned_dispatch_stream(self):
+        compiled = compile_module(parse_module(LOOP_AND_PROTOCOL))
+        stats: dict[int, int] = {}
+        run_scalar(compiled, [7], stats=stats)
+        ranked = fusion_candidates(stats, min_share=0.0)
+        # The loop's dominant pure opcode leads; every entry is fusable.
+        assert ranked
+        assert ranked[0] == OP_CONST
+        assert all(op in FUSABLE_OPCODES for op in ranked)
+        # Protocol opcodes were dispatched but are never candidates.
+        assert stats[OP_SETUP] > 0 and stats[OP_LAUNCH] > 0
+        assert OP_SETUP not in ranked and OP_LAUNCH not in ranked
+
+    def test_min_share_drops_rare_opcodes(self):
+        stats = {OP_CONST: 98, OP_CMP: 1, OP_SETUP: 1}
+        assert fusion_candidates(stats, min_share=0.05) == (OP_CONST,)
+        assert set(fusion_candidates(stats, min_share=0.0)) == {
+            OP_CONST,
+            OP_CMP,
+        }
+
+    def test_empty_stats(self):
+        assert fusion_candidates({}) == ()
+
+    def test_every_opcode_has_a_mnemonic(self):
+        assert OP_FUSED in OPCODE_NAMES
+        assert set(FUSABLE_OPCODES) <= set(OPCODE_NAMES)
+
+
+class TestStreamShape:
+    def test_straight_line_collapses_to_one_superinstruction(self):
+        compiled = compile_module(parse_module(STRAIGHT_LINE))
+        fn = fuse_module(compiled).functions["main"]
+        fused = [ins for ins in fn.code if ins[0] == OP_FUSED]
+        assert len(fused) == 1
+        sub_ops = fused[0][1]
+        assert len(sub_ops) == 5
+        assert {ins[0] for ins in sub_ops} <= {OP_CONST, OP_BINOP}
+
+    def test_min_run_respected(self):
+        compiled = compile_module(parse_module(STRAIGHT_LINE))
+        fn = fuse_function(compiled.functions["main"], min_run=99)
+        assert all(ins[0] != OP_FUSED for ins in fn.code)
+
+    def test_candidate_restriction_respected(self):
+        compiled = compile_module(parse_module(STRAIGHT_LINE))
+        fn = fuse_function(
+            compiled.functions["main"], candidates=frozenset({OP_CONST})
+        )
+        for ins in fn.code:
+            if ins[0] == OP_FUSED:
+                assert {sub[0] for sub in ins[1]} == {OP_CONST}
+
+    def test_fused_stream_is_shorter(self):
+        compiled = compile_module(parse_module(LOOP_AND_PROTOCOL))
+        plain = compiled.functions["main"]
+        fused = fuse_module(compiled).functions["main"]
+        assert len(fused.code) < len(plain.code)
+
+
+class TestEquivalence:
+    def assert_fused_matches(self, text, args):
+        module = parse_module(text)
+        compiled = compile_module(module)
+        plain_results, plain_sim = run_scalar(compiled, args)
+        fused_results, fused_sim = run_scalar(fuse_module(compiled), args)
+        problems = _engine_divergences(
+            fused_results,
+            fused_sim,
+            fused_sim.memory,
+            plain_results,
+            plain_sim,
+            plain_sim.memory,
+        )
+        assert not problems, "; ".join(problems)
+
+    def test_straight_line(self):
+        self.assert_fused_matches(STRAIGHT_LINE, [7])
+
+    def test_loop_and_protocol_jump_targets_reindexed(self):
+        # The loop's back-edge must land on a fused-stream boundary.
+        self.assert_fused_matches(LOOP_AND_PROTOCOL, [7])
+        self.assert_fused_matches(LOOP_AND_PROTOCOL, [-3])
+
+    def test_dispatch_stats_driven_fusion(self):
+        module = parse_module(LOOP_AND_PROTOCOL)
+        compiled = compile_module(module)
+        stats: dict[int, int] = {}
+        plain_results, plain_sim = run_scalar(compiled, [5], stats=stats)
+        narrowed = fuse_module(
+            compiled, candidates=frozenset(fusion_candidates(stats))
+        )
+        fused_results, fused_sim = run_scalar(narrowed, [5])
+        assert fused_results == plain_results
+        assert fused_sim.total_cycles == plain_sim.total_cycles
+
+
+class TestCacheIdentity:
+    def test_fusion_keeps_fingerprint(self):
+        module = parse_module(LOOP_AND_PROTOCOL)
+        compiled = compile_module(module)
+        compiled.fingerprint = module_fingerprint(module)
+        fused = fuse_module(compiled)
+        assert fused.fingerprint == compiled.fingerprint
+        assert fused is not compiled
+
+    def test_fusion_never_touches_cache_identity_of_the_ir(self):
+        module = parse_module(LOOP_AND_PROTOCOL)
+        before_print = module_fingerprint(module)
+        before_key = structural_key(module)
+        fuse_module(compile_module(module))
+        assert module_fingerprint(module) == before_print
+        assert structural_key(module) == before_key
+
+    def test_fusion_preserves_sites_stripped_flag(self):
+        from repro.engine.pcache import strip_sites
+
+        compiled = strip_sites(compile_module(parse_module(LOOP_AND_PROTOCOL)))
+        assert fuse_module(compiled).sites_stripped
