@@ -8,6 +8,8 @@ paper's experiments::
     python -m repro cost program.mlir                    # symbolic cost table
     python -m repro report program.mlir                  # static config cost
     python -m repro run program.mlir                     # co-simulate
+    python -m repro serve [--port N]                     # compile server
+    python -m repro multitenant [--quick]                # scheduler sweep
     python -m repro experiments [--quick]                # all tables/figures
     python -m repro fig2|fig4|fig10|fig11|fig12|table1|example46
     python -m repro outlook-os | outlook-shapes | outlook-tradeoff
@@ -278,6 +280,26 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import CompileService, ReproServer
+
+    service = CompileService(
+        dedup=not args.no_dedup,
+        max_pending=args.max_pending,
+        max_pending_per_tenant=args.max_pending_per_tenant,
+    )
+    server = ReproServer(host=args.host, port=args.port, service=service)
+    server.serve_forever()
+    return 0
+
+
+def cmd_multitenant(args: argparse.Namespace) -> int:
+    from .experiments import multitenant
+
+    multitenant.main(quick=args.quick, out=args.out)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from . import bench
 
@@ -546,6 +568,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after this many findings (default 10)",
     )
     faults.set_defaults(func=cmd_faults)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived concurrent compile/simulate/lint/cost server "
+        "(JSON lines over TCP; see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port; 0 picks a free port and prints it (default 0)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="global in-flight request cap before admission rejects (default 64)",
+    )
+    serve.add_argument(
+        "--max-pending-per-tenant",
+        type=int,
+        default=8,
+        help="per-tenant in-flight request cap (default 8)",
+    )
+    serve.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable request-level dedup tiers (in-flight coalescing and "
+        "the outcome/module caches); for baseline measurements",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    multitenant = sub.add_parser(
+        "multitenant",
+        help="multi-tenant scheduler sweep: re-paid configuration cycles, "
+        "FIFO vs config-aware vs oracle",
+    )
+    multitenant.add_argument(
+        "--quick", action="store_true", help="smaller tenant sweep"
+    )
+    multitenant.add_argument("--out", default="multitenant.json")
+    multitenant.set_defaults(func=cmd_multitenant)
 
     bench = sub.add_parser(
         "bench", help="benchmark compile/simulate/fuzz throughput"

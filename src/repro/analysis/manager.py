@@ -17,6 +17,7 @@ keyed on — cloned or re-parsed modules always miss.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..ir.operation import Operation
@@ -46,33 +47,45 @@ def _is_related(a: Operation, b: Operation) -> bool:
 
 
 class AnalysisManager:
-    """Per-scope cache of dataflow analysis instances."""
+    """Per-scope cache of dataflow analysis instances.
+
+    Cache bookkeeping is lock-guarded so one manager can serve concurrent
+    server requests (:mod:`repro.serve`).  The lock is held across a cold
+    ``factory()`` call on purpose: two threads asking for the same analysis
+    must not both build it (analyses memoize per op identity, so a lost
+    duplicate build is wasted work and a torn counter).  Passes mutating IR
+    still need external coordination — the manager protects itself, not the
+    modules it analyzed.
+    """
 
     def __init__(self) -> None:
         #: (id(scope op), kind) -> analysis instance
         self._entries: dict[tuple[int, object], object] = {}
         #: id(scope op) -> scope op (pins identity so ids stay unique)
         self._scopes: dict[int, Operation] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(
         self, scope: Operation, kind: object, factory: Callable[[], object]
     ) -> object:
         """The cached analysis for ``(scope, kind)``, building on first use."""
         key = (id(scope), kind)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            entry = factory()
-            self._entries[key] = entry
-            self._scopes[id(scope)] = scope
-        else:
-            self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                entry = factory()
+                self._entries[key] = entry
+                self._scopes[id(scope)] = scope
+            else:
+                self.hits += 1
+            return entry
 
     # -- the analyses the passes and lints share -------------------------
 
@@ -110,35 +123,38 @@ class AnalysisManager:
         changes, and a function-scoped analysis dies when the whole module
         is rewritten.
         """
-        if mutated is None:
-            self._entries.clear()
-            self._scopes.clear()
-            return
-        mutated = list(mutated)
-        if not mutated:
-            return
-        # Defensive: a detached op (no parent chain) can no longer be matched
-        # to the scope that used to contain it, so ancestry-based matching
-        # would silently keep that scope's stale entries alive.  The only
-        # safe answer for an unattributable mutation is to drop everything.
-        # (Module roots also have no parent; mutating one invalidates all
-        # cached scopes anyway, so the conservative branch is exact there.)
-        if any(
-            op.parent is None and id(op) not in self._scopes for op in mutated
-        ):
-            self.invalidate()
-            return
-        stale_scopes = {
-            scope_id
-            for scope_id, scope in self._scopes.items()
-            if any(_is_related(scope, op) for op in mutated)
-        }
-        if not stale_scopes:
-            return
-        self._entries = {
-            key: entry
-            for key, entry in self._entries.items()
-            if key[0] not in stale_scopes
-        }
-        for scope_id in stale_scopes:
-            del self._scopes[scope_id]
+        with self._lock:
+            if mutated is None:
+                self._entries.clear()
+                self._scopes.clear()
+                return
+            mutated = list(mutated)
+            if not mutated:
+                return
+            # Defensive: a detached op (no parent chain) can no longer be
+            # matched to the scope that used to contain it, so ancestry-based
+            # matching would silently keep that scope's stale entries alive.
+            # The only safe answer for an unattributable mutation is to drop
+            # everything.  (Module roots also have no parent; mutating one
+            # invalidates all cached scopes anyway, so the conservative
+            # branch is exact there.)
+            if any(
+                op.parent is None and id(op) not in self._scopes
+                for op in mutated
+            ):
+                self.invalidate()
+                return
+            stale_scopes = {
+                scope_id
+                for scope_id, scope in self._scopes.items()
+                if any(_is_related(scope, op) for op in mutated)
+            }
+            if not stale_scopes:
+                return
+            self._entries = {
+                key: entry
+                for key, entry in self._entries.items()
+                if key[0] not in stale_scopes
+            }
+            for scope_id in stale_scopes:
+                del self._scopes[scope_id]

@@ -31,6 +31,13 @@ comparable run to run):
 * ``static_cost`` — the static configuration-cost engine analyzing the
   same pinned programs (prediction throughput vs ``simulate_warm``'s
   measurement throughput);
+* ``serve`` — a duplicate-heavy multi-client workload against a real
+  :class:`~repro.serve.ReproServer` (8 connections, mixed compile/cost
+  requests over a few distinct modules), compared to the same request
+  stream handled one at a time with the request-level dedup tiers off.
+  ``speedup_vs_serial`` is the headline: under the GIL it comes from
+  in-flight coalescing and the outcome cache, not from threading, so it
+  measures exactly what the serving layer adds;
 * ``fuzz_iteration`` — end-to-end ``repro.testing.fuzz`` iterations across
   all backends and all registered pipelines.
 
@@ -52,7 +59,10 @@ op-count delta — the compile-side bottleneck map.
 (0.0 when the engine is absent or cold).  ``--check FILE`` implements the CI
 regression gate: the current ``fuzz_iteration`` throughput must stay within
 25% of the committed number after scaling both by the machine-speed
-calibration, so the gate compares machines on equal footing.
+calibration, so the gate compares machines on equal footing; it also
+requires the ``serve`` workload's ``speedup_vs_serial`` to stay at or above
+:data:`SERVE_MIN_SPEEDUP` — an absolute floor, no calibration needed, since
+both sides of the ratio run on the same machine in the same process.
 """
 
 from __future__ import annotations
@@ -535,6 +545,123 @@ def bench_static_cost(quick: bool = False) -> dict:
     }
 
 
+#: Concurrent serve clients (and the per-request tenant fan-out width).
+SERVE_CLIENTS = 8
+
+#: ``--check`` floor for the serve workload's duplicate-heavy speedup.
+SERVE_MIN_SPEEDUP = 2.0
+
+
+def bench_serve(quick: bool = False) -> dict:
+    """Duplicate-heavy concurrent serving vs one-at-a-time handling.
+
+    Builds a request stream that cycles a few distinct pinned modules
+    through mixed ``compile``/``cost`` requests from several tenants — the
+    shape a fleet of similar clients produces, where most requests are
+    duplicates of one another.  The serial baseline hands the exact same
+    stream, one request at a time, to a service with the request-level
+    dedup tiers off (``dedup=False``: no in-flight coalescing, no outcome
+    or module cache; the engine trace cache stays, as it predates the
+    server).  The concurrent side drives a real TCP server with
+    :data:`SERVE_CLIENTS` client connections against the full service.
+    Both sides get private trace caches so neither inherits the other's
+    warm state.  Under the GIL, threads add no compute parallelism —
+    ``speedup_vs_serial`` is purely the dedup tiers earning their keep.
+    """
+    import queue
+    import threading
+
+    from .engine import TraceCache
+    from .serve import CompileService, ReproClient, ReproServer, encode
+    from .testing.generator import build_spec
+
+    specs = _pinned_programs()[: 2 if quick else 4]
+    texts = []
+    for spec in specs:
+        built = build_spec(spec, memory_seed=PINNED_SEED)
+        texts.append(str(built.module))
+
+    requests = []
+    total = 24 if quick else 96
+    for index in range(total):
+        op = "cost" if index % 4 == 3 else "compile"
+        request = {
+            "id": index,
+            "op": op,
+            "module": texts[index % len(texts)],
+            "tenant": f"tenant{index % SERVE_CLIENTS}",
+        }
+        if op == "compile":
+            request["pipeline"] = "full"
+        requests.append(request)
+
+    # Untimed warm-up: first-touch import and kernel-memo costs land on a
+    # throwaway service so neither measured side pays them.
+    warmup = CompileService(cache=TraceCache())
+    for text in texts:
+        warmup.handle({"op": "compile", "module": text, "pipeline": "full"})
+
+    serial = CompileService(cache=TraceCache(), dedup=False)
+    serial_errors = 0
+    serial_started = time.perf_counter()
+    for request in requests:
+        response = json.loads(serial.handle_line(encode(request)))
+        if not response.get("ok"):
+            serial_errors += 1
+    serial_wall = time.perf_counter() - serial_started
+
+    service = CompileService(cache=TraceCache())
+    pending: queue.SimpleQueue = queue.SimpleQueue()
+    for request in requests:
+        pending.put(request)
+    errors = []
+
+    def client_worker(host: str, port: int) -> None:
+        with ReproClient(host, port) as client:
+            while True:
+                try:
+                    request = pending.get_nowait()
+                except queue.Empty:
+                    return
+                response = client.request(**request)
+                if not response.get("ok"):
+                    errors.append(response)
+
+    with ReproServer(service=service) as server:
+        host, port = server.address
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=client_worker, args=(host, port))
+            for _ in range(SERVE_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        stats = service.stats()
+
+    serial_rate = total / serial_wall if serial_wall else 0.0
+    concurrent_rate = total / wall if wall else 0.0
+    return {
+        "wall_s": round(wall, 4),
+        "programs_per_s": round(concurrent_rate, 3),
+        "cache_hit_rate": round(service.cache.hit_rate, 4),
+        "requests": total,
+        "distinct_modules": len(texts),
+        "clients": SERVE_CLIENTS,
+        "errors": len(errors) + serial_errors,
+        "dedup_hit_rate": round(stats["dedup_hit_rate"], 4),
+        "coalesced": stats["coalesced"],
+        "outcome_hits": stats["outcome_hits"],
+        "serial_wall_s": round(serial_wall, 4),
+        "serial_requests_per_s": round(serial_rate, 3),
+        "speedup_vs_serial": round(concurrent_rate / serial_rate, 2)
+        if serial_rate
+        else 0.0,
+    }
+
+
 WORKLOADS = {
     "compile": bench_compile,
     "static_cost": bench_static_cost,
@@ -544,6 +671,7 @@ WORKLOADS = {
     "simulate_batch": bench_simulate_batch,
     "simulate_functional": bench_simulate_functional,
     "persistent_cache": bench_persistent_cache,
+    "serve": bench_serve,
     "fuzz_iteration": bench_fuzz,
     "fuzz_200_acceptance": bench_fuzz_acceptance,
 }
@@ -596,6 +724,21 @@ def check_regression(current: dict, committed: dict) -> list[str]:
             f"< floor {floor:.2f} (committed {ref['programs_per_s']:.2f} "
             f"x machine scale {scale:.2f} x {1 - REGRESSION_TOLERANCE:.2f})"
         )
+    serve = current.get("workloads", {}).get("serve")
+    if serve is not None:
+        # Absolute floor: both sides of the ratio ran on this machine, so
+        # no calibration scaling applies.
+        speedup = serve.get("speedup_vs_serial") or 0.0
+        if speedup < SERVE_MIN_SPEEDUP:
+            problems.append(
+                f"serve dedup speedup {speedup:.2f}x below the required "
+                f"{SERVE_MIN_SPEEDUP:.1f}x (duplicate-heavy concurrent "
+                "workload vs serial handling)"
+            )
+        if serve.get("errors"):
+            problems.append(
+                f"serve workload saw {serve['errors']} failed request(s)"
+            )
     return problems
 
 
@@ -659,6 +802,8 @@ def main(argv: list[str] | None = None) -> int:
             line += f"   vs cold {result['batch_speedup_vs_cold']:.2f}x"
         if "persistent_hit_rate" in result:
             line += f"   persistent hit rate {result['persistent_hit_rate']:.0%}"
+        if "speedup_vs_serial" in result:
+            line += f"   vs serial {result['speedup_vs_serial']:.2f}x"
         print(line)
     breakdown = doc.get("pass_breakdown") or {}
     if breakdown:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from collections import OrderedDict
 
 from ..dialects.builtin import ModuleOp
@@ -50,6 +51,17 @@ def module_fingerprint(module: ModuleOp, text: str | None = None) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+class _InFlight:
+    """One compilation in progress; concurrent requesters park on ``event``."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: CompiledModule | None = None
+        self.error: BaseException | None = None
+
+
 class TraceCache:
     """Bounded LRU mapping module fingerprints to compiled traces.
 
@@ -58,6 +70,13 @@ class TraceCache:
     hit/miss counters are separate from the in-process ones — a warm
     cross-process run shows up as ``store.hit_rate``, never inflates
     :attr:`hit_rate`.
+
+    Thread-safe with single-flight semantics: the LRU bookkeeping is guarded
+    by a lock, and concurrent ``get_or_compile`` calls for the same key
+    coalesce onto one compilation — the first caller compiles (outside the
+    lock, so unrelated keys proceed in parallel) while the rest park on an
+    event and share the result.  ``coalesced`` counts the callers that
+    waited on someone else's compile; they also count as hits.
     """
 
     def __init__(
@@ -66,11 +85,15 @@ class TraceCache:
         self.maxsize = maxsize
         self.store = store
         self._entries: OrderedDict[str, CompiledModule] = OrderedDict()
+        self._lock = threading.RLock()
+        self._in_flight: dict[object, _InFlight] = {}
         self.hits = 0
         self.misses = 0
+        self.coalesced = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_rate(self) -> float:
@@ -81,35 +104,24 @@ class TraceCache:
         self.store = store
 
     def get(self, fingerprint: str) -> CompiledModule | None:
-        entry = self._entries.get(fingerprint)
-        if entry is not None:
-            self._entries.move_to_end(fingerprint)
-        return entry
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+            return entry
 
     def put(self, fingerprint: str, compiled: CompiledModule) -> None:
         compiled.fingerprint = fingerprint
-        self._entries[fingerprint] = compiled
-        self._entries.move_to_end(fingerprint)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[fingerprint] = compiled
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
-    def get_or_compile(
-        self, module: ModuleOp, text: str | None = None, key=None
+    def _compile_miss(
+        self, module: ModuleOp, text: str | None, fingerprint
     ) -> CompiledModule:
-        """The compiled trace for ``module``, compiling on first sight.
-
-        ``text`` lets callers that already printed the module (e.g. for an
-        outcome cache of their own) avoid printing it twice.  ``key`` lets
-        callers that already computed a structural key for the module
-        (:func:`repro.ir.structural_key`) skip fingerprinting entirely; any
-        hashable value works, and str/tuple keys never collide.
-        """
-        fingerprint = key if key is not None else module_fingerprint(module, text)
-        entry = self.get(fingerprint)
-        if entry is not None:
-            self.hits += 1
-            return entry
-        self.misses += 1
+        """The miss path proper: persistent tier, then a fresh compile."""
         store = self.store
         if store is not None:
             # The persistent tier keys on the stable content hash even when
@@ -123,16 +135,69 @@ class TraceCache:
             if compiled is None:
                 compiled = compile_module(module)
                 store.save_trace(stable, compiled)
-            self.put(fingerprint, compiled)
             return compiled
-        compiled = compile_module(module)
-        self.put(fingerprint, compiled)
-        return compiled
+        return compile_module(module)
+
+    def get_or_compile(
+        self, module: ModuleOp, text: str | None = None, key=None
+    ) -> CompiledModule:
+        """The compiled trace for ``module``, compiling on first sight.
+
+        ``text`` lets callers that already printed the module (e.g. for an
+        outcome cache of their own) avoid printing it twice.  ``key`` lets
+        callers that already computed a structural key for the module
+        (:func:`repro.ir.structural_key`) skip fingerprinting entirely; any
+        hashable value works, and str/tuple keys never collide.
+        """
+        fingerprint = key if key is not None else module_fingerprint(module, text)
+        while True:
+            with self._lock:
+                entry = self._entries.get(fingerprint)
+                if entry is not None:
+                    self._entries.move_to_end(fingerprint)
+                    self.hits += 1
+                    return entry
+                flight = self._in_flight.get(fingerprint)
+                if flight is None:
+                    flight = _InFlight()
+                    self._in_flight[fingerprint] = flight
+                    owner = True
+                else:
+                    owner = False
+                    self.hits += 1
+                    self.coalesced += 1
+            if not owner:
+                flight.event.wait()
+                if flight.error is not None:
+                    raise flight.error
+                result = flight.result
+                if result is not None:
+                    return result
+                # The owner vanished without a result (cleared mid-flight);
+                # retry from the top.
+                continue
+            self.misses += 1
+            try:
+                compiled = self._compile_miss(module, text, fingerprint)
+            except BaseException as error:
+                flight.error = error
+                with self._lock:
+                    self._in_flight.pop(fingerprint, None)
+                flight.event.set()
+                raise
+            self.put(fingerprint, compiled)
+            flight.result = compiled
+            with self._lock:
+                self._in_flight.pop(fingerprint, None)
+            flight.event.set()
+            return compiled
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.coalesced = 0
 
 
 #: Process-wide compiled-trace cache (the fuzzer, oracles, and experiment

@@ -38,6 +38,8 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
+import time
 
 from ..ioutil import atomic_write_bytes
 from .compiler import (
@@ -57,6 +59,25 @@ SCHEMA = "repro-cache/1"
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 _SUFFIX = ".bin"
+
+#: Process-wide strictly-increasing LRU clock (nanoseconds).  Filesystems
+#: with coarse mtime granularity (1 s on some, 1 ns rounded to jiffies on
+#: others) let several entries land on the *same* mtime, which would make
+#: LRU eviction order depend on directory-listing order.  Every save and
+#: every load-touch stamps the entry with the next tick instead, so entries
+#: written by one process always have a total recency order; cross-process
+#: ties (two writers, same nanosecond) fall back to the path tie-break in
+#: :meth:`PersistentStore._entries`.
+_lru_clock_lock = threading.Lock()
+_lru_clock = 0
+
+
+def _lru_tick() -> int:
+    """The next strictly-increasing LRU timestamp in nanoseconds."""
+    global _lru_clock
+    with _lru_clock_lock:
+        _lru_clock = max(_lru_clock + 1, time.time_ns())
+        return _lru_clock
 
 
 def strip_sites(compiled: CompiledModule) -> CompiledModule:
@@ -98,6 +119,9 @@ class PersistentStore:
         self.directory = os.path.abspath(directory)
         self.max_bytes = max_bytes
         os.makedirs(self.directory, exist_ok=True)
+        #: guards the counters and eviction; loads/saves themselves are
+        #: already safe (atomic rename publication, bad reads are misses)
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -127,22 +151,30 @@ class PersistentStore:
             ):
                 raise ValueError("schema or identity mismatch")
         except FileNotFoundError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         except Exception:  # noqa: BLE001 - any bad entry is just a miss
-            self.misses += 1
-            self.rejected += 1
+            with self._lock:
+                self.misses += 1
+                self.rejected += 1
             try:
                 os.unlink(path)
             except OSError:
                 pass
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
+        self._touch(path)  # LRU touch
+        return entry["payload"]
+
+    def _touch(self, path: str) -> None:
+        """Stamp ``path`` with the next strictly-increasing LRU tick."""
+        tick = _lru_tick()
         try:
-            os.utime(path)  # LRU touch
+            os.utime(path, ns=(tick, tick))
         except OSError:
             pass
-        return entry["payload"]
 
     def save(self, kind: str, key: str, payload: object) -> None:
         """Publish an entry atomically, then enforce the size bound.
@@ -157,11 +189,14 @@ class PersistentStore:
             )
         except Exception:  # noqa: BLE001 - unpicklable payload: skip
             return
+        path = self._path(kind, key)
         try:
-            atomic_write_bytes(self._path(kind, key), blob)
+            atomic_write_bytes(path, blob)
         except OSError:
             return
-        self.stores += 1
+        self._touch(path)
+        with self._lock:
+            self.stores += 1
         self._evict()
 
     # -- trace-specific convenience --------------------------------------
@@ -179,8 +214,14 @@ class PersistentStore:
 
     # -- eviction ---------------------------------------------------------
 
-    def _entries(self) -> list[tuple[float, int, str]]:
-        """(mtime, size, path) per entry; racing deletions are skipped."""
+    def _entries(self) -> list[tuple[int, str, int]]:
+        """(mtime_ns, path, size) per entry; racing deletions are skipped.
+
+        The tuple order IS the eviction order: oldest LRU tick first, and —
+        for cross-process writers whose ticks collide on a coarse-mtime
+        filesystem — the path as a deterministic tie-break, so eviction
+        never depends on directory-listing order.
+        """
         entries = []
         try:
             names = os.listdir(self.directory)
@@ -194,19 +235,20 @@ class PersistentStore:
                 stat = os.stat(path)
             except OSError:
                 continue
-            entries.append((stat.st_mtime, stat.st_size, path))
+            entries.append((stat.st_mtime_ns, path, stat.st_size))
         return entries
 
     def _evict(self) -> None:
-        entries = self._entries()
-        total = sum(size for _, size, _ in entries)
-        if total <= self.max_bytes:
-            return
-        for _, size, path in sorted(entries):
-            try:
-                os.unlink(path)
-            except OSError:
-                continue
-            total -= size
+        with self._lock:
+            entries = self._entries()
+            total = sum(size for _, _, size in entries)
             if total <= self.max_bytes:
                 return
+            for _, path, size in sorted(entries):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                if total <= self.max_bytes:
+                    return

@@ -9,6 +9,7 @@ from . import (
     fig12_roofline,
     figure4_rooflines,
     fault_recovery,
+    multitenant,
     outlook_os_gemmini,
     outlook_shapes,
     outlook_tradeoff,
@@ -24,6 +25,7 @@ __all__ = [
     "fig12_roofline",
     "figure4_rooflines",
     "fault_recovery",
+    "multitenant",
     "outlook_os_gemmini",
     "outlook_shapes",
     "outlook_tradeoff",

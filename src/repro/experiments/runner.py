@@ -22,6 +22,7 @@ from . import (
     fig11_opengemm,
     fig12_roofline,
     figure4_rooflines,
+    multitenant,
     table1_fields,
 )
 
@@ -59,6 +60,8 @@ def main(argv: list[str] | None = None) -> None:
     fig2_timeline.main()
     print(separator)
     fault_recovery.main(quick=quick)
+    print(separator)
+    multitenant.main(quick=quick)
     print(separator)
 
 

@@ -1,0 +1,65 @@
+"""repro.serve — compilation-as-a-service over the caching stack.
+
+A long-lived concurrent server (``python -m repro serve``) accepting
+compile / simulate / lint / cost requests from many tenants, with in-flight
+request dedup (concurrent identical requests coalesce onto one
+computation), shared process-global cache reuse, per-tenant admission
+control, and a configuration-wall-aware multi-tenant scheduler that batches
+same-config tenants so context switches stop re-paying the configuration
+cost.  See docs/SERVING.md.
+"""
+
+from .client import ReproClient, ServeClientError
+from .protocol import (
+    ALL_OPS,
+    DEFAULT_TENANT,
+    MODULE_OPS,
+    PROTOCOL,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+from .scheduler import (
+    ScheduleResult,
+    TenantJob,
+    compare_policies,
+    config_aware_order,
+    extract_config,
+    job_from_module,
+    run_config_aware,
+    run_fifo,
+    run_oracle,
+    setup_cost,
+)
+from .server import ReproServer, probe
+from .service import AdmissionError, CompileService
+
+__all__ = [
+    "ALL_OPS",
+    "DEFAULT_TENANT",
+    "MODULE_OPS",
+    "PROTOCOL",
+    "ProtocolError",
+    "decode_request",
+    "encode",
+    "error_response",
+    "ok_response",
+    "ReproClient",
+    "ServeClientError",
+    "ReproServer",
+    "probe",
+    "AdmissionError",
+    "CompileService",
+    "ScheduleResult",
+    "TenantJob",
+    "compare_policies",
+    "config_aware_order",
+    "extract_config",
+    "job_from_module",
+    "run_config_aware",
+    "run_fifo",
+    "run_oracle",
+    "setup_cost",
+]

@@ -1,0 +1,109 @@
+"""A minimal blocking client for the JSON-lines protocol.
+
+Used by the tests, the CI smoke script, and the ``serve`` bench workload;
+also a reference implementation for external clients (the whole protocol
+fits in :meth:`ReproClient.request`).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from .protocol import encode
+
+
+class ServeClientError(RuntimeError):
+    """Transport-level failure (connection dropped, unparsable response)."""
+
+
+class ReproClient:
+    """One connection to a repro server; safe for one thread at a time."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # One-line request/response turns: Nagle + delayed ACK would add
+        # ~40ms of latency to every request.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request, block for its response, return it decoded."""
+        self._next_id += 1
+        payload = {"id": self._next_id, "op": op, **fields}
+        try:
+            self._sock.sendall(encode(payload))
+            line = self._reader.readline()
+        except OSError as error:
+            raise ServeClientError(f"transport failed: {error}") from error
+        if not line:
+            raise ServeClientError("server closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError as error:
+            raise ServeClientError(
+                f"unparsable response: {error}"
+            ) from error
+        return response
+
+    # -- op shorthands -----------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request("ping")
+
+    def stats(self) -> dict[str, Any]:
+        response = self.request("stats")
+        return response.get("result", {})
+
+    def compile(
+        self, module: str, pipeline: str = "full", tenant: str = "anonymous"
+    ) -> dict[str, Any]:
+        return self.request(
+            "compile", module=module, pipeline=pipeline, tenant=tenant
+        )
+
+    def simulate(
+        self,
+        module: str,
+        pipeline: str = "",
+        args: list[int] | None = None,
+        tenant: str = "anonymous",
+    ) -> dict[str, Any]:
+        return self.request(
+            "simulate",
+            module=module,
+            pipeline=pipeline,
+            args=args or [],
+            tenant=tenant,
+        )
+
+    def lint(self, module: str, tenant: str = "anonymous") -> dict[str, Any]:
+        return self.request("lint", module=module, tenant=tenant)
+
+    def cost(self, module: str, tenant: str = "anonymous") -> dict[str, Any]:
+        return self.request("cost", module=module, tenant=tenant)
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request("shutdown")
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

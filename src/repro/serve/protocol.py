@@ -1,0 +1,129 @@
+"""Wire protocol of the compilation service.
+
+JSON-lines over a stream: every request and every response is one JSON
+object on one ``\\n``-terminated line, UTF-8 encoded.  Any client that can
+open a TCP socket and print JSON can drive the server — no framing beyond
+the newline, no persistent per-connection state beyond the socket itself
+(requests carry their tenant identity explicitly, so one connection may
+multiplex many tenants and one tenant may spread over many connections).
+
+Request object::
+
+    {"id": <any JSON value, echoed back>,
+     "op": "compile" | "simulate" | "lint" | "cost" | "stats" | "ping"
+           | "shutdown",
+     "tenant": "<logical tenant name>",          # default "anonymous"
+     "module": "<accfg IR text>",                # compile/simulate/lint/cost
+     "pipeline": "<pipeline name>",              # default: "full" (compile),
+                                                 #          "" (the rest)
+     "function": "main", "args": [..ints..]}     # simulate only
+
+Response object::
+
+    {"id": ...,                                  # echoed
+     "ok": true | false,
+     "result": {...},                            # op-specific, when ok
+     "error": {"type": ..., "message": ...},     # when not ok
+     "meta": {"tenant": ..., "coalesced": bool, "cached": bool,
+              "wall_ms": float}}
+
+``meta.coalesced`` is true when this request never computed anything: an
+identical request (same op, module, pipeline, parameters) was already in
+flight and this one shared its outcome — the serving-layer form of the
+paper's dedup pass.  ``meta.cached`` is true when the outcome came from the
+service's outcome cache (an identical request *completed* earlier).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: ops that require a ``module`` payload
+MODULE_OPS = ("compile", "simulate", "lint", "cost")
+#: every op the service understands
+ALL_OPS = MODULE_OPS + ("stats", "ping", "shutdown")
+
+#: protocol identifier reported by ``ping``/``stats``
+PROTOCOL = "repro-serve/1"
+
+DEFAULT_TENANT = "anonymous"
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be dispatched (malformed, unknown op, ...)."""
+
+
+def decode_request(line: str | bytes) -> dict[str, Any]:
+    """Parse and validate one request line.
+
+    Raises :class:`ProtocolError` with a client-presentable message on any
+    malformed input; the server turns that into an error response rather
+    than dropping the connection.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"request is not UTF-8: {error}") from error
+    try:
+        request = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"request is not JSON: {error}") from error
+    if not isinstance(request, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = request.get("op")
+    if op not in ALL_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {', '.join(ALL_OPS)}"
+        )
+    if op in MODULE_OPS:
+        module = request.get("module")
+        if not isinstance(module, str) or not module.strip():
+            raise ProtocolError(f"op {op!r} requires a non-empty 'module' string")
+    tenant = request.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("'tenant' must be a non-empty string")
+    pipeline = request.get("pipeline")
+    if pipeline is not None and not isinstance(pipeline, str):
+        raise ProtocolError("'pipeline' must be a string")
+    args = request.get("args")
+    if args is not None and (
+        not isinstance(args, list)
+        or any(not isinstance(a, int) or isinstance(a, bool) for a in args)
+    ):
+        raise ProtocolError("'args' must be a list of integers")
+    function = request.get("function")
+    if function is not None and not isinstance(function, str):
+        raise ProtocolError("'function' must be a string")
+    return request
+
+
+def encode(obj: dict[str, Any]) -> bytes:
+    """One response (or request) as a wire line."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def ok_response(
+    request: dict[str, Any], result: dict[str, Any], meta: dict[str, Any]
+) -> dict[str, Any]:
+    return {
+        "id": request.get("id"),
+        "ok": True,
+        "result": result,
+        "meta": meta,
+    }
+
+
+def error_response(
+    request: dict[str, Any],
+    kind: str,
+    message: str,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    return {
+        "id": request.get("id") if isinstance(request, dict) else None,
+        "ok": False,
+        "error": {"type": kind, "message": message},
+        "meta": meta or {},
+    }

@@ -1,0 +1,397 @@
+"""Configuration-wall-aware multi-tenant scheduling.
+
+When N logical tenants time-share ONE simulated accelerator, every context
+switch re-pays the configuration cost: a stateless per-tenant driver cannot
+trust what the previous tenant left in the device's registers, so it
+re-writes its entire configuration on every switch — the serving-layer
+incarnation of the paper's configuration wall.  This module models that
+wall and the scheduler that climbs over it:
+
+* :func:`run_fifo` — the baseline: jobs run in arrival order.  Within one
+  tenant's consecutive run the driver knows its own register writes and
+  dedups against them (register retention, as the paper's optimized
+  programs do), but a tenant switch conservatively re-pays the FULL setup.
+* :func:`run_config_aware` — the scheduler: (1) *batches* jobs with the
+  same configuration signature so switches become rare, (2) carries one
+  shared shadow register file across tenants (the serving-layer analogue of
+  ``KnownFieldsAnalysis``: what is known to be in the device's registers,
+  no matter who wrote it) and on a switch writes only the fields whose
+  values differ, and (3) keeps batching from starving anyone with a
+  per-tenant consecutive-job *quota* and an *aging* bound (a job passed
+  over ``max_wait`` times is scheduled next, unconditionally).
+* :func:`run_oracle` — the lower bound used to define *re-paid*
+  configuration cycles: jobs perfectly grouped by configuration signature
+  (first-seen order), full cross-tenant retention.  ``repaid_config_cycles
+  = config_cycles - oracle.config_cycles`` is the price of interleaving.
+
+Costs come from the real accelerator spec: writing fields F costs
+``spec.setup_instrs(F)`` host instructions (cycled through the host cost
+model) and ``spec.config_bytes(F)`` bytes — identical accounting to the
+co-simulator's setup charging, so these numbers live in the same currency
+as every other experiment.
+
+:func:`jobs_from_module` grounds jobs in real accfg IR: it extracts the
+constant configuration a module's ``accfg.setup`` ops commit (resolved
+through :class:`~repro.analysis.KnownFieldsAnalysis`), so the multitenant
+experiment schedules the same workloads the paper's figures measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..backends import get_accelerator
+from ..backends.base import AcceleratorSpec
+from ..dialects import accfg, arith
+
+
+@dataclass(frozen=True)
+class TenantJob:
+    """One unit of tenant work: a committed configuration plus compute."""
+
+    tenant: str
+    #: field name -> committed value (the device configuration this job
+    #: requires in the register file before its launches run)
+    config: tuple[tuple[str, int], ...]
+    #: accelerator-side compute the job performs once configured
+    compute_cycles: float
+    #: arrival index (the FIFO baseline runs jobs in this order)
+    arrival: int
+
+    @staticmethod
+    def make(
+        tenant: str,
+        config: Mapping[str, int],
+        compute_cycles: float,
+        arrival: int,
+    ) -> "TenantJob":
+        return TenantJob(
+            tenant=tenant,
+            config=tuple(sorted(config.items())),
+            compute_cycles=float(compute_cycles),
+            arrival=arrival,
+        )
+
+    @property
+    def config_dict(self) -> dict[str, int]:
+        return dict(self.config)
+
+    @property
+    def signature(self) -> tuple[tuple[str, int], ...]:
+        """The batching key: jobs with equal signatures need no re-setup."""
+        return self.config
+
+
+@dataclass
+class ScheduleResult:
+    """Everything one scheduling policy run measures."""
+
+    policy: str
+    #: arrival indices in execution order
+    order: list[int] = field(default_factory=list)
+    config_cycles: float = 0.0
+    config_instrs: int = 0
+    config_bytes: int = 0
+    compute_cycles: float = 0.0
+    context_switches: int = 0
+    #: configuration work beyond the perfect-batching oracle (filled by
+    #: :func:`compare_policies`)
+    repaid_config_cycles: float = 0.0
+    #: scheduling steps the worst-served job waited beyond its turn
+    max_wait: int = 0
+    #: tenant -> jobs run
+    per_tenant: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.config_cycles + self.compute_cycles
+
+    @property
+    def throughput(self) -> float:
+        """Jobs per kilocycle — the number batching is meant to raise."""
+        total = self.total_cycles
+        return (len(self.order) / total * 1e3) if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "jobs": len(self.order),
+            "config_cycles": self.config_cycles,
+            "config_instrs": self.config_instrs,
+            "config_bytes": self.config_bytes,
+            "compute_cycles": self.compute_cycles,
+            "total_cycles": self.total_cycles,
+            "context_switches": self.context_switches,
+            "repaid_config_cycles": self.repaid_config_cycles,
+            "throughput_jobs_per_kcycle": round(self.throughput, 4),
+            "max_wait": self.max_wait,
+            "per_tenant": dict(sorted(self.per_tenant.items())),
+        }
+
+
+def setup_cost(
+    spec: AcceleratorSpec, fields: Sequence[str]
+) -> tuple[int, float, int]:
+    """(instrs, cycles, bytes) to write ``fields``, per the real spec."""
+    if not fields:
+        return (0, 0.0, 0)
+    names = sorted(fields)
+    instrs = spec.setup_instrs_cached(names)
+    model = spec.host_cost_model()
+    cycles = sum(model.cycles(instr) for instr in instrs)
+    return (len(instrs), cycles, spec.config_bytes(names))
+
+
+class _Device:
+    """The one shared accelerator: a retained register file plus meters."""
+
+    def __init__(self, spec: AcceleratorSpec) -> None:
+        self.spec = spec
+        self.registers: dict[str, int] = {}
+
+    def fields_to_write(
+        self, job: TenantJob, trusted: Iterable[str] | None
+    ) -> list[str]:
+        """The fields job must write before launching.
+
+        ``trusted`` is the set of register names whose current device values
+        the scheduler may rely on (None = trust nothing: full re-setup).  A
+        trusted field whose retained value already equals the job's wanted
+        value needs no write — the cross-tenant dedup.
+        """
+        if trusted is None:
+            return [name for name, _ in job.config]
+        trusted = set(trusted)
+        return [
+            name
+            for name, value in job.config
+            if name not in trusted or self.registers.get(name) != value
+        ]
+
+    def commit(self, job: TenantJob, written: Iterable[str]) -> None:
+        wanted = job.config_dict
+        for name in written:
+            self.registers[name] = wanted[name]
+
+
+def _run_order(
+    ordered: Sequence[TenantJob],
+    spec: AcceleratorSpec,
+    policy: str,
+    cross_tenant_retention: bool,
+) -> ScheduleResult:
+    """Charge an execution order through the shared device.
+
+    ``cross_tenant_retention=False`` models stateless per-tenant drivers:
+    on a tenant switch nothing in the register file is trusted (full
+    re-setup); within a tenant's consecutive run its own writes are trusted.
+    ``True`` models the scheduler's shared shadow register file: every
+    retained field is trusted regardless of which tenant wrote it.
+    """
+    result = ScheduleResult(policy=policy)
+    device = _Device(spec)
+    previous_tenant: str | None = None
+    known: set[str] = set()  # fields the current trust domain may rely on
+    for job in ordered:
+        if previous_tenant is not None and job.tenant != previous_tenant:
+            result.context_switches += 1
+            if not cross_tenant_retention:
+                known.clear()
+        to_write = device.fields_to_write(job, known)
+        instrs, cycles, nbytes = setup_cost(spec, to_write)
+        device.commit(job, to_write)
+        known.update(name for name, _ in job.config)
+        result.order.append(job.arrival)
+        result.config_instrs += instrs
+        result.config_cycles += cycles
+        result.config_bytes += nbytes
+        result.compute_cycles += job.compute_cycles
+        result.per_tenant[job.tenant] = result.per_tenant.get(job.tenant, 0) + 1
+        previous_tenant = job.tenant
+    for position, arrival in enumerate(result.order):
+        result.max_wait = max(result.max_wait, position - arrival)
+    return result
+
+
+def run_fifo(jobs: Sequence[TenantJob], spec: AcceleratorSpec) -> ScheduleResult:
+    """The baseline: arrival order, full re-setup on every tenant switch."""
+    ordered = sorted(jobs, key=lambda job: job.arrival)
+    return _run_order(ordered, spec, "fifo", cross_tenant_retention=False)
+
+
+def run_oracle(
+    jobs: Sequence[TenantJob], spec: AcceleratorSpec
+) -> ScheduleResult:
+    """Perfect batching: signature groups in first-seen order, retention on.
+
+    The lower bound that defines re-paid configuration cycles; unreachable
+    in general (it ignores quotas and waiting time entirely).
+    """
+    ordered = sorted(jobs, key=lambda job: job.arrival)
+    groups: dict[tuple, list[TenantJob]] = {}
+    for job in ordered:
+        groups.setdefault(job.signature, []).append(job)
+    flat = [job for group in groups.values() for job in group]
+    return _run_order(flat, spec, "oracle", cross_tenant_retention=True)
+
+
+def config_aware_order(
+    jobs: Sequence[TenantJob],
+    spec: AcceleratorSpec,
+    quota: int = 4,
+    max_wait: int = 8,
+    window: int | None = None,
+) -> list[TenantJob]:
+    """The scheduler's execution order.
+
+    Greedy over the pending window: prefer the cheapest-to-configure next
+    job (zero-diff same-signature jobs first — batching falls out of the
+    cost), subject to a per-tenant consecutive-run ``quota`` and an aging
+    bound — any job passed over ``max_wait`` times runs next regardless of
+    its configuration cost, so batching can never starve a tenant.
+    ``window`` bounds how far ahead of the oldest pending job the scheduler
+    may reach (None = unbounded lookahead).
+    """
+    pending = sorted(jobs, key=lambda job: job.arrival)
+    device = _Device(spec)
+    known: set[str] = set()
+    ordered: list[TenantJob] = []
+    passes: dict[int, int] = {}
+    last_tenant: str | None = None
+    consecutive = 0
+    while pending:
+        visible = pending if window is None else pending[:window]
+        # Aging: the oldest over-waited job runs next, no questions asked.
+        aged = [job for job in visible if passes.get(job.arrival, 0) >= max_wait]
+        choice = None
+        if aged:
+            choice = aged[0]
+        else:
+            quota_hit = (
+                consecutive >= quota
+                and last_tenant is not None
+                and any(job.tenant != last_tenant for job in visible)
+            )
+
+            def diff_cycles(job: TenantJob) -> float:
+                return setup_cost(spec, device.fields_to_write(job, known))[1]
+
+            candidates = (
+                [job for job in visible if job.tenant != last_tenant]
+                if quota_hit
+                else visible
+            )
+            # Cheapest configuration diff wins; arrival order tie-breaks, so
+            # equal-cost candidates keep FIFO fairness.
+            choice = min(
+                candidates, key=lambda job: (diff_cycles(job), job.arrival)
+            )
+        pending.remove(choice)
+        for job in pending if window is None else pending[: max(0, window - 1)]:
+            if job.arrival < choice.arrival:
+                passes[job.arrival] = passes.get(job.arrival, 0) + 1
+        written = device.fields_to_write(choice, known)
+        device.commit(choice, written)
+        known.update(name for name, _ in choice.config)
+        if choice.tenant == last_tenant:
+            consecutive += 1
+        else:
+            consecutive = 1
+            last_tenant = choice.tenant
+        ordered.append(choice)
+    return ordered
+
+
+def run_config_aware(
+    jobs: Sequence[TenantJob],
+    spec: AcceleratorSpec,
+    quota: int = 4,
+    max_wait: int = 8,
+    window: int | None = None,
+) -> ScheduleResult:
+    """Batching + shared-shadow retention + quota/aging, measured."""
+    ordered = config_aware_order(
+        jobs, spec, quota=quota, max_wait=max_wait, window=window
+    )
+    result = _run_order(
+        ordered, spec, "config-aware", cross_tenant_retention=True
+    )
+    return result
+
+
+def compare_policies(
+    jobs: Sequence[TenantJob],
+    spec: AcceleratorSpec,
+    quota: int = 4,
+    max_wait: int = 8,
+    window: int | None = None,
+) -> dict[str, ScheduleResult]:
+    """FIFO vs config-aware vs the oracle, with re-paid cycles filled in."""
+    fifo = run_fifo(jobs, spec)
+    aware = run_config_aware(
+        jobs, spec, quota=quota, max_wait=max_wait, window=window
+    )
+    oracle = run_oracle(jobs, spec)
+    for result in (fifo, aware, oracle):
+        result.repaid_config_cycles = round(
+            result.config_cycles - oracle.config_cycles, 6
+        )
+    return {"fifo": fifo, "config-aware": aware, "oracle": oracle}
+
+
+# -- grounding jobs in real IR ---------------------------------------------
+
+
+def extract_config(module, accelerator: str | None = None) -> dict[str, int]:
+    """The constant configuration a module commits to ``accelerator``.
+
+    Walks every ``accfg.setup`` in program order, resolving field operands
+    that are ``arith.constant`` results; later writes win, exactly as the
+    device's register file would retain them.  Dynamic (loop-carried or
+    computed) fields are skipped — a scheduler can only dedup what it can
+    prove, the same contract ``KnownFieldsAnalysis`` gives the dedup pass.
+    """
+    config: dict[str, int] = {}
+    for op in module.walk():
+        if not isinstance(op, accfg.SetupOp):
+            continue
+        if accelerator is not None and op.accelerator != accelerator:
+            continue
+        for name, value in op.fields:
+            source = getattr(value, "op", None)
+            if isinstance(source, arith.ConstantOp):
+                config[name] = int(source.value)
+    return config
+
+
+def job_from_module(
+    module,
+    accelerator: str,
+    tenant: str,
+    arrival: int,
+    compute_cycles: float | None = None,
+) -> TenantJob:
+    """A :class:`TenantJob` for one real module targeting ``accelerator``."""
+    spec = get_accelerator(accelerator)
+    config = extract_config(module, accelerator)
+    if compute_cycles is None:
+        launches = sum(
+            1 for op in module.walk() if isinstance(op, accfg.LaunchOp)
+        )
+        compute_cycles = max(1, launches) * spec.compute_cycles(config)
+    return TenantJob.make(tenant, config, compute_cycles, arrival)
+
+
+__all__ = [
+    "TenantJob",
+    "ScheduleResult",
+    "setup_cost",
+    "run_fifo",
+    "run_oracle",
+    "run_config_aware",
+    "config_aware_order",
+    "compare_policies",
+    "extract_config",
+    "job_from_module",
+]

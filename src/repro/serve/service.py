@@ -1,0 +1,419 @@
+"""The compilation service: shared caches, in-flight dedup, admission.
+
+One :class:`CompileService` instance serves every connection and every
+tenant of a server process.  It generalizes the paper's dedup pass from
+intra-program to inter-request, in three tiers:
+
+* **In-flight request dedup** — concurrent requests with the same compute
+  key (op, module content hash, pipeline, parameters) coalesce onto ONE
+  computation: the first requester computes, the rest park on an event and
+  share the outcome (including error outcomes — a module that fails to
+  parse fails identically for every requester).  This is what makes
+  duplicate-heavy concurrent workloads cheap: N tenants submitting the same
+  module pay for one compilation.
+* **Outcome + module caches** — an identical request that *completed*
+  earlier is served from a bounded LRU of outcomes, and a re-request that
+  only differs in parameters reuses the parsed-and-optimized module object,
+  which keeps the shared :class:`~repro.analysis.AnalysisManager` entries
+  (keyed on op identity) alive across requests.
+* **Shared engine caches** — all tenants share one
+  :class:`~repro.engine.TraceCache` (process-global ``TRACE_CACHE`` by
+  default, with whatever persistent tier is attached to it), so a compile
+  by tenant A warms the simulate of tenant B.
+
+Admission control bounds the damage any one tenant can do: at most
+``max_pending_per_tenant`` of a tenant's requests may be in the service at
+once (and ``max_pending`` across all tenants); excess requests are rejected
+with an ``admission`` error instead of queueing without bound.  Rejection
+is per-request and immediate — a well-behaved tenant is never starved by a
+flooding one.
+
+Everything here must be thread-safe: the server runs one handler thread
+per connection.  The service's own bookkeeping is lock-guarded; the engine
+caches carry their own locks (PR: thread-safety satellites).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import Counter, OrderedDict
+from typing import Any
+
+from ..analysis import AnalysisManager
+from ..engine import TRACE_CACHE, module_fingerprint, run_module_traced
+from ..ir import parse_module, verify_operation
+from ..passes import PIPELINES, pipeline_by_name
+from ..sim import CoSimulator
+from .protocol import (
+    DEFAULT_TENANT,
+    MODULE_OPS,
+    PROTOCOL,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+
+
+class AdmissionError(Exception):
+    """Request rejected by admission control (tenant or service over quota)."""
+
+
+class _Flight:
+    """One computation in progress; duplicate requesters park on ``event``."""
+
+    __slots__ = ("event", "outcome")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        #: (ok, payload) — payload is the result dict or (type, message)
+        self.outcome: tuple[bool, Any] | None = None
+
+
+def _module_key(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class CompileService:
+    """Thread-safe multi-tenant compile/simulate/lint/cost service.
+
+    ``dedup=False`` disables every request-level tier (in-flight dedup,
+    outcome cache, module cache) and is the measured baseline of the
+    ``serve`` bench workload: serial request handling, each request paying
+    parse + pipeline + execution itself (the engine-level trace cache stays
+    on — that tier predates the server).
+    """
+
+    def __init__(
+        self,
+        cache=None,
+        analyses: AnalysisManager | None = None,
+        dedup: bool = True,
+        max_pending: int = 64,
+        max_pending_per_tenant: int = 8,
+        outcome_cache_size: int = 256,
+        module_cache_size: int = 128,
+    ) -> None:
+        self.cache = cache if cache is not None else TRACE_CACHE
+        self.analyses = analyses if analyses is not None else AnalysisManager()
+        self.dedup = dedup
+        self.max_pending = max_pending
+        self.max_pending_per_tenant = max_pending_per_tenant
+        self.outcome_cache_size = outcome_cache_size
+        self.module_cache_size = module_cache_size
+        self.started_at = time.time()
+        self._lock = threading.RLock()
+        self._in_flight: dict[tuple, _Flight] = {}
+        #: compute key -> (ok, payload); completed outcomes, LRU-bounded
+        self._outcomes: OrderedDict[tuple, tuple[bool, Any]] = OrderedDict()
+        #: (module hash, pipeline) -> parsed-and-optimized module object
+        self._modules: OrderedDict[tuple, Any] = OrderedDict()
+        self._pending: Counter[str] = Counter()
+        self._pending_total = 0
+        # -- counters (all under self._lock) ------------------------------
+        self.requests = 0
+        self.by_op: Counter[str] = Counter()
+        self.by_tenant: Counter[str] = Counter()
+        self.coalesced = 0
+        self.outcome_hits = 0
+        self.module_hits = 0
+        self.admission_rejected = 0
+        self.errors = 0
+
+    # -- admission --------------------------------------------------------
+
+    def _admit(self, tenant: str) -> None:
+        with self._lock:
+            if self._pending_total >= self.max_pending:
+                self.admission_rejected += 1
+                raise AdmissionError(
+                    f"service over capacity ({self.max_pending} pending)"
+                )
+            if self._pending[tenant] >= self.max_pending_per_tenant:
+                self.admission_rejected += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} over quota "
+                    f"({self.max_pending_per_tenant} pending)"
+                )
+            self._pending[tenant] += 1
+            self._pending_total += 1
+
+    def _release(self, tenant: str) -> None:
+        with self._lock:
+            self._pending[tenant] -= 1
+            if self._pending[tenant] <= 0:
+                del self._pending[tenant]
+            self._pending_total -= 1
+
+    # -- request entry points ---------------------------------------------
+
+    def handle_line(self, line: str | bytes) -> bytes:
+        """Decode one wire line, handle it, encode the response."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as error:
+            with self._lock:
+                self.errors += 1
+            return encode(error_response({}, "protocol", str(error)))
+        return encode(self.handle(request))
+
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Handle one validated request; always returns a response dict."""
+        op = request["op"]
+        tenant = request.get("tenant", DEFAULT_TENANT)
+        started = time.perf_counter()
+        with self._lock:
+            self.requests += 1
+            self.by_op[op] += 1
+            self.by_tenant[tenant] += 1
+
+        def meta(**extra: Any) -> dict[str, Any]:
+            wall_ms = (time.perf_counter() - started) * 1e3
+            base = {"tenant": tenant, "wall_ms": round(wall_ms, 3)}
+            base.update(extra)
+            return base
+
+        if op == "ping":
+            return ok_response(request, {"protocol": PROTOCOL}, meta())
+        if op == "stats":
+            return ok_response(request, self.stats(), meta())
+        if op == "shutdown":
+            # The server watches for this op and stops accepting after the
+            # response is written; the service itself has nothing to stop.
+            return ok_response(request, {"shutting_down": True}, meta())
+
+        try:
+            self._admit(tenant)
+        except AdmissionError as error:
+            return error_response(request, "admission", str(error), meta())
+        try:
+            ok, payload, shared = self._compute_shared(op, request)
+        finally:
+            self._release(tenant)
+        if ok:
+            return ok_response(
+                request,
+                payload,
+                meta(coalesced=shared == "coalesced", cached=shared == "cached"),
+            )
+        kind, message = payload
+        with self._lock:
+            self.errors += 1
+        return error_response(
+            request,
+            kind,
+            message,
+            meta(coalesced=shared == "coalesced", cached=shared == "cached"),
+        )
+
+    # -- the dedup core ----------------------------------------------------
+
+    def _compute_key(self, op: str, request: dict[str, Any]) -> tuple:
+        return (
+            op,
+            _module_key(request["module"]),
+            self._pipeline_name(op, request),
+            request.get("function", "main"),
+            tuple(request.get("args") or ()),
+            bool(request.get("functional", False)),
+        )
+
+    @staticmethod
+    def _pipeline_name(op: str, request: dict[str, Any]) -> str:
+        pipeline = request.get("pipeline")
+        if pipeline is None:
+            pipeline = "full" if op == "compile" else ""
+        return pipeline
+
+    def _compute_shared(
+        self, op: str, request: dict[str, Any]
+    ) -> tuple[bool, Any, str]:
+        """Run the computation with outcome sharing.
+
+        Returns ``(ok, payload, shared)`` where ``shared`` is ``"computed"``,
+        ``"coalesced"`` (an in-flight duplicate did the work) or ``"cached"``
+        (a completed duplicate did).
+        """
+        if not self.dedup:
+            return (*self._execute(op, request), "computed")
+        key = self._compute_key(op, request)
+        while True:
+            with self._lock:
+                outcome = self._outcomes.get(key)
+                if outcome is not None:
+                    self._outcomes.move_to_end(key)
+                    self.outcome_hits += 1
+                    return (*outcome, "cached")
+                flight = self._in_flight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._in_flight[key] = flight
+                    owner = True
+                else:
+                    owner = False
+                    self.coalesced += 1
+            if not owner:
+                flight.event.wait()
+                if flight.outcome is None:  # owner died abnormally; retry
+                    continue
+                return (*flight.outcome, "coalesced")
+            try:
+                outcome = self._execute(op, request)
+            except BaseException:
+                # Unexpected (non-protocol) crash: don't poison waiters with
+                # a stuck flight — wake them to retry, then propagate.
+                with self._lock:
+                    self._in_flight.pop(key, None)
+                flight.event.set()
+                raise
+            flight.outcome = outcome
+            with self._lock:
+                self._outcomes[key] = outcome
+                while len(self._outcomes) > self.outcome_cache_size:
+                    self._outcomes.popitem(last=False)
+                self._in_flight.pop(key, None)
+            flight.event.set()
+            return (*outcome, "computed")
+
+    # -- computation proper -------------------------------------------------
+
+    def _parsed_module(self, op: str, request: dict[str, Any]):
+        """Parse + verify + optimize, reusing the module cache when allowed."""
+        text = request["module"]
+        pipeline = self._pipeline_name(op, request)
+        if pipeline and pipeline not in PIPELINES:
+            raise ProtocolError(
+                f"unknown pipeline {pipeline!r}; expected one of "
+                f"{', '.join(sorted(PIPELINES))}"
+            )
+        key = (_module_key(text), pipeline)
+        if self.dedup:
+            with self._lock:
+                module = self._modules.get(key)
+                if module is not None:
+                    self._modules.move_to_end(key)
+                    self.module_hits += 1
+                    return module
+        module = parse_module(text, "<request>")
+        verify_operation(module)
+        if pipeline:
+            pipeline_by_name(pipeline).run(module)
+        if self.dedup:
+            with self._lock:
+                self._modules[key] = module
+                while len(self._modules) > self.module_cache_size:
+                    self._modules.popitem(last=False)
+        return module
+
+    def _execute(self, op: str, request: dict[str, Any]) -> tuple[bool, Any]:
+        """One computation; never raises for request-shaped problems."""
+        try:
+            module = self._parsed_module(op, request)
+            handler = getattr(self, f"_op_{op}")
+            return (True, handler(module, request))
+        except ProtocolError as error:
+            return (False, ("protocol", str(error)))
+        except Exception as error:  # noqa: BLE001 - reported to the client
+            return (False, (type(error).__name__, str(error)))
+
+    def _op_compile(self, module, request: dict[str, Any]) -> dict[str, Any]:
+        fingerprint = module_fingerprint(module)
+        # Publish the compiled trace into the shared cache so any tenant's
+        # later simulate of the same module starts warm.
+        self.cache.get_or_compile(module, key=fingerprint)
+        return {
+            "text": str(module),
+            "fingerprint": fingerprint,
+            "ops": sum(1 for _ in module.walk()),
+        }
+
+    def _op_simulate(self, module, request: dict[str, Any]) -> dict[str, Any]:
+        sim = CoSimulator(functional=bool(request.get("functional", False)))
+        results, sim = run_module_traced(
+            module,
+            sim,
+            function=request.get("function", "main"),
+            args=list(request.get("args") or []),
+            cache=self.cache,
+        )
+        stats = sim.trace.stats(sim.cost_model)
+        return {
+            "results": [int(value) for value in results],
+            "total_cycles": sim.total_cycles,
+            "instrs": {
+                "total": stats.total_instrs,
+                "setup": stats.setup_instrs,
+                "calc": stats.calc_instrs,
+            },
+            "config_bytes": stats.config_bytes,
+            "launches": {
+                name: device.launch_count
+                for name, device in sim.devices.items()
+            },
+        }
+
+    def _op_lint(self, module, request: dict[str, Any]) -> dict[str, Any]:
+        from ..analysis import Severity, run_lints
+
+        diagnostics = run_lints(
+            module,
+            target=request.get("target"),
+            analyses=self.analyses,
+        )
+        return {
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "errors": sum(
+                1 for d in diagnostics if d.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for d in diagnostics if d.severity is Severity.WARNING
+            ),
+        }
+
+    def _op_cost(self, module, request: dict[str, Any]) -> dict[str, Any]:
+        from ..analysis.cost import format_cost_table
+
+        analysis = self.analyses.cost(module)
+        return {"table": format_cost_table(analysis)}
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "protocol": PROTOCOL,
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "dedup": self.dedup,
+                "requests": self.requests,
+                "by_op": dict(self.by_op),
+                "tenants": len(self.by_tenant),
+                "pending": self._pending_total,
+                "coalesced": self.coalesced,
+                "outcome_hits": self.outcome_hits,
+                "module_hits": self.module_hits,
+                "admission_rejected": self.admission_rejected,
+                "errors": self.errors,
+                "dedup_hit_rate": round(
+                    (self.coalesced + self.outcome_hits) / self.requests, 4
+                )
+                if self.requests
+                else 0.0,
+                "trace_cache": {
+                    "entries": len(self.cache),
+                    "hits": self.cache.hits,
+                    "misses": self.cache.misses,
+                    "coalesced": getattr(self.cache, "coalesced", 0),
+                },
+                "analyses": {
+                    "entries": len(self.analyses),
+                    "hits": self.analyses.hits,
+                    "misses": self.analyses.misses,
+                },
+            }
+
+
+#: ops every service understands (re-exported for the server/CLI)
+SERVICE_OPS = MODULE_OPS + ("stats", "ping", "shutdown")

@@ -1,0 +1,184 @@
+"""Thread-safety of the shared caches under a concurrent server.
+
+The serving layer hands ONE TraceCache (and one PersistentStore) to many
+handler threads; these tests hammer the shared structures from 8 threads
+and pin the two guarantees the server relies on: no entry is ever lost,
+and concurrent same-key callers coalesce onto exactly one compilation.
+"""
+
+import threading
+import time
+
+import repro.engine.cache as cache_mod
+from repro.engine import TraceCache
+from repro.engine.pcache import PersistentStore
+from repro.ir import parse_module
+
+PROGRAM = """
+func.func @main(%x : i64) -> (i64) {
+  %c = arith.constant 3 : i64
+  %y = arith.addi %x, %c : i64
+  func.return %y : i64
+}
+"""
+
+THREADS = 8
+
+
+def run_threads(worker) -> None:
+    barrier = threading.Barrier(THREADS)
+    failures = []
+
+    def wrapped(index: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            worker(index)
+        except Exception as error:  # noqa: BLE001 - surfaced via assert
+            failures.append(error)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not failures, failures
+
+
+class TestTraceCacheHammer:
+    def test_same_key_compiles_exactly_once(self, monkeypatch):
+        real_compile = cache_mod.compile_module
+        compiles = []
+        record = threading.Lock()
+
+        def counting_compile(module):
+            with record:
+                compiles.append(threading.get_ident())
+            time.sleep(0.02)  # widen the race window
+            return real_compile(module)
+
+        monkeypatch.setattr(cache_mod, "compile_module", counting_compile)
+        cache = TraceCache()
+        module = parse_module(PROGRAM)
+        results = [None] * THREADS
+
+        def worker(index: int) -> None:
+            results[index] = cache.get_or_compile(module, key="shared")
+
+        run_threads(worker)
+        assert len(compiles) == 1  # single-flight: one compile served all 8
+        assert all(result is results[0] for result in results)
+        assert cache.misses == 1
+        assert cache.hits == THREADS - 1
+        assert cache.coalesced >= 1
+
+    def test_hammer_loses_no_entries_and_never_double_compiles(
+        self, monkeypatch
+    ):
+        real_compile = cache_mod.compile_module
+        compiles = []
+        record = threading.Lock()
+
+        def counting_compile(module):
+            with record:
+                compiles.append(1)
+            time.sleep(0.001)
+            return real_compile(module)
+
+        monkeypatch.setattr(cache_mod, "compile_module", counting_compile)
+        keys = [f"key-{i}" for i in range(16)]
+        cache = TraceCache(maxsize=len(keys))
+        module = parse_module(PROGRAM)
+
+        def worker(index: int) -> None:
+            # Every thread touches every key, in a thread-specific order.
+            for key in keys[index:] + keys[:index]:
+                assert cache.get_or_compile(module, key=key) is not None
+
+        run_threads(worker)
+        assert len(compiles) == len(keys)  # exactly one compile per key
+        assert len(cache) == len(keys)  # no entry lost
+        for key in keys:
+            assert cache.get(key) is not None
+        assert cache.misses == len(keys)
+        assert cache.hits == THREADS * len(keys) - len(keys)
+
+    def test_compile_failure_wakes_waiters_without_poisoning(
+        self, monkeypatch
+    ):
+        real_compile = cache_mod.compile_module
+        attempts = []
+        record = threading.Lock()
+
+        def flaky_compile(module):
+            with record:
+                attempts.append(1)
+                first = len(attempts) == 1
+            if first:
+                time.sleep(0.02)
+                raise RuntimeError("injected compile failure")
+            return real_compile(module)
+
+        monkeypatch.setattr(cache_mod, "compile_module", flaky_compile)
+        cache = TraceCache()
+        module = parse_module(PROGRAM)
+        outcomes = [None] * THREADS
+
+        def worker(index: int) -> None:
+            try:
+                outcomes[index] = cache.get_or_compile(module, key="flaky")
+            except RuntimeError as error:
+                outcomes[index] = error
+
+        run_threads(worker)
+        errors = [o for o in outcomes if isinstance(o, RuntimeError)]
+        # The failure propagated to the owner and everyone coalesced with
+        # it — nobody hung, nobody got None.
+        assert errors
+        assert all(o is not None for o in outcomes)
+        # And the failed flight left no poison behind: the next caller
+        # compiles fresh and succeeds.
+        assert cache.get_or_compile(module, key="flaky") is not None
+        assert cache.get("flaky") is not None
+
+
+class TestPersistentStoreHammer:
+    def test_counters_stay_consistent_under_threads(self, tmp_path):
+        store = PersistentStore(str(tmp_path))
+        rounds = 10
+
+        def worker(index: int) -> None:
+            for round_index in range(rounds):
+                store.save("blob", f"k{index}-{round_index}", b"x" * 64)
+                assert (
+                    store.load("blob", f"k{index}-{round_index}") == b"x" * 64
+                )
+                store.load("blob", f"absent-{index}-{round_index}")
+
+        run_threads(worker)
+        total = THREADS * rounds
+        assert store.stores == total
+        assert store.hits == total
+        assert store.misses == total  # the absent probes
+        assert store.rejected == 0
+        for index in range(THREADS):
+            for round_index in range(rounds):
+                assert store.load("blob", f"k{index}-{round_index}") is not None
+
+    def test_shared_key_with_eviction_pressure(self, tmp_path):
+        # Every thread rewrites the same key while the size bound forces
+        # eviction sweeps; whatever survives must be complete and loadable.
+        store = PersistentStore(str(tmp_path), max_bytes=4096)
+
+        def worker(index: int) -> None:
+            for _ in range(10):
+                store.save("blob", "shared", bytes([index]) * 128)
+                store.save("blob", f"mine-{index}", bytes([index]) * 128)
+
+        run_threads(worker)
+        loaded = store.load("blob", "shared")
+        if loaded is not None:  # may have been evicted, never torn
+            assert len(loaded) == 128
+            assert len(set(loaded)) == 1
+        assert store.rejected == 0

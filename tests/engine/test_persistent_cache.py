@@ -137,6 +137,65 @@ class TestCorruptionTolerance:
         assert store.load("trace", "k") is None
 
 
+class TestEvictionDeterminism:
+    """LRU eviction must not depend on listing order or mtime granularity."""
+
+    def test_lru_ticks_strictly_increase(self):
+        from repro.engine.pcache import _lru_tick
+
+        ticks = [_lru_tick() for _ in range(1000)]
+        assert all(a < b for a, b in zip(ticks, ticks[1:]))
+
+    def test_lru_ticks_unique_across_threads(self):
+        import threading
+
+        from repro.engine.pcache import _lru_tick
+
+        collected: list[int] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            mine = [_lru_tick() for _ in range(200)]
+            with lock:
+                collected.extend(mine)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(set(collected)) == len(collected) == 8 * 200
+
+    def test_identical_mtimes_break_ties_by_path(self, tmp_path):
+        store = PersistentStore(str(tmp_path), max_bytes=1 << 20)
+        for i in range(4):
+            store.save("blob", f"k{i}", b"z" * 256)
+        entries = store._entries()
+        paths = sorted(path for _, path, _ in entries)
+        # Simulate cross-process writers whose ticks collided on a
+        # coarse-mtime filesystem: every entry lands on one timestamp.
+        for path in paths:
+            os.utime(path, ns=(1_000_000, 1_000_000))
+        total = sum(size for _, _, size in entries)
+        store.max_bytes = total - 1  # exactly one must go
+        store._evict()
+        survivors = sorted(path for _, path, _ in store._entries())
+        # The lexicographically smallest path is the deterministic victim.
+        assert survivors == paths[1:]
+
+    def test_load_touch_protects_an_entry_from_eviction(self, tmp_path):
+        store = PersistentStore(str(tmp_path), max_bytes=1 << 20)
+        store.save("blob", "protected", b"a" * 256)
+        store.save("blob", "stale", b"b" * 256)
+        # "protected" is older by save order; loading it refreshes its
+        # recency, so the size bound evicts "stale" instead.
+        assert store.load("blob", "protected") is not None
+        store.max_bytes = max(size for _, _, size in store._entries())
+        store._evict()
+        assert store.load("blob", "protected") is not None
+        assert store.load("blob", "stale") is None
+
+
 class TestEviction:
     def test_size_bound_evicts_oldest_first(self, tmp_path):
         store = PersistentStore(str(tmp_path), max_bytes=1)

@@ -1,0 +1,101 @@
+"""Wire-protocol validation: every malformed request is a clean error."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    ALL_OPS,
+    MODULE_OPS,
+    ProtocolError,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+
+MODULE = 'func.func @main() -> () { func.return }'
+
+
+def line(**fields) -> bytes:
+    return encode(fields)
+
+
+class TestDecode:
+    def test_valid_request_round_trips(self):
+        request = decode_request(
+            line(id=7, op="compile", module=MODULE, tenant="t0")
+        )
+        assert request["id"] == 7
+        assert request["op"] == "compile"
+        assert request["tenant"] == "t0"
+
+    def test_every_op_is_accepted(self):
+        for op in ALL_OPS:
+            fields = {"op": op}
+            if op in MODULE_OPS:
+                fields["module"] = MODULE
+            decode_request(line(**fields))
+
+    def test_not_utf8_rejected(self):
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_request(b"\xff\xfe{}")
+
+    def test_not_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            decode_request(b"{nope\n")
+
+    def test_not_an_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_request(b"[1, 2]\n")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_request(line(op="transmogrify"))
+
+    def test_module_op_requires_module(self):
+        for op in MODULE_OPS:
+            with pytest.raises(ProtocolError, match="non-empty 'module'"):
+                decode_request(line(op=op))
+            with pytest.raises(ProtocolError, match="non-empty 'module'"):
+                decode_request(line(op=op, module="   "))
+
+    def test_tenant_must_be_nonempty_string(self):
+        with pytest.raises(ProtocolError, match="tenant"):
+            decode_request(line(op="ping", tenant=""))
+        with pytest.raises(ProtocolError, match="tenant"):
+            decode_request(line(op="ping", tenant=42))
+
+    def test_args_must_be_integer_list(self):
+        for bad in ("5", [1, "2"], [True], {"a": 1}):
+            with pytest.raises(ProtocolError, match="args"):
+                decode_request(
+                    line(op="simulate", module=MODULE, args=bad)
+                )
+        decode_request(line(op="simulate", module=MODULE, args=[1, -2]))
+
+    def test_pipeline_and_function_must_be_strings(self):
+        with pytest.raises(ProtocolError, match="pipeline"):
+            decode_request(line(op="compile", module=MODULE, pipeline=3))
+        with pytest.raises(ProtocolError, match="function"):
+            decode_request(line(op="simulate", module=MODULE, function=3))
+
+
+class TestEncode:
+    def test_one_line_utf8(self):
+        blob = encode({"op": "ping", "note": "héllo"})
+        assert blob.endswith(b"\n")
+        assert blob.count(b"\n") == 1
+        assert json.loads(blob)["note"] == "héllo"
+
+    def test_ok_response_echoes_id(self):
+        response = ok_response({"id": "abc"}, {"x": 1}, {"tenant": "t"})
+        assert response["id"] == "abc"
+        assert response["ok"] is True
+        assert response["result"] == {"x": 1}
+
+    def test_error_response_tolerates_junk_request(self):
+        response = error_response("not a dict", "protocol", "boom")
+        assert response["id"] is None
+        assert response["ok"] is False
+        assert response["error"]["type"] == "protocol"

@@ -1,0 +1,174 @@
+"""The config-wall-aware scheduler: costs, policies, fairness, grounding."""
+
+from repro.backends import get_accelerator
+from repro.ir import parse_module
+from repro.serve import (
+    TenantJob,
+    compare_policies,
+    config_aware_order,
+    extract_config,
+    job_from_module,
+    run_config_aware,
+    run_fifo,
+    run_oracle,
+    setup_cost,
+)
+
+SPEC = get_accelerator("toyvec")
+
+CONFIG_A = {"n": 8}
+CONFIG_B = {"n": 64}
+
+
+def jobs_round_robin(
+    tenants: int, per_tenant: int, configs: list[dict]
+) -> list[TenantJob]:
+    """The worst interleaving: tenants alternate, job by job."""
+    jobs = []
+    arrival = 0
+    for _ in range(per_tenant):
+        for index in range(tenants):
+            jobs.append(
+                TenantJob.make(
+                    f"t{index}",
+                    configs[index % len(configs)],
+                    compute_cycles=100.0,
+                    arrival=arrival,
+                )
+            )
+            arrival += 1
+    return jobs
+
+
+class TestSetupCost:
+    def test_empty_fields_cost_nothing(self):
+        assert setup_cost(SPEC, []) == (0, 0.0, 0)
+
+    def test_costs_match_the_spec(self):
+        instrs, cycles, nbytes = setup_cost(SPEC, ["n"])
+        assert instrs == len(SPEC.setup_instrs_cached(["n"]))
+        assert cycles > 0
+        assert nbytes == SPEC.config_bytes(["n"])
+
+
+class TestPolicies:
+    def test_fifo_runs_in_arrival_order(self):
+        jobs = jobs_round_robin(3, 2, [CONFIG_A])
+        result = run_fifo(jobs, SPEC)
+        assert result.order == sorted(result.order)
+        assert result.context_switches == len(jobs) - 1
+
+    def test_fifo_repays_setup_on_every_switch(self):
+        jobs = jobs_round_robin(2, 2, [CONFIG_A])
+        fifo = run_fifo(jobs, SPEC)
+        # 4 jobs, every one a tenant switch after the first: 4 full setups.
+        single = setup_cost(SPEC, ["n"])[1]
+        assert fifo.config_cycles == 4 * single
+
+    def test_oracle_pays_each_signature_once(self):
+        jobs = jobs_round_robin(4, 3, [CONFIG_A, CONFIG_B])
+        oracle = run_oracle(jobs, SPEC)
+        assert oracle.config_cycles == 2 * setup_cost(SPEC, ["n"])[1]
+        assert oracle.repaid_config_cycles == 0.0
+
+    def test_same_config_needs_no_rewrite_across_tenants(self):
+        jobs = jobs_round_robin(4, 2, [CONFIG_A])
+        aware = run_config_aware(jobs, SPEC, quota=8)
+        # One setup total: the shared shadow register file makes every
+        # other job a zero-diff.
+        assert aware.config_cycles == setup_cost(SPEC, ["n"])[1]
+
+    def test_all_policies_run_every_job(self):
+        jobs = jobs_round_robin(3, 3, [CONFIG_A, CONFIG_B])
+        results = compare_policies(jobs, SPEC)
+        for result in results.values():
+            assert sorted(result.order) == list(range(len(jobs)))
+
+    def test_aware_beats_fifo_on_interleaved_tenants(self):
+        jobs = jobs_round_robin(4, 3, [CONFIG_A, CONFIG_B])
+        results = compare_policies(jobs, SPEC, quota=2)
+        fifo, aware = results["fifo"], results["config-aware"]
+        oracle = results["oracle"]
+        assert aware.repaid_config_cycles < fifo.repaid_config_cycles
+        assert oracle.config_cycles <= aware.config_cycles
+        assert aware.throughput > fifo.throughput
+
+
+class TestFairness:
+    def test_quota_bounds_consecutive_runs(self):
+        jobs = jobs_round_robin(2, 6, [CONFIG_A, CONFIG_B])
+        ordered = config_aware_order(jobs, SPEC, quota=2, max_wait=100)
+        longest = run = 1
+        for previous, current in zip(ordered, ordered[1:]):
+            run = run + 1 if current.tenant == previous.tenant else 1
+            longest = max(longest, run)
+        assert longest <= 2
+
+    def test_aging_bounds_waiting(self):
+        # One cheap same-config herd plus one expensive odd tenant out:
+        # without aging the odd job would sink to the end of the schedule.
+        herd = [
+            TenantJob.make("t0", CONFIG_A, compute_cycles=100.0, arrival=a)
+            for a in [0, *range(2, 13)]
+        ]
+        odd = TenantJob.make("odd", CONFIG_B, compute_cycles=100.0, arrival=1)
+        jobs = sorted(herd + [odd], key=lambda job: job.arrival)
+        patient = run_config_aware(jobs, SPEC, quota=100, max_wait=100)
+        bounded = run_config_aware(jobs, SPEC, quota=100, max_wait=3)
+        assert patient.order.index(1) == len(jobs) - 1  # starved
+        assert bounded.order.index(1) <= 5  # aged in
+        assert bounded.max_wait <= patient.max_wait
+
+    def test_schedule_is_deterministic(self):
+        jobs = jobs_round_robin(4, 3, [CONFIG_A, CONFIG_B])
+        first = config_aware_order(jobs, SPEC, quota=2)
+        second = config_aware_order(list(jobs), SPEC, quota=2)
+        assert [job.arrival for job in first] == [
+            job.arrival for job in second
+        ]
+
+
+PROGRAM = """
+func.func @main() -> () {
+  %a = arith.constant 8 : i64
+  %b = arith.constant 16 : i64
+  %s = accfg.setup on "toyvec" ("n" = %a : i64) : !accfg.state<"toyvec">
+  %t = accfg.launch %s : !accfg.token<"toyvec">
+  accfg.await %t
+  %s2 = accfg.setup on "toyvec" from %s ("n" = %b : i64) : !accfg.state<"toyvec">
+  %t2 = accfg.launch %s2 : !accfg.token<"toyvec">
+  accfg.await %t2
+  func.return
+}
+"""
+
+
+class TestGrounding:
+    def test_extract_config_later_write_wins(self):
+        module = parse_module(PROGRAM)
+        assert extract_config(module, "toyvec") == {"n": 16}
+
+    def test_extract_config_filters_by_accelerator(self):
+        module = parse_module(PROGRAM)
+        assert extract_config(module, "other") == {}
+
+    def test_job_from_module_counts_launches(self):
+        module = parse_module(PROGRAM)
+        job = job_from_module(module, "toyvec", tenant="t", arrival=0)
+        assert job.config_dict == {"n": 16}
+        assert job.compute_cycles == 2 * SPEC.compute_cycles({"n": 16})
+
+
+class TestExperimentInvariants:
+    def test_quick_sweep_holds_the_acceptance_invariant(self):
+        from repro.experiments import multitenant
+
+        points = multitenant.run(tenant_counts=(2, 4))
+        for point in points:
+            fifo = point.results["fifo"]
+            aware = point.results["config-aware"]
+            assert aware["jobs"] == fifo["jobs"]
+            assert (
+                aware["repaid_config_cycles"] < fifo["repaid_config_cycles"]
+            )
+            assert aware["total_cycles"] < fifo["total_cycles"]

@@ -1,0 +1,54 @@
+"""The bench --check regression gate (pure logic, no workloads run)."""
+
+from repro.bench import SERVE_MIN_SPEEDUP, check_regression
+
+
+def doc(fuzz_rate=40.0, calibration=1e6, serve=None) -> dict:
+    workloads = {"fuzz_iteration": {"programs_per_s": fuzz_rate}}
+    if serve is not None:
+        workloads["serve"] = serve
+    return {
+        "meta": {"calibration_ops_per_s": calibration},
+        "workloads": workloads,
+    }
+
+
+class TestFuzzGate:
+    def test_equal_numbers_pass(self):
+        assert check_regression(doc(), doc()) == []
+
+    def test_large_regression_fails(self):
+        problems = check_regression(doc(fuzz_rate=20.0), doc(fuzz_rate=40.0))
+        assert problems and "fuzz_iteration" in problems[0]
+
+    def test_calibration_rescales_the_floor(self):
+        # Half the machine speed excuses half the throughput.
+        current = doc(fuzz_rate=20.0, calibration=0.5e6)
+        committed = doc(fuzz_rate=40.0, calibration=1e6)
+        assert check_regression(current, committed) == []
+
+    def test_missing_baseline_workload_is_a_problem(self):
+        problems = check_regression(doc(), {"workloads": {}})
+        assert problems
+
+
+class TestServeGate:
+    def test_fast_serve_passes(self):
+        current = doc(serve={"speedup_vs_serial": SERVE_MIN_SPEEDUP + 1})
+        assert check_regression(current, doc()) == []
+
+    def test_slow_serve_fails(self):
+        current = doc(serve={"speedup_vs_serial": SERVE_MIN_SPEEDUP / 2})
+        problems = check_regression(current, doc())
+        assert problems and "serve" in problems[0]
+
+    def test_failed_requests_fail_the_gate(self):
+        current = doc(
+            serve={"speedup_vs_serial": SERVE_MIN_SPEEDUP + 1, "errors": 2}
+        )
+        problems = check_regression(current, doc())
+        assert problems and "failed request" in problems[0]
+
+    def test_absent_serve_workload_is_tolerated(self):
+        # Old benchmark documents (and partial runs) have no serve entry.
+        assert check_regression(doc(), doc()) == []

@@ -73,6 +73,36 @@ class TestShardedFuzz:
         assert report.jobs == 2
         assert "2 job(s)" in report.summary()
 
+    def test_batch_engine_shards_match_sequential(self):
+        # `fuzz --jobs N --engine batch` together: the batch-vs-scalar
+        # lockstep cross-check must survive sharding with an identical
+        # merged report (same programs, same verdicts, same failure list).
+        sequential = fuzz(
+            seed=0,
+            iterations=8,
+            backends=("toyvec",),
+            corpus_dir=None,
+            engine="batch",
+        )
+        sharded = fuzz_sharded(
+            jobs=2,
+            seed=0,
+            iterations=8,
+            backends=("toyvec",),
+            corpus_dir=None,
+            engine="batch",
+        )
+        assert sharded.jobs == 2
+        assert sharded.programs_run == sequential.programs_run == 8
+        assert sharded.ok == sequential.ok
+        assert [
+            (f.iteration, f.backend, f.failure.pipeline)
+            for f in sharded.failures
+        ] == [
+            (f.iteration, f.backend, f.failure.pipeline)
+            for f in sequential.failures
+        ]
+
     def test_shards_generate_the_sequential_programs(self):
         # The generator must key programs on the *absolute* iteration index,
         # or shard boundaries would change what gets tested.

@@ -1,0 +1,140 @@
+"""CI smoke test for `python -m repro serve` (the serve-smoke job).
+
+Boots a real server, fires ~50 mixed compile/simulate/lint/cost requests at
+it from 8 concurrent client connections (several tenants, duplicate-heavy —
+the workload the dedup tiers exist for), then checks:
+
+* every request succeeded,
+* the dedup tiers actually engaged (hit rate > 0),
+* a `shutdown` request stops the server cleanly.
+
+Exits non-zero with a diagnostic on any failure.
+"""
+
+import sys
+import threading
+
+sys.path.insert(0, "src")
+
+from repro.serve import CompileService, ReproClient, ReproServer, probe  # noqa: E402
+
+PROGRAMS = [
+    """
+func.func @main(%x : i64) -> (i64) {
+  %n = arith.constant 4 : i64
+  %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+  %t = accfg.launch %s : !accfg.token<"toyvec">
+  accfg.await %t
+  %c = arith.constant 3 : i64
+  %y = arith.addi %x, %c : i64
+  func.return %y : i64
+}
+""",
+    """
+func.func @main(%x : i64) -> (i64) {
+  %n = arith.constant 8 : i64
+  %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+  %t = accfg.launch %s : !accfg.token<"toyvec">
+  accfg.await %t
+  %y = arith.muli %x, %n : i64
+  func.return %y : i64
+}
+""",
+]
+
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 7  # 56 total
+
+
+def client_worker(host: str, port: int, index: int, failures: list) -> None:
+    try:
+        with ReproClient(host, port, timeout=60.0) as client:
+            tenant = f"tenant{index % 4}"
+            for step in range(REQUESTS_PER_CLIENT):
+                module = PROGRAMS[(index + step) % len(PROGRAMS)]
+                kind = step % 4
+                if kind == 0:
+                    response = client.compile(module, tenant=tenant)
+                elif kind == 1:
+                    response = client.simulate(module, args=[1], tenant=tenant)
+                elif kind == 2:
+                    response = client.lint(module, tenant=tenant)
+                else:
+                    response = client.cost(module, tenant=tenant)
+                if not response.get("ok"):
+                    failures.append(f"client {index} step {step}: {response}")
+    except Exception as error:  # noqa: BLE001 - reported via failures
+        failures.append(f"client {index}: {type(error).__name__}: {error}")
+
+
+def main() -> int:
+    service = CompileService()
+    server = ReproServer(service=service)
+    server.start()
+    host, port = server.address
+    print(f"serve-smoke: server on {host}:{port}")
+
+    failures: list = []
+    threads = [
+        threading.Thread(target=client_worker, args=(host, port, i, failures))
+        for i in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        if thread.is_alive():
+            failures.append("client thread hung")
+
+    stats = service.stats()
+    print(
+        f"serve-smoke: {stats['requests']} requests, "
+        f"dedup hit rate {stats['dedup_hit_rate']:.1%} "
+        f"(coalesced {stats['coalesced']}, outcome hits "
+        f"{stats['outcome_hits']}, module hits {stats['module_hits']}), "
+        f"{stats['errors']} error(s)"
+    )
+
+    if failures:
+        for failure in failures[:10]:
+            print(f"serve-smoke: FAIL {failure}", file=sys.stderr)
+        return 1
+    if stats["requests"] != CLIENTS * REQUESTS_PER_CLIENT:
+        print(
+            f"serve-smoke: FAIL expected {CLIENTS * REQUESTS_PER_CLIENT} "
+            f"requests, saw {stats['requests']}",
+            file=sys.stderr,
+        )
+        return 1
+    if stats["errors"]:
+        print(
+            f"serve-smoke: FAIL {stats['errors']} request(s) errored",
+            file=sys.stderr,
+        )
+        return 1
+    if stats["dedup_hit_rate"] <= 0:
+        print(
+            "serve-smoke: FAIL dedup tiers never engaged on a "
+            "duplicate-heavy workload",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Clean shutdown via the protocol, like a real operator would.
+    with ReproClient(host, port) as client:
+        response = client.shutdown()
+        if not response.get("ok"):
+            print(f"serve-smoke: FAIL shutdown refused: {response}",
+                  file=sys.stderr)
+            return 1
+    server.stop()
+    if probe(host, port):
+        print("serve-smoke: FAIL server still accepting after shutdown",
+              file=sys.stderr)
+        return 1
+    print("serve-smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
