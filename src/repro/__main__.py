@@ -315,6 +315,82 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return bench.main(argv)
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import time
+
+    from .ioutil import atomic_write_json
+    from .tune import TuneConfig, format_tune_table, run_tune
+
+    config = TuneConfig(
+        families=tuple(args.families.split(",")),
+        sizes=tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None,
+        quick=args.quick,
+        jobs=args.jobs,
+        seed=args.seed,
+        refine_rounds=args.refine_rounds,
+    )
+    cache_path = (
+        os.path.join(args.cache_dir, "tune-scores.json")
+        if args.cache_dir
+        else None
+    )
+    resume_scores = None
+    if args.resume:
+        try:
+            with open(args.out) as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            previous = {}
+        resume_scores = previous.get("evaluated") or None
+        if resume_scores:
+            print(
+                f"resuming: {len(resume_scores)} previously evaluated "
+                f"candidate(s) from {args.out}"
+            )
+    started = time.perf_counter()
+    report = run_tune(
+        config,
+        cache_path=cache_path,
+        resume_scores=resume_scores,
+        progress=print,
+    )
+    wall = time.perf_counter() - started
+    atomic_write_json(args.out, report)
+    print(format_tune_table(report))
+    print(f"wrote {args.out} ({wall:.1f}s)")
+
+    failed = False
+    mismatches = sum(s["oracle_mismatches"] for s in report["results"])
+    if mismatches:
+        print(f"error: {mismatches} oracle mismatch(es) on validated points")
+        failed = True
+    incorrect = [
+        entry["key"]
+        for section in report["results"]
+        for entry in section["validated"]
+        if not entry["correct"]
+    ]
+    if incorrect:
+        print(f"error: {len(incorrect)} validated point(s) computed wrong results")
+        failed = True
+    if args.require_improvement:
+        for section in report["results"]:
+            if section["family"] == "mlp":
+                continue  # gate applies to the matmul families
+            best = section["best"]["simulated_cycles"]
+            default = section["default"]["simulated_cycles"]
+            if not best < default:
+                print(
+                    f"error: no improvement for {section['family']} "
+                    f"n={section['size']} (best {best:.0f} vs default "
+                    f"{default:.0f} cycles)"
+                )
+                failed = True
+    return 1 if failed else 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import runner
 
@@ -624,6 +700,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--freeze-baseline", action="store_true")
     bench.set_defaults(func=cmd_bench)
+
+    tune = sub.add_parser(
+        "tune",
+        help="autotune schedules with the symbolic-cost surrogate, "
+        "validating the frontier by simulation",
+    )
+    tune.add_argument(
+        "--families",
+        default="opengemm,gemmini,mlp",
+        help="comma-separated workload families (default: all)",
+    )
+    tune.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated problem sizes (default: per-family presets)",
+    )
+    tune.add_argument("--quick", action="store_true", help="smaller grids")
+    tune.add_argument(
+        "--jobs", type=int, default=1, help="surrogate worker processes"
+    )
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument(
+        "--refine-rounds", type=int, default=2, help="greedy refinement rounds"
+    )
+    tune.add_argument("--out", default="tune.json", help="JSON report path")
+    tune.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the persistent surrogate-score cache",
+    )
+    tune.add_argument(
+        "--resume",
+        action="store_true",
+        help="seed the score cache from a previous --out report",
+    )
+    tune.add_argument(
+        "--require-improvement",
+        action="store_true",
+        help="exit 1 unless the tuner strictly beats the default schedule "
+        "for every matmul family/size (CI gate)",
+    )
+    tune.set_defaults(func=cmd_tune)
 
     experiments = sub.add_parser(
         "experiments", help="regenerate every table and figure"

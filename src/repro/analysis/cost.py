@@ -125,6 +125,16 @@ class SymExpr:
         return SymExpr._make(merged)
 
     def __mul__(self, other: "SymExpr") -> "SymExpr":
+        mine, theirs = self.terms, other.terms
+        if len(mine) == 1 and len(theirs) == 1 and (
+            not mine[0][0] or not theirs[0][0]
+        ):
+            # Trip-count scaling is overwhelmingly const × const or
+            # const × monomial; coefficients are positive by invariant,
+            # so the single product term needs no re-sorting or filtering.
+            return SymExpr(
+                ((mine[0][0] or theirs[0][0], mine[0][1] * theirs[0][1]),)
+            )
         product: dict[Monomial, int] = {}
         for mono_a, coeff_a in self.terms:
             for mono_b, coeff_b in other.terms:
@@ -285,6 +295,13 @@ def _substitute_bound(
 _ZERO_RANGE = CostRange()
 _ONE_RANGE = CostRange.exact(1)
 
+#: Unit cost vectors per instruction tuple (see ``CostVector.for_instrs``).
+#: Bounded so adversarial inputs (e.g. fuzzed field-name combinations)
+#: cannot grow it without limit; on overflow new tuples are simply not
+#: memoized.
+_FOR_INSTRS_MEMO: dict[tuple[Instr, ...], "CostVector"] = {}
+_FOR_INSTRS_MEMO_CAP = 4096
+
 
 # ---------------------------------------------------------------------------
 # Cost vectors
@@ -302,6 +319,15 @@ def _merge(
             a.get(key, _ZERO_RANGE), b.get(key, _ZERO_RANGE)
         )
     return {key: value for key, value in merged.items() if not value.is_zero}
+
+
+def _iadd_map(
+    target: dict[K, CostRange], source: Mapping[K, CostRange]
+) -> None:
+    """Pointwise-add ``source`` into ``target`` (see ``CostVector.iadd``)."""
+    for key, value in source.items():
+        current = target.get(key)
+        target[key] = value if current is None else current + value
 
 
 @dataclass
@@ -332,22 +358,61 @@ class CostVector:
     def for_instrs(
         instrs: Iterable[Instr], count: CostRange = _ONE_RANGE
     ) -> "CostVector":
-        vector = CostVector()
-        for instr in instrs:
-            key: InstrKey = (instr.accelerator, instr.category)
-            vector.instrs[key] = vector.instrs.get(key, _ZERO_RANGE) + count
-            if instr.config_bytes:
-                bucket = instr.accelerator
-                vector.config_bytes[bucket] = vector.config_bytes.get(
-                    bucket, _ZERO_RANGE
-                ) + count.times(CostRange.exact(instr.config_bytes))
-        return vector
+        # The accumulation hot path: every accfg op in every walked function
+        # converts an instruction list into a vector, and those lists are
+        # the handful of per-spec cached streams (setup/launch/sync per
+        # field-name combination), so the symbolic sums repeat endlessly.
+        # Memoize the unit vector per instruction tuple and hand out copies
+        # (callers mutate the result, e.g. `_launch_cost`).
+        key = tuple(instrs)
+        base = _FOR_INSTRS_MEMO.get(key)
+        if base is None:
+            base = CostVector()
+            for instr in key:
+                ikey: InstrKey = (instr.accelerator, instr.category)
+                base.instrs[ikey] = base.instrs.get(ikey, _ZERO_RANGE) + _ONE_RANGE
+                if instr.config_bytes:
+                    bucket = instr.accelerator
+                    base.config_bytes[bucket] = base.config_bytes.get(
+                        bucket, _ZERO_RANGE
+                    ) + CostRange.exact(instr.config_bytes)
+            if len(_FOR_INSTRS_MEMO) < _FOR_INSTRS_MEMO_CAP:
+                _FOR_INSTRS_MEMO[key] = base
+        if count is _ONE_RANGE:
+            return base.copy()
+        return base.scale(count)
+
+    def copy(self) -> "CostVector":
+        """Shallow per-map copy (entries are immutable ranges)."""
+        return CostVector(
+            instrs=dict(self.instrs),
+            config_bytes=dict(self.config_bytes),
+            launches=dict(self.launches),
+            ops=dict(self.ops),
+            indeterminate_ops=set(self.indeterminate_ops),
+            unmodeled=set(self.unmodeled),
+        )
 
     @staticmethod
     def unmodeled_op(name: str) -> "CostVector":
         vector = CostVector()
         vector.unmodeled.add(name)
         return vector
+
+    def iadd(self, other: "CostVector") -> None:
+        """In-place pointwise sum into a privately-owned accumulator.
+
+        ``block_cost`` folds one vector per op; rebuilding the merged maps
+        per op (as ``__add__`` must) makes that fold quadratic in block
+        length.  The accumulator is freshly created by its caller and never
+        shared, so mutating it is safe; ``other`` is only read.
+        """
+        _iadd_map(self.instrs, other.instrs)
+        _iadd_map(self.config_bytes, other.config_bytes)
+        _iadd_map(self.launches, other.launches)
+        _iadd_map(self.ops, other.ops)
+        self.indeterminate_ops |= other.indeterminate_ops
+        self.unmodeled |= other.unmodeled
 
     def __add__(self, other: "CostVector") -> "CostVector":
         # Pointwise sum; unlike the interval-hull join, a missing key is a
@@ -695,7 +760,7 @@ class _FunctionWalker:
     def block_cost(self, block: "Block") -> CostVector:
         total = CostVector.zero()
         for op in block.ops:
-            total = total + self.op_cost(op)
+            total.iadd(self.op_cost(op))
         return total
 
     def op_cost(self, op: Operation) -> CostVector:

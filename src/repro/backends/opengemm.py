@@ -29,6 +29,11 @@ if TYPE_CHECKING:  # pragma: no cover
 MESH = 8
 PIPELINE_LATENCY = 16
 
+#: Tightly-coupled scratchpad capacity in bytes (A and B panels plus the
+#: int32 output tile of one invocation must fit) — the capacity bound the
+#: autotuner's tile-shape space is filtered against.
+SCRATCHPAD_BYTES = 128 * 1024
+
 #: Configuration CSRs of the OpenGeMM control interface.  Beyond the GeMM
 #: core's own registers, each of the three data streamers has temporal loop
 #: bounds/strides plus a spatial stride — the streamer CSRs dominate the

@@ -545,6 +545,85 @@ def bench_static_cost(quick: bool = False) -> dict:
     }
 
 
+#: ``--check`` floor for the autotuner's surrogate-vs-simulation ratio: the
+#: whole point of the symbolic surrogate is scoring candidates much faster
+#: than simulating them, so the ratio is gated absolutely (both sides run
+#: on this machine; no calibration applies).
+AUTOTUNE_MIN_SPEEDUP = 50.0
+
+
+def bench_autotune(quick: bool = False) -> dict:
+    """Surrogate scoring vs simulation on one autotuner candidate batch.
+
+    Builds and optimizes a slice of the OpenGeMM schedule grid once (the
+    cost either scoring path pays on the search path is identical, so it is
+    excluded), then times the two ways of attaching a number to each
+    optimized module: the static surrogate (:mod:`repro.tune.surrogate`)
+    and the functional co-simulation the tuner's validation stage uses —
+    what every candidate would cost if the search scored by simulating.
+    ``programs_per_s`` is the surrogate rate — candidates scored per
+    second — and ``surrogate_speedup`` is the headline ratio the
+    ``--check`` gate enforces at :data:`AUTOTUNE_MIN_SPEEDUP`.
+    """
+    from .interp import run_module
+    from .passes import pipeline_by_name
+    from .sim import CoSimulator
+    from .tune import get_space, score_built
+
+    space = get_space("opengemm")
+    size = 128
+    cands = space.grid(size, quick=True)[: 6 if quick else 12]
+    builds = []
+    for cand in cands:
+        built = space.build(cand, size, seed=PINNED_SEED)
+        pipeline_by_name(cand.pipeline).run(built.module)
+        builds.append((cand, built))
+
+    # One untimed pass to populate the instruction-tuple memo and any lazy
+    # imports, so the timed reps measure steady-state scoring throughput.
+    for cand, built in builds:
+        score_built(space, cand, size, built)
+
+    surrogate_reps = 8 if quick else 40
+    started = time.perf_counter()
+    scored = 0
+    for _ in range(surrogate_reps):
+        for cand, built in builds:
+            score_built(space, cand, size, built)
+            scored += 1
+    surrogate_wall = time.perf_counter() - started
+
+    from .backends.base import get_accelerator
+
+    cost_model = get_accelerator(space.host_accelerator).host_cost_model()
+    sim_reps = 1 if quick else 3
+    started = time.perf_counter()
+    simulated = 0
+    for _ in range(sim_reps):
+        for _, built in builds:
+            sim = CoSimulator(
+                memory=built.memory.duplicate(),
+                cost_model=cost_model,
+                functional=True,
+            )
+            run_module(built.module, sim, args=built.main_args)
+            simulated += 1
+    sim_wall = time.perf_counter() - started
+
+    surrogate_rate = scored / surrogate_wall if surrogate_wall else 0.0
+    sim_rate = simulated / sim_wall if sim_wall else 0.0
+    return {
+        "wall_s": round(surrogate_wall, 4),
+        "programs_per_s": round(surrogate_rate, 3),
+        "cache_hit_rate": 0.0,  # pure analysis: the trace cache never engages
+        "candidates": len(builds),
+        "simulated_per_s": round(sim_rate, 3),
+        "surrogate_speedup": round(surrogate_rate / sim_rate, 2)
+        if sim_rate
+        else 0.0,
+    }
+
+
 #: Concurrent serve clients (and the per-request tenant fan-out width).
 SERVE_CLIENTS = 8
 
@@ -665,6 +744,7 @@ def bench_serve(quick: bool = False) -> dict:
 WORKLOADS = {
     "compile": bench_compile,
     "static_cost": bench_static_cost,
+    "autotune": bench_autotune,
     "pattern_driver": bench_pattern_driver,
     "simulate_cold": bench_simulate_cold,
     "simulate_warm": bench_simulate_warm,
@@ -724,6 +804,17 @@ def check_regression(current: dict, committed: dict) -> list[str]:
             f"< floor {floor:.2f} (committed {ref['programs_per_s']:.2f} "
             f"x machine scale {scale:.2f} x {1 - REGRESSION_TOLERANCE:.2f})"
         )
+    autotune = current.get("workloads", {}).get("autotune")
+    if autotune is not None:
+        # Absolute floor, like the serve gate: both sides of the ratio ran
+        # on this machine in this process.
+        speedup = autotune.get("surrogate_speedup") or 0.0
+        if speedup < AUTOTUNE_MIN_SPEEDUP:
+            problems.append(
+                f"autotune surrogate speedup {speedup:.1f}x below the "
+                f"required {AUTOTUNE_MIN_SPEEDUP:.0f}x (symbolic scoring vs "
+                "simulated scoring of the same candidates)"
+            )
     serve = current.get("workloads", {}).get("serve")
     if serve is not None:
         # Absolute floor: both sides of the ratio ran on this machine, so
@@ -804,6 +895,8 @@ def main(argv: list[str] | None = None) -> int:
             line += f"   persistent hit rate {result['persistent_hit_rate']:.0%}"
         if "speedup_vs_serial" in result:
             line += f"   vs serial {result['speedup_vs_serial']:.2f}x"
+        if "surrogate_speedup" in result:
+            line += f"   vs simulated {result['surrogate_speedup']:.1f}x"
         print(line)
     breakdown = doc.get("pass_breakdown") or {}
     if breakdown:

@@ -26,16 +26,30 @@ class MatmulOp(Operation):
     """
 
     name = "linalg.matmul"
-    custom_printed_attrs = frozenset(["m", "k", "n"])
+    custom_printed_attrs = frozenset(["m", "k", "n", "target", "tile_m", "tile_n"])
 
     @staticmethod
     def create(
-        a: SSAValue, b: SSAValue, c: SSAValue, m: int, k: int, n: int
+        a: SSAValue,
+        b: SSAValue,
+        c: SSAValue,
+        m: int,
+        k: int,
+        n: int,
+        target: str | None = None,
+        tile_m: int | None = None,
+        tile_n: int | None = None,
     ) -> "MatmulOp":
         op = MatmulOp(operands=[a, b, c])
         op.attributes["m"] = IntegerAttr(m)
         op.attributes["k"] = IntegerAttr(k)
         op.attributes["n"] = IntegerAttr(n)
+        if target is not None:
+            op.attributes["target"] = StringAttr(target)
+        if tile_m is not None:
+            op.attributes["tile_m"] = IntegerAttr(tile_m)
+        if tile_n is not None:
+            op.attributes["tile_n"] = IntegerAttr(tile_n)
         return op
 
     @property
@@ -55,6 +69,17 @@ class MatmulOp(Operation):
         assert isinstance(attr, IntegerAttr)
         return attr.value
 
+    @property
+    def target(self) -> str | None:
+        """Per-op accelerator override for the lowering pass, if any."""
+        attr = self.attributes.get("target")
+        return attr.value if isinstance(attr, StringAttr) else None
+
+    def tile(self, name: str) -> int | None:
+        """Per-op lowering tile-shape hint (``tile_m``/``tile_n``), if any."""
+        attr = self.attributes.get(name)
+        return attr.value if isinstance(attr, IntegerAttr) else None
+
     def verify_(self) -> None:
         if len(self.operands) != 3:
             raise VerifyError("linalg.matmul needs A, B and C addresses")
@@ -62,6 +87,12 @@ class MatmulOp(Operation):
             attr = self.attributes.get(name)
             if not isinstance(attr, IntegerAttr) or attr.value <= 0:
                 raise VerifyError(f"linalg.matmul needs a positive '{name}'")
+        for name in ("tile_m", "tile_n"):
+            attr = self.attributes.get(name)
+            if attr is not None and (
+                not isinstance(attr, IntegerAttr) or attr.value <= 0
+            ):
+                raise VerifyError(f"linalg.matmul '{name}' must be positive")
 
     def print_custom(self, printer: Printer) -> None:
         printer.emit("linalg.matmul ins(")
@@ -73,6 +104,11 @@ class MatmulOp(Operation):
         printer.emit(
             f") dims({self.dim('m')} x {self.dim('k')} x {self.dim('n')})"
         )
+        if self.target is not None:
+            printer.emit(f' target("{self.target}")')
+        tile_m, tile_n = self.tile("tile_m"), self.tile("tile_n")
+        if tile_m is not None or tile_n is not None:
+            printer.emit(f" tile({tile_m or 0} x {tile_n or 0})")
 
 
 @register_custom_parser("linalg.matmul")
@@ -95,7 +131,20 @@ def _parse_matmul(parser) -> MatmulOp:
     parser.expect("x")
     n = parser.parse_int()
     parser.expect(")")
-    return MatmulOp.create(a, b, c, m, k, n)
+    target: str | None = None
+    tile_m: int | None = None
+    tile_n: int | None = None
+    if parser.accept("target"):
+        parser.expect("(")
+        target = parser.parse_string()
+        parser.expect(")")
+    if parser.accept("tile"):
+        parser.expect("(")
+        tile_m = parser.parse_int() or None
+        parser.expect("x")
+        tile_n = parser.parse_int() or None
+        parser.expect(")")
+    return MatmulOp.create(a, b, c, m, k, n, target, tile_m, tile_n)
 
 
 ELEMENTWISE_KINDS = ("add", "mul", "max")

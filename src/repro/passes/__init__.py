@@ -39,6 +39,7 @@ from .pipeline import (
     dedup_pipeline,
     full_pipeline,
     overlap_pipeline,
+    unroll_full_pipeline,
     pipeline_by_name,
 )
 from .unroll import UnrollPass
@@ -85,6 +86,7 @@ __all__ = [
     "dedup_pipeline",
     "full_pipeline",
     "overlap_pipeline",
+    "unroll_full_pipeline",
     "pipeline_by_name",
     "StateTracer",
     "TraceStatesPass",

@@ -38,25 +38,41 @@ class LoweringError(Exception):
     """Raised when an op cannot be lowered to the requested target."""
 
 
-def lower_matmul_to_opengemm(op: linalg.MatmulOp) -> None:
-    """Tile a matmul into 8 x K x 8 OpenGeMM invocations (one per output
-    tile), mirroring the paper's OpenGeMM evaluation workload."""
+def lower_matmul_to_opengemm(
+    op: linalg.MatmulOp,
+    tile_m: int | None = None,
+    tile_n: int | None = None,
+) -> None:
+    """Tile a matmul into ``tile_m x K x tile_n`` OpenGeMM invocations (one
+    per output tile; 8 x K x 8 by default, mirroring the paper's OpenGeMM
+    evaluation workload).  The inner dimension is never tiled: OpenGeMM's
+    execute overwrites C, so there is no accumulation across invocations.
+    Per-op ``tile_m``/``tile_n`` attributes override the arguments."""
     mesh = opengemm_backend.MESH
     m, k, n = op.dim("m"), op.dim("k"), op.dim("n")
+    tile_m = op.tile("tile_m") or tile_m or mesh
+    tile_n = op.tile("tile_n") or tile_n or mesh
     if m % mesh or n % mesh:
         raise LoweringError(f"matmul dims must be multiples of {mesh} for opengemm")
+    if tile_m % mesh or tile_n % mesh:
+        raise LoweringError(f"opengemm tiles must be multiples of {mesh}")
+    if m % tile_m or n % tile_n:
+        raise LoweringError(
+            f"tile {tile_m}x{tile_n} must divide matmul dims {m}x{n}"
+        )
     gen = IRGen(Builder(InsertPoint.before(op)))
     zero = gen.const(0)
     one = gen.const(1)
-    m_tiles = gen.const(m // mesh)
-    n_tiles = gen.const(n // mesh)
+    m_tiles = gen.const(m // tile_m)
+    n_tiles = gen.const(n // tile_n)
     with gen.loop(zero, m_tiles, one) as (_, ti):
         with gen.loop(zero, n_tiles, one) as (_, tj):
-            c8 = gen.const(mesh)
+            tm_c = gen.const(tile_m)
+            tn_c = tm_c if tile_n == tile_m else gen.const(tile_n)
             k_c = gen.const(k)
             n_c = gen.const(n)
-            row = gen.mul(ti, c8)
-            col = gen.mul(tj, c8)
+            row = gen.mul(ti, tm_c)
+            col = gen.mul(tj, tn_c)
             ptr_a = gen.add(op.a, gen.mul(row, k_c))
             ptr_b = gen.add(op.b, col)
             c_elems = gen.add(gen.mul(row, n_c), col)
@@ -64,9 +80,9 @@ def lower_matmul_to_opengemm(op: linalg.MatmulOp) -> None:
             state = gen.setup(
                 "opengemm",
                 [
-                    ("M", c8),
+                    ("M", tm_c),
                     ("K", k_c),
-                    ("N", c8),
+                    ("N", tn_c),
                     ("ptr_A", ptr_a),
                     ("ptr_B", ptr_b),
                     ("ptr_C", ptr_c),
@@ -203,20 +219,31 @@ _MATMUL_LOWERINGS = {
 
 @register_pass
 class ConvertLinalgToAccfgPass(ModulePass):
-    """Lower every linalg op to accfg clusters on its assigned target."""
+    """Lower every linalg op to accfg clusters on its assigned target.
+
+    The per-op-name ``targets`` dict gives the default assignment; an
+    individual op's ``target`` attribute (e.g. a per-layer accelerator
+    choice made by the network builder or the autotuner) overrides it.
+    ``elementwise_chunk`` sets the vector-engine chunk length.
+    """
 
     name = "convert-linalg-to-accfg"
 
-    def __init__(self, targets: dict[str, str] | None = None) -> None:
+    def __init__(
+        self,
+        targets: dict[str, str] | None = None,
+        elementwise_chunk: int = 64,
+    ) -> None:
         self.targets = dict(DEFAULT_TARGETS)
         if targets:
             self.targets.update(targets)
+        self.elementwise_chunk = elementwise_chunk
 
     def apply(self, module: Operation, analyses=None) -> bool:
         changed = False
         for op in list(module.walk()):
             if isinstance(op, linalg.MatmulOp):
-                target = self.targets["linalg.matmul"]
+                target = op.target or self.targets["linalg.matmul"]
                 lowering = _MATMUL_LOWERINGS.get(target)
                 if lowering is None:
                     raise LoweringError(
@@ -230,6 +257,6 @@ class ConvertLinalgToAccfgPass(ModulePass):
                     raise LoweringError(
                         f"no elementwise lowering for target '{target}'"
                     )
-                lower_elementwise_to_toyvec(op)
+                lower_elementwise_to_toyvec(op, self.elementwise_chunk)
                 changed = True
         return changed

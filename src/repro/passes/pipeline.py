@@ -110,6 +110,29 @@ def full_pipeline(concurrent: set[str] | None = None) -> PassManager:
     )
 
 
+def unroll_full_pipeline(concurrent: set[str] | None = None) -> PassManager:
+    """Unrolling in front of the complete accfg pipeline.
+
+    Fully unrolled constant-trip tile loops turn per-invocation parameter
+    calculation into constants (the Section 4.6 story) and expose
+    cross-invocation field redundancy to dedup as straight-line code.  This
+    is the pipeline the autotuner's size-specialized schedules want: plain
+    ``full`` never sees the redundancy because it lives across loop
+    iterations of different depths.
+    """
+    return PassManager(
+        [
+            UnrollPass(),
+            *cleanup_pipeline(),
+            TraceStatesPass(),
+            DedupPass(),
+            OverlapPass(concurrent),
+            *cleanup_pipeline(),
+        ],
+        verify_each="final",
+    )
+
+
 PIPELINES = {
     "none": none_pipeline,
     "baseline": baseline_pipeline,
@@ -119,6 +142,7 @@ PIPELINES = {
     "dedup": dedup_pipeline,
     "overlap": overlap_pipeline,
     "full": full_pipeline,
+    "unroll-full": unroll_full_pipeline,
 }
 
 

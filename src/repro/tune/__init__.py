@@ -1,0 +1,58 @@
+"""Roofline-guided autotuner: symbolic search over schedules, validated by
+simulation (``python -m repro tune``).
+
+The package splits into:
+
+* :mod:`repro.tune.space` — candidate schedule spaces per workload family
+  (tile shapes, loop orders, chunk edges, per-layer accelerator choices);
+* :mod:`repro.tune.surrogate` — the static-cost surrogate that scores a
+  candidate without simulating it;
+* :mod:`repro.tune.cache` — the persistent structural-key score cache;
+* :mod:`repro.tune.search` — the grid + greedy-refinement driver with
+  process-sharded scoring and simulation-validated Pareto frontiers.
+"""
+
+from .cache import ScoreCache, score_key
+from .search import (
+    TuneConfig,
+    format_tune_table,
+    run_tune,
+    tune_family,
+)
+from .space import (
+    SPACES,
+    BuiltCandidate,
+    Candidate,
+    GemminiMatmulSpace,
+    MlpSpace,
+    OpenGemmMatmulSpace,
+    ScheduleSpace,
+    get_space,
+)
+from .surrogate import (
+    SURROGATE_VERSION,
+    SurrogateError,
+    score_built,
+    score_candidate,
+)
+
+__all__ = [
+    "SPACES",
+    "SURROGATE_VERSION",
+    "BuiltCandidate",
+    "Candidate",
+    "GemminiMatmulSpace",
+    "MlpSpace",
+    "OpenGemmMatmulSpace",
+    "ScheduleSpace",
+    "ScoreCache",
+    "SurrogateError",
+    "TuneConfig",
+    "format_tune_table",
+    "get_space",
+    "run_tune",
+    "score_built",
+    "score_candidate",
+    "score_key",
+    "tune_family",
+]

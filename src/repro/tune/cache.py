@@ -1,0 +1,77 @@
+"""Persistent surrogate-score cache for the autotuner.
+
+Scores are keyed by the candidate's *structural* identity — the module
+fingerprint of the freshly built (pre-pipeline) IR plus the pipeline name
+and the surrogate version — so structurally identical candidates (however
+their schedule parameters were spelled) share one entry, and a warm re-run
+of the same sweep re-scores nothing.
+
+The cache is one JSON document, loaded at search start and published
+atomically (:func:`repro.ioutil.atomic_write_json`) at the end; concurrent
+writers each publish a complete file and the last replace wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..ioutil import atomic_write_json
+from .surrogate import SURROGATE_VERSION
+
+SCHEMA = "tune-scores/1"
+
+
+def score_key(fingerprint: str, pipeline: str, host_accelerator: str) -> str:
+    """Cache key: structural module identity x pipeline x scoring version."""
+    return f"{fingerprint}|{pipeline}|{host_accelerator}|v{SURROGATE_VERSION}"
+
+
+class ScoreCache:
+    """In-memory score map with optional on-disk persistence."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self.scores: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if path and os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    doc = json.load(handle)
+            except (OSError, ValueError):
+                doc = {}
+            if doc.get("schema") == SCHEMA:
+                self.scores = dict(doc.get("scores", {}))
+
+    def get(self, key: str) -> dict | None:
+        score = self.scores.get(key)
+        if score is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return score
+
+    def put(self, key: str, score: dict) -> None:
+        if self.scores.get(key) != score:
+            self._dirty = True
+        self.scores[key] = score
+
+    def seed(self, scores: dict[str, dict]) -> None:
+        """Preload scores (e.g. from a ``--resume`` report) without marking
+        the cache dirty."""
+        for key, score in scores.items():
+            self.scores.setdefault(key, score)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def save(self) -> None:
+        if self.path and self._dirty:
+            atomic_write_json(
+                self.path, {"schema": SCHEMA, "scores": self.scores}
+            )
+            self._dirty = False

@@ -1,0 +1,543 @@
+"""Schedule spaces for the autotuner.
+
+A *candidate* is one fully-specified point of a workload's schedule space:
+tile shape, loop order, size specialization, chunk length — plus the
+optimization pipeline that compiles it.  Each :class:`ScheduleSpace` knows
+how to enumerate candidates for one workload family (``opengemm`` and
+``gemmini`` matmuls, the ``mlp`` network), how to build the concrete IR for
+a candidate, and the analytic accelerator-side cycle estimate the surrogate
+combines with the static host-cost model.
+
+Spaces only enumerate *valid* candidates: tile shapes are filtered against
+divisibility and scratchpad capacity up front, so the search driver never
+wastes a score on an unbuildable point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations, product
+from typing import Iterable
+
+from ..backends import gemmini as gemmini_backend
+from ..backends import opengemm as opengemm_backend
+from ..backends.base import get_accelerator
+from ..passes.lower_linalg import ConvertLinalgToAccfgPass
+from ..workloads.matmul import (
+    GemminiLoopWsSchedule,
+    OpenGemmSchedule,
+    build_gemmini_loop_ws_matmul,
+    build_opengemm_matmul,
+)
+from ..workloads.network import LayerSpec, NetworkSpec, build_network
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One schedule-space point: a workload family, an optimization
+    pipeline, and the family-specific schedule parameters (sorted key/value
+    pairs, so equal schedules hash and compare equal)."""
+
+    family: str
+    pipeline: str
+    params: tuple[tuple[str, "int | str | bool"], ...]
+
+    @staticmethod
+    def make(family: str, pipeline: str, **params: "int | str | bool") -> "Candidate":
+        return Candidate(
+            family=family,
+            pipeline=pipeline,
+            params=tuple(sorted(params.items())),
+        )
+
+    def param(self, name: str, default=None):
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity (report/dedup key component)."""
+        rendered = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.family}|{self.pipeline}|{rendered}"
+
+    def to_doc(self) -> dict:
+        return {
+            "family": self.family,
+            "pipeline": self.pipeline,
+            "params": {k: v for k, v in self.params},
+        }
+
+    @staticmethod
+    def from_doc(doc: dict) -> "Candidate":
+        return Candidate.make(
+            doc["family"], doc["pipeline"], **doc.get("params", {})
+        )
+
+
+@dataclass
+class BuiltCandidate:
+    """A candidate's concrete program, ready for the pipeline + scoring.
+
+    ``module`` is accfg-level IR (network candidates are lowered from linalg
+    during :meth:`ScheduleSpace.build`); ``workload`` keeps the original
+    builder result for functional checking during validation.
+    """
+
+    module: object
+    memory: object
+    main_args: list[int]
+    workload: object
+    total_ops: int
+
+
+class ScheduleSpace:
+    """One workload family's schedule space (see module docstring)."""
+
+    family: str = ""
+    #: Accelerator whose host cost model prices every candidate's
+    #: instruction stream (fixed per family so cycle totals are comparable).
+    host_accelerator: str = ""
+    #: Default problem sizes for a full / ``--quick`` sweep.
+    sizes: tuple[int, ...] = ()
+    quick_sizes: tuple[int, ...] = ()
+
+    def default(self, size: int) -> Candidate:
+        raise NotImplementedError
+
+    def grid(self, size: int, quick: bool = False) -> list[Candidate]:
+        raise NotImplementedError
+
+    def neighbors(self, cand: Candidate, size: int) -> list[Candidate]:
+        """Greedy-refinement moves: small schedule perturbations of
+        ``cand`` (already filtered for validity)."""
+        raise NotImplementedError
+
+    def build(self, cand: Candidate, size: int, seed: int = 0) -> BuiltCandidate:
+        raise NotImplementedError
+
+    def invocations(self, cand: Candidate, size: int) -> list[tuple[int, float]]:
+        """``(count, compute_cycles)`` per launch-site group — the analytic
+        accelerator-side term of the surrogate."""
+        raise NotImplementedError
+
+    def overlap_hides(self, cand: Candidate) -> bool:
+        """Whether the candidate's pipeline overlaps next-invocation host
+        work with device compute (hiding part of the accelerator time)."""
+        return False
+
+
+#: Pipelines that reorder configuration ahead of the running launch.
+_OVERLAPPING_PIPELINES = frozenset({"overlap", "full", "unroll-full"})
+
+
+def _divisor_tiles(size: int, step: int) -> list[int]:
+    """Multiples of ``step`` that divide ``size``, ascending."""
+    return [t for t in range(step, size + 1, step) if size % t == 0]
+
+
+class OpenGemmMatmulSpace(ScheduleSpace):
+    """Tile shape x loop order x pipeline for the OpenGeMM matmul."""
+
+    family = "opengemm"
+    host_accelerator = "opengemm"
+    sizes = (32, 64, 128)
+    quick_sizes = (32, 64)
+
+    _ORDERS = ("flat", "ij", "ji")
+    _PIPELINES = ("baseline", "dedup", "overlap", "full")
+    _QUICK_ORDERS = ("flat", "ij")
+    _QUICK_PIPELINES = ("dedup", "full")
+
+    def _tiles(self, size: int) -> list[int]:
+        return _divisor_tiles(size, opengemm_backend.MESH)
+
+    def _fits(self, tile_m: int, tile_n: int, size: int) -> bool:
+        schedule = OpenGemmSchedule(tile_m=tile_m, tile_n=tile_n)
+        return (
+            schedule.scratchpad_bytes(size)
+            <= opengemm_backend.SCRATCHPAD_BYTES
+        )
+
+    def default(self, size: int) -> Candidate:
+        return Candidate.make(
+            self.family, "full", tile_m=opengemm_backend.MESH,
+            tile_n=opengemm_backend.MESH, loop_order="flat",
+        )
+
+    def grid(self, size: int, quick: bool = False) -> list[Candidate]:
+        tiles = self._tiles(size)
+        if quick:
+            tiles = [t for t in tiles if t & (t - 1) == 0]  # powers of two
+        orders = self._QUICK_ORDERS if quick else self._ORDERS
+        pipelines = self._QUICK_PIPELINES if quick else self._PIPELINES
+        cands = [self.default(size)]
+        for pipeline in pipelines:
+            for tile_m in tiles:
+                for tile_n in tiles:
+                    if not self._fits(tile_m, tile_n, size):
+                        continue
+                    for order in orders:
+                        cands.append(
+                            Candidate.make(
+                                self.family, pipeline, tile_m=tile_m,
+                                tile_n=tile_n, loop_order=order,
+                            )
+                        )
+        return _unique(cands)
+
+    def neighbors(self, cand: Candidate, size: int) -> list[Candidate]:
+        tiles = self._tiles(size)
+        tile_m = cand.param("tile_m")
+        tile_n = cand.param("tile_n")
+        moves: list[Candidate] = []
+        for name, current, other in (
+            ("tile_m", tile_m, tile_n),
+            ("tile_n", tile_n, tile_m),
+        ):
+            index = tiles.index(current)
+            for step in (-1, 1):
+                if 0 <= index + step < len(tiles):
+                    params = {
+                        "tile_m": tile_m, "tile_n": tile_n,
+                        "loop_order": cand.param("loop_order"),
+                    }
+                    params[name] = tiles[index + step]
+                    if self._fits(params["tile_m"], params["tile_n"], size):
+                        moves.append(
+                            Candidate.make(self.family, cand.pipeline, **params)
+                        )
+        for order in self._ORDERS:
+            if order != cand.param("loop_order"):
+                moves.append(
+                    Candidate.make(
+                        self.family, cand.pipeline, tile_m=tile_m,
+                        tile_n=tile_n, loop_order=order,
+                    )
+                )
+        return _unique(moves)
+
+    def build(self, cand: Candidate, size: int, seed: int = 0) -> BuiltCandidate:
+        schedule = OpenGemmSchedule(
+            tile_m=cand.param("tile_m"),
+            tile_n=cand.param("tile_n"),
+            loop_order=cand.param("loop_order"),
+        )
+        workload = build_opengemm_matmul(size, seed=seed, schedule=schedule)
+        return BuiltCandidate(
+            module=workload.module,
+            memory=workload.memory,
+            main_args=list(workload.main_args),
+            workload=workload,
+            total_ops=workload.total_ops,
+        )
+
+    def invocations(self, cand: Candidate, size: int) -> list[tuple[int, float]]:
+        spec = get_accelerator(self.family)
+        tile_m = cand.param("tile_m")
+        tile_n = cand.param("tile_n")
+        count = (size // tile_m) * (size // tile_n)
+        cycles = spec.compute_cycles({"M": tile_m, "K": size, "N": tile_n})
+        return [(count, cycles)]
+
+    def overlap_hides(self, cand: Candidate) -> bool:
+        return cand.pipeline in _OVERLAPPING_PIPELINES
+
+
+class GemminiMatmulSpace(ScheduleSpace):
+    """Chunk edge x loop order x size specialization x pipeline for the
+    Gemmini ``loop_ws`` matmul."""
+
+    family = "gemmini"
+    host_accelerator = "gemmini"
+    sizes = (32, 64, 128)
+    quick_sizes = (32, 64)
+
+    _PIPELINES = ("dedup", "full", "unroll-full")
+    _QUICK_PIPELINES = ("full", "unroll-full")
+    _QUICK_ORDERS = ("ijk", "kij")
+
+    def _chunks(self, size: int) -> list[int]:
+        limit = gemmini_backend.max_invocation_edge(size)
+        return [
+            c
+            for c in _divisor_tiles(size, gemmini_backend.ARRAY_DIM)
+            if c <= limit
+        ]
+
+    def _orders(self, quick: bool) -> tuple[str, ...]:
+        if quick:
+            return self._QUICK_ORDERS
+        return tuple("".join(p) for p in permutations("ijk"))
+
+    def default(self, size: int) -> Candidate:
+        return Candidate.make(
+            self.family, "full",
+            chunk=gemmini_backend.max_invocation_edge(size),
+            loop_order="ijk", specialize_size=False,
+        )
+
+    def grid(self, size: int, quick: bool = False) -> list[Candidate]:
+        pipelines = self._QUICK_PIPELINES if quick else self._PIPELINES
+        cands = [self.default(size)]
+        for pipeline in pipelines:
+            for chunk in self._chunks(size):
+                for order in self._orders(quick):
+                    for specialize in (False, True):
+                        if pipeline == "unroll-full" and not specialize:
+                            # Unrolling needs constant trip counts; without
+                            # size specialization it degenerates to `full`.
+                            continue
+                        cands.append(
+                            Candidate.make(
+                                self.family, pipeline, chunk=chunk,
+                                loop_order=order, specialize_size=specialize,
+                            )
+                        )
+        return _unique(cands)
+
+    def neighbors(self, cand: Candidate, size: int) -> list[Candidate]:
+        chunks = self._chunks(size)
+        chunk = cand.param("chunk")
+        index = chunks.index(chunk)
+        moves: list[Candidate] = []
+        for step in (-1, 1):
+            if 0 <= index + step < len(chunks):
+                moves.append(
+                    Candidate.make(
+                        self.family, cand.pipeline, chunk=chunks[index + step],
+                        loop_order=cand.param("loop_order"),
+                        specialize_size=cand.param("specialize_size"),
+                    )
+                )
+        flipped = not cand.param("specialize_size")
+        if not (cand.pipeline == "unroll-full" and not flipped):
+            moves.append(
+                Candidate.make(
+                    self.family, cand.pipeline, chunk=chunk,
+                    loop_order=cand.param("loop_order"),
+                    specialize_size=flipped,
+                )
+            )
+        return _unique(moves)
+
+    def build(self, cand: Candidate, size: int, seed: int = 0) -> BuiltCandidate:
+        schedule = GemminiLoopWsSchedule(
+            chunk=cand.param("chunk"),
+            loop_order=cand.param("loop_order"),
+            specialize_size=cand.param("specialize_size"),
+        )
+        workload = build_gemmini_loop_ws_matmul(
+            size, seed=seed, schedule=schedule
+        )
+        return BuiltCandidate(
+            module=workload.module,
+            memory=workload.memory,
+            main_args=list(workload.main_args),
+            workload=workload,
+            total_ops=workload.total_ops,
+        )
+
+    def invocations(self, cand: Candidate, size: int) -> list[tuple[int, float]]:
+        spec = get_accelerator(self.family)
+        chunk = cand.param("chunk")
+        tiles = chunk // gemmini_backend.ARRAY_DIM
+        count = (size // chunk) ** 3
+        cycles = spec.compute_cycles(
+            {"op": gemmini_backend.OP_LOOP_WS, "I": tiles, "J": tiles, "K": tiles}
+        )
+        return [(count, cycles)]
+
+    def overlap_hides(self, cand: Candidate) -> bool:
+        return False  # RoCC interface: no concurrent configuration
+
+
+#: Per-layer accelerator choice encoding for the mlp family.
+_MLP_TARGETS = {"o": "opengemm", "g": "gemmini"}
+
+
+class MlpSpace(ScheduleSpace):
+    """Per-layer accelerator assignment x OpenGeMM tile shape x vector-engine
+    chunk x pipeline for a 3-layer MLP (hidden width = problem size).
+
+    The host model is pinned to the Gemmini host for every candidate (one
+    SoC hosting all three engines), so cycle totals are comparable across
+    assignments.
+    """
+
+    family = "mlp"
+    host_accelerator = "gemmini"
+    sizes = (32, 64)
+    quick_sizes = (32,)
+
+    LAYERS = 3
+    BATCH = 16
+
+    _PIPELINES = ("dedup", "full")
+    _EW_CHUNKS = (32, 64, 128)
+    _QUICK_EW_CHUNKS = (64, 128)
+
+    def _assignments(self, quick: bool) -> list[str]:
+        if quick:
+            return ["ooo", "ggg", "ogo"]
+        letters = tuple(_MLP_TARGETS)
+        return ["".join(combo) for combo in product(letters, repeat=self.LAYERS)]
+
+    def _tile_ns(self, size: int) -> list[int]:
+        return [t for t in _divisor_tiles(size, 8) if t <= 32]
+
+    def default(self, size: int) -> Candidate:
+        return Candidate.make(
+            self.family, "full", targets="o" * self.LAYERS,
+            tile_m=8, tile_n=8, ew_chunk=64,
+        )
+
+    def grid(self, size: int, quick: bool = False) -> list[Candidate]:
+        pipelines = ("full",) if quick else self._PIPELINES
+        chunks = self._QUICK_EW_CHUNKS if quick else self._EW_CHUNKS
+        tile_ms = (8, self.BATCH)
+        cands = [self.default(size)]
+        for pipeline in pipelines:
+            for targets in self._assignments(quick):
+                for tile_m in tile_ms:
+                    for tile_n in self._tile_ns(size):
+                        for ew_chunk in chunks:
+                            cands.append(
+                                Candidate.make(
+                                    self.family, pipeline, targets=targets,
+                                    tile_m=tile_m, tile_n=tile_n,
+                                    ew_chunk=ew_chunk,
+                                )
+                            )
+        return _unique(cands)
+
+    def neighbors(self, cand: Candidate, size: int) -> list[Candidate]:
+        moves: list[Candidate] = []
+        tile_ns = self._tile_ns(size)
+        index = tile_ns.index(cand.param("tile_n"))
+        base = {k: v for k, v in cand.params}
+        for step in (-1, 1):
+            if 0 <= index + step < len(tile_ns):
+                params = dict(base)
+                params["tile_n"] = tile_ns[index + step]
+                moves.append(Candidate.make(self.family, cand.pipeline, **params))
+        for chunk in self._EW_CHUNKS:
+            if chunk != cand.param("ew_chunk"):
+                params = dict(base)
+                params["ew_chunk"] = chunk
+                moves.append(Candidate.make(self.family, cand.pipeline, **params))
+        targets = cand.param("targets")
+        for position in range(self.LAYERS):
+            for letter in _MLP_TARGETS:
+                if targets[position] != letter:
+                    params = dict(base)
+                    params["targets"] = (
+                        targets[:position] + letter + targets[position + 1 :]
+                    )
+                    moves.append(
+                        Candidate.make(self.family, cand.pipeline, **params)
+                    )
+        return _unique(moves)
+
+    def _spec(self, cand: Candidate, size: int, seed: int) -> NetworkSpec:
+        layers = []
+        for letter in cand.param("targets"):
+            target = _MLP_TARGETS[letter]
+            layers.append(
+                LayerSpec(
+                    width=size,
+                    accelerator=target,
+                    tile_m=cand.param("tile_m") if target == "opengemm" else None,
+                    tile_n=cand.param("tile_n") if target == "opengemm" else None,
+                )
+            )
+        return NetworkSpec(
+            input_width=size, layers=tuple(layers), batch=self.BATCH, seed=seed
+        )
+
+    def build(self, cand: Candidate, size: int, seed: int = 0) -> BuiltCandidate:
+        workload = build_network(self._spec(cand, size, seed))
+        ConvertLinalgToAccfgPass(
+            elementwise_chunk=cand.param("ew_chunk")
+        ).apply(workload.module)
+        return BuiltCandidate(
+            module=workload.module,
+            memory=workload.memory,
+            main_args=[],
+            workload=workload,
+            total_ops=2 * workload.total_macs,
+        )
+
+    def invocations(self, cand: Candidate, size: int) -> list[tuple[int, float]]:
+        opengemm = get_accelerator("opengemm")
+        gemmini = get_accelerator("gemmini")
+        toyvec = get_accelerator("toyvec")
+        batch = self.BATCH
+        ew_chunk = cand.param("ew_chunk")
+        tile_m = cand.param("tile_m")
+        tile_n = cand.param("tile_n")
+        dim = gemmini_backend.ARRAY_DIM
+        groups: list[tuple[int, float]] = []
+        widths = [size] * (self.LAYERS + 1)
+        for position, letter in enumerate(cand.param("targets")):
+            in_w, out_w = widths[position], widths[position + 1]
+            if letter == "o":
+                count = (batch // tile_m) * (out_w // tile_n)
+                cycles = opengemm.compute_cycles(
+                    {"M": tile_m, "K": in_w, "N": tile_n}
+                )
+            else:
+                count = (batch // dim) * (out_w // dim) * (in_w // dim)
+                cycles = gemmini.compute_cycles(
+                    {"op": gemmini_backend.OP_COMPUTE}
+                )
+            groups.append((count, cycles))
+            # Bias add: one chunked elementwise per batch row.
+            full, tail = divmod(out_w, ew_chunk)
+            if full:
+                groups.append(
+                    (batch * full, toyvec.compute_cycles({"n": ew_chunk}))
+                )
+            if tail:
+                groups.append((batch, toyvec.compute_cycles({"n": tail})))
+            if position < self.LAYERS - 1:  # ReLU on all but the last layer
+                total = batch * out_w
+                full, tail = divmod(total, ew_chunk)
+                if full:
+                    groups.append(
+                        (full, toyvec.compute_cycles({"n": ew_chunk}))
+                    )
+                if tail:
+                    groups.append((1, toyvec.compute_cycles({"n": tail})))
+        return groups
+
+    def overlap_hides(self, cand: Candidate) -> bool:
+        # Only the MMIO engines overlap; the surrogate approximates the mix
+        # by hiding host work when the pipeline reorders configuration.
+        return cand.pipeline in _OVERLAPPING_PIPELINES
+
+
+def _unique(cands: Iterable[Candidate]) -> list[Candidate]:
+    seen: set[Candidate] = set()
+    ordered: list[Candidate] = []
+    for cand in cands:
+        if cand not in seen:
+            seen.add(cand)
+            ordered.append(cand)
+    return ordered
+
+
+SPACES: dict[str, ScheduleSpace] = {
+    space.family: space
+    for space in (OpenGemmMatmulSpace(), GemminiMatmulSpace(), MlpSpace())
+}
+
+
+def get_space(family: str) -> ScheduleSpace:
+    try:
+        return SPACES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown tuning family '{family}' (expected one of {sorted(SPACES)})"
+        ) from None

@@ -62,16 +62,54 @@ def _make_inputs(size: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
 
 
 # ---------------------------------------------------------------------------
-# OpenGeMM: K x K matmul in 8 x K x 8 tiles (Section 6.2)
+# OpenGeMM: K x K matmul in tile_m x K x tile_n tiles (Section 6.2)
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class OpenGemmSchedule:
+    """One point of the OpenGeMM matmul schedule space.
+
+    ``tile_m``/``tile_n`` give the output-tile shape (multiples of the mesh
+    edge that divide the problem size); the inner dimension is never tiled
+    because OpenGeMM's ``execute`` overwrites C — there is no accumulation
+    across invocations.  ``loop_order`` selects the tile-loop structure:
+    ``flat`` is the naive single loop with div/rem index recovery, ``ij``
+    and ``ji`` are two-level nests (whose induction arithmetic LICM can
+    hoist).  The default reproduces the hand-written workload exactly.
+    """
+
+    tile_m: int = opengemm_backend.MESH
+    tile_n: int = opengemm_backend.MESH
+    loop_order: str = "flat"  # flat | ij | ji
+
+    def validate(self, size: int) -> None:
+        mesh = opengemm_backend.MESH
+        for name, tile in (("tile_m", self.tile_m), ("tile_n", self.tile_n)):
+            if tile % mesh or tile <= 0:
+                raise ValueError(f"{name} must be a positive multiple of {mesh}")
+            if size % tile:
+                raise ValueError(f"{name}={tile} must divide size={size}")
+        if self.loop_order not in ("flat", "ij", "ji"):
+            raise ValueError(f"bad loop_order '{self.loop_order}'")
+
+    def scratchpad_bytes(self, size: int) -> int:
+        """Scratchpad footprint of one invocation: int8 A and B panels plus
+        the int32 output tile."""
+        return (
+            self.tile_m * size + size * self.tile_n + 4 * self.tile_m * self.tile_n
+        )
+
+
 def build_opengemm_matmul(
-    size: int, memory: Memory | None = None, seed: int = 0
+    size: int,
+    memory: Memory | None = None,
+    seed: int = 0,
+    schedule: OpenGemmSchedule | None = None,
 ) -> MatmulWorkload:
-    """Tiled matmul for OpenGeMM: one accelerator invocation per 8x8 output
-    tile with the full inner dimension (tile shape 8 x size x 8, as in the
-    paper's OpenGeMM evaluation).
+    """Tiled matmul for OpenGeMM: one accelerator invocation per
+    ``tile_m x tile_n`` output tile with the full inner dimension (tile
+    shape 8 x size x 8 by default, as in the paper's OpenGeMM evaluation).
 
     The emitted IR re-configures every CSR for every tile — sizes, strides,
     streamer bounds, pointers — because a stateless lowering cannot know
@@ -79,8 +117,10 @@ def build_opengemm_matmul(
     between tiles; everything else is the dedup pass's harvest.
     """
     mesh = opengemm_backend.MESH
+    schedule = schedule or OpenGemmSchedule()
     if size % mesh:
         raise ValueError(f"size must be a multiple of {mesh}")
+    schedule.validate(size)
     memory = memory or Memory()
     a_values, b_values = _make_inputs(size, seed)
     a = memory.place(a_values)
@@ -88,20 +128,18 @@ def build_opengemm_matmul(
     c = memory.alloc((size, size), np.int32)
 
     module = new_module()
-    tiles = size // mesh
+    tile_m, tile_n = schedule.tile_m, schedule.tile_n
+    m_tiles = size // tile_m
+    n_tiles = size // tile_n
     with build_function(module, "main") as (gen, _):
         zero = gen.const(0)
         one = gen.const(1)
-        tile_total = gen.const(tiles * tiles)
-        tiles_c = gen.const(tiles)
-        # One flattened tile loop, as the lowered tiling loop emits it: the
-        # 2-D tile index is recovered with a divide/remainder pair per tile.
-        with gen.loop(zero, tile_total, one) as (_, t):
-            ti = gen.div(t, tiles_c)
-            tj = gen.rem(t, tiles_c)
-            c8 = gen.const(mesh)
-            row = gen.mul(ti, c8)
-            col = gen.mul(tj, c8)
+
+        def tile_body(gen: IRGen, ti, tj) -> None:
+            tm_c = gen.const(tile_m)
+            tn_c = tm_c if tile_n == tile_m else gen.const(tile_n)
+            row = gen.mul(ti, tm_c)
+            col = gen.mul(tj, tn_c)
             size_c = gen.const(size)
             # Byte addresses: A, B are int8; C is int32 (4 bytes/elem).
             ptr_a = gen.add(gen.const(a.addr), gen.mul(row, size_c))
@@ -112,13 +150,20 @@ def build_opengemm_matmul(
             )
             # Streamer programming, recomputed per tile by the naive
             # frontend: bounds/strides derived from the tile geometry.
-            k_bound = gen.div(size_c, c8)
+            if tile_m == mesh:
+                mesh_c = tm_c
+            elif tile_n == mesh:
+                mesh_c = tn_c
+            else:
+                mesh_c = gen.const(mesh)
+            k_bound = gen.div(size_c, mesh_c)
             elem_stride = gen.const(1)
             row_bytes = size_c  # int8: one byte per element
+            n_vecs = one if tile_n == mesh else gen.const(tile_n // mesh)
             fields = [
-                ("M", c8),
+                ("M", tm_c),
                 ("K", size_c),
-                ("N", c8),
+                ("N", tn_c),
                 ("ptr_A", ptr_a),
                 ("ptr_B", ptr_b),
                 ("ptr_C", ptr_c),
@@ -127,17 +172,17 @@ def build_opengemm_matmul(
                 ("stride_C", size_c),
                 ("subtractions", gen.const(0)),
                 ("tbound0_A", k_bound),
-                ("tbound1_A", c8),
-                ("tstride0_A", c8),
+                ("tbound1_A", tm_c),
+                ("tstride0_A", mesh_c),
                 ("tstride1_A", row_bytes),
                 ("sstride_A", elem_stride),
                 ("tbound0_B", k_bound),
-                ("tbound1_B", c8),
+                ("tbound1_B", tn_c),
                 ("tstride0_B", row_bytes),
                 ("tstride1_B", elem_stride),
                 ("sstride_B", elem_stride),
-                ("tbound0_C", c8),
-                ("tbound1_C", one),
+                ("tbound0_C", tm_c),
+                ("tbound1_C", n_vecs),
                 ("tstride0_C", gen.mul(size_c, gen.const(4))),
                 ("tstride1_C", gen.const(4)),
                 ("sstride_C", gen.const(4)),
@@ -145,6 +190,29 @@ def build_opengemm_matmul(
             state = gen.setup("opengemm", fields)
             token = gen.launch(state)
             gen.await_(token)
+
+        if schedule.loop_order == "flat":
+            tile_total = gen.const(m_tiles * n_tiles)
+            tiles_c = gen.const(n_tiles)
+            # One flattened tile loop, as the lowered tiling loop emits it:
+            # the 2-D tile index is recovered with a divide/remainder pair
+            # per tile.
+            with gen.loop(zero, tile_total, one) as (_, t):
+                ti = gen.div(t, tiles_c)
+                tj = gen.rem(t, tiles_c)
+                tile_body(gen, ti, tj)
+        elif schedule.loop_order == "ij":
+            m_tiles_c = gen.const(m_tiles)
+            n_tiles_c = gen.const(n_tiles)
+            with gen.loop(zero, m_tiles_c, one) as (_, ti):
+                with gen.loop(zero, n_tiles_c, one) as (_, tj):
+                    tile_body(gen, ti, tj)
+        else:  # ji
+            n_tiles_c = gen.const(n_tiles)
+            m_tiles_c = gen.const(m_tiles)
+            with gen.loop(zero, n_tiles_c, one) as (_, tj):
+                with gen.loop(zero, m_tiles_c, one) as (_, ti):
+                    tile_body(gen, ti, tj)
 
     return MatmulWorkload(module, memory, "opengemm", size, a, b, c)
 
@@ -404,8 +472,51 @@ def build_gemmini_os_matmul(
     return workload
 
 
+@dataclass(frozen=True)
+class GemminiLoopWsSchedule:
+    """One point of the gemmini loop_ws schedule space.
+
+    ``chunk`` is the cubic chunk edge one ``loop_ws`` invocation covers
+    (``None`` means the FSM/capacity maximum, as the hand-written workload
+    uses).  ``loop_order`` permutes the three chunk loops — correct under
+    any permutation because the ``D = select(ck == 0, 0, C)`` accumulation
+    only needs the k-chunks of each output chunk to run in increasing
+    order.  ``specialize_size`` bakes the problem size into the IR as a
+    constant instead of the C-API-style runtime argument, which lets
+    constant folding (and full unrolling of the then-constant-trip chunk
+    loops, pipeline ``unroll-full``) delete the Listing-1 parameter-
+    calculation ladder the paper's Section 4.6 counts.
+    """
+
+    chunk: int | None = None
+    loop_order: str = "ijk"  # permutation of "ijk"
+    specialize_size: bool = False
+
+    def validate(self, size: int) -> None:
+        dim = gemmini_backend.ARRAY_DIM
+        chunk = self.resolved_chunk(size)
+        if chunk % dim or chunk <= 0:
+            raise ValueError(f"chunk must be a positive multiple of {dim}")
+        if chunk > gemmini_backend.max_invocation_edge(size):
+            raise ValueError(f"chunk={chunk} exceeds the loop_ws FSM limit")
+        if size % chunk:
+            raise ValueError(f"chunk={chunk} must divide size={size}")
+        if sorted(self.loop_order) != ["i", "j", "k"]:
+            raise ValueError(f"bad loop_order '{self.loop_order}'")
+
+    def resolved_chunk(self, size: int) -> int:
+        return (
+            self.chunk
+            if self.chunk is not None
+            else gemmini_backend.max_invocation_edge(size)
+        )
+
+
 def build_gemmini_loop_ws_matmul(
-    size: int, memory: Memory | None = None, seed: int = 0
+    size: int,
+    memory: Memory | None = None,
+    seed: int = 0,
+    schedule: GemminiLoopWsSchedule | None = None,
 ) -> MatmulWorkload:
     """Weight-stationary tiled matmul for Gemmini using the coarse-grained
     ``gemmini_loop_ws`` macro-operation (Table 1).
@@ -419,14 +530,15 @@ def build_gemmini_loop_ws_matmul(
     into 64-bit RoCC operands with an explicit shift/or ladder (Listing 1).
 
     ``main`` takes the matrix size as its single argument (pass
-    ``workload.main_args``).
+    ``workload.main_args``) — unless ``schedule.specialize_size`` bakes it
+    in, in which case ``main`` is argument-free.
     """
     dim = gemmini_backend.ARRAY_DIM
+    schedule = schedule or GemminiLoopWsSchedule()
     if size % dim:
         raise ValueError(f"size must be a multiple of {dim}")
-    chunk = gemmini_backend.max_invocation_edge(size)
-    if size % chunk:
-        raise ValueError(f"size must be a multiple of the chunk edge {chunk}")
+    schedule.validate(size)
+    chunk = schedule.resolved_chunk(size)
     memory = memory or Memory()
     a_values, b_values = _make_inputs(size, seed)
     a = memory.place(a_values)
@@ -436,20 +548,34 @@ def build_gemmini_loop_ws_matmul(
     module = new_module()
     chunks = size // chunk
     chunk_tiles = chunk // dim
-    with build_function(module, "main", input_types=[index]) as (gen, args):
-        (size_arg,) = args
+    input_types = [] if schedule.specialize_size else [index]
+    with build_function(module, "main", input_types=input_types) as (gen, args):
+        if schedule.specialize_size:
+            size_arg = gen.const(size)
+        else:
+            (size_arg,) = args
         zero = gen.const(0)
         one = gen.const(1)
         n_chunks = gen.const(chunks)
-        with gen.loop(zero, n_chunks, one) as (_, ci):
-            with gen.loop(zero, n_chunks, one) as (_, cj):
-                with gen.loop(zero, n_chunks, one) as (_, ck):
-                    _emit_loop_ws_invocation(
-                        gen, size_arg, a, b, c, chunk, chunk_tiles, ci, cj, ck
-                    )
+
+        def emit(ci, cj, ck) -> None:
+            _emit_loop_ws_invocation(
+                gen, size_arg, a, b, c, chunk, chunk_tiles, ci, cj, ck
+            )
+
+        # The three chunk loops, nested in schedule order (outermost first).
+        indices: dict[str, object] = {}
+        outer, middle, inner = schedule.loop_order
+        with gen.loop(zero, n_chunks, one) as (_, iv_outer):
+            indices[outer] = iv_outer
+            with gen.loop(zero, n_chunks, one) as (_, iv_middle):
+                indices[middle] = iv_middle
+                with gen.loop(zero, n_chunks, one) as (_, iv_inner):
+                    indices[inner] = iv_inner
+                    emit(indices["i"], indices["j"], indices["k"])
 
     workload = MatmulWorkload(module, memory, "gemmini", size, a, b, c)
-    workload.main_args = [size]
+    workload.main_args = [] if schedule.specialize_size else [size]
     return workload
 
 

@@ -24,6 +24,50 @@ from ..sim.memory import Buffer, Memory
 from .irgen import IRGen, build_function, new_module
 
 
+@dataclass(frozen=True)
+class LayerSpec:
+    """One fully-connected layer of a :class:`NetworkSpec`.
+
+    ``width`` is the layer's output width.  ``accelerator`` picks the matmul
+    target for *this layer* (``None`` defers to the lowering pass's default),
+    and ``tile_m``/``tile_n`` pin the OpenGeMM lowering tile shape — both
+    travel as attributes on the emitted ``linalg.matmul``, so a layer graph
+    with per-layer accelerator choices needs no hand-edited IR.
+    """
+
+    width: int
+    accelerator: str | None = None
+    tile_m: int | None = None
+    tile_n: int | None = None
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A configurable MLP layer graph: builder input for :func:`build_network`.
+
+    The network computes ``x_{i+1} = relu(x_i @ W_i + b_i)`` (no ReLU after
+    the last layer) over ``batch`` rows, starting from ``input_width``
+    features; one :class:`LayerSpec` per layer.
+    """
+
+    input_width: int
+    layers: tuple[LayerSpec, ...]
+    batch: int = 8
+    seed: int = 0
+
+    @property
+    def layer_sizes(self) -> list[int]:
+        return [self.input_width, *(layer.width for layer in self.layers)]
+
+    def validate(self) -> None:
+        if self.batch % 8:
+            raise ValueError("batch must be a multiple of 8")
+        if any(size % 8 for size in self.layer_sizes):
+            raise ValueError("layer widths must be multiples of 8")
+        if not self.layers:
+            raise ValueError("need at least one layer")
+
+
 @dataclass
 class MLPWorkload:
     """An N-layer MLP: IR plus its memory image and a numpy reference."""
@@ -37,6 +81,7 @@ class MLPWorkload:
     batch: int
     layer_sizes: list[int]
     scratch: list[Buffer] = dataclass_field(default_factory=list)
+    spec: NetworkSpec | None = None
 
     @property
     def total_macs(self) -> int:
@@ -71,22 +116,40 @@ def build_mlp(
     memory: Memory | None = None,
     seed: int = 0,
 ) -> MLPWorkload:
-    """Build an MLP with the given layer widths (all multiples of 8).
+    """Build an MLP with the given layer widths (all multiples of 8) using
+    the default accelerator assignment for every layer.  Thin wrapper over
+    :func:`build_network`."""
+    if len(layer_sizes) < 2:
+        raise ValueError("need at least input and output widths")
+    spec = NetworkSpec(
+        input_width=layer_sizes[0],
+        layers=tuple(LayerSpec(width) for width in layer_sizes[1:]),
+        batch=batch,
+        seed=seed,
+    )
+    return build_network(spec, memory=memory)
+
+
+def build_network(
+    spec: NetworkSpec, memory: Memory | None = None
+) -> MLPWorkload:
+    """Build the layer graph ``spec`` describes as one linalg-level module.
 
     The activations between layers are int32; matmul inputs must be int8,
     so each layer's output is stored once as int32 (for bias/ReLU on the
     vector engine) and mirrored into an int8 buffer for the next matmul.
     To keep the simulated memory model simple we clamp activations into
     int8 range by construction (small weights and inputs).
+
+    Each layer's :class:`LayerSpec` choices (accelerator, lowering tile
+    shape) are attached to its ``linalg.matmul`` as attributes, which the
+    ``convert-linalg-to-accfg`` pass honors per op.
     """
-    if batch % 8:
-        raise ValueError("batch must be a multiple of 8")
-    if any(size % 8 for size in layer_sizes):
-        raise ValueError("layer sizes must be multiples of 8")
-    if len(layer_sizes) < 2:
-        raise ValueError("need at least input and output widths")
+    spec.validate()
+    layer_sizes = spec.layer_sizes
+    batch = spec.batch
     memory = memory or Memory()
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(spec.seed)
     x0 = memory.place(rng.integers(0, 3, (batch, layer_sizes[0]), dtype=np.int8))
     weights = [
         memory.place(rng.integers(-1, 2, (a, b), dtype=np.int8))
@@ -111,7 +174,8 @@ def build_mlp(
             last = index == len(weights) - 1
             _emit_layer(gen, current_int8, w, b, acc, batch,
                         layer_sizes[index], layer_sizes[index + 1],
-                        relu_zero=None if last else zeros[index])
+                        relu_zero=None if last else zeros[index],
+                        layer=spec.layers[index])
             if not last:
                 _emit_requantize(gen, acc, mirrors[index], batch,
                                  layer_sizes[index + 1])
@@ -127,16 +191,23 @@ def build_mlp(
         batch=batch,
         layer_sizes=list(layer_sizes),
         scratch=accs[:-1] + mirrors,
+        spec=spec,
     )
 
 
-def _emit_layer(gen: IRGen, x, w, b, acc, batch, in_size, out_size, relu_zero):
+def _emit_layer(gen: IRGen, x, w, b, acc, batch, in_size, out_size, relu_zero,
+                layer: LayerSpec | None = None):
     """matmul + broadcast bias add (+ ReLU when not the last layer)."""
     x_addr = gen.const(x.addr)
     w_addr = gen.const(w.addr)
     acc_addr = gen.const(acc.addr)
     gen.builder.insert(
-        linalg.MatmulOp.create(x_addr, w_addr, acc_addr, batch, in_size, out_size)
+        linalg.MatmulOp.create(
+            x_addr, w_addr, acc_addr, batch, in_size, out_size,
+            target=layer.accelerator if layer else None,
+            tile_m=layer.tile_m if layer else None,
+            tile_n=layer.tile_n if layer else None,
+        )
     )
     # Bias add: one elementwise per batch row (the bias vector repeats).
     zero = gen.const(0)

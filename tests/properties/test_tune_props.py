@@ -1,0 +1,89 @@
+"""Properties of the autotuner's surrogate and search driver.
+
+Two claims the tuner's design rests on:
+
+1. **Ranking consistency.** The surrogate is allowed to be *approximate*
+   (overlap hiding is modeled as an average budget, not a schedule), but a
+   candidate it scores *far* better must really simulate better — otherwise
+   searching on the surrogate would systematically discard winners before
+   validation ever sees them.  "Far" is a generous 2x margin, comfortably
+   above the worst distortion the overlap approximation can introduce.
+2. **Shard determinism.**  Scores are pure functions of the candidate, the
+   shard merge preserves input order, and the report embeds no wall-clock
+   or job-count data — so the same (config, seed) must yield a
+   byte-identical report at any ``--jobs``.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends.base import get_accelerator
+from repro.interp import run_module
+from repro.passes.pipeline import pipeline_by_name
+from repro.sim import CoSimulator
+from repro.tune import TuneConfig, get_space, run_tune, score_candidate
+
+RANKING_MARGIN = 2.0
+
+_SPACE = get_space("opengemm")
+_SIZE = 32
+_GRID = _SPACE.grid(_SIZE, quick=False)
+
+# Scores and simulated cycles are pure functions of the candidate, so the
+# property caches them across hypothesis examples.
+_scores: dict = {}
+_cycles: dict = {}
+
+
+def _score(cand):
+    if cand not in _scores:
+        _scores[cand] = score_candidate(_SPACE, cand, _SIZE, seed=0)
+    return _scores[cand]
+
+
+def _simulate(cand):
+    if cand not in _cycles:
+        built = _SPACE.build(cand, _SIZE, seed=0)
+        pipeline_by_name(cand.pipeline).run(built.module)
+        sim = CoSimulator(
+            memory=built.memory,
+            cost_model=get_accelerator(
+                _SPACE.host_accelerator
+            ).host_cost_model(),
+            functional=True,
+        )
+        run_module(built.module, sim, args=built.main_args)
+        _cycles[cand] = sim.total_cycles
+    return _cycles[cand]
+
+
+@given(
+    a=st.integers(min_value=0, max_value=len(_GRID) - 1),
+    b=st.integers(min_value=0, max_value=len(_GRID) - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_far_better_estimate_really_simulates_better(a, b):
+    lhs, rhs = _GRID[a], _GRID[b]
+    est_l = _score(lhs)["total_cycles_est"]
+    est_r = _score(rhs)["total_cycles_est"]
+    if est_l * RANKING_MARGIN < est_r:
+        assert _simulate(lhs) < _simulate(rhs), (
+            f"{lhs.key} estimated {est_l} vs {rhs.key} estimated {est_r} "
+            f"(>{RANKING_MARGIN}x apart) but simulation disagrees"
+        )
+
+
+@given(jobs=st.sampled_from([2, 3]))
+@settings(max_examples=2, deadline=None)
+def test_report_is_byte_identical_at_any_job_count(jobs):
+    config = dict(
+        families=("opengemm",), sizes=(_SIZE,), quick=True, seed=0,
+        refine_rounds=1,
+    )
+    baseline = run_tune(TuneConfig(jobs=1, **config))
+    sharded = run_tune(TuneConfig(jobs=jobs, **config))
+    assert json.dumps(sharded, sort_keys=True) == json.dumps(
+        baseline, sort_keys=True
+    )

@@ -1,0 +1,84 @@
+"""The persistent surrogate-score cache: keying, round-trips, corruption."""
+
+import json
+
+from repro.tune import ScoreCache, score_key
+from repro.tune.cache import SCHEMA
+from repro.tune.surrogate import SURROGATE_VERSION
+
+
+class TestScoreKey:
+    def test_embeds_every_identity_component(self):
+        key = score_key("fp", "full", "opengemm")
+        assert key == f"fp|full|opengemm|v{SURROGATE_VERSION}"
+
+    def test_distinct_pipelines_do_not_collide(self):
+        assert score_key("fp", "full", "x") != score_key("fp", "dedup", "x")
+
+
+class TestScoreCache:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "scores.json")
+        cache = ScoreCache(path)
+        assert cache.get("k") is None
+        cache.put("k", {"total_cycles_est": 1.0})
+        cache.save()
+
+        warm = ScoreCache(path)
+        assert warm.get("k") == {"total_cycles_est": 1.0}
+        assert warm.hits == 1 and warm.misses == 0
+
+    def test_save_without_path_is_a_noop(self):
+        cache = ScoreCache(None)
+        cache.put("k", {"v": 1})
+        cache.save()  # must not raise
+
+    def test_corrupt_file_reads_as_empty(self, tmp_path):
+        path = tmp_path / "scores.json"
+        path.write_text("{ not json")
+        cache = ScoreCache(str(path))
+        assert cache.scores == {}
+
+    def test_schema_mismatch_reads_as_empty(self, tmp_path):
+        path = tmp_path / "scores.json"
+        path.write_text(json.dumps({"schema": "other/9", "scores": {"k": {}}}))
+        cache = ScoreCache(str(path))
+        assert cache.scores == {}
+
+    def test_written_file_carries_schema(self, tmp_path):
+        path = tmp_path / "scores.json"
+        cache = ScoreCache(str(path))
+        cache.put("k", {"v": 1})
+        cache.save()
+        assert json.loads(path.read_text())["schema"] == SCHEMA
+
+    def test_clean_cache_does_not_rewrite(self, tmp_path):
+        path = tmp_path / "scores.json"
+        cache = ScoreCache(str(path))
+        cache.put("k", {"v": 1})
+        cache.save()
+        stamp = path.stat().st_mtime_ns
+        cache.put("k", {"v": 1})  # identical value: still clean
+        cache.save()
+        assert path.stat().st_mtime_ns == stamp
+
+    def test_seed_preloads_without_dirtying(self, tmp_path):
+        path = tmp_path / "scores.json"
+        cache = ScoreCache(str(path))
+        cache.seed({"k": {"v": 1}})
+        assert cache.get("k") == {"v": 1}
+        cache.save()
+        assert not path.exists()
+
+    def test_seed_does_not_clobber_existing(self):
+        cache = ScoreCache(None)
+        cache.put("k", {"v": 2})
+        cache.seed({"k": {"v": 1}})
+        assert cache.scores["k"] == {"v": 2}
+
+    def test_hit_rate(self):
+        cache = ScoreCache(None)
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.get("absent")
+        assert cache.hit_rate == 0.5

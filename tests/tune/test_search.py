@@ -1,0 +1,161 @@
+"""The search driver: winners, oracle gates, dedup, cache warmth, resume,
+and shard determinism."""
+
+import json
+
+import pytest
+
+from repro.tune import ScoreCache, TuneConfig, run_tune
+from repro.tune.search import (
+    REPORT_SCHEMA,
+    _FamilyState,
+    _pareto_frontier,
+    _score_new,
+)
+from repro.tune.space import Candidate, get_space
+
+
+def _without_stats(results):
+    """Search results minus the cache bookkeeping (which legitimately
+    differs between a cold and a warm run)."""
+    return [
+        {k: v for k, v in section.items() if k != "stats"}
+        for section in results
+    ]
+
+
+def _quick_config(**overrides):
+    defaults = dict(
+        families=("opengemm",), sizes=(32,), quick=True, jobs=1, seed=0,
+        refine_rounds=1,
+    )
+    defaults.update(overrides)
+    return TuneConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_tune(_quick_config())
+
+
+class TestTuneFamily:
+    def test_winner_strictly_beats_default(self, quick_report):
+        section = quick_report["results"][0]
+        assert (
+            section["best"]["simulated_cycles"]
+            < section["default"]["simulated_cycles"]
+        )
+        assert section["improvement_pct"] > 0
+
+    def test_zero_oracle_mismatches_and_all_correct(self, quick_report):
+        section = quick_report["results"][0]
+        assert section["oracle_mismatches"] == 0
+        for entry in section["validated"]:
+            assert entry["mismatches"] == []
+            assert entry["correct"] is True
+
+    def test_ranking_uses_simulated_cycles(self, quick_report):
+        cycles = [
+            e["simulated_cycles"]
+            for e in quick_report["results"][0]["validated"]
+        ]
+        assert cycles == sorted(cycles)
+
+    def test_default_is_always_validated(self, quick_report):
+        section = quick_report["results"][0]
+        keys = {e["key"] for e in section["validated"]}
+        assert section["default"]["key"] in keys
+
+    def test_stats_add_up(self, quick_report):
+        stats = quick_report["results"][0]["stats"]
+        assert stats["candidates"] == (
+            stats["unique"] + stats["deduped"]
+        )
+        assert stats["scored"] + stats["cache_hits"] == stats["unique"]
+        assert stats["failed"] == 0
+
+    def test_report_schema_and_no_timing_fields(self, quick_report):
+        assert quick_report["schema"] == REPORT_SCHEMA
+        text = json.dumps(quick_report)
+        assert "wall" not in text
+        assert "jobs" not in json.dumps(quick_report["config"])
+
+
+class TestDeterminismAndCache:
+    def test_byte_identical_at_any_job_count(self, quick_report):
+        sharded = run_tune(_quick_config(jobs=2))
+        assert json.dumps(sharded, sort_keys=True) == json.dumps(
+            quick_report, sort_keys=True
+        )
+
+    def test_warm_persistent_cache_rescores_nothing(self, tmp_path):
+        path = str(tmp_path / "scores.json")
+        cold = run_tune(_quick_config(), cache_path=path)
+        assert cold["cache"]["scored"] > 0
+        warm = run_tune(_quick_config(), cache_path=path)
+        assert warm["cache"]["scored"] == 0
+        assert warm["cache"]["hit_rate"] == 1.0
+        # Warm results are the search results, not a degraded subset.
+        assert json.dumps(
+            _without_stats(warm["results"]), sort_keys=True
+        ) == json.dumps(_without_stats(cold["results"]), sort_keys=True)
+
+    def test_resume_from_report_rescores_nothing(self, quick_report):
+        resumed = run_tune(
+            _quick_config(), resume_scores=quick_report["evaluated"]
+        )
+        assert resumed["cache"]["scored"] == 0
+        assert json.dumps(
+            _without_stats(resumed["results"]), sort_keys=True
+        ) == json.dumps(
+            _without_stats(quick_report["results"]), sort_keys=True
+        )
+
+
+class TestParetoFrontier:
+    def _state(self, scores):
+        state = _FamilyState()
+        cands = []
+        for index, (est, bytes_) in enumerate(scores):
+            cand = Candidate.make("opengemm", "full", tile_m=8 * (index + 1))
+            key = f"k{index}"
+            state.key_of[cand] = key
+            state.scores[key] = {
+                "total_cycles_est": est, "config_bytes": bytes_,
+            }
+            cands.append(cand)
+        return cands, state
+
+    def test_dominated_points_are_dropped(self):
+        cands, state = self._state([(100, 10), (200, 20), (150, 5)])
+        frontier = _pareto_frontier(cands, state)
+        # (200, 20) is dominated by (100, 10); the others trade off.
+        assert cands[0] in frontier
+        assert cands[2] in frontier
+        assert cands[1] not in frontier
+
+    def test_single_point_is_the_frontier(self):
+        cands, state = self._state([(100, 10)])
+        assert _pareto_frontier(cands, state) == cands
+
+
+class TestStructuralDedup:
+    def test_spelled_differently_scored_once(self):
+        # An all-gemmini mlp assignment ignores the OpenGeMM tile
+        # parameters, so two spellings differing only in tile_m build
+        # byte-identical IR and must share one surrogate evaluation.
+        space = get_space("mlp")
+        cands = [
+            Candidate.make(
+                "mlp", "full", targets="ggg", tile_m=tile_m, tile_n=8,
+                ew_chunk=64,
+            )
+            for tile_m in (8, 16)
+        ]
+        config = _quick_config(families=("mlp",))
+        cache = ScoreCache(None)
+        state = _FamilyState()
+        _score_new(space, 32, cands, config, cache, state)
+        assert state.deduped == 1
+        assert state.scored == 1
+        assert state.key_of[cands[0]] == state.key_of[cands[1]]

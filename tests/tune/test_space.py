@@ -1,0 +1,111 @@
+"""Schedule-space validity: every enumerated candidate must be buildable."""
+
+import pytest
+
+from repro.backends import gemmini as gemmini_backend
+from repro.backends import opengemm as opengemm_backend
+from repro.tune import SPACES, Candidate, get_space
+from repro.workloads.matmul import OpenGemmSchedule
+
+
+class TestCandidate:
+    def test_params_are_order_insensitive(self):
+        a = Candidate.make("opengemm", "full", tile_m=8, tile_n=16)
+        b = Candidate.make("opengemm", "full", tile_n=16, tile_m=8)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key == b.key
+
+    def test_doc_round_trip(self):
+        cand = Candidate.make(
+            "gemmini", "unroll-full", chunk=32, loop_order="kij",
+            specialize_size=True,
+        )
+        assert Candidate.from_doc(cand.to_doc()) == cand
+
+    def test_param_lookup(self):
+        cand = Candidate.make("mlp", "full", targets="ogo", ew_chunk=64)
+        assert cand.param("targets") == "ogo"
+        assert cand.param("missing") is None
+        assert cand.param("missing", 7) == 7
+
+    def test_key_is_stable_and_readable(self):
+        cand = Candidate.make("opengemm", "dedup", tile_m=8, tile_n=16,
+                              loop_order="ij")
+        assert cand.key == "opengemm|dedup|loop_order=ij,tile_m=8,tile_n=16"
+
+
+class TestGrids:
+    @pytest.mark.parametrize("family", sorted(SPACES))
+    @pytest.mark.parametrize("quick", [False, True])
+    def test_default_is_in_grid_and_grid_is_unique(self, family, quick):
+        space = get_space(family)
+        size = space.quick_sizes[0]
+        grid = space.grid(size, quick=quick)
+        assert space.default(size) in grid
+        assert len(grid) == len(set(grid))
+        assert all(c.family == family for c in grid)
+
+    def test_opengemm_tiles_divide_and_fit(self):
+        space = get_space("opengemm")
+        for size in space.sizes:
+            for cand in space.grid(size):
+                tile_m, tile_n = cand.param("tile_m"), cand.param("tile_n")
+                assert size % tile_m == 0 and size % tile_n == 0
+                schedule = OpenGemmSchedule(tile_m=tile_m, tile_n=tile_n)
+                assert (
+                    schedule.scratchpad_bytes(size)
+                    <= opengemm_backend.SCRATCHPAD_BYTES
+                )
+
+    def test_gemmini_unroll_requires_specialization(self):
+        space = get_space("gemmini")
+        for cand in space.grid(64):
+            chunk = cand.param("chunk")
+            assert chunk % gemmini_backend.ARRAY_DIM == 0
+            assert chunk <= gemmini_backend.max_invocation_edge(64)
+            if cand.pipeline == "unroll-full":
+                assert cand.param("specialize_size") is True
+
+    def test_mlp_grid_covers_all_assignments(self):
+        space = get_space("mlp")
+        targets = {c.param("targets") for c in space.grid(32)}
+        assert len(targets) == 2 ** space.LAYERS
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(ValueError, match="unknown tuning family"):
+            get_space("nope")
+
+
+class TestNeighbors:
+    @pytest.mark.parametrize("family", sorted(SPACES))
+    def test_neighbors_of_default_are_valid_moves(self, family):
+        space = get_space(family)
+        size = space.quick_sizes[0]
+        default = space.default(size)
+        moves = space.neighbors(default, size)
+        assert moves
+        assert default not in moves
+        # Every move stays buildable (build raising would kill the search).
+        for move in moves:
+            built = space.build(move, size, seed=0)
+            assert built.module is not None
+
+
+class TestBuild:
+    @pytest.mark.parametrize("family", sorted(SPACES))
+    def test_default_builds_with_positive_work(self, family):
+        space = get_space(family)
+        size = space.quick_sizes[0]
+        built = space.build(space.default(size), size, seed=0)
+        assert built.total_ops > 0
+        assert built.workload is not None
+
+    def test_same_candidate_builds_identical_ir(self):
+        from repro.engine.cache import module_fingerprint
+
+        space = get_space("opengemm")
+        cand = space.default(32)
+        a = space.build(cand, 32, seed=0)
+        b = space.build(cand, 32, seed=0)
+        assert module_fingerprint(a.module) == module_fingerprint(b.module)

@@ -1,0 +1,77 @@
+"""The symbolic surrogate: exactness, field contract, and its relation to
+real simulated cycles on concrete candidates."""
+
+import pytest
+
+from repro.backends.base import get_accelerator
+from repro.interp import run_module
+from repro.passes.pipeline import pipeline_by_name
+from repro.sim import CoSimulator
+from repro.tune import Candidate, get_space, score_candidate
+
+FIELDS = {
+    "total_cycles_est", "host_cycles", "accel_cycles_exposed",
+    "config_cycles", "config_bytes", "launches", "ops", "i_oc",
+}
+
+
+def _simulate(space, cand, size):
+    built = space.build(cand, size, seed=0)
+    pipeline_by_name(cand.pipeline).run(built.module)
+    sim = CoSimulator(
+        memory=built.memory,
+        cost_model=get_accelerator(space.host_accelerator).host_cost_model(),
+        functional=True,
+    )
+    run_module(built.module, sim, args=built.main_args)
+    return sim.total_cycles
+
+
+@pytest.mark.parametrize("family", ["opengemm", "gemmini", "mlp"])
+def test_score_shape_and_positivity(family):
+    space = get_space(family)
+    size = space.quick_sizes[0]
+    score = score_candidate(space, space.default(size), size)
+    assert set(score) == FIELDS
+    assert score["total_cycles_est"] > 0
+    assert score["config_bytes"] > 0
+    assert score["launches"] > 0
+    assert score["i_oc"] == pytest.approx(
+        score["ops"] / score["config_bytes"], rel=1e-3
+    )
+
+
+def test_gemmini_estimate_tracks_simulation_closely():
+    # No overlap on the RoCC interface: host and device cycles simply add,
+    # so the estimate should be nearly exact (small constant drift only).
+    space = get_space("gemmini")
+    cand = space.default(32)
+    score = score_candidate(space, cand, 32)
+    simulated = _simulate(space, cand, 32)
+    assert score["total_cycles_est"] == pytest.approx(simulated, rel=0.05)
+
+
+def test_overlap_pipeline_scores_below_nonoverlap():
+    # Same schedule, overlap-capable vs not: the surrogate must credit the
+    # hidden configuration time.
+    space = get_space("opengemm")
+    base = Candidate.make(
+        "opengemm", "dedup", tile_m=8, tile_n=8, loop_order="flat"
+    )
+    over = Candidate.make(
+        "opengemm", "full", tile_m=8, tile_n=8, loop_order="flat"
+    )
+    assert not space.overlap_hides(base)
+    assert space.overlap_hides(over)
+    s_base = score_candidate(space, base, 32)
+    s_over = score_candidate(space, over, 32)
+    assert s_over["total_cycles_est"] < s_base["total_cycles_est"]
+    assert (
+        s_over["accel_cycles_exposed"] < s_base["accel_cycles_exposed"]
+    )
+
+
+def test_score_is_deterministic():
+    space = get_space("opengemm")
+    cand = space.default(32)
+    assert score_candidate(space, cand, 32) == score_candidate(space, cand, 32)
