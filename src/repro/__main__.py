@@ -9,6 +9,7 @@ paper's experiments::
     python -m repro report program.mlir                  # static config cost
     python -m repro run program.mlir                     # co-simulate
     python -m repro serve [--port N]                     # compile server
+    python -m repro chaos [--seed N] [--scenario all]    # serve chaos campaign
     python -m repro multitenant [--quick]                # scheduler sweep
     python -m repro experiments [--quick]                # all tables/figures
     python -m repro fig2|fig4|fig10|fig11|fig12|table1|example46
@@ -281,16 +282,70 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from .serve import CompileService, ReproServer
+    from .serve import CircuitBreakerPolicy, CompileService, ReproServer
 
     service = CompileService(
         dedup=not args.no_dedup,
         max_pending=args.max_pending,
         max_pending_per_tenant=args.max_pending_per_tenant,
+        default_deadline_ms=args.deadline_ms,
+        breaker=CircuitBreakerPolicy(enabled=not args.no_breaker),
     )
-    server = ReproServer(host=args.host, port=args.port, service=service)
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        service=service,
+        max_frame_bytes=args.max_frame_bytes,
+    )
     server.serve_forever()
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import (
+        MIXED_RATES,
+        ChaosRates,
+        run_cache_corruption,
+        run_campaign,
+        run_quota_storm,
+    )
+
+    rates = (
+        ChaosRates.uniform(args.rate) if args.rate is not None else MIXED_RATES
+    )
+    scenarios = (
+        ("mixed", "quota-storm", "cache-corruption")
+        if args.scenario == "all"
+        else (args.scenario,)
+    )
+    ok = True
+    for scenario in scenarios:
+        if scenario == "mixed":
+            report = run_campaign(
+                seed=args.seed,
+                clients=args.clients,
+                requests=args.requests,
+                rates=rates,
+                deadline_ms=args.deadline_ms,
+            )
+            print(report.format())
+            if report.schedule:
+                print("fired-fault schedule (byte-reproducible from the seed):")
+                for line in report.schedule:
+                    print(f"  {line}")
+            ok = ok and report.passed
+        elif scenario == "quota-storm":
+            result = run_quota_storm(seed=args.seed)
+            print(json.dumps(result, indent=2, sort_keys=True))
+            ok = ok and result["passed"]
+        elif scenario == "cache-corruption":
+            result = run_cache_corruption(seed=args.seed)
+            print(json.dumps(result, indent=2, sort_keys=True))
+            ok = ok and result["passed"]
+    print(f"chaos: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
 
 
 def cmd_multitenant(args: argparse.Namespace) -> int:
@@ -677,7 +732,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable request-level dedup tiers (in-flight coalescing and "
         "the outcome/module caches); for baseline measurements",
     )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline in ms (requests may override "
+        "with their own 'deadline_ms'; default: none)",
+    )
+    serve.add_argument(
+        "--no-breaker",
+        action="store_true",
+        help="disable the per-tenant circuit breaker",
+    )
+    serve.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=1024 * 1024,
+        help="reject request frames larger than this with a typed "
+        "'protocol' error (default 1 MiB)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaign against the serving layer: deterministic "
+        "fault injection, recovery invariants, zero-silent-corruption gate "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--clients", type=int, default=8, help="concurrent clients (default 8)"
+    )
+    chaos.add_argument(
+        "--requests",
+        type=int,
+        default=25,
+        help="requests per client (default 25)",
+    )
+    chaos.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="uniform per-kind injection rate (default: the mixed profile)",
+    )
+    chaos.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline for the campaign service",
+    )
+    chaos.add_argument(
+        "--scenario",
+        choices=("mixed", "quota-storm", "cache-corruption", "all"),
+        default="mixed",
+        help="which scenario to run (default: the mixed campaign)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     multitenant = sub.add_parser(
         "multitenant",
@@ -768,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("outlook-os", "outlook_os_gemmini"),
         ("outlook-shapes", "outlook_shapes"),
         ("outlook-tradeoff", "outlook_tradeoff"),
+        ("serve-chaos", "serve_chaos"),
     ):
         cmd = sub.add_parser(name, help=f"regenerate {name}")
         cmd.set_defaults(func=_experiment_command(module_name))

@@ -23,6 +23,14 @@ Design rules, each of which a robustness test pins down:
 * **Size bounded** — after every store the directory is trimmed to
   ``max_bytes`` by oldest-mtime-first eviction (loads touch their entry's
   mtime, so eviction is LRU-shaped).
+* **Degrades, never raises** — a cache directory that vanishes or turns
+  unwritable mid-run (operator cleanup, disk pressure, permissions) must
+  not take the caller's work down with it.  Every load against a missing
+  directory is a miss counted as ``rejected``; after
+  :data:`DEGRADE_AFTER` consecutive I/O failures (or a detected missing
+  directory) the store flips to ``degraded`` — in-memory-only operation:
+  no more disk touches, every load a counted miss — and logs the downgrade
+  once.  The serving layer surfaces the flag in its stats.
 
 Compiled traces need one transformation before they can live on disk: the
 ``OP_SETUP``/``OP_LAUNCH`` tuples carry the originating IR op as a ``site``
@@ -36,6 +44,7 @@ minimal re-setup silently degrade to full (see ``run_module_traced``).
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import threading
@@ -59,6 +68,12 @@ SCHEMA = "repro-cache/1"
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 _SUFFIX = ".bin"
+
+#: Consecutive I/O failures before a store stops touching the disk and runs
+#: in-memory-only for the rest of the process (see the module docstring).
+DEGRADE_AFTER = 3
+
+_log = logging.getLogger("repro.engine.pcache")
 
 #: Process-wide strictly-increasing LRU clock (nanoseconds).  Filesystems
 #: with coarse mtime granularity (1 s on some, 1 ns rounded to jiffies on
@@ -125,20 +140,62 @@ class PersistentStore:
         self.hits = 0
         self.misses = 0
         self.stores = 0
-        #: loads rejected for schema/kind/key mismatch or corruption
+        #: loads rejected for schema/kind/key mismatch, corruption, or a
+        #: missing/broken cache directory (degradation path)
         self.rejected = 0
+        #: I/O-level failures (directory gone, unwritable, stat errors)
+        self.io_errors = 0
+        self._consecutive_io_errors = 0
+        #: True once the store gave up on the disk: in-memory-only mode,
+        #: every load a miss, every save a no-op (logged once on downgrade)
+        self.degraded = False
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    # -- graceful degradation ---------------------------------------------
+
+    def _io_failure(self, what: str, error: BaseException | str) -> None:
+        """Record one I/O failure; flip to degraded after a streak."""
+        with self._lock:
+            self.io_errors += 1
+            self._consecutive_io_errors += 1
+            directory_gone = not os.path.isdir(self.directory)
+            if not self.degraded and (
+                directory_gone
+                or self._consecutive_io_errors >= DEGRADE_AFTER
+            ):
+                self.degraded = True
+                _log.warning(
+                    "persistent cache degraded to in-memory-only "
+                    "(%s: %s; directory %s%s)",
+                    what,
+                    error,
+                    self.directory,
+                    " is gone" if directory_gone else "",
+                )
+
+    def _io_ok(self) -> None:
+        with self._lock:
+            self._consecutive_io_errors = 0
+
     def _path(self, kind: str, key: str) -> str:
         digest = hashlib.sha256(f"{kind}:{key}".encode()).hexdigest()
         return os.path.join(self.directory, digest + _SUFFIX)
 
     def load(self, kind: str, key: str) -> object | None:
-        """The stored payload, or None on miss/corruption/version skew."""
+        """The stored payload, or None on miss/corruption/version skew.
+
+        Never raises: a vanished or unreadable cache directory degrades to
+        misses (counted as ``rejected``) rather than failing the caller.
+        """
+        if self.degraded:
+            with self._lock:
+                self.misses += 1
+                self.rejected += 1
+            return None
         path = self._path(kind, key)
         try:
             with open(path, "rb") as handle:
@@ -150,9 +207,22 @@ class PersistentStore:
                 or entry.get("key") != key
             ):
                 raise ValueError("schema or identity mismatch")
-        except FileNotFoundError:
+        except FileNotFoundError as error:
             with self._lock:
                 self.misses += 1
+            if not os.path.isdir(self.directory):
+                # Not an absent entry — the whole store is gone mid-run.
+                with self._lock:
+                    self.rejected += 1
+                self._io_failure("load", error)
+            return None
+        except OSError as error:
+            # Unreadable entry or directory (permissions, I/O): a rejected
+            # miss, and a strike toward in-memory-only degradation.
+            with self._lock:
+                self.misses += 1
+                self.rejected += 1
+            self._io_failure("load", error)
             return None
         except Exception:  # noqa: BLE001 - any bad entry is just a miss
             with self._lock:
@@ -165,6 +235,7 @@ class PersistentStore:
             return None
         with self._lock:
             self.hits += 1
+        self._io_ok()
         self._touch(path)  # LRU touch
         return entry["payload"]
 
@@ -181,7 +252,11 @@ class PersistentStore:
 
         Serialization failures are swallowed: an unpicklable payload means
         this entry stays process-local, not that the caller's work fails.
+        A degraded store skips the disk entirely (the atomic writer would
+        otherwise silently resurrect a directory an operator deleted).
         """
+        if self.degraded:
+            return
         try:
             blob = pickle.dumps(
                 {"schema": SCHEMA, "kind": kind, "key": key, "payload": payload},
@@ -192,8 +267,10 @@ class PersistentStore:
         path = self._path(kind, key)
         try:
             atomic_write_bytes(path, blob)
-        except OSError:
+        except OSError as error:
+            self._io_failure("save", error)
             return
+        self._io_ok()
         self._touch(path)
         with self._lock:
             self.stores += 1

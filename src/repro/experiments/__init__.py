@@ -13,6 +13,7 @@ from . import (
     outlook_os_gemmini,
     outlook_shapes,
     outlook_tradeoff,
+    serve_chaos,
     table1_fields,
 )
 from .common import ExperimentRun, run_workload
@@ -29,6 +30,7 @@ __all__ = [
     "outlook_os_gemmini",
     "outlook_shapes",
     "outlook_tradeoff",
+    "serve_chaos",
     "table1_fields",
     "ExperimentRun",
     "run_workload",

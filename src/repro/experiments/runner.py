@@ -23,6 +23,7 @@ from . import (
     fig12_roofline,
     figure4_rooflines,
     multitenant,
+    serve_chaos,
     table1_fields,
 )
 
@@ -62,6 +63,8 @@ def main(argv: list[str] | None = None) -> None:
     fault_recovery.main(quick=quick)
     print(separator)
     multitenant.main(quick=quick)
+    print(separator)
+    serve_chaos.main(quick=quick)
     print(separator)
 
 

@@ -1,0 +1,236 @@
+"""Beyond the paper: re-paid configuration cost vs serve-layer fault rate.
+
+The fault-recovery experiment (PR 5) priced resilience on ONE device:
+every recovery re-pays configuration cost.  The multitenant experiment
+(PR 8) priced *interleaving*: every tenant switch re-pays it.  This sweep
+prices their product — the serving boundary.  When a serve-layer fault
+(connection reset, compile-thread death, a missed deadline) eats a
+response, the tenant re-submits: the job's configuration was already paid
+— possibly deduplicated into a batch by the config-aware scheduler — and
+now the SAME job re-arrives at the tail of the queue, far from its batch,
+and pays again.  :func:`repro.serve.scheduler.with_resubmissions` models
+exactly that.
+
+Faults are drawn per original job through the shared
+:class:`~repro.faults.model.DrawStreams` idiom with a *fixed* uniform
+draw compared against the swept rate: the draw for job k never changes
+across the sweep, so a job that fails at rate r fails at every r' > r —
+failure sets are nested by construction and the re-paid cost curve is
+provably monotone in the fault rate (any non-monotonicity would be a
+scheduler bug, and the invariant check treats it as one).
+
+Acceptance invariants (CI re-runs them at the quick size):
+
+* both policies run exactly ``submitted + resubmitted`` jobs at every rate;
+* config-aware re-pays no more configuration cycles than FIFO at every
+  rate, and strictly fewer at the top rate (where re-submission scatter is
+  worst);
+* each policy's re-paid cost is nondecreasing in the fault rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..backends import get_accelerator
+from ..core import format_series
+from ..faults.model import DrawStreams
+from ..ioutil import atomic_write_json
+from ..serve.scheduler import compare_policies, with_resubmissions
+from .multitenant import ACCELERATOR, build_jobs
+
+DEFAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+QUICK_RATES = (0.0, 0.1, 0.4)
+
+DEFAULT_TENANTS = 8
+QUICK_TENANTS = 4
+
+#: jobs per tenant: more than multitenant's default so re-submission
+#: scatter has batches to break
+JOBS_PER_TENANT = 4
+
+#: every tenant its own configuration: a re-submitted job's only cheap slot
+#: is inside its tenant's batch, which the fault already broke
+MIX = "distinct"
+
+#: scheduler knobs: the quota binds (quota < JOBS_PER_TENANT) and the
+#: bounded lookahead keeps tail re-submissions from being folded back into
+#: their original batch for free — the realistic serving regime, where the
+#: scheduler cannot reorder arbitrarily far
+QUOTA = 2
+MAX_WAIT = 8
+WINDOW = 8
+
+SEED = 0
+
+
+def failed_arrivals(
+    n_jobs: int, rate: float, seed: int = SEED
+) -> list[int]:
+    """Arrival indices whose responses the serve layer lost at ``rate``.
+
+    One fixed draw per job (stream ``serve-fault``), compared against the
+    rate: the failure sets are nested across rates, which is what makes
+    the sweep's cost curve monotone by construction.
+    """
+    streams = DrawStreams(seed)
+    failed = []
+    for arrival in range(n_jobs):
+        _, rng = streams.draw("serve-fault")
+        if rng.random() < rate:
+            failed.append(arrival)
+    return failed
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    rate: float
+    submitted: int
+    resubmitted: int
+    results: dict  # policy -> ScheduleResult.as_dict()
+
+    def as_dict(self) -> dict:
+        return {
+            "rate": self.rate,
+            "submitted": self.submitted,
+            "resubmitted": self.resubmitted,
+            **self.results,
+        }
+
+
+def run_point(rate: float, tenants: int) -> SweepPoint:
+    spec = get_accelerator(ACCELERATOR)
+    jobs = build_jobs(tenants, MIX, jobs_per_tenant=JOBS_PER_TENANT)
+    failed = failed_arrivals(len(jobs), rate)
+    combined = with_resubmissions(jobs, failed)
+    results = compare_policies(
+        combined, spec, quota=QUOTA, max_wait=MAX_WAIT, window=WINDOW
+    )
+    return SweepPoint(
+        rate=rate,
+        submitted=len(jobs),
+        resubmitted=len(failed),
+        results={name: result.as_dict() for name, result in results.items()},
+    )
+
+
+def run(
+    rates: tuple[float, ...] = DEFAULT_RATES, tenants: int = DEFAULT_TENANTS
+) -> list[SweepPoint]:
+    points = [run_point(rate, tenants) for rate in rates]
+    _check_invariants(points)
+    return points
+
+
+def _check_invariants(points: list[SweepPoint]) -> None:
+    """The acceptance invariants; a violation is an experiment failure."""
+    for point in points:
+        fifo = point.results["fifo"]
+        aware = point.results["config-aware"]
+        label = f"fault rate {point.rate:g}"
+        expected_jobs = point.submitted + point.resubmitted
+        for policy, result in (("fifo", fifo), ("config-aware", aware)):
+            if result["jobs"] != expected_jobs:
+                raise RuntimeError(
+                    f"{label}: {policy} ran {result['jobs']} jobs, expected "
+                    f"{point.submitted} submitted + {point.resubmitted} "
+                    f"resubmitted"
+                )
+        if aware["repaid_config_cycles"] > fifo["repaid_config_cycles"]:
+            raise RuntimeError(
+                f"{label}: config-aware re-paid "
+                f"{aware['repaid_config_cycles']} config cycles vs FIFO's "
+                f"{fifo['repaid_config_cycles']} — must never re-pay more"
+            )
+    top = points[-1]
+    if points[-1].resubmitted and not (
+        top.results["config-aware"]["repaid_config_cycles"]
+        < top.results["fifo"]["repaid_config_cycles"]
+    ):
+        raise RuntimeError(
+            "top fault rate: config-aware must re-pay strictly fewer "
+            "config cycles than FIFO"
+        )
+    for policy in ("fifo", "config-aware"):
+        previous = None
+        for point in points:
+            repaid = point.results[policy]["repaid_config_cycles"]
+            if previous is not None and repaid < previous - 1e-9:
+                raise RuntimeError(
+                    f"{policy}: re-paid cycles fell from {previous} to "
+                    f"{repaid} as the fault rate rose — failure sets are "
+                    f"nested, the curve must be monotone"
+                )
+            previous = repaid
+
+
+def results_doc(points: list[SweepPoint], tenants: int) -> dict:
+    return {
+        "experiment": "serve_chaos",
+        "accelerator": ACCELERATOR,
+        "tenants": tenants,
+        "jobs_per_tenant": JOBS_PER_TENANT,
+        "mix": MIX,
+        "quota": QUOTA,
+        "max_wait": MAX_WAIT,
+        "window": WINDOW,
+        "seed": SEED,
+        "points": [point.as_dict() for point in points],
+    }
+
+
+def main(quick: bool = False, out: str | None = "serve_chaos.json") -> None:
+    rates = QUICK_RATES if quick else DEFAULT_RATES
+    tenants = QUICK_TENANTS if quick else DEFAULT_TENANTS
+    points = run(rates, tenants)
+
+    print(
+        f"Serve-layer faults vs re-paid configuration cost: {ACCELERATOR} "
+        f"matmuls, {tenants} tenants x {JOBS_PER_TENANT} jobs, {MIX} mix, "
+        f"seed {SEED}"
+    )
+    header = (
+        "rate",
+        "resubmitted",
+        "policy",
+        "cfg-cycles",
+        "repaid",
+        "switches",
+        "jobs/kcycle",
+    )
+    rows = []
+    for point in points:
+        for policy in ("fifo", "config-aware", "oracle"):
+            result = point.results[policy]
+            rows.append(
+                (
+                    point.rate,
+                    point.resubmitted,
+                    policy,
+                    result["config_cycles"],
+                    result["repaid_config_cycles"],
+                    result["context_switches"],
+                    result["throughput_jobs_per_kcycle"],
+                )
+            )
+    print(format_series(header, rows))
+
+    print()
+    print("Re-paid configuration cycles by fault rate, FIFO -> config-aware:")
+    for point in points:
+        fifo = point.results["fifo"]["repaid_config_cycles"]
+        aware = point.results["config-aware"]["repaid_config_cycles"]
+        print(
+            f"  rate {point.rate:4.2f} ({point.resubmitted:3d} re-submitted): "
+            f"{fifo:10.1f} -> {aware:8.1f}"
+        )
+
+    if out:
+        atomic_write_json(out, results_doc(points, tenants))
+        print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(quick="--quick" in sys.argv[1:])

@@ -19,10 +19,11 @@ assumption the dedup pass (paper Section 5.4) is built on.
 See ``docs/ROBUSTNESS.md`` for the fault models and guarantees.
 """
 
-from .model import FaultEvent, FaultInjector, FaultKind, FaultRates
+from .model import DrawStreams, FaultEvent, FaultInjector, FaultKind, FaultRates
 from .recovery import RecoveryPolicy, RecoveryStats, ReliancePlan
 
 __all__ = [
+    "DrawStreams",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",

@@ -13,7 +13,7 @@ same seed produces the same :class:`FaultEvent` log under either.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 
@@ -70,28 +70,21 @@ class FaultEvent:
         return f"{text} ({self.detail})" if self.detail else text
 
 
-class FaultInjector:
-    """Deterministic per-interaction fault draws plus the fired-fault log.
+class DrawStreams:
+    """Named private deterministic draw streams.
 
-    One injector instance belongs to one simulation run.  Comparing two runs'
-    ``schedule()`` (e.g. the tree-interpreted and trace-compiled executions
-    of the same program) checks that they took byte-identical fault paths.
+    Every draw is a pure function of ``(seed, stream, index)`` where
+    ``index`` is a per-stream counter advanced in call order: the n-th draw
+    of any one stream always sees the same rng no matter what other streams
+    did in between.  This is the idiom both fault planes share — the
+    hardware config plane (:class:`FaultInjector`) and the serving boundary
+    (:class:`repro.serve.chaos.ServeFaultInjector`) — and what makes their
+    fault schedules byte-reproducible from the seed alone.
     """
 
-    def __init__(
-        self, seed: int, rates: FaultRates, max_stall_polls: int = 4
-    ) -> None:
+    def __init__(self, seed: int) -> None:
         self.seed = int(seed)
-        self.rates = rates
-        #: upper bound on how many extra completion polls one await-stall
-        #: fault costs; a watchdog whose retry budget is at least this large
-        #: always recovers, a smaller budget times out
-        self.max_stall_polls = max_stall_polls
         self._counters: dict[str, int] = {}
-        #: fired faults in program order — the reproducible fault schedule
-        self.log: list[FaultEvent] = []
-
-    # -- deterministic draws ------------------------------------------------
 
     def _next_index(self, stream: str) -> int:
         index = self._counters.get(stream, 0)
@@ -107,6 +100,27 @@ class FaultInjector:
         """Advance one named stream; returns (interaction index, its rng)."""
         index = self._next_index(stream)
         return index, self._rng(stream, index)
+
+
+class FaultInjector(DrawStreams):
+    """Deterministic per-interaction fault draws plus the fired-fault log.
+
+    One injector instance belongs to one simulation run.  Comparing two runs'
+    ``schedule()`` (e.g. the tree-interpreted and trace-compiled executions
+    of the same program) checks that they took byte-identical fault paths.
+    """
+
+    def __init__(
+        self, seed: int, rates: FaultRates, max_stall_polls: int = 4
+    ) -> None:
+        super().__init__(seed)
+        self.rates = rates
+        #: upper bound on how many extra completion polls one await-stall
+        #: fault costs; a watchdog whose retry budget is at least this large
+        #: always recovers, a smaller budget times out
+        self.max_stall_polls = max_stall_polls
+        #: fired faults in program order — the reproducible fault schedule
+        self.log: list[FaultEvent] = []
 
     # -- fault decisions ----------------------------------------------------
 

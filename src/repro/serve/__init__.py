@@ -9,7 +9,20 @@ same-config tenants so context switches stop re-paying the configuration
 cost.  See docs/SERVING.md.
 """
 
-from .client import ReproClient, ServeClientError
+from .chaos import (
+    MIXED_RATES,
+    ChaosPlan,
+    ChaosRates,
+    ChaosReport,
+    ServeFaultInjector,
+    ServeFaultKind,
+    build_plan,
+    build_requests,
+    run_cache_corruption,
+    run_campaign,
+    run_quota_storm,
+)
+from .client import NO_RETRY, ReproClient, RetryPolicy, ServeClientError
 from .protocol import (
     ALL_OPS,
     DEFAULT_TENANT,
@@ -32,11 +45,38 @@ from .scheduler import (
     run_fifo,
     run_oracle,
     setup_cost,
+    with_resubmissions,
 )
-from .server import ReproServer, probe
-from .service import AdmissionError, CompileService
+from .server import DEFAULT_MAX_FRAME_BYTES, ReproServer, probe
+from .service import (
+    AdmissionError,
+    ChaosEngineError,
+    ChaosThreadDeath,
+    CircuitBreakerPolicy,
+    CompileService,
+    ServiceChaos,
+)
 
 __all__ = [
+    "MIXED_RATES",
+    "ChaosPlan",
+    "ChaosRates",
+    "ChaosReport",
+    "ServeFaultInjector",
+    "ServeFaultKind",
+    "build_plan",
+    "build_requests",
+    "run_cache_corruption",
+    "run_campaign",
+    "run_quota_storm",
+    "NO_RETRY",
+    "RetryPolicy",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "ChaosEngineError",
+    "ChaosThreadDeath",
+    "CircuitBreakerPolicy",
+    "ServiceChaos",
+    "with_resubmissions",
     "ALL_OPS",
     "DEFAULT_TENANT",
     "MODULE_OPS",

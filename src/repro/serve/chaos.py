@@ -1,0 +1,918 @@
+"""Deterministic chaos harness for the serving boundary.
+
+What :mod:`repro.faults` is to the hardware configuration plane, this
+module is to the compile service: a seed-driven fault injector whose
+fired-fault schedule is byte-reproducible, plus the campaign that drives a
+real :class:`~repro.serve.server.ReproServer` through it and checks the
+recovery invariants.
+
+The central determinism problem is concurrency: N client threads racing a
+shared injector would make the schedule depend on thread interleaving.
+The harness sidesteps it by *planning single-threaded*: :func:`build_plan`
+walks the (deterministic) request mix client-by-client, request-by-request
+and draws every fault decision up front through the same private-stream
+idiom as :class:`repro.faults.model.FaultInjector`
+(``f"{seed}:{stream}:{index}"``).  The resulting
+:class:`ChaosPlan` — including its rendered schedule — is a pure function
+of ``(seed, clients, requests, rates)``; the client threads merely execute
+it.  Faults are applied to a request's *first* attempt only, so the
+recovery path (retry, resend, reconnect) always runs against a clean
+transport.
+
+Campaign invariants (``python -m repro chaos``):
+
+* **Zero silent corruptions** — every response is either bit-identical to
+  the fault-free reference for that request (canonical-JSON compare) or a
+  *typed* error; a deterministic computation error must also match the
+  reference's error type.
+* **Zero stranded waiters** — after the clients drain, the service reports
+  no pending work and no open flights, and every client thread joins.
+* **Reproducible schedule** — the plan is rebuilt and compared, and the
+  CLI re-runs the planning to diff schedules across invocations.
+* **Bounded re-paid configuration cost** — the transport-level faults the
+  plan fired are replayed as scheduler resubmissions
+  (:func:`~repro.serve.scheduler.with_resubmissions`); the config-aware
+  policy must re-pay no more configuration cycles than FIFO does.
+
+Two focused scenarios ride along: :func:`run_quota_storm` (one flooding
+tenant vs admission control; the victim tenant must see zero errors) and
+:func:`run_cache_corruption` (a persistent store corrupted and then
+deleted under load; every response stays correct, the store degrades to
+in-memory-only instead of failing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import tempfile
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Sequence
+
+from ..backends import get_accelerator
+from ..engine import PersistentStore, TraceCache
+from ..faults.model import DrawStreams
+from .client import NO_RETRY, ReproClient, RetryPolicy, ServeClientError
+from .protocol import encode
+from .scheduler import TenantJob, compare_policies, with_resubmissions
+from .server import ReproServer
+from .service import CompileService, ServiceChaos
+
+
+class ServeFaultKind(str, Enum):
+    """The injectable failure modes of the serving boundary."""
+
+    #: the client's connect attempt is refused (server briefly unreachable)
+    CONNECT_REFUSE = "connect-refuse"
+    #: the connection drops after the request is sent, before the response
+    CONN_RESET = "conn-reset"
+    #: the request frame arrives in dribbling chunks (slow client)
+    SLOW_FRAME = "slow-frame"
+    #: a garbled non-JSON frame precedes the real request
+    CORRUPT_FRAME = "corrupt-frame"
+    #: a frame beyond the server's bound precedes the real request
+    OVERSIZE_FRAME = "oversize-frame"
+    #: the compile thread dies mid-computation (single-flight owner crash)
+    THREAD_DEATH = "thread-death"
+    #: the trace engine fails internally (tree-interpreter fallback path)
+    TRACE_ERROR = "trace-error"
+
+
+@dataclass(frozen=True)
+class ChaosRates:
+    """Per-kind injection probabilities (per request, in ``[0, 1]``)."""
+
+    connect_refuse: float = 0.0
+    conn_reset: float = 0.0
+    slow_frame: float = 0.0
+    corrupt_frame: float = 0.0
+    oversize_frame: float = 0.0
+    thread_death: float = 0.0
+    trace_error: float = 0.0
+
+    @staticmethod
+    def uniform(rate: float) -> "ChaosRates":
+        return ChaosRates(*([rate] * len(ServeFaultKind)))
+
+    def rate(self, kind: ServeFaultKind) -> float:
+        return getattr(self, kind.name.lower())
+
+    def any(self) -> bool:
+        return any(self.rate(kind) > 0.0 for kind in ServeFaultKind)
+
+
+#: the default campaign profile: every fault kind present, transport
+#: faults common enough that an 8x25 campaign fires each kind
+MIXED_RATES = ChaosRates(
+    connect_refuse=0.03,
+    conn_reset=0.06,
+    slow_frame=0.04,
+    corrupt_frame=0.05,
+    oversize_frame=0.03,
+    thread_death=0.05,
+    trace_error=0.08,
+)
+
+
+@dataclass(frozen=True)
+class ServeFaultEvent:
+    """One planned fault, as recorded in the byte-reproducible schedule."""
+
+    kind: ServeFaultKind
+    index: int
+    where: str  # "c<client>r<request>"
+    detail: str = ""
+
+    def render(self) -> str:
+        text = f"{self.kind.value}#{self.index} at {self.where}"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+class ServeFaultInjector(DrawStreams):
+    """Deterministic per-request fault draws plus the planned-fault log.
+
+    Same contract as :class:`repro.faults.model.FaultInjector`: each fault
+    kind draws from its own private stream, so the n-th decision of any
+    kind is independent of every other kind's history and the whole log is
+    a pure function of the seed.
+    """
+
+    def __init__(self, seed: int, rates: ChaosRates) -> None:
+        super().__init__(seed)
+        self.rates = rates
+        self.log: list[ServeFaultEvent] = []
+
+    def should(
+        self, kind: ServeFaultKind, where: str, detail: str = ""
+    ) -> bool:
+        index, rng = self.draw(kind.value)
+        fired = rng.random() < self.rates.rate(kind)
+        if fired:
+            self.log.append(ServeFaultEvent(kind, index, where, detail))
+        return fired
+
+    def schedule(self) -> tuple[str, ...]:
+        return tuple(event.render() for event in self.log)
+
+    def format_schedule(self) -> str:
+        return "\n".join(self.schedule())
+
+
+# -- the deterministic request mix ------------------------------------------
+
+_GOOD_TEMPLATE = """
+func.func @main(%x : i64) -> (i64) {{
+  %n = arith.constant {n} : i64
+  %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+  %t = accfg.launch %s : !accfg.token<"toyvec">
+  accfg.await %t
+  %c = arith.constant {add} : i64
+  %y = arith.addi %x, %c : i64
+  func.return %y : i64
+}}
+"""
+
+#: deterministic computation failure (unknown op): the service must answer
+#: the same typed error with or without chaos
+_BAD_MODULE = """
+func.func @main(%x : i64) -> (i64) {
+  %y = arith.bogus %x : i64
+  func.return %y : i64
+}
+"""
+
+_N_VALUES = (4, 8, 16, 32)
+_ADDENDS = (1, 3, 5)
+_OP_CYCLE = ("simulate", "compile", "lint", "simulate", "cost", "simulate")
+_TENANTS = 4
+
+
+@dataclass(frozen=True)
+class ChaosRequest:
+    """One planned request of the campaign mix."""
+
+    client: int
+    index: int
+    op: str
+    module: str
+    args: tuple[int, ...]
+    tenant: str
+
+    @property
+    def where(self) -> str:
+        return f"c{self.client}r{self.index}"
+
+    @property
+    def key(self) -> tuple:
+        """Identity for the fault-free reference (dedup across clients)."""
+        return (self.op, self.module, self.args)
+
+    def fields(self) -> dict[str, Any]:
+        fields: dict[str, Any] = {"module": self.module, "tenant": self.tenant}
+        if self.op == "simulate":
+            fields["args"] = list(self.args)
+        return fields
+
+
+def build_requests(clients: int, requests: int) -> list[list[ChaosRequest]]:
+    """The campaign's request mix — a pure function of the dimensions.
+
+    Duplicate-heavy on purpose (a handful of distinct modules shared by
+    every client) so the fault injection lands on all three dedup tiers;
+    roughly every 13th request is a deterministically-broken module, so
+    typed computation errors are part of the fault-free baseline too.
+    """
+    mix: list[list[ChaosRequest]] = []
+    for client in range(clients):
+        row = []
+        for index in range(requests):
+            op = _OP_CYCLE[(client + index) % len(_OP_CYCLE)]
+            if (index * clients + client) % 13 == 7:
+                module = _BAD_MODULE
+            else:
+                module = _GOOD_TEMPLATE.format(
+                    n=_N_VALUES[(client + 2 * index) % len(_N_VALUES)],
+                    add=_ADDENDS[index % len(_ADDENDS)],
+                )
+            args = (index % 5,) if op == "simulate" else ()
+            row.append(
+                ChaosRequest(
+                    client=client,
+                    index=index,
+                    op=op,
+                    module=module,
+                    args=args,
+                    tenant=f"tenant{client % _TENANTS}",
+                )
+            )
+        mix.append(row)
+    return mix
+
+
+# -- the plan ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Every fault of one campaign, decided up front, single-threaded."""
+
+    seed: int
+    rates: ChaosRates
+    #: (client, request index) -> fault kinds to apply on the first attempt
+    faults: dict[tuple[int, int], tuple[ServeFaultKind, ...]]
+    #: the byte-reproducible fired-fault schedule
+    schedule: tuple[str, ...]
+
+    def kinds_for(self, request: ChaosRequest) -> tuple[ServeFaultKind, ...]:
+        return self.faults.get((request.client, request.index), ())
+
+
+def _applicable(kind: ServeFaultKind, request: ChaosRequest) -> bool:
+    if kind is ServeFaultKind.TRACE_ERROR:
+        return request.op == "simulate"
+    return True
+
+
+def build_plan(
+    seed: int, mix: Sequence[Sequence[ChaosRequest]], rates: ChaosRates
+) -> ChaosPlan:
+    """Draw every fault decision for ``mix`` — single-threaded, so the
+    schedule is a pure function of the seed no matter how the campaign's
+    client threads later interleave."""
+    injector = ServeFaultInjector(seed, rates)
+    faults: dict[tuple[int, int], tuple[ServeFaultKind, ...]] = {}
+    for row in mix:
+        for request in row:
+            fired = tuple(
+                kind
+                for kind in ServeFaultKind
+                if _applicable(kind, request)
+                and injector.should(kind, request.where, request.op)
+            )
+            if fired:
+                faults[(request.client, request.index)] = fired
+    return ChaosPlan(
+        seed=seed, rates=rates, faults=faults, schedule=injector.schedule()
+    )
+
+
+# -- fault-free references ----------------------------------------------------
+
+#: error types produced by the serving infrastructure rather than by the
+#: request's own computation; acceptable for any request under chaos
+INFRA_ERRORS = frozenset(
+    {"admission", "deadline", "circuit", "shutdown", "internal", "protocol"}
+)
+
+
+def _canonical(response: dict[str, Any]) -> tuple[str, str]:
+    """A response reduced to its comparable identity."""
+    if response.get("ok"):
+        return ("ok", json.dumps(response.get("result"), sort_keys=True))
+    error = response.get("error") or {}
+    return ("error", str(error.get("type")))
+
+
+def compute_references(
+    mix: Sequence[Sequence[ChaosRequest]],
+) -> dict[tuple, tuple[str, str]]:
+    """Fault-free outcome per distinct request, on a pristine service."""
+    service = CompileService(cache=TraceCache())
+    references: dict[tuple, tuple[str, str]] = {}
+    for row in mix:
+        for request in row:
+            if request.key in references:
+                continue
+            response = service.handle(
+                {"id": 0, "op": request.op, **request.fields()}
+            )
+            references[request.key] = _canonical(response)
+    return references
+
+
+def check_response(
+    request: ChaosRequest,
+    response: dict[str, Any],
+    references: dict[tuple, tuple[str, str]],
+) -> str | None:
+    """A finding string when ``response`` is a silent corruption, else None."""
+    reference = references[request.key]
+    kind, payload = _canonical(response)
+    if kind == "ok":
+        if reference == (kind, payload):
+            return None
+        return (
+            f"{request.where} ({request.op}): ok response differs from "
+            f"fault-free reference"
+        )
+    if payload in INFRA_ERRORS:
+        return None  # a typed infrastructure error is an honest answer
+    if reference[0] == "error" and reference[1] == payload:
+        return None  # the same deterministic computation error as fault-free
+    return (
+        f"{request.where} ({request.op}): typed error {payload!r} does not "
+        f"match fault-free outcome {reference}"
+    )
+
+
+# -- the campaign -------------------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """Everything one campaign run measured and asserted."""
+
+    seed: int
+    clients: int
+    requests_per_client: int
+    rates: ChaosRates
+    schedule: tuple[str, ...] = ()
+    schedule_reproducible: bool = False
+    faults_planned: int = 0
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    ok_responses: int = 0
+    typed_errors: dict[str, int] = field(default_factory=dict)
+    silent_corruptions: list[str] = field(default_factory=list)
+    client_retries: int = 0
+    client_failures: list[str] = field(default_factory=list)
+    stranded_pending: int = 0
+    stranded_in_flight: int = 0
+    unjoined_clients: int = 0
+    service_stats: dict[str, Any] = field(default_factory=dict)
+    #: scheduler-path cost of the transport faults (resubmission model)
+    resubmitted_jobs: int = 0
+    repaid_fifo: float = 0.0
+    repaid_aware: float = 0.0
+
+    @property
+    def total_requests(self) -> int:
+        return self.clients * self.requests_per_client
+
+    @property
+    def passed(self) -> bool:
+        return (
+            not self.silent_corruptions
+            and not self.client_failures
+            and self.schedule_reproducible
+            and self.stranded_pending == 0
+            and self.stranded_in_flight == 0
+            and self.unjoined_clients == 0
+            and self.repaid_aware <= self.repaid_fifo + 1e-9
+        )
+
+    def format(self) -> str:
+        lines = [
+            f"chaos campaign: seed={self.seed} clients={self.clients} "
+            f"requests={self.total_requests}",
+            f"  faults planned: {self.faults_planned} "
+            + (
+                "("
+                + ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(self.fault_counts.items())
+                )
+                + ")"
+                if self.fault_counts
+                else ""
+            ),
+            f"  responses: {self.ok_responses} ok, "
+            f"{sum(self.typed_errors.values())} typed errors "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(self.typed_errors.items())) or 'none'})",
+            f"  client retries: {self.client_retries}",
+            f"  schedule reproducible: {self.schedule_reproducible}",
+            f"  stranded: pending={self.stranded_pending} "
+            f"in_flight={self.stranded_in_flight} "
+            f"unjoined={self.unjoined_clients}",
+            f"  silent corruptions: {len(self.silent_corruptions)}",
+            f"  re-paid config cycles under resubmission "
+            f"({self.resubmitted_jobs} job(s) re-submitted): "
+            f"fifo={self.repaid_fifo:.1f} config-aware={self.repaid_aware:.1f}",
+        ]
+        for finding in self.silent_corruptions[:10]:
+            lines.append(f"    CORRUPTION: {finding}")
+        for failure in self.client_failures[:10]:
+            lines.append(f"    CLIENT FAILURE: {failure}")
+        lines.append(f"  verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def _dead_port() -> int:
+    """A loopback port that refuses connections (bound once, then freed)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+class _CampaignClient:
+    """One campaign thread's client: executes planned faults, then recovers.
+
+    Faults are applied to the FIRST transmission attempt only; the
+    recovery path (reconnect, resend of the same payload) is always
+    clean, so every fault tests the machinery exactly once.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retry: RetryPolicy,
+        dead_port: int,
+        max_frame_bytes: int,
+    ) -> None:
+        self.client = ReproClient(host, port, timeout=15.0, retry=retry)
+        self.dead_port = dead_port
+        self.max_frame_bytes = max_frame_bytes
+        self.protocol_rejections = 0
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _ensure_connected(self) -> None:
+        if self.client._sock is None:
+            self.client._connect_with_retry()
+
+    def _raw_turn(self, line: bytes) -> dict[str, Any] | None:
+        """Send raw bytes, read one response line; None on transport loss."""
+        self._ensure_connected()
+        try:
+            self.client._sock.sendall(line)
+            reply = self.client._reader.readline()
+            if not reply:
+                raise ConnectionResetError("no response")
+            return json.loads(reply)
+        except (OSError, ValueError):
+            self.client._teardown()
+            return None
+
+    # -- fault application -------------------------------------------------
+
+    def issue(
+        self, request: ChaosRequest, kinds: Sequence[ServeFaultKind]
+    ) -> dict[str, Any]:
+        payload = self.client.next_payload(request.op, **request.fields())
+        kinds = set(kinds)
+
+        if ServeFaultKind.CONNECT_REFUSE in kinds:
+            # Force a reconnect whose first attempt lands on a dead port.
+            self.client._teardown()
+            try:
+                socket.create_connection(
+                    ("127.0.0.1", self.dead_port), timeout=0.5
+                ).close()
+            except OSError:
+                pass  # the refusal IS the fault; recovery reconnects below
+
+        if ServeFaultKind.CORRUPT_FRAME in kinds:
+            reply = self._raw_turn(b'{"op": "comp\x01garbled json!!\n')
+            if reply is not None and not reply.get("ok"):
+                self.protocol_rejections += 1
+
+        if ServeFaultKind.OVERSIZE_FRAME in kinds:
+            reply = self._raw_turn(b"x" * (self.max_frame_bytes + 4096) + b"\n")
+            if reply is not None and not reply.get("ok"):
+                self.protocol_rejections += 1
+
+        if ServeFaultKind.THREAD_DEATH in kinds:
+            # Mark the first attempt so the computing thread dies.  Three
+            # honest outcomes: no response (we owned the flight; retry
+            # below recomputes), a typed `internal` error (we coalesced
+            # onto the dying owner), or a normal response (an identical
+            # outcome was already cached).  Either response answers OUR id,
+            # so it is final.
+            reply = self._raw_turn(encode(dict(payload, chaos={"die": True})))
+            if reply is not None:
+                return reply
+
+        if ServeFaultKind.CONN_RESET in kinds:
+            # The request reaches the server; the connection dies before
+            # the response does.  The resend (same id) must be served from
+            # the outcome cache — idempotent retry.
+            self._ensure_connected()
+            try:
+                self.client._sock.sendall(encode(payload))
+                time.sleep(0.002)  # let the frame leave before the reset
+            except OSError:
+                pass
+            self.client._teardown()
+
+        if ServeFaultKind.SLOW_FRAME in kinds:
+            # Dribble the frame in chunks; the server's readline just
+            # blocks until the newline lands — the response must be normal.
+            data = encode(payload)
+            step = max(1, len(data) // 3)
+            self._ensure_connected()
+            try:
+                for start in range(0, len(data), step):
+                    self.client._sock.sendall(data[start : start + step])
+                    time.sleep(0.001)
+                reply = self.client._reader.readline()
+                if reply:
+                    return json.loads(reply)
+            except (OSError, ValueError):
+                pass
+            self.client._teardown()
+
+        if ServeFaultKind.TRACE_ERROR in kinds:
+            # The trace engine fails inside the computation; the service
+            # must fall back to the tree interpreter and answer a result
+            # bit-identical to fault-free.
+            payload = dict(payload, chaos={"trace_error": True})
+
+        return self.client.send_payload(payload)
+
+
+def run_campaign(
+    seed: int = 0,
+    clients: int = 8,
+    requests: int = 25,
+    rates: ChaosRates | None = None,
+    deadline_ms: float | None = None,
+    max_frame_bytes: int = 64 * 1024,
+) -> ChaosReport:
+    """One full seeded chaos campaign against a real server."""
+    rates = rates if rates is not None else MIXED_RATES
+    mix = build_requests(clients, requests)
+    plan = build_plan(seed, mix, rates)
+    replanned = build_plan(seed, mix, rates)
+    report = ChaosReport(
+        seed=seed,
+        clients=clients,
+        requests_per_client=requests,
+        rates=rates,
+        schedule=plan.schedule,
+        schedule_reproducible=plan.schedule == replanned.schedule,
+        faults_planned=len(plan.schedule),
+        fault_counts=dict(
+            Counter(event.split("#")[0] for event in plan.schedule)
+        ),
+    )
+    references = compute_references(mix)
+
+    service = CompileService(
+        cache=TraceCache(),
+        chaos=ServiceChaos(),
+        default_deadline_ms=deadline_ms,
+    )
+    server = ReproServer(service=service, max_frame_bytes=max_frame_bytes)
+    server.start()
+    host, port = server.address
+    dead_port = _dead_port()
+
+    lock = threading.Lock()
+
+    def run_client(client_index: int) -> None:
+        campaign_client = _CampaignClient(
+            host,
+            port,
+            RetryPolicy(max_retries=4, seed=seed * 1000 + client_index),
+            dead_port,
+            max_frame_bytes,
+        )
+        try:
+            for request in mix[client_index]:
+                kinds = plan.kinds_for(request)
+                try:
+                    response = campaign_client.issue(request, kinds)
+                except ServeClientError as error:
+                    with lock:
+                        report.client_failures.append(
+                            f"{request.where}: {error}"
+                        )
+                    continue
+                finding = check_response(request, response, references)
+                with lock:
+                    if response.get("ok"):
+                        report.ok_responses += 1
+                    else:
+                        error_type = str(
+                            (response.get("error") or {}).get("type")
+                        )
+                        report.typed_errors[error_type] = (
+                            report.typed_errors.get(error_type, 0) + 1
+                        )
+                    if finding:
+                        report.silent_corruptions.append(finding)
+        finally:
+            with lock:
+                report.client_retries += campaign_client.client.retries
+            campaign_client.client.close()
+
+    threads = [
+        threading.Thread(target=run_client, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        report.unjoined_clients = sum(
+            1 for thread in threads if thread.is_alive()
+        )
+        # Stranded-waiter check: with every client drained, nothing may be
+        # pending or parked inside the service.
+        with ReproClient(host, port, retry=NO_RETRY) as checker:
+            stats = checker.stats()
+        report.service_stats = stats
+        report.stranded_pending = int(stats.get("pending", -1))
+        report.stranded_in_flight = int(stats.get("in_flight", -1))
+    finally:
+        server.stop()
+
+    _charge_scheduler_path(report, mix, plan)
+    return report
+
+
+def _charge_scheduler_path(
+    report: ChaosReport,
+    mix: Sequence[Sequence[ChaosRequest]],
+    plan: ChaosPlan,
+) -> None:
+    """Replay the plan's transport faults as scheduler resubmissions.
+
+    A transport-level fault after the request reached the service means
+    the configuration was paid and the tenant re-submits anyway — the
+    serving-layer analogue of the paper's re-paid configuration cost.
+    """
+    transport_kinds = {
+        ServeFaultKind.CONNECT_REFUSE,
+        ServeFaultKind.CONN_RESET,
+        ServeFaultKind.THREAD_DEATH,
+    }
+    spec = get_accelerator("toyvec")
+    jobs: list[TenantJob] = []
+    failed: list[int] = []
+    arrival = 0
+    for row in mix:
+        for request in row:
+            if request.op != "simulate" or request.module == _BAD_MODULE:
+                continue
+            config = {
+                "n": _N_VALUES[
+                    (request.client + 2 * request.index) % len(_N_VALUES)
+                ]
+            }
+            jobs.append(
+                TenantJob.make(
+                    request.tenant, config, spec.compute_cycles(config), arrival
+                )
+            )
+            if any(k in transport_kinds for k in plan.kinds_for(request)):
+                failed.append(arrival)
+            arrival += 1
+    if not jobs:
+        return
+    resubmitted = with_resubmissions(jobs, failed)
+    results = compare_policies(resubmitted, spec)
+    report.resubmitted_jobs = len(failed)
+    report.repaid_fifo = results["fifo"].repaid_config_cycles
+    report.repaid_aware = results["config-aware"].repaid_config_cycles
+
+
+# -- focused scenarios --------------------------------------------------------
+
+
+def run_quota_storm(
+    seed: int = 0, flooders: int = 6, victim_requests: int = 10
+) -> dict[str, Any]:
+    """One tenant floods slow requests; admission must protect the victim.
+
+    The flooding tenant's distinct slow (chaos-stalled) modules exceed its
+    per-tenant quota, so a healthy share of its requests are shed with
+    typed ``admission`` errors — while the victim tenant's requests all
+    succeed and the service drains completely afterwards.
+    """
+    service = CompileService(
+        cache=TraceCache(),
+        chaos=ServiceChaos(),
+        max_pending=32,
+        max_pending_per_tenant=2,
+    )
+    server = ReproServer(service=service)
+    server.start()
+    host, port = server.address
+    results = {"flood_ok": 0, "flood_admission": 0, "flood_other": 0}
+    lock = threading.Lock()
+
+    def flood(worker: int) -> None:
+        with ReproClient(host, port, retry=NO_RETRY) as client:
+            for index in range(4):
+                module = _GOOD_TEMPLATE.format(n=64 + worker * 7 + index, add=1)
+                response = client.send_payload(
+                    client.next_payload(
+                        "simulate",
+                        module=module,
+                        args=[1],
+                        tenant="flooder",
+                        chaos={"sleep_ms": 60},
+                    )
+                )
+                with lock:
+                    if response.get("ok"):
+                        results["flood_ok"] += 1
+                    elif (response.get("error") or {}).get("type") == "admission":
+                        results["flood_admission"] += 1
+                    else:
+                        results["flood_other"] += 1
+
+    threads = [
+        threading.Thread(target=flood, args=(worker,), daemon=True)
+        for worker in range(flooders)
+    ]
+    for thread in threads:
+        thread.start()
+    victim_ok = 0
+    victim_errors: list[str] = []
+    try:
+        with ReproClient(host, port) as victim:
+            for index in range(victim_requests):
+                module = _GOOD_TEMPLATE.format(n=4, add=_ADDENDS[index % 3])
+                response = victim.simulate(module, args=[index], tenant="victim")
+                if response.get("ok"):
+                    victim_ok += 1
+                else:
+                    victim_errors.append(
+                        str((response.get("error") or {}).get("type"))
+                    )
+        for thread in threads:
+            thread.join(timeout=60.0)
+        with ReproClient(host, port, retry=NO_RETRY) as checker:
+            stats = checker.stats()
+    finally:
+        server.stop()
+    passed = (
+        victim_ok == victim_requests
+        and not victim_errors
+        and results["flood_admission"] > 0
+        and results["flood_other"] == 0
+        and stats.get("pending") == 0
+        and not any(thread.is_alive() for thread in threads)
+    )
+    return {
+        "scenario": "quota-storm",
+        "passed": passed,
+        "victim_ok": victim_ok,
+        "victim_errors": victim_errors,
+        **results,
+        "pending_after": stats.get("pending"),
+    }
+
+
+def run_cache_corruption(
+    seed: int = 0, modules: int = 6, directory: str | None = None
+) -> dict[str, Any]:
+    """Corrupt, then delete, the persistent store under live traffic.
+
+    Phase 1 populates the store; phase 2 garbles a seeded selection of
+    entries on disk and re-issues every request (correct answers, the
+    corruption counted in ``store.rejected``); phase 3 deletes the whole
+    directory mid-run and keeps serving (the store degrades to
+    in-memory-only; nothing raises, nothing resurrects the directory).
+    """
+    owns_directory = directory is None
+    if owns_directory:
+        directory = tempfile.mkdtemp(prefix="repro-chaos-pcache-")
+    store = PersistentStore(directory)
+    service = CompileService(cache=TraceCache(store=store), chaos=ServiceChaos())
+    server = ReproServer(service=service)
+    server.start()
+    host, port = server.address
+    texts = [
+        _GOOD_TEMPLATE.format(n=_N_VALUES[i % len(_N_VALUES)], add=_ADDENDS[i % 3])
+        for i in range(modules)
+    ]
+    findings: list[str] = []
+    expected: dict[int, str] = {}
+
+    def sweep(client: ReproClient, phase: str) -> None:
+        for index, text in enumerate(texts):
+            response = client.simulate(text, args=[index])
+            if not response.get("ok"):
+                findings.append(
+                    f"{phase}: module {index} failed: {response.get('error')}"
+                )
+                continue
+            canonical = json.dumps(response["result"], sort_keys=True)
+            if index not in expected:
+                expected[index] = canonical
+            elif expected[index] != canonical:
+                findings.append(
+                    f"{phase}: module {index} result drifted from phase 1"
+                )
+
+    try:
+        with ReproClient(host, port) as client:
+            sweep(client, "populate")
+            # Phase 2: garble a seeded selection of entries in place.
+            injector = ServeFaultInjector(seed, ChaosRates.uniform(1.0))
+            entries = sorted(
+                name
+                for name in os.listdir(directory)
+                if name.endswith(".bin")
+            )
+            corrupted = 0
+            for name in entries:
+                _, rng = injector.draw("garble")
+                if rng.random() < 0.6:
+                    with open(os.path.join(directory, name), "wb") as handle:
+                        handle.write(b"\x00garbage" + bytes([rng.randrange(256)]))
+                    corrupted += 1
+            # The in-memory tier would mask the corruption; evict it.
+            service.cache = TraceCache(store=store)
+            service._outcomes.clear()
+            sweep(client, "corrupted")
+            rejected_after_corruption = store.rejected
+            # Phase 3: delete the directory outright, keep serving.
+            shutil.rmtree(directory)
+            service.cache = TraceCache(store=store)
+            service._outcomes.clear()
+            sweep(client, "deleted")
+            sweep(client, "deleted-2")
+    finally:
+        server.stop()
+        if owns_directory and os.path.isdir(directory):
+            shutil.rmtree(directory, ignore_errors=True)
+    passed = (
+        not findings
+        and corrupted > 0
+        and rejected_after_corruption > 0
+        and store.degraded
+        and not os.path.isdir(directory)
+    )
+    return {
+        "scenario": "cache-corruption",
+        "passed": passed,
+        "findings": findings,
+        "entries_corrupted": corrupted,
+        "store_rejected": store.rejected,
+        "store_io_errors": store.io_errors,
+        "store_degraded": store.degraded,
+        "directory_resurrected": os.path.isdir(directory),
+    }
+
+
+__all__ = [
+    "ServeFaultKind",
+    "ChaosRates",
+    "MIXED_RATES",
+    "ServeFaultEvent",
+    "ServeFaultInjector",
+    "ChaosRequest",
+    "ChaosPlan",
+    "ChaosReport",
+    "build_requests",
+    "build_plan",
+    "compute_references",
+    "check_response",
+    "run_campaign",
+    "run_quota_storm",
+    "run_cache_corruption",
+]

@@ -16,7 +16,10 @@ Request object::
      "module": "<accfg IR text>",                # compile/simulate/lint/cost
      "pipeline": "<pipeline name>",              # default: "full" (compile),
                                                  #          "" (the rest)
-     "function": "main", "args": [..ints..]}     # simulate only
+     "function": "main", "args": [..ints..],     # simulate only
+     "deadline_ms": 500,                         # optional per-request deadline
+     "chaos": {...}}                             # optional; only honored when
+                                                 # the service armed chaos mode
 
 Response object::
 
@@ -26,6 +29,24 @@ Response object::
      "error": {"type": ..., "message": ...},     # when not ok
      "meta": {"tenant": ..., "coalesced": bool, "cached": bool,
               "wall_ms": float}}
+
+Typed error kinds (``error.type``) the service emits:
+
+``protocol``
+    malformed request — bad JSON, unknown op, oversized frame, bad field.
+``admission``
+    the tenant's (or the server's) pending-work quota is full; retry later.
+``deadline``
+    the request's ``deadline_ms`` budget expired before its outcome.
+``circuit``
+    the tenant's circuit breaker is open after repeated failures.
+``shutdown``
+    the server is closing; in-flight coalesced waiters get this too.
+``internal``
+    the computing thread died mid-flight; safe to retry (idempotent ids).
+Everything else (``ParseError``, ``PipelineError``, ``InterpreterError``,
+...) is the exception type name of a deterministic computation failure —
+retrying will not help.
 
 ``meta.coalesced`` is true when this request never computed anything: an
 identical request (same op, module, pipeline, parameters) was already in
@@ -96,6 +117,16 @@ def decode_request(line: str | bytes) -> dict[str, Any]:
     function = request.get("function")
     if function is not None and not isinstance(function, str):
         raise ProtocolError("'function' must be a string")
+    deadline_ms = request.get("deadline_ms")
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, (int, float))
+        or isinstance(deadline_ms, bool)
+        or deadline_ms <= 0
+    ):
+        raise ProtocolError("'deadline_ms' must be a positive number")
+    chaos = request.get("chaos")
+    if chaos is not None and not isinstance(chaos, dict):
+        raise ProtocolError("'chaos' must be an object")
     return request
 
 

@@ -340,6 +340,41 @@ def compare_policies(
     return {"fifo": fifo, "config-aware": aware, "oracle": oracle}
 
 
+def with_resubmissions(
+    jobs: Sequence[TenantJob], failed_arrivals: Iterable[int]
+) -> list[TenantJob]:
+    """``jobs`` plus a retry copy of each failed job, re-arriving at the tail.
+
+    Models what a serve-layer fault costs the scheduler: the original
+    submission already ran (its configuration was paid, possibly
+    deduplicated into a batch), then the response was lost — connection
+    reset, thread death, deadline — so the tenant re-submits and the job
+    re-arrives *after* everything else, far from its original batch.  The
+    ``serve_chaos`` experiment charges these orders to chart re-paid
+    configuration cycles against the serve-layer fault rate.
+    """
+    ordered = sorted(jobs, key=lambda job: job.arrival)
+    failed = set(failed_arrivals)
+    unknown = failed - {job.arrival for job in ordered}
+    if unknown:
+        raise ValueError(f"unknown arrival indices: {sorted(unknown)}")
+    next_arrival = (ordered[-1].arrival + 1) if ordered else 0
+    combined = list(ordered)
+    for job in ordered:
+        if job.arrival not in failed:
+            continue
+        combined.append(
+            TenantJob(
+                tenant=job.tenant,
+                config=job.config,
+                compute_cycles=job.compute_cycles,
+                arrival=next_arrival,
+            )
+        )
+        next_arrival += 1
+    return combined
+
+
 # -- grounding jobs in real IR ---------------------------------------------
 
 
@@ -392,6 +427,7 @@ __all__ = [
     "run_config_aware",
     "config_aware_order",
     "compare_policies",
+    "with_resubmissions",
     "extract_config",
     "job_from_module",
 ]

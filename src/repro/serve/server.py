@@ -8,12 +8,25 @@ Connections are cheap and stateless: clients may keep one open for many
 requests or reconnect per request; tenant identity travels in the request,
 not the connection.
 
+Two hardening rules live at this layer (see ``docs/ROBUSTNESS.md``):
+
+* **Bounded frames** — a request line longer than ``max_frame_bytes`` is
+  answered with a typed ``protocol`` error and drained (the connection
+  survives); ``readline()`` never buffers an unbounded hostile line.
+* **Dying handler threads stay quiet** — an injected
+  :class:`~repro.serve.service.ChaosThreadDeath` ends the handler thread
+  (the connection drops with no response, exactly like a real crash); the
+  single-flight rescue in the service has already woken any coalesced
+  waiters by the time it propagates here.
+
 Shutdown is cooperative: a ``shutdown`` request gets its response written
 and flushed, then the accept loop stops; in-flight requests on other
-connections finish normally.  ``python -m repro serve`` runs this in the
-foreground (SIGINT also shuts down cleanly); tests and the bench harness
-use :meth:`ReproServer.start` / :meth:`ReproServer.stop` around a
-background thread.
+connections finish normally, and :meth:`ReproServer.stop` closes the
+service so every parked single-flight waiter wakes with a typed
+``shutdown`` error.  ``python -m repro serve`` runs this in the foreground
+(SIGINT also shuts down cleanly); tests and the bench harness use
+:meth:`ReproServer.start` / :meth:`ReproServer.stop` around a background
+thread.
 """
 
 from __future__ import annotations
@@ -23,7 +36,11 @@ import socketserver
 import threading
 
 from .protocol import ProtocolError, decode_request, encode, error_response
-from .service import CompileService
+from .service import ChaosThreadDeath, CompileService
+
+#: default request-frame bound; far above any real module, far below
+#: what an unbounded ``readline()`` would happily buffer
+DEFAULT_MAX_FRAME_BYTES = 1024 * 1024
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -31,13 +48,45 @@ class _Handler(socketserver.StreamRequestHandler):
     # plus delayed ACK costs ~40ms per request on loopback.
     disable_nagle_algorithm = True
 
+    def _read_frame(self) -> bytes | None:
+        """One bounded request line; None when oversized (already drained).
+
+        ``readline(limit)`` returns at most ``limit`` bytes; a result of
+        exactly ``limit + 1`` bytes without a trailing newline means the
+        frame overflowed the bound — the rest of the line is read off the
+        socket in bounded chunks and discarded so the connection stays
+        usable for the next (well-formed) request.
+        """
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        limit = server.max_frame_bytes
+        line = self.rfile.readline(limit + 1)
+        if len(line) <= limit or line.endswith(b"\n"):
+            return line
+        # Drain the remainder of the oversized line.
+        while True:
+            chunk = self.rfile.readline(limit + 1)
+            if not chunk or chunk.endswith(b"\n"):
+                return None
+
     def handle(self) -> None:
         server: "_TCPServer" = self.server  # type: ignore[assignment]
         while True:
             try:
-                line = self.rfile.readline()
+                line = self._read_frame()
             except OSError:
                 return
+            if line is None:
+                response = error_response(
+                    {},
+                    "protocol",
+                    f"request frame exceeds {server.max_frame_bytes} bytes",
+                )
+                try:
+                    self.wfile.write(encode(response))
+                    self.wfile.flush()
+                except OSError:
+                    return
+                continue
             if not line:
                 return
             if not line.strip():
@@ -48,7 +97,14 @@ class _Handler(socketserver.StreamRequestHandler):
             except ProtocolError as error:
                 response = error_response({}, "protocol", str(error))
             else:
-                response = server.service.handle(request)
+                try:
+                    response = server.service.handle(request)
+                except ChaosThreadDeath:
+                    # Injected thread death: the service already rescued
+                    # any coalesced waiters; this handler thread dies
+                    # without a response, dropping the connection exactly
+                    # like a real crash would.
+                    return
                 shutdown = request["op"] == "shutdown" and response.get("ok")
             try:
                 self.wfile.write(encode(response))
@@ -67,9 +123,15 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     # once; the overflow retries after a full second of retransmit delay.
     request_queue_size = 128
 
-    def __init__(self, address: tuple[str, int], service: CompileService):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: CompileService,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
         super().__init__(address, _Handler)
         self.service = service
+        self.max_frame_bytes = max_frame_bytes
         self._shutdown_started = False
         self._shutdown_lock = threading.Lock()
 
@@ -94,9 +156,10 @@ class ReproServer:
         host: str = "127.0.0.1",
         port: int = 0,
         service: CompileService | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> None:
         self.service = service if service is not None else CompileService()
-        self._tcp = _TCPServer((host, port), self.service)
+        self._tcp = _TCPServer((host, port), self.service, max_frame_bytes)
         self._thread: threading.Thread | None = None
 
     @property
@@ -115,11 +178,17 @@ class ReproServer:
         return self
 
     def stop(self) -> None:
-        """Stop accepting and close the socket; idempotent."""
+        """Stop accepting, wake every parked waiter, close; idempotent.
+
+        Order matters: the accept loop stops first (no new work), then the
+        service closes — failing in-flight coalesced waiters fast with
+        typed ``shutdown`` errors — then the listening socket is released.
+        """
         self._tcp.begin_shutdown()
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
+        self.service.close()
         self._tcp.server_close()
 
     def serve_forever(self) -> None:
@@ -131,8 +200,9 @@ class ReproServer:
         except KeyboardInterrupt:
             pass
         finally:
-            self._tcp.server_close()
             stats = self.service.stats()
+            self.service.close()
+            self._tcp.server_close()
             print(
                 f"repro serve: shut down after {stats['requests']} request(s), "
                 f"dedup hit rate {stats['dedup_hit_rate']:.1%}",

@@ -31,6 +31,32 @@ flooding one.
 Everything here must be thread-safe: the server runs one handler thread
 per connection.  The service's own bookkeeping is lock-guarded; the engine
 caches carry their own locks (PR: thread-safety satellites).
+
+Resilience layer (chaos-hardening PR; see ``docs/ROBUSTNESS.md``):
+
+* **Per-request deadlines** — a request carries ``deadline_ms`` (or
+  inherits ``default_deadline_ms``); a coalesced waiter whose budget
+  expires before the owner publishes gets a typed ``deadline`` error, and
+  an owner whose computation outlives the budget still *publishes* the
+  outcome (so the client's idempotent retry is a cache hit) but answers
+  with ``deadline``.
+* **Single-flight rescue** — an owner thread that dies mid-computation
+  (chaos injection, a server bug) publishes a typed ``internal`` outcome
+  to its flight and wakes every waiter before propagating; the flight is
+  cleared, never cached, so a retry recomputes cleanly.  No deadlock, no
+  poisoned key.
+* **Per-tenant circuit breaker** — ``breaker.threshold`` consecutive
+  computation failures open the tenant's circuit for ``breaker.cooldown``
+  service requests; while open, the tenant's work is shed with a typed
+  ``circuit`` error *before* admission (an abusive tenant stops burning
+  pending slots), then one half-open probe decides re-close vs re-open.
+* **Graceful degradation** — a persistent store that loses its directory
+  runs in-memory-only (see :mod:`repro.engine.pcache`); a trace-engine
+  internal error on ``simulate`` falls back to the tree interpreter for
+  that request, bit-identical results, counted in ``engine_fallbacks``.
+* **Orderly close** — :meth:`CompileService.close` wakes every parked
+  waiter with a typed ``shutdown`` error and fails new work fast; no
+  thread is left parked on a flight that will never complete.
 """
 
 from __future__ import annotations
@@ -39,10 +65,12 @@ import hashlib
 import threading
 import time
 from collections import Counter, OrderedDict
+from dataclasses import dataclass
 from typing import Any
 
 from ..analysis import AnalysisManager
 from ..engine import TRACE_CACHE, module_fingerprint, run_module_traced
+from ..interp import Interpreter, InterpreterError
 from ..ir import parse_module, verify_operation
 from ..passes import PIPELINES, pipeline_by_name
 from ..sim import CoSimulator
@@ -60,6 +88,96 @@ from .protocol import (
 
 class AdmissionError(Exception):
     """Request rejected by admission control (tenant or service over quota)."""
+
+
+class ChaosThreadDeath(BaseException):
+    """Injected compile-thread death.
+
+    Deliberately a :class:`BaseException` so ``_execute``'s blanket
+    ``except Exception`` cannot convert it into a polite error response —
+    it must tear through the stack exactly like a real dying thread,
+    exercising the single-flight rescue and the handler-thread cleanup.
+    """
+
+
+class ChaosEngineError(RuntimeError):
+    """Injected trace-engine internal error (drives the tree fallback)."""
+
+
+class ServiceChaos:
+    """Arms the service to honor per-request ``chaos`` markers.
+
+    Only the chaos campaign constructs one of these; an un-armed service
+    (the default) ignores the ``chaos`` request field entirely, so no
+    client can crash a production server by sending markers.  Markers:
+
+    * ``{"die": true}`` — the computing thread raises
+      :class:`ChaosThreadDeath` mid-``_execute``.
+    * ``{"sleep_ms": N}`` — the computation stalls N ms (deadline and
+      quota-storm scenarios).
+    * ``{"trace_error": true}`` — the trace engine raises
+      :class:`ChaosEngineError` on ``simulate``, forcing the
+      tree-interpreter fallback.
+    """
+
+    def __init__(self) -> None:
+        self.deaths = 0
+        self.sleeps = 0
+        self.trace_errors = 0
+        self._lock = threading.Lock()
+
+    def on_execute(self, request: dict[str, Any]) -> None:
+        """Called at the top of every computation on an armed service."""
+        marker = request.get("chaos")
+        if not isinstance(marker, dict):
+            return
+        sleep_ms = marker.get("sleep_ms")
+        if isinstance(sleep_ms, (int, float)) and sleep_ms > 0:
+            with self._lock:
+                self.sleeps += 1
+            time.sleep(sleep_ms / 1e3)
+        if marker.get("die"):
+            with self._lock:
+                self.deaths += 1
+            raise ChaosThreadDeath("injected compile-thread death")
+
+    def on_trace(self, request: dict[str, Any]) -> None:
+        """Called before the trace engine runs a ``simulate``."""
+        marker = request.get("chaos")
+        if isinstance(marker, dict) and marker.get("trace_error"):
+            with self._lock:
+                self.trace_errors += 1
+            raise ChaosEngineError("injected trace-engine failure")
+
+
+@dataclass(frozen=True)
+class CircuitBreakerPolicy:
+    """Per-tenant breaker knobs.
+
+    The cooldown is measured in *service request count*, not wall time, so
+    breaker behavior is deterministic under a seeded campaign: the same
+    request sequence opens and half-opens circuits at the same points
+    regardless of thread timing.
+    """
+
+    enabled: bool = True
+    #: consecutive computation failures that open the circuit
+    threshold: int = 5
+    #: service requests that must pass before the half-open probe
+    cooldown: int = 16
+
+
+class _Breaker:
+    """Mutable per-tenant breaker state (guarded by the service lock)."""
+
+    __slots__ = ("failures", "open_until", "probing")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        #: request-count stamp until which the circuit stays open (0=closed)
+        self.open_until = 0
+        #: True while the single half-open probe is in flight
+        self.probing = False
 
 
 class _Flight:
@@ -96,6 +214,9 @@ class CompileService:
         max_pending_per_tenant: int = 8,
         outcome_cache_size: int = 256,
         module_cache_size: int = 128,
+        default_deadline_ms: float | None = None,
+        breaker: CircuitBreakerPolicy | None = None,
+        chaos: ServiceChaos | None = None,
     ) -> None:
         self.cache = cache if cache is not None else TRACE_CACHE
         self.analyses = analyses if analyses is not None else AnalysisManager()
@@ -104,6 +225,11 @@ class CompileService:
         self.max_pending_per_tenant = max_pending_per_tenant
         self.outcome_cache_size = outcome_cache_size
         self.module_cache_size = module_cache_size
+        #: applied when a request carries no ``deadline_ms`` (None = none)
+        self.default_deadline_ms = default_deadline_ms
+        self.breaker = breaker if breaker is not None else CircuitBreakerPolicy()
+        #: armed only by the chaos campaign; None ignores chaos markers
+        self.chaos = chaos
         self.started_at = time.time()
         self._lock = threading.RLock()
         self._in_flight: dict[tuple, _Flight] = {}
@@ -113,6 +239,9 @@ class CompileService:
         self._modules: OrderedDict[tuple, Any] = OrderedDict()
         self._pending: Counter[str] = Counter()
         self._pending_total = 0
+        self._breakers: dict[str, _Breaker] = {}
+        self._closed = False
+        self._close_reason = ""
         # -- counters (all under self._lock) ------------------------------
         self.requests = 0
         self.by_op: Counter[str] = Counter()
@@ -122,6 +251,10 @@ class CompileService:
         self.module_hits = 0
         self.admission_rejected = 0
         self.errors = 0
+        self.deadline_expired = 0
+        self.circuit_rejected = 0
+        self.flight_crashes = 0
+        self.engine_fallbacks = 0
 
     # -- admission --------------------------------------------------------
 
@@ -147,6 +280,85 @@ class CompileService:
             if self._pending[tenant] <= 0:
                 del self._pending[tenant]
             self._pending_total -= 1
+
+    # -- circuit breaker ---------------------------------------------------
+
+    def _breaker_check(self, tenant: str) -> str | None:
+        """Shed or admit ``tenant``; an error message when the circuit is open.
+
+        Runs *before* admission so a shed tenant never occupies a pending
+        slot.  After the cooldown, exactly one request is let through as
+        the half-open probe; its outcome re-closes or re-opens the circuit.
+        """
+        if not self.breaker.enabled:
+            return None
+        with self._lock:
+            state = self._breakers.get(tenant)
+            if state is None or state.open_until <= 0:
+                return None
+            cooled = self.requests >= state.open_until
+            if cooled and not state.probing:
+                state.probing = True  # this request is the half-open probe
+                return None
+            self.circuit_rejected += 1
+            return (
+                f"tenant {tenant!r} circuit open after {state.failures} "
+                f"consecutive failures; retry later"
+            )
+
+    def _breaker_record(self, tenant: str, failed: bool | None) -> None:
+        """Account one computation outcome toward the tenant's breaker.
+
+        ``failed=None`` is neutral — an infrastructure outcome (admission,
+        deadline, shutdown, a crashed flight) that is not evidence about
+        the tenant's code either way: the circuit state is kept, and a
+        half-open probe slot is freed for the next request to use.
+        """
+        if not self.breaker.enabled:
+            return
+        with self._lock:
+            state = self._breakers.get(tenant)
+            if failed is None:
+                if state is not None:
+                    state.probing = False
+                return
+            if not failed:
+                if state is not None:
+                    self._breakers.pop(tenant, None)  # full reset
+                return
+            if state is None:
+                state = self._breakers.setdefault(tenant, _Breaker())
+            state.failures += 1
+            if state.probing or state.failures >= self.breaker.threshold:
+                # Open (or re-open after a failed half-open probe).
+                state.open_until = self.requests + self.breaker.cooldown
+                state.probing = False
+
+    # -- orderly close -----------------------------------------------------
+
+    def close(self, reason: str = "server stopping") -> None:
+        """Fail fast and wake every parked waiter with a typed error.
+
+        Idempotent; called by :meth:`ReproServer.stop` after the accept
+        loop stops.  Any flight still computing keeps its owner thread (it
+        will publish into the void), but every *waiter* wakes immediately
+        with a ``shutdown`` outcome instead of parking forever.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._close_reason = reason
+            flights = list(self._in_flight.values())
+            self._in_flight.clear()
+        for flight in flights:
+            if flight.outcome is None:
+                flight.outcome = (False, ("shutdown", reason))
+            flight.event.set()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- request entry points ---------------------------------------------
 
@@ -184,16 +396,47 @@ class CompileService:
             # The server watches for this op and stops accepting after the
             # response is written; the service itself has nothing to stop.
             return ok_response(request, {"shutting_down": True}, meta())
+        if self._closed:
+            return error_response(
+                request,
+                "shutdown",
+                f"service closed: {self._close_reason or 'shutting down'}",
+                meta(),
+            )
+
+        circuit_message = self._breaker_check(tenant)
+        if circuit_message is not None:
+            return error_response(request, "circuit", circuit_message, meta())
+
+        deadline_ms = request.get("deadline_ms", self.default_deadline_ms)
+        deadline = started + deadline_ms / 1e3 if deadline_ms else None
 
         try:
             self._admit(tenant)
         except AdmissionError as error:
+            self._breaker_record(tenant, failed=None)  # not the tenant's code
             return error_response(request, "admission", str(error), meta())
         try:
-            ok, payload, shared = self._compute_shared(op, request)
+            ok, payload, shared = self._compute_shared(op, request, deadline)
         finally:
             self._release(tenant)
+        if ok and deadline is not None and time.perf_counter() > deadline:
+            # The outcome is published (a retry is a cache hit), but this
+            # request's budget is spent: answer with the typed deadline
+            # error the client asked for rather than a late success.
+            ok, payload, shared = (
+                False,
+                (
+                    "deadline",
+                    f"deadline of {deadline_ms:g} ms expired "
+                    f"(outcome cached for retry)",
+                ),
+                shared,
+            )
+            with self._lock:
+                self.deadline_expired += 1
         if ok:
+            self._breaker_record(tenant, failed=False)
             return ok_response(
                 request,
                 payload,
@@ -202,6 +445,10 @@ class CompileService:
         kind, message = payload
         with self._lock:
             self.errors += 1
+        # Infrastructure outcomes (deadline/shutdown/internal) are not the
+        # tenant's fault and must not open its circuit.
+        infra = kind in ("deadline", "shutdown", "internal")
+        self._breaker_record(tenant, failed=None if infra else True)
         return error_response(
             request,
             kind,
@@ -229,13 +476,14 @@ class CompileService:
         return pipeline
 
     def _compute_shared(
-        self, op: str, request: dict[str, Any]
+        self, op: str, request: dict[str, Any], deadline: float | None = None
     ) -> tuple[bool, Any, str]:
         """Run the computation with outcome sharing.
 
         Returns ``(ok, payload, shared)`` where ``shared`` is ``"computed"``,
         ``"coalesced"`` (an in-flight duplicate did the work) or ``"cached"``
-        (a completed duplicate did).
+        (a completed duplicate did).  ``deadline`` is an absolute
+        ``perf_counter`` stamp bounding how long a coalesced waiter parks.
         """
         if not self.dedup:
             return (*self._execute(op, request), "computed")
@@ -256,17 +504,52 @@ class CompileService:
                     owner = False
                     self.coalesced += 1
             if not owner:
-                flight.event.wait()
-                if flight.outcome is None:  # owner died abnormally; retry
+                if deadline is None:
+                    completed = flight.event.wait()
+                else:
+                    completed = flight.event.wait(
+                        max(0.0, deadline - time.perf_counter())
+                    )
+                if not completed:
+                    # The waiter's budget ran out before the owner published.
+                    # The flight stays (the owner will finish and cache it);
+                    # this request answers with a typed deadline error, and
+                    # the client's idempotent retry will hit the cache.
+                    with self._lock:
+                        self.deadline_expired += 1
+                    return (
+                        False,
+                        (
+                            "deadline",
+                            "deadline expired while coalesced on an "
+                            "in-flight computation",
+                        ),
+                        "coalesced",
+                    )
+                if flight.outcome is None:  # pre-rescue safety net: retry
                     continue
                 return (*flight.outcome, "coalesced")
             try:
                 outcome = self._execute(op, request)
-            except BaseException:
-                # Unexpected (non-protocol) crash: don't poison waiters with
-                # a stuck flight — wake them to retry, then propagate.
+            except BaseException as error:
+                # The computing thread is dying (chaos injection, a server
+                # bug, KeyboardInterrupt).  Rescue the waiters: publish a
+                # typed ``internal`` outcome to the flight — NOT to the
+                # outcome cache, a retry must recompute — clear the flight
+                # so the key is not poisoned, wake everyone, and only then
+                # let the crash propagate.
                 with self._lock:
+                    self.flight_crashes += 1
                     self._in_flight.pop(key, None)
+                if flight.outcome is None:
+                    flight.outcome = (
+                        False,
+                        (
+                            "internal",
+                            f"computation crashed: "
+                            f"{type(error).__name__}: {error}",
+                        ),
+                    )
                 flight.event.set()
                 raise
             flight.outcome = outcome
@@ -309,7 +592,14 @@ class CompileService:
         return module
 
     def _execute(self, op: str, request: dict[str, Any]) -> tuple[bool, Any]:
-        """One computation; never raises for request-shaped problems."""
+        """One computation; never raises for request-shaped problems.
+
+        :class:`ChaosThreadDeath` deliberately escapes (it derives from
+        ``BaseException``): the single-flight rescue and the handler thread
+        must see a genuinely dying thread, not a polite error response.
+        """
+        if self.chaos is not None:
+            self.chaos.on_execute(request)
         try:
             module = self._parsed_module(op, request)
             handler = getattr(self, f"_op_{op}")
@@ -331,14 +621,30 @@ class CompileService:
         }
 
     def _op_simulate(self, module, request: dict[str, Any]) -> dict[str, Any]:
-        sim = CoSimulator(functional=bool(request.get("functional", False)))
-        results, sim = run_module_traced(
-            module,
-            sim,
-            function=request.get("function", "main"),
-            args=list(request.get("args") or []),
-            cache=self.cache,
-        )
+        functional = bool(request.get("functional", False))
+        function = request.get("function", "main")
+        args = list(request.get("args") or [])
+        sim = CoSimulator(functional=functional)
+        try:
+            if self.chaos is not None:
+                self.chaos.on_trace(request)
+            results, sim = run_module_traced(
+                module, sim, function=function, args=args, cache=self.cache
+            )
+        except InterpreterError:
+            # A semantic error in the request's program: deterministic under
+            # either engine, so report it — falling back would just re-raise.
+            raise
+        except Exception:  # noqa: BLE001 - engine-internal: degrade
+            # Trace-engine internal failure (a compiler bug, injected
+            # chaos): degrade to the tree interpreter for this request on a
+            # FRESH simulator — same semantics, bit-identical results, just
+            # slower.  Counted, never marked in the result payload (the
+            # chaos campaign compares results byte-for-byte).
+            with self._lock:
+                self.engine_fallbacks += 1
+            sim = CoSimulator(functional=functional)
+            results = Interpreter(module, sim).run(function, args)
         stats = sim.trace.stats(sim.cost_model)
         return {
             "results": [int(value) for value in results],
@@ -383,18 +689,27 @@ class CompileService:
 
     def stats(self) -> dict[str, Any]:
         with self._lock:
-            return {
+            stats = {
                 "protocol": PROTOCOL,
                 "uptime_s": round(time.time() - self.started_at, 3),
                 "dedup": self.dedup,
+                "closed": self._closed,
                 "requests": self.requests,
                 "by_op": dict(self.by_op),
                 "tenants": len(self.by_tenant),
                 "pending": self._pending_total,
+                "in_flight": len(self._in_flight),
                 "coalesced": self.coalesced,
                 "outcome_hits": self.outcome_hits,
                 "module_hits": self.module_hits,
                 "admission_rejected": self.admission_rejected,
+                "deadline_expired": self.deadline_expired,
+                "circuit_rejected": self.circuit_rejected,
+                "circuits_open": sum(
+                    1 for s in self._breakers.values() if s.open_until > 0
+                ),
+                "flight_crashes": self.flight_crashes,
+                "engine_fallbacks": self.engine_fallbacks,
                 "errors": self.errors,
                 "dedup_hit_rate": round(
                     (self.coalesced + self.outcome_hits) / self.requests, 4
@@ -413,6 +728,16 @@ class CompileService:
                     "misses": self.analyses.misses,
                 },
             }
+            store = getattr(self.cache, "store", None)
+            if store is not None:
+                stats["persistent_store"] = {
+                    "degraded": store.degraded,
+                    "rejected": store.rejected,
+                    "io_errors": store.io_errors,
+                    "hits": store.hits,
+                    "misses": store.misses,
+                }
+            return stats
 
 
 #: ops every service understands (re-exported for the server/CLI)

@@ -1,0 +1,123 @@
+"""PersistentStore graceful degradation: a broken disk never breaks work.
+
+Satellite of the chaos-hardening PR: a cache directory deleted or turned
+unwritable mid-run degrades the store to in-memory-only operation — every
+load a miss counted as ``rejected``, every save a no-op, the vanished
+directory never resurrected — instead of raising into the caller.
+"""
+
+import os
+import shutil
+
+import pytest
+
+import repro.engine.pcache as pcache_module
+from repro.engine.pcache import DEGRADE_AFTER, PersistentStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PersistentStore(str(tmp_path / "cache"))
+
+
+class TestDirectoryDeleted:
+    def test_load_degrades_to_rejected_miss(self, store):
+        store.save("blob", "k", {"v": 1})
+        shutil.rmtree(store.directory)
+        assert store.load("blob", "k") is None
+        assert store.rejected >= 1
+        assert store.misses >= 1
+        assert store.degraded  # directory-gone degrades immediately
+
+    def test_degraded_save_does_not_resurrect_directory(self, store):
+        store.save("blob", "k", {"v": 1})
+        shutil.rmtree(store.directory)
+        store.load("blob", "k")  # flips to degraded
+        store.save("blob", "k2", {"v": 2})
+        assert not os.path.isdir(store.directory)
+        assert store.degraded
+
+    def test_degraded_loads_count_rejected_misses(self, store):
+        shutil.rmtree(store.directory)
+        store.load("blob", "a")
+        before = (store.misses, store.rejected)
+        store.load("blob", "b")
+        store.load("blob", "c")
+        assert store.misses == before[0] + 2
+        assert store.rejected == before[1] + 2
+
+    def test_absent_entry_with_healthy_directory_is_plain_miss(self, store):
+        assert store.load("blob", "nope") is None
+        assert store.misses == 1
+        assert store.rejected == 0
+        assert not store.degraded
+
+    def test_never_raises(self, store):
+        store.save("blob", "k", {"v": 1})
+        shutil.rmtree(store.directory)
+        for _ in range(10):
+            assert store.load("blob", "k") is None
+            store.save("blob", "k", {"v": 1})
+
+
+class TestUnwritable:
+    """chmod tricks do not bind under root; monkeypatch the writer/opener."""
+
+    def test_save_io_errors_degrade_after_streak(self, store, monkeypatch):
+        def refuse(path, blob):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(pcache_module, "atomic_write_bytes", refuse)
+        for _ in range(DEGRADE_AFTER):
+            store.save("blob", "k", {"v": 1})
+        assert store.io_errors == DEGRADE_AFTER
+        assert store.degraded
+
+    def test_one_transient_failure_does_not_degrade(self, store, monkeypatch):
+        real = pcache_module.atomic_write_bytes
+        calls = {"n": 0}
+
+        def flaky(path, blob):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError(5, "Input/output error")
+            return real(path, blob)
+
+        monkeypatch.setattr(pcache_module, "atomic_write_bytes", flaky)
+        store.save("blob", "a", {"v": 1})  # fails
+        store.save("blob", "b", {"v": 2})  # succeeds, resets the streak
+        store.save("blob", "c", {"v": 3})
+        assert store.io_errors == 1
+        assert not store.degraded
+        assert store.load("blob", "b") == {"v": 2}
+
+    def test_unreadable_entries_strike_toward_degradation(
+        self, store, monkeypatch
+    ):
+        store.save("blob", "k", {"v": 1})
+        real_open = open
+
+        def refuse(*args, **kwargs):
+            if args and str(args[0]).endswith(".bin"):
+                raise PermissionError(13, "Permission denied")
+            return real_open(*args, **kwargs)
+
+        monkeypatch.setattr("builtins.open", refuse)
+        for _ in range(DEGRADE_AFTER):
+            assert store.load("blob", "k") is None
+        assert store.degraded
+        assert store.rejected >= DEGRADE_AFTER
+
+
+class TestCorruptEntryStillJustAMiss:
+    def test_garbled_entry_rejected_not_degraded(self, store):
+        store.save("blob", "k", {"v": 1})
+        path = store._path("blob", "k")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00garbage")
+        assert store.load("blob", "k") is None
+        assert store.rejected == 1
+        assert not store.degraded  # corruption is not an I/O failure streak
+        # the bad entry was unlinked; a re-save repairs the cache
+        store.save("blob", "k", {"v": 2})
+        assert store.load("blob", "k") == {"v": 2}

@@ -1,0 +1,193 @@
+"""The chaos harness itself: deterministic plans, campaigns, scenarios.
+
+The tentpole acceptance criteria live here: the fired-fault schedule is a
+byte-reproducible pure function of the seed, a mixed campaign finishes
+with zero silent corruptions and zero stranded waiters, and the scenario
+drills (quota storm, cache corruption) pass from a fixed seed.
+"""
+
+import json
+
+from repro.serve import (
+    MIXED_RATES,
+    ChaosRates,
+    ServeFaultInjector,
+    ServeFaultKind,
+    build_plan,
+    build_requests,
+    run_cache_corruption,
+    run_campaign,
+    run_quota_storm,
+)
+from repro.serve.chaos import INFRA_ERRORS, check_response, compute_references
+
+
+class TestInjector:
+    def test_draws_are_deterministic_per_seed(self):
+        a = ServeFaultInjector(3, ChaosRates.uniform(0.5))
+        b = ServeFaultInjector(3, ChaosRates.uniform(0.5))
+        kinds = list(ServeFaultKind) * 10
+        decisions_a = [a.should(kind, "w") for kind in kinds]
+        decisions_b = [b.should(kind, "w") for kind in kinds]
+        assert decisions_a == decisions_b
+        assert a.schedule() == b.schedule()
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_streams_are_independent_across_kinds(self):
+        # Draining one kind's stream must not shift any other kind's
+        # decisions — the private-stream contract from repro.faults.
+        rates = ChaosRates.uniform(0.5)
+        plain = ServeFaultInjector(5, rates)
+        drained = ServeFaultInjector(5, rates)
+        for _ in range(100):
+            drained.should(ServeFaultKind.CONN_RESET, "noise")
+        sequence = [
+            plain.should(ServeFaultKind.TRACE_ERROR, "w") for _ in range(20)
+        ]
+        shifted = [
+            drained.should(ServeFaultKind.TRACE_ERROR, "w") for _ in range(20)
+        ]
+        assert sequence == shifted
+
+    def test_zero_rates_never_fire(self):
+        injector = ServeFaultInjector(0, ChaosRates())
+        for kind in ServeFaultKind:
+            assert not injector.should(kind, "w")
+        assert injector.schedule() == ()
+
+    def test_schedule_records_kind_index_and_site(self):
+        injector = ServeFaultInjector(0, ChaosRates.uniform(1.0))
+        injector.should(ServeFaultKind.CONN_RESET, "c0r1", "detail")
+        (line,) = injector.schedule()
+        assert "conn-reset" in line
+        assert "c0r1" in line
+
+
+class TestPlan:
+    def test_plan_is_a_pure_function_of_seed_and_mix(self):
+        mix = build_requests(clients=4, requests=12)
+        a = build_plan(0, mix, MIXED_RATES)
+        b = build_plan(0, mix, MIXED_RATES)
+        assert a.schedule == b.schedule
+        assert a.faults == b.faults
+        assert "\n".join(a.schedule).encode() == "\n".join(b.schedule).encode()
+
+    def test_different_seeds_give_different_schedules(self):
+        mix = build_requests(clients=4, requests=12)
+        assert (
+            build_plan(0, mix, MIXED_RATES).schedule
+            != build_plan(1, mix, MIXED_RATES).schedule
+        )
+
+    def test_trace_error_only_targets_simulate(self):
+        mix = build_requests(clients=4, requests=20)
+        by_position = {
+            (request.client, request.index): request
+            for row in mix
+            for request in row
+        }
+        plan = build_plan(0, mix, ChaosRates.uniform(0.9))
+        hits = 0
+        for position, kinds in plan.faults.items():
+            if ServeFaultKind.TRACE_ERROR in kinds:
+                hits += 1
+                assert by_position[position].op == "simulate"
+        assert hits > 0
+
+    def test_mix_is_deterministic_and_includes_bad_modules(self):
+        mix = build_requests(clients=8, requests=25)
+        again = build_requests(clients=8, requests=25)
+        assert mix == again
+        flat = [request for row in mix for request in row]
+        assert len(flat) == 200
+        assert len({request.tenant for request in flat}) == 4
+        ops = {request.op for request in flat}
+        assert {"simulate", "compile", "lint", "cost"} <= ops
+        assert any("bogus" in request.module for request in flat)
+
+
+class TestOracle:
+    def test_references_cover_every_distinct_request(self):
+        mix = build_requests(clients=2, requests=8)
+        references = compute_references(mix)
+        keys = {request.key for row in mix for request in row}
+        assert set(references) == keys
+
+    def test_check_response_flags_wrong_results(self):
+        mix = build_requests(clients=1, requests=3)
+        references = compute_references(mix)
+        request = mix[0][0]
+        kind, payload = references[request.key]
+        assert kind == "ok"
+        ok_payload = {"ok": True, "result": json.loads(payload)}
+        assert check_response(request, ok_payload, references) is None
+        tampered = {"ok": True, "result": {"tampered": 1}}
+        finding = check_response(request, tampered, references)
+        assert finding is not None and "differs" in finding
+
+    def test_infra_errors_pass_but_wrong_typed_errors_fail(self):
+        mix = build_requests(clients=1, requests=3)
+        references = compute_references(mix)
+        request = mix[0][0]
+        for kind in sorted(INFRA_ERRORS):
+            response = {"ok": False, "error": {"type": kind, "message": "x"}}
+            assert check_response(request, response, references) is None
+        wrong = {"ok": False, "error": {"type": "ParseError", "message": "x"}}
+        assert check_response(request, wrong, references) is not None
+
+
+class TestCampaign:
+    def test_small_mixed_campaign_passes(self):
+        report = run_campaign(seed=0, clients=4, requests=10)
+        assert report.passed, report.format()
+        assert report.silent_corruptions == []
+        assert report.client_failures == []
+        assert report.stranded_pending == 0
+        assert report.stranded_in_flight == 0
+        assert report.unjoined_clients == 0
+        assert report.schedule_reproducible
+        assert report.faults_planned > 0
+        assert report.ok_responses > 0
+        # Degraded answers are typed, so every response is accounted for.
+        assert (
+            report.ok_responses + sum(report.typed_errors.values())
+            == report.clients * report.requests_per_client
+        )
+        # The config-aware scheduler keeps its edge under resubmissions.
+        assert report.repaid_aware <= report.repaid_fifo
+
+    def test_campaign_schedule_is_reproducible_across_runs(self):
+        first = run_campaign(seed=2, clients=3, requests=8)
+        second = run_campaign(seed=2, clients=3, requests=8)
+        assert first.schedule == second.schedule
+        assert first.passed and second.passed
+
+    def test_fault_free_campaign_is_all_ok_or_reference_errors(self):
+        report = run_campaign(
+            seed=0, clients=3, requests=8, rates=ChaosRates()
+        )
+        assert report.passed, report.format()
+        assert report.faults_planned == 0
+        assert report.client_retries == 0
+
+
+class TestScenarios:
+    def test_quota_storm_sheds_flooders_not_victims(self):
+        result = run_quota_storm(seed=0, flooders=4, victim_requests=6)
+        assert result["passed"], result
+        assert result["victim_ok"] == 6
+        assert result["victim_errors"] == []
+        assert result["flood_admission"] > 0
+        assert result["flood_other"] == 0
+        assert result["pending_after"] == 0
+
+    def test_cache_corruption_degrades_without_corrupt_results(self, tmp_path):
+        result = run_cache_corruption(
+            seed=0, modules=4, directory=str(tmp_path / "cache")
+        )
+        assert result["passed"], result
+        assert result["findings"] == []
+        assert result["entries_corrupted"] > 0
+        assert result["store_rejected"] > 0
+        assert result["store_degraded"] is True
+        assert result["directory_resurrected"] is False

@@ -80,6 +80,23 @@ class TestDecode:
         with pytest.raises(ProtocolError, match="function"):
             decode_request(line(op="simulate", module=MODULE, function=3))
 
+    def test_deadline_ms_must_be_positive_number(self):
+        for bad in (0, -5, "100", True, [100]):
+            with pytest.raises(ProtocolError, match="deadline_ms"):
+                decode_request(
+                    line(op="compile", module=MODULE, deadline_ms=bad)
+                )
+        decode_request(line(op="compile", module=MODULE, deadline_ms=250))
+        decode_request(line(op="compile", module=MODULE, deadline_ms=0.5))
+
+    def test_chaos_must_be_an_object(self):
+        for bad in (1, "die", [1]):
+            with pytest.raises(ProtocolError, match="chaos"):
+                decode_request(line(op="compile", module=MODULE, chaos=bad))
+        decode_request(
+            line(op="compile", module=MODULE, chaos={"die": True})
+        )
+
 
 class TestEncode:
     def test_one_line_utf8(self):

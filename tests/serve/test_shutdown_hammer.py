@@ -1,0 +1,130 @@
+"""Shutdown under load: parked waiters must wake, typed, and in time.
+
+Satellite of the chaos-hardening PR: stop the server while one slow owner
+holds a single-flight and a crowd of coalesced waiters is parked on its
+event.  Every waiter must receive a typed ``shutdown`` error within the
+join timeout — no stranded connections, no hung handler threads.
+"""
+
+import threading
+import time
+
+from repro.serve import (
+    NO_RETRY,
+    CompileService,
+    ReproClient,
+    ReproServer,
+    ServiceChaos,
+)
+from repro.engine import TraceCache
+
+SLOW_PROGRAM = """
+func.func @main(%x : i64) -> (i64) {
+  %n = arith.constant 4 : i64
+  %s = accfg.setup on "toyvec" ("n" = %n : i64) : !accfg.state<"toyvec">
+  %t = accfg.launch %s : !accfg.token<"toyvec">
+  accfg.await %t
+  %c = arith.constant 3 : i64
+  %y = arith.addi %x, %c : i64
+  func.return %y : i64
+}
+"""
+
+WAITERS = 8
+
+
+def test_stop_wakes_all_coalesced_waiters_with_typed_shutdown():
+    # Quota must admit the owner plus every waiter on the shared tenant.
+    service = CompileService(
+        cache=TraceCache(),
+        chaos=ServiceChaos(),
+        max_pending_per_tenant=WAITERS + 2,
+    )
+    server = ReproServer(service=service).start()
+    host, port = server.address
+
+    responses: list[dict] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+    owner_started = threading.Event()
+
+    def owner():
+        # Holds the single-flight for far longer than the test runs; the
+        # connection dies at stop(), which is fine — the waiters are the
+        # subject here.
+        try:
+            with ReproClient(host, port, retry=NO_RETRY) as client:
+                owner_started.set()
+                client.request(
+                    "simulate",
+                    module=SLOW_PROGRAM,
+                    args=[1],
+                    chaos={"sleep_ms": 3_000},
+                )
+        except Exception:
+            pass
+
+    def waiter(index: int):
+        try:
+            with ReproClient(host, port, retry=NO_RETRY) as client:
+                response = client.request(
+                    "simulate", module=SLOW_PROGRAM, args=[1]
+                )
+                with lock:
+                    responses.append(response)
+        except Exception as error:
+            with lock:
+                failures.append(f"waiter {index}: {error!r}")
+
+    owner_thread = threading.Thread(target=owner, daemon=True)
+    owner_thread.start()
+    assert owner_started.wait(timeout=5.0)
+    time.sleep(0.15)  # let the owner's request take the flight
+
+    waiter_threads = [
+        threading.Thread(target=waiter, args=(index,), daemon=True)
+        for index in range(WAITERS)
+    ]
+    for thread in waiter_threads:
+        thread.start()
+    # Park everyone on the in-flight event before pulling the plug.
+    deadline = time.monotonic() + 5.0
+    while service.stats()["in_flight"] < 1 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    time.sleep(0.15)
+
+    started = time.monotonic()
+    server.stop()
+    elapsed = time.monotonic() - started
+    assert elapsed < 10.0, f"stop() took {elapsed:.1f}s"
+
+    join_deadline = time.monotonic() + 5.0
+    for thread in waiter_threads:
+        thread.join(timeout=max(0.0, join_deadline - time.monotonic()))
+    alive = [t for t in waiter_threads if t.is_alive()]
+    assert not alive, f"{len(alive)} waiter threads never joined"
+
+    assert not failures, failures
+    assert len(responses) == WAITERS
+    for response in responses:
+        assert not response["ok"]
+        assert response["error"]["type"] == "shutdown"
+
+    # The service is closed and empty: nothing parked, and the owner's
+    # admission slot drains once its (shorter) chaos stall elapses.
+    assert service._closed
+    assert service.stats()["in_flight"] == 0
+    drain_deadline = time.monotonic() + 8.0
+    while service.stats()["pending"] and time.monotonic() < drain_deadline:
+        time.sleep(0.05)
+    assert service.stats()["pending"] == 0
+
+
+def test_stop_is_prompt_when_idle():
+    server = ReproServer(service=CompileService(cache=TraceCache())).start()
+    host, port = server.address
+    with ReproClient(host, port) as client:
+        assert client.ping()["ok"]
+    started = time.monotonic()
+    server.stop()
+    assert time.monotonic() - started < 5.0
